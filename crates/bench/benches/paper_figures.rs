@@ -1,0 +1,26 @@
+//! `cargo bench` entry point that regenerates every paper figure at CI
+//! scale (quick sizes) and prints the tables. For full-size sweeps use the
+//! `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p parade-bench --bin figures -- all --class a
+//! ```
+
+use parade_bench::{all_figures, FigureOpts};
+
+fn main() {
+    // Respect `cargo bench -- --test` style filtering minimally: any
+    // argument containing "skip" skips the sweep (used by CI smoke runs).
+    if std::env::args().any(|a| a.contains("skip")) {
+        println!("paper_figures: skipped");
+        return;
+    }
+    let opts = FigureOpts {
+        nodes: vec![1, 2, 4, 8],
+        ..FigureOpts::quick()
+    };
+    println!("# ParADE paper figures (quick sizes — shapes, not absolutes)\n");
+    for t in all_figures(&opts) {
+        println!("{}", t.markdown());
+    }
+}

@@ -1,0 +1,25 @@
+//! Diagnostic: run the Helmholtz kernel on a few cluster shapes and dump
+//! the protocol counters plus the master's compute/communication virtual
+//! time split — useful when calibrating the cost model.
+use parade_cluster::{ClusterConfig, ExecConfig};
+use parade_core::Cluster;
+use parade_kernels::helmholtz::{helmholtz_parade, HelmholtzParams};
+
+fn main() {
+    let p = HelmholtzParams::sized(1200, 1200, 20);
+    for (nodes, exec) in [(2, ExecConfig::OneThreadOneCpu), (4, ExecConfig::OneThreadOneCpu), (4, ExecConfig::TwoThreadTwoCpu)] {
+        let cfg = ClusterConfig { nodes, exec, time: parade_net::TimeSource::ThreadCpu { scale: 1.0 }, ..ClusterConfig::default() };
+        let cluster = Cluster::from_config(cfg);
+        let (_, report) = helmholtz_parade(&cluster, p);
+        let d = report.cluster.dsm_totals();
+        println!(
+            "{nodes} nodes {}: vtime {} (compute {} comm {}) fetches {} diffs {} inval {} migr {} svc {} msgs {} ({} MB)",
+            exec.label(),
+            report.exec_time,
+            report.node_compute[0], report.node_comm[0],
+            d.page_fetches, d.diffs_sent, d.invalidations,
+            d.home_migrations, d.serviced_requests,
+            report.cluster.traffic.msgs, report.cluster.traffic.bytes / (1<<20)
+        );
+    }
+}

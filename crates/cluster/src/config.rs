@@ -1,0 +1,212 @@
+//! Cluster configuration: the paper's execution configurations (§6.2) and
+//! all protocol knobs in one place.
+
+use parade_dsm::{CommCosts, DsmConfig, HomePolicy, LockKind, UpdateStrategy};
+use parade_net::{NetProfile, TimeSource};
+
+/// The three measurement configurations of the paper's §6.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecConfig {
+    /// Uniprocessor kernel: one CPU handles both computation and
+    /// communication — remote requests wait out scheduling delays.
+    OneThreadOneCpu,
+    /// SMP kernel, one computational thread: the second CPU is dedicated to
+    /// the communication thread.
+    OneThreadTwoCpu,
+    /// SMP kernel, two computational threads: the communication thread
+    /// shares the two CPUs with computation.
+    TwoThreadTwoCpu,
+    /// Free-form: explicit thread count and communication-thread costs.
+    Custom {
+        threads_per_node: usize,
+        comm: CommCosts,
+    },
+}
+
+impl ExecConfig {
+    pub fn threads_per_node(&self) -> usize {
+        match self {
+            ExecConfig::OneThreadOneCpu | ExecConfig::OneThreadTwoCpu => 1,
+            ExecConfig::TwoThreadTwoCpu => 2,
+            ExecConfig::Custom {
+                threads_per_node, ..
+            } => *threads_per_node,
+        }
+    }
+
+    pub fn comm_costs(&self) -> CommCosts {
+        match self {
+            ExecConfig::OneThreadOneCpu => CommCosts::shared_cpu_busy(),
+            ExecConfig::OneThreadTwoCpu => CommCosts::dedicated_cpu(),
+            ExecConfig::TwoThreadTwoCpu => CommCosts::shared_cpu_light(),
+            ExecConfig::Custom { comm, .. } => *comm,
+        }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecConfig::OneThreadOneCpu => "1Thread-1CPU",
+            ExecConfig::OneThreadTwoCpu => "1Thread-2CPU",
+            ExecConfig::TwoThreadTwoCpu => "2Thread-2CPU",
+            ExecConfig::Custom { .. } => "custom",
+        }
+    }
+
+    pub const PAPER_CONFIGS: [ExecConfig; 3] = [
+        ExecConfig::OneThreadOneCpu,
+        ExecConfig::OneThreadTwoCpu,
+        ExecConfig::TwoThreadTwoCpu,
+    ];
+}
+
+/// Which runtime the OpenMP directives target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// ParADE: hybrid execution — collectives for small-data
+    /// synchronization/work-sharing directives, HLRC with migratory home
+    /// for the rest.
+    Parade,
+    /// Conventional SDSM (the KDSM-style baseline of §6.1): lock-based
+    /// synchronization, fixed homes, no message-passing shortcut.
+    SdsmOnly,
+}
+
+/// Full configuration of a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of SMP nodes.
+    pub nodes: usize,
+    pub exec: ExecConfig,
+    pub protocol: ProtocolMode,
+    pub net: NetProfile,
+    /// Compute-time accounting for application threads. The default scale
+    /// maps host CPU time onto the paper's ~550 MHz Pentium III nodes
+    /// (a modern superscalar/SIMD core is roughly 60x one on numeric
+    /// kernels).
+    pub time: TimeSource,
+    /// Optional per-node CPU scale multipliers (the paper's cluster mixes
+    /// 550 and 600 MHz nodes). Multiplied on top of `time`'s scale.
+    pub node_speed: Option<Vec<f64>>,
+    /// Shared pool bytes per node.
+    pub pool_bytes: usize,
+    /// Small-data threshold for the message-passing update protocol.
+    pub small_threshold: usize,
+    pub update_strategy: UpdateStrategy,
+    pub lock_kind: LockKind,
+    /// Home policy override; `None` derives it from `protocol`
+    /// (Parade → Migratory, SdsmOnly → Fixed).
+    pub home_policy: Option<HomePolicy>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            exec: ExecConfig::TwoThreadTwoCpu,
+            protocol: ProtocolMode::Parade,
+            net: NetProfile::clan_via(),
+            time: TimeSource::ThreadCpu { scale: 60.0 },
+            node_speed: None,
+            pool_bytes: 64 << 20,
+            small_threshold: 256,
+            update_strategy: UpdateStrategy::MmapFile,
+            lock_kind: LockKind::Queued,
+            home_policy: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn threads_per_node(&self) -> usize {
+        self.exec.threads_per_node()
+    }
+
+    /// Total computational threads in the cluster.
+    pub fn total_threads(&self) -> usize {
+        self.nodes * self.threads_per_node()
+    }
+
+    pub fn effective_home_policy(&self) -> HomePolicy {
+        self.home_policy.unwrap_or(match self.protocol {
+            ProtocolMode::Parade => HomePolicy::Migratory,
+            ProtocolMode::SdsmOnly => HomePolicy::Fixed,
+        })
+    }
+
+    /// The per-node DSM configuration this cluster config implies.
+    pub fn dsm_config(&self) -> DsmConfig {
+        DsmConfig {
+            pool_bytes: self.pool_bytes,
+            home_policy: self.effective_home_policy(),
+            lock_kind: self.lock_kind,
+            update_strategy: self.update_strategy,
+            comm: self.exec.comm_costs(),
+            small_threshold: self.small_threshold,
+        }
+    }
+
+    /// Time source for an application thread on `node`.
+    pub fn time_source(&self, node: usize) -> TimeSource {
+        match (self.time, &self.node_speed) {
+            (TimeSource::ThreadCpu { scale }, Some(speeds)) => TimeSource::ThreadCpu {
+                scale: scale * speeds.get(node).copied().unwrap_or(1.0),
+            },
+            (t, _) => t,
+        }
+    }
+
+    /// The paper's testbed speed mix: four 550 MHz then four 600 MHz nodes
+    /// (expressed as multipliers relative to the 550 MHz baseline).
+    pub fn paper_node_speeds(nodes: usize) -> Vec<f64> {
+        (0..nodes)
+            .map(|i| if i < 4 { 1.0 } else { 550.0 / 600.0 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_presets() {
+        assert_eq!(ExecConfig::OneThreadOneCpu.threads_per_node(), 1);
+        assert_eq!(ExecConfig::TwoThreadTwoCpu.threads_per_node(), 2);
+        assert!(
+            ExecConfig::OneThreadOneCpu.comm_costs().service_penalty
+                > ExecConfig::OneThreadTwoCpu.comm_costs().service_penalty
+        );
+        assert_eq!(ExecConfig::OneThreadTwoCpu.label(), "1Thread-2CPU");
+    }
+
+    #[test]
+    fn protocol_mode_drives_home_policy() {
+        let mut c = ClusterConfig::default();
+        assert_eq!(c.effective_home_policy(), HomePolicy::Migratory);
+        c.protocol = ProtocolMode::SdsmOnly;
+        assert_eq!(c.effective_home_policy(), HomePolicy::Fixed);
+        c.home_policy = Some(HomePolicy::Migratory);
+        assert_eq!(c.effective_home_policy(), HomePolicy::Migratory);
+    }
+
+    #[test]
+    fn node_speed_scales_time_source() {
+        let c = ClusterConfig {
+            time: TimeSource::ThreadCpu { scale: 10.0 },
+            node_speed: Some(vec![1.0, 0.5]),
+            ..ClusterConfig::default()
+        };
+        match c.time_source(1) {
+            TimeSource::ThreadCpu { scale } => assert_eq!(scale, 5.0),
+            _ => panic!("wrong source"),
+        }
+    }
+
+    #[test]
+    fn paper_speed_mix() {
+        let s = ClusterConfig::paper_node_speeds(8);
+        assert_eq!(s[0], 1.0);
+        assert_eq!(s[3], 1.0);
+        assert!((s[4] - 550.0 / 600.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! SPMD node launch: build the fabric, the per-node DSM instances and
+//! communication threads, and run a program on every node's main thread.
+//!
+//! The OpenMP fork-join model of `parade-core` is layered on top of this
+//! plain SPMD engine (node 0's program becomes the master; the others run
+//! a command loop).
+
+use std::sync::Arc;
+
+use parade_dsm::{spawn_comm_thread, Dsm, DsmStatsSnapshot};
+use parade_mpi::Communicator;
+use parade_net::{Fabric, Traffic, VClock};
+
+use crate::config::ClusterConfig;
+
+/// Everything a node program needs.
+pub struct NodeEnv {
+    pub node: usize,
+    pub nnodes: usize,
+    pub dsm: Arc<Dsm>,
+    pub comm: Arc<Communicator>,
+    pub cfg: ClusterConfig,
+    pub fabric: Arc<Fabric>,
+}
+
+impl NodeEnv {
+    /// A fresh virtual clock for a thread on this node, honouring the
+    /// configured time source and per-node speed.
+    pub fn new_clock(&self) -> VClock {
+        VClock::new(self.cfg.time_source(self.node))
+    }
+}
+
+/// Aggregate outcome of a cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterReport {
+    /// Per-node DSM protocol counters.
+    pub dsm: Vec<DsmStatsSnapshot>,
+    /// Fabric-wide traffic.
+    pub traffic: Traffic,
+}
+
+impl ClusterReport {
+    /// Cluster-wide DSM counters.
+    pub fn dsm_totals(&self) -> DsmStatsSnapshot {
+        let mut t = DsmStatsSnapshot::default();
+        for s in &self.dsm {
+            t.merge(s);
+        }
+        t
+    }
+}
+
+/// Launch `cfg.nodes` node programs and run them to completion.
+///
+/// Returns each node's result plus the protocol/traffic report. All
+/// communication threads are joined and the fabric shut down before
+/// returning.
+pub fn launch<R, F>(cfg: ClusterConfig, program: F) -> (Vec<R>, ClusterReport)
+where
+    R: Send + 'static,
+    F: Fn(NodeEnv) -> R + Send + Sync + 'static,
+{
+    assert!(cfg.nodes > 0, "cluster needs at least one node");
+    assert!(
+        cfg.threads_per_node() > 0,
+        "cluster needs at least one compute thread per node"
+    );
+    let fabric = Fabric::new(cfg.nodes, cfg.net);
+    let dsms: Vec<Arc<Dsm>> = (0..cfg.nodes)
+        .map(|i| Arc::new(Dsm::new(fabric.endpoint(i), cfg.dsm_config())))
+        .collect();
+    let comm_threads: Vec<_> = dsms.iter().map(|d| spawn_comm_thread(Arc::clone(d))).collect();
+    let program = Arc::new(program);
+    let handles: Vec<_> = (0..cfg.nodes)
+        .map(|i| {
+            let env = NodeEnv {
+                node: i,
+                nnodes: cfg.nodes,
+                dsm: Arc::clone(&dsms[i]),
+                comm: Arc::new(Communicator::new(fabric.endpoint(i))),
+                cfg: cfg.clone(),
+                fabric: Arc::clone(&fabric),
+            };
+            let program = Arc::clone(&program);
+            std::thread::Builder::new()
+                .name(format!("parade-node-{i}"))
+                .spawn(move || program(env))
+                .expect("spawn node main thread")
+        })
+        .collect();
+    let results: Vec<R> = handles.into_iter().map(|h| h.join().expect("node panicked")).collect();
+    let report = ClusterReport {
+        dsm: dsms.iter().map(|d| d.stats.snapshot()).collect(),
+        traffic: fabric.stats().totals(),
+    };
+    fabric.begin_shutdown();
+    for h in comm_threads {
+        h.join().expect("communication thread panicked");
+    }
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parade_mpi::ReduceOp;
+    use parade_net::NetProfile;
+
+    fn tiny(nodes: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            pool_bytes: 64 * parade_dsm::PAGE_SIZE,
+            net: NetProfile::zero(),
+            time: parade_net::TimeSource::Manual,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn launch_runs_program_on_every_node() {
+        let (out, _) = launch(tiny(4), |env| (env.node, env.nnodes));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn nodes_share_dsm_and_mpi() {
+        let (out, report) = launch(tiny(3), |env| {
+            let mut clk = env.new_clock();
+            let r = env.dsm.alloc_region(64).unwrap();
+            env.dsm.barrier(&mut clk);
+            if env.node == 1 {
+                env.dsm.write::<i64>(r, 0, 31, &mut clk);
+            }
+            env.dsm.barrier(&mut clk);
+            let v = env.dsm.read::<i64>(r, 0, &mut clk);
+            let sum = env.comm.allreduce_i64(v, ReduceOp::Sum, &mut clk);
+            sum
+        });
+        assert_eq!(out, vec![93, 93, 93]);
+        assert!(report.dsm_totals().barriers >= 6);
+        assert!(report.traffic.msgs > 0);
+    }
+
+    #[test]
+    fn report_aggregates_counters() {
+        let (_, report) = launch(tiny(2), |env| {
+            let mut clk = env.new_clock();
+            let r = env.dsm.alloc_region(64).unwrap();
+            env.dsm.barrier(&mut clk);
+            if env.node == 1 {
+                env.dsm.write::<i64>(r, 0, 1, &mut clk);
+            }
+            env.dsm.barrier(&mut clk);
+            env.dsm.read::<i64>(r, 0, &mut clk)
+        });
+        let t = report.dsm_totals();
+        assert_eq!(t.barriers, 4);
+        assert!(t.page_fetches >= 1);
+    }
+}

@@ -1,0 +1,781 @@
+//! `ThreadCtx` — the per-thread handle inside a parallel region.
+//!
+//! Every OpenMP construct the ParADE translator emits maps to a method
+//! here, with **two implementations** selected by the cluster's
+//! [`ProtocolMode`]:
+//!
+//! * `Parade` — the paper's hybrid lowering: hierarchical mutual exclusion
+//!   (node-local lock + inter-node collective), message-passing update
+//!   protocol for small data, no implicit barriers where a collective
+//!   already synchronizes (Figures 2/3, right-hand sides).
+//! * `SdsmOnly` — the conventional SDSM lowering used as the baseline:
+//!   distributed locks, shared flags/accumulators on DSM pages, explicit
+//!   barriers (Figures 2/3, left-hand sides).
+//!
+//! Kernels are therefore written once and benchmarked under both modes.
+
+use std::cell::{Cell, RefCell};
+use std::ops::Range;
+use std::sync::Arc;
+
+use parade_cluster::ProtocolMode;
+use parade_mpi::ReduceOp;
+use parade_net::{VClock, VTime};
+
+use crate::runtime::{construct_gen, NodeRt, INTERNAL_LOCK_BASE, SLOTS};
+use crate::shared::{Pod, SharedScalar, SharedVec};
+
+/// Cost of grabbing one dynamic-scheduling chunk from the node-local queue.
+const DYN_CHUNK_OVERHEAD: VTime = VTime(1_000);
+
+/// Internal lock-id sub-spaces.
+const LOCK_SPACE_REDUCE: u64 = INTERNAL_LOCK_BASE;
+const LOCK_SPACE_SINGLE: u64 = INTERNAL_LOCK_BASE + (1 << 20);
+const LOCK_SPACE_ATOMIC: u64 = INTERNAL_LOCK_BASE + (2 << 20);
+
+/// Per-thread context inside a parallel region.
+pub struct ThreadCtx {
+    rt: Arc<NodeRt>,
+    local_tid: usize,
+    region_no: u64,
+    clock: RefCell<VClock>,
+    single_seq: Cell<u64>,
+    reduce_seq: Cell<u64>,
+    loop_seq: Cell<u64>,
+}
+
+impl ThreadCtx {
+    pub(crate) fn new(rt: Arc<NodeRt>, local_tid: usize, region_no: u64, clock: VClock) -> Self {
+        ThreadCtx {
+            rt,
+            local_tid,
+            region_no,
+            clock: RefCell::new(clock),
+            single_seq: Cell::new(0),
+            reduce_seq: Cell::new(0),
+            loop_seq: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn into_clock(self) -> VClock {
+        self.clock.into_inner()
+    }
+
+    pub(crate) fn region_end(&self) {
+        // The implicit join barrier of the fork-join model.
+        self.barrier();
+    }
+
+    // ---- identity ---------------------------------------------------------
+
+    /// Global thread id (`omp_get_thread_num`).
+    pub fn thread_num(&self) -> usize {
+        self.rt.global_tid(self.local_tid)
+    }
+
+    /// Total threads in the team (`omp_get_num_threads`).
+    pub fn num_threads(&self) -> usize {
+        self.rt.total_threads()
+    }
+
+    pub fn node(&self) -> usize {
+        self.rt.node
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.rt.nnodes
+    }
+
+    pub fn local_thread(&self) -> usize {
+        self.local_tid
+    }
+
+    pub fn threads_per_node(&self) -> usize {
+        self.rt.tpn
+    }
+
+    pub fn mode(&self) -> ProtocolMode {
+        self.rt.mode
+    }
+
+    // ---- virtual time -----------------------------------------------------
+
+    /// This thread's current virtual time.
+    pub fn now(&self) -> VTime {
+        let mut c = self.clock.borrow_mut();
+        c.sample_compute();
+        c.now()
+    }
+
+    /// Charge explicit compute cost (used by kernels running under the
+    /// deterministic `Manual` time source).
+    pub fn charge(&self, d: VTime) {
+        self.clock.borrow_mut().charge(d);
+    }
+
+    pub(crate) fn with_clock<R>(&self, f: impl FnOnce(&mut VClock) -> R) -> R {
+        f(&mut self.clock.borrow_mut())
+    }
+
+    // ---- shared data ------------------------------------------------------
+
+    /// Bind a shared vector for repeated access.
+    pub fn bind<'t, T: Pod>(&'t self, v: &SharedVec<T>) -> BoundVec<'t, T> {
+        BoundVec { tc: self, v: *v }
+    }
+
+    /// Bind a shared `f64` vector (convenience used throughout examples).
+    pub fn bind_f64<'t>(&'t self, v: &SharedVec<f64>) -> BoundVec<'t, f64> {
+        self.bind(v)
+    }
+
+    /// Read one element.
+    pub fn get<T: Pod>(&self, v: &SharedVec<T>, i: usize) -> T {
+        self.with_clock(|c| self.rt.dsm.read(v.region, i * std::mem::size_of::<T>(), c))
+    }
+
+    /// Write one element.
+    pub fn set<T: Pod>(&self, v: &SharedVec<T>, i: usize, val: T) {
+        self.with_clock(|c| self.rt.dsm.write(v.region, i * std::mem::size_of::<T>(), val, c))
+    }
+
+    /// Bulk read `out.len()` elements starting at `first`.
+    pub fn read_into<T: Pod>(&self, v: &SharedVec<T>, first: usize, out: &mut [T]) {
+        self.with_clock(|c| self.rt.dsm.read_slice(v.region, first, out, c))
+    }
+
+    /// Bulk write elements starting at `first`.
+    pub fn write_from<T: Pod>(&self, v: &SharedVec<T>, first: usize, src: &[T]) {
+        self.with_clock(|c| self.rt.dsm.write_slice(v.region, first, src, c))
+    }
+
+    /// Read a shared scalar (update-protocol local copy in Parade mode,
+    /// DSM page in the baseline).
+    pub fn scalar_get<T: Pod>(&self, s: &SharedScalar<T>) -> T
+    where
+        T: ScalarPrim,
+    {
+        match self.rt.mode {
+            ProtocolMode::Parade => T::small_read(self.rt.small(), s),
+            ProtocolMode::SdsmOnly => {
+                self.with_clock(|c| self.rt.dsm.read(s.region, 0, c))
+            }
+        }
+    }
+
+    // ---- barriers ----------------------------------------------------------
+
+    /// Hierarchical cluster-wide barrier: node-local barrier, then the
+    /// inter-node HLRC barrier (flush + write notices + invalidations +
+    /// home migration) performed by one representative per node.
+    pub fn barrier(&self) {
+        self.rt.barrier.wait(&mut self.clock.borrow_mut());
+        if self.local_tid == 0 {
+            self.with_clock(|c| self.rt.dsm.barrier(c));
+        }
+        self.rt.barrier.wait(&mut self.clock.borrow_mut());
+    }
+
+    /// Node-local barrier only (no DSM consistency action).
+    pub fn node_barrier(&self) {
+        self.rt.barrier.wait(&mut self.clock.borrow_mut());
+    }
+
+    // ---- work sharing -------------------------------------------------------
+
+    /// Static loop scheduling (the paper's only supported policy): evenly
+    /// divided contiguous iteration blocks.
+    pub fn for_static(&self, range: Range<usize>) -> Range<usize> {
+        partition(range, self.num_threads(), self.thread_num())
+    }
+
+    /// Static scheduling with a chunk size: round-robin chunks
+    /// (`schedule(static, chunk)`).
+    pub fn for_static_chunks(&self, range: Range<usize>, chunk: usize) -> StaticChunks {
+        assert!(chunk > 0);
+        StaticChunks {
+            next: range.start + self.thread_num() * chunk,
+            end: range.end,
+            stride: self.num_threads() * chunk,
+            chunk,
+        }
+    }
+
+    /// `parallel for` convenience: static schedule plus the implicit
+    /// end-of-loop barrier.
+    pub fn par_for(&self, range: Range<usize>, mut body: impl FnMut(usize)) {
+        for i in self.for_static(range) {
+            body(i);
+        }
+        self.barrier();
+    }
+
+    /// Dynamic scheduling (`schedule(dynamic, chunk)`), an extension beyond
+    /// the paper's static-only runtime (its §8 future work): iterations are
+    /// split statically across nodes, then claimed chunk-by-chunk from a
+    /// node-local queue — remote chunk stealing would cost a network round
+    /// trip per chunk on an SMP cluster. Ends with the implicit barrier.
+    pub fn for_dynamic(&self, range: Range<usize>, chunk: usize, body: impl FnMut(Range<usize>)) {
+        self.dynamic_loop(range, DynPolicy::Fixed(chunk.max(1)), body);
+        self.barrier();
+    }
+
+    /// `for_dynamic` without the implicit barrier (`nowait`).
+    pub fn for_dynamic_nowait(
+        &self,
+        range: Range<usize>,
+        chunk: usize,
+        body: impl FnMut(Range<usize>),
+    ) {
+        self.dynamic_loop(range, DynPolicy::Fixed(chunk.max(1)), body);
+    }
+
+    /// Guided scheduling (`schedule(guided, min_chunk)`): chunk sizes decay
+    /// with the remaining work. Ends with the implicit barrier.
+    pub fn for_guided(
+        &self,
+        range: Range<usize>,
+        min_chunk: usize,
+        body: impl FnMut(Range<usize>),
+    ) {
+        self.dynamic_loop(range, DynPolicy::Guided(min_chunk.max(1)), body);
+        self.barrier();
+    }
+
+    fn dynamic_loop(
+        &self,
+        range: Range<usize>,
+        policy: DynPolicy,
+        mut body: impl FnMut(Range<usize>),
+    ) {
+        let node_range = partition(range, self.rt.nnodes, self.rt.node);
+        let seq = self.loop_seq.replace(self.loop_seq.get() + 1);
+        let gen = construct_gen(self.region_no, seq);
+        let slot = (gen as usize) % SLOTS;
+        let tpn = self.rt.tpn;
+        loop {
+            let grabbed = {
+                let mut s = self.rt.dyn_slots[slot].lock();
+                if s.gen != gen {
+                    s.gen = gen;
+                    s.next = node_range.start;
+                    s.end = node_range.end;
+                }
+                if s.next >= s.end {
+                    None
+                } else {
+                    let chunk = match policy {
+                        DynPolicy::Fixed(c) => c,
+                        DynPolicy::Guided(min) => ((s.end - s.next) / (2 * tpn)).max(min),
+                    };
+                    let start = s.next;
+                    s.next = (start + chunk).min(s.end);
+                    Some(start..s.next)
+                }
+            };
+            match grabbed {
+                Some(r) => {
+                    self.charge(DYN_CHUNK_OVERHEAD);
+                    body(r);
+                }
+                None => break,
+            }
+        }
+    }
+
+    // ---- synchronization directives -----------------------------------------
+
+    /// Generic `critical` (arbitrary body): hierarchical mutual exclusion —
+    /// a node-local mutex plus the distributed DSM lock. This is the
+    /// fallback for code blocks the translator cannot analyze lexically.
+    pub fn critical<R>(&self, id: u64, f: impl FnOnce(&ThreadCtx) -> R) -> R {
+        assert!(id < INTERNAL_LOCK_BASE, "critical id collides with runtime locks");
+        self.critical_raw(id, f)
+    }
+
+    fn critical_raw<R>(&self, lock_id: u64, f: impl FnOnce(&ThreadCtx) -> R) -> R {
+        let m = self.rt.critical_mutex(lock_id);
+        let mut last_release = m.lock();
+        self.with_clock(|c| {
+            c.sample_compute();
+            c.sync_to(*last_release);
+            self.rt.dsm.lock_acquire(lock_id, c);
+        });
+        let r = f(self);
+        self.with_clock(|c| {
+            c.sample_compute();
+            self.rt.dsm.lock_release(lock_id, c);
+        });
+        *last_release = self.with_clock(|c| c.now());
+        r
+    }
+
+    /// `critical` over a small analyzable block that reduces into a shared
+    /// scalar — ParADE's headline optimization (Figure 2): the pthread lock
+    /// handles intra-node exclusion and a collective replaces the
+    /// distributed lock. In the baseline mode this degenerates to the
+    /// lock-based path of Figure 2's left side. Returns the new value.
+    pub fn critical_reduce_f64(&self, s: &SharedScalar<f64>, op: ReduceOp, operand: f64) -> f64 {
+        self.atomic_f64(s, op, operand)
+    }
+
+    /// `atomic` directive: atomic update of a shared scalar. In Parade mode
+    /// this maps *exactly* to a collective (§4.2): thread contributions are
+    /// combined within the node, allreduced across nodes, and applied to
+    /// every node's local copy. All threads must reach the construct (the
+    /// usual restriction of the collective lowering, §7).
+    pub fn atomic_f64(&self, s: &SharedScalar<f64>, op: ReduceOp, operand: f64) -> f64 {
+        match self.rt.mode {
+            ProtocolMode::Parade => {
+                let rt = Arc::clone(&self.rt);
+                let small = s.small;
+                self.hier_f64(op, operand, move |total| {
+                    let cur = rt.small().read_f64(small, 0);
+                    let new = op.fold_f64(cur, total);
+                    rt.small().write_f64(small, 0, new);
+                    new
+                })
+            }
+            ProtocolMode::SdsmOnly => {
+                let lock_id = LOCK_SPACE_ATOMIC + s.region.id as u64;
+                self.critical_raw(lock_id, |tc| {
+                    tc.with_clock(|c| {
+                        let cur: f64 = tc.rt.dsm.read(s.region, 0, c);
+                        let new = op.fold_f64(cur, operand);
+                        tc.rt.dsm.write(s.region, 0, new, c);
+                        new
+                    })
+                })
+            }
+        }
+    }
+
+    /// Convenience: `#pragma omp atomic  x += v`.
+    pub fn atomic_add_f64(&self, s: &SharedScalar<f64>, v: f64) -> f64 {
+        self.atomic_f64(s, ReduceOp::Sum, v)
+    }
+
+    /// `reduction(op: var)` clause: every thread contributes `v`; all
+    /// threads receive the combined value. Parade mode: node-local combine
+    /// + `MPI_Allreduce` (§4.2). Baseline: DSM lock + shared accumulator +
+    /// barrier.
+    pub fn reduce_f64(&self, op: ReduceOp, v: f64) -> f64 {
+        match self.rt.mode {
+            ProtocolMode::Parade => self.hier_f64(op, v, |total| total),
+            ProtocolMode::SdsmOnly => self.sdsm_reduce_f64(op, v),
+        }
+    }
+
+    pub fn reduce_f64_sum(&self, v: f64) -> f64 {
+        self.reduce_f64(ReduceOp::Sum, v)
+    }
+
+    pub fn reduce_f64_max(&self, v: f64) -> f64 {
+        self.reduce_f64(ReduceOp::Max, v)
+    }
+
+    /// Integer reduction.
+    pub fn reduce_i64(&self, op: ReduceOp, v: i64) -> i64 {
+        match self.rt.mode {
+            ProtocolMode::Parade => self.hier_i64(op, v, |total| total),
+            ProtocolMode::SdsmOnly => self.sdsm_reduce_i64(op, v),
+        }
+    }
+
+    /// Multiple reduction variables merged into one structure and reduced
+    /// with a user-defined operation (§4.2). `locals` is this thread's
+    /// contribution; returns the elementwise-`op` combination (Parade mode
+    /// does it in a single allreduce).
+    pub fn reduce_f64s(&self, op: ReduceOp, locals: &[f64]) -> Vec<f64> {
+        match self.rt.mode {
+            ProtocolMode::Parade => {
+                // Node-local combine of the whole structure, then a single
+                // allreduce for all variables at once.
+                {
+                    let mut st = self.rt.reduce.lock();
+                    if st.count == 0 {
+                        st.acc_vec.clear();
+                        st.acc_vec.extend_from_slice(locals);
+                    } else {
+                        assert_eq!(st.acc_vec.len(), locals.len(), "mismatched reduction arity");
+                        for (a, &b) in st.acc_vec.iter_mut().zip(locals) {
+                            *a = op.fold_f64(*a, b);
+                        }
+                    }
+                    st.count += 1;
+                }
+                self.node_barrier();
+                if self.local_tid == 0 {
+                    let mut acc = self.rt.reduce.lock().acc_vec.clone();
+                    self.with_clock(|c| self.rt.comm.allreduce_f64s(&mut acc, op, c));
+                    let mut st = self.rt.reduce.lock();
+                    st.result_vec = acc;
+                    st.count = 0;
+                }
+                self.node_barrier();
+                self.rt.reduce.lock().result_vec.clone()
+            }
+            ProtocolMode::SdsmOnly => locals
+                .iter()
+                .map(|&v| self.sdsm_reduce_f64(op, v))
+                .collect(),
+        }
+    }
+
+    /// The hierarchical combine: node-local accumulate under the node lock,
+    /// node barrier, per-node representative allreduce, `leader_apply` run
+    /// once per node on the total, node barrier, everyone reads the result.
+    fn hier_f64(&self, op: ReduceOp, v: f64, leader_apply: impl FnOnce(f64) -> f64) -> f64 {
+        {
+            let mut st = self.rt.reduce.lock();
+            if st.count == 0 {
+                st.acc_f64 = v;
+            } else {
+                st.acc_f64 = op.fold_f64(st.acc_f64, v);
+            }
+            st.count += 1;
+        }
+        self.node_barrier();
+        if self.local_tid == 0 {
+            let acc = self.rt.reduce.lock().acc_f64;
+            let total = self.with_clock(|c| self.rt.comm.allreduce_f64(acc, op, c));
+            let final_v = leader_apply(total);
+            let mut st = self.rt.reduce.lock();
+            st.result_f64 = final_v;
+            st.count = 0;
+        }
+        self.node_barrier();
+        self.rt.reduce.lock().result_f64
+    }
+
+    fn hier_i64(&self, op: ReduceOp, v: i64, leader_apply: impl FnOnce(i64) -> i64) -> i64 {
+        {
+            let mut st = self.rt.reduce.lock();
+            if st.count == 0 {
+                st.acc_i64 = v;
+            } else {
+                st.acc_i64 = op.fold_i64(st.acc_i64, v);
+            }
+            st.count += 1;
+        }
+        self.node_barrier();
+        if self.local_tid == 0 {
+            let acc = self.rt.reduce.lock().acc_i64;
+            let total = self.with_clock(|c| self.rt.comm.allreduce_i64(acc, op, c));
+            let final_v = leader_apply(total);
+            let mut st = self.rt.reduce.lock();
+            st.result_i64 = final_v;
+            st.count = 0;
+        }
+        self.node_barrier();
+        self.rt.reduce.lock().result_i64
+    }
+
+    /// Baseline reduction: every thread locks the distributed lock and
+    /// accumulates into a DSM scratch slot (twins/diffs and page transfers
+    /// included), then a full barrier publishes the result (Figure 2 left).
+    fn sdsm_reduce_f64(&self, op: ReduceOp, v: f64) -> f64 {
+        let seq = self.reduce_seq.replace(self.reduce_seq.get() + 1);
+        let gen = construct_gen(self.region_no, seq);
+        let slot = (gen as usize) % SLOTS;
+        let lock_id = LOCK_SPACE_REDUCE + slot as u64;
+        let scratch = self.rt.scratch;
+        self.critical_raw(lock_id, |tc| {
+            tc.with_clock(|c| {
+                let g: u64 = tc.rt.dsm.read(scratch, slot * 16, c);
+                if g != gen {
+                    tc.rt.dsm.write(scratch, slot * 16, gen, c);
+                    tc.rt.dsm.write(scratch, slot * 16 + 8, v, c);
+                } else {
+                    let cur: f64 = tc.rt.dsm.read(scratch, slot * 16 + 8, c);
+                    tc.rt.dsm.write(scratch, slot * 16 + 8, op.fold_f64(cur, v), c);
+                }
+            })
+        });
+        self.barrier();
+        self.with_clock(|c| self.rt.dsm.read(scratch, slot * 16 + 8, c))
+    }
+
+    fn sdsm_reduce_i64(&self, op: ReduceOp, v: i64) -> i64 {
+        let r = self.sdsm_reduce_f64_bits(op, v);
+        r
+    }
+
+    fn sdsm_reduce_f64_bits(&self, op: ReduceOp, v: i64) -> i64 {
+        let seq = self.reduce_seq.replace(self.reduce_seq.get() + 1);
+        let gen = construct_gen(self.region_no, seq);
+        let slot = (gen as usize) % SLOTS;
+        let lock_id = LOCK_SPACE_REDUCE + slot as u64;
+        let scratch = self.rt.scratch;
+        self.critical_raw(lock_id, |tc| {
+            tc.with_clock(|c| {
+                let g: u64 = tc.rt.dsm.read(scratch, slot * 16, c);
+                if g != gen {
+                    tc.rt.dsm.write(scratch, slot * 16, gen, c);
+                    tc.rt.dsm.write(scratch, slot * 16 + 8, v, c);
+                } else {
+                    let cur: i64 = tc.rt.dsm.read(scratch, slot * 16 + 8, c);
+                    tc.rt.dsm.write(scratch, slot * 16 + 8, op.fold_i64(cur, v), c);
+                }
+            })
+        });
+        self.barrier();
+        self.with_clock(|c| self.rt.dsm.read(scratch, slot * 16 + 8, c))
+    }
+
+    /// `single` over a small shared scalar: the earliest thread executes
+    /// `f` and the result is propagated by broadcast (Parade, Figure 3
+    /// right — no barrier) or by a DSM flag + lock + full barrier
+    /// (baseline, Figure 3 left). All threads return the value.
+    pub fn single_f64(
+        &self,
+        s: &SharedScalar<f64>,
+        f: impl FnOnce(&ThreadCtx) -> f64,
+    ) -> f64 {
+        let out = self.single_update(&[*s], |tc| vec![f(tc)]);
+        out[0]
+    }
+
+    /// Generalized `single` over several small shared scalars: the
+    /// executing thread's `f` returns the new values in order; they are
+    /// propagated per the active mode (broadcast / DSM flag + barrier).
+    /// Every thread returns the propagated values.
+    pub fn single_update(
+        &self,
+        scalars: &[SharedScalar<f64>],
+        f: impl FnOnce(&ThreadCtx) -> Vec<f64>,
+    ) -> Vec<f64> {
+        let seq = self.single_seq.replace(self.single_seq.get() + 1);
+        let gen = construct_gen(self.region_no, seq);
+        let slot = (gen as usize) % SLOTS;
+        match self.rt.mode {
+            ProtocolMode::Parade => {
+                let mut sl = self.rt.singles[slot].lock();
+                self.with_clock(|c| {
+                    c.sample_compute();
+                    c.sync_to(sl.release_at);
+                });
+                if sl.done_gen != gen {
+                    let mut buf = vec![0.0f64; scalars.len()];
+                    if self.rt.node == 0 {
+                        let vals = f(self);
+                        assert_eq!(vals.len(), scalars.len(), "single value arity");
+                        for (s, v) in scalars.iter().zip(&vals) {
+                            self.rt.small().write_f64(s.small, 0, *v);
+                        }
+                        buf.copy_from_slice(&vals);
+                    }
+                    self.with_clock(|c| self.rt.comm.bcast_f64s(0, &mut buf, c));
+                    if self.rt.node != 0 {
+                        for (s, v) in scalars.iter().zip(&buf) {
+                            self.rt.small().write_f64(s.small, 0, *v);
+                        }
+                    }
+                    sl.done_gen = gen;
+                }
+                sl.release_at = self.with_clock(|c| c.now());
+                drop(sl);
+                scalars
+                    .iter()
+                    .map(|s| self.rt.small().read_f64(s.small, 0))
+                    .collect()
+            }
+            ProtocolMode::SdsmOnly => {
+                let lock_id = LOCK_SPACE_SINGLE + slot as u64;
+                let flags = self.rt.flags;
+                {
+                    let mut sl = self.rt.singles[slot].lock();
+                    self.with_clock(|c| {
+                        c.sample_compute();
+                        c.sync_to(sl.release_at);
+                    });
+                    if sl.done_gen != gen {
+                        self.with_clock(|c| self.rt.dsm.lock_acquire(lock_id, c));
+                        let flag: u64 =
+                            self.with_clock(|c| self.rt.dsm.read(flags, slot * 8, c));
+                        if flag != gen {
+                            let vals = f(self);
+                            assert_eq!(vals.len(), scalars.len(), "single value arity");
+                            self.with_clock(|c| {
+                                for (s, v) in scalars.iter().zip(&vals) {
+                                    self.rt.dsm.write(s.region, 0, *v, c);
+                                }
+                                self.rt.dsm.write(flags, slot * 8, gen, c);
+                            });
+                        }
+                        self.with_clock(|c| self.rt.dsm.lock_release(lock_id, c));
+                        sl.done_gen = gen;
+                    }
+                    sl.release_at = self.with_clock(|c| c.now());
+                }
+                // Conventional lowering needs the barrier for consistency.
+                self.barrier();
+                scalars
+                    .iter()
+                    .map(|s| self.with_clock(|c| self.rt.dsm.read(s.region, 0, c)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Store to a shared scalar from *inside* a sanctioned update construct
+    /// (the body of a `single` or an analyzable `critical`): the construct
+    /// itself propagates the value, so this writes only the local
+    /// representation (the node's update-protocol copy in Parade mode, the
+    /// DSM page in the baseline — where the caller already holds the
+    /// construct's lock).
+    pub fn scalar_set_in_construct(&self, s: &SharedScalar<f64>, v: f64) {
+        match self.rt.mode {
+            ProtocolMode::Parade => self.rt.small().write_f64(s.small, 0, v),
+            ProtocolMode::SdsmOnly => self.with_clock(|c| self.rt.dsm.write(s.region, 0, v, c)),
+        }
+    }
+
+    /// `single nowait` with no data propagation: executed by the earliest
+    /// thread of the master node only (e.g. progress printing).
+    pub fn single_plain(&self, f: impl FnOnce(&ThreadCtx)) {
+        let seq = self.single_seq.replace(self.single_seq.get() + 1);
+        if self.rt.node != 0 {
+            return;
+        }
+        let gen = construct_gen(self.region_no, seq);
+        let slot = (gen as usize) % SLOTS;
+        let mut sl = self.rt.singles[slot].lock();
+        if sl.done_gen != gen {
+            f(self);
+            sl.done_gen = gen;
+        }
+    }
+
+    /// `master` directive: only the global master thread executes.
+    pub fn master(&self, f: impl FnOnce(&ThreadCtx)) {
+        if self.thread_num() == 0 {
+            f(self);
+        }
+    }
+}
+
+/// Evenly partition `range` into `n` contiguous blocks; return block `i`.
+pub fn partition(range: Range<usize>, n: usize, i: usize) -> Range<usize> {
+    let len = range.end.saturating_sub(range.start);
+    let q = len / n;
+    let r = len % n;
+    let start = range.start + i * q + i.min(r);
+    let size = q + usize::from(i < r);
+    start..(start + size)
+}
+
+enum DynPolicy {
+    Fixed(usize),
+    Guided(usize),
+}
+
+/// Iterator over a thread's `schedule(static, chunk)` chunks.
+pub struct StaticChunks {
+    next: usize,
+    end: usize,
+    stride: usize,
+    chunk: usize,
+}
+
+impl Iterator for StaticChunks {
+    type Item = Range<usize>;
+
+    fn next(&mut self) -> Option<Range<usize>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let start = self.next;
+        let stop = (start + self.chunk).min(self.end);
+        self.next += self.stride;
+        Some(start..stop)
+    }
+}
+
+/// A shared vector bound to a thread context for ergonomic access.
+pub struct BoundVec<'t, T: Pod> {
+    tc: &'t ThreadCtx,
+    v: SharedVec<T>,
+}
+
+impl<'t, T: Pod> BoundVec<'t, T> {
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> T {
+        self.tc.get(&self.v, i)
+    }
+
+    pub fn set(&self, i: usize, val: T) {
+        self.tc.set(&self.v, i, val)
+    }
+
+    pub fn read_into(&self, first: usize, out: &mut [T]) {
+        self.tc.read_into(&self.v, first, out)
+    }
+
+    pub fn write_from(&self, first: usize, src: &[T]) {
+        self.tc.write_from(&self.v, first, src)
+    }
+}
+
+/// Scalar primitives supported by [`SharedScalar`] fast reads.
+pub trait ScalarPrim: Pod {
+    fn small_read(reg: &parade_dsm::SmallRegistry, s: &SharedScalar<Self>) -> Self;
+}
+
+impl ScalarPrim for f64 {
+    fn small_read(reg: &parade_dsm::SmallRegistry, s: &SharedScalar<f64>) -> f64 {
+        reg.read_f64(s.small, 0)
+    }
+}
+
+impl ScalarPrim for i64 {
+    fn small_read(reg: &parade_dsm::SmallRegistry, s: &SharedScalar<i64>) -> i64 {
+        reg.read_i64(s.small, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly_without_overlap() {
+        for (len, n) in [(10, 3), (0, 4), (7, 7), (5, 8), (100, 1)] {
+            let mut covered = Vec::new();
+            for i in 0..n {
+                let r = partition(3..3 + len, n, i);
+                covered.extend(r);
+            }
+            assert_eq!(covered, (3..3 + len).collect::<Vec<_>>(), "len={len} n={n}");
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        for i in 0..4 {
+            let r = partition(0..10, 4, i);
+            let sz = r.end - r.start;
+            assert!((2..=3).contains(&sz));
+        }
+    }
+
+    #[test]
+    fn static_chunks_interleave() {
+        // 2 threads, chunk 2, range 0..10: thread 0 gets [0..2, 4..6, 8..10].
+        let it = StaticChunks {
+            next: 0,
+            end: 10,
+            stride: 4,
+            chunk: 2,
+        };
+        let got: Vec<_> = it.collect();
+        assert_eq!(got, vec![0..2, 4..6, 8..10]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-node runtime state shared by all of a node's compute threads: the
+//! intra-node barrier, the compute-thread pool, and the slot tables behind
+//! `single`/`reduction` constructs.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::{mpsc, Arc};
+
+use parking_lot::Mutex;
+
+use parade_cluster::ProtocolMode;
+use parade_dsm::{Dsm, RegionHandle};
+use parade_mpi::Communicator;
+use parade_net::{TimeSource, VClock, VTime};
+
+use crate::ctx::ThreadCtx;
+use crate::vbarrier::VBarrier;
+
+/// Erased parallel-region body.
+pub(crate) type RegionFn = dyn Fn(&ThreadCtx) + Send + Sync;
+
+/// Number of reusable construct slots (singles, reductions, dynamic loops).
+/// Generation stamps make reuse safe; the slot count only bounds how many
+/// instances may be in flight, which hierarchical barriers already cap.
+pub(crate) const SLOTS: usize = 4096;
+
+/// Lock-id namespace for runtime-internal DSM locks (user locks live below).
+pub(crate) const INTERNAL_LOCK_BASE: u64 = 1 << 40;
+
+/// A unique, monotonically increasing id for a construct instance,
+/// identical on every thread of the cluster because regions and constructs
+/// are encountered in the same program order.
+pub(crate) fn construct_gen(region_no: u64, seq: u64) -> u64 {
+    debug_assert!(seq < 1 << 20, "too many constructs in one region");
+    region_no * (1 << 20) + seq + 1
+}
+
+/// State of one `single` slot: generation already executed on this node,
+/// and the virtual time at which the executing thread released the slot
+/// (the pthread-lock serialization of Figure 3).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SingleSlot {
+    pub done_gen: u64,
+    pub release_at: VTime,
+}
+
+/// Node-local combine state for hierarchical reductions.
+#[derive(Default)]
+pub(crate) struct ReduceState {
+    pub count: usize,
+    pub acc_f64: f64,
+    pub acc_i64: i64,
+    pub result_f64: f64,
+    pub result_i64: i64,
+    pub acc_vec: Vec<f64>,
+    pub result_vec: Vec<f64>,
+}
+
+/// State of one dynamic-loop slot (node-local chunk queue).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct DynSlot {
+    pub gen: u64,
+    pub next: usize,
+    pub end: usize,
+}
+
+pub(crate) struct Job {
+    pub f: Arc<RegionFn>,
+    pub start: VTime,
+    pub region_no: u64,
+}
+
+/// Everything one node's threads share.
+pub(crate) struct NodeRt {
+    pub dsm: Arc<Dsm>,
+    pub comm: Arc<Communicator>,
+    pub node: usize,
+    pub nnodes: usize,
+    pub tpn: usize,
+    pub mode: ProtocolMode,
+    pub time: TimeSource,
+    pub barrier: VBarrier,
+    pub singles: Vec<Mutex<SingleSlot>>,
+    pub reduce: Mutex<ReduceState>,
+    pub dyn_slots: Vec<Mutex<DynSlot>>,
+    /// Per-critical-name node mutex carrying the last release time.
+    pub criticals: Mutex<std::collections::HashMap<u64, Arc<Mutex<VTime>>>>,
+    pub region_counter: AtomicU64,
+    /// DSM scratch region for SdsmOnly-mode reductions (SLOTS × 16 B).
+    pub scratch: RegionHandle,
+    /// DSM flag region for SdsmOnly-mode singles (SLOTS × 8 B).
+    pub flags: RegionHandle,
+    pool: Mutex<Vec<mpsc::Sender<Job>>>,
+}
+
+impl NodeRt {
+    pub fn new(
+        dsm: Arc<Dsm>,
+        comm: Arc<Communicator>,
+        node: usize,
+        nnodes: usize,
+        tpn: usize,
+        mode: ProtocolMode,
+        time: TimeSource,
+    ) -> Arc<NodeRt> {
+        // Reserved allocations, identical on every node (performed before
+        // any user allocation, so ids/offsets line up cluster-wide).
+        let scratch = dsm
+            .alloc_region(SLOTS * 16)
+            .expect("pool too small for runtime scratch");
+        let flags = dsm
+            .alloc_region(SLOTS * 8)
+            .expect("pool too small for runtime flags");
+        Arc::new(NodeRt {
+            dsm,
+            comm,
+            node,
+            nnodes,
+            tpn,
+            mode,
+            time,
+            barrier: VBarrier::new(tpn),
+            singles: (0..SLOTS).map(|_| Mutex::new(SingleSlot::default())).collect(),
+            reduce: Mutex::new(ReduceState::default()),
+            dyn_slots: (0..SLOTS).map(|_| Mutex::new(DynSlot::default())).collect(),
+            criticals: Mutex::new(std::collections::HashMap::new()),
+            region_counter: AtomicU64::new(0),
+            scratch,
+            flags,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The node's small-data registry (message-passing update protocol).
+    pub fn small(&self) -> &parade_dsm::SmallRegistry {
+        self.dsm.small()
+    }
+
+    /// Global thread id of `(node, local_tid)`.
+    pub fn global_tid(&self, local_tid: usize) -> usize {
+        self.node * self.tpn + local_tid
+    }
+
+    pub fn total_threads(&self) -> usize {
+        self.nnodes * self.tpn
+    }
+
+    pub fn critical_mutex(&self, id: u64) -> Arc<Mutex<VTime>> {
+        Arc::clone(
+            self.criticals
+                .lock()
+                .entry(id)
+                .or_insert_with(|| Arc::new(Mutex::new(VTime::ZERO))),
+        )
+    }
+
+    /// Dispatch a region to the pool threads (local tids 1..tpn).
+    pub fn dispatch(&self, f: &Arc<RegionFn>, start: VTime, region_no: u64) {
+        let pool = self.pool.lock();
+        debug_assert_eq!(pool.len(), self.tpn - 1);
+        for tx in pool.iter() {
+            tx.send(Job {
+                f: Arc::clone(f),
+                start,
+                region_no,
+            })
+            .expect("pool thread exited early");
+        }
+    }
+
+    /// Stop the pool (threads exit once their queues drain).
+    pub fn shutdown_pool(&self) {
+        self.pool.lock().clear();
+    }
+}
+
+/// Spawn the node's pool threads (local tids `1..tpn`). Must be called
+/// exactly once, right after `NodeRt::new`.
+pub(crate) fn spawn_pool(rt: &Arc<NodeRt>) -> Vec<std::thread::JoinHandle<()>> {
+    let mut handles = Vec::new();
+    let mut senders = Vec::new();
+    for local_tid in 1..rt.tpn {
+        let (tx, rx) = mpsc::channel::<Job>();
+        senders.push(tx);
+        let rt2 = Arc::clone(rt);
+        let h = std::thread::Builder::new()
+            .name(format!("parade-n{}t{}", rt.node, local_tid))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let mut clock = VClock::new(rt2.time);
+                    clock.reset_to(job.start);
+                    let tc = ThreadCtx::new(Arc::clone(&rt2), local_tid, job.region_no, clock);
+                    (job.f)(&tc);
+                    tc.region_end();
+                }
+            })
+            .expect("spawn pool thread");
+        handles.push(h);
+    }
+    *rt.pool.lock() = senders;
+    handles
+}
+
+/// Run one parallel region on this node; `lead` is executed as local
+/// thread 0 (on the calling thread) and its result returned.
+///
+/// The caller's clock is threaded through: the implied fork consistency
+/// barrier, the region body, and the join barrier all advance it.
+pub(crate) fn run_region<R>(
+    rt: &Arc<NodeRt>,
+    f: &Arc<RegionFn>,
+    clock: &mut VClock,
+    lead: impl FnOnce(&ThreadCtx) -> R,
+) -> R {
+    let region_no = rt
+        .region_counter
+        .fetch_add(1, std::sync::atomic::Ordering::SeqCst)
+        + 1;
+    // Fork consistency point: master's serial writes become visible, stale
+    // copies are invalidated (the release/acquire implied by the fork).
+    rt.dsm.barrier(clock);
+    let start = clock.now();
+    rt.dispatch(f, start, region_no);
+    let tc = ThreadCtx::new(Arc::clone(rt), 0, region_no, take_clock(clock));
+    let r = lead(&tc);
+    tc.region_end();
+    *clock = tc.into_clock();
+    r
+}
+
+fn take_clock(clock: &mut VClock) -> VClock {
+    std::mem::replace(clock, VClock::manual())
+}

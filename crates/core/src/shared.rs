@@ -1,0 +1,116 @@
+//! Typed handles to shared data.
+//!
+//! [`SharedVec`] is a large array living in the paged DSM (HLRC, invalidate
+//! protocol). [`SharedScalar`] is a small variable kept consistent by the
+//! message-passing update protocol in `Parade` mode and by DSM pages in the
+//! `SdsmOnly` baseline — the dual representation realizes the paper's
+//! size-based protocol classification (§3, §5.2.1).
+//!
+//! Handles are plain `Copy` data so parallel-region closures can capture
+//! them; they resolve against the executing node's own DSM instance.
+
+use parade_dsm::{RegionHandle, SmallHandle};
+
+/// Marker for types that can live in shared memory: plain-old-data with a
+/// fixed byte representation.
+///
+/// # Safety
+/// Implementors must be `Copy`, have no padding requirements beyond their
+/// natural alignment (≤ 8), and tolerate byte-level copying.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+// SAFETY: primitive scalars are plain old data.
+unsafe impl Pod for f64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u8 {}
+
+/// A shared array of `T` in the paged DSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedVec<T: Pod> {
+    pub(crate) region: RegionHandle,
+    pub(crate) len: usize,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> SharedVec<T> {
+    pub(crate) fn new(region: RegionHandle, len: usize) -> Self {
+        debug_assert!(len * std::mem::size_of::<T>() <= region.len);
+        SharedVec {
+            region,
+            len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn region(&self) -> RegionHandle {
+        self.region
+    }
+}
+
+/// A small shared scalar (or tiny struct) with dual representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedScalar<T: Pod> {
+    /// Plain per-node storage driven by collectives (Parade mode).
+    pub(crate) small: SmallHandle,
+    /// Paged storage (SdsmOnly baseline mode).
+    pub(crate) region: RegionHandle,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Pod> SharedScalar<T> {
+    pub(crate) fn new(small: SmallHandle, region: RegionHandle) -> Self {
+        SharedScalar {
+            small,
+            region,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn small(&self) -> SmallHandle {
+        self.small
+    }
+
+    pub fn region(&self) -> RegionHandle {
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_copy_and_small() {
+        // Handles must stay cheap: they are captured by every region
+        // closure and copied into every thread.
+        assert!(std::mem::size_of::<SharedVec<f64>>() <= 48);
+        assert!(std::mem::size_of::<SharedScalar<f64>>() <= 64);
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<SharedVec<f64>>();
+        assert_copy::<SharedScalar<i64>>();
+    }
+
+    #[test]
+    fn shared_vec_len() {
+        let r = RegionHandle {
+            id: 0,
+            offset: 0,
+            len: 80,
+        };
+        let v = SharedVec::<f64>::new(r, 10);
+        assert_eq!(v.len(), 10);
+        assert!(!v.is_empty());
+    }
+}

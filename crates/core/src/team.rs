@@ -1,0 +1,716 @@
+//! The fork-join team: user-facing [`Cluster`], the master context, and the
+//! worker-node command loop.
+//!
+//! Execution model (paper §4.1): the master thread (node 0, thread 0) runs
+//! the serial program; a `parallel` directive forks the region body onto
+//! every computational thread of every node and joins at an implicit
+//! hierarchical barrier. Worker nodes sit in a command loop: commands are
+//! broadcast from the master through the MPI layer (binomial tree), so fork
+//! latency scales as ⌈log₂ P⌉ like the rest of the collectives.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use parade_cluster::{launch, ClusterConfig, ClusterReport, ExecConfig, NodeEnv, ProtocolMode};
+use parade_mpi::datatype::{Reader, Writer};
+use parade_net::{NetProfile, TimeSource, VClock, VTime};
+
+use crate::ctx::ThreadCtx;
+use crate::runtime::{run_region, spawn_pool, NodeRt, RegionFn};
+use crate::shared::{Pod, SharedScalar, SharedVec};
+
+/// Commands broadcast from the master to the worker command loops.
+enum Cmd {
+    AllocRegion { len: usize },
+    AllocScalar { len: usize },
+    ScalarSet { small_id: u32, bytes: Vec<u8> },
+    Fork { region_idx: usize },
+    Shutdown,
+}
+
+impl Cmd {
+    fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            Cmd::AllocRegion { len } => {
+                w.u8(1).u64(*len as u64);
+            }
+            Cmd::AllocScalar { len } => {
+                w.u8(2).u64(*len as u64);
+            }
+            Cmd::ScalarSet { small_id, bytes } => {
+                w.u8(3).u32(*small_id).lp_bytes(bytes);
+            }
+            Cmd::Fork { region_idx } => {
+                w.u8(4).u64(*region_idx as u64);
+            }
+            Cmd::Shutdown => {
+                w.u8(5);
+            }
+        }
+        w.finish()
+    }
+
+    fn decode(b: &[u8]) -> Cmd {
+        let mut r = Reader::new(b);
+        match r.u8() {
+            1 => Cmd::AllocRegion {
+                len: r.u64() as usize,
+            },
+            2 => Cmd::AllocScalar {
+                len: r.u64() as usize,
+            },
+            3 => Cmd::ScalarSet {
+                small_id: r.u32(),
+                bytes: r.lp_bytes().to_vec(),
+            },
+            4 => Cmd::Fork {
+                region_idx: r.u64() as usize,
+            },
+            5 => Cmd::Shutdown,
+            k => unreachable!("bad command kind {k}"),
+        }
+    }
+}
+
+/// Cross-node shared state (in-process): the region-closure registry.
+/// Closures cannot travel over the simulated wire; the *timing* of fork
+/// distribution comes from the broadcast command message, while the
+/// closure itself is picked up from this registry by index.
+#[derive(Default)]
+struct Registry {
+    regions: Mutex<Vec<Arc<RegionFn>>>,
+}
+
+impl Registry {
+    fn push(&self, f: Arc<RegionFn>) -> usize {
+        let mut v = self.regions.lock();
+        v.push(f);
+        v.len() - 1
+    }
+
+    fn get(&self, idx: usize) -> Arc<RegionFn> {
+        Arc::clone(&self.regions.lock()[idx])
+    }
+}
+
+/// Outcome report of a cluster run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The master's final virtual time — the paper's "execution time".
+    pub exec_time: VTime,
+    /// Final virtual time of each node's main thread.
+    pub node_times: Vec<VTime>,
+    /// Virtual time each node's main thread attributed to computation.
+    pub node_compute: Vec<VTime>,
+    /// Virtual time each node's main thread attributed to communication
+    /// and synchronization waits.
+    pub node_comm: Vec<VTime>,
+    /// Per-node and aggregate DSM/network counters.
+    pub cluster: ClusterReport,
+}
+
+impl RunReport {
+    pub fn exec_secs(&self) -> f64 {
+        self.exec_time.as_secs_f64()
+    }
+}
+
+/// A simulated SMP cluster ready to run ParADE programs.
+///
+/// Each [`Cluster::run`] call performs a full launch: fabric, DSM
+/// instances, communication threads, compute-thread pools.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+}
+
+impl Cluster {
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            cfg: ClusterConfig::default(),
+        }
+    }
+
+    pub fn from_config(cfg: ClusterConfig) -> Self {
+        Cluster { cfg }
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Run `master` as the serial program of node 0, returning its result.
+    pub fn run<R, F>(&self, master: F) -> R
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut MasterCtx) -> R + Send + 'static,
+    {
+        self.run_with_report(master).0
+    }
+
+    /// Run and also return virtual times and protocol counters.
+    pub fn run_with_report<R, F>(&self, master: F) -> (R, RunReport)
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut MasterCtx) -> R + Send + 'static,
+    {
+        let registry = Arc::new(Registry::default());
+        let master_cell = Arc::new(Mutex::new(Some(master)));
+        let reg2 = Arc::clone(&registry);
+        let (results, cluster_report) = launch(self.cfg.clone(), move |env: NodeEnv| {
+            let rt = NodeRt::new(
+                Arc::clone(&env.dsm),
+                Arc::clone(&env.comm),
+                env.node,
+                env.nnodes,
+                env.cfg.threads_per_node(),
+                env.cfg.protocol,
+                env.cfg.time_source(env.node),
+                );
+            let pool_handles = spawn_pool(&rt);
+            let mut clock = env.new_clock();
+            let result = if env.node == 0 {
+                let f = master_cell
+                    .lock()
+                    .take()
+                    .expect("master function already taken");
+                let mut mc = MasterCtx {
+                    rt: Arc::clone(&rt),
+                    clock: VClock::new(env.cfg.time_source(0)),
+                    registry: Arc::clone(&reg2),
+                };
+                let r = f(&mut mc);
+                mc.bcast_cmd(&Cmd::Shutdown);
+                clock = mc.clock;
+                Some(r)
+            } else {
+                worker_loop(&rt, &reg2, &mut clock);
+                None
+            };
+            rt.shutdown_pool();
+            for h in pool_handles {
+                h.join().expect("pool thread panicked");
+            }
+            (result, clock.now(), clock.compute_time(), clock.comm_time())
+        });
+        let mut r = None;
+        let mut node_times = Vec::new();
+        let mut node_compute = Vec::new();
+        let mut node_comm = Vec::new();
+        for (res, t, cp, cm) in results {
+            if let Some(v) = res {
+                r = Some(v);
+            }
+            node_times.push(t);
+            node_compute.push(cp);
+            node_comm.push(cm);
+        }
+        let exec_time = node_times[0];
+        (
+            r.expect("master result"),
+            RunReport {
+                exec_time,
+                node_times,
+                node_compute,
+                node_comm,
+                cluster: cluster_report,
+            },
+        )
+    }
+}
+
+/// Builder for [`Cluster`].
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterBuilder {
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.nodes = n;
+        self
+    }
+
+    pub fn threads_per_node(mut self, t: usize) -> Self {
+        self.cfg.exec = ExecConfig::Custom {
+            threads_per_node: t,
+            comm: self.cfg.exec.comm_costs(),
+        };
+        self
+    }
+
+    pub fn exec(mut self, e: ExecConfig) -> Self {
+        self.cfg.exec = e;
+        self
+    }
+
+    pub fn protocol(mut self, p: ProtocolMode) -> Self {
+        self.cfg.protocol = p;
+        self
+    }
+
+    pub fn net(mut self, n: NetProfile) -> Self {
+        self.cfg.net = n;
+        self
+    }
+
+    pub fn time(mut self, t: TimeSource) -> Self {
+        self.cfg.time = t;
+        self
+    }
+
+    pub fn pool_bytes(mut self, b: usize) -> Self {
+        self.cfg.pool_bytes = b;
+        self
+    }
+
+    pub fn config(mut self, cfg: ClusterConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    pub fn build(self) -> Result<Cluster, String> {
+        if self.cfg.nodes == 0 {
+            return Err("cluster needs at least one node".into());
+        }
+        if self.cfg.threads_per_node() == 0 {
+            return Err("cluster needs at least one thread per node".into());
+        }
+        Ok(Cluster { cfg: self.cfg })
+    }
+}
+
+fn worker_loop(rt: &Arc<NodeRt>, registry: &Registry, clock: &mut VClock) {
+    loop {
+        let mut b = Bytes::new();
+        rt.comm.bcast_bytes(0, &mut b, clock);
+        match Cmd::decode(&b) {
+            Cmd::AllocRegion { len } => {
+                rt.dsm.alloc_region(len).expect("worker allocation failed");
+            }
+            Cmd::AllocScalar { len } => {
+                rt.dsm.alloc_small(len);
+                rt.dsm.alloc_region(len).expect("worker allocation failed");
+            }
+            Cmd::ScalarSet { small_id, bytes } => {
+                let h = parade_dsm::SmallHandle {
+                    id: small_id,
+                    len: bytes.len(),
+                };
+                rt.small().write_bytes(h, &bytes);
+            }
+            Cmd::Fork { region_idx } => {
+                let f = registry.get(region_idx);
+                let f2 = Arc::clone(&f);
+                run_region(rt, &f, clock, move |tc| f2(tc));
+            }
+            Cmd::Shutdown => break,
+        }
+    }
+}
+
+/// The serial (master) context: allocation, serial shared-memory access,
+/// and the `parallel` directive.
+pub struct MasterCtx {
+    rt: Arc<NodeRt>,
+    clock: VClock,
+    registry: Arc<Registry>,
+}
+
+impl MasterCtx {
+    fn bcast_cmd(&mut self, cmd: &Cmd) {
+        let mut b = cmd.encode();
+        self.rt.comm.bcast_bytes(0, &mut b, &mut self.clock);
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.rt.nnodes
+    }
+
+    pub fn threads_per_node(&self) -> usize {
+        self.rt.tpn
+    }
+
+    pub fn num_threads(&self) -> usize {
+        self.rt.total_threads()
+    }
+
+    pub fn mode(&self) -> ProtocolMode {
+        self.rt.mode
+    }
+
+    /// The master's current virtual time.
+    pub fn now(&mut self) -> VTime {
+        self.clock.sample_compute();
+        self.clock.now()
+    }
+
+    /// Charge explicit compute cost (deterministic `Manual` time source).
+    pub fn charge(&mut self, d: VTime) {
+        self.clock.charge(d);
+    }
+
+    // ---- allocation (master-driven, broadcast to all nodes) ---------------
+
+    /// Allocate a shared vector of `n` elements in the paged DSM.
+    pub fn alloc_vec<T: Pod>(&mut self, n: usize) -> SharedVec<T> {
+        let len = n * std::mem::size_of::<T>();
+        self.bcast_cmd(&Cmd::AllocRegion { len });
+        let h = self.rt.dsm.alloc_region(len).expect("allocation failed");
+        SharedVec::new(h, n)
+    }
+
+    pub fn alloc_f64(&mut self, n: usize) -> SharedVec<f64> {
+        self.alloc_vec(n)
+    }
+
+    pub fn alloc_i64(&mut self, n: usize) -> SharedVec<i64> {
+        self.alloc_vec(n)
+    }
+
+    /// Allocate a small shared scalar (dual representation: update-protocol
+    /// object + DSM page for the baseline mode).
+    pub fn alloc_scalar<T: Pod>(&mut self) -> SharedScalar<T> {
+        let len = std::mem::size_of::<T>().max(8);
+        self.bcast_cmd(&Cmd::AllocScalar { len });
+        let small = self.rt.dsm.alloc_small(len);
+        let region = self.rt.dsm.alloc_region(len).expect("allocation failed");
+        SharedScalar::new(small, region)
+    }
+
+    pub fn alloc_scalar_f64(&mut self) -> SharedScalar<f64> {
+        self.alloc_scalar()
+    }
+
+    pub fn alloc_scalar_i64(&mut self) -> SharedScalar<i64> {
+        self.alloc_scalar()
+    }
+
+    // ---- serial shared access ----------------------------------------------
+
+    pub fn get<T: Pod>(&mut self, v: &SharedVec<T>, i: usize) -> T {
+        self.rt
+            .dsm
+            .read(v.region, i * std::mem::size_of::<T>(), &mut self.clock)
+    }
+
+    pub fn set<T: Pod>(&mut self, v: &SharedVec<T>, i: usize, val: T) {
+        self.rt
+            .dsm
+            .write(v.region, i * std::mem::size_of::<T>(), val, &mut self.clock)
+    }
+
+    pub fn read_into<T: Pod>(&mut self, v: &SharedVec<T>, first: usize, out: &mut [T]) {
+        self.rt.dsm.read_slice(v.region, first, out, &mut self.clock)
+    }
+
+    pub fn write_from<T: Pod>(&mut self, v: &SharedVec<T>, first: usize, src: &[T]) {
+        self.rt.dsm.write_slice(v.region, first, src, &mut self.clock)
+    }
+
+    /// Serial scalar write. In Parade mode this is an eager update-protocol
+    /// push (a broadcast command); in the baseline it is a plain DSM write
+    /// made visible by the next fork barrier.
+    pub fn scalar_set_f64(&mut self, s: &SharedScalar<f64>, v: f64) {
+        match self.rt.mode {
+            ProtocolMode::Parade => {
+                self.rt.small().write_f64(s.small, 0, v);
+                self.bcast_cmd(&Cmd::ScalarSet {
+                    small_id: s.small.id,
+                    bytes: v.to_le_bytes().to_vec(),
+                });
+            }
+            ProtocolMode::SdsmOnly => {
+                self.rt.dsm.write(s.region, 0, v, &mut self.clock);
+            }
+        }
+    }
+
+    /// Serial scalar read.
+    pub fn scalar_get_f64(&mut self, s: &SharedScalar<f64>) -> f64 {
+        match self.rt.mode {
+            ProtocolMode::Parade => self.rt.small().read_f64(s.small, 0),
+            ProtocolMode::SdsmOnly => self.rt.dsm.read(s.region, 0, &mut self.clock),
+        }
+    }
+
+    // ---- the parallel directive ---------------------------------------------
+
+    /// Fork a parallel region across every computational thread of the
+    /// cluster; returns the master thread's result after the join barrier.
+    pub fn parallel<R, F>(&mut self, f: F) -> R
+    where
+        F: Fn(&ThreadCtx) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let f_pool = Arc::clone(&f);
+        let erased: Arc<RegionFn> = Arc::new(move |tc: &ThreadCtx| {
+            f_pool(tc);
+        });
+        let idx = self.registry.push(erased);
+        self.bcast_cmd(&Cmd::Fork { region_idx: idx });
+        let f_lead = Arc::clone(&f);
+        let rt = Arc::clone(&self.rt);
+        let reg = self.registry.get(idx);
+        run_region(&rt, &reg, &mut self.clock, move |tc| f_lead(tc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cluster(nodes: usize, tpn: usize) -> Cluster {
+        Cluster::builder()
+            .nodes(nodes)
+            .threads_per_node(tpn)
+            .net(NetProfile::zero())
+            .time(TimeSource::Manual)
+            .pool_bytes(256 * parade_dsm::PAGE_SIZE)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_region_runs_all_threads() {
+        let c = test_cluster(2, 2);
+        let n = c.run(|g| {
+            let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let c2 = std::sync::Arc::clone(&counter);
+            g.parallel(move |_tc| {
+                c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+            counter.load(std::sync::atomic::Ordering::SeqCst)
+        });
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn quickstart_sum() {
+        let c = test_cluster(2, 2);
+        let sum = c.run(|g| {
+            let xs = g.alloc_f64(1024);
+            g.parallel(move |tc| {
+                let v = tc.bind_f64(&xs);
+                for i in tc.for_static(0..1024) {
+                    v.set(i, i as f64);
+                }
+                tc.barrier();
+                let mut local = 0.0;
+                for i in tc.for_static(0..1024) {
+                    local += v.get(i);
+                }
+                tc.reduce_f64_sum(local)
+            })
+        });
+        assert_eq!(sum, (0..1024).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn serial_writes_visible_in_region_and_back() {
+        let c = test_cluster(3, 1);
+        let out = c.run(|g| {
+            let xs = g.alloc_i64(100);
+            for i in 0..100 {
+                g.set(&xs, i, i as i64);
+            }
+            g.parallel(move |tc| {
+                for i in tc.for_static(0..100) {
+                    let v = tc.get(&xs, i);
+                    tc.set(&xs, i, v * 2);
+                }
+            });
+            let mut sum = 0;
+            for i in 0..100 {
+                sum += g.get(&xs, i);
+            }
+            sum
+        });
+        assert_eq!(out, 2 * (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn multiple_regions_and_allocs() {
+        let c = test_cluster(2, 2);
+        let out = c.run(|g| {
+            let a = g.alloc_f64(16);
+            g.parallel(move |tc| tc.par_for(0..16, |i| tc.set(&a, i, 1.0)));
+            let b = g.alloc_f64(16);
+            g.parallel(move |tc| {
+                tc.par_for(0..16, |i| {
+                    let v = tc.get(&a, i);
+                    tc.set(&b, i, v + 1.0)
+                })
+            });
+            let mut s = 0.0;
+            for i in 0..16 {
+                s += g.get(&b, i);
+            }
+            s
+        });
+        assert_eq!(out, 32.0);
+    }
+
+    #[test]
+    fn scalar_roundtrip_both_modes() {
+        for mode in [ProtocolMode::Parade, ProtocolMode::SdsmOnly] {
+            let c = Cluster::builder()
+                .nodes(2)
+                .threads_per_node(2)
+                .protocol(mode)
+                .net(NetProfile::zero())
+                .time(TimeSource::Manual)
+                .pool_bytes(256 * parade_dsm::PAGE_SIZE)
+                .build()
+                .unwrap();
+            let got = c.run(|g| {
+                let s = g.alloc_scalar_f64();
+                g.scalar_set_f64(&s, 2.5);
+                let sums = g.parallel(move |tc| {
+                    let base = tc.scalar_get(&s);
+                    tc.reduce_f64_sum(base)
+                });
+                (g.scalar_get_f64(&s), sums)
+            });
+            assert_eq!(got.0, 2.5, "mode {mode:?}");
+            assert_eq!(got.1, 10.0, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn atomic_updates_scalar_identically_in_both_modes() {
+        for mode in [ProtocolMode::Parade, ProtocolMode::SdsmOnly] {
+            let c = Cluster::builder()
+                .nodes(2)
+                .threads_per_node(2)
+                .protocol(mode)
+                .net(NetProfile::zero())
+                .time(TimeSource::Manual)
+                .pool_bytes(256 * parade_dsm::PAGE_SIZE)
+                .build()
+                .unwrap();
+            let got = c.run(move |g| {
+                let s = g.alloc_scalar_f64();
+                g.scalar_set_f64(&s, 100.0);
+                g.parallel(move |tc| {
+                    tc.atomic_add_f64(&s, (tc.thread_num() + 1) as f64);
+                });
+                g.scalar_get_f64(&s)
+            });
+            // 100 + 1 + 2 + 3 + 4
+            assert_eq!(got, 110.0, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn single_executes_once_and_propagates() {
+        for mode in [ProtocolMode::Parade, ProtocolMode::SdsmOnly] {
+            let c = Cluster::builder()
+                .nodes(3)
+                .threads_per_node(2)
+                .protocol(mode)
+                .net(NetProfile::zero())
+                .time(TimeSource::Manual)
+                .pool_bytes(256 * parade_dsm::PAGE_SIZE)
+                .build()
+                .unwrap();
+            let execs = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let e2 = std::sync::Arc::clone(&execs);
+            let got = c.run(move |g| {
+                let s = g.alloc_scalar_f64();
+                g.parallel(move |tc| {
+                    let v = tc.single_f64(&s, |_| {
+                        e2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        42.0
+                    });
+                    tc.reduce_f64_sum(v)
+                })
+            });
+            assert_eq!(got, 42.0 * 6.0, "mode {mode:?}");
+            assert_eq!(
+                execs.load(std::sync::atomic::Ordering::SeqCst),
+                1,
+                "single body must run exactly once (mode {mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_serializes_dsm_updates() {
+        let c = test_cluster(2, 2);
+        let got = c.run(|g| {
+            let xs = g.alloc_i64(1);
+            g.parallel(move |tc| {
+                for _ in 0..5 {
+                    tc.critical(1, |tc| {
+                        let v = tc.get(&xs, 0);
+                        tc.set(&xs, 0, v + 1);
+                    });
+                }
+            });
+            g.get(&xs, 0)
+        });
+        assert_eq!(got, 20);
+    }
+
+    #[test]
+    fn dynamic_and_guided_schedules_cover_range() {
+        let c = test_cluster(2, 2);
+        let got = c.run(|g| {
+            let hits = g.alloc_i64(200);
+            g.parallel(move |tc| {
+                tc.for_dynamic(0..200, 7, |r| {
+                    for i in r {
+                        let v = tc.get(&hits, i);
+                        tc.set(&hits, i, v + 1);
+                    }
+                });
+            });
+            let sums = g.parallel(move |tc| {
+                let mut s = 0;
+                for i in tc.for_static(0..200) {
+                    s += tc.get(&hits, i);
+                }
+                tc.reduce_i64(parade_mpi::ReduceOp::Sum, s)
+            });
+            sums
+        });
+        assert_eq!(got, 200, "every iteration exactly once");
+    }
+
+    #[test]
+    fn report_contains_times_and_counters() {
+        let c = test_cluster(2, 1);
+        let (_, report) = c.run_with_report(|g| {
+            let xs = g.alloc_f64(1000);
+            g.parallel(move |tc| {
+                tc.par_for(0..1000, |i| tc.set(&xs, i, 1.0));
+                let mut s = 0.0;
+                for i in tc.for_static(0..1000) {
+                    s += tc.get(&xs, i);
+                }
+                tc.reduce_f64_sum(s)
+            });
+        });
+        assert_eq!(report.node_times.len(), 2);
+        assert!(report.cluster.dsm_totals().barriers > 0);
+    }
+
+    #[test]
+    fn master_directive_runs_on_global_master_only() {
+        let c = test_cluster(2, 2);
+        let got = c.run(|g| {
+            let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let h2 = std::sync::Arc::clone(&hits);
+            g.parallel(move |tc| {
+                tc.master(|_| {
+                    h2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+            hits.load(std::sync::atomic::Ordering::SeqCst)
+        });
+        assert_eq!(got, 1);
+    }
+}

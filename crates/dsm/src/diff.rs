@@ -1,0 +1,191 @@
+//! Twins and diffs (HLRC §5.2).
+//!
+//! On the first write to a clean page a *twin* (pristine copy) is made. At
+//! a release point the runtime compares the working page against its twin
+//! and encodes the modified words as a *diff*, which is shipped to the
+//! page's home and merged there. Homes never need twins — all diffs merge
+//! into the home copy (one of the paper's arguments for home-based LRC).
+
+use parade_mpi::datatype::{Reader, Writer};
+
+use crate::page::PAGE_SIZE;
+
+const WORD: usize = 8;
+
+/// One run of modified bytes within a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Byte offset within the page (word aligned).
+    pub offset: u32,
+    /// Modified bytes.
+    pub data: Vec<u8>,
+}
+
+/// A page diff: the set of word runs that differ from the twin.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diff {
+    pub runs: Vec<DiffRun>,
+}
+
+impl Diff {
+    /// Compare `current` against `twin` and collect modified word runs.
+    pub fn create(twin: &[u8], current: &[u8]) -> Diff {
+        assert_eq!(twin.len(), PAGE_SIZE);
+        assert_eq!(current.len(), PAGE_SIZE);
+        let mut runs = Vec::new();
+        let words = PAGE_SIZE / WORD;
+        let mut w = 0;
+        while w < words {
+            let a = &twin[w * WORD..(w + 1) * WORD];
+            let b = &current[w * WORD..(w + 1) * WORD];
+            if a != b {
+                let start = w;
+                while w < words
+                    && twin[w * WORD..(w + 1) * WORD] != current[w * WORD..(w + 1) * WORD]
+                {
+                    w += 1;
+                }
+                runs.push(DiffRun {
+                    offset: (start * WORD) as u32,
+                    data: current[start * WORD..w * WORD].to_vec(),
+                });
+            } else {
+                w += 1;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// Apply this diff to `target` (the home's copy of the page).
+    pub fn apply(&self, target: &mut [u8]) {
+        assert_eq!(target.len(), PAGE_SIZE);
+        for run in &self.runs {
+            let off = run.offset as usize;
+            target[off..off + run.data.len()].copy_from_slice(&run.data);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total modified bytes carried.
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|r| r.data.len()).sum()
+    }
+
+    /// Encoded wire size.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.runs.iter().map(|r| 8 + r.data.len()).sum::<usize>()
+    }
+
+    pub fn encode(&self, w: &mut Writer) {
+        w.u32(self.runs.len() as u32);
+        for run in &self.runs {
+            w.u32(run.offset);
+            w.lp_bytes(&run.data);
+        }
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Diff {
+        let n = r.u32() as usize;
+        let mut runs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let offset = r.u32();
+            let data = r.lp_bytes().to_vec();
+            runs.push(DiffRun { offset, data });
+        }
+        Diff { runs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page_with(vals: &[(usize, u8)]) -> Vec<u8> {
+        let mut p = vec![0u8; PAGE_SIZE];
+        for &(i, v) in vals {
+            p[i] = v;
+        }
+        p
+    }
+
+    #[test]
+    fn empty_diff_for_identical_pages() {
+        let twin = page_with(&[(3, 7)]);
+        let cur = twin.clone();
+        let d = Diff::create(&twin, &cur);
+        assert!(d.is_empty());
+        assert_eq!(d.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(17, 9)]);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 16); // word containing byte 17
+        assert_eq!(d.runs[0].data.len(), WORD);
+        assert_eq!(d.payload_bytes(), 8);
+    }
+
+    #[test]
+    fn adjacent_words_coalesce_into_one_run() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(8, 1), (16, 2), (24, 3)]);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(d.runs[0].data.len(), 24);
+    }
+
+    #[test]
+    fn separated_changes_make_separate_runs() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(0, 1), (100, 2), (4000, 3)]);
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs.len(), 3);
+    }
+
+    #[test]
+    fn apply_reproduces_modified_page() {
+        let twin = page_with(&[(5, 5), (2000, 20)]);
+        let cur = page_with(&[(5, 6), (900, 9), (2000, 20), (4095, 255)]);
+        let d = Diff::create(&twin, &cur);
+        let mut other = twin.clone();
+        d.apply(&mut other);
+        assert_eq!(other, cur);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(0, 1), (64, 2), (72, 3), (4088, 9)]);
+        let d = Diff::create(&twin, &cur);
+        let mut w = Writer::new();
+        d.encode(&mut w);
+        let b = w.finish();
+        assert_eq!(b.len(), d.encoded_len());
+        let d2 = Diff::decode(&mut Reader::new(&b));
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn diff_merging_from_two_writers_disjoint_words() {
+        // Two nodes write disjoint words of the same page; applying both
+        // diffs at the home must merge cleanly (the multiple-writer
+        // property LRC depends on).
+        let base = page_with(&[]);
+        let a = page_with(&[(8, 1)]);
+        let b = page_with(&[(4000, 2)]);
+        let da = Diff::create(&base, &a);
+        let db = Diff::create(&base, &b);
+        let mut home = base.clone();
+        da.apply(&mut home);
+        db.apply(&mut home);
+        assert_eq!(home[8], 1);
+        assert_eq!(home[4000], 2);
+    }
+}

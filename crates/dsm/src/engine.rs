@@ -1,0 +1,764 @@
+//! The per-node DSM engine: fault handling, flushes, barriers, and
+//! distributed locks — everything executed by *application* threads.
+//!
+//! The communication-thread side (serving page requests, merging diffs,
+//! the barrier master, the lock manager) lives in [`crate::server`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use parade_net::{Endpoint, Match, MsgClass, VClock};
+
+use crate::config::{DsmConfig, LockKind};
+use crate::diff::Diff;
+use crate::msg::{DsmMsg, DsmReply, REPLY_TAG_BASE};
+use crate::page::{PageId, PageState, PAGE_SIZE};
+use crate::smalldata::SmallRegistry;
+use crate::stats::DsmStats;
+use crate::store::{AllocError, RawPool, RegionAllocator, RegionHandle};
+
+pub(crate) struct PageMeta {
+    pub(crate) inner: Mutex<PageInner>,
+    pub(crate) cv: Condvar,
+    /// Lock-free mirror of the page state for the access fast path.
+    pub(crate) fast: AtomicU8,
+}
+
+pub(crate) struct PageInner {
+    pub(crate) state: PageState,
+    /// Pristine copy made at the first write of an interval (non-home only).
+    pub(crate) twin: Option<Box<[u8]>>,
+    /// This node is the page's new home and waits for the old home to push
+    /// the merged content (multi-writer migration).
+    pub(crate) awaiting_push: bool,
+    /// `barrier_seq + 1` of the last applied push (0 = never) — resolves
+    /// the race between a push arriving and the departure being applied.
+    pub(crate) pushed_seq: u64,
+}
+
+impl PageMeta {
+    fn new(state: PageState) -> Self {
+        PageMeta {
+            inner: Mutex::new(PageInner {
+                state,
+                twin: None,
+                awaiting_push: false,
+                pushed_seq: 0,
+            }),
+            cv: Condvar::new(),
+            fast: AtomicU8::new(state as u8),
+        }
+    }
+
+    pub(crate) fn set_state(&self, inner: &mut PageInner, next: PageState) {
+        debug_assert!(
+            inner.state == next || inner.state.can_transition(next),
+            "illegal page transition {:?} -> {:?}",
+            inner.state,
+            next
+        );
+        inner.state = next;
+        self.fast.store(next as u8, Ordering::Release);
+    }
+}
+
+/// The software distributed shared memory of one node.
+///
+/// One `Dsm` instance exists per simulated node; all of the node's compute
+/// threads and its communication thread share it.
+pub struct Dsm {
+    node: usize,
+    nnodes: usize,
+    cfg: DsmConfig,
+    pub(crate) pool: RawPool,
+    pub(crate) pages: Box<[PageMeta]>,
+    /// Current home of every page (kept identical on all nodes; updated in
+    /// lockstep at barrier departures).
+    pub(crate) homes: Box<[AtomicU32]>,
+    alloc: Mutex<RegionAllocator>,
+    pub(crate) ep: Endpoint,
+    pub stats: DsmStats,
+    reply_tag: AtomicU64,
+    /// Pages currently DIRTY (pending diffs at the next release).
+    dirty: Mutex<HashSet<PageId>>,
+    /// Pages written since the last *barrier* (superset of `dirty`; also
+    /// contains pages already flushed at lock releases). These become the
+    /// barrier write notices.
+    interval_notices: Mutex<HashSet<PageId>>,
+    /// Per-lock: last notice sequence this node has seen.
+    lock_seen: Mutex<HashMap<u64, u64>>,
+    barrier_seq: AtomicU64,
+    pub(crate) server: Mutex<crate::server::ServerState>,
+    small: SmallRegistry,
+}
+
+impl Dsm {
+    /// Create the DSM instance for `ep`'s node. Initially the master
+    /// (node 0) is home of every page with `READ_ONLY` state; all other
+    /// nodes start `INVALID` (§5.2.3).
+    pub fn new(ep: Endpoint, cfg: DsmConfig) -> Self {
+        let node = ep.id();
+        let nnodes = ep.nodes();
+        let npages = cfg.pool_bytes / PAGE_SIZE;
+        let init_state = if node == 0 {
+            PageState::ReadOnly
+        } else {
+            PageState::Invalid
+        };
+        let pages: Box<[PageMeta]> = (0..npages).map(|_| PageMeta::new(init_state)).collect();
+        let homes: Box<[AtomicU32]> = (0..npages).map(|_| AtomicU32::new(0)).collect();
+        Dsm {
+            node,
+            nnodes,
+            cfg,
+            pool: RawPool::new(npages * PAGE_SIZE),
+            pages,
+            homes,
+            alloc: Mutex::new(RegionAllocator::new()),
+            ep,
+            stats: DsmStats::default(),
+            reply_tag: AtomicU64::new(REPLY_TAG_BASE),
+            dirty: Mutex::new(HashSet::new()),
+            interval_notices: Mutex::new(HashSet::new()),
+            lock_seen: Mutex::new(HashMap::new()),
+            barrier_seq: AtomicU64::new(0),
+            server: Mutex::new(crate::server::ServerState::default()),
+            small: SmallRegistry::new(),
+        }
+    }
+
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    pub fn nnodes(&self) -> usize {
+        self.nnodes
+    }
+
+    pub fn config(&self) -> &DsmConfig {
+        &self.cfg
+    }
+
+    pub fn small(&self) -> &SmallRegistry {
+        &self.small
+    }
+
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    pub fn home_of(&self, page: PageId) -> usize {
+        self.homes[page].load(Ordering::Acquire) as usize
+    }
+
+    pub fn page_state(&self, page: PageId) -> PageState {
+        PageState::from_u8(self.pages[page].fast.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn next_reply_tag(&self) -> u64 {
+        self.reply_tag.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Current barrier sequence number (barriers completed so far).
+    pub fn barrier_count(&self) -> u64 {
+        self.barrier_seq.load(Ordering::Relaxed)
+    }
+
+    // ---- allocation ------------------------------------------------------
+
+    /// Allocate a shared region. Every node must perform the same sequence
+    /// of allocations (the cluster layer guarantees this by broadcasting
+    /// allocation commands from the master).
+    pub fn alloc_region(&self, len: usize) -> Result<RegionHandle, AllocError> {
+        self.alloc.lock().alloc(len, self.pool.len())
+    }
+
+    /// Allocate a small-data object (message-passing update protocol).
+    pub fn alloc_small(&self, len: usize) -> crate::smalldata::SmallHandle {
+        self.small.alloc(len)
+    }
+
+    pub fn region(&self, id: u32) -> Option<RegionHandle> {
+        self.alloc.lock().get(id)
+    }
+
+    // ---- typed access (the software page-fault check) --------------------
+
+    #[inline]
+    fn check_bounds<T>(&self, h: RegionHandle, byte_off: usize) {
+        debug_assert!(
+            byte_off + std::mem::size_of::<T>() <= h.len,
+            "shared access out of bounds: off {byte_off} size {} region {}",
+            std::mem::size_of::<T>(),
+            h.len
+        );
+        debug_assert_eq!(
+            (h.offset + byte_off) / PAGE_SIZE,
+            (h.offset + byte_off + std::mem::size_of::<T>() - 1) / PAGE_SIZE,
+            "scalar access must not straddle a page boundary"
+        );
+    }
+
+    /// Read a scalar from shared memory, faulting the page in if necessary.
+    #[inline]
+    pub fn read<T: Copy>(&self, h: RegionHandle, byte_off: usize, clock: &mut VClock) -> T {
+        self.check_bounds::<T>(h, byte_off);
+        let off = h.offset + byte_off;
+        let page = off / PAGE_SIZE;
+        if self.pages[page].fast.load(Ordering::Acquire) < PageState::ReadOnly as u8 {
+            self.read_fault(page, clock);
+        }
+        // SAFETY: the page is readable per the page table; bounds checked.
+        unsafe { self.pool.read(off) }
+    }
+
+    /// Write a scalar to shared memory, faulting for write if necessary.
+    ///
+    /// Stores hold the page's table entry lock: a sibling thread may
+    /// concurrently *flush* the page (lock release), snapshotting its
+    /// contents for the diff and downgrading it to READ_ONLY — a store
+    /// racing with that snapshot would never reach the home (the
+    /// multi-threaded-SDSM release race, the store-side cousin of §5.1's
+    /// atomic page update problem). The per-page lock makes the snapshot
+    /// and the store mutually exclusive.
+    #[inline]
+    pub fn write<T: Copy>(&self, h: RegionHandle, byte_off: usize, v: T, clock: &mut VClock) {
+        self.check_bounds::<T>(h, byte_off);
+        let off = h.offset + byte_off;
+        let page = off / PAGE_SIZE;
+        loop {
+            {
+                let inner = self.pages[page].inner.lock();
+                if inner.state == PageState::Dirty {
+                    // SAFETY: the page is writable per the page table (held
+                    // locked); bounds checked.
+                    unsafe { self.pool.write(off, v) }
+                    return;
+                }
+            }
+            self.write_fault(page, clock);
+        }
+    }
+
+    /// Bulk-read `out.len()` elements starting at element `first` (of size
+    /// `size_of::<T>()`).
+    pub fn read_slice<T: Copy>(
+        &self,
+        h: RegionHandle,
+        first: usize,
+        out: &mut [T],
+        clock: &mut VClock,
+    ) {
+        if out.is_empty() {
+            return;
+        }
+        let esz = std::mem::size_of::<T>();
+        let start = h.offset + first * esz;
+        let len = out.len() * esz;
+        assert!(first * esz + len <= h.len, "shared slice read out of bounds");
+        self.ensure_readable(start, len, clock);
+        // SAFETY: all covered pages are readable; bounds checked above.
+        unsafe {
+            let bytes =
+                std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, len);
+            self.pool.read_bytes(start, bytes);
+        }
+    }
+
+    /// Bulk-write elements starting at element `first`. Applies the same
+    /// store-revalidation as [`Dsm::write`], page by page.
+    pub fn write_slice<T: Copy>(
+        &self,
+        h: RegionHandle,
+        first: usize,
+        src: &[T],
+        clock: &mut VClock,
+    ) {
+        if src.is_empty() {
+            return;
+        }
+        let esz = std::mem::size_of::<T>();
+        let start = h.offset + first * esz;
+        let len = src.len() * esz;
+        assert!(first * esz + len <= h.len, "shared slice write out of bounds");
+        // SAFETY (for the block below): the touched page is writable per
+        // the page table, whose entry lock is held across the store so a
+        // concurrent flush snapshot cannot interleave.
+        let bytes = unsafe { std::slice::from_raw_parts(src.as_ptr() as *const u8, len) };
+        let mut off = start;
+        let mut rel = 0usize;
+        while rel < len {
+            let page = off / PAGE_SIZE;
+            let page_end = (page + 1) * PAGE_SIZE;
+            let chunk = (page_end - off).min(len - rel);
+            loop {
+                {
+                    let inner = self.pages[page].inner.lock();
+                    if inner.state == PageState::Dirty {
+                        unsafe { self.pool.write_bytes(off, &bytes[rel..rel + chunk]) };
+                        break;
+                    }
+                }
+                self.write_fault(page, clock);
+            }
+            off += chunk;
+            rel += chunk;
+        }
+    }
+
+    /// Fault in every page covering `start .. start+len` for reading.
+    pub fn ensure_readable(&self, start: usize, len: usize, clock: &mut VClock) {
+        for page in crate::page::pages_covering(start, len) {
+            if self.pages[page].fast.load(Ordering::Acquire) < PageState::ReadOnly as u8 {
+                self.read_fault(page, clock);
+            }
+        }
+    }
+
+    /// Fault in every page covering `start .. start+len` for writing.
+    pub fn ensure_writable(&self, start: usize, len: usize, clock: &mut VClock) {
+        for page in crate::page::pages_covering(start, len) {
+            if self.pages[page].fast.load(Ordering::Acquire) != PageState::Dirty as u8 {
+                self.write_fault(page, clock);
+            }
+        }
+    }
+
+    // ---- fault handling (§5.2.3 + §5.1) -----------------------------------
+
+    /// The read-fault path of the SIGSEGV handler analogue.
+    fn read_fault(&self, page: PageId, clock: &mut VClock) {
+        self.stats.read_faults.fetch_add(1, Ordering::Relaxed);
+        let meta = &self.pages[page];
+        let mut inner = meta.inner.lock();
+        loop {
+            match inner.state {
+                PageState::ReadOnly | PageState::Dirty => return,
+                PageState::Transient => {
+                    // Another thread is updating: mark that it has waiters
+                    // and sleep — the §5.1 atomic-page-update machinery.
+                    meta.set_state(&mut inner, PageState::Blocked);
+                    self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
+                    meta.cv.wait(&mut inner);
+                }
+                PageState::Blocked => {
+                    self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
+                    meta.cv.wait(&mut inner);
+                }
+                PageState::Invalid => {
+                    meta.set_state(&mut inner, PageState::Transient);
+                    drop(inner);
+                    self.fetch_page(page, clock);
+                    inner = meta.inner.lock();
+                    let had_waiters = inner.state == PageState::Blocked;
+                    meta.set_state(&mut inner, PageState::ReadOnly);
+                    if had_waiters {
+                        meta.cv.notify_all();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The write-fault path: ensures a valid page, makes a twin (unless we
+    /// are the home — homes merge diffs directly into their copy and need
+    /// no twin), and marks the page DIRTY with a write notice.
+    fn write_fault(&self, page: PageId, clock: &mut VClock) {
+        self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
+        let meta = &self.pages[page];
+        let mut inner = meta.inner.lock();
+        loop {
+            match inner.state {
+                PageState::Dirty => return,
+                PageState::ReadOnly => {
+                    if self.home_of(page) != self.node {
+                        let mut twin = vec![0u8; PAGE_SIZE].into_boxed_slice();
+                        // SAFETY: page is valid (ReadOnly) and we hold the
+                        // page lock; concurrent word writes by the
+                        // application would be its own race either way.
+                        unsafe { self.pool.copy_page_out(page, &mut twin) };
+                        inner.twin = Some(twin);
+                        self.stats.twins_created.fetch_add(1, Ordering::Relaxed);
+                    }
+                    meta.set_state(&mut inner, PageState::Dirty);
+                    self.dirty.lock().insert(page);
+                    self.interval_notices.lock().insert(page);
+                    return;
+                }
+                PageState::Transient => {
+                    meta.set_state(&mut inner, PageState::Blocked);
+                    self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
+                    meta.cv.wait(&mut inner);
+                }
+                PageState::Blocked => {
+                    self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
+                    meta.cv.wait(&mut inner);
+                }
+                PageState::Invalid => {
+                    meta.set_state(&mut inner, PageState::Transient);
+                    drop(inner);
+                    self.fetch_page(page, clock);
+                    inner = meta.inner.lock();
+                    let had_waiters = inner.state == PageState::Blocked;
+                    meta.set_state(&mut inner, PageState::ReadOnly);
+                    if had_waiters {
+                        meta.cv.notify_all();
+                    }
+                    // Loop continues: the ReadOnly arm upgrades to Dirty.
+                }
+            }
+        }
+    }
+
+    /// Fetch the up-to-date page from its home and install it through the
+    /// "system path" while application threads are held off by the
+    /// TRANSIENT state. Caller owns the TRANSIENT transition.
+    fn fetch_page(&self, page: PageId, clock: &mut VClock) {
+        let home = self.home_of(page);
+        assert_ne!(
+            home, self.node,
+            "page {page} INVALID on its own home node {}",
+            self.node
+        );
+        let tag = self.next_reply_tag();
+        let req = DsmMsg::ReqPage {
+            page,
+            requester: self.node,
+            reply_tag: tag,
+        };
+        self.ep.send(home, MsgClass::Dsm, 0, req.encode(), clock);
+        let pkt = self
+            .ep
+            .recv(MsgClass::Ctl, Match::tagged(tag), clock)
+            .expect("fetch reply after shutdown");
+        let DsmReply::PageData { page: rp, data } = DsmReply::decode(&pkt.payload) else {
+            unreachable!("unexpected reply to page request");
+        };
+        assert_eq!(rp, page);
+        self.stats.page_fetches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .fetch_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        clock.charge_comm(self.cfg.update_strategy.per_update_overhead());
+        if self.cfg.update_strategy.is_safe() {
+            // SAFETY: we hold the TRANSIENT transition for this page.
+            unsafe { self.pool.copy_page_in(page, &data) };
+        } else {
+            // NaiveUnsafe: simulate a conventional single-threaded SDSM
+            // that makes the page accessible *before* the copy finishes —
+            // other threads' fast paths will read a torn page.
+            self.pages[page]
+                .fast
+                .store(PageState::ReadOnly as u8, Ordering::Release);
+            let start = page * PAGE_SIZE;
+            for (i, chunk) in data.chunks(256).enumerate() {
+                // SAFETY: bounds are within the page.
+                unsafe { self.pool.write_bytes(start + i * 256, chunk) };
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    // ---- release operations ----------------------------------------------
+
+    /// Flush all dirty pages: compute diffs against twins, ship them to the
+    /// pages' homes, wait for acknowledgements, downgrade to READ_ONLY.
+    /// Returns the list of flushed pages (the release's write notices).
+    pub fn flush(&self, clock: &mut VClock) -> Vec<PageId> {
+        let dirty: Vec<PageId> = {
+            let mut d = self.dirty.lock();
+            d.drain().collect()
+        };
+        let mut pending_acks = Vec::new();
+        for &page in &dirty {
+            let meta = &self.pages[page];
+            let mut inner = meta.inner.lock();
+            debug_assert_eq!(inner.state, PageState::Dirty);
+            let home = self.home_of(page);
+            if home != self.node {
+                let twin = inner
+                    .twin
+                    .take()
+                    .expect("dirty non-home page must have a twin");
+                let mut cur = vec![0u8; PAGE_SIZE];
+                // SAFETY: page is valid; we hold the page lock.
+                unsafe { self.pool.copy_page_out(page, &mut cur) };
+                let diff = Diff::create(&twin, &cur);
+                meta.set_state(&mut inner, PageState::ReadOnly);
+                drop(inner);
+                if !diff.is_empty() {
+                    let tag = self.next_reply_tag();
+                    self.stats.diffs_sent.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .diff_bytes
+                        .fetch_add(diff.payload_bytes() as u64, Ordering::Relaxed);
+                    let msg = DsmMsg::Diff {
+                        page,
+                        requester: self.node,
+                        reply_tag: tag,
+                        diff,
+                    };
+                    self.ep.send(home, MsgClass::Dsm, 0, msg.encode(), clock);
+                    pending_acks.push(tag);
+                }
+            } else {
+                // Home copy already contains our writes.
+                meta.set_state(&mut inner, PageState::ReadOnly);
+            }
+        }
+        // Wait for all diffs to be merged before the release completes
+        // (ensures barrier arrival implies diff visibility at homes).
+        for tag in pending_acks {
+            let _ = self
+                .ep
+                .recv(MsgClass::Ctl, Match::tagged(tag), clock)
+                .expect("diff ack after shutdown");
+        }
+        dirty
+    }
+
+    // ---- barrier (§5.2.2) --------------------------------------------------
+
+    /// Inter-node barrier with HLRC release semantics: flush, send write
+    /// notices piggybacked on the arrival message, apply the departure's
+    /// invalidations and home migrations.
+    ///
+    /// Exactly one thread per node may call this at a time (the cluster
+    /// layer funnels through a node representative).
+    pub fn barrier(&self, clock: &mut VClock) {
+        let seq = self.barrier_seq.fetch_add(1, Ordering::SeqCst);
+        self.flush(clock);
+        let notices: Vec<PageId> = {
+            let mut n = self.interval_notices.lock();
+            n.drain().collect()
+        };
+        let tag = self.next_reply_tag();
+        let arrive = DsmMsg::BarrierArrive {
+            seq,
+            node: self.node,
+            reply_tag: tag,
+            notices,
+        };
+        self.ep.send(0, MsgClass::Dsm, 0, arrive.encode(), clock);
+        let pkt = self
+            .ep
+            .recv(MsgClass::Ctl, Match::tagged(tag), clock)
+            .expect("barrier depart after shutdown");
+        let DsmReply::BarrierDepart { seq: dseq, entries } = DsmReply::decode(&pkt.payload)
+        else {
+            unreachable!("unexpected reply to barrier arrive");
+        };
+        assert_eq!(dseq, seq, "barrier sequence mismatch");
+        self.apply_depart(seq, &entries, clock);
+        self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Apply a barrier departure: update the home table, invalidate copies
+    /// made stale by other nodes' writes, park pages awaiting a migration
+    /// push, and push merged pages we no longer host.
+    fn apply_depart(
+        &self,
+        seq: u64,
+        entries: &[crate::msg::DepartEntry],
+        clock: &mut VClock,
+    ) {
+        let mut migrated_any = false;
+        for e in entries {
+            self.homes[e.page].store(e.new_home as u32, Ordering::Release);
+            if e.new_home != e.old_home {
+                migrated_any = true;
+                if e.new_home == self.node {
+                    self.stats.home_migrations.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let meta = &self.pages[e.page];
+            if self.node == e.new_home {
+                let needs_push = e.multi_writer && e.new_home != e.old_home;
+                if needs_push {
+                    let mut inner = meta.inner.lock();
+                    if inner.pushed_seq != seq + 1 {
+                        // Park until the old home pushes the merged content.
+                        inner.awaiting_push = true;
+                        meta.set_state(&mut inner, PageState::Blocked);
+                    }
+                }
+                // Otherwise our copy is complete (single writer, or the
+                // push already arrived) — nothing to do.
+            } else if self.node == e.old_home {
+                // The old home holds the fully merged copy — still valid.
+                if e.multi_writer && e.new_home != e.old_home {
+                    // Push the merged page to the new home.
+                    let mut buf = vec![0u8; PAGE_SIZE];
+                    let _inner = meta.inner.lock();
+                    // SAFETY: we are (old) home; the page is valid here.
+                    unsafe { self.pool.copy_page_out(e.page, &mut buf) };
+                    drop(_inner);
+                    let msg = DsmMsg::PagePush {
+                        page: e.page,
+                        barrier_seq: seq,
+                        data: bytes::Bytes::from(buf),
+                    };
+                    self.ep
+                        .send(e.new_home, MsgClass::Dsm, 0, msg.encode(), clock);
+                    self.stats.pushes_sent.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                // Someone else wrote the page and we are not its (old or
+                // new) home: our copy, if any, is stale. The common case —
+                // we never cached the page — takes no lock (one atomic
+                // load), which keeps departure application cheap on large
+                // write sets (real HLRC likewise only mprotects resident
+                // stale copies).
+                if meta.fast.load(Ordering::Acquire) != PageState::Invalid as u8 {
+                    let mut inner = meta.inner.lock();
+                    if inner.state.readable() {
+                        inner.twin = None;
+                        meta.set_state(&mut inner, PageState::Invalid);
+                        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        if migrated_any {
+            // Wake our communication thread so it re-examines deferred
+            // requests for pages that just became ours.
+            self.ep
+                .send(self.node, MsgClass::Dsm, 0, DsmMsg::Nudge.encode(), clock);
+        }
+    }
+
+    // ---- distributed locks (baseline SDSM synchronization, §2.2/6.1) ------
+
+    /// Manager node of a lock.
+    pub fn lock_manager(&self, lock: u64) -> usize {
+        (lock % self.nnodes as u64) as usize
+    }
+
+    /// Acquire a distributed lock; applies the write notices piggybacked on
+    /// the grant (lazy release consistency on the lock chain).
+    pub fn lock_acquire(&self, lock: u64, clock: &mut VClock) {
+        self.stats.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        let mgr = self.lock_manager(lock);
+        let last_seen = self.lock_seen.lock().get(&lock).copied().unwrap_or(0);
+        let polling = matches!(self.cfg.lock_kind, LockKind::Polling { .. });
+        loop {
+            let tag = self.next_reply_tag();
+            let msg = DsmMsg::LockAcq {
+                lock,
+                node: self.node,
+                reply_tag: tag,
+                last_seen,
+                polling,
+            };
+            self.ep.send(mgr, MsgClass::Dsm, 0, msg.encode(), clock);
+            let pkt = self
+                .ep
+                .recv(MsgClass::Ctl, Match::tagged(tag), clock)
+                .expect("lock grant after shutdown");
+            match DsmReply::decode(&pkt.payload) {
+                DsmReply::LockGrant { cur_seq, notices } => {
+                    self.apply_lock_notices(lock, cur_seq, &notices, clock);
+                    return;
+                }
+                DsmReply::LockBusy => {
+                    self.stats.lock_polls.fetch_add(1, Ordering::Relaxed);
+                    if let LockKind::Polling { interval } = self.cfg.lock_kind {
+                        clock.charge_comm(interval);
+                    }
+                    // retry
+                }
+                other => unreachable!("unexpected lock reply {other:?}"),
+            }
+        }
+    }
+
+    /// Release a distributed lock: flush modified pages (diffs to homes)
+    /// and hand the accumulated write notices to the manager.
+    pub fn lock_release(&self, lock: u64, clock: &mut VClock) {
+        let flushed = self.flush(clock);
+        let mgr = self.lock_manager(lock);
+        let msg = DsmMsg::LockRel {
+            lock,
+            node: self.node,
+            notices: flushed,
+        };
+        self.ep.send(mgr, MsgClass::Dsm, 0, msg.encode(), clock);
+    }
+
+    fn apply_lock_notices(&self, lock: u64, cur_seq: u64, notices: &[PageId], clock: &mut VClock) {
+        self.lock_seen.lock().insert(lock, cur_seq);
+        let mut pending_acks = Vec::new();
+        for &page in notices {
+            if self.home_of(page) == self.node {
+                continue; // home copies have all diffs merged
+            }
+            let meta = &self.pages[page];
+            let mut inner = meta.inner.lock();
+            match inner.state {
+                PageState::ReadOnly => {
+                    inner.twin = None;
+                    meta.set_state(&mut inner, PageState::Invalid);
+                    self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
+                PageState::Dirty => {
+                    // We hold un-released local writes on a page another
+                    // node modified (page-granularity false sharing on a
+                    // lazily-consistent page). Ship our diff to the home
+                    // first so the writes survive, then invalidate; the
+                    // next access refetches the merged copy.
+                    let twin = inner
+                        .twin
+                        .take()
+                        .expect("dirty non-home page must have a twin");
+                    let mut cur = vec![0u8; PAGE_SIZE];
+                    // SAFETY: page is valid; we hold the page lock.
+                    unsafe { self.pool.copy_page_out(page, &mut cur) };
+                    let diff = Diff::create(&twin, &cur);
+                    self.dirty.lock().remove(&page);
+                    meta.set_state(&mut inner, PageState::Invalid);
+                    self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                    drop(inner);
+                    if !diff.is_empty() {
+                        let home = self.home_of(page);
+                        let tag = self.next_reply_tag();
+                        self.stats.diffs_sent.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .diff_bytes
+                            .fetch_add(diff.payload_bytes() as u64, Ordering::Relaxed);
+                        let msg = DsmMsg::Diff {
+                            page,
+                            requester: self.node,
+                            reply_tag: tag,
+                            diff,
+                        };
+                        self.ep.send(home, MsgClass::Dsm, 0, msg.encode(), clock);
+                        pending_acks.push(tag);
+                    }
+                }
+                // A fetch in flight returns the home copy, which already
+                // includes the releaser's diffs (they were acked before the
+                // release notice was sent).
+                PageState::Transient | PageState::Blocked | PageState::Invalid => {}
+            }
+        }
+        for tag in pending_acks {
+            let _ = self
+                .ep
+                .recv(MsgClass::Ctl, Match::tagged(tag), clock)
+                .expect("diff ack after shutdown");
+        }
+    }
+}
+
+#[doc(hidden)]
+impl Dsm {
+    #[allow(dead_code)]
+    fn _assert_send_sync()
+    where
+        Dsm: Send + Sync,
+    {
+    }
+}

@@ -1,0 +1,377 @@
+//! Wire format of the SDSM protocol messages.
+//!
+//! Requests travel on `MsgClass::Dsm` and are serviced by the destination
+//! node's communication thread; replies travel on `MsgClass::Ctl` tagged
+//! with a requester-chosen reply tag (tags ≥ [`REPLY_TAG_BASE`] so they
+//! never collide with cluster control tags).
+
+use bytes::Bytes;
+
+use parade_mpi::datatype::{Reader, Writer};
+
+use crate::diff::Diff;
+use crate::page::PageId;
+
+/// Reply tags live above this base; cluster control uses tags below it.
+pub const REPLY_TAG_BASE: u64 = 1 << 32;
+
+const K_REQ_PAGE: u8 = 1;
+const K_DIFF: u8 = 2;
+const K_PAGE_PUSH: u8 = 3;
+const K_BARRIER_ARRIVE: u8 = 4;
+const K_LOCK_ACQ: u8 = 5;
+const K_LOCK_REL: u8 = 6;
+const K_NUDGE: u8 = 7;
+
+/// A request handled by a communication thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsmMsg {
+    /// Fetch the up-to-date copy of `page` from its home.
+    ReqPage {
+        page: PageId,
+        requester: usize,
+        reply_tag: u64,
+    },
+    /// Merge a diff into the home copy of `page`.
+    Diff {
+        page: PageId,
+        requester: usize,
+        reply_tag: u64,
+        diff: Diff,
+    },
+    /// Full-page content pushed to a migrated home (multi-writer case).
+    PagePush {
+        page: PageId,
+        barrier_seq: u64,
+        data: Bytes,
+    },
+    /// Barrier arrival at the master, write notices piggybacked (§5.2.2).
+    BarrierArrive {
+        seq: u64,
+        node: usize,
+        reply_tag: u64,
+        notices: Vec<PageId>,
+    },
+    /// Acquire a distributed lock (baseline SDSM path). `polling` requests
+    /// an immediate grant-or-busy answer instead of queueing.
+    LockAcq {
+        lock: u64,
+        node: usize,
+        reply_tag: u64,
+        last_seen: u64,
+        polling: bool,
+    },
+    /// Release a distributed lock, carrying write notices for the pages
+    /// modified in the critical section.
+    LockRel {
+        lock: u64,
+        node: usize,
+        notices: Vec<PageId>,
+    },
+    /// Local self-message: retry deferred requests after a barrier depart.
+    Nudge,
+}
+
+impl DsmMsg {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            DsmMsg::ReqPage {
+                page,
+                requester,
+                reply_tag,
+            } => {
+                w.u8(K_REQ_PAGE).u64(*page as u64).u32(*requester as u32).u64(*reply_tag);
+            }
+            DsmMsg::Diff {
+                page,
+                requester,
+                reply_tag,
+                diff,
+            } => {
+                w.u8(K_DIFF).u64(*page as u64).u32(*requester as u32).u64(*reply_tag);
+                diff.encode(&mut w);
+            }
+            DsmMsg::PagePush {
+                page,
+                barrier_seq,
+                data,
+            } => {
+                w.u8(K_PAGE_PUSH).u64(*page as u64).u64(*barrier_seq).lp_bytes(data);
+            }
+            DsmMsg::BarrierArrive {
+                seq,
+                node,
+                reply_tag,
+                notices,
+            } => {
+                w.u8(K_BARRIER_ARRIVE).u64(*seq).u32(*node as u32).u64(*reply_tag);
+                w.u32(notices.len() as u32);
+                for p in notices {
+                    w.u64(*p as u64);
+                }
+            }
+            DsmMsg::LockAcq {
+                lock,
+                node,
+                reply_tag,
+                last_seen,
+                polling,
+            } => {
+                w.u8(K_LOCK_ACQ)
+                    .u64(*lock)
+                    .u32(*node as u32)
+                    .u64(*reply_tag)
+                    .u64(*last_seen)
+                    .u8(*polling as u8);
+            }
+            DsmMsg::LockRel { lock, node, notices } => {
+                w.u8(K_LOCK_REL).u64(*lock).u32(*node as u32);
+                w.u32(notices.len() as u32);
+                for p in notices {
+                    w.u64(*p as u64);
+                }
+            }
+            DsmMsg::Nudge => {
+                w.u8(K_NUDGE);
+            }
+        }
+        w.finish()
+    }
+
+    pub fn decode(b: &[u8]) -> DsmMsg {
+        let mut r = Reader::new(b);
+        match r.u8() {
+            K_REQ_PAGE => DsmMsg::ReqPage {
+                page: r.u64() as PageId,
+                requester: r.u32() as usize,
+                reply_tag: r.u64(),
+            },
+            K_DIFF => DsmMsg::Diff {
+                page: r.u64() as PageId,
+                requester: r.u32() as usize,
+                reply_tag: r.u64(),
+                diff: Diff::decode(&mut r),
+            },
+            K_PAGE_PUSH => DsmMsg::PagePush {
+                page: r.u64() as PageId,
+                barrier_seq: r.u64(),
+                data: Bytes::copy_from_slice(r.lp_bytes()),
+            },
+            K_BARRIER_ARRIVE => {
+                let seq = r.u64();
+                let node = r.u32() as usize;
+                let reply_tag = r.u64();
+                let n = r.u32() as usize;
+                let notices = (0..n).map(|_| r.u64() as PageId).collect();
+                DsmMsg::BarrierArrive {
+                    seq,
+                    node,
+                    reply_tag,
+                    notices,
+                }
+            }
+            K_LOCK_ACQ => DsmMsg::LockAcq {
+                lock: r.u64(),
+                node: r.u32() as usize,
+                reply_tag: r.u64(),
+                last_seen: r.u64(),
+                polling: r.u8() != 0,
+            },
+            K_LOCK_REL => {
+                let lock = r.u64();
+                let node = r.u32() as usize;
+                let n = r.u32() as usize;
+                let notices = (0..n).map(|_| r.u64() as PageId).collect();
+                DsmMsg::LockRel { lock, node, notices }
+            }
+            K_NUDGE => DsmMsg::Nudge,
+            k => unreachable!("bad dsm message kind {k}"),
+        }
+    }
+}
+
+const R_PAGE_DATA: u8 = 1;
+const R_DIFF_ACK: u8 = 2;
+const R_BARRIER_DEPART: u8 = 3;
+const R_LOCK_GRANT: u8 = 4;
+const R_LOCK_BUSY: u8 = 5;
+
+/// One per-page record in a barrier departure message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepartEntry {
+    pub page: PageId,
+    pub old_home: usize,
+    pub new_home: usize,
+    /// More than one node wrote the page this interval.
+    pub multi_writer: bool,
+}
+
+/// A reply sent back to a waiting application thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsmReply {
+    PageData { page: PageId, data: Bytes },
+    DiffAck { page: PageId },
+    /// Global write-notice/migration summary; every node derives its own
+    /// invalidations, home updates, and push duties from it (§5.2.2).
+    BarrierDepart { seq: u64, entries: Vec<DepartEntry> },
+    LockGrant { cur_seq: u64, notices: Vec<PageId> },
+    LockBusy,
+}
+
+impl DsmReply {
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::new();
+        match self {
+            DsmReply::PageData { page, data } => {
+                w.u8(R_PAGE_DATA).u64(*page as u64).lp_bytes(data);
+            }
+            DsmReply::DiffAck { page } => {
+                w.u8(R_DIFF_ACK).u64(*page as u64);
+            }
+            DsmReply::BarrierDepart { seq, entries } => {
+                w.u8(R_BARRIER_DEPART).u64(*seq).u32(entries.len() as u32);
+                for e in entries {
+                    w.u64(e.page as u64)
+                        .u32(e.old_home as u32)
+                        .u32(e.new_home as u32)
+                        .u8(e.multi_writer as u8);
+                }
+            }
+            DsmReply::LockGrant { cur_seq, notices } => {
+                w.u8(R_LOCK_GRANT).u64(*cur_seq).u32(notices.len() as u32);
+                for p in notices {
+                    w.u64(*p as u64);
+                }
+            }
+            DsmReply::LockBusy => {
+                w.u8(R_LOCK_BUSY);
+            }
+        }
+        w.finish()
+    }
+
+    pub fn decode(b: &[u8]) -> DsmReply {
+        let mut r = Reader::new(b);
+        match r.u8() {
+            R_PAGE_DATA => DsmReply::PageData {
+                page: r.u64() as PageId,
+                data: Bytes::copy_from_slice(r.lp_bytes()),
+            },
+            R_DIFF_ACK => DsmReply::DiffAck {
+                page: r.u64() as PageId,
+            },
+            R_BARRIER_DEPART => {
+                let seq = r.u64();
+                let n = r.u32() as usize;
+                let entries = (0..n)
+                    .map(|_| DepartEntry {
+                        page: r.u64() as PageId,
+                        old_home: r.u32() as usize,
+                        new_home: r.u32() as usize,
+                        multi_writer: r.u8() != 0,
+                    })
+                    .collect();
+                DsmReply::BarrierDepart { seq, entries }
+            }
+            R_LOCK_GRANT => {
+                let cur_seq = r.u64();
+                let n = r.u32() as usize;
+                let notices = (0..n).map(|_| r.u64() as PageId).collect();
+                DsmReply::LockGrant { cur_seq, notices }
+            }
+            R_LOCK_BUSY => DsmReply::LockBusy,
+            k => unreachable!("bad dsm reply kind {k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    #[test]
+    fn msg_roundtrips() {
+        let msgs = vec![
+            DsmMsg::ReqPage {
+                page: 42,
+                requester: 3,
+                reply_tag: REPLY_TAG_BASE + 7,
+            },
+            DsmMsg::Diff {
+                page: 9,
+                requester: 1,
+                reply_tag: REPLY_TAG_BASE,
+                diff: Diff::create(&vec![0u8; PAGE_SIZE], &{
+                    let mut v = vec![0u8; PAGE_SIZE];
+                    v[8] = 3;
+                    v
+                }),
+            },
+            DsmMsg::PagePush {
+                page: 5,
+                barrier_seq: 12,
+                data: Bytes::from(vec![7u8; PAGE_SIZE]),
+            },
+            DsmMsg::BarrierArrive {
+                seq: 4,
+                node: 2,
+                reply_tag: REPLY_TAG_BASE + 1,
+                notices: vec![1, 2, 30],
+            },
+            DsmMsg::LockAcq {
+                lock: 6,
+                node: 0,
+                reply_tag: REPLY_TAG_BASE + 2,
+                last_seen: 11,
+                polling: true,
+            },
+            DsmMsg::LockRel {
+                lock: 6,
+                node: 0,
+                notices: vec![99],
+            },
+            DsmMsg::Nudge,
+        ];
+        for m in msgs {
+            assert_eq!(DsmMsg::decode(&m.encode()), m);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        let replies = vec![
+            DsmReply::PageData {
+                page: 1,
+                data: Bytes::from(vec![1u8, 2, 3]),
+            },
+            DsmReply::DiffAck { page: 8 },
+            DsmReply::BarrierDepart {
+                seq: 3,
+                entries: vec![
+                    DepartEntry {
+                        page: 10,
+                        old_home: 0,
+                        new_home: 2,
+                        multi_writer: false,
+                    },
+                    DepartEntry {
+                        page: 11,
+                        old_home: 1,
+                        new_home: 1,
+                        multi_writer: true,
+                    },
+                ],
+            },
+            DsmReply::LockGrant {
+                cur_seq: 5,
+                notices: vec![4, 5],
+            },
+            DsmReply::LockBusy,
+        ];
+        for r in replies {
+            assert_eq!(DsmReply::decode(&r.encode()), r);
+        }
+    }
+}

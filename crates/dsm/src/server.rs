@@ -1,0 +1,367 @@
+//! The communication-thread side of the DSM protocol.
+//!
+//! Each node dedicates one thread to servicing asynchronous protocol
+//! requests (§5.3): page fetches, diff merges, migration pushes, barrier
+//! coordination (node 0 doubles as the barrier master), and the
+//! distributed-lock managers. The thread's virtual clock models the server:
+//! service start = max(request arrival, server clock) + scheduling penalty,
+//! so queueing at hot homes and the 1Thread-1CPU degradation both emerge
+//! naturally.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use parade_net::{MsgClass, Packet, VClock, VTime};
+
+use crate::config::{CommCosts, HomePolicy};
+use crate::engine::Dsm;
+use crate::msg::{DepartEntry, DsmMsg, DsmReply};
+use crate::page::{PageId, PageState, PAGE_SIZE};
+
+/// The communication thread's context: its virtual service clock and cost
+/// model.
+pub struct CommServer {
+    pub clock: VClock,
+    costs: CommCosts,
+}
+
+impl CommServer {
+    pub fn new(costs: CommCosts) -> Self {
+        CommServer {
+            clock: VClock::manual(),
+            costs,
+        }
+    }
+
+    fn begin_service(&mut self, arrive: VTime) {
+        // The scheduling penalty models waking the communication thread on
+        // a busy CPU. It applies per wakeup *burst*: if the server's clock
+        // has already passed the arrival (requests queued while it was
+        // busy), the thread is still running and services the next message
+        // without being re-scheduled.
+        if arrive > self.clock.now() {
+            self.clock.sync_to(arrive);
+            self.clock.charge_comm(self.costs.service_penalty);
+        }
+        self.clock.charge(self.costs.base);
+    }
+
+    fn charge_copy(&mut self, bytes: usize) {
+        self.clock
+            .charge(VTime::from_nanos((self.costs.per_byte_ns * bytes as f64).round() as u64));
+    }
+}
+
+struct Arrival {
+    node: usize,
+    reply_tag: u64,
+    notices: Vec<PageId>,
+}
+
+#[derive(Default)]
+struct LockState {
+    held_by: Option<usize>,
+    queue: VecDeque<Waiter>,
+    /// (notice sequence, pages) of past releases.
+    history: Vec<(u64, Vec<PageId>)>,
+    seq: u64,
+}
+
+struct Waiter {
+    node: usize,
+    reply_tag: u64,
+    last_seen: u64,
+}
+
+/// Mutable state owned by the communication thread (behind the `Dsm`'s
+/// server mutex so tests can drive handling manually).
+#[derive(Default)]
+pub struct ServerState {
+    deferred: Vec<(PageId, usize, u64)>,
+    arrivals: HashMap<u64, Vec<Arrival>>,
+    locks: HashMap<u64, LockState>,
+}
+
+impl Dsm {
+    /// Run the communication-thread service loop until fabric shutdown.
+    pub fn serve_loop(self: &Arc<Self>, srv: &mut CommServer) {
+        while let Ok(pkt) = self.ep.recv_any_raw(MsgClass::Dsm) {
+            self.handle_packet(pkt, srv);
+        }
+    }
+
+    /// Handle one protocol request (exposed for deterministic tests).
+    pub fn handle_packet(&self, pkt: Packet, srv: &mut CommServer) {
+        let msg = DsmMsg::decode(&pkt.payload);
+        if matches!(msg, DsmMsg::Nudge) {
+            // Local bookkeeping wake-up, not a serviced request.
+            self.retry_deferred(srv);
+            return;
+        }
+        srv.begin_service(pkt.arrive_at);
+        self.stats.serviced_requests.fetch_add(1, Ordering::Relaxed);
+        match msg {
+            DsmMsg::ReqPage {
+                page,
+                requester,
+                reply_tag,
+            } => {
+                if !self.try_serve_page(page, requester, reply_tag, srv) {
+                    self.server.lock().deferred.push((page, requester, reply_tag));
+                }
+            }
+            DsmMsg::Diff {
+                page,
+                requester,
+                reply_tag,
+                diff,
+            } => {
+                debug_assert_eq!(
+                    self.home_of(page),
+                    self.node(),
+                    "diff for page {page} routed to non-home"
+                );
+                srv.charge_copy(diff.payload_bytes());
+                {
+                    let meta = &self.pages[page];
+                    let _inner = meta.inner.lock();
+                    let start = page * PAGE_SIZE;
+                    for run in &diff.runs {
+                        // SAFETY: we are home; run bounds are within the page.
+                        unsafe {
+                            self.pool.write_bytes(start + run.offset as usize, &run.data)
+                        };
+                    }
+                }
+                self.reply(requester, reply_tag, DsmReply::DiffAck { page }, srv);
+            }
+            DsmMsg::PagePush {
+                page,
+                barrier_seq,
+                data,
+            } => {
+                srv.charge_copy(data.len());
+                {
+                    let meta = &self.pages[page];
+                    let mut inner = meta.inner.lock();
+                    // SAFETY: pushes only target parked or self-written
+                    // pages whose application threads are held at the
+                    // barrier; see §5.2.2 ordering argument in DESIGN.md.
+                    unsafe { self.pool.copy_page_in(page, &data) };
+                    inner.pushed_seq = barrier_seq + 1;
+                    if inner.awaiting_push {
+                        inner.awaiting_push = false;
+                        meta.set_state(&mut inner, PageState::ReadOnly);
+                        meta.cv.notify_all();
+                    }
+                }
+                self.retry_deferred(srv);
+            }
+            DsmMsg::BarrierArrive {
+                seq,
+                node,
+                reply_tag,
+                notices,
+            } => {
+                assert_eq!(self.node(), 0, "barrier master must be node 0");
+                let complete = {
+                    let mut st = self.server.lock();
+                    let arr = st.arrivals.entry(seq).or_default();
+                    arr.push(Arrival {
+                        node,
+                        reply_tag,
+                        notices,
+                    });
+                    arr.len() == self.nnodes()
+                };
+                if complete {
+                    let arrivals = self
+                        .server
+                        .lock()
+                        .arrivals
+                        .remove(&seq)
+                        .expect("just completed");
+                    self.compute_depart(seq, arrivals, srv);
+                }
+            }
+            DsmMsg::LockAcq {
+                lock,
+                node,
+                reply_tag,
+                last_seen,
+                polling,
+            } => {
+                let mut st = self.server.lock();
+                let ls = st.locks.entry(lock).or_default();
+                if ls.held_by.is_none() {
+                    ls.held_by = Some(node);
+                    let grant = make_grant(ls, last_seen);
+                    drop(st);
+                    self.reply(node, reply_tag, grant, srv);
+                } else if polling {
+                    drop(st);
+                    self.reply(node, reply_tag, DsmReply::LockBusy, srv);
+                } else {
+                    ls.queue.push_back(Waiter {
+                        node,
+                        reply_tag,
+                        last_seen,
+                    });
+                }
+            }
+            DsmMsg::LockRel { lock, node, notices } => {
+                let granted = {
+                    let mut st = self.server.lock();
+                    let ls = st.locks.entry(lock).or_default();
+                    debug_assert_eq!(ls.held_by, Some(node), "release by non-holder");
+                    ls.seq += 1;
+                    let s = ls.seq;
+                    ls.history.push((s, notices));
+                    ls.held_by = None;
+                    if let Some(w) = ls.queue.pop_front() {
+                        ls.held_by = Some(w.node);
+                        Some((w.node, w.reply_tag, make_grant(ls, w.last_seen)))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((n, t, g)) = granted {
+                    self.reply(n, t, g, srv);
+                }
+            }
+            DsmMsg::Nudge => unreachable!("handled above"),
+        }
+    }
+
+    fn reply(&self, node: usize, tag: u64, reply: DsmReply, srv: &mut CommServer) {
+        self.ep
+            .send_at(node, MsgClass::Ctl, tag, reply.encode(), srv.clock.now());
+    }
+
+    /// Serve a page request if we are its current home and the page is
+    /// readable; returns false when the request must be deferred (we are
+    /// not yet home, or the page awaits a migration push).
+    fn try_serve_page(
+        &self,
+        page: PageId,
+        requester: usize,
+        reply_tag: u64,
+        srv: &mut CommServer,
+    ) -> bool {
+        if self.home_of(page) != self.node() {
+            return false;
+        }
+        let state = self.page_state(page);
+        if !state.readable() {
+            return false;
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        // SAFETY: home copy is valid; concurrent word-level writes by local
+        // application threads are application races, as on real SDSM.
+        unsafe { self.pool.copy_page_out(page, &mut buf) };
+        srv.charge_copy(PAGE_SIZE);
+        self.reply(
+            requester,
+            reply_tag,
+            DsmReply::PageData {
+                page,
+                data: Bytes::from(buf),
+            },
+            srv,
+        );
+        true
+    }
+
+    /// Re-examine deferred page requests (after home migrations or pushes).
+    fn retry_deferred(&self, srv: &mut CommServer) {
+        let pending: Vec<(PageId, usize, u64)> = {
+            let mut st = self.server.lock();
+            std::mem::take(&mut st.deferred)
+        };
+        for (page, requester, reply_tag) in pending {
+            if !self.try_serve_page(page, requester, reply_tag, srv) {
+                self.server.lock().deferred.push((page, requester, reply_tag));
+            }
+        }
+    }
+
+    /// Barrier master: combine all nodes' write notices, decide home
+    /// migrations (§5.2.2), and send the departure to every node.
+    fn compute_depart(&self, seq: u64, arrivals: Vec<Arrival>, srv: &mut CommServer) {
+        let mut writers: HashMap<PageId, Vec<usize>> = HashMap::new();
+        for a in &arrivals {
+            for &p in &a.notices {
+                writers.entry(p).or_default().push(a.node);
+            }
+        }
+        let mut entries: Vec<DepartEntry> = writers
+            .into_iter()
+            .map(|(page, mut w)| {
+                w.sort_unstable();
+                let old_home = self.home_of(page);
+                let multi_writer = w.len() > 1;
+                let new_home = match self.config().home_policy {
+                    HomePolicy::Fixed => old_home,
+                    HomePolicy::Migratory => {
+                        if w.len() == 1 {
+                            w[0]
+                        } else if w.contains(&old_home) {
+                            // The current home has the highest priority.
+                            old_home
+                        } else {
+                            // Then the writer with the smallest node id.
+                            w[0]
+                        }
+                    }
+                };
+                DepartEntry {
+                    page,
+                    old_home,
+                    new_home,
+                    multi_writer,
+                }
+            })
+            .collect();
+        entries.sort_unstable_by_key(|e| e.page);
+        let reply = DsmReply::BarrierDepart { seq, entries };
+        let payload = reply.encode();
+        srv.charge_copy(payload.len());
+        for a in &arrivals {
+            self.ep
+                .send_at(a.node, MsgClass::Ctl, a.reply_tag, payload.clone(), srv.clock.now());
+        }
+    }
+}
+
+/// Spawn the communication thread for `dsm`. Joins when the fabric shuts
+/// down; returns the handle (the final service clock is reported through
+/// it for diagnostics).
+pub fn spawn_comm_thread(dsm: Arc<Dsm>) -> std::thread::JoinHandle<VTime> {
+    let costs = dsm.config().comm;
+    std::thread::Builder::new()
+        .name(format!("parade-comm-{}", dsm.node()))
+        .spawn(move || {
+            let mut srv = CommServer::new(costs);
+            dsm.serve_loop(&mut srv);
+            srv.clock.now()
+        })
+        .expect("spawn communication thread")
+}
+
+fn make_grant(ls: &LockState, last_seen: u64) -> DsmReply {
+    let mut notices: Vec<PageId> = ls
+        .history
+        .iter()
+        .filter(|(s, _)| *s > last_seen)
+        .flat_map(|(_, pages)| pages.iter().copied())
+        .collect();
+    notices.sort_unstable();
+    notices.dedup();
+    DsmReply::LockGrant {
+        cur_seq: ls.seq,
+        notices,
+    }
+}

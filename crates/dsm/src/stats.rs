@@ -1,0 +1,93 @@
+//! Per-node DSM protocol counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident),+ $(,)?) => {
+        /// Live counters (lock-free, updated by protocol code).
+        #[derive(Debug, Default)]
+        pub struct DsmStats {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of [`DsmStats`].
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct DsmStatsSnapshot {
+            $(pub $name: u64,)+
+        }
+
+        impl DsmStats {
+            pub fn snapshot(&self) -> DsmStatsSnapshot {
+                DsmStatsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl DsmStatsSnapshot {
+            /// Elementwise sum (for cluster-wide aggregation).
+            pub fn merge(&mut self, other: &DsmStatsSnapshot) {
+                $(self.$name += other.$name;)+
+            }
+        }
+    };
+}
+
+counters! {
+    /// Read faults taken (page not locally readable).
+    read_faults,
+    /// Write faults taken (page not locally writable).
+    write_faults,
+    /// Pages fetched from a remote home.
+    page_fetches,
+    /// Bytes of page data fetched.
+    fetch_bytes,
+    /// Twins created on first write to a non-home page.
+    twins_created,
+    /// Diffs shipped to homes.
+    diffs_sent,
+    /// Bytes of diff payload shipped.
+    diff_bytes,
+    /// Pages invalidated by write notices.
+    invalidations,
+    /// Home migrations applied (counted at the node gaining home-ship).
+    home_migrations,
+    /// Global barriers completed.
+    barriers,
+    /// Distributed lock acquisitions.
+    lock_acquires,
+    /// Poll rounds spent busy-waiting for locks (Polling variant).
+    lock_polls,
+    /// Requests serviced by this node's communication thread.
+    serviced_requests,
+    /// Full pages pushed to migrated homes.
+    pushes_sent,
+    /// Threads that blocked on an in-flight page update
+    /// (TRANSIENT/BLOCKED waits — the §5.1 machinery at work).
+    update_waits,
+}
+
+impl DsmStats {
+    pub fn bump(&self, c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_merge() {
+        let s = DsmStats::default();
+        s.read_faults.fetch_add(3, Ordering::Relaxed);
+        s.diff_bytes.fetch_add(100, Ordering::Relaxed);
+        let mut a = s.snapshot();
+        assert_eq!(a.read_faults, 3);
+        let b = s.snapshot();
+        a.merge(&b);
+        assert_eq!(a.read_faults, 6);
+        assert_eq!(a.diff_bytes, 200);
+        assert_eq!(a.barriers, 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The node-local shared memory pool and region allocation.
+//!
+//! Every node holds a full-size local copy of the shared address space —
+//! the analogue of the per-process virtual mapping of a real page-based
+//! SDSM. Whether a given page's bytes are *meaningful* on a node is decided
+//! by the page table, not by the pool.
+
+use std::cell::UnsafeCell;
+
+use crate::page::{PAGE_SIZE, PageId};
+
+/// Raw byte pool with interior mutability.
+///
+/// # Safety contract
+///
+/// The pool itself performs no synchronization. The DSM protocol layer
+/// guarantees that:
+///
+/// * a page's bytes are only bulk-replaced (fetch, push, diff apply) while
+///   its page-table entry is `TRANSIENT`/owned by the updater, with readers
+///   held off via the table, and
+/// * concurrent word-level writes to the *same* location only happen if the
+///   application itself races — exactly the situation of a real SDSM, where
+///   such races are application bugs.
+///
+/// Reads/writes use raw-pointer `read_volatile`/`write_volatile` on small
+/// scalars so racing accesses (which the simulated platform permits) do not
+/// get miscompiled into anything worse than a stale/torn value.
+pub struct RawPool {
+    bytes: Box<[UnsafeCell<u8>]>,
+}
+
+// SAFETY: see the struct-level contract; synchronization is provided by the
+// page table above this layer.
+unsafe impl Sync for RawPool {}
+unsafe impl Send for RawPool {}
+
+impl RawPool {
+    pub fn new(len: usize) -> Self {
+        assert!(len % PAGE_SIZE == 0, "pool must be page aligned");
+        // Allocate as zeroed `u8` (calloc path: the OS commits pages
+        // lazily) and reinterpret as `UnsafeCell<u8>`, which is
+        // `repr(transparent)` over `u8`.
+        let raw = Box::into_raw(vec![0u8; len].into_boxed_slice());
+        // SAFETY: UnsafeCell<u8> has the same in-memory representation as
+        // u8 (documented guarantee), and we transfer ownership exactly once.
+        let bytes = unsafe { Box::from_raw(raw as *mut [UnsafeCell<u8>]) };
+        RawPool { bytes }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    pub fn pages(&self) -> usize {
+        self.bytes.len() / PAGE_SIZE
+    }
+
+    fn ptr(&self, offset: usize) -> *mut u8 {
+        debug_assert!(offset < self.bytes.len());
+        self.bytes[offset].get()
+    }
+
+    /// Read a `Copy` scalar at `offset`.
+    ///
+    /// # Safety
+    /// `offset + size_of::<T>()` must be within the pool, and the caller
+    /// (the DSM protocol) must hold read rights per the page table.
+    pub unsafe fn read<T: Copy>(&self, offset: usize) -> T {
+        debug_assert!(offset + std::mem::size_of::<T>() <= self.bytes.len());
+        (self.ptr(offset) as *const T).read_unaligned()
+    }
+
+    /// Write a `Copy` scalar at `offset`.
+    ///
+    /// # Safety
+    /// As [`RawPool::read`], with write rights.
+    pub unsafe fn write<T: Copy>(&self, offset: usize, v: T) {
+        debug_assert!(offset + std::mem::size_of::<T>() <= self.bytes.len());
+        (self.ptr(offset) as *mut T).write_unaligned(v);
+    }
+
+    /// Copy a page's bytes out into `out`.
+    ///
+    /// # Safety
+    /// Caller must hold read rights on the page.
+    pub unsafe fn copy_page_out(&self, page: PageId, out: &mut [u8]) {
+        assert_eq!(out.len(), PAGE_SIZE);
+        std::ptr::copy_nonoverlapping(self.ptr(page * PAGE_SIZE), out.as_mut_ptr(), PAGE_SIZE);
+    }
+
+    /// Overwrite a page's bytes from `src` (the "system path" of the atomic
+    /// page update solutions — the protocol keeps application threads off
+    /// the page while this runs).
+    ///
+    /// # Safety
+    /// Caller must be the page's unique updater (TRANSIENT holder).
+    pub unsafe fn copy_page_in(&self, page: PageId, src: &[u8]) {
+        assert_eq!(src.len(), PAGE_SIZE);
+        std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr(page * PAGE_SIZE), PAGE_SIZE);
+    }
+
+    /// Copy an arbitrary byte range out.
+    ///
+    /// # Safety
+    /// Caller must hold read rights on all covered pages.
+    pub unsafe fn read_bytes(&self, offset: usize, out: &mut [u8]) {
+        assert!(offset + out.len() <= self.bytes.len());
+        std::ptr::copy_nonoverlapping(self.ptr(offset), out.as_mut_ptr(), out.len());
+    }
+
+    /// Copy an arbitrary byte range in.
+    ///
+    /// # Safety
+    /// Caller must hold write rights on all covered pages.
+    pub unsafe fn write_bytes(&self, offset: usize, src: &[u8]) {
+        assert!(offset + src.len() <= self.bytes.len());
+        std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr(offset), src.len());
+    }
+}
+
+/// A shared-memory region handed out by the allocator. Handles are plain
+/// data: they can be captured by parallel-region closures and resolved
+/// against any node's pool (every node performs identical allocations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionHandle {
+    pub id: u32,
+    /// Byte offset of the region in the pool (page aligned).
+    pub offset: usize,
+    /// Region length in bytes.
+    pub len: usize,
+}
+
+impl RegionHandle {
+    pub fn first_page(&self) -> PageId {
+        self.offset / PAGE_SIZE
+    }
+
+    pub fn last_page(&self) -> PageId {
+        if self.len == 0 {
+            self.first_page()
+        } else {
+            (self.offset + self.len - 1) / PAGE_SIZE
+        }
+    }
+
+    pub fn page_count(&self) -> usize {
+        self.last_page() - self.first_page() + 1
+    }
+}
+
+/// Deterministic bump allocator for shared regions.
+///
+/// Regions are page aligned so distinct regions never share a page; this
+/// keeps home migration per-region-page and avoids cross-region false
+/// sharing (false sharing *within* a region is preserved — it is part of
+/// the system being studied).
+#[derive(Debug, Default)]
+pub struct RegionAllocator {
+    next_offset: usize,
+    regions: Vec<RegionHandle>,
+}
+
+impl RegionAllocator {
+    pub fn new() -> Self {
+        RegionAllocator::default()
+    }
+
+    pub fn alloc(&mut self, len: usize, pool_len: usize) -> Result<RegionHandle, AllocError> {
+        let offset = self.next_offset;
+        let padded = len.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        if offset + padded > pool_len {
+            return Err(AllocError {
+                requested: len,
+                available: pool_len - offset,
+            });
+        }
+        let h = RegionHandle {
+            id: self.regions.len() as u32,
+            offset,
+            len,
+        };
+        self.next_offset += padded;
+        self.regions.push(h);
+        Ok(h)
+    }
+
+    pub fn get(&self, id: u32) -> Option<RegionHandle> {
+        self.regions.get(id as usize).copied()
+    }
+
+    pub fn allocated_bytes(&self) -> usize {
+        self.next_offset
+    }
+
+    pub fn count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+/// Shared pool exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    pub requested: usize,
+    pub available: usize,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared pool exhausted: requested {} bytes, {} available (raise ClusterConfig::pool_bytes)",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_scalar_roundtrip() {
+        let pool = RawPool::new(2 * PAGE_SIZE);
+        unsafe {
+            pool.write::<f64>(16, 3.75);
+            pool.write::<i64>(4096, -42);
+            assert_eq!(pool.read::<f64>(16), 3.75);
+            assert_eq!(pool.read::<i64>(4096), -42);
+        }
+    }
+
+    #[test]
+    fn pool_page_copy_roundtrip() {
+        let pool = RawPool::new(2 * PAGE_SIZE);
+        let src: Vec<u8> = (0..PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        let mut out = vec![0u8; PAGE_SIZE];
+        unsafe {
+            pool.copy_page_in(1, &src);
+            pool.copy_page_out(1, &mut out);
+        }
+        assert_eq!(src, out);
+        // Page 0 untouched.
+        unsafe {
+            pool.copy_page_out(0, &mut out);
+        }
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn allocator_is_page_aligned_and_deterministic() {
+        let pool_len = 10 * PAGE_SIZE;
+        let mut a = RegionAllocator::new();
+        let r1 = a.alloc(100, pool_len).unwrap();
+        let r2 = a.alloc(PAGE_SIZE + 1, pool_len).unwrap();
+        let r3 = a.alloc(0, pool_len).unwrap();
+        assert_eq!(r1.offset, 0);
+        assert_eq!(r2.offset, PAGE_SIZE);
+        assert_eq!(r2.page_count(), 2);
+        assert_eq!(r3.offset, 3 * PAGE_SIZE);
+        assert_eq!(a.get(1), Some(r2));
+        // A second allocator replays identically.
+        let mut b = RegionAllocator::new();
+        assert_eq!(b.alloc(100, pool_len).unwrap(), r1);
+        assert_eq!(b.alloc(PAGE_SIZE + 1, pool_len).unwrap(), r2);
+    }
+
+    #[test]
+    fn allocator_reports_exhaustion() {
+        let mut a = RegionAllocator::new();
+        let err = a.alloc(3 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap_err();
+        assert_eq!(err.available, 2 * PAGE_SIZE);
+        assert!(a.alloc(2 * PAGE_SIZE, 2 * PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn region_page_ranges() {
+        let r = RegionHandle {
+            id: 0,
+            offset: 2 * PAGE_SIZE,
+            len: PAGE_SIZE + 8,
+        };
+        assert_eq!(r.first_page(), 2);
+        assert_eq!(r.last_page(), 3);
+        assert_eq!(r.page_count(), 2);
+    }
+}

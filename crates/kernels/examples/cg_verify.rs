@@ -1,0 +1,17 @@
+//! Quick check of CG zeta against the published NPB values.
+use parade_kernels::cg::{cg_sequential, CgClass};
+
+fn main() {
+    for class in [CgClass::S, CgClass::W] {
+        let r = cg_sequential(class);
+        let want = class.params().zeta_verify;
+        println!(
+            "class {}: zeta = {:.13}  (reference {:.13}, diff {:.3e}) rnorm {:.3e}",
+            class.label(),
+            r.zeta,
+            want,
+            (r.zeta - want).abs(),
+            r.rnorm
+        );
+    }
+}

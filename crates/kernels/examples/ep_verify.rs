@@ -1,0 +1,30 @@
+//! Check EP sums against the published NPB values, and parallel CG vs zeta.
+use parade_kernels::cg::{cg_parade, CgClass};
+use parade_kernels::ep::{ep_sequential, EpClass};
+use parade_core::{Cluster, NetProfile, TimeSource};
+
+fn main() {
+    for class in [EpClass::S] {
+        let r = ep_sequential(class);
+        let (rx, ry) = class.reference().unwrap();
+        println!(
+            "EP class {}: sx={:.12e} (ref {:.12e}) sy={:.12e} (ref {:.12e}) ok={:?}",
+            class.label(), r.sx, rx, r.sy, ry, r.verify(class)
+        );
+    }
+    let cluster = Cluster::builder()
+        .nodes(4)
+        .threads_per_node(2)
+        .net(NetProfile::clan_via())
+        .time(TimeSource::Manual)
+        .build()
+        .unwrap();
+    let (r, report) = cg_parade(&cluster, CgClass::S);
+    println!(
+        "CG class S parallel (4 nodes x 2): zeta={:.13} verify={} vtime={} fetches={}",
+        r.zeta,
+        r.verify(CgClass::S),
+        report.exec_time,
+        report.cluster.dsm_totals().page_fetches
+    );
+}

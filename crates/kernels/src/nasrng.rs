@@ -1,0 +1,138 @@
+//! The NAS Parallel Benchmarks pseudo-random number generator.
+//!
+//! A 46-bit linear congruential generator, `x_{k+1} = a·x_k mod 2^46` with
+//! `a = 5^13`, exactly as specified in the NPB report. NPB implements it in
+//! double-precision tricks (`randlc`/`vranlc`); we use 128-bit integer
+//! arithmetic, which produces bit-identical sequences. `O(log n)`
+//! jump-ahead lets threads seed disjoint subsequences (how NAS EP
+//! parallelizes).
+
+const MASK46: u64 = (1u64 << 46) - 1;
+
+/// The default multiplier `a = 5^13 = 1220703125`.
+pub const NAS_A: u64 = 1_220_703_125;
+
+/// The canonical EP/CG seed component `314159265`.
+pub const NAS_SEED: u64 = 314_159_265;
+
+#[inline]
+fn mul46(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) & MASK46 as u128) as u64
+}
+
+/// `a^n mod 2^46` by binary exponentiation.
+pub fn pow46(mut a: u64, mut n: u64) -> u64 {
+    let mut r: u64 = 1;
+    a &= MASK46;
+    while n > 0 {
+        if n & 1 == 1 {
+            r = mul46(r, a);
+        }
+        a = mul46(a, a);
+        n >>= 1;
+    }
+    r
+}
+
+/// The NPB LCG stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NasRng {
+    seed: u64,
+    a: u64,
+}
+
+impl NasRng {
+    pub fn new(seed: u64, a: u64) -> Self {
+        NasRng {
+            seed: seed & MASK46,
+            a: a & MASK46,
+        }
+    }
+
+    /// The standard NPB stream with multiplier `5^13`.
+    pub fn nas(seed: u64) -> Self {
+        NasRng::new(seed, NAS_A)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `randlc`: advance and return a uniform deviate in (0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        self.seed = mul46(self.seed, self.a);
+        self.seed as f64 * 2f64.powi(-46)
+    }
+
+    /// Skip `n` values in O(log n) (the NPB seed-jumping trick).
+    pub fn skip(&mut self, n: u64) {
+        self.seed = mul46(self.seed, pow46(self.a, n));
+    }
+
+    /// A new stream positioned `n` values ahead of this one.
+    pub fn at_offset(&self, n: u64) -> NasRng {
+        let mut r = *self;
+        r.skip(n);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_first_value() {
+        // x1 = 314159265 * 1220703125 mod 2^46.
+        let mut r = NasRng::nas(NAS_SEED);
+        let v = r.next_f64();
+        let expect = ((NAS_SEED as u128 * NAS_A as u128) & MASK46 as u128) as f64
+            * 2f64.powi(-46);
+        assert_eq!(v, expect);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn jump_ahead_matches_sequential() {
+        for n in [0u64, 1, 2, 7, 100, 12345] {
+            let mut seq = NasRng::nas(NAS_SEED);
+            for _ in 0..n {
+                seq.next_f64();
+            }
+            let jump = NasRng::nas(NAS_SEED).at_offset(n);
+            assert_eq!(seq.seed(), jump.seed(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn disjoint_blocks_tile_the_sequence() {
+        // Generate 1000 values sequentially and via 10 jumped blocks.
+        let mut seq = NasRng::nas(12345);
+        let all: Vec<f64> = (0..1000).map(|_| seq.next_f64()).collect();
+        let mut tiled = Vec::new();
+        for b in 0..10 {
+            let mut r = NasRng::nas(12345).at_offset(b * 100);
+            for _ in 0..100 {
+                tiled.push(r.next_f64());
+            }
+        }
+        assert_eq!(all, tiled);
+    }
+
+    #[test]
+    fn pow46_identities() {
+        assert_eq!(pow46(NAS_A, 0), 1);
+        assert_eq!(pow46(NAS_A, 1), NAS_A);
+        assert_eq!(pow46(NAS_A, 2), mul46(NAS_A, NAS_A));
+        // (a^2)^3 == a^6
+        assert_eq!(pow46(pow46(NAS_A, 2), 3), pow46(NAS_A, 6));
+    }
+
+    #[test]
+    fn uniform_ish_distribution() {
+        let mut r = NasRng::nas(NAS_SEED);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

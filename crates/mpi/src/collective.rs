@@ -1,0 +1,453 @@
+//! Collective operations.
+//!
+//! ParADE only strictly needs `MPI_Bcast` and `MPI_Allreduce` (§5.3), plus
+//! barrier for the runtime; `reduce`, `gather` and `allgather` are provided
+//! for the MPI baseline versions of the benchmarks. Algorithms are the
+//! classic tree/dissemination schemes so message counts grow as
+//! `O(P log P)` — the property that makes collectives cheaper than
+//! lock-based SDSM synchronization as the node count grows.
+
+use bytes::Bytes;
+
+use parade_net::VClock;
+
+use crate::comm::Communicator;
+use crate::datatype;
+
+/// Reduction operators for typed allreduce/reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+impl ReduceOp {
+    pub fn fold_f64(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+
+    pub fn fold_i64(self, a: i64, b: i64) -> i64 {
+        match self {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Prod => a.wrapping_mul(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+        }
+    }
+}
+
+// Phase labels inside one collective sequence number.
+const PH_BARRIER_BASE: u8 = 0; // rounds 0..15 (phase = round)
+const PH_BCAST: u8 = 0;
+const PH_REDUCE: u8 = 1;
+const PH_ALLRED_BCAST: u8 = 2;
+const PH_GATHER: u8 = 3;
+
+impl Communicator {
+    /// Dissemination barrier: ⌈log₂ P⌉ rounds, every node sends and
+    /// receives one small message per round.
+    pub fn barrier(&self, clock: &mut VClock) {
+        let mut st = self.coll_guard.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        let size = self.size();
+        if size == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let mut round: u8 = 0;
+        let mut dist = 1usize;
+        while dist < size {
+            let dst = (rank + dist) % size;
+            let src = (rank + size - dist) % size;
+            self.coll_send(dst, seq, PH_BARRIER_BASE + round, Bytes::new(), clock);
+            let _ = self.coll_recv(src, seq, PH_BARRIER_BASE + round, clock);
+            dist <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast of raw bytes from `root`. Non-root callers'
+    /// `buf` is replaced with the received payload.
+    pub fn bcast_bytes(&self, root: usize, buf: &mut Bytes, clock: &mut VClock) {
+        let mut st = self.coll_guard.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        self.bcast_inner(root, buf, seq, PH_BCAST, clock);
+    }
+
+    fn bcast_inner(&self, root: usize, buf: &mut Bytes, seq: u64, phase: u8, clock: &mut VClock) {
+        let size = self.size();
+        if size == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let relrank = (rank + size - root) % size;
+        let mut mask = 1usize;
+        while mask < size {
+            if relrank & mask != 0 {
+                let src = (relrank - mask + root) % size;
+                *buf = self.coll_recv(src, seq, phase, clock);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relrank + mask < size {
+                let dst = (relrank + mask + root) % size;
+                self.coll_send(dst, seq, phase, buf.clone(), clock);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Broadcast a `f64` slice in place.
+    pub fn bcast_f64s(&self, root: usize, xs: &mut [f64], clock: &mut VClock) {
+        let mut buf = if self.rank() == root {
+            datatype::f64s_to_bytes(xs)
+        } else {
+            Bytes::new()
+        };
+        self.bcast_bytes(root, &mut buf, clock);
+        if self.rank() != root {
+            datatype::read_f64s_into(&buf, xs);
+        }
+    }
+
+    /// Binomial-tree reduction to `root` with a user combiner.
+    ///
+    /// `buf` holds this rank's contribution on entry; on exit at the root it
+    /// holds the combined value, elsewhere it is unspecified. `combine`
+    /// folds a peer's encoded contribution into `buf`.
+    pub fn reduce_with(
+        &self,
+        root: usize,
+        buf: &mut Vec<u8>,
+        combine: &dyn Fn(&mut Vec<u8>, &[u8]),
+        clock: &mut VClock,
+    ) {
+        let mut st = self.coll_guard.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        self.reduce_inner(root, buf, combine, seq, clock);
+    }
+
+    fn reduce_inner(
+        &self,
+        root: usize,
+        buf: &mut Vec<u8>,
+        combine: &dyn Fn(&mut Vec<u8>, &[u8]),
+        seq: u64,
+        clock: &mut VClock,
+    ) {
+        let size = self.size();
+        if size == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let relrank = (rank + size - root) % size;
+        let mut mask = 1usize;
+        while mask < size {
+            if relrank & mask == 0 {
+                let peer = relrank | mask;
+                if peer < size {
+                    let src = (peer + root) % size;
+                    let contrib = self.coll_recv(src, seq, PH_REDUCE, clock);
+                    combine(buf, &contrib);
+                }
+            } else {
+                let dst = ((relrank & !mask) + root) % size;
+                self.coll_send(
+                    dst,
+                    seq,
+                    PH_REDUCE,
+                    Bytes::copy_from_slice(buf),
+                    clock,
+                );
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Allreduce with a user combiner: binomial reduce to rank 0 followed by
+    /// binomial broadcast (2⌈log₂ P⌉ rounds). The paper merges multiple
+    /// `reduction` clause variables into one structure and reduces them with
+    /// a user-defined operation — this is that hook.
+    pub fn allreduce_with(
+        &self,
+        buf: &mut Vec<u8>,
+        combine: &dyn Fn(&mut Vec<u8>, &[u8]),
+        clock: &mut VClock,
+    ) {
+        let mut st = self.coll_guard.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        if self.size() == 1 {
+            return;
+        }
+        self.reduce_inner(0, buf, combine, seq, clock);
+        let mut b = Bytes::copy_from_slice(buf);
+        self.bcast_inner(0, &mut b, seq, PH_ALLRED_BCAST, clock);
+        buf.clear();
+        buf.extend_from_slice(&b);
+    }
+
+    /// Elementwise allreduce on an `f64` slice.
+    pub fn allreduce_f64s(&self, xs: &mut [f64], op: ReduceOp, clock: &mut VClock) {
+        let mut buf = datatype::f64s_to_bytes(xs).to_vec();
+        let combine = move |acc: &mut Vec<u8>, other: &[u8]| {
+            let mut a = datatype::bytes_to_f64s(acc);
+            let b = datatype::bytes_to_f64s(other);
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = op.fold_f64(*x, y);
+            }
+            acc.clear();
+            acc.extend_from_slice(&datatype::f64s_to_bytes(&a));
+        };
+        self.allreduce_with(&mut buf, &combine, clock);
+        datatype::read_f64s_into(&buf, xs);
+    }
+
+    /// Allreduce a single `f64`.
+    pub fn allreduce_f64(&self, x: f64, op: ReduceOp, clock: &mut VClock) -> f64 {
+        let mut xs = [x];
+        self.allreduce_f64s(&mut xs, op, clock);
+        xs[0]
+    }
+
+    /// Elementwise allreduce on an `i64` slice.
+    pub fn allreduce_i64s(&self, xs: &mut [i64], op: ReduceOp, clock: &mut VClock) {
+        let mut buf = datatype::i64s_to_bytes(xs).to_vec();
+        let combine = move |acc: &mut Vec<u8>, other: &[u8]| {
+            let mut a = datatype::bytes_to_i64s(acc);
+            let b = datatype::bytes_to_i64s(other);
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = op.fold_i64(*x, y);
+            }
+            acc.clear();
+            acc.extend_from_slice(&datatype::i64s_to_bytes(&a));
+        };
+        self.allreduce_with(&mut buf, &combine, clock);
+        let out = datatype::bytes_to_i64s(&buf);
+        xs.copy_from_slice(&out);
+    }
+
+    /// Allreduce a single `i64`.
+    pub fn allreduce_i64(&self, x: i64, op: ReduceOp, clock: &mut VClock) -> i64 {
+        let mut xs = [x];
+        self.allreduce_i64s(&mut xs, op, clock);
+        xs[0]
+    }
+
+    /// Gather byte strings at `root` (linear). Returns `Some(parts)` indexed
+    /// by rank at the root, `None` elsewhere.
+    pub fn gather_bytes(
+        &self,
+        root: usize,
+        data: Bytes,
+        clock: &mut VClock,
+    ) -> Option<Vec<Bytes>> {
+        let mut st = self.coll_guard.lock();
+        let seq = st.seq;
+        st.seq += 1;
+        let size = self.size();
+        let rank = self.rank();
+        if rank == root {
+            let mut parts: Vec<Bytes> = vec![Bytes::new(); size];
+            parts[root] = data;
+            for r in 0..size {
+                if r != root {
+                    parts[r] = self.coll_recv(r, seq, PH_GATHER, clock);
+                }
+            }
+            Some(parts)
+        } else {
+            self.coll_send(root, seq, PH_GATHER, data, clock);
+            None
+        }
+    }
+
+    /// Allgather byte strings: gather at rank 0, then broadcast the
+    /// concatenation (with a tiny length header per rank).
+    pub fn allgather_bytes(&self, data: Bytes, clock: &mut VClock) -> Vec<Bytes> {
+        let parts = self.gather_bytes(0, data, clock);
+        let mut blob = Bytes::new();
+        if self.rank() == 0 {
+            let parts = parts.expect("root gathers");
+            let mut w = crate::datatype::Writer::new();
+            w.u32(parts.len() as u32);
+            for p in &parts {
+                w.lp_bytes(p);
+            }
+            blob = w.finish();
+        }
+        self.bcast_bytes(0, &mut blob, clock);
+        let mut r = crate::datatype::Reader::new(&blob);
+        let n = r.u32() as usize;
+        (0..n).map(|_| Bytes::copy_from_slice(r.lp_bytes())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parade_net::{Fabric, NetProfile};
+    use std::sync::Arc;
+
+    fn run_all<R: Send + 'static>(
+        n: usize,
+        f: impl Fn(Arc<Communicator>, &mut VClock) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
+        let fabric = Fabric::new(n, NetProfile::clan_via());
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let comm = Arc::new(Communicator::new(fabric.endpoint(i)));
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    let mut clk = VClock::manual();
+                    f(comm, &mut clk)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn barrier_completes_at_various_sizes() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            run_all(n, |c, clk| {
+                for _ in 0..3 {
+                    c.barrier(clk);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_root_data() {
+        for n in [1, 2, 3, 4, 7, 8] {
+            let out = run_all(n, |c, clk| {
+                let mut xs = if c.rank() == 2 % c.size() {
+                    vec![1.0, 2.0, 3.0]
+                } else {
+                    vec![0.0; 3]
+                };
+                c.bcast_f64s(2 % c.size(), &mut xs, clk);
+                xs
+            });
+            for xs in out {
+                assert_eq!(xs, vec![1.0, 2.0, 3.0], "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sum_matches_sequential() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            let out = run_all(n, |c, clk| {
+                let mine = vec![c.rank() as f64, 1.0, -(c.rank() as f64)];
+                let mut xs = mine;
+                c.allreduce_f64s(&mut xs, ReduceOp::Sum, clk);
+                xs
+            });
+            let expect = vec![
+                (0..n).sum::<usize>() as f64,
+                n as f64,
+                -((0..n).sum::<usize>() as f64),
+            ];
+            for xs in out {
+                assert_eq!(xs, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = run_all(5, |c, clk| {
+            let lo = c.allreduce_i64(c.rank() as i64 * 3, ReduceOp::Min, clk);
+            let hi = c.allreduce_i64(c.rank() as i64 * 3, ReduceOp::Max, clk);
+            (lo, hi)
+        });
+        for (lo, hi) in out {
+            assert_eq!((lo, hi), (0, 12));
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_all(4, |c, clk| {
+            c.gather_bytes(1, Bytes::from(vec![c.rank() as u8; 2]), clk)
+        });
+        for (r, parts) in out.into_iter().enumerate() {
+            if r == 1 {
+                let parts = parts.unwrap();
+                for (i, p) in parts.iter().enumerate() {
+                    assert_eq!(&p[..], &[i as u8; 2]);
+                }
+            } else {
+                assert!(parts.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_everyone_gets_everything() {
+        let out = run_all(3, |c, clk| {
+            c.allgather_bytes(Bytes::from(vec![c.rank() as u8 + 10]), clk)
+        });
+        for parts in out {
+            assert_eq!(parts.len(), 3);
+            for (i, p) in parts.iter().enumerate() {
+                assert_eq!(&p[..], &[i as u8 + 10]);
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_advance_virtual_time_with_cluster_size() {
+        // A barrier on more nodes must take at least as long (same profile).
+        let t2 = run_all(2, |c, clk| {
+            c.barrier(clk);
+            clk.now()
+        });
+        let t8 = run_all(8, |c, clk| {
+            c.barrier(clk);
+            clk.now()
+        });
+        let m2 = t2.into_iter().max().unwrap();
+        let m8 = t8.into_iter().max().unwrap();
+        assert!(m8 > m2, "8-node barrier {m8} should exceed 2-node {m2}");
+    }
+
+    #[test]
+    fn struct_reduce_user_op() {
+        // Paper §4.2: several reduction variables merged into one struct and
+        // reduced with a user-defined operation. Emulate (sum, max) pairs.
+        let out = run_all(4, |c, clk| {
+            let mut buf = crate::datatype::f64s_to_bytes(&[c.rank() as f64, c.rank() as f64])
+                .to_vec();
+            let combine = |acc: &mut Vec<u8>, other: &[u8]| {
+                let a = crate::datatype::bytes_to_f64s(acc);
+                let b = crate::datatype::bytes_to_f64s(other);
+                let merged = [a[0] + b[0], a[1].max(b[1])];
+                acc.clear();
+                acc.extend_from_slice(&crate::datatype::f64s_to_bytes(&merged));
+            };
+            c.allreduce_with(&mut buf, &combine, clk);
+            crate::datatype::bytes_to_f64s(&buf)
+        });
+        for xs in out {
+            assert_eq!(xs, vec![6.0, 3.0]);
+        }
+    }
+}

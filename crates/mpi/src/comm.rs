@@ -1,0 +1,163 @@
+//! Communicators and point-to-point messaging.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use parade_net::{Endpoint, Match, MsgClass, VClock};
+
+use crate::datatype;
+
+/// A communicator: one MPI-style rank per cluster node.
+///
+/// Point-to-point operations are fully thread-safe (the paper stresses that
+/// most public MPI libraries were not — their runtime needs a thread-safe
+/// one because application threads and the communication thread both issue
+/// requests). Collective operations are serialized per node by an internal
+/// lock and matched across nodes by a sequence number, so every node must
+/// invoke collectives in the same order — the usual MPI contract.
+pub struct Communicator {
+    ep: Endpoint,
+    rank: usize,
+    size: usize,
+    /// Serializes collective participation of this node's threads.
+    pub(crate) coll_guard: Mutex<CollState>,
+}
+
+pub(crate) struct CollState {
+    /// Sequence number of the next collective; identical across nodes
+    /// because collectives are invoked in the same global order.
+    pub seq: u64,
+}
+
+impl Communicator {
+    pub fn new(ep: Endpoint) -> Self {
+        let rank = ep.id();
+        let size = ep.nodes();
+        Communicator {
+            ep,
+            rank,
+            size,
+            coll_guard: Mutex::new(CollState { seq: 0 }),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of collectives completed so far (diagnostics).
+    pub fn collectives_done(&self) -> u64 {
+        self.coll_guard.lock().seq
+    }
+
+    // ---- point-to-point -------------------------------------------------
+
+    /// Send raw bytes to `dst` with a user tag.
+    pub fn send_bytes(&self, dst: usize, tag: u32, data: Bytes, clock: &mut VClock) {
+        self.ep.send(dst, MsgClass::P2p, tag as u64, data, clock);
+    }
+
+    /// Blocking receive of a message from `src` with `tag`.
+    pub fn recv_bytes(&self, src: usize, tag: u32, clock: &mut VClock) -> Bytes {
+        let pkt = self
+            .ep
+            .recv(MsgClass::P2p, Match::src_tag(src, tag as u64), clock)
+            .expect("communicator used after shutdown");
+        pkt.payload
+    }
+
+    /// Send a slice of `f64`s.
+    pub fn send_f64s(&self, dst: usize, tag: u32, xs: &[f64], clock: &mut VClock) {
+        self.send_bytes(dst, tag, datatype::f64s_to_bytes(xs), clock);
+    }
+
+    /// Receive a slice of `f64`s into `out` (length must match exactly).
+    pub fn recv_f64s_into(&self, src: usize, tag: u32, out: &mut [f64], clock: &mut VClock) {
+        let b = self.recv_bytes(src, tag, clock);
+        datatype::read_f64s_into(&b, out);
+    }
+
+    /// Receive a vector of `f64`s of any length.
+    pub fn recv_f64s(&self, src: usize, tag: u32, clock: &mut VClock) -> Vec<f64> {
+        let b = self.recv_bytes(src, tag, clock);
+        datatype::bytes_to_f64s(&b)
+    }
+
+    /// Send a slice of `i64`s.
+    pub fn send_i64s(&self, dst: usize, tag: u32, xs: &[i64], clock: &mut VClock) {
+        self.send_bytes(dst, tag, datatype::i64s_to_bytes(xs), clock);
+    }
+
+    /// Receive a vector of `i64`s.
+    pub fn recv_i64s(&self, src: usize, tag: u32, clock: &mut VClock) -> Vec<i64> {
+        let b = self.recv_bytes(src, tag, clock);
+        datatype::bytes_to_i64s(&b)
+    }
+
+    // ---- collective plumbing -------------------------------------------
+
+    /// Send within a collective: tag encodes (sequence, phase).
+    pub(crate) fn coll_send(
+        &self,
+        dst: usize,
+        seq: u64,
+        phase: u8,
+        data: Bytes,
+        clock: &mut VClock,
+    ) {
+        self.ep
+            .send(dst, MsgClass::Coll, coll_tag(seq, phase), data, clock);
+    }
+
+    /// Receive within a collective.
+    pub(crate) fn coll_recv(&self, src: usize, seq: u64, phase: u8, clock: &mut VClock) -> Bytes {
+        let pkt = self
+            .ep
+            .recv(MsgClass::Coll, Match::src_tag(src, coll_tag(seq, phase)), clock)
+            .expect("communicator used after shutdown");
+        pkt.payload
+    }
+}
+
+fn coll_tag(seq: u64, phase: u8) -> u64 {
+    seq * 16 + phase as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parade_net::{Fabric, NetProfile};
+    use std::sync::Arc;
+
+    pub(crate) fn make_comms(n: usize) -> Vec<Arc<Communicator>> {
+        let fabric = Fabric::new(n, NetProfile::zero());
+        (0..n)
+            .map(|i| Arc::new(Communicator::new(fabric.endpoint(i))))
+            .collect()
+    }
+
+    #[test]
+    fn p2p_roundtrip() {
+        let comms = make_comms(2);
+        let c1 = Arc::clone(&comms[1]);
+        let t = std::thread::spawn(move || {
+            let mut clk = VClock::manual();
+            c1.recv_f64s(0, 5, &mut clk)
+        });
+        let mut clk = VClock::manual();
+        comms[0].send_f64s(1, 5, &[1.0, 2.0, 3.0], &mut clk);
+        assert_eq!(t.join().unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn self_send() {
+        let comms = make_comms(1);
+        let mut clk = VClock::manual();
+        comms[0].send_i64s(0, 9, &[-4, 7], &mut clk);
+        assert_eq!(comms[0].recv_i64s(0, 9, &mut clk), vec![-4, 7]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Wire encoding helpers.
+//!
+//! Payloads are hand-encoded little-endian byte strings — the mini-MPI the
+//! paper's authors built on VIA moves raw buffers the same way.
+
+use bytes::{Bytes, BytesMut};
+
+/// Encode a slice of `f64` values.
+pub fn f64s_to_bytes(xs: &[f64]) -> Bytes {
+    let mut b = BytesMut::with_capacity(xs.len() * 8);
+    for x in xs {
+        b.extend_from_slice(&x.to_le_bytes());
+    }
+    b.freeze()
+}
+
+/// Decode a byte string into `f64` values.
+///
+/// # Panics
+/// If the length is not a multiple of 8.
+pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    assert!(b.len() % 8 == 0, "payload is not a whole number of f64s");
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Decode into a caller-provided buffer (no allocation).
+pub fn read_f64s_into(b: &[u8], out: &mut [f64]) {
+    assert_eq!(b.len(), out.len() * 8, "payload/buffer length mismatch");
+    for (c, o) in b.chunks_exact(8).zip(out.iter_mut()) {
+        *o = f64::from_le_bytes(c.try_into().expect("chunk of 8"));
+    }
+}
+
+/// Encode a slice of `i64` values.
+pub fn i64s_to_bytes(xs: &[i64]) -> Bytes {
+    let mut b = BytesMut::with_capacity(xs.len() * 8);
+    for x in xs {
+        b.extend_from_slice(&x.to_le_bytes());
+    }
+    b.freeze()
+}
+
+/// Decode a byte string into `i64` values.
+pub fn bytes_to_i64s(b: &[u8]) -> Vec<i64> {
+    assert!(b.len() % 8 == 0, "payload is not a whole number of i64s");
+    b.chunks_exact(8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// Encode a slice of `u64` values.
+pub fn u64s_to_bytes(xs: &[u64]) -> Bytes {
+    let mut b = BytesMut::with_capacity(xs.len() * 8);
+    for x in xs {
+        b.extend_from_slice(&x.to_le_bytes());
+    }
+    b.freeze()
+}
+
+/// Decode a byte string into `u64` values.
+pub fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
+    assert!(b.len() % 8 == 0, "payload is not a whole number of u64s");
+    b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+        .collect()
+}
+
+/// A little-endian cursor for composing protocol messages.
+#[derive(Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::new() }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Writer {
+            buf: BytesMut::with_capacity(n),
+        }
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.extend_from_slice(&[v]);
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Length-prefixed byte string.
+    pub fn lp_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.bytes(v)
+    }
+
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A little-endian cursor for parsing protocol messages.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn u8(&mut self) -> u8 {
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.buf[self.pos..self.pos + 4].try_into().expect("u32"));
+        self.pos += 4;
+        v
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("u64"));
+        self.pos += 8;
+        v
+    }
+
+    pub fn f64(&mut self) -> f64 {
+        let v = f64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().expect("f64"));
+        self.pos += 8;
+        v
+    }
+
+    pub fn bytes(&mut self, n: usize) -> &'a [u8] {
+        let v = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        v
+    }
+
+    /// Length-prefixed byte string written by [`Writer::lp_bytes`].
+    pub fn lp_bytes(&mut self) -> &'a [u8] {
+        let n = self.u32() as usize;
+        self.bytes(n)
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let xs = [1.5, -2.25, 0.0, f64::MAX, f64::MIN_POSITIVE];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&xs)), xs.to_vec());
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        let xs = [0i64, -1, i64::MAX, i64::MIN, 42];
+        assert_eq!(bytes_to_i64s(&i64s_to_bytes(&xs)), xs.to_vec());
+    }
+
+    #[test]
+    fn read_into_buffer() {
+        let xs = [3.25, 4.5];
+        let b = f64s_to_bytes(&xs);
+        let mut out = [0.0; 2];
+        read_f64s_into(&b, &mut out);
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7).u32(1234).u64(u64::MAX).f64(2.75).lp_bytes(b"hello");
+        let b = w.finish();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.u8(), 7);
+        assert_eq!(r.u32(), 1234);
+        assert_eq!(r.u64(), u64::MAX);
+        assert_eq!(r.f64(), 2.75);
+        assert_eq!(r.lp_bytes(), b"hello");
+        assert!(r.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a whole number")]
+    fn misaligned_payload_panics() {
+        bytes_to_f64s(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,393 @@
+//! The message fabric: per-node mailboxes with (class, src, tag) matching.
+//!
+//! The fabric is purely in-process: `send` appends a packet to the
+//! destination mailbox and stamps it with a virtual arrival time from the
+//! [`NetProfile`]; `recv` blocks (in real time) until a matching packet is
+//! queued and then advances the receiver's virtual clock to the arrival
+//! stamp. No real-time delays are ever injected — simulation speed is bound
+//! only by actual computation.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::packet::{MsgClass, Packet};
+use crate::profile::NetProfile;
+use crate::stats::{NetStats, NodeNetStats};
+use crate::vtime::{VClock, VTime};
+
+/// Matching predicate for receives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Match {
+    /// Only match packets from this source node.
+    pub src: Option<usize>,
+    /// Only match packets with this tag.
+    pub tag: Option<u64>,
+}
+
+impl Match {
+    pub fn any() -> Self {
+        Match::default()
+    }
+
+    pub fn from(src: usize) -> Self {
+        Match {
+            src: Some(src),
+            tag: None,
+        }
+    }
+
+    pub fn tagged(tag: u64) -> Self {
+        Match {
+            src: None,
+            tag: Some(tag),
+        }
+    }
+
+    pub fn src_tag(src: usize, tag: u64) -> Self {
+        Match {
+            src: Some(src),
+            tag: Some(tag),
+        }
+    }
+
+    fn matches(&self, p: &Packet) -> bool {
+        self.src.map_or(true, |s| s == p.src) && self.tag.map_or(true, |t| t == p.tag)
+    }
+}
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Packet>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Mailbox {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+struct NodePort {
+    boxes: [Mailbox; 4],
+}
+
+/// The shared interconnect state.
+pub struct Fabric {
+    ports: Vec<NodePort>,
+    profile: NetProfile,
+    stats: NetStats,
+    shutdown: AtomicBool,
+}
+
+impl Fabric {
+    /// Build a fabric connecting `n` nodes.
+    pub fn new(n: usize, profile: NetProfile) -> Arc<Fabric> {
+        assert!(n > 0, "fabric needs at least one node");
+        let ports = (0..n)
+            .map(|_| NodePort {
+                boxes: [Mailbox::new(), Mailbox::new(), Mailbox::new(), Mailbox::new()],
+            })
+            .collect();
+        Arc::new(Fabric {
+            ports,
+            profile,
+            stats: NetStats::new(n),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.ports.len()
+    }
+
+    pub fn profile(&self) -> &NetProfile {
+        &self.profile
+    }
+
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Create the endpoint for node `id`. Endpoints are cheap handles and
+    /// may be cloned freely across a node's threads.
+    pub fn endpoint(self: &Arc<Self>, id: usize) -> Endpoint {
+        assert!(id < self.ports.len(), "no such node: {id}");
+        Endpoint {
+            id,
+            fabric: Arc::clone(self),
+        }
+    }
+
+    /// Wake every blocked receiver and make subsequent receives fail fast.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for port in &self.ports {
+            for mb in &port.boxes {
+                let _g = mb.queue.lock();
+                mb.cv.notify_all();
+            }
+        }
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Error returned by receives when the fabric is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fabric is shut down")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
+/// One node's attachment to the fabric.
+#[derive(Clone)]
+pub struct Endpoint {
+    id: usize,
+    fabric: Arc<Fabric>,
+}
+
+impl Endpoint {
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.fabric.nodes()
+    }
+
+    pub fn profile(&self) -> &NetProfile {
+        self.fabric.profile()
+    }
+
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Per-node traffic counters for this endpoint's node.
+    pub fn local_stats(&self) -> &NodeNetStats {
+        self.fabric.stats.node(self.id)
+    }
+
+    /// Post a message. The sender's clock is charged the per-message CPU
+    /// overhead; the packet is stamped with its virtual arrival time at the
+    /// destination. Sending is asynchronous (eager buffering), matching the
+    /// paper's use of short eager MPI messages.
+    pub fn send(
+        &self,
+        dst: usize,
+        class: MsgClass,
+        tag: u64,
+        payload: Bytes,
+        clock: &mut VClock,
+    ) {
+        clock.sample_compute();
+        self.send_at(dst, class, tag, payload, clock.now());
+        clock.charge_comm(self.fabric.profile.per_msg_cpu);
+    }
+
+    /// Post a message with an explicit departure timestamp. Used by the
+    /// communication thread, which manages its own service clock.
+    pub fn send_at(&self, dst: usize, class: MsgClass, tag: u64, payload: Bytes, now: VTime) {
+        let fabric = &self.fabric;
+        assert!(dst < fabric.ports.len(), "no such node: {dst}");
+        let arrive_at = now + fabric.profile.transfer(self.id, dst, payload.len());
+        fabric.stats.record_send(self.id, class, payload.len());
+        let pkt = Packet {
+            src: self.id,
+            class,
+            tag,
+            payload,
+            sent_at: now,
+            arrive_at,
+        };
+        let mb = &fabric.ports[dst].boxes[class.index()];
+        let mut q = mb.queue.lock();
+        q.push_back(pkt);
+        mb.cv.notify_all();
+    }
+
+    /// Blocking receive of the first queued packet matching `m`.
+    ///
+    /// On success the caller's clock advances to the packet's virtual
+    /// arrival time plus the per-message matching overhead.
+    pub fn recv(
+        &self,
+        class: MsgClass,
+        m: Match,
+        clock: &mut VClock,
+    ) -> Result<Packet, Disconnected> {
+        clock.sample_compute();
+        let pkt = self.recv_raw(class, m)?;
+        clock.sync_to(pkt.arrive_at);
+        clock.charge_comm(self.fabric.profile.per_msg_cpu);
+        Ok(pkt)
+    }
+
+    /// Blocking receive that does not touch any virtual clock. The caller
+    /// (the communication thread) reconciles times itself via
+    /// [`Packet::arrive_at`].
+    pub fn recv_raw(&self, class: MsgClass, m: Match) -> Result<Packet, Disconnected> {
+        let fabric = &self.fabric;
+        let mb = &fabric.ports[self.id].boxes[class.index()];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(|p| m.matches(p)) {
+                return Ok(q.remove(pos).expect("position just found"));
+            }
+            if fabric.is_shutdown() {
+                return Err(Disconnected);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking receive of any packet in `class`.
+    pub fn try_recv(&self, class: MsgClass) -> Option<Packet> {
+        let mb = &self.fabric.ports[self.id].boxes[class.index()];
+        let mut q = mb.queue.lock();
+        q.pop_front()
+    }
+
+    /// Blocking receive of any packet in `class`, without clock handling.
+    /// Returns `Err(Disconnected)` once the fabric shuts down and the queue
+    /// is drained.
+    pub fn recv_any_raw(&self, class: MsgClass) -> Result<Packet, Disconnected> {
+        let fabric = &self.fabric;
+        let mb = &fabric.ports[self.id].boxes[class.index()];
+        let mut q = mb.queue.lock();
+        loop {
+            if let Some(p) = q.pop_front() {
+                return Ok(p);
+            }
+            if fabric.is_shutdown() {
+                return Err(Disconnected);
+            }
+            mb.cv.wait(&mut q);
+        }
+    }
+
+    /// Number of packets currently queued in `class` (diagnostics/tests).
+    pub fn queued(&self, class: MsgClass) -> usize {
+        self.fabric.ports[self.id].boxes[class.index()].queue.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vtime::VClock;
+
+    fn bts(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+
+    #[test]
+    fn send_recv_advances_virtual_time() {
+        let fabric = Fabric::new(2, NetProfile::clan_via());
+        let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
+        let mut ca = VClock::manual();
+        let mut cb = VClock::manual();
+        a.send(1, MsgClass::P2p, 7, bts(&[1, 2, 3]), &mut ca);
+        let pkt = b.recv(MsgClass::P2p, Match::src_tag(0, 7), &mut cb).unwrap();
+        assert_eq!(&pkt.payload[..], &[1, 2, 3]);
+        // Receiver time >= one-way latency.
+        assert!(cb.now() >= NetProfile::clan_via().remote.latency);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let fabric = Fabric::new(2, NetProfile::zero());
+        let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
+        let mut c = VClock::manual();
+        a.send(1, MsgClass::P2p, 1, bts(b"first"), &mut c);
+        a.send(1, MsgClass::P2p, 2, bts(b"second"), &mut c);
+        // Receive tag 2 before tag 1.
+        let p2 = b.recv(MsgClass::P2p, Match::tagged(2), &mut c).unwrap();
+        assert_eq!(&p2.payload[..], b"second");
+        let p1 = b.recv(MsgClass::P2p, Match::tagged(1), &mut c).unwrap();
+        assert_eq!(&p1.payload[..], b"first");
+    }
+
+    #[test]
+    fn classes_do_not_interfere() {
+        let fabric = Fabric::new(2, NetProfile::zero());
+        let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
+        let mut c = VClock::manual();
+        a.send(1, MsgClass::Dsm, 0, bts(b"dsm"), &mut c);
+        a.send(1, MsgClass::P2p, 0, bts(b"p2p"), &mut c);
+        let p = b.recv(MsgClass::P2p, Match::any(), &mut c).unwrap();
+        assert_eq!(&p.payload[..], b"p2p");
+        assert_eq!(b.queued(MsgClass::Dsm), 1);
+    }
+
+    #[test]
+    fn cross_thread_blocking_recv() {
+        let fabric = Fabric::new(2, NetProfile::clan_via());
+        let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
+        let t = std::thread::spawn(move || {
+            let mut c = VClock::manual();
+            b.recv(MsgClass::P2p, Match::any(), &mut c).unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let mut c = VClock::manual();
+        a.send(1, MsgClass::P2p, 9, bts(b"hello"), &mut c);
+        let pkt = t.join().unwrap();
+        assert_eq!(pkt.tag, 9);
+    }
+
+    #[test]
+    fn shutdown_unblocks_receivers() {
+        let fabric = Fabric::new(1, NetProfile::zero());
+        let e = fabric.endpoint(0);
+        let f2 = Arc::clone(&fabric);
+        let t = std::thread::spawn(move || {
+            let mut c = VClock::manual();
+            e.recv(MsgClass::Ctl, Match::any(), &mut c)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        f2.begin_shutdown();
+        assert!(matches!(t.join().unwrap(), Err(Disconnected)));
+    }
+
+    #[test]
+    fn stats_count_sends() {
+        let fabric = Fabric::new(2, NetProfile::zero());
+        let a = fabric.endpoint(0);
+        let mut c = VClock::manual();
+        a.send(1, MsgClass::Dsm, 0, bts(&[0u8; 100]), &mut c);
+        a.send(1, MsgClass::P2p, 0, bts(&[0u8; 50]), &mut c);
+        let s = fabric.stats().totals();
+        assert_eq!(s.msgs, 2);
+        assert_eq!(s.bytes, 150);
+        assert_eq!(fabric.stats().node(0).class_totals(MsgClass::Dsm).bytes, 100);
+    }
+
+    #[test]
+    fn local_messages_are_faster_than_remote() {
+        let fabric = Fabric::new(2, NetProfile::clan_via());
+        let a = fabric.endpoint(0);
+        let mut c = VClock::manual();
+        a.send(0, MsgClass::P2p, 0, bts(&[0u8; 64]), &mut c);
+        a.send(1, MsgClass::P2p, 1, bts(&[0u8; 64]), &mut c);
+        let local = fabric.endpoint(0).try_recv(MsgClass::P2p).unwrap();
+        let remote = fabric.endpoint(1).try_recv(MsgClass::P2p).unwrap();
+        assert!(local.arrive_at - local.sent_at < remote.arrive_at - remote.sent_at);
+    }
+}

@@ -1,0 +1,28 @@
+//! # parade-net — simulated cluster interconnect
+//!
+//! The substrate beneath the ParADE runtime: an in-process message fabric
+//! connecting simulated SMP nodes, with a **virtual-time** cost model
+//! (latency + per-byte bandwidth + per-message CPU, distinct intra-node and
+//! inter-node link costs).
+//!
+//! Design notes:
+//!
+//! * Messages are demultiplexed into per-class mailboxes ([`MsgClass`]) so
+//!   SDSM protocol traffic, MPI point-to-point, MPI collectives, and cluster
+//!   control never interfere — mirroring the paper's dedicated communication
+//!   thread and its thread-safe MPI requirement (§5.3).
+//! * No real-time delay is ever injected; the fabric stamps each packet with
+//!   a virtual arrival time and receivers reconcile their [`VClock`]s, which
+//!   makes simulations both fast and accurate on an oversubscribed host.
+
+mod fabric;
+mod packet;
+mod profile;
+mod stats;
+mod vtime;
+
+pub use fabric::{Disconnected, Endpoint, Fabric, Match};
+pub use packet::{MsgClass, Packet};
+pub use profile::{LinkCost, NetProfile};
+pub use stats::{NetStats, NodeNetStats, Traffic};
+pub use vtime::{thread_cpu_ns, TimeSource, VClock, VTime};

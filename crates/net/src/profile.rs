@@ -1,0 +1,140 @@
+//! Network cost profiles.
+//!
+//! The paper's testbed has two fabrics: a Giganet cLAN VIA switch (the mini
+//! MPI the authors wrote runs directly on VIA) and a 3Com Fast Ethernet
+//! switch driven by MPI/Pro over TCP/IP. Messages between threads of the
+//! *same* node go through shared memory. Each case is a [`NetProfile`].
+
+use crate::vtime::VTime;
+
+/// Cost model for one link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkCost {
+    /// One-way wire latency added to every message.
+    pub latency: VTime,
+    /// Transfer time per payload byte, in nanoseconds (f64 to allow <1ns).
+    pub per_byte_ns: f64,
+}
+
+impl LinkCost {
+    pub fn transfer(&self, bytes: usize) -> VTime {
+        self.latency + VTime::from_nanos((self.per_byte_ns * bytes as f64).round() as u64)
+    }
+}
+
+/// A named cost profile for the whole fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetProfile {
+    pub name: &'static str,
+    /// Inter-node messages.
+    pub remote: LinkCost,
+    /// Intra-node (same node id) messages: a shared-memory hand-off.
+    pub local: LinkCost,
+    /// CPU overhead charged to a thread for posting or matching one message.
+    pub per_msg_cpu: VTime,
+}
+
+impl NetProfile {
+    /// Giganet cLAN, Virtual Interface Architecture. The authors implement a
+    /// minimal thread-safe MPI directly on VIA. ~7.5 µs one-way latency,
+    /// ~110 MB/s payload bandwidth.
+    pub fn clan_via() -> Self {
+        NetProfile {
+            name: "clan-via",
+            remote: LinkCost {
+                latency: VTime::from_nanos(7_500),
+                per_byte_ns: 9.0,
+            },
+            local: LinkCost {
+                latency: VTime::from_nanos(700),
+                per_byte_ns: 3.3,
+            },
+            per_msg_cpu: VTime::from_nanos(1_500),
+        }
+    }
+
+    /// 3Com Fast Ethernet with MPI/Pro over TCP/IP. ~120 µs one-way latency,
+    /// ~11 MB/s payload bandwidth — the "slow" fabric of the paper.
+    pub fn fast_ethernet_tcp() -> Self {
+        NetProfile {
+            name: "fast-ethernet-tcp",
+            remote: LinkCost {
+                latency: VTime::from_micros(120),
+                per_byte_ns: 90.0,
+            },
+            local: LinkCost {
+                latency: VTime::from_nanos(900),
+                per_byte_ns: 3.3,
+            },
+            per_msg_cpu: VTime::from_micros(8),
+        }
+    }
+
+    /// A zero-cost profile for protocol unit tests, where only message
+    /// *semantics* matter and virtual times should stay deterministic.
+    pub fn zero() -> Self {
+        NetProfile {
+            name: "zero",
+            remote: LinkCost {
+                latency: VTime::ZERO,
+                per_byte_ns: 0.0,
+            },
+            local: LinkCost {
+                latency: VTime::ZERO,
+                per_byte_ns: 0.0,
+            },
+            per_msg_cpu: VTime::ZERO,
+        }
+    }
+
+    /// Cost of moving `bytes` from node `src` to node `dst`.
+    pub fn transfer(&self, src: usize, dst: usize, bytes: usize) -> VTime {
+        if src == dst {
+            self.local.transfer(bytes)
+        } else {
+            self.remote.transfer(bytes)
+        }
+    }
+}
+
+impl Default for NetProfile {
+    fn default() -> Self {
+        NetProfile::clan_via()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_scales_with_size() {
+        let p = NetProfile::clan_via();
+        let small = p.transfer(0, 1, 16);
+        let large = p.transfer(0, 1, 4096);
+        assert!(large > small);
+        // 4 KiB page at 9 ns/byte = ~36.9us + 7.5us latency.
+        assert_eq!(large.as_nanos(), 7_500 + (9.0f64 * 4096.0).round() as u64);
+    }
+
+    #[test]
+    fn local_transfer_is_cheaper() {
+        let p = NetProfile::fast_ethernet_tcp();
+        assert!(p.transfer(2, 2, 4096) < p.transfer(2, 3, 4096));
+    }
+
+    #[test]
+    fn zero_profile_is_free() {
+        let p = NetProfile::zero();
+        assert_eq!(p.transfer(0, 5, 123456), VTime::ZERO);
+        assert_eq!(p.per_msg_cpu, VTime::ZERO);
+    }
+
+    #[test]
+    fn ethernet_slower_than_via() {
+        let via = NetProfile::clan_via();
+        let eth = NetProfile::fast_ethernet_tcp();
+        assert!(eth.transfer(0, 1, 4096) > via.transfer(0, 1, 4096));
+        assert!(eth.remote.latency > via.remote.latency);
+    }
+}

@@ -1,0 +1,116 @@
+//! Traffic statistics, per node and per message class.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::packet::MsgClass;
+
+/// A (messages, bytes) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Traffic {
+    pub msgs: u64,
+    pub bytes: u64,
+}
+
+impl Traffic {
+    pub fn add(&mut self, other: Traffic) {
+        self.msgs += other.msgs;
+        self.bytes += other.bytes;
+    }
+}
+
+#[derive(Default)]
+struct Counter {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl Counter {
+    fn record(&self, bytes: usize) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    fn load(&self) -> Traffic {
+        Traffic {
+            msgs: self.msgs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Send counters for one node, broken down by class.
+#[derive(Default)]
+pub struct NodeNetStats {
+    by_class: [Counter; 4],
+}
+
+impl NodeNetStats {
+    pub fn class_totals(&self, class: MsgClass) -> Traffic {
+        self.by_class[class.index()].load()
+    }
+
+    pub fn totals(&self) -> Traffic {
+        let mut t = Traffic::default();
+        for c in &self.by_class {
+            t.add(c.load());
+        }
+        t
+    }
+}
+
+/// Fabric-wide statistics.
+pub struct NetStats {
+    nodes: Vec<NodeNetStats>,
+}
+
+impl NetStats {
+    pub fn new(n: usize) -> Self {
+        NetStats {
+            nodes: (0..n).map(|_| NodeNetStats::default()).collect(),
+        }
+    }
+
+    pub fn record_send(&self, src: usize, class: MsgClass, bytes: usize) {
+        self.nodes[src].by_class[class.index()].record(bytes);
+    }
+
+    pub fn node(&self, id: usize) -> &NodeNetStats {
+        &self.nodes[id]
+    }
+
+    /// Sum over all nodes and classes.
+    pub fn totals(&self) -> Traffic {
+        let mut t = Traffic::default();
+        for n in &self.nodes {
+            t.add(n.totals());
+        }
+        t
+    }
+
+    /// Sum over all nodes for one class.
+    pub fn class_totals(&self, class: MsgClass) -> Traffic {
+        let mut t = Traffic::default();
+        for n in &self.nodes {
+            t.add(n.class_totals(class));
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_class_accounting() {
+        let s = NetStats::new(2);
+        s.record_send(0, MsgClass::Dsm, 4096);
+        s.record_send(0, MsgClass::Dsm, 4096);
+        s.record_send(1, MsgClass::Coll, 8);
+        assert_eq!(s.class_totals(MsgClass::Dsm).msgs, 2);
+        assert_eq!(s.class_totals(MsgClass::Dsm).bytes, 8192);
+        assert_eq!(s.class_totals(MsgClass::Coll).msgs, 1);
+        assert_eq!(s.totals().msgs, 3);
+        assert_eq!(s.node(1).totals().bytes, 8);
+    }
+}

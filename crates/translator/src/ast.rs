@@ -1,0 +1,425 @@
+//! Abstract syntax of the mini-C + OpenMP 1.0 subset.
+
+/// Scalar and array types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    Int,
+    Long,
+    Double,
+    Void,
+}
+
+impl Type {
+    /// Size in bytes (used by the small-data threshold analysis, §5.2.1).
+    pub fn size(&self) -> usize {
+        match self {
+            Type::Int => 4,
+            Type::Long | Type::Double => 8,
+            Type::Void => 0,
+        }
+    }
+
+    pub fn is_float(&self) -> bool {
+        matches!(self, Type::Double)
+    }
+}
+
+/// A variable declaration (scalar or fixed-size array).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    pub ty: Type,
+    pub name: String,
+    /// Array dimensions (empty for scalars). Dimensions are constant
+    /// expressions folded at parse time.
+    pub dims: Vec<usize>,
+    pub init: Option<Expr>,
+}
+
+impl Decl {
+    pub fn total_elems(&self) -> usize {
+        self.dims.iter().product::<usize>().max(1)
+    }
+
+    pub fn byte_size(&self) -> usize {
+        self.total_elems() * self.ty.size()
+    }
+
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    /// `a[i]` or `a[i][j]` (row-major).
+    Index(String, Vec<Expr>),
+    Call(String, Vec<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `cond ? a : b`
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `lhs = rhs`, `lhs += rhs`, … (`op` is `None` for plain assignment).
+    Assign(Option<BinOp>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Variables read by this expression (no dedup).
+    pub fn vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Ident(n) => out.push(n.clone()),
+            Expr::Index(n, idx) => {
+                out.push(n.clone());
+                for e in idx {
+                    e.vars(out);
+                }
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.vars(out);
+                }
+            }
+            Expr::Unary(_, e) => e.vars(out),
+            Expr::Binary(_, a, b) => {
+                a.vars(out);
+                b.vars(out);
+            }
+            Expr::Cond(c, a, b) => {
+                c.vars(out);
+                a.vars(out);
+                b.vars(out);
+            }
+            Expr::Assign(_, l, r) => {
+                l.vars(out);
+                r.vars(out);
+            }
+            Expr::Int(_) | Expr::Float(_) | Expr::Str(_) => {}
+        }
+    }
+
+    /// Function names called anywhere in this expression.
+    pub fn calls(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Call(name, args) => {
+                out.push(name.clone());
+                for a in args {
+                    a.calls(out);
+                }
+            }
+            Expr::Index(_, idx) => {
+                for e in idx {
+                    e.calls(out);
+                }
+            }
+            Expr::Unary(_, e) => e.calls(out),
+            Expr::Binary(_, a, b) => {
+                a.calls(out);
+                b.calls(out);
+            }
+            Expr::Cond(c, a, b) => {
+                c.calls(out);
+                a.calls(out);
+                b.calls(out);
+            }
+            Expr::Assign(_, l, r) => {
+                l.calls(out);
+                r.calls(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Reduction operators of the `reduction` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+}
+
+impl RedOp {
+    pub fn identity_f64(self) -> f64 {
+        match self {
+            RedOp::Add => 0.0,
+            RedOp::Mul => 1.0,
+            RedOp::Min => f64::INFINITY,
+            RedOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn c_token(self) -> &'static str {
+        match self {
+            RedOp::Add => "+",
+            RedOp::Mul => "*",
+            RedOp::Min => "min",
+            RedOp::Max => "max",
+        }
+    }
+}
+
+/// Loop schedules of the `schedule` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sched {
+    Static,
+    StaticChunk(usize),
+    Dynamic(usize),
+    Guided(usize),
+}
+
+/// OpenMP 1.0 clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    Private(Vec<String>),
+    Shared(Vec<String>),
+    FirstPrivate(Vec<String>),
+    LastPrivate(Vec<String>),
+    Reduction(RedOp, Vec<String>),
+    Schedule(Sched),
+    NumThreads(Expr),
+    NoWait,
+}
+
+/// OpenMP 1.0 directive kinds supported by the translator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirKind {
+    Parallel,
+    For,
+    ParallelFor,
+    Critical(Option<String>),
+    Atomic,
+    Single,
+    Master,
+    Barrier,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directive {
+    pub kind: DirKind,
+    pub clauses: Vec<Clause>,
+    pub line: usize,
+}
+
+impl Directive {
+    pub fn clause_vars(&self, pick: impl Fn(&Clause) -> Option<&Vec<String>>) -> Vec<String> {
+        self.clauses.iter().filter_map(|c| pick(c)).flatten().cloned().collect()
+    }
+
+    pub fn privates(&self) -> Vec<String> {
+        self.clause_vars(|c| match c {
+            Clause::Private(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    pub fn firstprivates(&self) -> Vec<String> {
+        self.clause_vars(|c| match c {
+            Clause::FirstPrivate(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    pub fn lastprivates(&self) -> Vec<String> {
+        self.clause_vars(|c| match c {
+            Clause::LastPrivate(v) => Some(v),
+            _ => None,
+        })
+    }
+
+    pub fn reductions(&self) -> Vec<(RedOp, String)> {
+        let mut out = Vec::new();
+        for c in &self.clauses {
+            if let Clause::Reduction(op, vars) = c {
+                for v in vars {
+                    out.push((*op, v.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    pub fn schedule(&self) -> Sched {
+        for c in &self.clauses {
+            if let Clause::Schedule(s) = c {
+                return *s;
+            }
+        }
+        Sched::Static
+    }
+
+    pub fn nowait(&self) -> bool {
+        self.clauses.iter().any(|c| matches!(c, Clause::NoWait))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Decl(Decl),
+    Expr(Expr),
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    While(Expr, Box<Stmt>),
+    /// `for (init; cond; step) body` — init/step are expressions (or
+    /// declarations folded by the parser into a preceding Decl).
+    For {
+        init: Option<Expr>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    Block(Vec<Stmt>),
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    /// A directive applied to the following statement (block directives).
+    Omp(Directive, Option<Box<Stmt>>),
+    Empty,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub ty: Type,
+    pub name: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub ret: Type,
+    pub name: String,
+    pub params: Vec<Param>,
+    pub body: Stmt,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Func(FuncDef),
+    Global(Decl),
+}
+
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub includes: Vec<String>,
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    pub fn func(&self, name: &str) -> Option<&FuncDef> {
+        self.items.iter().find_map(|i| match i {
+            Item::Func(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+}
+
+/// Builtin functions the translator treats as side-effect-free math (they
+/// do not break lexical analyzability, §4.2) plus the OpenMP query API and
+/// `printf`.
+pub const MATH_BUILTINS: &[&str] = &[
+    "sqrt", "fabs", "sin", "cos", "tan", "exp", "log", "pow", "floor", "ceil", "fmin", "fmax",
+];
+
+pub const OMP_BUILTINS: &[&str] = &[
+    "omp_get_thread_num",
+    "omp_get_num_threads",
+    "omp_get_wtime",
+];
+
+pub fn is_math_builtin(name: &str) -> bool {
+    MATH_BUILTINS.contains(&name)
+}
+
+pub fn is_known_builtin(name: &str) -> bool {
+    is_math_builtin(name) || OMP_BUILTINS.contains(&name) || name == "printf"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decl_sizes() {
+        let d = Decl {
+            ty: Type::Double,
+            name: "a".into(),
+            dims: vec![10, 4],
+            init: None,
+        };
+        assert_eq!(d.total_elems(), 40);
+        assert_eq!(d.byte_size(), 320);
+        assert!(d.is_array());
+        let s = Decl {
+            ty: Type::Int,
+            name: "x".into(),
+            dims: vec![],
+            init: None,
+        };
+        assert_eq!(s.byte_size(), 4);
+    }
+
+    #[test]
+    fn expr_vars_and_calls() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Index("a".into(), vec![Expr::Ident("i".into())])),
+            Box::new(Expr::Call("sqrt".into(), vec![Expr::Ident("x".into())])),
+        );
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        assert_eq!(vars, vec!["a".to_string(), "i".into(), "x".into()]);
+        let mut calls = Vec::new();
+        e.calls(&mut calls);
+        assert_eq!(calls, vec!["sqrt".to_string()]);
+    }
+
+    #[test]
+    fn directive_clause_helpers() {
+        let d = Directive {
+            kind: DirKind::ParallelFor,
+            clauses: vec![
+                Clause::Private(vec!["i".into(), "j".into()]),
+                Clause::Reduction(RedOp::Add, vec!["err".into()]),
+                Clause::Schedule(Sched::Dynamic(8)),
+                Clause::NoWait,
+            ],
+            line: 1,
+        };
+        assert_eq!(d.privates(), vec!["i".to_string(), "j".into()]);
+        assert_eq!(d.reductions(), vec![(RedOp::Add, "err".to_string())]);
+        assert_eq!(d.schedule(), Sched::Dynamic(8));
+        assert!(d.nowait());
+    }
+
+    #[test]
+    fn builtins() {
+        assert!(is_math_builtin("sqrt"));
+        assert!(!is_math_builtin("compute"));
+        assert!(is_known_builtin("printf"));
+        assert!(is_known_builtin("omp_get_thread_num"));
+    }
+}

@@ -1,0 +1,126 @@
+//! `paradec` — the ParADE OpenMP translator CLI.
+//!
+//! ```text
+//! paradec translate <file.c> [--mode parade|sdsm] [--threshold N]
+//! paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm]
+//! paradec check <file.c>
+//! ```
+//!
+//! `translate` prints the translated C source (Figures 2/3 style);
+//! `run` interprets the program on a simulated cluster and prints its
+//! output plus a runtime report; `check` parses and analyzes only.
+
+use parade_core::{Cluster, NetProfile, ProtocolMode, TimeSource};
+use parade_translator::emit::{translate, EmitMode};
+use parade_translator::interp::Interp;
+use parade_translator::parser::parse;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  paradec translate <file.c> [--mode parade|sdsm] [--threshold N]\n  \
+         paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm]\n  \
+         paradec check <file.c>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    let file = &args[1];
+    let mut mode = "parade".to_string();
+    let mut nodes = 2usize;
+    let mut threads = 2usize;
+    let mut threshold = parade_translator::analysis::DEFAULT_SMALL_THRESHOLD;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                i += 1;
+                mode = args.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--nodes" => {
+                i += 1;
+                nodes = args.get(i).unwrap_or_else(|| usage()).parse().expect("bad --nodes");
+            }
+            "--threads" => {
+                i += 1;
+                threads = args.get(i).unwrap_or_else(|| usage()).parse().expect("bad --threads");
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .expect("bad --threshold");
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let src = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("paradec: cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let prog = match parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("paradec: {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    match cmd {
+        "check" => {
+            println!(
+                "{file}: ok ({} top-level items, {} includes)",
+                prog.items.len(),
+                prog.includes.len()
+            );
+        }
+        "translate" => {
+            let emit_mode = match mode.as_str() {
+                "sdsm" => EmitMode::Sdsm,
+                _ => EmitMode::Parade,
+            };
+            match translate(&prog, emit_mode, threshold) {
+                Ok(out) => print!("{out}"),
+                Err(e) => {
+                    eprintln!("paradec: {file}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "run" => {
+            let protocol = match mode.as_str() {
+                "sdsm" => ProtocolMode::SdsmOnly,
+                _ => ProtocolMode::Parade,
+            };
+            let cluster = Cluster::builder()
+                .nodes(nodes)
+                .threads_per_node(threads)
+                .protocol(protocol)
+                .net(NetProfile::clan_via())
+                .time(TimeSource::ThreadCpu { scale: 60.0 })
+                .build()
+                .expect("cluster config");
+            match Interp::new(prog).with_threshold(threshold).run(&cluster) {
+                Ok(out) => {
+                    print!("{}", out.stdout);
+                    eprintln!("[paradec] exit code {}", out.exit);
+                    std::process::exit(out.exit as i32);
+                }
+                Err(e) => {
+                    eprintln!("paradec: {file}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

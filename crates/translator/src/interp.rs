@@ -1,0 +1,1634 @@
+//! Interpreter: executes a translated OpenMP program on the ParADE
+//! runtime.
+//!
+//! The real ParADE emits C that is compiled and linked against the runtime
+//! library; this reproduction instead *interprets* the lowered program
+//! directly against `parade-core`, which exercises exactly the same
+//! directive lowerings end-to-end (allocation protocol selection,
+//! collectives vs locks, work-sharing, barriers) without needing a C
+//! toolchain inside the simulation.
+//!
+//! Supported subset: the mini-C of the parser; `double`/`int`/`long`
+//! scalars and fixed-size arrays; functions without OpenMP directives
+//! callable from anywhere; OpenMP 1.0 directives inside `main`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use parade_core::{
+    Cluster, MasterCtx, ReduceOp, SharedScalar, SharedVec, ThreadCtx,
+};
+
+use crate::analysis::{
+    analyze_critical, analyze_single, classify_region, loop_of, CriticalLowering,
+    RegionClassification, SingleLowering, Symbols, VarScope, DEFAULT_SMALL_THRESHOLD,
+};
+use crate::ast::*;
+
+/// Interpreter failure.
+#[derive(Debug, Clone)]
+pub struct RuntimeError {
+    pub message: String,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+fn rte<T>(msg: impl Into<String>) -> Result<T, RuntimeError> {
+    Err(RuntimeError {
+        message: msg.into(),
+    })
+}
+
+type RtResult<T> = Result<T, RuntimeError>;
+
+/// Runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Val {
+    I(i64),
+    D(f64),
+    S(String),
+}
+
+impl Val {
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Val::I(v) => *v as f64,
+            Val::D(v) => *v,
+            Val::S(_) => f64::NAN,
+        }
+    }
+
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Val::I(v) => *v,
+            Val::D(v) => *v as i64,
+            Val::S(_) => 0,
+        }
+    }
+
+    fn truthy(&self) -> bool {
+        match self {
+            Val::I(v) => *v != 0,
+            Val::D(v) => *v != 0.0,
+            Val::S(s) => !s.is_empty(),
+        }
+    }
+}
+
+/// Shared storage assigned to a variable by the protocol-classification
+/// pre-pass (§3: "ParADE classifies data structures according to their
+/// size and applies different protocols").
+#[derive(Clone)]
+enum Shared {
+    /// Large data: paged DSM, HLRC invalidate protocol.
+    ArrF(SharedVec<f64>, Vec<usize>),
+    ArrI(SharedVec<i64>, Vec<usize>),
+    /// Small scalar, message-passing update protocol.
+    ScalarUpd(SharedScalar<f64>, Type),
+    /// Scalar forced onto the paged DSM (written by plain stores or inside
+    /// lock-path criticals).
+    ScalarHlrc(SharedVec<f64>, Type),
+}
+
+/// Private storage (master frame or a thread's frame).
+#[derive(Debug, Clone)]
+enum Local {
+    Scalar(Type, Val),
+    ArrF(Vec<usize>, Vec<f64>),
+    ArrI(Vec<usize>, Vec<i64>),
+}
+
+/// Flow control outcome of a statement.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<Val>),
+}
+
+/// Output of a program run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    pub exit: i64,
+    pub stdout: String,
+}
+
+/// Execution context: serial (master) or inside a parallel region.
+enum Exec<'a> {
+    Master(&'a mut MasterCtx),
+    Thread(&'a ThreadCtx),
+}
+
+impl<'a> Exec<'a> {
+    fn vec_get_f(&mut self, v: &SharedVec<f64>, i: usize) -> f64 {
+        match self {
+            Exec::Master(g) => g.get(v, i),
+            Exec::Thread(tc) => tc.get(v, i),
+        }
+    }
+
+    fn vec_set_f(&mut self, v: &SharedVec<f64>, i: usize, x: f64) {
+        match self {
+            Exec::Master(g) => g.set(v, i, x),
+            Exec::Thread(tc) => tc.set(v, i, x),
+        }
+    }
+
+    fn vec_get_i(&mut self, v: &SharedVec<i64>, i: usize) -> i64 {
+        match self {
+            Exec::Master(g) => g.get(v, i),
+            Exec::Thread(tc) => tc.get(v, i),
+        }
+    }
+
+    fn vec_set_i(&mut self, v: &SharedVec<i64>, i: usize, x: i64) {
+        match self {
+            Exec::Master(g) => g.set(v, i, x),
+            Exec::Thread(tc) => tc.set(v, i, x),
+        }
+    }
+
+    fn scalar_get(&mut self, s: &SharedScalar<f64>) -> f64 {
+        match self {
+            Exec::Master(g) => g.scalar_get_f64(s),
+            Exec::Thread(tc) => tc.scalar_get(s),
+        }
+    }
+
+    fn thread_num(&self) -> usize {
+        match self {
+            Exec::Master(_) => 0,
+            Exec::Thread(tc) => tc.thread_num(),
+        }
+    }
+
+    fn num_threads(&self) -> usize {
+        match self {
+            Exec::Master(_) => 1,
+            Exec::Thread(tc) => tc.num_threads(),
+        }
+    }
+
+    fn wtime(&mut self) -> f64 {
+        match self {
+            Exec::Master(g) => g.now().as_secs_f64(),
+            Exec::Thread(tc) => tc.now().as_secs_f64(),
+        }
+    }
+}
+
+/// The interpreter for one program.
+pub struct Interp {
+    prog: Arc<Program>,
+    threshold: usize,
+}
+
+impl Interp {
+    pub fn new(prog: Program) -> Self {
+        Interp {
+            prog: Arc::new(prog),
+            threshold: DEFAULT_SMALL_THRESHOLD,
+        }
+    }
+
+    pub fn with_threshold(mut self, t: usize) -> Self {
+        self.threshold = t;
+        self
+    }
+
+    /// Run `main` on the given cluster; returns the exit code and captured
+    /// `printf` output.
+    pub fn run(&self, cluster: &Cluster) -> RtResult<RunOutput> {
+        let prog = Arc::clone(&self.prog);
+        let threshold = self.threshold;
+        let result: RtResult<(i64, String)> = cluster.run(move |g| {
+            let Some(main) = prog.func("main") else {
+                return rte("program has no main()");
+            };
+            let main = main.clone();
+            let io = Arc::new(Mutex::new(String::new()));
+            let syms = Symbols::collect(&prog, &main);
+            let storage = plan_storage(&prog, &main, &syms, threshold);
+            let shared = alloc_shared(g, &syms, &storage)?;
+            let mut env = Env {
+                prog: Arc::clone(&prog),
+                syms: Arc::new(syms),
+                shared: Arc::new(shared),
+                io: Arc::clone(&io),
+                threshold,
+                scopes: vec![HashMap::new()],
+                in_region: false,
+                region_class: None,
+                single_dummy: None,
+                lp_scratch: None,
+                in_update_body: false,
+            };
+            // Initialize globals (into shared storage or master locals).
+            let mut exec = Exec::Master(g);
+            for item in prog.items.iter() {
+                if let Item::Global(d) = item {
+                    env.declare(&mut exec, d)?;
+                }
+            }
+            let flow = env.exec_region_aware(g, &main.body)?;
+            let exit = match flow {
+                Flow::Return(Some(v)) => v.as_i64(),
+                _ => 0,
+            };
+            let out = io.lock().clone();
+            Ok((exit, out))
+        });
+        let (exit, stdout) = result?;
+        Ok(RunOutput { exit, stdout })
+    }
+}
+
+/// Storage class decided by the pre-pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StorageKind {
+    #[allow(dead_code)] // the implicit default: absent from the map
+    MasterLocal,
+    SharedArr,
+    ScalarUpdate,
+    ScalarHlrc,
+}
+
+/// Decide the storage/protocol of every variable (globals + main locals):
+/// arrays shared by any region go to the paged DSM; shared scalars use the
+/// update protocol unless written by plain stores or lock-path constructs,
+/// which force HLRC.
+fn plan_storage(
+    prog: &Program,
+    main: &FuncDef,
+    syms: &Symbols,
+    threshold: usize,
+) -> HashMap<String, StorageKind> {
+    let mut kinds: HashMap<String, StorageKind> = HashMap::new();
+    // Globals are conservatively shared (callees may touch them from
+    // inside regions).
+    for item in &prog.items {
+        if let Item::Global(d) = item {
+            kinds.insert(
+                d.name.clone(),
+                if d.is_array() {
+                    StorageKind::SharedArr
+                } else {
+                    StorageKind::ScalarHlrc
+                },
+            );
+        }
+    }
+    // Walk main for parallel regions.
+    let mut regions = Vec::new();
+    collect_regions(&main.body, &mut regions);
+    for (dir, body) in &regions {
+        let class = classify_region(dir, body, syms);
+        for name in class.shared_vars() {
+            let Some(d) = syms.get(&name) else { continue };
+            let entry = kinds.entry(name.clone()).or_insert(if d.is_array() {
+                StorageKind::SharedArr
+            } else {
+                StorageKind::ScalarUpdate
+            });
+            if d.is_array() {
+                *entry = StorageKind::SharedArr;
+            }
+        }
+        // Plain writes (outside analyzable constructs) force HLRC.
+        let mut forced = Vec::new();
+        forced_hlrc_writes(body, &class, syms, threshold, &mut forced);
+        for name in forced {
+            if let Some(k) = kinds.get_mut(&name) {
+                if *k == StorageKind::ScalarUpdate {
+                    *k = StorageKind::ScalarHlrc;
+                }
+            }
+        }
+    }
+    kinds
+}
+
+fn collect_regions(s: &Stmt, out: &mut Vec<(Directive, Stmt)>) {
+    match s {
+        Stmt::Omp(d, Some(b)) if matches!(d.kind, DirKind::Parallel | DirKind::ParallelFor) => {
+            out.push((d.clone(), b.as_ref().clone()));
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect_regions(s, out);
+            }
+        }
+        Stmt::If(_, a, b) => {
+            collect_regions(a, out);
+            if let Some(b) = b {
+                collect_regions(b, out);
+            }
+        }
+        Stmt::While(_, b) => collect_regions(b, out),
+        Stmt::For { body, .. } => collect_regions(body, out),
+        _ => {}
+    }
+}
+
+/// Scalar shared variables written by plain assignments or inside
+/// lock-lowered constructs within a region body.
+fn forced_hlrc_writes(
+    s: &Stmt,
+    class: &RegionClassification,
+    syms: &Symbols,
+    threshold: usize,
+    out: &mut Vec<String>,
+) {
+    match s {
+        Stmt::Expr(e) => expr_plain_writes(e, out),
+        Stmt::Decl(d) => {
+            if let Some(e) = &d.init {
+                expr_plain_writes(e, out);
+            }
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                forced_hlrc_writes(s, class, syms, threshold, out);
+            }
+        }
+        Stmt::If(c, a, b) => {
+            expr_plain_writes(c, out);
+            forced_hlrc_writes(a, class, syms, threshold, out);
+            if let Some(b) = b {
+                forced_hlrc_writes(b, class, syms, threshold, out);
+            }
+        }
+        Stmt::While(c, b) => {
+            expr_plain_writes(c, out);
+            forced_hlrc_writes(b, class, syms, threshold, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                expr_plain_writes(e, out);
+            }
+            forced_hlrc_writes(body, class, syms, threshold, out);
+        }
+        Stmt::Omp(dir, Some(body)) => match &dir.kind {
+            DirKind::Critical(_) => {
+                if let CriticalLowering::Lock = analyze_critical(body, class, syms, threshold) {
+                    // Writes inside a lock-path critical go to the DSM.
+                    let mut w = Vec::new();
+                    all_scalar_writes(body, &mut w);
+                    out.extend(w);
+                }
+            }
+            DirKind::Atomic => { /* collective path, never forces */ }
+            DirKind::Single => {
+                if let SingleLowering::LockFlagBarrier =
+                    analyze_single(body, class, syms, threshold)
+                {
+                    let mut w = Vec::new();
+                    all_scalar_writes(body, &mut w);
+                    out.extend(w);
+                }
+            }
+            _ => forced_hlrc_writes(body, class, syms, threshold, out),
+        },
+        _ => {}
+    }
+}
+
+fn expr_plain_writes(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Assign(_, lhs, rhs) => {
+            if let Expr::Ident(n) = lhs.as_ref() {
+                out.push(n.clone());
+            }
+            expr_plain_writes(rhs, out);
+        }
+        Expr::Binary(_, a, b) => {
+            expr_plain_writes(a, out);
+            expr_plain_writes(b, out);
+        }
+        Expr::Unary(_, a) => expr_plain_writes(a, out),
+        Expr::Cond(c, a, b) => {
+            expr_plain_writes(c, out);
+            expr_plain_writes(a, out);
+            expr_plain_writes(b, out);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                expr_plain_writes(a, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn all_scalar_writes(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Expr(e) => expr_plain_writes(e, out),
+        Stmt::Block(ss) => {
+            for s in ss {
+                all_scalar_writes(s, out);
+            }
+        }
+        Stmt::If(_, a, b) => {
+            all_scalar_writes(a, out);
+            if let Some(b) = b {
+                all_scalar_writes(b, out);
+            }
+        }
+        Stmt::While(_, b) => all_scalar_writes(b, out),
+        Stmt::For { body, .. } => all_scalar_writes(body, out),
+        Stmt::Omp(_, Some(b)) => all_scalar_writes(b, out),
+        _ => {}
+    }
+}
+
+fn alloc_shared(
+    g: &mut MasterCtx,
+    syms: &Symbols,
+    storage: &HashMap<String, StorageKind>,
+) -> RtResult<HashMap<String, Shared>> {
+    let mut out = HashMap::new();
+    // Deterministic allocation order.
+    let mut names: Vec<&String> = storage.keys().collect();
+    names.sort();
+    for name in names {
+        let kind = storage[name];
+        let Some(d) = syms.get(name) else { continue };
+        let slot = match kind {
+            StorageKind::MasterLocal => continue,
+            StorageKind::SharedArr => {
+                if d.ty.is_float() {
+                    Shared::ArrF(g.alloc_f64(d.total_elems()), d.dims.clone())
+                } else {
+                    Shared::ArrI(g.alloc_vec::<i64>(d.total_elems()), d.dims.clone())
+                }
+            }
+            StorageKind::ScalarUpdate => Shared::ScalarUpd(g.alloc_scalar_f64(), d.ty.clone()),
+            StorageKind::ScalarHlrc => Shared::ScalarHlrc(g.alloc_f64(1), d.ty.clone()),
+        };
+        out.insert(name.clone(), slot);
+    }
+    Ok(out)
+}
+
+/// One interpreter environment (master frame or a thread frame).
+struct Env {
+    prog: Arc<Program>,
+    syms: Arc<Symbols>,
+    shared: Arc<HashMap<String, Shared>>,
+    io: Arc<Mutex<String>>,
+    threshold: usize,
+    scopes: Vec<HashMap<String, Local>>,
+    in_region: bool,
+    /// Classification of the enclosing region (thread frames only).
+    region_class: Option<RegionClassification>,
+    /// Coordination scalar for execute-once singles (thread frames only).
+    single_dummy: Option<SharedScalar<f64>>,
+    /// Scratch vector receiving lastprivate values (thread frames only).
+    lp_scratch: Option<SharedVec<f64>>,
+    /// Inside the body of a `single`/analyzable construct: stores to
+    /// update-protocol scalars are sanctioned and go to the local copy.
+    in_update_body: bool,
+}
+
+impl Env {
+    fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn local_mut(&mut self, name: &str) -> Option<&mut Local> {
+        for sc in self.scopes.iter_mut().rev() {
+            if let Some(l) = sc.get_mut(name) {
+                return Some(l);
+            }
+        }
+        None
+    }
+
+    fn has_local(&self, name: &str) -> bool {
+        self.scopes.iter().rev().any(|s| s.contains_key(name))
+    }
+
+    fn insert_local(&mut self, name: &str, l: Local) {
+        self.scopes
+            .last_mut()
+            .expect("scope stack")
+            .insert(name.to_string(), l);
+    }
+
+    fn coerce(ty: &Type, v: Val) -> Val {
+        match ty {
+            Type::Double => Val::D(v.as_f64()),
+            Type::Int | Type::Long => Val::I(v.as_i64()),
+            Type::Void => v,
+        }
+    }
+
+    /// Declare a variable in the current scope (unless it lives in shared
+    /// storage, in which case only its initializer runs).
+    fn declare(&mut self, exec: &mut Exec<'_>, d: &Decl) -> RtResult<()> {
+        let is_shared = self.shared.contains_key(&d.name) && !self.in_region;
+        if is_shared || (self.in_region && self.shared.contains_key(&d.name)) {
+            // Shared storage already allocated; run the initializer.
+            if let Some(init) = &d.init {
+                let v = self.eval(exec, init)?;
+                self.write_var(exec, &d.name, v)?;
+            }
+            return Ok(());
+        }
+        let l = if d.is_array() {
+            if d.ty.is_float() {
+                Local::ArrF(d.dims.clone(), vec![0.0; d.total_elems()])
+            } else {
+                Local::ArrI(d.dims.clone(), vec![0; d.total_elems()])
+            }
+        } else {
+            let init = match &d.init {
+                Some(e) => Self::coerce(&d.ty, self.eval(exec, e)?),
+                None => Self::coerce(&d.ty, Val::I(0)),
+            };
+            Local::Scalar(d.ty.clone(), init)
+        };
+        self.insert_local(&d.name, l);
+        // Arrays with initializers are not in the subset.
+        Ok(())
+    }
+
+    // ---- variable access ---------------------------------------------------
+
+    fn read_var(&mut self, exec: &mut Exec<'_>, name: &str) -> RtResult<Val> {
+        if self.has_local(name) {
+            let l = self.local_mut(name).expect("just checked");
+            return match l {
+                Local::Scalar(_, v) => Ok(v.clone()),
+                _ => rte(format!("array {name} used as a scalar")),
+            };
+        }
+        match self.shared.get(name) {
+            Some(Shared::ScalarUpd(s, ty)) => {
+                let v = exec.scalar_get(s);
+                Ok(Self::coerce(ty, Val::D(v)))
+            }
+            Some(Shared::ScalarHlrc(vec, ty)) => {
+                let v = exec.vec_get_f(vec, 0);
+                Ok(Self::coerce(ty, Val::D(v)))
+            }
+            Some(_) => rte(format!("array {name} used as a scalar")),
+            None => rte(format!("undefined variable {name}")),
+        }
+    }
+
+    fn write_var(&mut self, exec: &mut Exec<'_>, name: &str, v: Val) -> RtResult<()> {
+        if self.has_local(name) {
+            let l = self.local_mut(name).expect("just checked");
+            match l {
+                Local::Scalar(ty, slot) => {
+                    *slot = Self::coerce(ty, v);
+                    Ok(())
+                }
+                _ => rte(format!("array {name} used as a scalar")),
+            }
+        } else {
+            match (self.shared.get(name).cloned(), &mut *exec) {
+                (Some(Shared::ScalarUpd(s, _)), Exec::Master(g)) => {
+                    g.scalar_set_f64(&s, v.as_f64());
+                    Ok(())
+                }
+                (Some(Shared::ScalarUpd(s, _)), Exec::Thread(tc)) => {
+                    if self.in_update_body {
+                        tc.scalar_set_in_construct(&s, v.as_f64());
+                        Ok(())
+                    } else {
+                        rte(format!(
+                            "unsynchronized write to update-protocol variable {name} inside a region \
+                             (the translator routes such writes through atomic/critical/single)"
+                        ))
+                    }
+                }
+                (Some(Shared::ScalarHlrc(vec, _)), exec) => {
+                    exec.vec_set_f(&vec, 0, v.as_f64());
+                    Ok(())
+                }
+                (Some(_), _) => rte(format!("array {name} used as a scalar")),
+                (None, _) => rte(format!("undefined variable {name}")),
+            }
+        }
+    }
+
+    fn flat_index(dims: &[usize], idx: &[i64]) -> RtResult<usize> {
+        if dims.len() != idx.len() {
+            return rte(format!(
+                "array indexed with {} subscripts, has {} dims",
+                idx.len(),
+                dims.len()
+            ));
+        }
+        let mut flat = 0usize;
+        for (d, i) in dims.iter().zip(idx) {
+            if *i < 0 || *i as usize >= *d {
+                return rte(format!("index {i} out of bounds for dimension {d}"));
+            }
+            flat = flat * d + *i as usize;
+        }
+        Ok(flat)
+    }
+
+    fn read_elem(&mut self, exec: &mut Exec<'_>, name: &str, idx: &[i64]) -> RtResult<Val> {
+        if self.has_local(name) {
+            let l = self.local_mut(name).expect("just checked");
+            return match l {
+                Local::ArrF(dims, data) => {
+                    let i = Self::flat_index(dims, idx)?;
+                    Ok(Val::D(data[i]))
+                }
+                Local::ArrI(dims, data) => {
+                    let i = Self::flat_index(dims, idx)?;
+                    Ok(Val::I(data[i]))
+                }
+                _ => rte(format!("scalar {name} indexed")),
+            };
+        }
+        match self.shared.get(name).cloned() {
+            Some(Shared::ArrF(v, dims)) => {
+                let i = Self::flat_index(&dims, idx)?;
+                Ok(Val::D(exec.vec_get_f(&v, i)))
+            }
+            Some(Shared::ArrI(v, dims)) => {
+                let i = Self::flat_index(&dims, idx)?;
+                Ok(Val::I(exec.vec_get_i(&v, i)))
+            }
+            Some(_) => rte(format!("scalar {name} indexed")),
+            None => rte(format!("undefined array {name}")),
+        }
+    }
+
+    fn write_elem(
+        &mut self,
+        exec: &mut Exec<'_>,
+        name: &str,
+        idx: &[i64],
+        v: Val,
+    ) -> RtResult<()> {
+        if self.has_local(name) {
+            let l = self.local_mut(name).expect("just checked");
+            return match l {
+                Local::ArrF(dims, data) => {
+                    let i = Self::flat_index(dims, idx)?;
+                    data[i] = v.as_f64();
+                    Ok(())
+                }
+                Local::ArrI(dims, data) => {
+                    let i = Self::flat_index(dims, idx)?;
+                    data[i] = v.as_i64();
+                    Ok(())
+                }
+                _ => rte(format!("scalar {name} indexed")),
+            };
+        }
+        match self.shared.get(name).cloned() {
+            Some(Shared::ArrF(vec, dims)) => {
+                let i = Self::flat_index(&dims, idx)?;
+                exec.vec_set_f(&vec, i, v.as_f64());
+                Ok(())
+            }
+            Some(Shared::ArrI(vec, dims)) => {
+                let i = Self::flat_index(&dims, idx)?;
+                exec.vec_set_i(&vec, i, v.as_i64());
+                Ok(())
+            }
+            Some(_) => rte(format!("scalar {name} indexed")),
+            None => rte(format!("undefined array {name}")),
+        }
+    }
+
+    // ---- expressions ---------------------------------------------------------
+
+    fn eval(&mut self, exec: &mut Exec<'_>, e: &Expr) -> RtResult<Val> {
+        match e {
+            Expr::Int(v) => Ok(Val::I(*v)),
+            Expr::Float(v) => Ok(Val::D(*v)),
+            Expr::Str(s) => Ok(Val::S(s.clone())),
+            Expr::Ident(n) => self.read_var(exec, n),
+            Expr::Index(n, idx) => {
+                let mut flat = Vec::with_capacity(idx.len());
+                for i in idx {
+                    flat.push(self.eval(exec, i)?.as_i64());
+                }
+                self.read_elem(exec, n, &flat)
+            }
+            Expr::Unary(op, a) => {
+                let v = self.eval(exec, a)?;
+                Ok(match op {
+                    UnOp::Neg => match v {
+                        Val::I(x) => Val::I(-x),
+                        Val::D(x) => Val::D(-x),
+                        Val::S(_) => return rte("cannot negate a string"),
+                    },
+                    UnOp::Not => Val::I(i64::from(!v.truthy())),
+                })
+            }
+            Expr::Binary(op, a, b) => {
+                // Short-circuit logicals.
+                match op {
+                    BinOp::And => {
+                        let av = self.eval(exec, a)?;
+                        if !av.truthy() {
+                            return Ok(Val::I(0));
+                        }
+                        let bv = self.eval(exec, b)?;
+                        return Ok(Val::I(i64::from(bv.truthy())));
+                    }
+                    BinOp::Or => {
+                        let av = self.eval(exec, a)?;
+                        if av.truthy() {
+                            return Ok(Val::I(1));
+                        }
+                        let bv = self.eval(exec, b)?;
+                        return Ok(Val::I(i64::from(bv.truthy())));
+                    }
+                    _ => {}
+                }
+                let av = self.eval(exec, a)?;
+                let bv = self.eval(exec, b)?;
+                binop(*op, av, bv)
+            }
+            Expr::Cond(c, a, b) => {
+                if self.eval(exec, c)?.truthy() {
+                    self.eval(exec, a)
+                } else {
+                    self.eval(exec, b)
+                }
+            }
+            Expr::Assign(op, lhs, rhs) => {
+                let rv = self.eval(exec, rhs)?;
+                let newv = match op {
+                    None => rv,
+                    Some(o) => {
+                        let old = match lhs.as_ref() {
+                            Expr::Ident(n) => self.read_var(exec, n)?,
+                            Expr::Index(n, idx) => {
+                                let mut flat = Vec::with_capacity(idx.len());
+                                for i in idx {
+                                    flat.push(self.eval(exec, i)?.as_i64());
+                                }
+                                self.read_elem(exec, n, &flat)?
+                            }
+                            _ => return rte("bad assignment target"),
+                        };
+                        binop(*o, old, rv)?
+                    }
+                };
+                match lhs.as_ref() {
+                    Expr::Ident(n) => self.write_var(exec, n, newv.clone())?,
+                    Expr::Index(n, idx) => {
+                        let mut flat = Vec::with_capacity(idx.len());
+                        for i in idx {
+                            flat.push(self.eval(exec, i)?.as_i64());
+                        }
+                        self.write_elem(exec, n, &flat, newv.clone())?;
+                    }
+                    _ => return rte("bad assignment target"),
+                }
+                Ok(newv)
+            }
+            Expr::Call(name, args) => self.call(exec, name, args),
+        }
+    }
+
+    fn call(&mut self, exec: &mut Exec<'_>, name: &str, args: &[Expr]) -> RtResult<Val> {
+        // Builtins.
+        match name {
+            "printf" => return self.printf(exec, args),
+            "omp_get_thread_num" => return Ok(Val::I(exec.thread_num() as i64)),
+            "omp_get_num_threads" => return Ok(Val::I(exec.num_threads() as i64)),
+            "omp_get_wtime" => return Ok(Val::D(exec.wtime())),
+            _ => {}
+        }
+        if is_math_builtin(name) {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(self.eval(exec, a)?.as_f64());
+            }
+            let v = match (name, vals.as_slice()) {
+                ("sqrt", [x]) => x.sqrt(),
+                ("fabs", [x]) => x.abs(),
+                ("sin", [x]) => x.sin(),
+                ("cos", [x]) => x.cos(),
+                ("tan", [x]) => x.tan(),
+                ("exp", [x]) => x.exp(),
+                ("log", [x]) => x.ln(),
+                ("floor", [x]) => x.floor(),
+                ("ceil", [x]) => x.ceil(),
+                ("pow", [x, y]) => x.powf(*y),
+                ("fmin", [x, y]) => x.min(*y),
+                ("fmax", [x, y]) => x.max(*y),
+                _ => return rte(format!("bad arity for builtin {name}")),
+            };
+            return Ok(Val::D(v));
+        }
+        // User function.
+        let Some(f) = self.prog.func(name) else {
+            return rte(format!("call to undefined function {name}"));
+        };
+        let f = f.clone();
+        if f.params.len() != args.len() {
+            return rte(format!(
+                "{name} expects {} arguments, got {}",
+                f.params.len(),
+                args.len()
+            ));
+        }
+        if contains_omp(&f.body) {
+            return rte(format!(
+                "function {name} contains OpenMP directives; only main may \
+                 (translator subset restriction)"
+            ));
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(exec, a)?);
+        }
+        // New frame: only globals remain visible.
+        let saved = std::mem::replace(&mut self.scopes, vec![HashMap::new()]);
+        for (p, v) in f.params.iter().zip(vals) {
+            self.insert_local(&p.name, Local::Scalar(p.ty.clone(), Self::coerce(&p.ty, v)));
+        }
+        let flow = self.exec_stmt(exec, &f.body)?;
+        self.scopes = saved;
+        match flow {
+            Flow::Return(Some(v)) => Ok(Self::coerce(&f.ret, v)),
+            _ => Ok(Val::I(0)),
+        }
+    }
+
+    fn printf(&mut self, exec: &mut Exec<'_>, args: &[Expr]) -> RtResult<Val> {
+        let Some(Expr::Str(fmt)) = args.first() else {
+            return rte("printf needs a literal format string");
+        };
+        let fmt = fmt.clone();
+        let mut vals = Vec::new();
+        for a in &args[1..] {
+            vals.push(self.eval(exec, a)?);
+        }
+        let text = format_c(&fmt, &vals)?;
+        self.io.lock().push_str(&text);
+        Ok(Val::I(text.len() as i64))
+    }
+
+    // ---- statements -----------------------------------------------------------
+
+    /// Execute serial code, dispatching parallel regions (master only).
+    fn exec_region_aware(&mut self, g: &mut MasterCtx, s: &Stmt) -> RtResult<Flow> {
+        match s {
+            Stmt::Omp(dir, body)
+                if matches!(dir.kind, DirKind::Parallel | DirKind::ParallelFor) =>
+            {
+                self.run_parallel(g, dir, body.as_deref().expect("region body"))?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(ss) => {
+                self.push_scope();
+                for s in ss {
+                    match self.exec_region_aware(g, s)? {
+                        Flow::Normal => {}
+                        other => {
+                            self.pop_scope();
+                            return Ok(other);
+                        }
+                    }
+                }
+                self.pop_scope();
+                Ok(Flow::Normal)
+            }
+            Stmt::If(c, a, b) => {
+                let cond = {
+                    let mut exec = Exec::Master(g);
+                    self.eval(&mut exec, c)?
+                };
+                if cond.truthy() {
+                    self.exec_region_aware(g, a)
+                } else if let Some(b) = b {
+                    self.exec_region_aware(g, b)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While(c, b) => {
+                loop {
+                    let cond = {
+                        let mut exec = Exec::Master(g);
+                        self.eval(&mut exec, c)?
+                    };
+                    if !cond.truthy() {
+                        break;
+                    }
+                    match self.exec_region_aware(g, b)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(e) = init {
+                    let mut exec = Exec::Master(g);
+                    self.eval(&mut exec, e)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        let v = {
+                            let mut exec = Exec::Master(g);
+                            self.eval(&mut exec, c)?
+                        };
+                        if !v.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec_region_aware(g, body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    if let Some(e) = step {
+                        let mut exec = Exec::Master(g);
+                        self.eval(&mut exec, e)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            other => {
+                let mut exec = Exec::Master(g);
+                self.exec_stmt(&mut exec, other)
+            }
+        }
+    }
+
+    /// Execute a statement in straight-line (non-region-spawning) context.
+    fn exec_stmt(&mut self, exec: &mut Exec<'_>, s: &Stmt) -> RtResult<Flow> {
+        match s {
+            Stmt::Empty => Ok(Flow::Normal),
+            Stmt::Decl(d) => {
+                self.declare(exec, d)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.eval(exec, e)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(ss) => {
+                self.push_scope();
+                for s in ss {
+                    match self.exec_stmt(exec, s)? {
+                        Flow::Normal => {}
+                        other => {
+                            self.pop_scope();
+                            return Ok(other);
+                        }
+                    }
+                }
+                self.pop_scope();
+                Ok(Flow::Normal)
+            }
+            Stmt::If(c, a, b) => {
+                if self.eval(exec, c)?.truthy() {
+                    self.exec_stmt(exec, a)
+                } else if let Some(b) = b {
+                    self.exec_stmt(exec, b)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While(c, b) => {
+                while self.eval(exec, c)?.truthy() {
+                    match self.exec_stmt(exec, b)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(e) = init {
+                    self.eval(exec, e)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if !self.eval(exec, c)?.truthy() {
+                            break;
+                        }
+                    }
+                    match self.exec_stmt(exec, body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    if let Some(e) = step {
+                        self.eval(exec, e)?;
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.eval(exec, e)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Omp(dir, body) => self.exec_directive(exec, dir, body.as_deref()),
+        }
+    }
+
+    // ---- directives inside regions ---------------------------------------------
+
+    fn exec_directive(
+        &mut self,
+        exec: &mut Exec<'_>,
+        dir: &Directive,
+        body: Option<&Stmt>,
+    ) -> RtResult<Flow> {
+        let Exec::Thread(tc) = exec else {
+            return rte(format!(
+                "directive {:?} outside a parallel region",
+                dir.kind
+            ));
+        };
+        let tc: &ThreadCtx = tc;
+        match &dir.kind {
+            DirKind::Parallel | DirKind::ParallelFor => {
+                rte("nested parallel regions are not supported")
+            }
+            DirKind::Barrier => {
+                tc.barrier();
+                Ok(Flow::Normal)
+            }
+            DirKind::Master => {
+                if tc.thread_num() == 0 {
+                    let mut exec = Exec::Thread(tc);
+                    self.exec_stmt(&mut exec, body.expect("master body"))?;
+                }
+                Ok(Flow::Normal)
+            }
+            DirKind::For => {
+                let body = body.expect("loop body");
+                self.worksharing_loop(tc, dir, body)?;
+                Ok(Flow::Normal)
+            }
+            DirKind::Critical(cname) => {
+                let body = body.expect("critical body");
+                let class = self.current_class()?;
+                match analyze_critical(body, &class, &self.syms, self.threshold) {
+                    CriticalLowering::Collective(updates)
+                        if updates
+                            .iter()
+                            .all(|u| matches!(self.shared.get(&u.target), Some(Shared::ScalarUpd(..)))) =>
+                    {
+                        for u in updates {
+                            let mut exec = Exec::Thread(tc);
+                            let operand = self.eval(&mut exec, &u.operand)?.as_f64();
+                            let Some(Shared::ScalarUpd(s, _)) = self.shared.get(&u.target)
+                            else {
+                                unreachable!("checked above");
+                            };
+                            tc.atomic_f64(s, red_to_mpi(u.op), operand);
+                        }
+                        Ok(Flow::Normal)
+                    }
+                    _ => {
+                        // Lock fallback (hierarchical).
+                        let id = critical_lock_id(cname.as_deref());
+                        tc.critical(id, |tc2| {
+                            let mut exec = Exec::Thread(tc2);
+                            self.exec_stmt(&mut exec, body)
+                        })
+                    }
+                }
+            }
+            DirKind::Atomic => {
+                let Some(Stmt::Expr(e)) = body else {
+                    return rte("atomic body must be an expression statement");
+                };
+                let Some(u) = crate::analysis::as_scalar_update(e) else {
+                    return rte("atomic body must be a scalar update");
+                };
+                match self.shared.get(&u.target).cloned() {
+                    Some(Shared::ScalarUpd(s, _)) => {
+                        let mut exec = Exec::Thread(tc);
+                        let operand = self.eval(&mut exec, &u.operand)?.as_f64();
+                        tc.atomic_f64(&s, red_to_mpi(u.op), operand);
+                        Ok(Flow::Normal)
+                    }
+                    _ => {
+                        // HLRC-stored target: lock path.
+                        let id = critical_lock_id(Some(&u.target));
+                        let body = body.expect("atomic body");
+                        tc.critical(id, |tc2| {
+                            let mut exec = Exec::Thread(tc2);
+                            self.exec_stmt(&mut exec, body)
+                        })
+                    }
+                }
+            }
+            DirKind::Single => {
+                let body = body.expect("single body");
+                let class = self.current_class()?;
+                let lowering = analyze_single(body, &class, &self.syms, self.threshold);
+                let upd_targets: Option<Vec<SharedScalar<f64>>> = match &lowering {
+                    SingleLowering::Broadcast(targets) => targets
+                        .iter()
+                        .map(|t| match self.shared.get(t) {
+                            Some(Shared::ScalarUpd(s, _)) => Some(*s),
+                            _ => None,
+                        })
+                        .collect(),
+                    SingleLowering::LockFlagBarrier => None,
+                };
+                match upd_targets {
+                    Some(scalars) => {
+                        // Broadcast path: the body runs on the earliest
+                        // thread of node 0; targets propagate by bcast.
+                        let targets: Vec<String> = match &lowering {
+                            SingleLowering::Broadcast(t) => t.clone(),
+                            _ => unreachable!(),
+                        };
+                        let shared = Arc::clone(&self.shared);
+                        let mut err = None;
+                        tc.single_update(&scalars, |tc2| {
+                            let mut exec = Exec::Thread(tc2);
+                            self.in_update_body = true;
+                            let r = self.exec_stmt(&mut exec, body);
+                            self.in_update_body = false;
+                            if let Err(e) = r {
+                                err = Some(e);
+                                return vec![0.0; targets.len()];
+                            }
+                            // Read back the values the body stored.
+                            targets
+                                .iter()
+                                .map(|t| match shared.get(t) {
+                                    Some(Shared::ScalarUpd(s, _)) => tc2.scalar_get(s),
+                                    _ => 0.0,
+                                })
+                                .collect()
+                        });
+                        if let Some(e) = err {
+                            return Err(e);
+                        }
+                        Ok(Flow::Normal)
+                    }
+                    None => {
+                        // Execute-once + barrier (targets live on HLRC).
+                        let dummy = self.single_dummy()?;
+                        let mut err = None;
+                        tc.single_f64(&dummy, |tc2| {
+                            let mut exec = Exec::Thread(tc2);
+                            self.in_update_body = true;
+                            let r = self.exec_stmt(&mut exec, body);
+                            self.in_update_body = false;
+                            if let Err(e) = r {
+                                err = Some(e);
+                            }
+                            0.0
+                        });
+                        tc.barrier();
+                        if let Some(e) = err {
+                            return Err(e);
+                        }
+                        Ok(Flow::Normal)
+                    }
+                }
+            }
+        }
+    }
+
+    fn current_class(&self) -> RtResult<RegionClassification> {
+        match &self.region_class {
+            Some(c) => Ok(c.clone()),
+            None => rte("directive outside a region context"),
+        }
+    }
+
+    fn single_dummy(&self) -> RtResult<SharedScalar<f64>> {
+        match &self.single_dummy {
+            Some(s) => Ok(*s),
+            None => rte("runtime scratch missing"),
+        }
+    }
+
+    // ---- parallel region execution -------------------------------------------
+
+    fn run_parallel(&mut self, g: &mut MasterCtx, dir: &Directive, body: &Stmt) -> RtResult<()> {
+        let class = classify_region(dir, body, &self.syms);
+        // Firstprivate snapshots (captured by value at fork, §4.1).
+        let mut fp: HashMap<String, Val> = HashMap::new();
+        for name in dir.firstprivates() {
+            let mut exec = Exec::Master(g);
+            fp.insert(name.clone(), self.read_var(&mut exec, &name)?);
+        }
+        // Reduction setup.
+        let reductions = dir.reductions();
+        // Lastprivate scratch.
+        let lastprivates = dir.lastprivates();
+        let lp_scratch = if lastprivates.is_empty() {
+            None
+        } else {
+            Some(g.alloc_f64(lastprivates.len()))
+        };
+        let single_dummy = g.alloc_scalar_f64();
+
+        let shared = Arc::clone(&self.shared);
+        let syms = Arc::clone(&self.syms);
+        let prog = Arc::clone(&self.prog);
+        let io = Arc::clone(&self.io);
+        let threshold = self.threshold;
+        let body = Arc::new(body.clone());
+        let dir = Arc::new(dir.clone());
+        let class_arc = Arc::new(class);
+        let fp = Arc::new(fp);
+        let reductions_arc = Arc::new(reductions.clone());
+        let lastprivates_arc = Arc::new(lastprivates.clone());
+
+        let result: RtResult<Vec<f64>> = g.parallel(move |tc| {
+            let mut env = Env {
+                prog: Arc::clone(&prog),
+                syms: Arc::clone(&syms),
+                shared: Arc::clone(&shared),
+                io: Arc::clone(&io),
+                threshold,
+                scopes: vec![HashMap::new()],
+                in_region: true,
+                region_class: Some((*class_arc).clone()),
+                single_dummy: Some(single_dummy),
+                lp_scratch,
+                in_update_body: false,
+            };
+            // Private variables: loop vars and clause-private names get
+            // fresh locals; firstprivate get snapshots; reduction vars get
+            // identity-initialized locals.
+            let mut names: Vec<(&String, &VarScope)> = class_arc.scopes.iter().collect();
+            names.sort_by_key(|(n, _)| (*n).clone());
+            for (name, scope) in names {
+                match scope {
+                    VarScope::Private | VarScope::LastPrivate => {
+                        if let Some(d) = syms.get(name) {
+                            let l = if d.is_array() {
+                                if d.ty.is_float() {
+                                    Local::ArrF(d.dims.clone(), vec![0.0; d.total_elems()])
+                                } else {
+                                    Local::ArrI(d.dims.clone(), vec![0; d.total_elems()])
+                                }
+                            } else {
+                                Local::Scalar(d.ty.clone(), Env::coerce(&d.ty, Val::I(0)))
+                            };
+                            env.insert_local(name, l);
+                        }
+                    }
+                    VarScope::FirstPrivate => {
+                        let v = fp.get(name).cloned().unwrap_or(Val::I(0));
+                        let ty = syms.get(name).map(|d| d.ty.clone()).unwrap_or(Type::Double);
+                        env.insert_local(name, Local::Scalar(ty.clone(), Env::coerce(&ty, v)));
+                    }
+                    VarScope::Reduction(op) => {
+                        let ty = syms.get(name).map(|d| d.ty.clone()).unwrap_or(Type::Double);
+                        env.insert_local(
+                            name,
+                            Local::Scalar(ty, Val::D(op.identity_f64())),
+                        );
+                    }
+                    VarScope::Shared => {}
+                }
+            }
+
+            // Execute the region body.
+            let exec_result: RtResult<()> = (|| {
+                match dir.kind {
+                    DirKind::ParallelFor => {
+                        env.worksharing_loop(tc, &dir, &body)?;
+                    }
+                    _ => {
+                        let mut exec = Exec::Thread(tc);
+                        env.exec_stmt(&mut exec, &body)?;
+                    }
+                }
+                Ok(())
+            })();
+            exec_result?;
+
+            // Reduction epilogue: combine thread contributions; every
+            // thread returns the totals (lead's return reaches the master).
+            let mut totals = Vec::new();
+            for (op, name) in reductions_arc.iter() {
+                let local = match env.local_mut(name) {
+                    Some(Local::Scalar(_, v)) => v.as_f64(),
+                    _ => 0.0,
+                };
+                totals.push(tc.reduce_f64(red_to_mpi(*op), local));
+            }
+            // Lastprivate: the owner of the final iteration stored into the
+            // scratch during the loop; nothing more to do here.
+            let _ = &lastprivates_arc;
+            Ok(totals)
+        });
+        let totals = result?;
+
+        // Fold reduction totals into the master's variables.
+        for ((op, name), total) in reductions.iter().zip(totals) {
+            let mut exec = Exec::Master(g);
+            let old = self.read_var(&mut exec, name)?.as_f64();
+            let new = red_to_mpi(*op).fold_f64(old, total);
+            self.write_var(&mut exec, name, Val::D(new))?;
+        }
+        // Lastprivate writeback.
+        if let Some(scratch) = lp_scratch {
+            for (k, name) in lastprivates.iter().enumerate() {
+                let v = g.get(&scratch, k);
+                let mut exec = Exec::Master(g);
+                self.write_var(&mut exec, name, Val::D(v))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute a work-shared canonical loop on this thread.
+    fn worksharing_loop(
+        &mut self,
+        tc: &ThreadCtx,
+        dir: &Directive,
+        body: &Stmt,
+    ) -> RtResult<()> {
+        let Some(cl) = loop_of(body) else {
+            return rte("work-shared loop is not in canonical form");
+        };
+        let (lo, hi) = {
+            let mut exec = Exec::Thread(tc);
+            let lo = self.eval(&mut exec, &cl.lo)?.as_i64();
+            let hi = self.eval(&mut exec, &cl.hi)?.as_i64();
+            (lo, hi)
+        };
+        let count = if hi > lo {
+            ((hi - lo) as usize).div_ceil(cl.step as usize)
+        } else {
+            0
+        };
+        let lastprivates = dir.lastprivates();
+        let last_iter_val = if count > 0 {
+            Some(lo + ((count - 1) as i64) * cl.step)
+        } else {
+            None
+        };
+
+        let run_iter = |env: &mut Env, k: usize| -> RtResult<()> {
+            let i = lo + (k as i64) * cl.step;
+            let mut exec = Exec::Thread(tc);
+            env.write_var(&mut exec, &cl.var, Val::I(i))?;
+            env.exec_stmt(&mut exec, &cl.body)?;
+            if Some(i) == last_iter_val && !lastprivates.is_empty() {
+                // Owner of the last iteration publishes lastprivate values.
+                if let Some(scratch) = env.lp_scratch {
+                    for (slot, name) in lastprivates.iter().enumerate() {
+                        let v = env.read_var(&mut exec, name)?.as_f64();
+                        tc.set(&scratch, slot, v);
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        match dir.schedule() {
+            Sched::Static => {
+                for k in tc.for_static(0..count) {
+                    run_iter(self, k)?;
+                }
+            }
+            Sched::StaticChunk(c) => {
+                for chunk in tc.for_static_chunks(0..count, c) {
+                    for k in chunk {
+                        run_iter(self, k)?;
+                    }
+                }
+            }
+            Sched::Dynamic(c) => {
+                let mut err = None;
+                tc.for_dynamic_nowait(0..count, c, |r| {
+                    for k in r {
+                        if err.is_some() {
+                            return;
+                        }
+                        if let Err(e) = run_iter(self, k) {
+                            err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+            Sched::Guided(c) => {
+                let mut err = None;
+                // for_guided carries its own implicit barrier.
+                tc.for_guided(0..count, c, |r| {
+                    for k in r {
+                        if err.is_some() {
+                            return;
+                        }
+                        if let Err(e) = run_iter(self, k) {
+                            err = Some(e);
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                return Ok(());
+            }
+        }
+        if !dir.nowait() {
+            tc.barrier();
+        }
+        Ok(())
+    }
+}
+
+fn critical_lock_id(name: Option<&str>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.unwrap_or("<anonymous>").hash(&mut h);
+    // Stay inside the user lock-id space.
+    h.finish() % (1 << 30)
+}
+
+fn red_to_mpi(op: RedOp) -> ReduceOp {
+    match op {
+        RedOp::Add => ReduceOp::Sum,
+        RedOp::Mul => ReduceOp::Prod,
+        RedOp::Min => ReduceOp::Min,
+        RedOp::Max => ReduceOp::Max,
+    }
+}
+
+fn contains_omp(s: &Stmt) -> bool {
+    match s {
+        Stmt::Omp(..) => true,
+        Stmt::Block(ss) => ss.iter().any(contains_omp),
+        Stmt::If(_, a, b) => {
+            contains_omp(a) || b.as_ref().map(|b| contains_omp(b)).unwrap_or(false)
+        }
+        Stmt::While(_, b) => contains_omp(b),
+        Stmt::For { body, .. } => contains_omp(body),
+        _ => false,
+    }
+}
+
+fn binop(op: BinOp, a: Val, b: Val) -> RtResult<Val> {
+    use BinOp::*;
+    let float = matches!(a, Val::D(_)) || matches!(b, Val::D(_));
+    Ok(match op {
+        Add | Sub | Mul | Div => {
+            if float {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                Val::D(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    _ => unreachable!(),
+                })
+            } else {
+                let (x, y) = (a.as_i64(), b.as_i64());
+                Val::I(match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            return rte("integer division by zero");
+                        }
+                        x / y
+                    }
+                    _ => unreachable!(),
+                })
+            }
+        }
+        Rem => {
+            let (x, y) = (a.as_i64(), b.as_i64());
+            if y == 0 {
+                return rte("modulo by zero");
+            }
+            Val::I(x % y)
+        }
+        Eq | Ne | Lt | Gt | Le | Ge => {
+            let r = if float {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Gt => x > y,
+                    Le => x <= y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            } else {
+                let (x, y) = (a.as_i64(), b.as_i64());
+                match op {
+                    Eq => x == y,
+                    Ne => x != y,
+                    Lt => x < y,
+                    Gt => x > y,
+                    Le => x <= y,
+                    Ge => x >= y,
+                    _ => unreachable!(),
+                }
+            };
+            Val::I(i64::from(r))
+        }
+        And | Or => unreachable!("handled by short-circuit in eval"),
+    })
+}
+
+/// A small C-style formatter supporting %d %ld %f %e %g %s %% with
+/// optional width/precision on the float forms.
+fn format_c(fmt: &str, args: &[Val]) -> RtResult<String> {
+    let mut out = String::new();
+    let mut chars = fmt.chars().peekable();
+    let mut next = 0usize;
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        if chars.peek() == Some(&'%') {
+            chars.next();
+            out.push('%');
+            continue;
+        }
+        // Parse width[.precision] flags (digits and '.').
+        let mut spec = String::new();
+        while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || *c == '.' || *c == '-') {
+            spec.push(chars.next().expect("peeked"));
+        }
+        // Skip length modifiers.
+        while matches!(chars.peek(), Some('l') | Some('h')) {
+            chars.next();
+        }
+        let Some(conv) = chars.next() else {
+            return rte("dangling % in format string");
+        };
+        let arg = args.get(next).cloned().unwrap_or(Val::I(0));
+        next += 1;
+        let prec: Option<usize> = spec
+            .split('.')
+            .nth(1)
+            .and_then(|p| p.parse().ok());
+        match conv {
+            'd' | 'i' | 'u' => out.push_str(&arg.as_i64().to_string()),
+            'f' | 'F' => {
+                let p = prec.unwrap_or(6);
+                out.push_str(&format!("{:.*}", p, arg.as_f64()));
+            }
+            'e' | 'E' => {
+                let p = prec.unwrap_or(6);
+                out.push_str(&format!("{:.*e}", p, arg.as_f64()));
+            }
+            'g' | 'G' => {
+                out.push_str(&format!("{}", arg.as_f64()));
+            }
+            's' => match arg {
+                Val::S(s) => out.push_str(&s),
+                other => out.push_str(&format!("{other:?}")),
+            },
+            other => return rte(format!("unsupported conversion %{other}")),
+        }
+    }
+    Ok(out)
+}

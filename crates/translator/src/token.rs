@@ -1,0 +1,518 @@
+//! Lexer for the mini-C + OpenMP subset.
+//!
+//! The real ParADE translator reuses Omni's C-front on preprocessed C; this
+//! reproduction lexes a self-contained C subset directly. `#pragma omp`
+//! lines are tokenized in-line and terminated by a [`Tok::PragmaEnd`]
+//! marker (pragmas are line-oriented); `#include` lines are preserved
+//! verbatim for the emitter.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    // Keywords.
+    KwInt,
+    KwLong,
+    KwDouble,
+    KwFloat,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwStatic,
+    KwConst,
+    KwStruct,
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+    // Preprocessor-ish.
+    PragmaOmp,
+    PragmaEnd,
+    Include(String),
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// Lexing / parsing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    /// Inside a `#pragma` line: newline ends the pragma.
+    in_pragma: bool,
+    out: Vec<Spanned>,
+}
+
+/// Tokenize a source file.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        in_pragma: false,
+        out: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.out)
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.out.push(Spanned {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn run(&mut self) -> Result<(), ParseError> {
+        while self.pos < self.src.len() {
+            let c = self.peek();
+            match c {
+                b'\n' => {
+                    if self.in_pragma {
+                        self.push(Tok::PragmaEnd);
+                        self.in_pragma = false;
+                    }
+                    self.bump();
+                }
+                b' ' | b'\t' | b'\r' => {
+                    self.bump();
+                }
+                b'\\' if self.in_pragma && self.peek2() == b'\n' => {
+                    // Pragma line continuation.
+                    self.bump();
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return err(self.line, "unterminated block comment");
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'#' => self.directive()?,
+                b'"' => self.string()?,
+                b'0'..=b'9' => self.number()?,
+                b'.' if self.peek2().is_ascii_digit() => self.number()?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => self.operator()?,
+            }
+        }
+        if self.in_pragma {
+            self.push(Tok::PragmaEnd);
+        }
+        self.push(Tok::Eof);
+        Ok(())
+    }
+
+    fn directive(&mut self) -> Result<(), ParseError> {
+        let start_line = self.line;
+        let line_start = self.pos;
+        // Read the directive word.
+        self.bump(); // '#'
+        while self.peek() == b' ' {
+            self.bump();
+        }
+        let mut word = String::new();
+        while self.peek().is_ascii_alphabetic() {
+            word.push(self.bump() as char);
+        }
+        match word.as_str() {
+            "pragma" => {
+                while self.peek() == b' ' {
+                    self.bump();
+                }
+                let mut what = String::new();
+                while self.peek().is_ascii_alphabetic() {
+                    what.push(self.bump() as char);
+                }
+                if what == "omp" {
+                    self.push(Tok::PragmaOmp);
+                    self.in_pragma = true;
+                    Ok(())
+                } else {
+                    // Unknown pragma: skip the line.
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                    Ok(())
+                }
+            }
+            "include" => {
+                let mut text = String::new();
+                while self.pos < self.src.len() && self.peek() != b'\n' {
+                    text.push(self.bump() as char);
+                }
+                self.push(Tok::Include(text.trim().to_string()));
+                Ok(())
+            }
+            _ => {
+                let _ = line_start;
+                err(start_line, format!("unsupported preprocessor directive #{word}"))
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), ParseError> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                0 => return err(line, "unterminated string literal"),
+                b'"' => break,
+                b'\\' => {
+                    let e = self.bump();
+                    s.push(match e {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'\\' => '\\',
+                        b'"' => '"',
+                        b'0' => '\0',
+                        other => other as char,
+                    });
+                }
+                c => s.push(c as char),
+            }
+        }
+        self.push(Tok::Str(s));
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), ParseError> {
+        let line = self.line;
+        let start = self.pos;
+        let mut is_float = false;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        if self.peek() == b'.' {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if self.peek() == b'e' || self.peek() == b'E' {
+            is_float = true;
+            self.bump();
+            if self.peek() == b'+' || self.peek() == b'-' {
+                self.bump();
+            }
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if is_float {
+            match text.parse::<f64>() {
+                Ok(v) => self.push(Tok::Float(v)),
+                Err(_) => return err(line, format!("bad float literal {text}")),
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => self.push(Tok::Int(v)),
+                Err(_) => return err(line, format!("bad integer literal {text}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while {
+            let c = self.peek();
+            c == b'_' || c.is_ascii_alphanumeric()
+        } {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        if self.in_pragma {
+            // Pragma words ("for", "if", …) are directive/clause names,
+            // not C keywords.
+            self.push(Tok::Ident(text.to_string()));
+            return;
+        }
+        let tok = match text {
+            "int" => Tok::KwInt,
+            "long" => Tok::KwLong,
+            "double" => Tok::KwDouble,
+            "float" => Tok::KwFloat,
+            "void" => Tok::KwVoid,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "for" => Tok::KwFor,
+            "while" => Tok::KwWhile,
+            "do" => Tok::KwDo,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "static" => Tok::KwStatic,
+            "const" => Tok::KwConst,
+            "struct" => Tok::KwStruct,
+            _ => Tok::Ident(text.to_string()),
+        };
+        self.push(tok);
+    }
+
+    fn operator(&mut self) -> Result<(), ParseError> {
+        let line = self.line;
+        let c = self.bump();
+        let two = |lx: &mut Lexer, next: u8, a: Tok, b: Tok| {
+            if lx.peek() == next {
+                lx.bump();
+                a
+            } else {
+                b
+            }
+        };
+        let tok = match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b';' => Tok::Semi,
+            b',' => Tok::Comma,
+            b':' => Tok::Colon,
+            b'?' => Tok::Question,
+            b'+' => {
+                if self.peek() == b'+' {
+                    self.bump();
+                    Tok::PlusPlus
+                } else {
+                    two(self, b'=', Tok::PlusAssign, Tok::Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == b'-' {
+                    self.bump();
+                    Tok::MinusMinus
+                } else {
+                    two(self, b'=', Tok::MinusAssign, Tok::Minus)
+                }
+            }
+            b'*' => two(self, b'=', Tok::StarAssign, Tok::Star),
+            b'/' => two(self, b'=', Tok::SlashAssign, Tok::Slash),
+            b'%' => Tok::Percent,
+            b'=' => two(self, b'=', Tok::Eq, Tok::Assign),
+            b'!' => two(self, b'=', Tok::Ne, Tok::Not),
+            b'<' => two(self, b'=', Tok::Le, Tok::Lt),
+            b'>' => two(self, b'=', Tok::Ge, Tok::Gt),
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    Tok::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return err(line, "bitwise | unsupported");
+                }
+            }
+            other => return err(line, format!("unexpected character {:?}", other as char)),
+        };
+        self.push(tok);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lex_simple_function() {
+        let t = toks("int main() { return 0; }");
+        assert_eq!(
+            t,
+            vec![
+                Tok::KwInt,
+                Tok::Ident("main".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::KwReturn,
+                Tok::Int(0),
+                Tok::Semi,
+                Tok::RBrace,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_pragma_line_terminates() {
+        let t = toks("#pragma omp parallel for\nx = 1;");
+        assert_eq!(t[0], Tok::PragmaOmp);
+        assert_eq!(t[1], Tok::Ident("parallel".into()));
+        assert_eq!(t[2], Tok::Ident("for".into()));
+        assert_eq!(t[3], Tok::PragmaEnd);
+        assert_eq!(t[4], Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn lex_pragma_continuation() {
+        let t = toks("#pragma omp parallel \\\n  private(i)\ny = 2;");
+        let end = t.iter().position(|x| *x == Tok::PragmaEnd).unwrap();
+        assert!(t[..end].contains(&Tok::Ident("private".into())));
+        assert_eq!(t[end + 1], Tok::Ident("y".into()));
+    }
+
+    #[test]
+    fn lex_numbers_and_floats() {
+        assert_eq!(toks("42")[0], Tok::Int(42));
+        assert_eq!(toks("3.5")[0], Tok::Float(3.5));
+        assert_eq!(toks("1e-3")[0], Tok::Float(1e-3));
+        assert_eq!(toks(".25")[0], Tok::Float(0.25));
+    }
+
+    #[test]
+    fn lex_operators() {
+        let t = toks("a += b == c && d <= e++");
+        assert!(t.contains(&Tok::PlusAssign));
+        assert!(t.contains(&Tok::Eq));
+        assert!(t.contains(&Tok::AndAnd));
+        assert!(t.contains(&Tok::Le));
+        assert!(t.contains(&Tok::PlusPlus));
+    }
+
+    #[test]
+    fn lex_comments_and_strings() {
+        let t = toks("// line\nprintf(\"a\\n\"); /* block\n comment */ x");
+        assert_eq!(t[0], Tok::Ident("printf".into()));
+        assert_eq!(t[2], Tok::Str("a\n".into()));
+        assert!(t.contains(&Tok::Ident("x".into())));
+    }
+
+    #[test]
+    fn lex_include_preserved() {
+        let t = toks("#include <stdio.h>\nint x;");
+        assert_eq!(t[0], Tok::Include("<stdio.h>".into()));
+    }
+
+    #[test]
+    fn lex_error_reports_line() {
+        let e = lex("int x;\n$").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

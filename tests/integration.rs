@@ -1,0 +1,267 @@
+//! Cross-crate integration tests: whole-cluster runs spanning the DSM,
+//! MPI, runtime, kernels, and translator.
+
+use parade::core::{Cluster, ClusterConfig, ExecConfig};
+use parade::kernels::cg::{cg_mpi, cg_parade, cg_sequential, CgClass};
+use parade::kernels::ep::{ep_parade, ep_sequential, EpClass};
+use parade::kernels::helmholtz::{helmholtz_parade, helmholtz_sequential, HelmholtzParams};
+use parade::kernels::md::{md_parade, md_sequential, MdParams};
+use parade::net::TimeSource;
+use parade::prelude::*;
+use parade::translator::{parse, Interp};
+
+fn cluster(nodes: usize, tpn: usize, mode: ProtocolMode) -> Cluster {
+    Cluster::builder()
+        .nodes(nodes)
+        .threads_per_node(tpn)
+        .protocol(mode)
+        .net(NetProfile::zero())
+        .time(TimeSource::Manual)
+        .pool_bytes(16 << 20)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn cg_class_s_verifies_sequentially() {
+    let r = cg_sequential(CgClass::S);
+    assert!(
+        r.verify(CgClass::S),
+        "zeta {} vs reference {}",
+        r.zeta,
+        CgClass::S.params().zeta_verify
+    );
+    assert!(r.rnorm < 1e-10);
+}
+
+#[test]
+fn cg_class_s_verifies_on_cluster_in_both_modes() {
+    for mode in [ProtocolMode::Parade, ProtocolMode::SdsmOnly] {
+        let c = cluster(3, 2, mode);
+        let (r, report) = cg_parade(&c, CgClass::S);
+        assert!(r.verify(CgClass::S), "mode {mode:?}: zeta {}", r.zeta);
+        let d = report.cluster.dsm_totals();
+        assert!(d.page_fetches > 0, "CG must move pages across nodes");
+        assert!(d.barriers > 0);
+    }
+}
+
+#[test]
+fn cg_pure_mpi_baseline_verifies() {
+    let cfg = ClusterConfig {
+        nodes: 4,
+        net: NetProfile::clan_via(),
+        time: TimeSource::Manual,
+        pool_bytes: 4 << 20,
+        ..ClusterConfig::default()
+    };
+    let (r, vt) = cg_mpi(cfg, CgClass::S);
+    assert!(r.verify(CgClass::S), "zeta {}", r.zeta);
+    // With a real network profile the allgathers/allreduces cost time.
+    assert!(vt > parade::net::VTime::ZERO);
+}
+
+#[test]
+fn cg_migratory_home_reduces_traffic() {
+    let mk = |policy| {
+        let cfg = ClusterConfig {
+            nodes: 4,
+            exec: ExecConfig::OneThreadTwoCpu,
+            net: NetProfile::zero(),
+            time: TimeSource::Manual,
+            home_policy: Some(policy),
+            pool_bytes: 16 << 20,
+            ..ClusterConfig::default()
+        };
+        let (r, report) = cg_parade(&Cluster::from_config(cfg), CgClass::S);
+        assert!(r.verify(CgClass::S));
+        report.cluster.dsm_totals()
+    };
+    let migr = mk(parade::dsm::HomePolicy::Migratory);
+    let fixed = mk(parade::dsm::HomePolicy::Fixed);
+    assert!(
+        migr.diffs_sent < fixed.diffs_sent,
+        "migratory {} vs fixed {} diffs",
+        migr.diffs_sent,
+        fixed.diffs_sent
+    );
+}
+
+#[test]
+fn ep_parallel_matches_sequential_and_scales_traffic_free() {
+    let class = EpClass::Custom(19);
+    let seq = ep_sequential(class);
+    let c = cluster(4, 2, ProtocolMode::Parade);
+    let (par, report) = ep_parade(&c, class);
+    assert!((par.sx - seq.sx).abs() < 1e-9);
+    assert!((par.sy - seq.sy).abs() < 1e-9);
+    assert_eq!(par.q, seq.q);
+    // EP shares almost nothing: no page traffic at all.
+    assert_eq!(report.cluster.dsm_totals().page_fetches, 0);
+}
+
+#[test]
+fn helmholtz_parallel_matches_sequential() {
+    let p = HelmholtzParams::sized(40, 40, 60);
+    let seq = helmholtz_sequential(p);
+    for mode in [ProtocolMode::Parade, ProtocolMode::SdsmOnly] {
+        let c = cluster(2, 2, mode);
+        let (par, _) = helmholtz_parade(&c, p);
+        assert_eq!(par.iters, seq.iters, "mode {mode:?}");
+        assert!(
+            (par.error - seq.error).abs() <= 1e-12 + 1e-9 * seq.error,
+            "mode {mode:?}: {} vs {}",
+            par.error,
+            seq.error
+        );
+    }
+}
+
+#[test]
+fn md_parallel_matches_sequential_across_cluster_shapes() {
+    let p = MdParams::sized(40, 4);
+    let seq = md_sequential(p);
+    for (nodes, tpn) in [(1, 1), (2, 1), (2, 2), (4, 2)] {
+        let c = cluster(nodes, tpn, ProtocolMode::Parade);
+        let (par, _) = md_parade(&c, p);
+        assert!(
+            (par.last.total() - seq.last.total()).abs() < 1e-9,
+            "{nodes}x{tpn}"
+        );
+    }
+}
+
+#[test]
+fn parade_beats_sdsm_on_synchronization_heavy_run() {
+    // The headline claim: for synchronization-dominated work the hybrid
+    // runtime outperforms the conventional SDSM lowering.
+    let run = |mode| {
+        let cfg = ClusterConfig {
+            nodes: 4,
+            exec: ExecConfig::OneThreadTwoCpu,
+            protocol: mode,
+            net: NetProfile::clan_via(),
+            time: TimeSource::Manual,
+            pool_bytes: 4 << 20,
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::from_config(cfg);
+        let (_, report) = cluster.run_with_report(|g| {
+            let s = g.alloc_scalar_f64();
+            g.parallel(move |tc| {
+                for _ in 0..50 {
+                    tc.atomic_add_f64(&s, 1.0);
+                }
+            });
+            g.scalar_get_f64(&s)
+        });
+        report.exec_time
+    };
+    let parade = run(ProtocolMode::Parade);
+    let sdsm = run(ProtocolMode::SdsmOnly);
+    assert!(
+        parade < sdsm,
+        "hybrid {parade} should beat lock-based {sdsm}"
+    );
+}
+
+#[test]
+fn one_thread_one_cpu_is_slowest_on_communication_heavy_work() {
+    // Figure 8's configuration ordering on a fetch-heavy workload.
+    let run = |exec: ExecConfig| {
+        let cfg = ClusterConfig {
+            nodes: 4,
+            exec,
+            net: NetProfile::clan_via(),
+            time: TimeSource::Manual,
+            pool_bytes: 8 << 20,
+            ..ClusterConfig::default()
+        };
+        let cluster = Cluster::from_config(cfg);
+        let n = 64 * 512; // 64 pages
+        let (_, report) = cluster.run_with_report(move |g| {
+            let v = g.alloc_f64(n);
+            g.parallel(move |tc| {
+                // Round-robin writers force steady cross-node fetches.
+                for round in 0..6 {
+                    let writer = round % tc.num_nodes();
+                    if tc.node() == writer && tc.local_thread() == 0 {
+                        for p in 0..64 {
+                            tc.set(&v, p * 512, round as f64);
+                        }
+                    }
+                    tc.barrier();
+                    let mut acc = 0.0;
+                    for p in 0..64 {
+                        acc += tc.get(&v, p * 512);
+                    }
+                    std::hint::black_box(acc);
+                    tc.barrier();
+                }
+            });
+        });
+        report.exec_time
+    };
+    let t11 = run(ExecConfig::OneThreadOneCpu);
+    let t12 = run(ExecConfig::OneThreadTwoCpu);
+    assert!(
+        t11 > t12,
+        "1T1C ({t11}) must be slower than 1T2C ({t12}) when communication dominates"
+    );
+}
+
+#[test]
+fn translated_openmp_program_runs_on_cluster() {
+    let src = r#"
+int main() {
+    int i;
+    double dot = 0.0;
+    double a[300];
+    double b[300];
+    #pragma omp parallel for
+    for (i = 0; i < 300; i++) { a[i] = i; b[i] = 2.0; }
+    #pragma omp parallel for reduction(+: dot)
+    for (i = 0; i < 300; i++) dot += a[i] * b[i];
+    printf("%.1f\n", dot);
+    return 0;
+}
+"#;
+    let prog = parse(src).unwrap();
+    let c = cluster(2, 2, ProtocolMode::Parade);
+    let out = Interp::new(prog).run(&c).unwrap();
+    let expect: f64 = (0..300).map(|i| i as f64 * 2.0).sum();
+    assert_eq!(out.stdout.trim(), format!("{expect:.1}"));
+}
+
+#[test]
+fn run_report_virtual_times_are_consistent() {
+    let c = cluster(3, 1, ProtocolMode::Parade);
+    let (_, report) = c.run_with_report(|g| {
+        let v = g.alloc_f64(1000);
+        g.parallel(move |tc| {
+            tc.par_for(0..1000, |i| tc.set(&v, i, 1.0));
+        });
+    });
+    assert_eq!(report.node_times.len(), 3);
+    // All nodes end at a barrier-coordinated shutdown; times are nonzero
+    // and within the same order of magnitude.
+    for &t in &report.node_times {
+        assert!(t > parade::net::VTime::ZERO);
+    }
+}
+
+#[test]
+fn heterogeneous_node_speeds_are_supported() {
+    let cfg = ClusterConfig {
+        nodes: 2,
+        node_speed: Some(ClusterConfig::paper_node_speeds(2)),
+        net: NetProfile::zero(),
+        pool_bytes: 4 << 20,
+        ..ClusterConfig::default()
+    };
+    let cluster = Cluster::from_config(cfg);
+    let sum = cluster.run(|g| {
+        g.parallel(|tc| tc.reduce_f64_sum(1.0))
+    });
+    assert_eq!(sum, cluster.config().total_threads() as f64);
+}

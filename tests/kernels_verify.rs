@@ -1,0 +1,61 @@
+//! NAS verification tests. The full-class runs are `#[ignore]`d so plain
+//! `cargo test` stays fast in debug builds; run them with
+//! `cargo test --release -- --ignored`.
+
+use parade::core::Cluster;
+use parade::kernels::cg::{cg_sequential, CgClass};
+use parade::kernels::ep::{ep_sequential, EpClass};
+use parade::net::{NetProfile, TimeSource};
+
+#[test]
+fn cg_class_s_zeta_matches_npb() {
+    let r = cg_sequential(CgClass::S);
+    assert!(
+        (r.zeta - 8.5971775078648).abs() <= 1e-10,
+        "zeta = {}",
+        r.zeta
+    );
+}
+
+#[test]
+#[ignore = "release-speed run: cargo test --release -- --ignored"]
+fn cg_class_w_zeta_matches_npb() {
+    let r = cg_sequential(CgClass::W);
+    assert!(
+        (r.zeta - 10.362595087124).abs() <= 1e-10,
+        "zeta = {}",
+        r.zeta
+    );
+}
+
+#[test]
+#[ignore = "release-speed run: cargo test --release -- --ignored"]
+fn cg_class_a_zeta_matches_npb() {
+    let r = cg_sequential(CgClass::A);
+    assert!(
+        (r.zeta - 17.130235054029).abs() <= 1e-10,
+        "zeta = {}",
+        r.zeta
+    );
+}
+
+#[test]
+#[ignore = "release-speed run: cargo test --release -- --ignored"]
+fn ep_class_s_sums_match_npb() {
+    let r = ep_sequential(EpClass::S);
+    assert_eq!(r.verify(EpClass::S), Some(true), "sx={} sy={}", r.sx, r.sy);
+}
+
+#[test]
+#[ignore = "release-speed run: cargo test --release -- --ignored"]
+fn ep_class_a_parallel_verifies_on_8_nodes() {
+    let cluster = Cluster::builder()
+        .nodes(8)
+        .threads_per_node(2)
+        .net(NetProfile::clan_via())
+        .time(TimeSource::Manual)
+        .build()
+        .unwrap();
+    let (r, _) = parade::kernels::ep::ep_parade(&cluster, EpClass::A);
+    assert_eq!(r.verify(EpClass::A), Some(true), "sx={} sy={}", r.sx, r.sy);
+}

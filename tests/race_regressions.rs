@@ -1,0 +1,141 @@
+//! Regression tests for two multi-threaded-SDSM protocol races found (and
+//! fixed) during bring-up — the store-side cousins of the paper's §5.1
+//! atomic page update problem. Both produced silent data corruption in
+//! NAS CG under the baseline (SdsmOnly) mode before the fixes.
+
+use parade::core::Cluster;
+use parade::net::TimeSource;
+use parade::prelude::*;
+
+fn cluster(nodes: usize, tpn: usize, mode: ProtocolMode) -> Cluster {
+    Cluster::builder()
+        .nodes(nodes)
+        .threads_per_node(tpn)
+        .protocol(mode)
+        .net(NetProfile::zero())
+        .time(TimeSource::Manual)
+        .pool_bytes(8 << 20)
+        .build()
+        .unwrap()
+}
+
+/// Race 1: a lock release flushes the node's dirty pages (snapshotting
+/// them for diffs) while a *sibling thread* keeps storing through the
+/// write fast path. A store landing between the snapshot and the
+/// READ_ONLY downgrade used to vanish: it was neither in the shipped diff
+/// nor in the twin taken at the next write fault.
+#[test]
+fn sibling_stores_survive_concurrent_lock_release_flush() {
+    for trial in 0..5 {
+        let c = cluster(2, 2, ProtocolMode::SdsmOnly);
+        let n = 2048usize; // 4 pages of f64
+        let rounds = 30usize;
+        let ok = c.run(move |g| {
+            let v = g.alloc_f64(n);
+            let total = g.alloc_scalar_f64();
+            g.parallel(move |tc| {
+                // Thread 0 of node 0 churns lock acquire/release (each
+                // release flushes every dirty page of the node) while its
+                // sibling thread writes vector elements back-to-back.
+                if tc.local_thread() == 0 {
+                    for _ in 0..rounds {
+                        tc.atomic_add_f64(&total, 1.0);
+                    }
+                } else {
+                    // Writers: every element of the node's half, many
+                    // passes, final pass writes the checkable value.
+                    let mine = parade::core::partition(0..n, tc.num_nodes(), tc.node());
+                    for pass in 0..rounds {
+                        for i in mine.clone() {
+                            tc.set(&v, i, (pass * n + i) as f64);
+                        }
+                    }
+                    // Siblings of the atomic loop must still participate
+                    // in the collectives it issued.
+                    for _ in 0..rounds {
+                        tc.atomic_add_f64(&total, 1.0);
+                    }
+                }
+                if tc.local_thread() == 0 {
+                    // Match the writers' atomic participation.
+                }
+                tc.barrier();
+                // Every thread verifies the final pass from its own node's
+                // (possibly refetched) copy.
+                let mut bad = 0usize;
+                for i in 0..n {
+                    let want = ((rounds - 1) * n + i) as f64;
+                    if tc.get(&v, i) != want {
+                        bad += 1;
+                    }
+                }
+                tc.reduce_f64_sum(bad as f64)
+            })
+        });
+        assert_eq!(ok, 0.0, "trial {trial}: lost sibling stores");
+    }
+}
+
+/// Race 2: the write notices piggybacked on a lock grant can name a page
+/// the acquirer itself holds dirty (page-granularity false sharing). The
+/// old code dropped the acquirer's modifications; the fix ships the local
+/// diff to the home before invalidating.
+#[test]
+fn false_sharing_dirty_page_survives_acquire_invalidation() {
+    let c = cluster(2, 1, ProtocolMode::SdsmOnly);
+    let rounds = 20usize;
+    let (a, b) = c.run(move |g| {
+        // One page; node 0 owns word 0, node 1 owns word 256.
+        let v = g.alloc_f64(512);
+        g.parallel(move |tc| {
+            let my_slot = if tc.node() == 0 { 0 } else { 256 };
+            for round in 0..rounds {
+                // Dirty my word...
+                tc.set(&v, my_slot, (round + 1) as f64);
+                // ...then acquire the lock the other node keeps releasing
+                // with notices naming this very page.
+                tc.critical(5, |tc| {
+                    let c0 = tc.get(&v, 511);
+                    tc.set(&v, 511, c0 + 1.0);
+                });
+            }
+            tc.barrier();
+            (tc.get(&v, 0), tc.get(&v, 256))
+        })
+    });
+    assert_eq!(a, rounds as f64, "node 0's false-shared writes were dropped");
+    assert_eq!(b, rounds as f64, "node 1's false-shared writes were dropped");
+}
+
+/// The counter inside the critical section itself must see every
+/// increment across nodes (basic LRC lock-chain correctness under the
+/// same false-sharing pressure).
+#[test]
+fn critical_counter_exact_under_false_sharing() {
+    for mode in [ProtocolMode::SdsmOnly, ProtocolMode::Parade] {
+        let c = cluster(3, 2, mode);
+        let rounds = 15usize;
+        let total = c.run(move |g| {
+            let v = g.alloc_f64(512);
+            g.parallel(move |tc| {
+                // Each thread also dirties a thread-specific word of the
+                // same page outside the critical section.
+                let slot = 8 * tc.thread_num();
+                for r in 0..rounds {
+                    tc.set(&v, slot, r as f64);
+                    tc.critical(9, |tc| {
+                        let c0 = tc.get(&v, 500);
+                        tc.set(&v, 500, c0 + 1.0);
+                    });
+                }
+                tc.barrier();
+            });
+            g.get(&v, 500)
+        });
+        assert_eq!(
+            total,
+            (3 * 2 * rounds) as f64,
+            "mode {mode:?}: critical increments lost"
+        );
+    }
+}
