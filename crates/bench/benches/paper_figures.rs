@@ -5,8 +5,10 @@
 //! ```text
 //! cargo run --release -p parade-bench --bin figures -- all --class a
 //! ```
+//!
+//! Set `PARADE_BENCH_JSON=1` to also write `BENCH_paper_figures.json`.
 
-use parade_bench::{all_figures, FigureOpts};
+use parade_bench::{all_figures, write_tables_json, FigureOpts};
 
 fn main() {
     // Respect `cargo bench -- --test` style filtering minimally: any
@@ -20,7 +22,9 @@ fn main() {
         ..FigureOpts::quick()
     };
     println!("# ParADE paper figures (quick sizes — shapes, not absolutes)\n");
-    for t in all_figures(&opts) {
+    let tables = all_figures(&opts);
+    for t in &tables {
         println!("{}", t.markdown());
     }
+    write_tables_json("paper_figures", &tables);
 }

@@ -7,8 +7,17 @@ use parade_kernels::helmholtz::{helmholtz_parade, HelmholtzParams};
 
 fn main() {
     let p = HelmholtzParams::sized(1200, 1200, 20);
-    for (nodes, exec) in [(2, ExecConfig::OneThreadOneCpu), (4, ExecConfig::OneThreadOneCpu), (4, ExecConfig::TwoThreadTwoCpu)] {
-        let cfg = ClusterConfig { nodes, exec, time: parade_net::TimeSource::ThreadCpu { scale: 1.0 }, ..ClusterConfig::default() };
+    for (nodes, exec) in [
+        (2, ExecConfig::OneThreadOneCpu),
+        (4, ExecConfig::OneThreadOneCpu),
+        (4, ExecConfig::TwoThreadTwoCpu),
+    ] {
+        let cfg = ClusterConfig {
+            nodes,
+            exec,
+            time: parade_net::TimeSource::ThreadCpu { scale: 1.0 },
+            ..ClusterConfig::default()
+        };
         let cluster = Cluster::from_config(cfg);
         let (_, report) = helmholtz_parade(&cluster, p);
         let d = report.cluster.dsm_totals();

@@ -11,7 +11,7 @@
 
 use parade_bench::{
     ablation_fabric, ablation_home, ablation_schedules, all_figures, fig10, fig11, fig6, fig7,
-    fig8, fig9, update_methods, FigureOpts, Table,
+    fig8, fig9, update_methods, write_tables_json, FigureOpts, Table,
 };
 
 fn usage() -> ! {
@@ -35,7 +35,12 @@ fn main() {
         match args[i].as_str() {
             "--class" => {
                 i += 1;
-                opts.class = args.get(i).unwrap_or_else(|| usage()).chars().next().unwrap();
+                opts.class = args
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .chars()
+                    .next()
+                    .unwrap();
             }
             "--nodes" => {
                 i += 1;
@@ -48,7 +53,11 @@ fn main() {
             }
             "--scale" => {
                 i += 1;
-                opts.cpu_scale = args.get(i).unwrap_or_else(|| usage()).parse().expect("bad scale");
+                opts.cpu_scale = args
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .expect("bad scale");
             }
             "--with-mpi" => opts.with_mpi = true,
             "--quick" => {
@@ -100,4 +109,5 @@ fn main() {
             std::fs::write(format!("{dir}/{slug}.csv"), t.csv()).expect("write csv");
         }
     }
+    write_tables_json(&format!("figures_{what}"), &tables);
 }

@@ -6,12 +6,14 @@ use parade_core::*;
 fn main() {
     for trial in 0..20 {
         let c = Cluster::builder()
-            .nodes(3).threads_per_node(2)
+            .nodes(3)
+            .threads_per_node(2)
             .protocol(ProtocolMode::SdsmOnly)
             .net(NetProfile::zero())
             .time(TimeSource::Manual)
             .pool_bytes(16 << 20)
-            .build().unwrap();
+            .build()
+            .unwrap();
         let bad = c.run(move |g| {
             g.parallel(move |tc| {
                 let mut bad = 0usize;
@@ -27,7 +29,9 @@ fn main() {
             })
         });
         println!("trial {trial}: bad={bad}");
-        if bad > 0 { std::process::exit(1); }
+        if bad > 0 {
+            std::process::exit(1);
+        }
     }
     println!("all good");
 }

@@ -78,6 +78,56 @@ impl Table {
         }
         out
     }
+
+    /// Render as a JSON object (`title`, `headers`, `rows`).
+    pub fn json(&self) -> String {
+        use parade_testkit::bench::json_string;
+        let list = |xs: &[String]| -> String {
+            let cells: Vec<String> = xs.iter().map(|c| json_string(c)).collect();
+            format!("[{}]", cells.join(", "))
+        };
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| format!("      {}", list(r)))
+            .collect();
+        format!(
+            "{{\n    \"title\": {},\n    \"headers\": {},\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_string(&self.title),
+            list(&self.headers),
+            rows.join(",\n"),
+        )
+    }
+}
+
+/// Write `tables` as `BENCH_<suite>.json` if `PARADE_BENCH_JSON` is set
+/// (`1`/empty → current directory, otherwise the named directory). Returns
+/// the path written.
+pub fn write_tables_json(suite: &str, tables: &[Table]) -> Option<String> {
+    let dir = std::env::var("PARADE_BENCH_JSON").ok()?;
+    let dir = if dir.is_empty() || dir == "1" {
+        ".".to_string()
+    } else {
+        dir
+    };
+    let _ = std::fs::create_dir_all(&dir);
+    let path = format!("{dir}/BENCH_{suite}.json");
+    let body: Vec<String> = tables.iter().map(|t| format!("  {}", t.json())).collect();
+    let doc = format!(
+        "{{\n  \"suite\": {},\n  \"tables\": [\n{}\n  ]\n}}\n",
+        parade_testkit::bench::json_string(suite),
+        body.join(",\n"),
+    );
+    match std::fs::write(&path, doc) {
+        Ok(()) => {
+            println!("wrote {path}");
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: could not write {path}: {e}");
+            None
+        }
+    }
 }
 
 /// Sweep options shared by all figures.
@@ -365,13 +415,23 @@ pub fn update_methods(opts: &FigureOpts) -> Table {
 
 /// Ablation: migratory vs fixed home on CG (the §5.2.2 design choice).
 pub fn ablation_home(opts: &FigureOpts) -> Table {
-    let class = if opts.quick { CgClass::S } else { opts.cg_class() };
+    let class = if opts.quick {
+        CgClass::S
+    } else {
+        opts.cg_class()
+    };
     let mut t = Table::new(
         format!(
             "Ablation: migratory vs fixed home, NAS CG class {}",
             class.label()
         ),
-        &["nodes", "migratory (s)", "fixed (s)", "migr fetches", "fixed fetches"],
+        &[
+            "nodes",
+            "migratory (s)",
+            "fixed (s)",
+            "migr fetches",
+            "fixed fetches",
+        ],
     );
     for &n in opts.nodes.iter().filter(|&&n| n > 1) {
         let mut cfg = opts.base_cfg(n, ExecConfig::OneThreadTwoCpu, ProtocolMode::Parade);
@@ -400,7 +460,11 @@ pub fn ablation_fabric(opts: &FigureOpts) -> Table {
         &["nodes", "VIA (us)", "TCP (us)"],
     );
     for &n in &opts.nodes {
-        let via = measure(&opts.sync_cfg(n, ProtocolMode::Parade), Directive::Critical, reps);
+        let via = measure(
+            &opts.sync_cfg(n, ProtocolMode::Parade),
+            Directive::Critical,
+            reps,
+        );
         let mut cfg = opts.sync_cfg(n, ProtocolMode::Parade);
         cfg.net = NetProfile::fast_ethernet_tcp();
         let tcp = measure(&cfg, Directive::Critical, reps);

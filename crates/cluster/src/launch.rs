@@ -70,7 +70,10 @@ where
     let dsms: Vec<Arc<Dsm>> = (0..cfg.nodes)
         .map(|i| Arc::new(Dsm::new(fabric.endpoint(i), cfg.dsm_config())))
         .collect();
-    let comm_threads: Vec<_> = dsms.iter().map(|d| spawn_comm_thread(Arc::clone(d))).collect();
+    let comm_threads: Vec<_> = dsms
+        .iter()
+        .map(|d| spawn_comm_thread(Arc::clone(d)))
+        .collect();
     let program = Arc::new(program);
     let handles: Vec<_> = (0..cfg.nodes)
         .map(|i| {
@@ -89,7 +92,10 @@ where
                 .expect("spawn node main thread")
         })
         .collect();
-    let results: Vec<R> = handles.into_iter().map(|h| h.join().expect("node panicked")).collect();
+    let results: Vec<R> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node panicked"))
+        .collect();
     let report = ClusterReport {
         dsm: dsms.iter().map(|d| d.stats.snapshot()).collect(),
         traffic: fabric.stats().totals(),

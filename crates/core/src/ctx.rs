@@ -136,7 +136,11 @@ impl ThreadCtx {
 
     /// Write one element.
     pub fn set<T: Pod>(&self, v: &SharedVec<T>, i: usize, val: T) {
-        self.with_clock(|c| self.rt.dsm.write(v.region, i * std::mem::size_of::<T>(), val, c))
+        self.with_clock(|c| {
+            self.rt
+                .dsm
+                .write(v.region, i * std::mem::size_of::<T>(), val, c)
+        })
     }
 
     /// Bulk read `out.len()` elements starting at `first`.
@@ -157,9 +161,7 @@ impl ThreadCtx {
     {
         match self.rt.mode {
             ProtocolMode::Parade => T::small_read(self.rt.small(), s),
-            ProtocolMode::SdsmOnly => {
-                self.with_clock(|c| self.rt.dsm.read(s.region, 0, c))
-            }
+            ProtocolMode::SdsmOnly => self.with_clock(|c| self.rt.dsm.read(s.region, 0, c)),
         }
     }
 
@@ -289,7 +291,10 @@ impl ThreadCtx {
     /// a node-local mutex plus the distributed DSM lock. This is the
     /// fallback for code blocks the translator cannot analyze lexically.
     pub fn critical<R>(&self, id: u64, f: impl FnOnce(&ThreadCtx) -> R) -> R {
-        assert!(id < INTERNAL_LOCK_BASE, "critical id collides with runtime locks");
+        assert!(
+            id < INTERNAL_LOCK_BASE,
+            "critical id collides with runtime locks"
+        );
         self.critical_raw(id, f)
     }
 
@@ -488,7 +493,9 @@ impl ThreadCtx {
                     tc.rt.dsm.write(scratch, slot * 16 + 8, v, c);
                 } else {
                     let cur: f64 = tc.rt.dsm.read(scratch, slot * 16 + 8, c);
-                    tc.rt.dsm.write(scratch, slot * 16 + 8, op.fold_f64(cur, v), c);
+                    tc.rt
+                        .dsm
+                        .write(scratch, slot * 16 + 8, op.fold_f64(cur, v), c);
                 }
             })
         });
@@ -515,7 +522,9 @@ impl ThreadCtx {
                     tc.rt.dsm.write(scratch, slot * 16 + 8, v, c);
                 } else {
                     let cur: i64 = tc.rt.dsm.read(scratch, slot * 16 + 8, c);
-                    tc.rt.dsm.write(scratch, slot * 16 + 8, op.fold_i64(cur, v), c);
+                    tc.rt
+                        .dsm
+                        .write(scratch, slot * 16 + 8, op.fold_i64(cur, v), c);
                 }
             })
         });
@@ -527,11 +536,7 @@ impl ThreadCtx {
     /// `f` and the result is propagated by broadcast (Parade, Figure 3
     /// right — no barrier) or by a DSM flag + lock + full barrier
     /// (baseline, Figure 3 left). All threads return the value.
-    pub fn single_f64(
-        &self,
-        s: &SharedScalar<f64>,
-        f: impl FnOnce(&ThreadCtx) -> f64,
-    ) -> f64 {
+    pub fn single_f64(&self, s: &SharedScalar<f64>, f: impl FnOnce(&ThreadCtx) -> f64) -> f64 {
         let out = self.single_update(&[*s], |tc| vec![f(tc)]);
         out[0]
     }
@@ -591,8 +596,7 @@ impl ThreadCtx {
                     });
                     if sl.done_gen != gen {
                         self.with_clock(|c| self.rt.dsm.lock_acquire(lock_id, c));
-                        let flag: u64 =
-                            self.with_clock(|c| self.rt.dsm.read(flags, slot * 8, c));
+                        let flag: u64 = self.with_clock(|c| self.rt.dsm.read(flags, slot * 8, c));
                         if flag != gen {
                             let vals = f(self);
                             assert_eq!(vals.len(), scalars.len(), "single value arity");

@@ -5,7 +5,7 @@
 use std::sync::atomic::AtomicU64;
 use std::sync::{mpsc, Arc};
 
-use parking_lot::Mutex;
+use parade_net::sync::Mutex;
 
 use parade_cluster::ProtocolMode;
 use parade_dsm::{Dsm, RegionHandle};
@@ -119,7 +119,9 @@ impl NodeRt {
             mode,
             time,
             barrier: VBarrier::new(tpn),
-            singles: (0..SLOTS).map(|_| Mutex::new(SingleSlot::default())).collect(),
+            singles: (0..SLOTS)
+                .map(|_| Mutex::new(SingleSlot::default()))
+                .collect(),
             reduce: Mutex::new(ReduceState::default()),
             dyn_slots: (0..SLOTS).map(|_| Mutex::new(DynSlot::default())).collect(),
             criticals: Mutex::new(std::collections::HashMap::new()),

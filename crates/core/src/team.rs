@@ -10,8 +10,8 @@
 
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use parade_net::sync::Mutex;
+use parade_net::Bytes;
 
 use parade_cluster::{launch, ClusterConfig, ClusterReport, ExecConfig, NodeEnv, ProtocolMode};
 use parade_mpi::datatype::{Reader, Writer};
@@ -169,7 +169,7 @@ impl Cluster {
                 env.cfg.threads_per_node(),
                 env.cfg.protocol,
                 env.cfg.time_source(env.node),
-                );
+            );
             let pool_handles = spawn_pool(&rt);
             let mut clock = env.new_clock();
             let result = if env.node == 0 {
@@ -403,11 +403,15 @@ impl MasterCtx {
     }
 
     pub fn read_into<T: Pod>(&mut self, v: &SharedVec<T>, first: usize, out: &mut [T]) {
-        self.rt.dsm.read_slice(v.region, first, out, &mut self.clock)
+        self.rt
+            .dsm
+            .read_slice(v.region, first, out, &mut self.clock)
     }
 
     pub fn write_from<T: Pod>(&mut self, v: &SharedVec<T>, first: usize, src: &[T]) {
-        self.rt.dsm.write_slice(v.region, first, src, &mut self.clock)
+        self.rt
+            .dsm
+            .write_slice(v.region, first, src, &mut self.clock)
     }
 
     /// Serial scalar write. In Parade mode this is an eager update-protocol

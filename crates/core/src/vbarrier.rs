@@ -4,7 +4,7 @@
 //! everyone at `max(arrival clocks) + overhead`, which is how barrier wait
 //! time shows up in virtual time.
 
-use parking_lot::{Condvar, Mutex};
+use parade_net::sync::{Condvar, Mutex};
 
 use parade_net::{VClock, VTime};
 

@@ -7,7 +7,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
-use parking_lot::{Condvar, Mutex};
+use parade_net::sync::{Condvar, Mutex};
 
 use parade_net::{Endpoint, Match, MsgClass, VClock};
 
@@ -257,12 +257,14 @@ impl Dsm {
         let esz = std::mem::size_of::<T>();
         let start = h.offset + first * esz;
         let len = out.len() * esz;
-        assert!(first * esz + len <= h.len, "shared slice read out of bounds");
+        assert!(
+            first * esz + len <= h.len,
+            "shared slice read out of bounds"
+        );
         self.ensure_readable(start, len, clock);
         // SAFETY: all covered pages are readable; bounds checked above.
         unsafe {
-            let bytes =
-                std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, len);
+            let bytes = std::slice::from_raw_parts_mut(out.as_mut_ptr() as *mut u8, len);
             self.pool.read_bytes(start, bytes);
         }
     }
@@ -282,7 +284,10 @@ impl Dsm {
         let esz = std::mem::size_of::<T>();
         let start = h.offset + first * esz;
         let len = src.len() * esz;
-        assert!(first * esz + len <= h.len, "shared slice write out of bounds");
+        assert!(
+            first * esz + len <= h.len,
+            "shared slice write out of bounds"
+        );
         // SAFETY (for the block below): the touched page is writable per
         // the page table, whose entry lock is held across the store so a
         // concurrent flush snapshot cannot interleave.
@@ -547,8 +552,7 @@ impl Dsm {
             .ep
             .recv(MsgClass::Ctl, Match::tagged(tag), clock)
             .expect("barrier depart after shutdown");
-        let DsmReply::BarrierDepart { seq: dseq, entries } = DsmReply::decode(&pkt.payload)
-        else {
+        let DsmReply::BarrierDepart { seq: dseq, entries } = DsmReply::decode(&pkt.payload) else {
             unreachable!("unexpected reply to barrier arrive");
         };
         assert_eq!(dseq, seq, "barrier sequence mismatch");
@@ -559,12 +563,7 @@ impl Dsm {
     /// Apply a barrier departure: update the home table, invalidate copies
     /// made stale by other nodes' writes, park pages awaiting a migration
     /// push, and push merged pages we no longer host.
-    fn apply_depart(
-        &self,
-        seq: u64,
-        entries: &[crate::msg::DepartEntry],
-        clock: &mut VClock,
-    ) {
+    fn apply_depart(&self, seq: u64, entries: &[crate::msg::DepartEntry], clock: &mut VClock) {
         let mut migrated_any = false;
         for e in entries {
             self.homes[e.page].store(e.new_home as u32, Ordering::Release);
@@ -599,7 +598,7 @@ impl Dsm {
                     let msg = DsmMsg::PagePush {
                         page: e.page,
                         barrier_seq: seq,
-                        data: bytes::Bytes::from(buf),
+                        data: parade_net::Bytes::from(buf),
                     };
                     self.ep
                         .send(e.new_home, MsgClass::Dsm, 0, msg.encode(), clock);

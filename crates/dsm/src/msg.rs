@@ -5,7 +5,7 @@
 //! with a requester-chosen reply tag (tags ≥ [`REPLY_TAG_BASE`] so they
 //! never collide with cluster control tags).
 
-use bytes::Bytes;
+use parade_net::Bytes;
 
 use parade_mpi::datatype::{Reader, Writer};
 
@@ -81,7 +81,10 @@ impl DsmMsg {
                 requester,
                 reply_tag,
             } => {
-                w.u8(K_REQ_PAGE).u64(*page as u64).u32(*requester as u32).u64(*reply_tag);
+                w.u8(K_REQ_PAGE)
+                    .u64(*page as u64)
+                    .u32(*requester as u32)
+                    .u64(*reply_tag);
             }
             DsmMsg::Diff {
                 page,
@@ -89,7 +92,10 @@ impl DsmMsg {
                 reply_tag,
                 diff,
             } => {
-                w.u8(K_DIFF).u64(*page as u64).u32(*requester as u32).u64(*reply_tag);
+                w.u8(K_DIFF)
+                    .u64(*page as u64)
+                    .u32(*requester as u32)
+                    .u64(*reply_tag);
                 diff.encode(&mut w);
             }
             DsmMsg::PagePush {
@@ -97,7 +103,10 @@ impl DsmMsg {
                 barrier_seq,
                 data,
             } => {
-                w.u8(K_PAGE_PUSH).u64(*page as u64).u64(*barrier_seq).lp_bytes(data);
+                w.u8(K_PAGE_PUSH)
+                    .u64(*page as u64)
+                    .u64(*barrier_seq)
+                    .lp_bytes(data);
             }
             DsmMsg::BarrierArrive {
                 seq,
@@ -105,7 +114,10 @@ impl DsmMsg {
                 reply_tag,
                 notices,
             } => {
-                w.u8(K_BARRIER_ARRIVE).u64(*seq).u32(*node as u32).u64(*reply_tag);
+                w.u8(K_BARRIER_ARRIVE)
+                    .u64(*seq)
+                    .u32(*node as u32)
+                    .u64(*reply_tag);
                 w.u32(notices.len() as u32);
                 for p in notices {
                     w.u64(*p as u64);
@@ -125,7 +137,11 @@ impl DsmMsg {
                     .u64(*last_seen)
                     .u8(*polling as u8);
             }
-            DsmMsg::LockRel { lock, node, notices } => {
+            DsmMsg::LockRel {
+                lock,
+                node,
+                notices,
+            } => {
                 w.u8(K_LOCK_REL).u64(*lock).u32(*node as u32);
                 w.u32(notices.len() as u32);
                 for p in notices {
@@ -183,7 +199,11 @@ impl DsmMsg {
                 let node = r.u32() as usize;
                 let n = r.u32() as usize;
                 let notices = (0..n).map(|_| r.u64() as PageId).collect();
-                DsmMsg::LockRel { lock, node, notices }
+                DsmMsg::LockRel {
+                    lock,
+                    node,
+                    notices,
+                }
             }
             K_NUDGE => DsmMsg::Nudge,
             k => unreachable!("bad dsm message kind {k}"),
@@ -210,12 +230,23 @@ pub struct DepartEntry {
 /// A reply sent back to a waiting application thread.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DsmReply {
-    PageData { page: PageId, data: Bytes },
-    DiffAck { page: PageId },
+    PageData {
+        page: PageId,
+        data: Bytes,
+    },
+    DiffAck {
+        page: PageId,
+    },
     /// Global write-notice/migration summary; every node derives its own
     /// invalidations, home updates, and push duties from it (§5.2.2).
-    BarrierDepart { seq: u64, entries: Vec<DepartEntry> },
-    LockGrant { cur_seq: u64, notices: Vec<PageId> },
+    BarrierDepart {
+        seq: u64,
+        entries: Vec<DepartEntry>,
+    },
+    LockGrant {
+        cur_seq: u64,
+        notices: Vec<PageId>,
+    },
     LockBusy,
 }
 

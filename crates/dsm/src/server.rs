@@ -12,7 +12,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use parade_net::Bytes;
 
 use parade_net::{MsgClass, Packet, VClock, VTime};
 
@@ -50,8 +50,9 @@ impl CommServer {
     }
 
     fn charge_copy(&mut self, bytes: usize) {
-        self.clock
-            .charge(VTime::from_nanos((self.costs.per_byte_ns * bytes as f64).round() as u64));
+        self.clock.charge(VTime::from_nanos(
+            (self.costs.per_byte_ns * bytes as f64).round() as u64,
+        ));
     }
 }
 
@@ -110,7 +111,10 @@ impl Dsm {
                 reply_tag,
             } => {
                 if !self.try_serve_page(page, requester, reply_tag, srv) {
-                    self.server.lock().deferred.push((page, requester, reply_tag));
+                    self.server
+                        .lock()
+                        .deferred
+                        .push((page, requester, reply_tag));
                 }
             }
             DsmMsg::Diff {
@@ -132,7 +136,8 @@ impl Dsm {
                     for run in &diff.runs {
                         // SAFETY: we are home; run bounds are within the page.
                         unsafe {
-                            self.pool.write_bytes(start + run.offset as usize, &run.data)
+                            self.pool
+                                .write_bytes(start + run.offset as usize, &run.data)
                         };
                     }
                 }
@@ -212,7 +217,11 @@ impl Dsm {
                     });
                 }
             }
-            DsmMsg::LockRel { lock, node, notices } => {
+            DsmMsg::LockRel {
+                lock,
+                node,
+                notices,
+            } => {
                 let granted = {
                     let mut st = self.server.lock();
                     let ls = st.locks.entry(lock).or_default();
@@ -283,7 +292,10 @@ impl Dsm {
         };
         for (page, requester, reply_tag) in pending {
             if !self.try_serve_page(page, requester, reply_tag, srv) {
-                self.server.lock().deferred.push((page, requester, reply_tag));
+                self.server
+                    .lock()
+                    .deferred
+                    .push((page, requester, reply_tag));
             }
         }
     }
@@ -330,8 +342,13 @@ impl Dsm {
         let payload = reply.encode();
         srv.charge_copy(payload.len());
         for a in &arrivals {
-            self.ep
-                .send_at(a.node, MsgClass::Ctl, a.reply_tag, payload.clone(), srv.clock.now());
+            self.ep.send_at(
+                a.node,
+                MsgClass::Ctl,
+                a.reply_tag,
+                payload.clone(),
+                srv.clock.now(),
+            );
         }
     }
 }

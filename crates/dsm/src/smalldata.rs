@@ -7,7 +7,7 @@
 //! propagated *eagerly* by collective operations (entry-consistency style).
 //! No twins, no diffs, no page faults — that is the point.
 
-use parking_lot::{Mutex, RwLock};
+use parade_net::sync::{Mutex, RwLock};
 
 /// Handle to a small-data object; plain data, capturable by closures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -7,7 +7,7 @@
 
 use std::cell::UnsafeCell;
 
-use crate::page::{PAGE_SIZE, PageId};
+use crate::page::{PageId, PAGE_SIZE};
 
 /// Raw byte pool with interior mutability.
 ///

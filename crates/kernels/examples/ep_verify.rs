@@ -1,7 +1,7 @@
 //! Check EP sums against the published NPB values, and parallel CG vs zeta.
+use parade_core::{Cluster, NetProfile, TimeSource};
 use parade_kernels::cg::{cg_parade, CgClass};
 use parade_kernels::ep::{ep_sequential, EpClass};
-use parade_core::{Cluster, NetProfile, TimeSource};
 
 fn main() {
     for class in [EpClass::S] {
@@ -9,7 +9,12 @@ fn main() {
         let (rx, ry) = class.reference().unwrap();
         println!(
             "EP class {}: sx={:.12e} (ref {:.12e}) sy={:.12e} (ref {:.12e}) ok={:?}",
-            class.label(), r.sx, rx, r.sy, ry, r.verify(class)
+            class.label(),
+            r.sx,
+            rx,
+            r.sy,
+            ry,
+            r.verify(class)
         );
     }
     let cluster = Cluster::builder()

@@ -125,7 +125,9 @@ pub fn makea(class: CgClass) -> Csr {
 
     for iouter in 1..=n {
         let mut nzv = nonzer;
-        sprnvc(n, &mut nzv, &mut v, &mut iv, &mut mark, &mut nzloc, &mut rng);
+        sprnvc(
+            n, &mut nzv, &mut v, &mut iv, &mut mark, &mut nzloc, &mut rng,
+        );
         vecset(&mut v, &mut iv, &mut nzv, iouter, 0.5);
         for ivelt in 1..=nzv {
             let jcol = iv[ivelt];
@@ -329,7 +331,14 @@ impl CgResult {
 }
 
 /// One conjugate-gradient solve (25 iterations), sequential.
-fn conj_grad_seq(m: &Csr, x: &[f64], z: &mut [f64], p: &mut [f64], q: &mut [f64], r: &mut [f64]) -> f64 {
+fn conj_grad_seq(
+    m: &Csr,
+    x: &[f64],
+    z: &mut [f64],
+    p: &mut [f64],
+    q: &mut [f64],
+    r: &mut [f64],
+) -> f64 {
     let n = m.n;
     z[..n].fill(0.0);
     r[..n].copy_from_slice(&x[..n]);
@@ -437,12 +446,7 @@ pub fn cg_parade(cluster: &Cluster, class: CgClass) -> (CgResult, RunReport) {
 }
 
 /// Run the ParADE CG driver on a prebuilt matrix.
-pub fn cg_parade_on(
-    cluster: &Cluster,
-    m: Csr,
-    shift: f64,
-    niter: usize,
-) -> (CgResult, RunReport) {
+pub fn cg_parade_on(cluster: &Cluster, m: Csr, shift: f64, niter: usize) -> (CgResult, RunReport) {
     let n = m.n;
     cluster.run_with_report(move |g| {
         let sh = upload_matrix(g, &m);
@@ -500,9 +504,7 @@ pub fn cg_parade_on(
                 for _ in 0..CGITMAX {
                     tc.read_into(&p, 0, &mut pfull);
                     spmv(&pfull, &mut lq, &la, &lcol, &rowptr);
-                    let d = tc.reduce_f64_sum(
-                        lp.iter().zip(lq.iter()).map(|(a, b)| a * b).sum(),
-                    );
+                    let d = tc.reduce_f64_sum(lp.iter().zip(lq.iter()).map(|(a, b)| a * b).sum());
                     let alpha = rho / d;
                     for j in 0..nrows {
                         lz[j] += alpha * lp[j];
@@ -525,7 +527,10 @@ pub fn cg_parade_on(
                 tc.read_into(&z, 0, &mut zfull);
                 spmv(&zfull, &mut lq, &la, &lcol, &rowptr);
                 let sum = tc.reduce_f64_sum(
-                    lx.iter().zip(lq.iter()).map(|(a, b)| (a - b) * (a - b)).sum(),
+                    lx.iter()
+                        .zip(lq.iter())
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum(),
                 );
                 rnorm = sum.sqrt();
 
@@ -571,10 +576,7 @@ pub fn cg_parade_on(
 /// discussion [8]: SDSM versions achieve about half the MPI performance).
 /// One rank per node, rows partitioned per rank, `p`/`z` exchanged by
 /// allgather, dot products by allreduce — no shared memory at all.
-pub fn cg_mpi(
-    cfg: parade_cluster::ClusterConfig,
-    class: CgClass,
-) -> (CgResult, parade_net::VTime) {
+pub fn cg_mpi(cfg: parade_cluster::ClusterConfig, class: CgClass) -> (CgResult, parade_net::VTime) {
     let prm = class.params();
     let m = std::sync::Arc::new(makea(class));
     let shift = prm.shift;
@@ -643,7 +645,10 @@ pub fn cg_mpi(
             allgather_rows(&lz, &mut zfull, &mut clk);
             m.spmv_rows(&zfull, rows.clone(), &mut lq);
             let sum = comm.allreduce_f64(
-                lx.iter().zip(lq.iter()).map(|(a, b)| (a - b) * (a - b)).sum(),
+                lx.iter()
+                    .zip(lq.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum(),
                 parade_mpi::ReduceOp::Sum,
                 &mut clk,
             );

@@ -82,7 +82,9 @@ impl MdResult {
 /// velocities zero — as in the openmp.org sample's `initialize`).
 pub fn initialize(p: &MdParams) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let mut rng = NasRng::nas(p.seed);
-    let pos: Vec<f64> = (0..p.np * ND).map(|_| p.box_size * rng.next_f64()).collect();
+    let pos: Vec<f64> = (0..p.np * ND)
+        .map(|_| p.box_size * rng.next_f64())
+        .collect();
     let vel = vec![0.0; p.np * ND];
     let acc = vec![0.0; p.np * ND];
     (pos, vel, acc)

@@ -86,8 +86,7 @@ mod tests {
         // x1 = 314159265 * 1220703125 mod 2^46.
         let mut r = NasRng::nas(NAS_SEED);
         let v = r.next_f64();
-        let expect = ((NAS_SEED as u128 * NAS_A as u128) & MASK46 as u128) as f64
-            * 2f64.powi(-46);
+        let expect = ((NAS_SEED as u128 * NAS_A as u128) & MASK46 as u128) as f64 * 2f64.powi(-46);
         assert_eq!(v, expect);
         assert!(v > 0.0 && v < 1.0);
     }

@@ -7,7 +7,7 @@
 //! `O(P log P)` — the property that makes collectives cheaper than
 //! lock-based SDSM synchronization as the node count grows.
 
-use bytes::Bytes;
+use parade_net::Bytes;
 
 use parade_net::VClock;
 
@@ -165,13 +165,7 @@ impl Communicator {
                 }
             } else {
                 let dst = ((relrank & !mask) + root) % size;
-                self.coll_send(
-                    dst,
-                    seq,
-                    PH_REDUCE,
-                    Bytes::copy_from_slice(buf),
-                    clock,
-                );
+                self.coll_send(dst, seq, PH_REDUCE, Bytes::copy_from_slice(buf), clock);
                 break;
             }
             mask <<= 1;
@@ -250,12 +244,7 @@ impl Communicator {
 
     /// Gather byte strings at `root` (linear). Returns `Some(parts)` indexed
     /// by rank at the root, `None` elsewhere.
-    pub fn gather_bytes(
-        &self,
-        root: usize,
-        data: Bytes,
-        clock: &mut VClock,
-    ) -> Option<Vec<Bytes>> {
+    pub fn gather_bytes(&self, root: usize, data: Bytes, clock: &mut VClock) -> Option<Vec<Bytes>> {
         let mut st = self.coll_guard.lock();
         let seq = st.seq;
         st.seq += 1;
@@ -293,7 +282,9 @@ impl Communicator {
         self.bcast_bytes(0, &mut blob, clock);
         let mut r = crate::datatype::Reader::new(&blob);
         let n = r.u32() as usize;
-        (0..n).map(|_| Bytes::copy_from_slice(r.lp_bytes())).collect()
+        (0..n)
+            .map(|_| Bytes::copy_from_slice(r.lp_bytes()))
+            .collect()
     }
 }
 
@@ -434,8 +425,8 @@ mod tests {
         // Paper §4.2: several reduction variables merged into one struct and
         // reduced with a user-defined operation. Emulate (sum, max) pairs.
         let out = run_all(4, |c, clk| {
-            let mut buf = crate::datatype::f64s_to_bytes(&[c.rank() as f64, c.rank() as f64])
-                .to_vec();
+            let mut buf =
+                crate::datatype::f64s_to_bytes(&[c.rank() as f64, c.rank() as f64]).to_vec();
             let combine = |acc: &mut Vec<u8>, other: &[u8]| {
                 let a = crate::datatype::bytes_to_f64s(acc);
                 let b = crate::datatype::bytes_to_f64s(other);

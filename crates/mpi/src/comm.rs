@@ -1,7 +1,7 @@
 //! Communicators and point-to-point messaging.
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use parade_net::sync::Mutex;
+use parade_net::Bytes;
 
 use parade_net::{Endpoint, Match, MsgClass, VClock};
 
@@ -117,7 +117,11 @@ impl Communicator {
     pub(crate) fn coll_recv(&self, src: usize, seq: u64, phase: u8, clock: &mut VClock) -> Bytes {
         let pkt = self
             .ep
-            .recv(MsgClass::Coll, Match::src_tag(src, coll_tag(seq, phase)), clock)
+            .recv(
+                MsgClass::Coll,
+                Match::src_tag(src, coll_tag(seq, phase)),
+                clock,
+            )
             .expect("communicator used after shutdown");
         pkt.payload
     }

@@ -3,15 +3,15 @@
 //! Payloads are hand-encoded little-endian byte strings — the mini-MPI the
 //! paper's authors built on VIA moves raw buffers the same way.
 
-use bytes::{Bytes, BytesMut};
+use parade_net::Bytes;
 
 /// Encode a slice of `f64` values.
 pub fn f64s_to_bytes(xs: &[f64]) -> Bytes {
-    let mut b = BytesMut::with_capacity(xs.len() * 8);
+    let mut b = Vec::with_capacity(xs.len() * 8);
     for x in xs {
         b.extend_from_slice(&x.to_le_bytes());
     }
-    b.freeze()
+    Bytes::from(b)
 }
 
 /// Decode a byte string into `f64` values.
@@ -35,11 +35,11 @@ pub fn read_f64s_into(b: &[u8], out: &mut [f64]) {
 
 /// Encode a slice of `i64` values.
 pub fn i64s_to_bytes(xs: &[i64]) -> Bytes {
-    let mut b = BytesMut::with_capacity(xs.len() * 8);
+    let mut b = Vec::with_capacity(xs.len() * 8);
     for x in xs {
         b.extend_from_slice(&x.to_le_bytes());
     }
-    b.freeze()
+    Bytes::from(b)
 }
 
 /// Decode a byte string into `i64` values.
@@ -52,11 +52,11 @@ pub fn bytes_to_i64s(b: &[u8]) -> Vec<i64> {
 
 /// Encode a slice of `u64` values.
 pub fn u64s_to_bytes(xs: &[u64]) -> Bytes {
-    let mut b = BytesMut::with_capacity(xs.len() * 8);
+    let mut b = Vec::with_capacity(xs.len() * 8);
     for x in xs {
         b.extend_from_slice(&x.to_le_bytes());
     }
-    b.freeze()
+    Bytes::from(b)
 }
 
 /// Decode a byte string into `u64` values.
@@ -70,17 +70,17 @@ pub fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
 /// A little-endian cursor for composing protocol messages.
 #[derive(Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     pub fn new() -> Self {
-        Writer { buf: BytesMut::new() }
+        Writer { buf: Vec::new() }
     }
 
     pub fn with_capacity(n: usize) -> Self {
         Writer {
-            buf: BytesMut::with_capacity(n),
+            buf: Vec::with_capacity(n),
         }
     }
 
@@ -116,7 +116,7 @@ impl Writer {
     }
 
     pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+        Bytes::from(self.buf)
     }
 
     pub fn len(&self) -> usize {

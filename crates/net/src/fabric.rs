@@ -11,12 +11,11 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
-
+use crate::buffer::Bytes;
 use crate::packet::{MsgClass, Packet};
 use crate::profile::NetProfile;
 use crate::stats::{NetStats, NodeNetStats};
+use crate::sync::{Condvar, Mutex};
 use crate::vtime::{VClock, VTime};
 
 /// Matching predicate for receives.
@@ -91,7 +90,12 @@ impl Fabric {
         assert!(n > 0, "fabric needs at least one node");
         let ports = (0..n)
             .map(|_| NodePort {
-                boxes: [Mailbox::new(), Mailbox::new(), Mailbox::new(), Mailbox::new()],
+                boxes: [
+                    Mailbox::new(),
+                    Mailbox::new(),
+                    Mailbox::new(),
+                    Mailbox::new(),
+                ],
             })
             .collect();
         Arc::new(Fabric {
@@ -185,14 +189,7 @@ impl Endpoint {
     /// overhead; the packet is stamped with its virtual arrival time at the
     /// destination. Sending is asynchronous (eager buffering), matching the
     /// paper's use of short eager MPI messages.
-    pub fn send(
-        &self,
-        dst: usize,
-        class: MsgClass,
-        tag: u64,
-        payload: Bytes,
-        clock: &mut VClock,
-    ) {
+    pub fn send(&self, dst: usize, class: MsgClass, tag: u64, payload: Bytes, clock: &mut VClock) {
         clock.sample_compute();
         self.send_at(dst, class, tag, payload, clock.now());
         clock.charge_comm(self.fabric.profile.per_msg_cpu);
@@ -281,7 +278,10 @@ impl Endpoint {
 
     /// Number of packets currently queued in `class` (diagnostics/tests).
     pub fn queued(&self, class: MsgClass) -> usize {
-        self.fabric.ports[self.id].boxes[class.index()].queue.lock().len()
+        self.fabric.ports[self.id].boxes[class.index()]
+            .queue
+            .lock()
+            .len()
     }
 }
 
@@ -302,7 +302,9 @@ mod tests {
         let mut ca = VClock::manual();
         let mut cb = VClock::manual();
         a.send(1, MsgClass::P2p, 7, bts(&[1, 2, 3]), &mut ca);
-        let pkt = b.recv(MsgClass::P2p, Match::src_tag(0, 7), &mut cb).unwrap();
+        let pkt = b
+            .recv(MsgClass::P2p, Match::src_tag(0, 7), &mut cb)
+            .unwrap();
         assert_eq!(&pkt.payload[..], &[1, 2, 3]);
         // Receiver time >= one-way latency.
         assert!(cb.now() >= NetProfile::clan_via().remote.latency);
@@ -376,7 +378,10 @@ mod tests {
         let s = fabric.stats().totals();
         assert_eq!(s.msgs, 2);
         assert_eq!(s.bytes, 150);
-        assert_eq!(fabric.stats().node(0).class_totals(MsgClass::Dsm).bytes, 100);
+        assert_eq!(
+            fabric.stats().node(0).class_totals(MsgClass::Dsm).bytes,
+            100
+        );
     }
 
     #[test]

@@ -15,12 +15,15 @@
 //!   a virtual arrival time and receivers reconcile their [`VClock`]s, which
 //!   makes simulations both fast and accurate on an oversubscribed host.
 
+mod buffer;
 mod fabric;
 mod packet;
 mod profile;
 mod stats;
+pub mod sync;
 mod vtime;
 
+pub use buffer::Bytes;
 pub use fabric::{Disconnected, Endpoint, Fabric, Match};
 pub use packet::{MsgClass, Packet};
 pub use profile::{LinkCost, NetProfile};

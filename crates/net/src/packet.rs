@@ -1,7 +1,7 @@
 //! Packets and message classes.
 
+use crate::buffer::Bytes;
 use crate::vtime::VTime;
-use bytes::Bytes;
 
 /// Traffic classes demultiplexed into separate mailboxes at every endpoint.
 ///

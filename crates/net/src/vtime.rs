@@ -4,10 +4,11 @@
 //! many-threaded cluster simulation are meaningless. Instead every simulated
 //! thread carries a [`VClock`]: a virtual timestamp advanced by
 //!
-//! * **compute** — the thread's own CPU time (via `CLOCK_THREAD_CPUTIME_ID`,
-//!   which is immune to preemption and time-slicing), multiplied by a
-//!   configurable scale factor that models the target machine's speed
-//!   relative to the host; or deterministic, manually charged costs; and
+//! * **compute** — the thread's measured execution time (a monotonic
+//!   timer — see [`thread_cpu_ns`] for the hermetic-build caveat vs. true
+//!   per-thread CPU time), multiplied by a configurable scale factor that
+//!   models the target machine's speed relative to the host; or
+//!   deterministic, manually charged costs; and
 //! * **communication/synchronization** — analytic costs from the network
 //!   profile (latency, per-byte time, service penalties), reconciled via
 //!   `max()` when threads interact.
@@ -103,21 +104,23 @@ impl fmt::Display for VTime {
     }
 }
 
-/// Reads this thread's consumed CPU time in nanoseconds.
+/// Reads a monotonic per-process timestamp in nanoseconds.
 ///
-/// Uses `CLOCK_THREAD_CPUTIME_ID`, so the value only advances while this
-/// thread is actually scheduled — exactly what we need on an oversubscribed
-/// host.
+/// Semantic note: this used to read `CLOCK_THREAD_CPUTIME_ID` via `libc`,
+/// i.e. the calling thread's *CPU* time, immune to preemption. The hermetic
+/// (std-only) build uses `std::time::Instant`, which is monotonic *wall*
+/// time: on an oversubscribed host the measured compute of a simulated
+/// thread now includes time it spent descheduled, so `ThreadCpu` timings
+/// are noisier than before. The API and all call sites are unchanged —
+/// callers only ever difference consecutive readings — and fully
+/// deterministic runs should use [`TimeSource::Manual`], which never calls
+/// this function.
 pub fn thread_cpu_ns() -> u64 {
-    let mut ts = libc::timespec {
-        tv_sec: 0,
-        tv_nsec: 0,
-    };
-    // SAFETY: `ts` is a valid, writable timespec; the clock id is a constant
-    // supported on Linux.
-    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
-    (ts.tv_sec as u64) * 1_000_000_000 + ts.tv_nsec as u64
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
 }
 
 /// How a [`VClock`] accounts for compute between communication events.

@@ -1,0 +1,335 @@
+//! A small, offline micro-benchmark harness (criterion replacement).
+//!
+//! Protocol per benchmark:
+//!
+//! 1. **Calibrate** — double the iteration count until one timed batch
+//!    exceeds ~1/10 of the target sample time, then size batches to the
+//!    target.
+//! 2. **Warm up** — run a few untimed batches.
+//! 3. **Sample** — time `samples` batches and report the **median** (plus
+//!    min/mean/max) per-iteration time. Median-of-N is robust against the
+//!    scheduler hiccups that plague wall-clock micro-benchmarks.
+//!
+//! Results print as a table; set `PARADE_BENCH_JSON=<dir>` (or `1` for the
+//! current directory) to also write `BENCH_<suite>.json` for machine
+//! consumption.
+//!
+//! Benches run with `harness = false`, so the harness parses the standard
+//! `cargo bench` argument conventions it needs: a positional substring
+//! filter, and `--skip`-style smoke mode (any arg containing "skip" skips
+//! the heavy sweeps — preexisting repo convention).
+
+use std::time::Instant;
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Timed batches per benchmark.
+    pub samples: u32,
+    /// Untimed warmup batches.
+    pub warmup_batches: u32,
+    /// Target wall time per timed batch, nanoseconds.
+    pub target_batch_ns: u64,
+    /// Hard cap on iterations per batch (memory bound for batched setup).
+    pub max_iters_per_batch: u64,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            samples: 15,
+            warmup_batches: 3,
+            target_batch_ns: 20_000_000,
+            max_iters_per_batch: 1 << 22,
+        }
+    }
+}
+
+/// One benchmark's timing summary (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub iters_per_batch: u64,
+    pub samples: Vec<f64>,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    fn from_samples(name: &str, iters: u64, mut per_iter_ns: Vec<f64>) -> Self {
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = per_iter_ns.len();
+        let median = if n % 2 == 1 {
+            per_iter_ns[n / 2]
+        } else {
+            (per_iter_ns[n / 2 - 1] + per_iter_ns[n / 2]) / 2.0
+        };
+        BenchResult {
+            name: name.to_string(),
+            iters_per_batch: iters,
+            median_ns: median,
+            mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
+            min_ns: per_iter_ns[0],
+            max_ns: per_iter_ns[n - 1],
+            samples: per_iter_ns,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark suite driver.
+pub struct Bench {
+    suite: String,
+    opts: BenchOpts,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// Create a suite, reading the `cargo bench` CLI args: the first
+    /// positional argument is a substring filter on benchmark names.
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Bench {
+            suite: suite.to_string(),
+            opts: BenchOpts::default(),
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    pub fn with_opts(mut self, opts: BenchOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| name.contains(f))
+    }
+
+    /// Benchmark `f` called in a tight loop.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if !self.selected(name) {
+            return;
+        }
+        // Calibrate.
+        let mut iters = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t.elapsed().as_nanos() as u64;
+            if elapsed >= self.opts.target_batch_ns / 10 || iters >= self.opts.max_iters_per_batch {
+                if elapsed > 0 && elapsed < self.opts.target_batch_ns / 10 {
+                    break; // capped
+                }
+                iters = (iters * self.opts.target_batch_ns / elapsed.max(1))
+                    .clamp(1, self.opts.max_iters_per_batch);
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.opts.warmup_batches {
+            for _ in 0..iters {
+                f();
+            }
+        }
+        let mut per_iter = Vec::with_capacity(self.opts.samples as usize);
+        for _ in 0..self.opts.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.push(BenchResult::from_samples(name, iters, per_iter));
+    }
+
+    /// Benchmark `f` over inputs produced by `setup`, excluding setup time
+    /// (criterion's `iter_batched`). Batches are capped at 1024 inputs.
+    pub fn bench_batched<T, S: FnMut() -> T, F: FnMut(T)>(
+        &mut self,
+        name: &str,
+        mut setup: S,
+        mut f: F,
+    ) {
+        if !self.selected(name) {
+            return;
+        }
+        // Calibrate on one input.
+        let t = Instant::now();
+        f(setup());
+        let one = (t.elapsed().as_nanos() as u64).max(1);
+        let iters = (self.opts.target_batch_ns / one).clamp(1, 1024);
+        for _ in 0..self.opts.warmup_batches.min(1) {
+            let inputs: Vec<T> = (0..iters).map(|_| setup()).collect();
+            for x in inputs {
+                f(x);
+            }
+        }
+        let mut per_iter = Vec::with_capacity(self.opts.samples as usize);
+        for _ in 0..self.opts.samples {
+            let inputs: Vec<T> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for x in inputs {
+                f(x);
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        self.push(BenchResult::from_samples(name, iters, per_iter));
+    }
+
+    fn push(&mut self, r: BenchResult) {
+        println!(
+            "{:<44} median {:>12}/iter  (min {}, max {}, {} samples x {} iters)",
+            format!("{}/{}", self.suite, r.name),
+            fmt_ns(r.median_ns),
+            fmt_ns(r.min_ns),
+            fmt_ns(r.max_ns),
+            r.samples.len(),
+            r.iters_per_batch,
+        );
+        self.results.push(r);
+    }
+
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Render the suite as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": {},\n", json_string(&self.suite)));
+        out.push_str("  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"median\": {:.2}, \"mean\": {:.2}, \"min\": {:.2}, \
+                 \"max\": {:.2}, \"samples\": {}, \"iters_per_batch\": {}}}{}\n",
+                json_string(&r.name),
+                r.median_ns,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples.len(),
+                r.iters_per_batch,
+                if i + 1 == self.results.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Print the summary and, if `PARADE_BENCH_JSON` is set, write
+    /// `BENCH_<suite>.json` into the named directory (`1`/empty → cwd).
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            println!("{}: no benchmarks selected", self.suite);
+            return;
+        }
+        if let Ok(dir) = std::env::var("PARADE_BENCH_JSON") {
+            let dir = if dir.is_empty() || dir == "1" {
+                ".".to_string()
+            } else {
+                dir
+            };
+            let path = format!("{dir}/BENCH_{}.json", self.suite);
+            let _ = std::fs::create_dir_all(&dir);
+            match std::fs::write(&path, self.to_json()) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("warning: could not write {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> BenchOpts {
+        BenchOpts {
+            samples: 5,
+            warmup_batches: 1,
+            target_batch_ns: 50_000,
+            max_iters_per_batch: 1 << 16,
+        }
+    }
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        let mut b = Bench::from_args("testsuite").with_opts(quick_opts());
+        let mut acc = 0u64;
+        b.bench("wrapping_mul", || {
+            acc = std::hint::black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(1));
+        });
+        let r = &b.results()[0];
+        assert_eq!(r.samples.len(), 5);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.median_ns > 0.0);
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut b = Bench::from_args("testsuite").with_opts(quick_opts());
+        b.bench_batched(
+            "consume_vec",
+            || vec![1u8; 64],
+            |v| {
+                std::hint::black_box(v.len());
+            },
+        );
+        assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut b = Bench::from_args("suite").with_opts(quick_opts());
+        b.bench("noop", || {
+            std::hint::black_box(0u8);
+        });
+        let j = b.to_json();
+        assert!(j.contains("\"suite\": \"suite\""));
+        assert!(j.contains("\"name\": \"noop\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

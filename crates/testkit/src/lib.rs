@@ -1,0 +1,41 @@
+//! # parade-testkit — deterministic, dependency-free test harness
+//!
+//! In-repo replacement for the `proptest` + `rand` + `criterion` stack, so
+//! the workspace builds and tests **offline with zero external crates**
+//! (the hermetic-build policy; see README.md).
+//!
+//! Three pieces:
+//!
+//! * [`rng::TestRng`] — a seeded generator built on the NAS 46-bit LCG
+//!   (the same `a = 5^13` recurrence as `parade-kernels::nasrng`, which a
+//!   property test cross-checks bit-for-bit).
+//! * [`runner`] + the [`prop!`] macro — a property-testing harness: every
+//!   case is derived from one printable seed, failures print a
+//!   `PARADE_PROP_SEED=0x…` reproduction line, and inputs are greedily
+//!   shrunk via [`shrink::Shrink`] to a deterministic minimal
+//!   counterexample.
+//! * [`bench::Bench`] — a micro-benchmark harness (calibrated batches,
+//!   warmup, median-of-N) with optional `BENCH_<suite>.json` emission via
+//!   `PARADE_BENCH_JSON`.
+//!
+//! ```ignore
+//! use parade_testkit::prelude::*;
+//!
+//! prop!(fn addition_commutes((a, b) in |r: &mut TestRng| (r.next_u32(), r.next_u32())) {
+//!     assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+//! });
+//! ```
+
+pub mod bench;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+
+/// The names property tests and benches actually use.
+pub mod prelude {
+    pub use crate::bench::{Bench, BenchOpts};
+    pub use crate::prop;
+    pub use crate::rng::TestRng;
+    pub use crate::runner::Config;
+    pub use crate::shrink::Shrink;
+}

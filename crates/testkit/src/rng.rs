@@ -1,0 +1,263 @@
+//! Deterministic test RNG built on the NAS 46-bit LCG.
+//!
+//! The generator is the same `x_{k+1} = a·x_k mod 2^46`, `a = 5^13` linear
+//! congruential generator that `parade-kernels::nasrng` implements for the
+//! NAS benchmarks (a property test in `tests/properties.rs` cross-checks
+//! the two streams bit-for-bit). On top of the raw stream, [`TestRng`]
+//! derives the integer/byte/range draws the property harness needs.
+//!
+//! Low-order bits of a power-of-two-modulus LCG are weak (the LSB of an odd
+//! seed times an odd multiplier is always 1), so every derived draw uses
+//! only the *top* bits of each 46-bit state.
+
+const MASK46: u64 = (1u64 << 46) - 1;
+
+/// The NAS multiplier `a = 5^13`.
+pub const NAS_A: u64 = 1_220_703_125;
+
+/// The canonical NAS seed component `314159265`.
+pub const NAS_SEED: u64 = 314_159_265;
+
+#[inline]
+fn mul46(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) & MASK46 as u128) as u64
+}
+
+/// `a^n mod 2^46` by binary exponentiation (the NPB jump-ahead trick).
+pub fn pow46(mut a: u64, mut n: u64) -> u64 {
+    let mut r: u64 = 1;
+    a &= MASK46;
+    while n > 0 {
+        if n & 1 == 1 {
+            r = mul46(r, a);
+        }
+        a = mul46(a, a);
+        n >>= 1;
+    }
+    r
+}
+
+/// Mix an arbitrary 64-bit seed into a non-degenerate (odd, 46-bit) LCG
+/// state. SplitMix64-style finalizer; only used for seeding, never for
+/// draws.
+fn mix_seed(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z & MASK46) | 1
+}
+
+/// A deterministic RNG for tests: NAS LCG stream + derived draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary `u64`. Any seed (including 0) yields a
+    /// full-period stream; the same seed always yields the same stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: mix_seed(seed),
+        }
+    }
+
+    /// The *raw* NAS stream: state exactly `seed & MASK46`, no mixing.
+    /// Produces the bit-identical `next_f64` sequence of
+    /// `parade_kernels::nasrng::NasRng::nas(seed)`.
+    pub fn nas_stream(seed: u64) -> Self {
+        TestRng {
+            state: seed & MASK46,
+        }
+    }
+
+    /// Current 46-bit LCG state (for cross-checking against `NasRng`).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn next_raw(&mut self) -> u64 {
+        self.state = mul46(self.state, NAS_A);
+        self.state
+    }
+
+    /// `randlc`: uniform deviate in (0, 1), bit-identical to the NAS
+    /// sequence when constructed via [`TestRng::nas_stream`].
+    pub fn next_f64(&mut self) -> f64 {
+        self.next_raw() as f64 * 2f64.powi(-46)
+    }
+
+    /// Skip `n` draws in O(log n).
+    pub fn skip(&mut self, n: u64) {
+        self.state = mul46(self.state, pow46(NAS_A, n));
+    }
+
+    /// 32 uniform bits (the top bits of one LCG step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_raw() >> 14) as u32
+    }
+
+    /// 64 uniform bits (two LCG steps).
+    pub fn next_u64(&mut self) -> u64 {
+        (self.next_u32() as u64) << 32 | self.next_u32() as u64
+    }
+
+    pub fn next_byte(&mut self) -> u8 {
+        (self.next_raw() >> 38) as u8
+    }
+
+    pub fn next_bool(&mut self) -> bool {
+        self.next_raw() >> 45 == 1
+    }
+
+    /// Uniform in `[0, n)` via multiply-shift (no weak low bits, no modulo
+    /// bias worth caring about in a test generator). Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// An arbitrary `f64` *bit pattern*: includes negative zero, subnormals,
+    /// infinities and NaNs. For round-trip properties compared via
+    /// `to_bits`.
+    pub fn f64_bits(&mut self) -> f64 {
+        f64::from_bits(self.next_u64())
+    }
+
+    /// Fill `out` with uniform bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for b in out {
+            *b = self.next_byte();
+        }
+    }
+
+    /// A fresh `Vec<u8>` of length drawn from `[min_len, max_len)`.
+    pub fn bytes_vec(&mut self, min_len: usize, max_len: usize) -> Vec<u8> {
+        let n = if min_len + 1 >= max_len {
+            min_len
+        } else {
+            self.range_usize(min_len, max_len)
+        };
+        let mut v = vec![0u8; n];
+        self.fill_bytes(&mut v);
+        v
+    }
+
+    /// A string of length in `[min_len, max_len)` over `charset`.
+    pub fn string_from(&mut self, charset: &[char], min_len: usize, max_len: usize) -> String {
+        let n = if min_len + 1 >= max_len {
+            min_len
+        } else {
+            self.range_usize(min_len, max_len)
+        };
+        (0..n)
+            .map(|_| charset[self.range_usize(0, charset.len())])
+            .collect()
+    }
+
+    /// Pick one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.range_usize(0, xs.len())]
+    }
+
+    /// Derive an independent child stream (used to give each property case
+    /// its own stream from a base seed and case index).
+    pub fn derive(base_seed: u64, index: u64) -> TestRng {
+        TestRng::new(base_seed ^ index.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::new(43);
+        assert_ne!(TestRng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = TestRng::new(0);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&d| d != 0));
+        assert_ne!(draws[0], draws[1]);
+    }
+
+    #[test]
+    fn nas_stream_matches_reference_first_value() {
+        // x1 = 314159265 * 1220703125 mod 2^46 (same as nasrng's test).
+        let mut r = TestRng::nas_stream(NAS_SEED);
+        let v = r.next_f64();
+        let expect =
+            ((NAS_SEED as u128 * NAS_A as u128) & ((1u128 << 46) - 1)) as f64 * 2f64.powi(-46);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn skip_matches_iteration() {
+        for n in [0u64, 1, 5, 1000] {
+            let mut seq = TestRng::new(7);
+            for _ in 0..n {
+                seq.next_raw();
+            }
+            let mut jmp = TestRng::new(7);
+            jmp.skip(n);
+            assert_eq!(seq.state(), jmp.state(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ranges_hit_bounds_and_stay_inside() {
+        let mut r = TestRng::new(99);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range_usize(3, 7);
+            assert!((3..7).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi);
+        for _ in 0..2000 {
+            let v = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bytes_are_roughly_uniform() {
+        let mut r = TestRng::new(1);
+        let mut counts = [0u32; 256];
+        for _ in 0..65536 {
+            counts[r.next_byte() as usize] += 1;
+        }
+        // Every byte value should appear; expectation is 256 each.
+        assert!(counts.iter().all(|&c| c > 100), "{counts:?}");
+    }
+}

@@ -1,0 +1,243 @@
+//! Greedy input shrinking.
+//!
+//! [`Shrink::shrink`] proposes a bounded list of strictly "smaller"
+//! candidates for a failing input. The runner re-tests candidates in order
+//! and greedily restarts from the first one that still fails, so shrinking
+//! is deterministic given the failing value — which keeps the
+//! seed-reproduction contract: re-running a printed seed regenerates the
+//! same original input *and* the same minimal counterexample.
+//!
+//! Candidates must head toward a well-founded "zero" (0, empty, `false`) so
+//! the greedy loop terminates. Implementations cap how many candidates they
+//! propose per step; the runner additionally caps total steps.
+
+/// Types that can propose smaller versions of themselves.
+pub trait Shrink: Sized {
+    /// Strictly-smaller candidates, most aggressive first. An empty vector
+    /// means fully shrunk.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v.saturating_sub(1)] {
+                    if c < v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let v = *self;
+                let mut out = Vec::new();
+                for c in [0, v / 2, v - v.signum()] {
+                    if c.abs() < v.abs() && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+shrink_signed!(i8, i16, i32, i64, isize);
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        let v = *self;
+        if v == 0.0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0];
+        if v.is_finite() {
+            let t = v.trunc();
+            if t != v {
+                out.push(t);
+            }
+            if (v / 2.0) != v {
+                out.push(v / 2.0);
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for char {
+    fn shrink(&self) -> Vec<Self> {
+        if *self == 'a' {
+            Vec::new()
+        } else {
+            vec!['a']
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Structural shrinks first: drop everything, halves, single
+        // elements (capped so huge vectors don't explode the search).
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        for i in 0..n.min(16) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Then element-wise shrinks (first candidate only, capped).
+        for i in 0..n.min(16) {
+            if let Some(smaller) = self[i].shrink().into_iter().next() {
+                let mut v = self.clone();
+                v[i] = smaller;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for String {
+    fn shrink(&self) -> Vec<Self> {
+        self.chars()
+            .collect::<Vec<char>>()
+            .shrink()
+            .into_iter()
+            .map(|cs| cs.into_iter().collect())
+            .collect()
+    }
+}
+
+impl Shrink for () {}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(self.1.shrink().into_iter().map(|b| (self.0.clone(), b)));
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone> Shrink for (A, B, C) {
+    fn shrink(&self) -> Vec<Self> {
+        let (a, b, c) = self;
+        let mut out: Vec<Self> = a
+            .shrink()
+            .into_iter()
+            .map(|x| (x, b.clone(), c.clone()))
+            .collect();
+        out.extend(b.shrink().into_iter().map(|x| (a.clone(), x, c.clone())));
+        out.extend(c.shrink().into_iter().map(|x| (a.clone(), b.clone(), x)));
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone, D: Shrink + Clone> Shrink
+    for (A, B, C, D)
+{
+    fn shrink(&self) -> Vec<Self> {
+        let (a, b, c, d) = self;
+        let mut out: Vec<Self> = a
+            .shrink()
+            .into_iter()
+            .map(|x| (x, b.clone(), c.clone(), d.clone()))
+            .collect();
+        out.extend(
+            b.shrink()
+                .into_iter()
+                .map(|x| (a.clone(), x, c.clone(), d.clone())),
+        );
+        out.extend(
+            c.shrink()
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), x, d.clone())),
+        );
+        out.extend(
+            d.shrink()
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), c.clone(), x)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_heads_to_zero() {
+        assert_eq!(100u64.shrink()[0], 0);
+        assert!(0u64.shrink().is_empty());
+        // Greedy descent terminates.
+        let mut v = u64::MAX;
+        let mut steps = 0;
+        while let Some(&c) = v.shrink().first() {
+            v = c;
+            steps += 1;
+            assert!(steps < 10);
+        }
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn signed_shrinks_toward_zero_from_both_sides() {
+        assert!((-8i64).shrink().contains(&0));
+        assert!((-8i64).shrink().iter().all(|c| c.abs() < 8));
+        assert!(0i64.shrink().is_empty());
+    }
+
+    #[test]
+    fn vec_candidates_are_smaller_or_elementwise_shrunk() {
+        let v = vec![3u8, 9, 1];
+        let cands = v.shrink();
+        assert_eq!(cands[0], Vec::<u8>::new());
+        assert!(cands.iter().any(|c| c.len() == 2));
+        assert!(Vec::<u8>::new().shrink().is_empty());
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let cands = (4u64, 2u64).shrink();
+        assert!(cands.contains(&(0, 2)));
+        assert!(cands.contains(&(4, 0)));
+        assert!((0u64, 0u64).shrink().is_empty());
+    }
+}

@@ -540,21 +540,15 @@ pub fn loop_of(body: &Stmt) -> Option<CanonLoop> {
     };
     // step: i++  |  i += c  |  i = i + c
     let stride = match step {
-        Some(Expr::Assign(Some(BinOp::Add), sl, sr))
-            if matches!(sl.as_ref(), Expr::Ident(n) if n == var) =>
-        {
+        Some(Expr::Assign(Some(BinOp::Add), sl, sr)) if matches!(sl.as_ref(), Expr::Ident(n) if n == var) => {
             match sr.as_ref() {
                 Expr::Int(c) if *c > 0 => *c,
                 _ => return None,
             }
         }
-        Some(Expr::Assign(None, sl, sr))
-            if matches!(sl.as_ref(), Expr::Ident(n) if n == var) =>
-        {
+        Some(Expr::Assign(None, sl, sr)) if matches!(sl.as_ref(), Expr::Ident(n) if n == var) => {
             match sr.as_ref() {
-                Expr::Binary(BinOp::Add, a, b)
-                    if matches!(a.as_ref(), Expr::Ident(n) if n == var) =>
-                {
+                Expr::Binary(BinOp::Add, a, b) if matches!(a.as_ref(), Expr::Ident(n) if n == var) => {
                     match b.as_ref() {
                         Expr::Int(c) if *c > 0 => *c,
                         _ => return None,
@@ -642,8 +636,10 @@ mod tests {
     }
 
     fn parse_expr(s: &str) -> Expr {
-        let prog = parse(&format!("int main() {{ double x, y; double a[4]; {s}; return 0; }}"))
-            .unwrap();
+        let prog = parse(&format!(
+            "int main() {{ double x, y; double a[4]; {s}; return 0; }}"
+        ))
+        .unwrap();
         let f = prog.func("main").unwrap();
         let Stmt::Block(ss) = &f.body else { panic!() };
         ss.iter()
@@ -803,10 +799,7 @@ return 0; }"#,
         .unwrap();
         let f = prog.func("main").unwrap();
         let Stmt::Block(ss) = &f.body else { panic!() };
-        let floop = ss
-            .iter()
-            .find(|s| matches!(s, Stmt::For { .. }))
-            .unwrap();
+        let floop = ss.iter().find(|s| matches!(s, Stmt::For { .. })).unwrap();
         let l = loop_of(floop).unwrap();
         assert_eq!(l.var, "i");
         assert_eq!(l.lo, Expr::Int(0));

@@ -229,7 +229,12 @@ pub struct Directive {
 
 impl Directive {
     pub fn clause_vars(&self, pick: impl Fn(&Clause) -> Option<&Vec<String>>) -> Vec<String> {
-        self.clauses.iter().filter_map(|c| pick(c)).flatten().cloned().collect()
+        self.clauses
+            .iter()
+            .filter_map(|c| pick(c))
+            .flatten()
+            .cloned()
+            .collect()
     }
 
     pub fn privates(&self) -> Vec<String> {
@@ -344,11 +349,7 @@ pub const MATH_BUILTINS: &[&str] = &[
     "sqrt", "fabs", "sin", "cos", "tan", "exp", "log", "pow", "floor", "ceil", "fmin", "fmax",
 ];
 
-pub const OMP_BUILTINS: &[&str] = &[
-    "omp_get_thread_num",
-    "omp_get_num_threads",
-    "omp_get_wtime",
-];
+pub const OMP_BUILTINS: &[&str] = &["omp_get_thread_num", "omp_get_num_threads", "omp_get_wtime"];
 
 pub fn is_math_builtin(name: &str) -> bool {
     MATH_BUILTINS.contains(&name)

@@ -44,11 +44,19 @@ fn main() {
             }
             "--nodes" => {
                 i += 1;
-                nodes = args.get(i).unwrap_or_else(|| usage()).parse().expect("bad --nodes");
+                nodes = args
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .expect("bad --nodes");
             }
             "--threads" => {
                 i += 1;
-                threads = args.get(i).unwrap_or_else(|| usage()).parse().expect("bad --threads");
+                threads = args
+                    .get(i)
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .expect("bad --threads");
             }
             "--threshold" => {
                 i += 1;

@@ -107,7 +107,8 @@ impl<'p> Emitter<'p> {
             }
         }
         if !self.regions.is_empty() {
-            self.out.push_str("\n/* ---- extracted parallel regions ---- */\n");
+            self.out
+                .push_str("\n/* ---- extracted parallel regions ---- */\n");
             let regions = std::mem::take(&mut self.regions);
             self.out.push_str(&regions);
         }
@@ -174,9 +175,18 @@ impl<'p> Emitter<'p> {
                 step,
                 body,
             } => {
-                let i = init.as_ref().map(|e| self.expr(e, region)).unwrap_or_default();
-                let c = cond.as_ref().map(|e| self.expr(e, region)).unwrap_or_default();
-                let st = step.as_ref().map(|e| self.expr(e, region)).unwrap_or_default();
+                let i = init
+                    .as_ref()
+                    .map(|e| self.expr(e, region))
+                    .unwrap_or_default();
+                let c = cond
+                    .as_ref()
+                    .map(|e| self.expr(e, region))
+                    .unwrap_or_default();
+                let st = step
+                    .as_ref()
+                    .map(|e| self.expr(e, region))
+                    .unwrap_or_default();
                 self.line(&format!("for ({i}; {c}; {st})"));
                 self.stmt(body, syms, region)?;
             }
@@ -415,12 +425,8 @@ impl<'p> Emitter<'p> {
             Sched::StaticChunk(c) => self.line(&format!(
                 "parade_loop_static_chunk({lo}, {hi}, {c}, &__lo, &__hi);"
             )),
-            Sched::Dynamic(c) => self.line(&format!(
-                "parade_loop_dynamic_init({lo}, {hi}, {c});"
-            )),
-            Sched::Guided(c) => self.line(&format!(
-                "parade_loop_guided_init({lo}, {hi}, {c});"
-            )),
+            Sched::Dynamic(c) => self.line(&format!("parade_loop_dynamic_init({lo}, {hi}, {c});")),
+            Sched::Guided(c) => self.line(&format!("parade_loop_guided_init({lo}, {hi}, {c});")),
         }
         match dir.schedule() {
             Sched::Dynamic(_) | Sched::Guided(_) => {
@@ -445,7 +451,10 @@ impl<'p> Emitter<'p> {
         self.indent -= 1;
         self.line("}");
         if !dir.nowait() {
-            self.line(&format!("{}  /* implicit barrier of omp for */", self.mode.barrier()));
+            self.line(&format!(
+                "{}  /* implicit barrier of omp for */",
+                self.mode.barrier()
+            ));
         }
         Ok(())
     }
@@ -788,8 +797,14 @@ int main() {
     fn critical_parade_uses_collective() {
         let prog = parse(CRITICAL_SRC).unwrap();
         let out = translate_default(&prog, EmitMode::Parade).unwrap();
-        assert!(out.contains("pthread_mutex_lock(&__parade_node_mutex);"), "{out}");
-        assert!(out.contains("parade_allreduce_double(&sum, PARADE_SUM);"), "{out}");
+        assert!(
+            out.contains("pthread_mutex_lock(&__parade_node_mutex);"),
+            "{out}"
+        );
+        assert!(
+            out.contains("parade_allreduce_double(&sum, PARADE_SUM);"),
+            "{out}"
+        );
         assert!(!out.contains("sdsm_lock"), "{out}");
     }
 
@@ -851,7 +866,10 @@ int main() {
         assert!(out.contains("parade_parallel(__parade_region_0"), "{out}");
         assert!(out.contains("parade_loop_static(0, 100"), "{out}");
         assert!(out.contains("double sum__red = 0.0;"), "{out}");
-        assert!(out.contains("parade_atomic_double(sum, PARADE_SUM, sum__red);"), "{out}");
+        assert!(
+            out.contains("parade_atomic_double(sum, PARADE_SUM, sum__red);"),
+            "{out}"
+        );
         assert!(out.contains("sum__red += (*a)[i]"), "{out}");
     }
 
@@ -870,7 +888,10 @@ int main() {
 "#;
         let prog = parse(src).unwrap();
         let out = translate_default(&prog, EmitMode::Parade).unwrap();
-        assert!(out.contains("parade_atomic_double(&x, PARADE_SUM, 2.0);"), "{out}");
+        assert!(
+            out.contains("parade_atomic_double(&x, PARADE_SUM, 2.0);"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -895,7 +916,10 @@ int main() {
         let prog = parse(src).unwrap();
         let out = translate_default(&prog, EmitMode::Parade).unwrap();
         assert!(out.contains("parade_loop_dynamic_init(0, 64, 4);"), "{out}");
-        assert!(out.contains("while (parade_loop_next(&__lo, &__hi))"), "{out}");
+        assert!(
+            out.contains("while (parade_loop_next(&__lo, &__hi))"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -15,11 +15,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parade_net::sync::Mutex;
 
-use parade_core::{
-    Cluster, MasterCtx, ReduceOp, SharedScalar, SharedVec, ThreadCtx,
-};
+use parade_core::{Cluster, MasterCtx, ReduceOp, SharedScalar, SharedVec, ThreadCtx};
 
 use crate::analysis::{
     analyze_critical, analyze_single, classify_region, loop_of, CriticalLowering,
@@ -678,13 +676,7 @@ impl Env {
         }
     }
 
-    fn write_elem(
-        &mut self,
-        exec: &mut Exec<'_>,
-        name: &str,
-        idx: &[i64],
-        v: Val,
-    ) -> RtResult<()> {
+    fn write_elem(&mut self, exec: &mut Exec<'_>, name: &str, idx: &[i64], v: Val) -> RtResult<()> {
         if self.has_local(name) {
             let l = self.local_mut(name).expect("just checked");
             return match l {
@@ -1109,15 +1101,14 @@ impl Env {
                 let class = self.current_class()?;
                 match analyze_critical(body, &class, &self.syms, self.threshold) {
                     CriticalLowering::Collective(updates)
-                        if updates
-                            .iter()
-                            .all(|u| matches!(self.shared.get(&u.target), Some(Shared::ScalarUpd(..)))) =>
+                        if updates.iter().all(|u| {
+                            matches!(self.shared.get(&u.target), Some(Shared::ScalarUpd(..)))
+                        }) =>
                     {
                         for u in updates {
                             let mut exec = Exec::Thread(tc);
                             let operand = self.eval(&mut exec, &u.operand)?.as_f64();
-                            let Some(Shared::ScalarUpd(s, _)) = self.shared.get(&u.target)
-                            else {
+                            let Some(Shared::ScalarUpd(s, _)) = self.shared.get(&u.target) else {
                                 unreachable!("checked above");
                             };
                             tc.atomic_f64(s, red_to_mpi(u.op), operand);
@@ -1320,10 +1311,7 @@ impl Env {
                     }
                     VarScope::Reduction(op) => {
                         let ty = syms.get(name).map(|d| d.ty.clone()).unwrap_or(Type::Double);
-                        env.insert_local(
-                            name,
-                            Local::Scalar(ty, Val::D(op.identity_f64())),
-                        );
+                        env.insert_local(name, Local::Scalar(ty, Val::D(op.identity_f64())));
                     }
                     VarScope::Shared => {}
                 }
@@ -1380,12 +1368,7 @@ impl Env {
     }
 
     /// Execute a work-shared canonical loop on this thread.
-    fn worksharing_loop(
-        &mut self,
-        tc: &ThreadCtx,
-        dir: &Directive,
-        body: &Stmt,
-    ) -> RtResult<()> {
+    fn worksharing_loop(&mut self, tc: &ThreadCtx, dir: &Directive, body: &Stmt) -> RtResult<()> {
         let Some(cl) = loop_of(body) else {
             return rte("work-shared loop is not in canonical form");
         };
@@ -1606,10 +1589,7 @@ fn format_c(fmt: &str, args: &[Val]) -> RtResult<String> {
         };
         let arg = args.get(next).cloned().unwrap_or(Val::I(0));
         next += 1;
-        let prec: Option<usize> = spec
-            .split('.')
-            .nth(1)
-            .and_then(|p| p.parse().ok());
+        let prec: Option<usize> = spec.split('.').nth(1).and_then(|p| p.parse().ok());
         match conv {
             'd' | 'i' | 'u' => out.push_str(&arg.as_i64().to_string()),
             'f' | 'F' => {

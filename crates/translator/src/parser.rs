@@ -139,11 +139,10 @@ impl Parser {
                 self.bump();
                 let line = self.line();
                 let e = self.expr()?;
-                let n = const_fold(&e)
-                    .ok_or(ParseError {
-                        line,
-                        message: "array dimension must be a constant expression".into(),
-                    })?;
+                let n = const_fold(&e).ok_or(ParseError {
+                    line,
+                    message: "array dimension must be a constant expression".into(),
+                })?;
                 if n <= 0 {
                     return err(line, "array dimension must be positive");
                 }
@@ -700,7 +699,9 @@ mod tests {
         "#;
         let p = parse(src).unwrap();
         let f = p.func("main").unwrap();
-        let Stmt::Block(stmts) = &f.body else { panic!() };
+        let Stmt::Block(stmts) = &f.body else {
+            panic!()
+        };
         let omp = stmts
             .iter()
             .find_map(|s| match s {

@@ -257,7 +257,10 @@ impl<'a> Lexer<'a> {
             }
             _ => {
                 let _ = line_start;
-                err(start_line, format!("unsupported preprocessor directive #{word}"))
+                err(
+                    start_line,
+                    format!("unsupported preprocessor directive #{word}"),
+                )
             }
         }
     }

@@ -41,7 +41,12 @@ fn run(policy: HomePolicy) -> (u64, u64, u64, VTime) {
         });
     });
     let d = report.cluster.dsm_totals();
-    (d.page_fetches, d.diffs_sent, d.home_migrations, report.exec_time)
+    (
+        d.page_fetches,
+        d.diffs_sent,
+        d.home_migrations,
+        report.exec_time,
+    )
 }
 
 fn main() {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 CI entry point. The workspace is hermetic: it builds and tests
+# with zero external crates, so everything below runs with --offline and
+# must pass on a machine with no network access at all.
+#
+#   scripts/ci.sh          # build + test (tier-1 gate)
+#   scripts/ci.sh --quick  # debug build + test only (skips release build)
+#
+# Optional extras run only when the tool is installed:
+#   cargo fmt --check      # style gate (rustfmt component)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK=1
+fi
+
+echo "== cargo build --release --offline =="
+if [[ "$QUICK" == "0" ]]; then
+  cargo build --release --offline
+else
+  echo "(skipped: --quick)"
+fi
+
+echo "== cargo test -q --offline --workspace =="
+cargo test -q --offline --workspace
+
+echo "== cargo build --offline --benches --bins (bench harness compiles) =="
+cargo build --offline --workspace --benches --bins
+
+if cargo fmt --version >/dev/null 2>&1; then
+  echo "== cargo fmt --check =="
+  cargo fmt --check
+else
+  echo "== cargo fmt --check skipped (rustfmt not installed) =="
+fi
+
+echo "ci: OK"

@@ -260,8 +260,6 @@ fn heterogeneous_node_speeds_are_supported() {
         ..ClusterConfig::default()
     };
     let cluster = Cluster::from_config(cfg);
-    let sum = cluster.run(|g| {
-        g.parallel(|tc| tc.reduce_f64_sum(1.0))
-    });
+    let sum = cluster.run(|g| g.parallel(|tc| tc.reduce_f64_sum(1.0)));
     assert_eq!(sum, cluster.config().total_threads() as f64);
 }

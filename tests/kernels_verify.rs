@@ -3,9 +3,21 @@
 //! `cargo test --release -- --ignored`.
 
 use parade::core::Cluster;
-use parade::kernels::cg::{cg_sequential, CgClass};
-use parade::kernels::ep::{ep_sequential, EpClass};
+use parade::kernels::cg::{cg_parade, cg_sequential, CgClass};
+use parade::kernels::ep::{ep_parade, ep_sequential, EpClass};
+use parade::kernels::helmholtz::{helmholtz_parade, helmholtz_sequential, HelmholtzParams};
 use parade::net::{NetProfile, TimeSource};
+
+/// Small cluster used by the debug-speed smoke tests below.
+fn smoke_cluster() -> Cluster {
+    Cluster::builder()
+        .nodes(2)
+        .threads_per_node(2)
+        .net(NetProfile::clan_via())
+        .time(TimeSource::Manual)
+        .build()
+        .unwrap()
+}
 
 #[test]
 fn cg_class_s_zeta_matches_npb() {
@@ -44,6 +56,72 @@ fn cg_class_a_zeta_matches_npb() {
 fn ep_class_s_sums_match_npb() {
     let r = ep_sequential(EpClass::S);
     assert_eq!(r.verify(EpClass::S), Some(true), "sx={} sy={}", r.sx, r.sy);
+}
+
+// ---------------------------------------------------------------------------
+// Debug-speed smoke tests: tiny instances of each kernel run the full
+// parallel (DSM + collectives) code path on every plain `cargo test`.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cg_class_s_parallel_smoke_matches_npb() {
+    let cluster = smoke_cluster();
+    let (r, _) = cg_parade(&cluster, CgClass::S);
+    assert!(
+        (r.zeta - 8.5971775078648).abs() <= 1e-10,
+        "zeta = {}",
+        r.zeta
+    );
+}
+
+#[test]
+fn ep_custom_parallel_smoke_matches_sequential() {
+    // Custom(18) = 4 batches: enough to exercise batch partitioning across
+    // 2 nodes x 2 threads while staying debug-fast. No NPB reference exists
+    // for custom sizes, so the sequential run is the oracle.
+    let class = EpClass::Custom(18);
+    let seq = ep_sequential(class);
+    let cluster = smoke_cluster();
+    let (par, _) = ep_parade(&cluster, class);
+    // The hierarchical allreduce sums in a different order than the
+    // sequential loop, so the Gaussian sums may differ in the last ulp;
+    // the counts must match exactly.
+    assert_eq!(par.q, seq.q, "annulus counts diverged");
+    assert_eq!(par.gc, seq.gc, "accepted-pair counts diverged");
+    assert!(
+        ((par.sx - seq.sx) / seq.sx).abs() <= 1e-12,
+        "sx diverged: parallel {} vs sequential {}",
+        par.sx,
+        seq.sx
+    );
+    assert!(
+        ((par.sy - seq.sy) / seq.sy).abs() <= 1e-12,
+        "sy diverged: parallel {} vs sequential {}",
+        par.sy,
+        seq.sy
+    );
+}
+
+#[test]
+fn helmholtz_tiny_parallel_smoke_matches_sequential() {
+    let p = HelmholtzParams::sized(32, 32, 50);
+    let seq = helmholtz_sequential(p.clone());
+    let cluster = smoke_cluster();
+    let (par, _) = helmholtz_parade(&cluster, p);
+    assert_eq!(par.iters, seq.iters, "iteration counts diverged");
+    assert!(
+        (par.error - seq.error).abs() <= 1e-12 * seq.error.abs().max(1.0),
+        "residuals diverged: parallel {} vs sequential {}",
+        par.error,
+        seq.error
+    );
+    assert!(
+        (par.solution_error - seq.solution_error).abs()
+            <= 1e-12 * seq.solution_error.abs().max(1.0),
+        "solution errors diverged: parallel {} vs sequential {}",
+        par.solution_error,
+        seq.solution_error
+    );
 }
 
 #[test]

@@ -1,6 +1,17 @@
-//! Property-based tests of the core invariants (proptest).
+//! Property-based tests of the core invariants, on the in-repo
+//! `parade-testkit` harness (deterministic seeds, greedy shrinking).
+//!
+//! Every invariant from the original property suite is preserved. Inputs
+//! are pinned: the default base seed generates the identical case sequence
+//! on every run; a failure prints a `PARADE_PROP_SEED=0x…` line that
+//! reproduces the exact case and minimal counterexample.
+//!
+//! Where a generator had a structural precondition (e.g. "at least one
+//! node"), the property re-checks it and passes vacuously on inputs that
+//! type-level shrinking pushed outside the precondition — shrunk
+//! counterexamples therefore always satisfy the original constraints.
 
-use proptest::prelude::*;
+use parade_testkit::prelude::*;
 
 use parade::core::partition;
 use parade::dsm::{Diff, PageState, PAGE_SIZE};
@@ -10,253 +21,280 @@ use parade::net::{NetProfile, VTime};
 
 // ---- diffs -----------------------------------------------------------------
 
-/// Generate a page as sparse modifications over a base.
-fn page_strategy() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
-    (
-        proptest::collection::vec(any::<u8>(), 64),
-        proptest::collection::vec((0usize..PAGE_SIZE, any::<u8>()), 0..64),
-    )
-        .prop_map(|(seed, writes)| {
-            let mut base = vec![0u8; PAGE_SIZE];
-            for (i, b) in seed.iter().enumerate() {
-                base[i * (PAGE_SIZE / 64)] = *b;
-            }
-            let mut cur = base.clone();
-            for (pos, v) in writes {
-                cur[pos] = v;
-            }
-            (base, cur)
-        })
+/// A page pair described as sparse modifications over a seeded base: the
+/// spec (not the 4 KiB pages) is what shrinks, so shrunk counterexamples
+/// are still valid page pairs.
+fn page_spec(r: &mut TestRng) -> (Vec<u8>, Vec<(usize, u8)>) {
+    let seed = r.bytes_vec(64, 65);
+    let n = r.range_usize(0, 64);
+    let writes = (0..n)
+        .map(|_| (r.range_usize(0, PAGE_SIZE), r.next_byte()))
+        .collect();
+    (seed, writes)
 }
 
-proptest! {
-    #[test]
-    fn diff_apply_reconstructs_modified_page((twin, cur) in page_strategy()) {
-        let d = Diff::create(&twin, &cur);
-        let mut rebuilt = twin.clone();
-        d.apply(&mut rebuilt);
-        prop_assert_eq!(rebuilt, cur);
+/// Materialize `(base, cur)` pages from a (possibly shrunk) spec.
+fn build_pages(seed: &[u8], writes: &[(usize, u8)]) -> (Vec<u8>, Vec<u8>) {
+    let mut base = vec![0u8; PAGE_SIZE];
+    for (i, b) in seed.iter().take(64).enumerate() {
+        base[i * (PAGE_SIZE / 64)] = *b;
     }
-
-    #[test]
-    fn diff_encode_decode_roundtrip((twin, cur) in page_strategy()) {
-        let d = Diff::create(&twin, &cur);
-        let mut w = Writer::new();
-        d.encode(&mut w);
-        let bytes = w.finish();
-        prop_assert_eq!(bytes.len(), d.encoded_len());
-        let d2 = Diff::decode(&mut Reader::new(&bytes));
-        prop_assert_eq!(d, d2);
+    let mut cur = base.clone();
+    for &(pos, v) in writes {
+        cur[pos % PAGE_SIZE] = v;
     }
-
-    #[test]
-    fn disjoint_diffs_commute((base, a) in page_strategy()) {
-        // Writer B touches only the second half; writer A's changes are
-        // masked out of the second half so the word sets are disjoint.
-        let mut a2 = base.clone();
-        a2[..PAGE_SIZE / 2].copy_from_slice(&a[..PAGE_SIZE / 2]);
-        let mut b = base.clone();
-        b[PAGE_SIZE / 2 + 8] ^= 0x5a;
-        let da = Diff::create(&base, &a2);
-        let db = Diff::create(&base, &b);
-        let mut one = base.clone();
-        da.apply(&mut one);
-        db.apply(&mut one);
-        let mut two = base.clone();
-        db.apply(&mut two);
-        da.apply(&mut two);
-        prop_assert_eq!(one, two);
-    }
+    (base, cur)
 }
+
+prop!(fn diff_apply_reconstructs_modified_page((seed, writes) in page_spec) {
+    let (twin, cur) = build_pages(&seed, &writes);
+    let d = Diff::create(&twin, &cur);
+    let mut rebuilt = twin.clone();
+    d.apply(&mut rebuilt);
+    assert_eq!(rebuilt, cur);
+});
+
+prop!(fn diff_encode_decode_roundtrip((seed, writes) in page_spec) {
+    let (twin, cur) = build_pages(&seed, &writes);
+    let d = Diff::create(&twin, &cur);
+    let mut w = Writer::new();
+    d.encode(&mut w);
+    let bytes = w.finish();
+    assert_eq!(bytes.len(), d.encoded_len());
+    let d2 = Diff::decode(&mut Reader::new(&bytes));
+    assert_eq!(d, d2);
+});
+
+prop!(fn disjoint_diffs_commute((seed, writes) in page_spec) {
+    // Writer B touches only the second half; writer A's changes are
+    // masked out of the second half so the word sets are disjoint.
+    let (base, a) = build_pages(&seed, &writes);
+    let mut a2 = base.clone();
+    a2[..PAGE_SIZE / 2].copy_from_slice(&a[..PAGE_SIZE / 2]);
+    let mut b = base.clone();
+    b[PAGE_SIZE / 2 + 8] ^= 0x5a;
+    let da = Diff::create(&base, &a2);
+    let db = Diff::create(&base, &b);
+    let mut one = base.clone();
+    da.apply(&mut one);
+    db.apply(&mut one);
+    let mut two = base.clone();
+    db.apply(&mut two);
+    da.apply(&mut two);
+    assert_eq!(one, two);
+});
 
 // ---- loop partitioning -------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn partition_is_exact_and_disjoint(start in 0usize..1000, len in 0usize..10_000, n in 1usize..64) {
-        let mut covered = Vec::new();
-        let mut sizes = Vec::new();
-        for i in 0..n {
-            let r = partition(start..start + len, n, i);
-            sizes.push(r.len());
-            covered.extend(r);
-        }
-        // Exact coverage in order, no overlap.
-        prop_assert_eq!(covered, (start..start + len).collect::<Vec<_>>());
-        // Balance: sizes differ by at most one.
-        let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        prop_assert!(mx - mn <= 1);
+prop!(fn partition_is_exact_and_disjoint((start, len, n) in |r: &mut TestRng| {
+    (r.range_usize(0, 1000), r.range_usize(0, 10_000), r.range_usize(1, 64))
+}) {
+    if n == 0 {
+        return; // shrunk out of the generator's 1..64 precondition
     }
-}
+    let mut covered = Vec::new();
+    let mut sizes = Vec::new();
+    for i in 0..n {
+        let r = partition(start..start + len, n, i);
+        sizes.push(r.len());
+        covered.extend(r);
+    }
+    // Exact coverage in order, no overlap.
+    assert_eq!(covered, (start..start + len).collect::<Vec<_>>());
+    // Balance: sizes differ by at most one.
+    let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+    assert!(mx - mn <= 1);
+});
 
 // ---- NAS RNG -------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn rng_jump_equals_iteration(seed in 1u64..(1 << 40), n in 0u64..3000) {
-        let mut seq = NasRng::new(seed, NAS_A);
-        for _ in 0..n {
-            seq.next_f64();
-        }
-        let jumped = NasRng::new(seed, NAS_A).at_offset(n);
-        prop_assert_eq!(seq.seed(), jumped.seed());
+prop!(fn rng_jump_equals_iteration((seed, n) in |r: &mut TestRng| {
+    (r.range_u64(1, 1 << 40), r.range_u64(0, 3000))
+}) {
+    let mut seq = NasRng::new(seed, NAS_A);
+    for _ in 0..n {
+        seq.next_f64();
     }
+    let jumped = NasRng::new(seed, NAS_A).at_offset(n);
+    assert_eq!(seq.seed(), jumped.seed());
+});
 
-    #[test]
-    fn pow46_is_homomorphic(a in 1u64..(1 << 30), m in 0u64..500, n in 0u64..500) {
-        // a^(m+n) == a^m * a^n (mod 2^46)
-        let lhs = pow46(a, m + n);
-        let rhs = ((pow46(a, m) as u128 * pow46(a, n) as u128) & ((1u128 << 46) - 1)) as u64;
-        prop_assert_eq!(lhs, rhs);
+prop!(fn pow46_is_homomorphic((a, m, n) in |r: &mut TestRng| {
+    (r.range_u64(1, 1 << 30), r.range_u64(0, 500), r.range_u64(0, 500))
+}) {
+    // a^(m+n) == a^m * a^n (mod 2^46)
+    let lhs = pow46(a, m + n);
+    let rhs = ((pow46(a, m) as u128 * pow46(a, n) as u128) & ((1u128 << 46) - 1)) as u64;
+    assert_eq!(lhs, rhs);
+});
+
+prop!(fn testkit_rng_matches_kernels_nasrng((seed, n) in |r: &mut TestRng| {
+    (r.range_u64(1, 1 << 46), r.range_u64(1, 200))
+}) {
+    // The harness's own generator IS the NAS LCG: the raw stream must be
+    // bit-identical to parade-kernels' reference implementation.
+    let mut tk = TestRng::nas_stream(seed);
+    let mut nas = NasRng::nas(seed);
+    for _ in 0..n {
+        assert_eq!(tk.next_f64().to_bits(), nas.next_f64().to_bits());
     }
-}
+    assert_eq!(tk.state(), nas.seed());
+});
 
 // ---- wire formats ------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn f64_payload_roundtrip(xs in proptest::collection::vec(any::<f64>(), 0..200)) {
-        let b = f64s_to_bytes(&xs);
-        let back = bytes_to_f64s(&b);
-        prop_assert_eq!(xs.len(), back.len());
-        for (a, b) in xs.iter().zip(back) {
-            prop_assert!(a.to_bits() == b.to_bits());
-        }
+prop!(fn f64_payload_roundtrip(xs in |r: &mut TestRng| -> Vec<f64> {
+    let n = r.range_usize(0, 200);
+    (0..n).map(|_| r.f64_bits()).collect()
+}) {
+    // Arbitrary bit patterns, including NaN/inf/-0: compare as bits.
+    let b = f64s_to_bytes(&xs);
+    let back = bytes_to_f64s(&b);
+    assert_eq!(xs.len(), back.len());
+    for (a, b) in xs.iter().zip(back) {
+        assert!(a.to_bits() == b.to_bits());
     }
-}
+});
 
 // ---- page state machine ---------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn page_state_machine_has_no_illegal_shortcuts(seq in proptest::collection::vec(0u8..5, 1..50)) {
-        // Walk arbitrary requested states; only legal transitions may be
-        // taken, and from any state the protocol can always reach Invalid
-        // again (liveness of invalidation).
-        let mut st = PageState::Invalid;
-        for want in seq {
-            let want = PageState::from_u8(want);
-            if st.can_transition(want) {
-                st = want;
-            }
+prop!(fn page_state_machine_has_no_illegal_shortcuts(seq in |r: &mut TestRng| {
+    let n = r.range_usize(1, 50);
+    (0..n).map(|_| r.next_byte() % 5).collect::<Vec<u8>>()
+}) {
+    // Walk arbitrary requested states; only legal transitions may be
+    // taken, and from any state the protocol can always reach Invalid
+    // again (liveness of invalidation).
+    let mut st = PageState::Invalid;
+    for want in seq {
+        let want = PageState::from_u8(want % 5);
+        if st.can_transition(want) {
+            st = want;
         }
-        // Drive back to Invalid via legal edges.
-        let mut steps = 0;
-        while st != PageState::Invalid {
-            st = match st {
-                PageState::Transient | PageState::Blocked => PageState::ReadOnly,
-                PageState::Dirty => PageState::ReadOnly,
-                PageState::ReadOnly => PageState::Invalid,
-                PageState::Invalid => break,
-            };
-            steps += 1;
-            prop_assert!(steps < 5);
-        }
-        prop_assert_eq!(st, PageState::Invalid);
     }
-}
+    // Drive back to Invalid via legal edges.
+    let mut steps = 0;
+    while st != PageState::Invalid {
+        st = match st {
+            PageState::Transient | PageState::Blocked => PageState::ReadOnly,
+            PageState::Dirty => PageState::ReadOnly,
+            PageState::ReadOnly => PageState::Invalid,
+            PageState::Invalid => break,
+        };
+        steps += 1;
+        assert!(steps < 5);
+    }
+    assert_eq!(st, PageState::Invalid);
+});
 
 // ---- network cost model ------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn transfer_cost_is_monotonic_in_size(a in 0usize..100_000, b in 0usize..100_000) {
-        let p = NetProfile::clan_via();
-        let (small, large) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(p.transfer(0, 1, small) <= p.transfer(0, 1, large));
-    }
+prop!(fn transfer_cost_is_monotonic_in_size((a, b) in |r: &mut TestRng| {
+    (r.range_usize(0, 100_000), r.range_usize(0, 100_000))
+}) {
+    let p = NetProfile::clan_via();
+    let (small, large) = if a <= b { (a, b) } else { (b, a) };
+    assert!(p.transfer(0, 1, small) <= p.transfer(0, 1, large));
+});
 
-    #[test]
-    fn vtime_max_is_commutative_and_associative(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
-        let (a, b, c) = (VTime::from_nanos(a), VTime::from_nanos(b), VTime::from_nanos(c));
-        prop_assert_eq!(a.max(b), b.max(a));
-        prop_assert_eq!(a.max(b).max(c), a.max(b.max(c)));
-    }
-}
+prop!(fn vtime_max_is_commutative_and_associative((a, b, c) in |r: &mut TestRng| {
+    (r.range_u64(0, u64::MAX / 4), r.range_u64(0, u64::MAX / 4), r.range_u64(0, u64::MAX / 4))
+}) {
+    let (a, b, c) = (VTime::from_nanos(a), VTime::from_nanos(b), VTime::from_nanos(c));
+    assert_eq!(a.max(b), b.max(a));
+    assert_eq!(a.max(b).max(c), a.max(b.max(c)));
+});
 
 // ---- translator --------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn interpreter_sums_match_rust(n in 1usize..200, scale in 1i64..50) {
-        // A generated OpenMP program whose result we can predict exactly.
-        let src = format!(
-            "int main() {{\n\
-                int i;\n\
-                double sum = 0.0;\n\
-                #pragma omp parallel for reduction(+: sum)\n\
-                for (i = 0; i < {n}; i++) sum += i * {scale};\n\
-                printf(\"%.0f\\n\", sum);\n\
-                return 0;\n\
-            }}"
-        );
-        let prog = parade::translator::parse(&src).unwrap();
-        let cluster = parade::core::Cluster::builder()
-            .nodes(2)
-            .threads_per_node(2)
-            .net(NetProfile::zero())
-            .time(parade::net::TimeSource::Manual)
-            .pool_bytes(256 * PAGE_SIZE)
-            .build()
-            .unwrap();
-        let out = parade::translator::Interp::new(prog).run(&cluster).unwrap();
-        let expect: i64 = (0..n as i64).map(|i| i * scale).sum();
-        prop_assert_eq!(out.stdout.trim(), format!("{expect}"));
-    }
-}
+prop!(cases = 64, fn interpreter_sums_match_rust((n, scale) in |r: &mut TestRng| {
+    (r.range_usize(1, 200), r.range_i64(1, 50))
+}) {
+    // A generated OpenMP program whose result we can predict exactly.
+    let src = format!(
+        "int main() {{\n\
+            int i;\n\
+            double sum = 0.0;\n\
+            #pragma omp parallel for reduction(+: sum)\n\
+            for (i = 0; i < {n}; i++) sum += i * {scale};\n\
+            printf(\"%.0f\\n\", sum);\n\
+            return 0;\n\
+        }}"
+    );
+    let prog = parade::translator::parse(&src).unwrap();
+    let cluster = parade::core::Cluster::builder()
+        .nodes(2)
+        .threads_per_node(2)
+        .net(NetProfile::zero())
+        .time(parade::net::TimeSource::Manual)
+        .pool_bytes(256 * PAGE_SIZE)
+        .build()
+        .unwrap();
+    let out = parade::translator::Interp::new(prog).run(&cluster).unwrap();
+    let expect: i64 = (0..n as i64).map(|i| i * scale).sum();
+    assert_eq!(out.stdout.trim(), format!("{expect}"));
+});
 
 // ---- parser robustness --------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-    #[test]
-    fn parser_never_panics_on_arbitrary_input(src in "[ -~\\n]{0,400}") {
-        // Any byte soup must produce Ok or a located Err — never a panic.
-        let _ = parade::translator::parse(&src);
-    }
-
-    #[test]
-    fn lexer_handles_arbitrary_pragmas(body in "[a-z,():+ ]{0,80}") {
-        let src = format!("#pragma omp {body}\nint main() {{ return 0; }}");
-        let _ = parade::translator::parse(&src);
-    }
+/// Printable ASCII plus newline (the original `"[ -~\n]"` regex class).
+fn printable_charset() -> Vec<char> {
+    let mut cs: Vec<char> = (' '..='~').collect();
+    cs.push('\n');
+    cs
 }
+
+prop!(cases = 256, fn parser_never_panics_on_arbitrary_input(src in |r: &mut TestRng| {
+    let cs = printable_charset();
+    r.string_from(&cs, 0, 400)
+}) {
+    // Any byte soup must produce Ok or a located Err — never a panic.
+    let _ = parade::translator::parse(&src);
+});
+
+prop!(fn lexer_handles_arbitrary_pragmas(body in |r: &mut TestRng| {
+    let cs: Vec<char> = "abcdefghijklmnopqrstuvwxyz,():+ ".chars().collect();
+    r.string_from(&cs, 0, 80)
+}) {
+    let src = format!("#pragma omp {body}\nint main() {{ return 0; }}");
+    let _ = parade::translator::parse(&src);
+});
 
 // ---- runtime reduction laws over cluster shapes -------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-    #[test]
-    fn hierarchical_reduce_equals_flat_fold(
-        nodes in 1usize..5,
-        tpn in 1usize..4,
-        vals in proptest::collection::vec(-1000i64..1000, 1..20),
-    ) {
-        let cluster = parade::core::Cluster::builder()
-            .nodes(nodes)
-            .threads_per_node(tpn)
-            .net(NetProfile::zero())
-            .time(parade::net::TimeSource::Manual)
-            .pool_bytes(256 * PAGE_SIZE)
-            .build()
-            .unwrap();
-        let vals2 = vals.clone();
-        let total_threads = nodes * tpn;
-        let got = cluster.run(move |g| {
-            g.parallel(move |tc| {
-                let mut sums = Vec::new();
-                for &v in &vals2 {
-                    // Every thread contributes v * (tid + 1).
-                    let mine = v * (tc.thread_num() as i64 + 1);
-                    sums.push(tc.reduce_i64(parade::core::ReduceOp::Sum, mine));
-                }
-                sums
-            })
-        });
-        let weight: i64 = (1..=total_threads as i64).sum();
-        for (v, s) in vals.iter().zip(got) {
-            prop_assert_eq!(s, v * weight);
-        }
+prop!(cases = 12, fn hierarchical_reduce_equals_flat_fold((nodes, tpn, vals) in |r: &mut TestRng| {
+    let nodes = r.range_usize(1, 5);
+    let tpn = r.range_usize(1, 4);
+    let n = r.range_usize(1, 20);
+    let vals: Vec<i64> = (0..n).map(|_| r.range_i64(-1000, 1000)).collect();
+    (nodes, tpn, vals)
+}) {
+    if nodes == 0 || tpn == 0 {
+        return; // shrunk out of the generator's precondition
     }
-}
+    let cluster = parade::core::Cluster::builder()
+        .nodes(nodes)
+        .threads_per_node(tpn)
+        .net(NetProfile::zero())
+        .time(parade::net::TimeSource::Manual)
+        .pool_bytes(256 * PAGE_SIZE)
+        .build()
+        .unwrap();
+    let vals2 = vals.clone();
+    let total_threads = nodes * tpn;
+    let got = cluster.run(move |g| {
+        g.parallel(move |tc| {
+            let mut sums = Vec::new();
+            for &v in &vals2 {
+                // Every thread contributes v * (tid + 1).
+                let mine = v * (tc.thread_num() as i64 + 1);
+                sums.push(tc.reduce_i64(parade::core::ReduceOp::Sum, mine));
+            }
+            sums
+        })
+    });
+    let weight: i64 = (1..=total_threads as i64).sum();
+    for (v, s) in vals.iter().zip(got) {
+        assert_eq!(s, v * weight);
+    }
+});

@@ -103,8 +103,14 @@ fn false_sharing_dirty_page_survives_acquire_invalidation() {
             (tc.get(&v, 0), tc.get(&v, 256))
         })
     });
-    assert_eq!(a, rounds as f64, "node 0's false-shared writes were dropped");
-    assert_eq!(b, rounds as f64, "node 1's false-shared writes were dropped");
+    assert_eq!(
+        a, rounds as f64,
+        "node 0's false-shared writes were dropped"
+    );
+    assert_eq!(
+        b, rounds as f64,
+        "node 1's false-shared writes were dropped"
+    );
 }
 
 /// The counter inside the critical section itself must see every

@@ -36,15 +36,33 @@ fn emitted(src: &str, mode: EmitMode) -> String {
 fn figure2_parade_translation() {
     let out = emitted(FIG2_SOURCE, EmitMode::Parade);
     // Hierarchical mutual exclusion: pthread lock intra-node...
-    assert!(out.contains("pthread_mutex_lock(&__parade_node_mutex);"), "{out}");
-    assert!(out.contains("__parade_local_acc_double(&sum, PARADE_SUM, local__fp);"), "{out}");
-    assert!(out.contains("pthread_mutex_unlock(&__parade_node_mutex);"), "{out}");
+    assert!(
+        out.contains("pthread_mutex_lock(&__parade_node_mutex);"),
+        "{out}"
+    );
+    assert!(
+        out.contains("__parade_local_acc_double(&sum, PARADE_SUM, local__fp);"),
+        "{out}"
+    );
+    assert!(
+        out.contains("pthread_mutex_unlock(&__parade_node_mutex);"),
+        "{out}"
+    );
     // ...collective update inter-node, no SDSM lock anywhere.
-    assert!(out.contains("parade_allreduce_double(&sum, PARADE_SUM);"), "{out}");
+    assert!(
+        out.contains("parade_allreduce_double(&sum, PARADE_SUM);"),
+        "{out}"
+    );
     assert!(!out.contains("sdsm_lock"), "{out}");
     // Region extraction happened.
-    assert!(out.contains("static void __parade_region_0(void *__arg)"), "{out}");
-    assert!(out.contains("parade_parallel(__parade_region_0, &__a0);"), "{out}");
+    assert!(
+        out.contains("static void __parade_region_0(void *__arg)"),
+        "{out}"
+    );
+    assert!(
+        out.contains("parade_parallel(__parade_region_0, &__a0);"),
+        "{out}"
+    );
 }
 
 #[test]
