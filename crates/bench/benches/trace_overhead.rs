@@ -1,0 +1,65 @@
+//! Per-event cost of `parade-trace` instrumentation, enabled vs disabled.
+//!
+//! The disabled fast path is a single branch on one `Relaxed` atomic load
+//! (`trace::enabled()`), so the `disabled/*` rows must sit within noise of
+//! the `baseline/no_instrumentation` row — that is the property the runtime
+//! relies on to leave instrumentation compiled into every hot path.
+//!
+//! `cargo bench -p parade-bench --bench trace_overhead`; set
+//! `PARADE_BENCH_JSON=1` to also write `BENCH_trace_overhead.json`.
+
+use parade_net::VTime;
+use parade_testkit::bench::Bench;
+use parade_trace::{self as trace, EventKind, TraceConfig};
+
+fn main() {
+    let mut b = Bench::from_args("trace_overhead");
+
+    // Reference: the loop body with no instrumentation call at all.
+    let mut x = 0u64;
+    b.bench("baseline/no_instrumentation", move || {
+        x = x.wrapping_add(1);
+        std::hint::black_box(x);
+    });
+
+    // Disabled recording: the enabled() branch rejects immediately.
+    assert!(!trace::enabled(), "no session may be active here");
+    let mut x = 0u64;
+    b.bench("disabled/instant", move || {
+        x = x.wrapping_add(1);
+        trace::instant(EventKind::DsmReadFault, x, VTime(x));
+        std::hint::black_box(x);
+    });
+    let mut x = 0u64;
+    b.bench("disabled/span_begin_end", move || {
+        x = x.wrapping_add(1);
+        trace::begin(EventKind::OmpBarrier, VTime(x));
+        trace::end(EventKind::OmpBarrier, VTime(x + 1));
+        std::hint::black_box(x);
+    });
+
+    // Enabled recording: the full path — thread-local ring lookup, wall
+    // clock stamp, ring push (wrapping once the ring fills).
+    let session = trace::start(TraceConfig { capacity: 1 << 12 }).expect("no other session active");
+    let mut x = 0u64;
+    b.bench("enabled/instant", move || {
+        x = x.wrapping_add(1);
+        trace::instant(EventKind::DsmReadFault, x, VTime(x));
+        std::hint::black_box(x);
+    });
+    let mut x = 0u64;
+    b.bench("enabled/span_begin_end", move || {
+        x = x.wrapping_add(1);
+        trace::begin(EventKind::OmpBarrier, VTime(x));
+        trace::end(EventKind::OmpBarrier, VTime(x + 1));
+        std::hint::black_box(x);
+    });
+    let data = session.finish();
+    println!(
+        "# enabled rows recorded {} events ({} dropped by ring wrap, as designed)",
+        data.event_count(),
+        data.dropped()
+    );
+
+    b.finish();
+}

@@ -1,8 +1,10 @@
-//! Diagnostic: run the Helmholtz kernel on a few cluster shapes and dump
-//! the protocol counters plus the master's compute/communication virtual
-//! time split — useful when calibrating the cost model.
+//! Diagnostic: run the Helmholtz kernel on a few cluster shapes and print
+//! the unified [`StatsReport`] — virtual-time split, protocol counters,
+//! per-node traffic, and (with `PARADE_TRACE=<path>`) the per-construct
+//! virtual-time breakdown. Set `PARADE_STATS_JSON=1` to also write
+//! `STATS_<label>.json` files for offline comparison.
 use parade_cluster::{ClusterConfig, ExecConfig};
-use parade_core::Cluster;
+use parade_core::{Cluster, StatsReport};
 use parade_kernels::helmholtz::{helmholtz_parade, HelmholtzParams};
 
 fn main() {
@@ -20,15 +22,8 @@ fn main() {
         };
         let cluster = Cluster::from_config(cfg);
         let (_, report) = helmholtz_parade(&cluster, p);
-        let d = report.cluster.dsm_totals();
-        println!(
-            "{nodes} nodes {}: vtime {} (compute {} comm {}) fetches {} diffs {} inval {} migr {} svc {} msgs {} ({} MB)",
-            exec.label(),
-            report.exec_time,
-            report.node_compute[0], report.node_comm[0],
-            d.page_fetches, d.diffs_sent, d.invalidations,
-            d.home_migrations, d.serviced_requests,
-            report.cluster.traffic.msgs, report.cluster.traffic.bytes / (1<<20)
-        );
+        let stats = StatsReport::from_run(format!("helmholtz-{nodes}n-{}", exec.label()), &report);
+        println!("{}", stats.render());
+        stats.emit_json();
     }
 }

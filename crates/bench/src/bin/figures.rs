@@ -11,13 +11,15 @@
 
 use parade_bench::{
     ablation_fabric, ablation_home, ablation_schedules, all_figures, fig10, fig11, fig6, fig7,
-    fig8, fig9, update_methods, write_tables_json, FigureOpts, Table,
+    fig8, fig9, trace_breakdown, update_methods, write_tables_json, FigureOpts, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|all> \
-         [--class s|w|a] [--nodes 1,2,4,8] [--scale F] [--with-mpi] [--quick] [--csv DIR]"
+        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|all> \
+         [--class s|w|a] [--nodes 1,2,4,8] [--scale F] [--with-mpi] [--quick] [--csv DIR]\n\
+         trace: traced smoke run — writes a Chrome trace (PARADE_TRACE, default \
+         parade_trace.json), validates it, prints the breakdown"
     );
     std::process::exit(2);
 }
@@ -92,6 +94,13 @@ fn main() {
         "home" => vec![ablation_home(&opts)],
         "fabric" => vec![ablation_fabric(&opts)],
         "schedules" => vec![ablation_schedules(&opts)],
+        "trace" => match trace_breakdown(&opts) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("figures trace: {e}");
+                std::process::exit(1);
+            }
+        },
         "all" => all_figures(&opts),
         _ => usage(),
     };

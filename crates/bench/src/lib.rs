@@ -534,6 +534,89 @@ pub fn ablation_schedules(opts: &FigureOpts) -> Table {
     t
 }
 
+/// `figures -- trace`: run a small traced Helmholtz, validate the written
+/// Chrome trace file with the in-repo JSON checker, and return the
+/// per-construct virtual-time breakdown as tables.
+///
+/// Errors (malformed trace file, empty aggregation report, attributed time
+/// exceeding the node's virtual clock) are returned so the CLI can exit
+/// nonzero — `scripts/ci.sh` uses this as its traced smoke run.
+pub fn trace_breakdown(opts: &FigureOpts) -> Result<Vec<Table>, String> {
+    let path = match std::env::var("PARADE_TRACE") {
+        Ok(p) if !p.is_empty() => p,
+        _ => {
+            let p = "parade_trace.json".to_string();
+            std::env::set_var("PARADE_TRACE", &p);
+            p
+        }
+    };
+    let nodes = opts.nodes.iter().copied().find(|&n| n > 1).unwrap_or(2);
+    let cfg = opts.base_cfg(nodes, ExecConfig::TwoThreadTwoCpu, ProtocolMode::Parade);
+    let mut p = HelmholtzParams::sized(100, 100, 20);
+    p.tol = 1e-30;
+    let (_, report) = helmholtz_parade(&Cluster::from_config(cfg), p);
+
+    let body = std::fs::read_to_string(&path)
+        .map_err(|e| format!("trace file {path} not written: {e}"))?;
+    parade_trace::validate_json(&body).map_err(|e| format!("trace file {path} malformed: {e}"))?;
+    let tr = report
+        .trace
+        .ok_or_else(|| "run produced no trace report".to_string())?;
+    if tr.is_empty() {
+        return Err("trace aggregation report is empty".to_string());
+    }
+    let max_node = report
+        .node_times
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(parade_core::VTime::ZERO);
+    let mut per_node = Table::new(
+        format!("Trace: attributed virtual time per node (Helmholtz {nodes} nodes, {path})"),
+        &["node", "attributed", "main vtime", "share"],
+    );
+    for &(node, attr_ns) in &tr.node_attributed {
+        let nt = report
+            .node_times
+            .get(node as usize)
+            .copied()
+            .unwrap_or(max_node);
+        if attr_ns > max_node.as_nanos() {
+            return Err(format!(
+                "node {node} attributed {attr_ns} ns exceeds max node vclock {} ns",
+                max_node.as_nanos()
+            ));
+        }
+        per_node.row(vec![
+            node.to_string(),
+            parade_core::VTime::from_nanos(attr_ns).to_string(),
+            nt.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * attr_ns as f64 / nt.as_nanos().max(1) as f64
+            ),
+        ]);
+    }
+    let mut spans = Table::new(
+        "Trace: per-construct virtual-time breakdown (self = excluding nested spans)",
+        &["node", "construct", "count", "self", "total"],
+    );
+    for r in &tr.spans {
+        spans.row(vec![
+            r.node.to_string(),
+            r.kind.name().to_string(),
+            r.count.to_string(),
+            parade_core::VTime::from_nanos(r.self_ns).to_string(),
+            parade_core::VTime::from_nanos(r.total_ns).to_string(),
+        ]);
+    }
+    println!(
+        "trace: {} events across {} threads ({} dropped, {} unbalanced) -> {path}",
+        tr.events, tr.threads, tr.dropped, tr.unbalanced
+    );
+    Ok(vec![per_node, spans])
+}
+
 /// All figures, in paper order.
 pub fn all_figures(opts: &FigureOpts) -> Vec<Table> {
     vec![

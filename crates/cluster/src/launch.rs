@@ -9,7 +9,8 @@ use std::sync::Arc;
 
 use parade_dsm::{spawn_comm_thread, Dsm, DsmStatsSnapshot};
 use parade_mpi::Communicator;
-use parade_net::{Fabric, Traffic, VClock};
+use parade_net::{Fabric, NodeTraffic, Traffic, VClock};
+use parade_trace as trace;
 
 use crate::config::ClusterConfig;
 
@@ -38,6 +39,8 @@ pub struct ClusterReport {
     pub dsm: Vec<DsmStatsSnapshot>,
     /// Fabric-wide traffic.
     pub traffic: Traffic,
+    /// Per-node traffic, both directions.
+    pub net: Vec<NodeTraffic>,
 }
 
 impl ClusterReport {
@@ -88,7 +91,10 @@ where
             let program = Arc::clone(&program);
             std::thread::Builder::new()
                 .name(format!("parade-node-{i}"))
-                .spawn(move || program(env))
+                .spawn(move || {
+                    trace::set_identity(i, "main");
+                    program(env)
+                })
                 .expect("spawn node main thread")
         })
         .collect();
@@ -99,6 +105,7 @@ where
     let report = ClusterReport {
         dsm: dsms.iter().map(|d| d.stats.snapshot()).collect(),
         traffic: fabric.stats().totals(),
+        net: fabric.stats().snapshot(),
     };
     fabric.begin_shutdown();
     for h in comm_threads {

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use parade_cluster::ProtocolMode;
 use parade_mpi::ReduceOp;
 use parade_net::{VClock, VTime};
+use parade_trace::{self as trace, EventKind};
 
 use crate::runtime::{construct_gen, NodeRt, INTERNAL_LOCK_BASE, SLOTS};
 use crate::shared::{Pod, SharedScalar, SharedVec};
@@ -171,11 +172,17 @@ impl ThreadCtx {
     /// inter-node HLRC barrier (flush + write notices + invalidations +
     /// home migration) performed by one representative per node.
     pub fn barrier(&self) {
+        if trace::enabled() {
+            trace::begin(EventKind::OmpBarrier, self.now());
+        }
         self.rt.barrier.wait(&mut self.clock.borrow_mut());
         if self.local_tid == 0 {
             self.with_clock(|c| self.rt.dsm.barrier(c));
         }
         self.rt.barrier.wait(&mut self.clock.borrow_mut());
+        if trace::enabled() {
+            trace::end(EventKind::OmpBarrier, self.now());
+        }
     }
 
     /// Node-local barrier only (no DSM consistency action).
@@ -278,6 +285,13 @@ impl ThreadCtx {
             match grabbed {
                 Some(r) => {
                     self.charge(DYN_CHUNK_OVERHEAD);
+                    if trace::enabled() {
+                        trace::instant(
+                            EventKind::OmpForChunk,
+                            (r.end - r.start) as u64,
+                            self.now(),
+                        );
+                    }
                     body(r);
                 }
                 None => break,
@@ -299,6 +313,9 @@ impl ThreadCtx {
     }
 
     fn critical_raw<R>(&self, lock_id: u64, f: impl FnOnce(&ThreadCtx) -> R) -> R {
+        if trace::enabled() {
+            trace::begin_arg(EventKind::OmpCritical, lock_id, self.now());
+        }
         let m = self.rt.critical_mutex(lock_id);
         let mut last_release = m.lock();
         self.with_clock(|c| {
@@ -312,6 +329,9 @@ impl ThreadCtx {
             self.rt.dsm.lock_release(lock_id, c);
         });
         *last_release = self.with_clock(|c| c.now());
+        if trace::enabled() {
+            trace::end(EventKind::OmpCritical, self.now());
+        }
         r
     }
 
@@ -394,6 +414,9 @@ impl ThreadCtx {
     pub fn reduce_f64s(&self, op: ReduceOp, locals: &[f64]) -> Vec<f64> {
         match self.rt.mode {
             ProtocolMode::Parade => {
+                if trace::enabled() {
+                    trace::begin(EventKind::OmpReduction, self.now());
+                }
                 // Node-local combine of the whole structure, then a single
                 // allreduce for all variables at once.
                 {
@@ -418,7 +441,11 @@ impl ThreadCtx {
                     st.count = 0;
                 }
                 self.node_barrier();
-                self.rt.reduce.lock().result_vec.clone()
+                let out = self.rt.reduce.lock().result_vec.clone();
+                if trace::enabled() {
+                    trace::end(EventKind::OmpReduction, self.now());
+                }
+                out
             }
             ProtocolMode::SdsmOnly => locals
                 .iter()
@@ -431,6 +458,9 @@ impl ThreadCtx {
     /// node barrier, per-node representative allreduce, `leader_apply` run
     /// once per node on the total, node barrier, everyone reads the result.
     fn hier_f64(&self, op: ReduceOp, v: f64, leader_apply: impl FnOnce(f64) -> f64) -> f64 {
+        if trace::enabled() {
+            trace::begin(EventKind::OmpReduction, self.now());
+        }
         {
             let mut st = self.rt.reduce.lock();
             if st.count == 0 {
@@ -450,10 +480,17 @@ impl ThreadCtx {
             st.count = 0;
         }
         self.node_barrier();
-        self.rt.reduce.lock().result_f64
+        let out = self.rt.reduce.lock().result_f64;
+        if trace::enabled() {
+            trace::end(EventKind::OmpReduction, self.now());
+        }
+        out
     }
 
     fn hier_i64(&self, op: ReduceOp, v: i64, leader_apply: impl FnOnce(i64) -> i64) -> i64 {
+        if trace::enabled() {
+            trace::begin(EventKind::OmpReduction, self.now());
+        }
         {
             let mut st = self.rt.reduce.lock();
             if st.count == 0 {
@@ -473,13 +510,20 @@ impl ThreadCtx {
             st.count = 0;
         }
         self.node_barrier();
-        self.rt.reduce.lock().result_i64
+        let out = self.rt.reduce.lock().result_i64;
+        if trace::enabled() {
+            trace::end(EventKind::OmpReduction, self.now());
+        }
+        out
     }
 
     /// Baseline reduction: every thread locks the distributed lock and
     /// accumulates into a DSM scratch slot (twins/diffs and page transfers
     /// included), then a full barrier publishes the result (Figure 2 left).
     fn sdsm_reduce_f64(&self, op: ReduceOp, v: f64) -> f64 {
+        if trace::enabled() {
+            trace::begin(EventKind::OmpReduction, self.now());
+        }
         let seq = self.reduce_seq.replace(self.reduce_seq.get() + 1);
         let gen = construct_gen(self.region_no, seq);
         let slot = (gen as usize) % SLOTS;
@@ -500,7 +544,11 @@ impl ThreadCtx {
             })
         });
         self.barrier();
-        self.with_clock(|c| self.rt.dsm.read(scratch, slot * 16 + 8, c))
+        let out = self.with_clock(|c| self.rt.dsm.read(scratch, slot * 16 + 8, c));
+        if trace::enabled() {
+            trace::end(EventKind::OmpReduction, self.now());
+        }
+        out
     }
 
     fn sdsm_reduce_i64(&self, op: ReduceOp, v: i64) -> i64 {
@@ -509,6 +557,9 @@ impl ThreadCtx {
     }
 
     fn sdsm_reduce_f64_bits(&self, op: ReduceOp, v: i64) -> i64 {
+        if trace::enabled() {
+            trace::begin(EventKind::OmpReduction, self.now());
+        }
         let seq = self.reduce_seq.replace(self.reduce_seq.get() + 1);
         let gen = construct_gen(self.region_no, seq);
         let slot = (gen as usize) % SLOTS;
@@ -529,7 +580,11 @@ impl ThreadCtx {
             })
         });
         self.barrier();
-        self.with_clock(|c| self.rt.dsm.read(scratch, slot * 16 + 8, c))
+        let out = self.with_clock(|c| self.rt.dsm.read(scratch, slot * 16 + 8, c));
+        if trace::enabled() {
+            trace::end(EventKind::OmpReduction, self.now());
+        }
+        out
     }
 
     /// `single` over a small shared scalar: the earliest thread executes
@@ -553,7 +608,10 @@ impl ThreadCtx {
         let seq = self.single_seq.replace(self.single_seq.get() + 1);
         let gen = construct_gen(self.region_no, seq);
         let slot = (gen as usize) % SLOTS;
-        match self.rt.mode {
+        if trace::enabled() {
+            trace::begin(EventKind::OmpSingle, self.now());
+        }
+        let out = match self.rt.mode {
             ProtocolMode::Parade => {
                 let mut sl = self.rt.singles[slot].lock();
                 self.with_clock(|c| {
@@ -619,7 +677,11 @@ impl ThreadCtx {
                     .map(|s| self.with_clock(|c| self.rt.dsm.read(s.region, 0, c)))
                     .collect()
             }
+        };
+        if trace::enabled() {
+            trace::end(EventKind::OmpSingle, self.now());
         }
+        out
     }
 
     /// Store to a shared scalar from *inside* a sanctioned update construct

@@ -33,12 +33,14 @@
 //! ```
 
 mod ctx;
+mod report;
 mod runtime;
 mod shared;
 mod team;
 mod vbarrier;
 
 pub use ctx::{partition, BoundVec, ScalarPrim, StaticChunks, ThreadCtx};
+pub use report::StatsReport;
 pub use shared::{Pod, SharedScalar, SharedVec};
 pub use team::{Cluster, ClusterBuilder, MasterCtx, RunReport};
 pub use vbarrier::VBarrier;
@@ -46,4 +48,5 @@ pub use vbarrier::VBarrier;
 // Re-exports so downstream code needs only this crate for common use.
 pub use parade_cluster::{ClusterConfig, ExecConfig, ProtocolMode};
 pub use parade_mpi::ReduceOp;
-pub use parade_net::{NetProfile, TimeSource, VTime};
+pub use parade_net::{NetProfile, NodeTraffic, TimeSource, VTime};
+pub use parade_trace::TraceReport;

@@ -1,0 +1,285 @@
+//! [`StatsReport`] — one unified, renderable summary of a cluster run.
+//!
+//! Merges the three telemetry sources a run produces — virtual times from
+//! [`RunReport`], DSM protocol counters and per-node fabric traffic from
+//! the cluster layer, and (when traced) the per-construct virtual-time
+//! breakdown from `parade-trace` — so diagnostics and benches print one
+//! consistent block instead of hand-rolled `println!`s.
+//!
+//! JSON emission follows the `PARADE_BENCH_JSON` convention: set
+//! `PARADE_STATS_JSON` to `1` (current directory) or a directory name and
+//! [`StatsReport::emit_json`] writes `STATS_<label>.json` there.
+
+use std::fmt::Write as _;
+
+use parade_dsm::DsmStatsSnapshot;
+use parade_net::{NodeTraffic, VTime};
+use parade_trace::TraceReport;
+
+use crate::team::RunReport;
+
+/// Unified statistics for one cluster run.
+#[derive(Debug, Clone)]
+pub struct StatsReport {
+    /// Caller-chosen run label (also names the JSON file).
+    pub label: String,
+    /// The master's final virtual time.
+    pub exec_time: VTime,
+    /// Per-node main-thread virtual times.
+    pub node_times: Vec<VTime>,
+    /// Per-node compute share of the main thread's virtual time.
+    pub node_compute: Vec<VTime>,
+    /// Per-node communication/wait share.
+    pub node_comm: Vec<VTime>,
+    /// Cluster-wide DSM protocol counters.
+    pub dsm: DsmStatsSnapshot,
+    /// Per-node fabric traffic, both directions.
+    pub net: Vec<NodeTraffic>,
+    /// Per-construct virtual-time breakdown, when the run was traced.
+    pub trace: Option<TraceReport>,
+}
+
+impl StatsReport {
+    pub fn from_run(label: impl Into<String>, report: &RunReport) -> StatsReport {
+        StatsReport {
+            label: label.into(),
+            exec_time: report.exec_time,
+            node_times: report.node_times.clone(),
+            node_compute: report.node_compute.clone(),
+            node_comm: report.node_comm.clone(),
+            dsm: report.cluster.dsm_totals(),
+            net: report.cluster.net.clone(),
+            trace: report.trace.clone(),
+        }
+    }
+
+    /// Plain-text block: per-node time/traffic table, non-zero DSM
+    /// counters, and the trace breakdown when present.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "=== {} — exec {} over {} node(s) ===",
+            self.label,
+            self.exec_time,
+            self.node_times.len()
+        );
+        let _ = writeln!(
+            s,
+            "{:<5} {:>12} {:>12} {:>12} {:>16} {:>16}",
+            "node", "vtime", "compute", "comm", "sent msgs/bytes", "recv msgs/bytes"
+        );
+        for (i, t) in self.node_times.iter().enumerate() {
+            let nt = self.net.get(i).copied().unwrap_or_default();
+            let _ = writeln!(
+                s,
+                "{:<5} {:>12} {:>12} {:>12} {:>16} {:>16}",
+                i,
+                t.to_string(),
+                self.node_compute
+                    .get(i)
+                    .copied()
+                    .unwrap_or(VTime::ZERO)
+                    .to_string(),
+                self.node_comm
+                    .get(i)
+                    .copied()
+                    .unwrap_or(VTime::ZERO)
+                    .to_string(),
+                format!("{}/{}", nt.sent.msgs, nt.sent.bytes),
+                format!("{}/{}", nt.received.msgs, nt.received.bytes),
+            );
+        }
+        let nonzero: Vec<String> = self
+            .dsm
+            .fields()
+            .into_iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = writeln!(
+            s,
+            "dsm: {}",
+            if nonzero.is_empty() {
+                "(no protocol activity)".to_string()
+            } else {
+                nonzero.join(" ")
+            }
+        );
+        match &self.trace {
+            Some(tr) if !tr.is_empty() => {
+                s.push_str(&tr.render());
+            }
+            Some(_) => {
+                let _ = writeln!(s, "trace: enabled but empty");
+            }
+            None => {}
+        }
+        s
+    }
+
+    /// Hand-encoded JSON object (no external crates, like the rest of the
+    /// workspace).
+    pub fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"label\": {},", jstr(&self.label));
+        let _ = writeln!(s, "  \"exec_ns\": {},", self.exec_time.as_nanos());
+        s.push_str("  \"nodes\": [\n");
+        for (i, t) in self.node_times.iter().enumerate() {
+            let nt = self.net.get(i).copied().unwrap_or_default();
+            let _ = write!(
+                s,
+                "    {{\"vtime_ns\": {}, \"compute_ns\": {}, \"comm_ns\": {}, \
+                 \"sent_msgs\": {}, \"sent_bytes\": {}, \"recv_msgs\": {}, \"recv_bytes\": {}}}",
+                t.as_nanos(),
+                self.node_compute
+                    .get(i)
+                    .copied()
+                    .unwrap_or(VTime::ZERO)
+                    .as_nanos(),
+                self.node_comm
+                    .get(i)
+                    .copied()
+                    .unwrap_or(VTime::ZERO)
+                    .as_nanos(),
+                nt.sent.msgs,
+                nt.sent.bytes,
+                nt.received.msgs,
+                nt.received.bytes,
+            );
+            s.push_str(if i + 1 < self.node_times.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        let dsm: Vec<String> = self
+            .dsm
+            .fields()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        let _ = writeln!(s, "  \"dsm\": {{{}}},", dsm.join(", "));
+        match &self.trace {
+            Some(tr) => {
+                let _ = writeln!(s, "  \"trace\": {}", tr.json());
+            }
+            None => {
+                let _ = writeln!(s, "  \"trace\": null");
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Write `STATS_<label>.json` when `PARADE_STATS_JSON` is set (`1` or
+    /// empty → current directory, otherwise the named directory). Returns
+    /// the path written.
+    pub fn emit_json(&self) -> Option<String> {
+        let dir = std::env::var("PARADE_STATS_JSON").ok()?;
+        let dir = if dir.is_empty() || dir == "1" {
+            ".".to_string()
+        } else {
+            dir
+        };
+        let _ = std::fs::create_dir_all(&dir);
+        let label: String = self
+            .label
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = format!("{dir}/STATS_{label}.json");
+        match std::fs::write(&path, self.json()) {
+            Ok(()) => {
+                println!("wrote {path}");
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: could not write {path}: {e}");
+                None
+            }
+        }
+    }
+}
+
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cluster;
+    use parade_net::{NetProfile, TimeSource};
+
+    fn run_report() -> RunReport {
+        let c = Cluster::builder()
+            .nodes(2)
+            .threads_per_node(1)
+            .net(NetProfile::zero())
+            .time(TimeSource::Manual)
+            .pool_bytes(256 * parade_dsm::PAGE_SIZE)
+            .build()
+            .unwrap();
+        let (_, report) = c.run_with_report(|g| {
+            let xs = g.alloc_f64(256);
+            g.parallel(move |tc| {
+                tc.par_for(0..256, |i| tc.set(&xs, i, 1.0));
+                let mut s = 0.0;
+                for i in tc.for_static(0..256) {
+                    s += tc.get(&xs, i);
+                }
+                tc.reduce_f64_sum(s)
+            });
+        });
+        report
+    }
+
+    #[test]
+    fn render_and_json_cover_all_sources() {
+        let sr = StatsReport::from_run("unit", &run_report());
+        let text = sr.render();
+        assert!(text.contains("exec"), "{text}");
+        assert!(text.contains("dsm: "), "{text}");
+        assert!(text.contains("recv msgs/bytes"), "{text}");
+        let js = sr.json();
+        parade_trace::validate_json(&js).expect("stats JSON well-formed");
+        assert!(js.contains("\"barriers\""));
+        assert!(js.contains("\"recv_bytes\""));
+        assert!(js.contains("\"trace\": null"));
+    }
+
+    #[test]
+    fn net_counters_balance_in_report() {
+        let sr = StatsReport::from_run("balance", &run_report());
+        let mut sum = NodeTraffic::default();
+        for n in &sr.net {
+            sum.add(*n);
+        }
+        // Fabric drained at shutdown: every sent message was received.
+        assert_eq!(sum.sent, sum.received);
+        assert!(sum.sent.msgs > 0);
+    }
+}

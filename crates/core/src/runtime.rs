@@ -11,6 +11,7 @@ use parade_cluster::ProtocolMode;
 use parade_dsm::{Dsm, RegionHandle};
 use parade_mpi::Communicator;
 use parade_net::{TimeSource, VClock, VTime};
+use parade_trace as trace;
 
 use crate::ctx::ThreadCtx;
 use crate::vbarrier::VBarrier;
@@ -187,6 +188,7 @@ pub(crate) fn spawn_pool(rt: &Arc<NodeRt>) -> Vec<std::thread::JoinHandle<()>> {
         let h = std::thread::Builder::new()
             .name(format!("parade-n{}t{}", rt.node, local_tid))
             .spawn(move || {
+                trace::set_identity(rt2.node, &format!("worker-{local_tid}"));
                 while let Ok(job) = rx.recv() {
                     let mut clock = VClock::new(rt2.time);
                     clock.reset_to(job.start);

@@ -16,6 +16,7 @@ use parade_net::Bytes;
 use parade_cluster::{launch, ClusterConfig, ClusterReport, ExecConfig, NodeEnv, ProtocolMode};
 use parade_mpi::datatype::{Reader, Writer};
 use parade_net::{NetProfile, TimeSource, VClock, VTime};
+use parade_trace::{self as trace, TraceReport};
 
 use crate::ctx::ThreadCtx;
 use crate::runtime::{run_region, spawn_pool, NodeRt, RegionFn};
@@ -110,6 +111,9 @@ pub struct RunReport {
     pub node_comm: Vec<VTime>,
     /// Per-node and aggregate DSM/network counters.
     pub cluster: ClusterReport,
+    /// Virtual-time breakdown per construct per node, when the run was
+    /// traced (`PARADE_TRACE` set, or an ambient session already active).
+    pub trace: Option<TraceReport>,
 }
 
 impl RunReport {
@@ -157,6 +161,14 @@ impl Cluster {
         R: Send + 'static,
         F: FnOnce(&mut MasterCtx) -> R + Send + 'static,
     {
+        // `PARADE_TRACE=<path>` records the run and writes a Chrome
+        // trace_event file there. `start` returns None when another session
+        // is already active (e.g. a test harness tracing us from outside);
+        // that session keeps collecting our events and we leave it alone.
+        let trace_path = std::env::var("PARADE_TRACE").ok().filter(|p| !p.is_empty());
+        let session = trace_path
+            .as_ref()
+            .and_then(|_| trace::start(trace::TraceConfig::from_env()));
         let registry = Arc::new(Registry::default());
         let master_cell = Arc::new(Mutex::new(Some(master)));
         let reg2 = Arc::clone(&registry);
@@ -209,6 +221,15 @@ impl Cluster {
             node_comm.push(cm);
         }
         let exec_time = node_times[0];
+        let trace_report = session.map(|s| {
+            let data = s.finish();
+            if let Some(path) = &trace_path {
+                if let Err(e) = std::fs::write(path, data.chrome_json()) {
+                    eprintln!("parade: cannot write trace to {path}: {e}");
+                }
+            }
+            data.report()
+        });
         (
             r.expect("master result"),
             RunReport {
@@ -217,6 +238,7 @@ impl Cluster {
                 node_compute,
                 node_comm,
                 cluster: cluster_report,
+                trace: trace_report,
             },
         )
     }

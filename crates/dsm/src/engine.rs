@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use parade_net::sync::{Condvar, Mutex};
 
 use parade_net::{Endpoint, Match, MsgClass, VClock};
+use parade_trace::{self as trace, EventKind};
 
 use crate::config::{DsmConfig, LockKind};
 use crate::diff::Diff;
@@ -336,6 +337,7 @@ impl Dsm {
     /// The read-fault path of the SIGSEGV handler analogue.
     fn read_fault(&self, page: PageId, clock: &mut VClock) {
         self.stats.read_faults.fetch_add(1, Ordering::Relaxed);
+        trace::instant(EventKind::DsmReadFault, page as u64, clock.now());
         let meta = &self.pages[page];
         let mut inner = meta.inner.lock();
         loop {
@@ -373,6 +375,7 @@ impl Dsm {
     /// no twin), and marks the page DIRTY with a write notice.
     fn write_fault(&self, page: PageId, clock: &mut VClock) {
         self.stats.write_faults.fetch_add(1, Ordering::Relaxed);
+        trace::instant(EventKind::DsmWriteFault, page as u64, clock.now());
         let meta = &self.pages[page];
         let mut inner = meta.inner.lock();
         loop {
@@ -387,6 +390,7 @@ impl Dsm {
                         unsafe { self.pool.copy_page_out(page, &mut twin) };
                         inner.twin = Some(twin);
                         self.stats.twins_created.fetch_add(1, Ordering::Relaxed);
+                        trace::instant(EventKind::DsmTwin, page as u64, clock.now());
                     }
                     meta.set_state(&mut inner, PageState::Dirty);
                     self.dirty.lock().insert(page);
@@ -422,6 +426,7 @@ impl Dsm {
     /// "system path" while application threads are held off by the
     /// TRANSIENT state. Caller owns the TRANSIENT transition.
     fn fetch_page(&self, page: PageId, clock: &mut VClock) {
+        trace::begin_arg(EventKind::DsmFetch, page as u64, clock.now());
         let home = self.home_of(page);
         assert_ne!(
             home, self.node,
@@ -465,6 +470,7 @@ impl Dsm {
                 std::thread::yield_now();
             }
         }
+        trace::end(EventKind::DsmFetch, clock.now());
     }
 
     // ---- release operations ----------------------------------------------
@@ -473,6 +479,7 @@ impl Dsm {
     /// pages' homes, wait for acknowledgements, downgrade to READ_ONLY.
     /// Returns the list of flushed pages (the release's write notices).
     pub fn flush(&self, clock: &mut VClock) -> Vec<PageId> {
+        trace::begin(EventKind::DsmFlush, clock.now());
         let dirty: Vec<PageId> = {
             let mut d = self.dirty.lock();
             d.drain().collect()
@@ -500,6 +507,7 @@ impl Dsm {
                     self.stats
                         .diff_bytes
                         .fetch_add(diff.payload_bytes() as u64, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmDiff, diff.payload_bytes() as u64, clock.now());
                     let msg = DsmMsg::Diff {
                         page,
                         requester: self.node,
@@ -522,6 +530,7 @@ impl Dsm {
                 .recv(MsgClass::Ctl, Match::tagged(tag), clock)
                 .expect("diff ack after shutdown");
         }
+        trace::end(EventKind::DsmFlush, clock.now());
         dirty
     }
 
@@ -534,6 +543,7 @@ impl Dsm {
     /// Exactly one thread per node may call this at a time (the cluster
     /// layer funnels through a node representative).
     pub fn barrier(&self, clock: &mut VClock) {
+        trace::begin(EventKind::DsmBarrier, clock.now());
         let seq = self.barrier_seq.fetch_add(1, Ordering::SeqCst);
         self.flush(clock);
         let notices: Vec<PageId> = {
@@ -558,6 +568,7 @@ impl Dsm {
         assert_eq!(dseq, seq, "barrier sequence mismatch");
         self.apply_depart(seq, &entries, clock);
         self.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        trace::end(EventKind::DsmBarrier, clock.now());
     }
 
     /// Apply a barrier departure: update the home table, invalidate copies
@@ -571,6 +582,7 @@ impl Dsm {
                 migrated_any = true;
                 if e.new_home == self.node {
                     self.stats.home_migrations.fetch_add(1, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmMigrate, e.page as u64, clock.now());
                 }
             }
             let meta = &self.pages[e.page];
@@ -603,6 +615,7 @@ impl Dsm {
                     self.ep
                         .send(e.new_home, MsgClass::Dsm, 0, msg.encode(), clock);
                     self.stats.pushes_sent.fetch_add(1, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmPush, e.page as u64, clock.now());
                 }
             } else {
                 // Someone else wrote the page and we are not its (old or
@@ -617,6 +630,7 @@ impl Dsm {
                         inner.twin = None;
                         meta.set_state(&mut inner, PageState::Invalid);
                         self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                        trace::instant(EventKind::DsmInvalidate, e.page as u64, clock.now());
                     }
                 }
             }
@@ -640,6 +654,7 @@ impl Dsm {
     /// the grant (lazy release consistency on the lock chain).
     pub fn lock_acquire(&self, lock: u64, clock: &mut VClock) {
         self.stats.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        trace::begin_arg(EventKind::DsmLock, lock, clock.now());
         let mgr = self.lock_manager(lock);
         let last_seen = self.lock_seen.lock().get(&lock).copied().unwrap_or(0);
         let polling = matches!(self.cfg.lock_kind, LockKind::Polling { .. });
@@ -660,10 +675,12 @@ impl Dsm {
             match DsmReply::decode(&pkt.payload) {
                 DsmReply::LockGrant { cur_seq, notices } => {
                     self.apply_lock_notices(lock, cur_seq, &notices, clock);
+                    trace::end(EventKind::DsmLock, clock.now());
                     return;
                 }
                 DsmReply::LockBusy => {
                     self.stats.lock_polls.fetch_add(1, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmLockPoll, lock, clock.now());
                     if let LockKind::Polling { interval } = self.cfg.lock_kind {
                         clock.charge_comm(interval);
                     }
@@ -701,6 +718,7 @@ impl Dsm {
                     inner.twin = None;
                     meta.set_state(&mut inner, PageState::Invalid);
                     self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmInvalidate, page as u64, clock.now());
                 }
                 PageState::Dirty => {
                     // We hold un-released local writes on a page another
@@ -719,6 +737,7 @@ impl Dsm {
                     self.dirty.lock().remove(&page);
                     meta.set_state(&mut inner, PageState::Invalid);
                     self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmInvalidate, page as u64, clock.now());
                     drop(inner);
                     if !diff.is_empty() {
                         let home = self.home_of(page);
@@ -727,6 +746,11 @@ impl Dsm {
                         self.stats
                             .diff_bytes
                             .fetch_add(diff.payload_bytes() as u64, Ordering::Relaxed);
+                        trace::instant(
+                            EventKind::DsmDiff,
+                            diff.payload_bytes() as u64,
+                            clock.now(),
+                        );
                         let msg = DsmMsg::Diff {
                             page,
                             requester: self.node,

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parade_net::Bytes;
 
 use parade_net::{MsgClass, Packet, VClock, VTime};
+use parade_trace::{self as trace, EventKind};
 
 use crate::config::{CommCosts, HomePolicy};
 use crate::engine::Dsm;
@@ -102,7 +103,16 @@ impl Dsm {
             self.retry_deferred(srv);
             return;
         }
+        // Queueing delay: how long the request sat behind earlier service
+        // (zero when the server was idle at arrival). Computed before
+        // begin_service folds the arrival into the service clock.
+        let queued_ns = srv
+            .clock
+            .now()
+            .as_nanos()
+            .saturating_sub(pkt.arrive_at.as_nanos());
         srv.begin_service(pkt.arrive_at);
+        trace::begin_arg(EventKind::CommService, queued_ns, srv.clock.now());
         self.stats.serviced_requests.fetch_add(1, Ordering::Relaxed);
         match msg {
             DsmMsg::ReqPage {
@@ -243,6 +253,7 @@ impl Dsm {
             }
             DsmMsg::Nudge => unreachable!("handled above"),
         }
+        trace::end(EventKind::CommService, srv.clock.now());
     }
 
     fn reply(&self, node: usize, tag: u64, reply: DsmReply, srv: &mut CommServer) {
@@ -361,6 +372,7 @@ pub fn spawn_comm_thread(dsm: Arc<Dsm>) -> std::thread::JoinHandle<VTime> {
     std::thread::Builder::new()
         .name(format!("parade-comm-{}", dsm.node()))
         .spawn(move || {
+            trace::set_identity(dsm.node(), "comm");
             let mut srv = CommServer::new(costs);
             dsm.serve_loop(&mut srv);
             srv.clock.now()

@@ -29,6 +29,12 @@ macro_rules! counters {
             pub fn merge(&mut self, other: &DsmStatsSnapshot) {
                 $(self.$name += other.$name;)+
             }
+
+            /// `(name, value)` pairs in declaration order, for generic
+            /// rendering and JSON emission.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
         }
     };
 }

@@ -10,6 +10,7 @@
 use parade_net::Bytes;
 
 use parade_net::VClock;
+use parade_trace::{self as trace, EventKind};
 
 use crate::comm::Communicator;
 use crate::datatype;
@@ -62,6 +63,7 @@ impl Communicator {
             return;
         }
         let rank = self.rank();
+        trace::begin(EventKind::MpiBarrier, clock.now());
         let mut round: u8 = 0;
         let mut dist = 1usize;
         while dist < size {
@@ -69,9 +71,11 @@ impl Communicator {
             let src = (rank + size - dist) % size;
             self.coll_send(dst, seq, PH_BARRIER_BASE + round, Bytes::new(), clock);
             let _ = self.coll_recv(src, seq, PH_BARRIER_BASE + round, clock);
+            trace::instant(EventKind::CollRound, round as u64, clock.now());
             dist <<= 1;
             round += 1;
         }
+        trace::end(EventKind::MpiBarrier, clock.now());
     }
 
     /// Binomial-tree broadcast of raw bytes from `root`. Non-root callers'
@@ -80,7 +84,9 @@ impl Communicator {
         let mut st = self.coll_guard.lock();
         let seq = st.seq;
         st.seq += 1;
+        trace::begin_arg(EventKind::MpiBcast, buf.len() as u64, clock.now());
         self.bcast_inner(root, buf, seq, PH_BCAST, clock);
+        trace::end(EventKind::MpiBcast, clock.now());
     }
 
     fn bcast_inner(&self, root: usize, buf: &mut Bytes, seq: u64, phase: u8, clock: &mut VClock) {
@@ -95,6 +101,7 @@ impl Communicator {
             if relrank & mask != 0 {
                 let src = (relrank - mask + root) % size;
                 *buf = self.coll_recv(src, seq, phase, clock);
+                trace::instant(EventKind::CollRound, mask as u64, clock.now());
                 break;
             }
             mask <<= 1;
@@ -104,6 +111,7 @@ impl Communicator {
             if relrank + mask < size {
                 let dst = (relrank + mask + root) % size;
                 self.coll_send(dst, seq, phase, buf.clone(), clock);
+                trace::instant(EventKind::CollRound, mask as u64, clock.now());
             }
             mask >>= 1;
         }
@@ -137,7 +145,9 @@ impl Communicator {
         let mut st = self.coll_guard.lock();
         let seq = st.seq;
         st.seq += 1;
+        trace::begin(EventKind::MpiReduce, clock.now());
         self.reduce_inner(root, buf, combine, seq, clock);
+        trace::end(EventKind::MpiReduce, clock.now());
     }
 
     fn reduce_inner(
@@ -162,10 +172,12 @@ impl Communicator {
                     let src = (peer + root) % size;
                     let contrib = self.coll_recv(src, seq, PH_REDUCE, clock);
                     combine(buf, &contrib);
+                    trace::instant(EventKind::CollRound, mask as u64, clock.now());
                 }
             } else {
                 let dst = ((relrank & !mask) + root) % size;
                 self.coll_send(dst, seq, PH_REDUCE, Bytes::copy_from_slice(buf), clock);
+                trace::instant(EventKind::CollRound, mask as u64, clock.now());
                 break;
             }
             mask <<= 1;
@@ -188,11 +200,13 @@ impl Communicator {
         if self.size() == 1 {
             return;
         }
+        trace::begin(EventKind::MpiAllreduce, clock.now());
         self.reduce_inner(0, buf, combine, seq, clock);
         let mut b = Bytes::copy_from_slice(buf);
         self.bcast_inner(0, &mut b, seq, PH_ALLRED_BCAST, clock);
         buf.clear();
         buf.extend_from_slice(&b);
+        trace::end(EventKind::MpiAllreduce, clock.now());
     }
 
     /// Elementwise allreduce on an `f64` slice.
@@ -250,7 +264,8 @@ impl Communicator {
         st.seq += 1;
         let size = self.size();
         let rank = self.rank();
-        if rank == root {
+        trace::begin_arg(EventKind::MpiGather, data.len() as u64, clock.now());
+        let out = if rank == root {
             let mut parts: Vec<Bytes> = vec![Bytes::new(); size];
             parts[root] = data;
             for r in 0..size {
@@ -262,7 +277,9 @@ impl Communicator {
         } else {
             self.coll_send(root, seq, PH_GATHER, data, clock);
             None
-        }
+        };
+        trace::end(EventKind::MpiGather, clock.now());
+        out
     }
 
     /// Allgather byte strings: gather at rank 0, then broadcast the

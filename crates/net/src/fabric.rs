@@ -242,7 +242,9 @@ impl Endpoint {
         let mut q = mb.queue.lock();
         loop {
             if let Some(pos) = q.iter().position(|p| m.matches(p)) {
-                return Ok(q.remove(pos).expect("position just found"));
+                let pkt = q.remove(pos).expect("position just found");
+                fabric.stats.record_recv(self.id, class, pkt.payload.len());
+                return Ok(pkt);
             }
             if fabric.is_shutdown() {
                 return Err(Disconnected);
@@ -255,7 +257,11 @@ impl Endpoint {
     pub fn try_recv(&self, class: MsgClass) -> Option<Packet> {
         let mb = &self.fabric.ports[self.id].boxes[class.index()];
         let mut q = mb.queue.lock();
-        q.pop_front()
+        let pkt = q.pop_front()?;
+        self.fabric
+            .stats
+            .record_recv(self.id, class, pkt.payload.len());
+        Some(pkt)
     }
 
     /// Blocking receive of any packet in `class`, without clock handling.
@@ -267,6 +273,7 @@ impl Endpoint {
         let mut q = mb.queue.lock();
         loop {
             if let Some(p) = q.pop_front() {
+                fabric.stats.record_recv(self.id, class, p.payload.len());
                 return Ok(p);
             }
             if fabric.is_shutdown() {
@@ -369,9 +376,10 @@ mod tests {
     }
 
     #[test]
-    fn stats_count_sends() {
+    fn stats_count_sends_and_receives() {
         let fabric = Fabric::new(2, NetProfile::zero());
         let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
         let mut c = VClock::manual();
         a.send(1, MsgClass::Dsm, 0, bts(&[0u8; 100]), &mut c);
         a.send(1, MsgClass::P2p, 0, bts(&[0u8; 50]), &mut c);
@@ -380,6 +388,23 @@ mod tests {
         assert_eq!(s.bytes, 150);
         assert_eq!(
             fabric.stats().node(0).class_totals(MsgClass::Dsm).bytes,
+            100
+        );
+        // In flight: sent but not yet received.
+        assert_eq!(fabric.stats().recv_totals().msgs, 0);
+        // Drain via all three dequeue paths' representatives.
+        b.recv(MsgClass::Dsm, Match::any(), &mut c).unwrap();
+        b.try_recv(MsgClass::P2p).unwrap();
+        let r = fabric.stats().node(1).snapshot();
+        assert_eq!(r.received.msgs, 2);
+        assert_eq!(r.received.bytes, 150);
+        assert_eq!(r.sent.msgs, 0);
+        assert_eq!(
+            fabric
+                .stats()
+                .node(1)
+                .recv_class_totals(MsgClass::Dsm)
+                .bytes,
             100
         );
     }

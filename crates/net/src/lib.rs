@@ -27,5 +27,5 @@ pub use buffer::Bytes;
 pub use fabric::{Disconnected, Endpoint, Fabric, Match};
 pub use packet::{MsgClass, Packet};
 pub use profile::{LinkCost, NetProfile};
-pub use stats::{NetStats, NodeNetStats, Traffic};
+pub use stats::{NetStats, NodeNetStats, NodeTraffic, Traffic};
 pub use vtime::{thread_cpu_ns, TimeSource, VClock, VTime};

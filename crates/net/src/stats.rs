@@ -1,4 +1,9 @@
-//! Traffic statistics, per node and per message class.
+//! Traffic statistics, per node, per direction, and per message class.
+//!
+//! Sends are counted at [`NetStats::record_send`] (fabric enqueue) and
+//! receives at [`NetStats::record_recv`] (fabric dequeue), so the two
+//! directions can disagree transiently while packets are in flight —
+//! queueing analysis depends on seeing exactly that.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,6 +20,20 @@ impl Traffic {
     pub fn add(&mut self, other: Traffic) {
         self.msgs += other.msgs;
         self.bytes += other.bytes;
+    }
+}
+
+/// A point-in-time copy of one node's counters, both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeTraffic {
+    pub sent: Traffic,
+    pub received: Traffic,
+}
+
+impl NodeTraffic {
+    pub fn add(&mut self, other: NodeTraffic) {
+        self.sent.add(other.sent);
+        self.received.add(other.received);
     }
 }
 
@@ -38,23 +57,48 @@ impl Counter {
     }
 }
 
-/// Send counters for one node, broken down by class.
+/// Send and receive counters for one node, broken down by class.
 #[derive(Default)]
 pub struct NodeNetStats {
-    by_class: [Counter; 4],
+    sent: [Counter; 4],
+    received: [Counter; 4],
 }
 
 impl NodeNetStats {
+    /// Sent traffic for one class.
     pub fn class_totals(&self, class: MsgClass) -> Traffic {
-        self.by_class[class.index()].load()
+        self.sent[class.index()].load()
     }
 
+    /// Received traffic for one class.
+    pub fn recv_class_totals(&self, class: MsgClass) -> Traffic {
+        self.received[class.index()].load()
+    }
+
+    /// Sent traffic summed over classes.
     pub fn totals(&self) -> Traffic {
         let mut t = Traffic::default();
-        for c in &self.by_class {
+        for c in &self.sent {
             t.add(c.load());
         }
         t
+    }
+
+    /// Received traffic summed over classes.
+    pub fn recv_totals(&self) -> Traffic {
+        let mut t = Traffic::default();
+        for c in &self.received {
+            t.add(c.load());
+        }
+        t
+    }
+
+    /// Both directions at once.
+    pub fn snapshot(&self) -> NodeTraffic {
+        NodeTraffic {
+            sent: self.totals(),
+            received: self.recv_totals(),
+        }
     }
 }
 
@@ -71,14 +115,23 @@ impl NetStats {
     }
 
     pub fn record_send(&self, src: usize, class: MsgClass, bytes: usize) {
-        self.nodes[src].by_class[class.index()].record(bytes);
+        self.nodes[src].sent[class.index()].record(bytes);
+    }
+
+    pub fn record_recv(&self, dst: usize, class: MsgClass, bytes: usize) {
+        self.nodes[dst].received[class.index()].record(bytes);
     }
 
     pub fn node(&self, id: usize) -> &NodeNetStats {
         &self.nodes[id]
     }
 
-    /// Sum over all nodes and classes.
+    /// Per-node snapshots, both directions.
+    pub fn snapshot(&self) -> Vec<NodeTraffic> {
+        self.nodes.iter().map(|n| n.snapshot()).collect()
+    }
+
+    /// Sent traffic over all nodes and classes.
     pub fn totals(&self) -> Traffic {
         let mut t = Traffic::default();
         for n in &self.nodes {
@@ -87,11 +140,29 @@ impl NetStats {
         t
     }
 
-    /// Sum over all nodes for one class.
+    /// Received traffic over all nodes and classes.
+    pub fn recv_totals(&self) -> Traffic {
+        let mut t = Traffic::default();
+        for n in &self.nodes {
+            t.add(n.recv_totals());
+        }
+        t
+    }
+
+    /// Sent traffic over all nodes for one class.
     pub fn class_totals(&self, class: MsgClass) -> Traffic {
         let mut t = Traffic::default();
         for n in &self.nodes {
             t.add(n.class_totals(class));
+        }
+        t
+    }
+
+    /// Received traffic over all nodes for one class.
+    pub fn recv_class_totals(&self, class: MsgClass) -> Traffic {
+        let mut t = Traffic::default();
+        for n in &self.nodes {
+            t.add(n.recv_class_totals(class));
         }
         t
     }
@@ -112,5 +183,27 @@ mod tests {
         assert_eq!(s.class_totals(MsgClass::Coll).msgs, 1);
         assert_eq!(s.totals().msgs, 3);
         assert_eq!(s.node(1).totals().bytes, 8);
+    }
+
+    #[test]
+    fn both_directions_tracked_independently() {
+        let s = NetStats::new(2);
+        // Node 0 sends 4096 to node 1; only node 1's receive side moves.
+        s.record_send(0, MsgClass::Dsm, 4096);
+        s.record_recv(1, MsgClass::Dsm, 4096);
+        assert_eq!(s.node(0).totals().bytes, 4096);
+        assert_eq!(s.node(0).recv_totals().bytes, 0);
+        assert_eq!(s.node(1).recv_totals().bytes, 4096);
+        assert_eq!(s.node(1).totals().bytes, 0);
+        assert_eq!(s.recv_class_totals(MsgClass::Dsm).msgs, 1);
+        assert_eq!(s.recv_totals(), s.totals());
+        let snap = s.snapshot();
+        assert_eq!(snap[0].sent.bytes, 4096);
+        assert_eq!(snap[1].received.bytes, 4096);
+        let mut sum = NodeTraffic::default();
+        for n in snap {
+            sum.add(n);
+        }
+        assert_eq!(sum.sent, sum.received);
     }
 }

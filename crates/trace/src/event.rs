@@ -1,0 +1,241 @@
+//! The typed event taxonomy.
+//!
+//! Every layer of the runtime emits events from one shared enum so the
+//! collector can attribute virtual time per construct without string
+//! matching. Span kinds carry a Begin/End pair; instant kinds are single
+//! points with an argument (page number, byte count, round index, ...).
+
+use parade_net::VTime;
+
+/// What happened. Grouped by the runtime layer that emits it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    // --- DSM protocol (application-thread side) ---
+    /// Read fault taken (instant; arg = page).
+    DsmReadFault,
+    /// Write fault taken (instant; arg = page).
+    DsmWriteFault,
+    /// Twin created on first write to a non-home page (instant; arg = page).
+    DsmTwin,
+    /// Remote page fetch round-trip (span; arg = page).
+    DsmFetch,
+    /// Diff shipped to a home (instant; arg = payload bytes).
+    DsmDiff,
+    /// Page invalidated by a write notice (instant; arg = page).
+    DsmInvalidate,
+    /// Home migration applied locally (instant; arg = page).
+    DsmMigrate,
+    /// Full page pushed to a migrated home (instant; arg = page).
+    DsmPush,
+    /// Dirty-page flush: twin/diff/ship for all dirty pages (span).
+    DsmFlush,
+    /// SDSM global barrier: arrive + release + write-notice apply (span).
+    DsmBarrier,
+    /// Distributed lock acquire round-trip(s) (span; arg = lock id).
+    DsmLock,
+    /// One busy-wait poll round for a Polling lock (instant; arg = lock id).
+    DsmLockPoll,
+    // --- MPI-like message passing ---
+    /// Dissemination barrier (span).
+    MpiBarrier,
+    /// Binomial-tree broadcast (span; arg = bytes).
+    MpiBcast,
+    /// Binomial-tree reduction to root (span).
+    MpiReduce,
+    /// Reduce + broadcast allreduce (span).
+    MpiAllreduce,
+    /// Gather to root (span; arg = bytes contributed).
+    MpiGather,
+    /// One send/recv step of a collective (instant; arg = round/mask).
+    CollRound,
+    // --- OpenMP-level constructs (core runtime) ---
+    /// Team barrier, hybrid or SDSM-only (span).
+    OmpBarrier,
+    /// Critical section incl. distributed lock when cross-node (span).
+    OmpCritical,
+    /// Reduction, hierarchical or lock-based (span).
+    OmpReduction,
+    /// Single construct incl. result propagation (span).
+    OmpSingle,
+    /// One dynamic-loop chunk grab (instant; arg = chunk length).
+    OmpForChunk,
+    // --- Cluster plumbing ---
+    /// Comm thread servicing one request (span; arg = queueing delay ns).
+    CommService,
+}
+
+impl EventKind {
+    /// All kinds, in declaration order (stable for reports).
+    pub const ALL: [EventKind; 24] = [
+        EventKind::DsmReadFault,
+        EventKind::DsmWriteFault,
+        EventKind::DsmTwin,
+        EventKind::DsmFetch,
+        EventKind::DsmDiff,
+        EventKind::DsmInvalidate,
+        EventKind::DsmMigrate,
+        EventKind::DsmPush,
+        EventKind::DsmFlush,
+        EventKind::DsmBarrier,
+        EventKind::DsmLock,
+        EventKind::DsmLockPoll,
+        EventKind::MpiBarrier,
+        EventKind::MpiBcast,
+        EventKind::MpiReduce,
+        EventKind::MpiAllreduce,
+        EventKind::MpiGather,
+        EventKind::CollRound,
+        EventKind::OmpBarrier,
+        EventKind::OmpCritical,
+        EventKind::OmpReduction,
+        EventKind::OmpSingle,
+        EventKind::OmpForChunk,
+        EventKind::CommService,
+    ];
+
+    /// Stable dotted name, used in Chrome traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::DsmReadFault => "dsm.read_fault",
+            EventKind::DsmWriteFault => "dsm.write_fault",
+            EventKind::DsmTwin => "dsm.twin",
+            EventKind::DsmFetch => "dsm.fetch",
+            EventKind::DsmDiff => "dsm.diff",
+            EventKind::DsmInvalidate => "dsm.invalidate",
+            EventKind::DsmMigrate => "dsm.migrate",
+            EventKind::DsmPush => "dsm.push",
+            EventKind::DsmFlush => "dsm.flush",
+            EventKind::DsmBarrier => "dsm.barrier",
+            EventKind::DsmLock => "dsm.lock",
+            EventKind::DsmLockPoll => "dsm.lock_poll",
+            EventKind::MpiBarrier => "mpi.barrier",
+            EventKind::MpiBcast => "mpi.bcast",
+            EventKind::MpiReduce => "mpi.reduce",
+            EventKind::MpiAllreduce => "mpi.allreduce",
+            EventKind::MpiGather => "mpi.gather",
+            EventKind::CollRound => "mpi.coll_round",
+            EventKind::OmpBarrier => "omp.barrier",
+            EventKind::OmpCritical => "omp.critical",
+            EventKind::OmpReduction => "omp.reduction",
+            EventKind::OmpSingle => "omp.single",
+            EventKind::OmpForChunk => "omp.for_chunk",
+            EventKind::CommService => "comm.service",
+        }
+    }
+
+    /// Layer category ("dsm", "mpi", "omp", "comm") for Chrome `cat`.
+    pub fn category(self) -> &'static str {
+        match self {
+            EventKind::DsmReadFault
+            | EventKind::DsmWriteFault
+            | EventKind::DsmTwin
+            | EventKind::DsmFetch
+            | EventKind::DsmDiff
+            | EventKind::DsmInvalidate
+            | EventKind::DsmMigrate
+            | EventKind::DsmPush
+            | EventKind::DsmFlush
+            | EventKind::DsmBarrier
+            | EventKind::DsmLock
+            | EventKind::DsmLockPoll => "dsm",
+            EventKind::MpiBarrier
+            | EventKind::MpiBcast
+            | EventKind::MpiReduce
+            | EventKind::MpiAllreduce
+            | EventKind::MpiGather
+            | EventKind::CollRound => "mpi",
+            EventKind::OmpBarrier
+            | EventKind::OmpCritical
+            | EventKind::OmpReduction
+            | EventKind::OmpSingle
+            | EventKind::OmpForChunk => "omp",
+            EventKind::CommService => "comm",
+        }
+    }
+
+    /// True for kinds recorded as Begin/End pairs.
+    pub fn is_span(self) -> bool {
+        matches!(
+            self,
+            EventKind::DsmFetch
+                | EventKind::DsmFlush
+                | EventKind::DsmBarrier
+                | EventKind::DsmLock
+                | EventKind::MpiBarrier
+                | EventKind::MpiBcast
+                | EventKind::MpiReduce
+                | EventKind::MpiAllreduce
+                | EventKind::MpiGather
+                | EventKind::OmpBarrier
+                | EventKind::OmpCritical
+                | EventKind::OmpReduction
+                | EventKind::OmpSingle
+                | EventKind::CommService
+        )
+    }
+}
+
+/// Span begin / span end / instant marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+/// One recorded event. 32 bytes; rings store these by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub kind: EventKind,
+    pub phase: Phase,
+    /// Kind-specific argument (page, bytes, round, queue delay, ...).
+    pub arg: u64,
+    /// Virtual timestamp from the emitting thread's `VClock`.
+    pub vtime: VTime,
+    /// Monotonic wall timestamp (`thread_cpu_ns`), for debugging skew.
+    pub wall_ns: u64,
+}
+
+/// Who recorded a ring: simulated node id + role label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Identity {
+    /// Simulated node id; `u32::MAX` when the thread never tagged itself.
+    pub node: u32,
+    pub name: String,
+}
+
+impl Identity {
+    pub const UNTAGGED_NODE: u32 = u32::MAX;
+
+    pub fn untagged() -> Identity {
+        Identity {
+            node: Identity::UNTAGGED_NODE,
+            name: "untagged".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_consistent() {
+        assert_eq!(EventKind::ALL.len(), 24);
+        let mut names = std::collections::HashSet::new();
+        for k in EventKind::ALL {
+            assert!(names.insert(k.name()), "duplicate name {}", k.name());
+            assert!(k.name().starts_with(k.category()));
+            assert!(["dsm", "mpi", "omp", "comm"].contains(&k.category()));
+        }
+    }
+
+    #[test]
+    fn span_vs_instant_split() {
+        let spans = EventKind::ALL.iter().filter(|k| k.is_span()).count();
+        assert_eq!(spans, 14);
+        assert!(EventKind::OmpBarrier.is_span());
+        assert!(!EventKind::DsmDiff.is_span());
+    }
+}

@@ -1,0 +1,387 @@
+//! In-process aggregation: per-construct virtual-time breakdown.
+//!
+//! Spans nest (an `omp.barrier` contains `dsm.barrier` contains
+//! `dsm.fetch`), so naive per-kind sums would double-count. The
+//! aggregator therefore attributes **exclusive** (self) time — a span's
+//! duration minus the durations of spans nested inside it — alongside the
+//! inclusive total. Summed per thread, exclusive times never exceed the
+//! thread's final virtual clock, which keeps the per-node totals
+//! comparable to the run's reported execution time.
+
+use std::collections::BTreeMap;
+
+use parade_net::VTime;
+
+use crate::event::{EventKind, Phase};
+use crate::ring::ThreadTrace;
+
+/// Aggregated span statistics for one (node, kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRow {
+    pub node: u32,
+    pub kind: EventKind,
+    /// Completed Begin/End pairs.
+    pub count: u64,
+    /// Exclusive virtual time (nested spans subtracted), ns.
+    pub self_ns: u64,
+    /// Inclusive virtual time, ns.
+    pub total_ns: u64,
+}
+
+/// Aggregated instant statistics for one (node, kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstantRow {
+    pub node: u32,
+    pub kind: EventKind,
+    pub count: u64,
+    /// Sum of the kind-specific argument (bytes, chunk lengths, ...).
+    pub arg_sum: u64,
+}
+
+/// The per-construct virtual-time breakdown for a whole run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Span rows, sorted by (node, declaration order of kind).
+    pub spans: Vec<SpanRow>,
+    /// Instant rows, sorted the same way.
+    pub instants: Vec<InstantRow>,
+    /// Per node: the largest per-thread exclusive-span sum on that node
+    /// ("busiest-thread attributed time"), ns. Each thread's exclusive
+    /// sum is bounded by its final vclock, so these are comparable to
+    /// the run's node times.
+    pub node_attributed: Vec<(u32, u64)>,
+    /// Threads that contributed events.
+    pub threads: usize,
+    /// Surviving events aggregated.
+    pub events: u64,
+    /// Events lost to ring wrap (oldest-first), exact.
+    pub dropped: u64,
+    /// Ends without a matching begin + begins left open (clock skew or a
+    /// span truncated by ring wrap).
+    pub unbalanced: u64,
+}
+
+impl TraceReport {
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Busiest-thread attributed time for `node`, ns.
+    pub fn attributed_ns(&self, node: u32) -> u64 {
+        self.node_attributed
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, ns)| *ns)
+            .unwrap_or(0)
+    }
+
+    /// Human-readable breakdown table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trace: {} threads, {} events, {} dropped, {} unbalanced\n",
+            self.threads, self.events, self.dropped, self.unbalanced
+        ));
+        out.push_str(&format!(
+            "{:<5} {:<16} {:>8} {:>14} {:>14}\n",
+            "node", "construct", "count", "self-vtime", "total-vtime"
+        ));
+        for r in &self.spans {
+            out.push_str(&format!(
+                "{:<5} {:<16} {:>8} {:>14} {:>14}\n",
+                r.node,
+                r.kind.name(),
+                r.count,
+                format!("{}", VTime(r.self_ns)),
+                format!("{}", VTime(r.total_ns)),
+            ));
+        }
+        for r in &self.instants {
+            out.push_str(&format!(
+                "{:<5} {:<16} {:>8} {:>14} {:>14}\n",
+                r.node,
+                r.kind.name(),
+                r.count,
+                "-",
+                format!("arg={}", r.arg_sum),
+            ));
+        }
+        for (node, ns) in &self.node_attributed {
+            out.push_str(&format!(
+                "node {node}: busiest-thread attributed {}\n",
+                VTime(*ns)
+            ));
+        }
+        out
+    }
+
+    /// Hand-encoded JSON object (no serde).
+    pub fn json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"threads\":{},\"events\":{},\"dropped\":{},\"unbalanced\":{},",
+            self.threads, self.events, self.dropped, self.unbalanced
+        ));
+        s.push_str("\"spans\":[");
+        for (i, r) in self.spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"node\":{},\"kind\":\"{}\",\"count\":{},\"self_ns\":{},\"total_ns\":{}}}",
+                r.node,
+                r.kind.name(),
+                r.count,
+                r.self_ns,
+                r.total_ns
+            ));
+        }
+        s.push_str("],\"instants\":[");
+        for (i, r) in self.instants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"node\":{},\"kind\":\"{}\",\"count\":{},\"arg_sum\":{}}}",
+                r.node,
+                r.kind.name(),
+                r.count,
+                r.arg_sum
+            ));
+        }
+        s.push_str("],\"node_attributed\":[");
+        for (i, (node, ns)) in self.node_attributed.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"node\":{node},\"attributed_ns\":{ns}}}"));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Declaration-order index of a kind, for stable row sorting.
+fn kind_order(kind: EventKind) -> usize {
+    EventKind::ALL.iter().position(|k| *k == kind).unwrap_or(0)
+}
+
+/// Aggregate drained thread traces into a [`TraceReport`].
+///
+/// Pure function of its input — property tests drive it directly with
+/// synthetic traces, no global session needed.
+pub fn aggregate(threads: &[ThreadTrace]) -> TraceReport {
+    let mut spans: BTreeMap<(u32, usize), SpanRow> = BTreeMap::new();
+    let mut instants: BTreeMap<(u32, usize), InstantRow> = BTreeMap::new();
+    let mut attributed: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut events = 0u64;
+    let mut dropped = 0u64;
+    let mut unbalanced = 0u64;
+
+    for t in threads {
+        events += t.events.len() as u64;
+        dropped += t.dropped;
+        let node = t.identity.node;
+        // Open-span stack: (kind, begin vtime, accumulated child time).
+        let mut stack: Vec<(EventKind, VTime, u64)> = Vec::new();
+        let mut thread_excl = 0u64;
+        for ev in &t.events {
+            match ev.phase {
+                Phase::Instant => {
+                    let row = instants
+                        .entry((node, kind_order(ev.kind)))
+                        .or_insert(InstantRow {
+                            node,
+                            kind: ev.kind,
+                            count: 0,
+                            arg_sum: 0,
+                        });
+                    row.count += 1;
+                    row.arg_sum += ev.arg;
+                }
+                Phase::Begin => stack.push((ev.kind, ev.vtime, 0)),
+                Phase::End => {
+                    // Ends must match the innermost open span of the same
+                    // kind; a mismatched end (truncated begin lost to ring
+                    // wrap, or crossed spans) is dropped and counted.
+                    match stack.last() {
+                        Some((k, _, _)) if *k == ev.kind => {
+                            let (kind, begin, child) = stack.pop().unwrap();
+                            let dur = ev.vtime.saturating_sub(begin).as_nanos();
+                            let own = dur.saturating_sub(child);
+                            let row = spans.entry((node, kind_order(kind))).or_insert(SpanRow {
+                                node,
+                                kind,
+                                count: 0,
+                                self_ns: 0,
+                                total_ns: 0,
+                            });
+                            row.count += 1;
+                            row.self_ns += own;
+                            row.total_ns += dur;
+                            thread_excl += own;
+                            if let Some(parent) = stack.last_mut() {
+                                parent.2 += dur;
+                            }
+                        }
+                        _ => unbalanced += 1,
+                    }
+                }
+            }
+        }
+        unbalanced += stack.len() as u64;
+        let a = attributed.entry(node).or_insert(0);
+        *a = (*a).max(thread_excl);
+    }
+
+    TraceReport {
+        spans: spans.into_values().collect(),
+        instants: instants.into_values().collect(),
+        node_attributed: attributed.into_iter().collect(),
+        threads: threads.len(),
+        events,
+        dropped,
+        unbalanced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Identity, TraceEvent};
+
+    fn t(node: u32, events: Vec<TraceEvent>) -> ThreadTrace {
+        ThreadTrace {
+            identity: Identity {
+                node,
+                name: format!("n{node}"),
+            },
+            events,
+            dropped: 0,
+        }
+    }
+
+    fn b(kind: EventKind, ns: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            phase: Phase::Begin,
+            arg: 0,
+            vtime: VTime(ns),
+            wall_ns: ns,
+        }
+    }
+
+    fn e(kind: EventKind, ns: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            phase: Phase::End,
+            arg: 0,
+            vtime: VTime(ns),
+            wall_ns: ns,
+        }
+    }
+
+    fn i(kind: EventKind, arg: u64, ns: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            phase: Phase::Instant,
+            arg,
+            vtime: VTime(ns),
+            wall_ns: ns,
+        }
+    }
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        // omp.barrier [0,100] containing dsm.barrier [10,90] containing
+        // dsm.fetch [20,50]: self times 20/50/30, all totals inclusive.
+        let tr = t(
+            0,
+            vec![
+                b(EventKind::OmpBarrier, 0),
+                b(EventKind::DsmBarrier, 10),
+                b(EventKind::DsmFetch, 20),
+                e(EventKind::DsmFetch, 50),
+                e(EventKind::DsmBarrier, 90),
+                e(EventKind::OmpBarrier, 100),
+            ],
+        );
+        let r = aggregate(&[tr]);
+        assert_eq!(r.unbalanced, 0);
+        let by_kind = |k: EventKind| r.spans.iter().find(|s| s.kind == k).unwrap();
+        assert_eq!(by_kind(EventKind::DsmFetch).self_ns, 30);
+        assert_eq!(by_kind(EventKind::DsmBarrier).self_ns, 50);
+        assert_eq!(by_kind(EventKind::DsmBarrier).total_ns, 80);
+        assert_eq!(by_kind(EventKind::OmpBarrier).self_ns, 20);
+        assert_eq!(by_kind(EventKind::OmpBarrier).total_ns, 100);
+        // Exclusive sum == outermost total, and that's the node attribution.
+        assert_eq!(r.attributed_ns(0), 100);
+    }
+
+    #[test]
+    fn mismatched_ends_are_counted_not_crashed() {
+        let tr = t(
+            1,
+            vec![
+                e(EventKind::OmpBarrier, 5), // end with no begin
+                b(EventKind::DsmLock, 10),   // begin never ended
+            ],
+        );
+        let r = aggregate(&[tr]);
+        assert_eq!(r.unbalanced, 2);
+        assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn instants_aggregate_args() {
+        let tr = t(
+            0,
+            vec![
+                i(EventKind::DsmDiff, 100, 1),
+                i(EventKind::DsmDiff, 28, 2),
+                i(EventKind::OmpForChunk, 7, 3),
+            ],
+        );
+        let r = aggregate(&[tr]);
+        let diff = r
+            .instants
+            .iter()
+            .find(|x| x.kind == EventKind::DsmDiff)
+            .unwrap();
+        assert_eq!(diff.count, 2);
+        assert_eq!(diff.arg_sum, 128);
+        assert_eq!(r.events, 3);
+    }
+
+    #[test]
+    fn attribution_takes_busiest_thread_per_node() {
+        let t1 = t(
+            0,
+            vec![b(EventKind::OmpBarrier, 0), e(EventKind::OmpBarrier, 50)],
+        );
+        let t2 = t(
+            0,
+            vec![b(EventKind::OmpBarrier, 0), e(EventKind::OmpBarrier, 80)],
+        );
+        let r = aggregate(&[t1, t2]);
+        assert_eq!(r.attributed_ns(0), 80); // max, not 130
+        let row = &r.spans[0];
+        assert_eq!(row.count, 2); // but the row sums both threads
+        assert_eq!(row.total_ns, 130);
+    }
+
+    #[test]
+    fn report_json_is_wellformed() {
+        let tr = t(
+            0,
+            vec![
+                b(EventKind::MpiBcast, 0),
+                e(EventKind::MpiBcast, 10),
+                i(EventKind::CollRound, 1, 5),
+            ],
+        );
+        let r = aggregate(&[tr]);
+        crate::jsonck::validate_json(&r.json()).expect("report json must parse");
+        assert!(r.json().contains("\"mpi.bcast\""));
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixed-capacity per-thread event rings.
+//!
+//! A ring never reallocates after construction: when full, `push`
+//! overwrites the **oldest** event and bumps an exact drop counter, so the
+//! collector can report precisely how much history was lost. Keeping the
+//! newest events is the right bias for overhead attribution — the tail of
+//! a run is where convergence stalls show up.
+
+use crate::event::{Identity, TraceEvent};
+
+/// One thread's event buffer.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<TraceEvent>,
+    /// Logical capacity (explicit: `Vec::with_capacity` may over-allocate).
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    len: usize,
+    dropped: u64,
+    identity: Identity,
+}
+
+impl Ring {
+    /// `cap` is clamped to at least 2 so Begin/End pairs can coexist.
+    pub fn new(cap: usize) -> Ring {
+        Ring::with_identity(cap, Identity::untagged())
+    }
+
+    pub fn with_identity(cap: usize, identity: Identity) -> Ring {
+        let cap = cap.max(2);
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            len: 0,
+            dropped: 0,
+            identity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exact number of events overwritten since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn identity(&self) -> &Identity {
+        &self.identity
+    }
+
+    pub fn set_identity(&mut self, identity: Identity) {
+        self.identity = identity;
+    }
+
+    pub fn push(&mut self, ev: TraceEvent) {
+        let cap = self.cap;
+        if self.len < cap {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            // Full: overwrite the oldest slot and advance the head.
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Surviving events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.len);
+        out.extend_from_slice(&self.buf[self.head..self.len]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Drain into a [`ThreadTrace`], leaving the ring empty (drop counter
+    /// and identity are carried out and reset).
+    pub fn take(&mut self) -> ThreadTrace {
+        let events = self.events();
+        let dropped = self.dropped;
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        self.dropped = 0;
+        ThreadTrace {
+            identity: self.identity.clone(),
+            events,
+            dropped,
+        }
+    }
+}
+
+/// The drained contents of one thread's ring.
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    pub identity: Identity,
+    /// Surviving events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring wrap (always the oldest ones).
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Phase};
+    use parade_net::VTime;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent {
+            kind: EventKind::OmpForChunk,
+            phase: Phase::Instant,
+            arg: i,
+            vtime: VTime(i),
+            wall_ns: i,
+        }
+    }
+
+    #[test]
+    fn keeps_newest_and_counts_drops() {
+        let mut r = Ring::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let args: Vec<u64> = r.events().iter().map(|e| e.arg).collect();
+        assert_eq!(args, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut r = Ring::new(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.push(ev(2));
+        let t = r.take();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.dropped, 1);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn tiny_capacity_is_clamped() {
+        let r = Ring::new(0);
+        assert_eq!(r.capacity(), 2);
+    }
+}

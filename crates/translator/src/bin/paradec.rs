@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! paradec translate <file.c> [--mode parade|sdsm] [--threshold N]
-//! paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm]
+//! paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm] [--trace FILE]
 //! paradec check <file.c>
 //! ```
 //!
@@ -18,8 +18,10 @@ use parade_translator::parser::parse;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  paradec translate <file.c> [--mode parade|sdsm] [--threshold N]\n  \
-         paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm]\n  \
-         paradec check <file.c>"
+         paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm] [--trace FILE]\n  \
+         paradec check <file.c>\n\
+  --trace FILE: record the run and write a Chrome trace_event file\n\
+                (open in chrome://tracing or Perfetto); same as PARADE_TRACE=FILE"
     );
     std::process::exit(2);
 }
@@ -35,6 +37,7 @@ fn main() {
     let mut nodes = 2usize;
     let mut threads = 2usize;
     let mut threshold = parade_translator::analysis::DEFAULT_SMALL_THRESHOLD;
+    let mut trace_path: Option<String> = None;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -57,6 +60,10 @@ fn main() {
                     .unwrap_or_else(|| usage())
                     .parse()
                     .expect("bad --threads");
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
             }
             "--threshold" => {
                 i += 1;
@@ -105,6 +112,10 @@ fn main() {
             }
         }
         "run" => {
+            if let Some(path) = &trace_path {
+                // The runtime reads this when the cluster launches.
+                std::env::set_var("PARADE_TRACE", path);
+            }
             let protocol = match mode.as_str() {
                 "sdsm" => ProtocolMode::SdsmOnly,
                 _ => ProtocolMode::Parade,
@@ -120,6 +131,9 @@ fn main() {
             match Interp::new(prog).with_threshold(threshold).run(&cluster) {
                 Ok(out) => {
                     print!("{}", out.stdout);
+                    if let Some(path) = &trace_path {
+                        eprintln!("[paradec] trace written to {path}");
+                    }
                     eprintln!("[paradec] exit code {}", out.exit);
                     std::process::exit(out.exit as i32);
                 }

@@ -29,6 +29,17 @@ cargo test -q --offline --workspace
 echo "== cargo build --offline --benches --bins (bench harness compiles) =="
 cargo build --offline --workspace --benches --bins
 
+echo "== traced smoke run (figures -- trace) =="
+TRACE_TMP="$(mktemp -d)"
+PARADE_TRACE="$TRACE_TMP/smoke_trace.json" \
+  cargo run -q --offline -p parade-bench --bin figures -- trace --quick \
+  > "$TRACE_TMP/breakdown.md"
+# trace_breakdown already validates the JSON and the report in-process and
+# exits nonzero on failure; double-check the artifacts are non-empty.
+test -s "$TRACE_TMP/smoke_trace.json"
+grep -q "omp.barrier" "$TRACE_TMP/breakdown.md"
+rm -rf "$TRACE_TMP"
+
 if cargo fmt --version >/dev/null 2>&1; then
   echo "== cargo fmt --check =="
   cargo fmt --check

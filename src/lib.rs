@@ -30,6 +30,9 @@
 //! * [`translator`] — the OpenMP translator: mini-C + OpenMP 1.0 frontend,
 //!   directive lowering, translated-source emitter, interpreter.
 //! * [`kernels`] — NAS CG/EP, Helmholtz, MD, and syncbench workloads.
+//! * [`trace`] — virtual-time event tracing: per-thread rings, Chrome
+//!   `trace_event` export, per-construct overhead attribution
+//!   (`PARADE_TRACE=<path>`).
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@ pub use parade_dsm as dsm;
 pub use parade_kernels as kernels;
 pub use parade_mpi as mpi;
 pub use parade_net as net;
+pub use parade_trace as trace;
 pub use parade_translator as translator;
 
 /// Convenient re-exports for application code.
