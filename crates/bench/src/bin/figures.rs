@@ -10,16 +10,19 @@
 //! paper's plots; `--csv DIR` additionally writes CSV files.
 
 use parade_bench::{
-    ablation_fabric, ablation_home, ablation_schedules, all_figures, fig10, fig11, fig6, fig7,
-    fig8, fig9, trace_breakdown, update_methods, write_tables_json, FigureOpts, Table,
+    ablation_fabric, ablation_home, ablation_schedules, all_figures, chaos_smoke, fig10, fig11,
+    fig6, fig7, fig8, fig9, trace_breakdown, update_methods, write_tables_json, FigureOpts, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|all> \
+        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|chaos-smoke|all> \
          [--class s|w|a] [--nodes 1,2,4,8] [--scale F] [--with-mpi] [--quick] [--csv DIR]\n\
          trace: traced smoke run — writes a Chrome trace (PARADE_TRACE, default \
-         parade_trace.json), validates it, prints the breakdown"
+         parade_trace.json), validates it, prints the breakdown\n\
+         chaos-smoke: seeded fault-injection soak — CG class S under a lossy \
+         wire (PARADE_CHAOS or the pinned lossy schedule) must stay \
+         bit-identical to a clean run with >=1 retransmission"
     );
     std::process::exit(2);
 }
@@ -98,6 +101,13 @@ fn main() {
             Ok(ts) => ts,
             Err(e) => {
                 eprintln!("figures trace: {e}");
+                std::process::exit(1);
+            }
+        },
+        "chaos-smoke" | "chaos_smoke" => match chaos_smoke(&opts) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("figures chaos-smoke: {e}");
                 std::process::exit(1);
             }
         },

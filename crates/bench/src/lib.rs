@@ -617,6 +617,83 @@ pub fn trace_breakdown(opts: &FigureOpts) -> Result<Vec<Table>, String> {
     Ok(vec![per_node, spans])
 }
 
+/// Seeded chaos soak (`figures -- chaos-smoke`): run NPB CG class S under
+/// a lossy fault schedule and a chaos-free control, and fail unless the
+/// reliable channel made the run both *correct* — NPB-verified and
+/// bit-identical to the control — and *non-trivial* — at least one
+/// retransmission happened and no link died.
+///
+/// Honors `PARADE_CHAOS` (same mini-language as everywhere else); when the
+/// variable is unset or names no active fault, falls back to the pinned
+/// [`ChaosProfile::lossy`] schedule the soak tests use, so CI always
+/// exercises a hostile wire.
+pub fn chaos_smoke(opts: &FigureOpts) -> Result<Vec<Table>, String> {
+    use parade_net::ChaosProfile;
+    let chaos = {
+        let env = ChaosProfile::from_env();
+        if env.is_active() {
+            env
+        } else {
+            ChaosProfile::lossy(0xC6A0_5EED)
+        }
+    };
+    let nodes = opts.nodes.iter().copied().find(|&n| n >= 4).unwrap_or(4);
+    let cfg = |chaos: ChaosProfile| ClusterConfig {
+        nodes,
+        net: NetProfile::clan_via(),
+        time: TimeSource::Manual,
+        chaos,
+        ..ClusterConfig::default()
+    };
+    let (clean, _) = cg_parade(&Cluster::from_config(cfg(ChaosProfile::off())), CgClass::S);
+    let (chaotic, report) = cg_parade(&Cluster::from_config(cfg(chaos.clone())), CgClass::S);
+
+    if let Some(err) = &report.cluster.fabric_error {
+        return Err(format!("chaos-smoke: link died during soak: {err}"));
+    }
+    if !chaotic.verify(CgClass::S) {
+        return Err(format!(
+            "chaos-smoke: CG class S failed NPB verification under chaos: zeta={}",
+            chaotic.zeta
+        ));
+    }
+    if chaotic.zeta.to_bits() != clean.zeta.to_bits()
+        || chaotic.rnorm.to_bits() != clean.rnorm.to_bits()
+    {
+        return Err(format!(
+            "chaos-smoke: chaos perturbed the arithmetic: zeta {} vs {}, rnorm {} vs {}",
+            chaotic.zeta, clean.zeta, chaotic.rnorm, clean.rnorm
+        ));
+    }
+    let h = report.cluster.link_health_totals();
+    if h.retransmits == 0 {
+        return Err(format!(
+            "chaos-smoke: fault schedule injected no retransmission — soak proves nothing: {h:?}"
+        ));
+    }
+
+    let mut t = Table::new(
+        format!(
+            "Chaos smoke — CG class S on {nodes} nodes, seed {:#x} \
+             (drop {:.1}%, dup {:.1}%, reorder {:.1}%, delay {:.1}%)",
+            chaos.seed,
+            chaos.base.drop * 100.0,
+            chaos.base.duplicate * 100.0,
+            chaos.base.reorder * 100.0,
+            chaos.base.delay * 100.0,
+        ),
+        &["check", "value"],
+    );
+    t.row(vec![
+        "zeta (bit-identical to clean run)".into(),
+        format!("{}", chaotic.zeta),
+    ]);
+    for (k, v) in h.fields() {
+        t.row(vec![k.into(), v.to_string()]);
+    }
+    Ok(vec![t])
+}
+
 /// All figures, in paper order.
 pub fn all_figures(opts: &FigureOpts) -> Vec<Table> {
     vec![
@@ -645,6 +722,20 @@ mod tests {
         assert!(md.contains("### T"));
         assert!(md.contains("| 1 "));
         assert_eq!(t.csv(), "a,bb\n1,2\n");
+    }
+
+    #[test]
+    fn chaos_smoke_passes_and_reports_retransmissions() {
+        let tables = chaos_smoke(&FigureOpts::quick()).expect("soak must pass");
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.title.contains("Chaos smoke"));
+        let retx = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "retransmits")
+            .expect("retransmit row");
+        assert!(retx[1].parse::<u64>().unwrap() >= 1);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! all protocol knobs in one place.
 
 use parade_dsm::{CommCosts, DsmConfig, HomePolicy, LockKind, UpdateStrategy};
-use parade_net::{NetProfile, TimeSource};
+use parade_net::{ChaosProfile, NetProfile, TimeSource};
 
 /// The three measurement configurations of the paper's §6.2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,6 +96,10 @@ pub struct ClusterConfig {
     /// Home policy override; `None` derives it from `protocol`
     /// (Parade → Migratory, SdsmOnly → Fixed).
     pub home_policy: Option<HomePolicy>,
+    /// Fault injection for the fabric. The default honours the
+    /// `PARADE_CHAOS` environment variable (off when unset), so any run
+    /// can be soaked under chaos without code changes.
+    pub chaos: ChaosProfile,
 }
 
 impl Default for ClusterConfig {
@@ -112,6 +116,7 @@ impl Default for ClusterConfig {
             update_strategy: UpdateStrategy::MmapFile,
             lock_kind: LockKind::Queued,
             home_policy: None,
+            chaos: ChaosProfile::from_env(),
         }
     }
 }
@@ -199,6 +204,15 @@ mod tests {
         match c.time_source(1) {
             TimeSource::ThreadCpu { scale } => assert_eq!(scale, 5.0),
             _ => panic!("wrong source"),
+        }
+    }
+
+    #[test]
+    fn chaos_defaults_to_env_or_off() {
+        // The test environment does not set PARADE_CHAOS, so the default
+        // config must leave the fabric clean.
+        if std::env::var("PARADE_CHAOS").is_err() {
+            assert!(!ClusterConfig::default().chaos.is_active());
         }
     }
 

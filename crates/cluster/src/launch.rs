@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parade_dsm::{spawn_comm_thread, Dsm, DsmStatsSnapshot};
 use parade_mpi::Communicator;
-use parade_net::{Fabric, NodeTraffic, Traffic, VClock};
+use parade_net::{Fabric, FabricError, LinkHealth, NodeTraffic, Traffic, VClock, VTime};
 use parade_trace as trace;
 
 use crate::config::ClusterConfig;
@@ -41,6 +41,10 @@ pub struct ClusterReport {
     pub traffic: Traffic,
     /// Per-node traffic, both directions.
     pub net: Vec<NodeTraffic>,
+    /// Per-node reliable-channel counters (all quiet without chaos).
+    pub link_health: Vec<LinkHealth>,
+    /// First retry-budget exhaustion, if any link died during the run.
+    pub fabric_error: Option<FabricError>,
 }
 
 impl ClusterReport {
@@ -49,6 +53,15 @@ impl ClusterReport {
         let mut t = DsmStatsSnapshot::default();
         for s in &self.dsm {
             t.merge(s);
+        }
+        t
+    }
+
+    /// Cluster-wide reliable-channel counters.
+    pub fn link_health_totals(&self) -> LinkHealth {
+        let mut t = LinkHealth::default();
+        for h in &self.link_health {
+            t.add(*h);
         }
         t
     }
@@ -69,7 +82,14 @@ where
         cfg.threads_per_node() > 0,
         "cluster needs at least one compute thread per node"
     );
-    let fabric = Fabric::new(cfg.nodes, cfg.net);
+    let fabric = Fabric::with_chaos(cfg.nodes, cfg.net, cfg.chaos.clone());
+    if fabric.chaos().is_active() {
+        // Surface reliable-channel activity in traces: one `net.retransmit`
+        // instant per retransmission, attributed to the sending thread.
+        fabric.set_retransmit_hook(Box::new(|_src, dst, _seq, vt: VTime| {
+            trace::instant(trace::EventKind::NetRetransmit, dst as u64, vt);
+        }));
+    }
     let dsms: Vec<Arc<Dsm>> = (0..cfg.nodes)
         .map(|i| Arc::new(Dsm::new(fabric.endpoint(i), cfg.dsm_config())))
         .collect();
@@ -106,6 +126,8 @@ where
         dsm: dsms.iter().map(|d| d.stats.snapshot()).collect(),
         traffic: fabric.stats().totals(),
         net: fabric.stats().snapshot(),
+        link_health: fabric.stats().link_health(),
+        fabric_error: fabric.stats().fabric_error(),
     };
     fabric.begin_shutdown();
     for h in comm_threads {
@@ -153,6 +175,37 @@ mod tests {
         assert_eq!(out, vec![93, 93, 93]);
         assert!(report.dsm_totals().barriers >= 6);
         assert!(report.traffic.msgs > 0);
+    }
+
+    #[test]
+    fn chaos_run_matches_clean_run_and_records_retransmits() {
+        use parade_net::ChaosProfile;
+        let program = |env: NodeEnv| {
+            let mut clk = env.new_clock();
+            let r = env.dsm.alloc_region(256).unwrap();
+            env.dsm.barrier(&mut clk);
+            if env.node == 0 {
+                for i in 0..32 {
+                    env.dsm.write::<i64>(r, i * 8, (i as i64) * 3 + 1, &mut clk);
+                }
+            }
+            env.dsm.barrier(&mut clk);
+            let mut sum = 0;
+            for i in 0..32 {
+                sum += env.dsm.read::<i64>(r, i * 8, &mut clk);
+            }
+            env.comm.allreduce_i64(sum, ReduceOp::Sum, &mut clk)
+        };
+        let (clean, _) = launch(tiny(3), program);
+        let cfg = ClusterConfig {
+            chaos: ChaosProfile::lossy(0xD00D),
+            ..tiny(3)
+        };
+        let (chaotic, report) = launch(cfg, program);
+        assert_eq!(clean, chaotic, "chaos must not change results");
+        assert!(report.fabric_error.is_none());
+        let h = report.link_health_totals();
+        assert!(h.retransmits + h.dup_drops + h.reseq_holds > 0, "{h:?}");
     }
 
     #[test]

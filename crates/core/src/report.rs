@@ -13,7 +13,7 @@
 use std::fmt::Write as _;
 
 use parade_dsm::DsmStatsSnapshot;
-use parade_net::{NodeTraffic, VTime};
+use parade_net::{FabricError, LinkHealth, NodeTraffic, VTime};
 use parade_trace::TraceReport;
 
 use crate::team::RunReport;
@@ -35,6 +35,10 @@ pub struct StatsReport {
     pub dsm: DsmStatsSnapshot,
     /// Per-node fabric traffic, both directions.
     pub net: Vec<NodeTraffic>,
+    /// Per-node reliable-channel counters (all quiet on a chaos-free run).
+    pub link_health: Vec<LinkHealth>,
+    /// First fatal link error, when a retry budget was exhausted.
+    pub fabric_error: Option<FabricError>,
     /// Per-construct virtual-time breakdown, when the run was traced.
     pub trace: Option<TraceReport>,
 }
@@ -49,8 +53,19 @@ impl StatsReport {
             node_comm: report.node_comm.clone(),
             dsm: report.cluster.dsm_totals(),
             net: report.cluster.net.clone(),
+            link_health: report.cluster.link_health.clone(),
+            fabric_error: report.cluster.fabric_error.clone(),
             trace: report.trace.clone(),
         }
+    }
+
+    /// Reliable-channel counters summed over nodes.
+    pub fn link_health_totals(&self) -> LinkHealth {
+        let mut t = LinkHealth::default();
+        for h in &self.link_health {
+            t.add(*h);
+        }
+        t
     }
 
     /// Plain-text block: per-node time/traffic table, non-zero DSM
@@ -106,6 +121,19 @@ impl StatsReport {
                 nonzero.join(" ")
             }
         );
+        let health = self.link_health_totals();
+        if !health.is_quiet() {
+            let fields: Vec<String> = health
+                .fields()
+                .into_iter()
+                .filter(|(_, v)| *v > 0)
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let _ = writeln!(s, "net reliability: {}", fields.join(" "));
+        }
+        if let Some(err) = &self.fabric_error {
+            let _ = writeln!(s, "FABRIC ERROR: {err}");
+        }
         match &self.trace {
             Some(tr) if !tr.is_empty() => {
                 s.push_str(&tr.render());
@@ -162,6 +190,21 @@ impl StatsReport {
             .map(|(k, v)| format!("\"{k}\": {v}"))
             .collect();
         let _ = writeln!(s, "  \"dsm\": {{{}}},", dsm.join(", "));
+        let health: Vec<String> = self
+            .link_health_totals()
+            .fields()
+            .into_iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        let _ = writeln!(s, "  \"link_health\": {{{}}},", health.join(", "));
+        match &self.fabric_error {
+            Some(err) => {
+                let _ = writeln!(s, "  \"fabric_error\": {},", jstr(&err.to_string()));
+            }
+            None => {
+                let _ = writeln!(s, "  \"fabric_error\": null,");
+            }
+        }
         match &self.trace {
             Some(tr) => {
                 let _ = writeln!(s, "  \"trace\": {}", tr.json());
@@ -268,7 +311,51 @@ mod tests {
         parade_trace::validate_json(&js).expect("stats JSON well-formed");
         assert!(js.contains("\"barriers\""));
         assert!(js.contains("\"recv_bytes\""));
+        assert!(js.contains("\"link_health\""));
+        assert!(js.contains("\"fabric_error\": null"));
         assert!(js.contains("\"trace\": null"));
+        // A clean run has a quiet reliable channel and no error block in
+        // the text rendering.
+        assert!(sr.link_health_totals().is_quiet());
+        assert!(!text.contains("net reliability"));
+        assert!(!text.contains("FABRIC ERROR"));
+    }
+
+    #[test]
+    fn fabric_error_and_reliability_reach_the_report() {
+        use parade_net::{FabricError, LinkHealth, MsgClass, VTime};
+        let mut sr = StatsReport::from_run("faulty", &run_report());
+        sr.link_health = vec![
+            LinkHealth {
+                retransmits: 3,
+                timeouts: 4,
+                chaos_drops: 4,
+                dup_drops: 1,
+                reseq_holds: 2,
+                send_failures: 1,
+            },
+            LinkHealth::default(),
+        ];
+        sr.fabric_error = Some(FabricError {
+            src: 0,
+            dst: 1,
+            class: MsgClass::Dsm,
+            tag: 42,
+            seq: 7,
+            attempts: 11,
+            gave_up_at: VTime::from_micros(500),
+        });
+        let text = sr.render();
+        assert!(text.contains("net reliability: retransmits=3"), "{text}");
+        assert!(
+            text.contains("FABRIC ERROR: fabric link 0->1 dead"),
+            "{text}"
+        );
+        assert!(text.contains("DSM protocol request"), "{text}");
+        let js = sr.json();
+        parade_trace::validate_json(&js).expect("stats JSON well-formed");
+        assert!(js.contains("\"retransmits\": 3"));
+        assert!(js.contains("\"fabric_error\": \"fabric link 0->1 dead"));
     }
 
     #[test]

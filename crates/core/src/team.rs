@@ -288,6 +288,12 @@ impl ClusterBuilder {
         self
     }
 
+    /// Inject faults into the fabric (see `parade_net::ChaosProfile`).
+    pub fn chaos(mut self, c: parade_net::ChaosProfile) -> Self {
+        self.cfg.chaos = c;
+        self
+    }
+
     pub fn config(mut self, cfg: ClusterConfig) -> Self {
         self.cfg = cfg;
         self

@@ -342,6 +342,53 @@ mod tests {
     }
 
     #[test]
+    fn collectives_survive_a_lossy_fabric() {
+        use parade_net::{ChaosKnobs, ChaosProfile, VTime};
+        let chaos = ChaosProfile {
+            base: ChaosKnobs {
+                drop: 0.10,
+                duplicate: 0.05,
+                reorder: 0.10,
+                delay: 0.20,
+                delay_jitter: VTime::from_micros(30),
+            },
+            ..ChaosProfile::lossy(0x5EED)
+        };
+        let fabric = Fabric::with_chaos(4, NetProfile::clan_via(), chaos);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let comm = Arc::new(Communicator::new(fabric.endpoint(i)));
+                std::thread::spawn(move || {
+                    let mut clk = VClock::manual();
+                    let mut out = Vec::new();
+                    for round in 0..10 {
+                        comm.barrier(&mut clk);
+                        let mut xs = vec![(comm.rank() + round) as f64; 4];
+                        comm.bcast_f64s(round % comm.size(), &mut xs, &mut clk);
+                        let s = comm.allreduce_f64(xs[0], ReduceOp::Sum, &mut clk);
+                        out.push(s);
+                    }
+                    out
+                })
+            })
+            .collect();
+        let results: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every rank agrees, and the values match the chaos-free formula:
+        // rank (round % 4) broadcasts (root + round), summed over 4 ranks.
+        for (rank, r) in results.iter().enumerate() {
+            for (round, v) in r.iter().enumerate() {
+                let expect = 4.0 * ((round % 4) + round) as f64;
+                assert_eq!(*v, expect, "rank {rank} round {round}");
+            }
+        }
+        let h = fabric.stats().link_health_totals();
+        assert!(
+            h.retransmits + h.dup_drops + h.reseq_holds > 0,
+            "a 10%-loss fabric must exercise the reliable channel: {h:?}"
+        );
+    }
+
+    #[test]
     fn bcast_delivers_root_data() {
         for n in [1, 2, 3, 4, 7, 8] {
             let out = run_all(n, |c, clk| {

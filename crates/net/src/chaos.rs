@@ -1,0 +1,282 @@
+//! Seeded fault injection for the fabric.
+//!
+//! A [`ChaosProfile`] describes how hostile the interconnect is: per-link /
+//! per-class probabilities of dropping, duplicating, reordering, and
+//! delaying a message, plus the reliable-channel knobs (retransmit timeout,
+//! exponential backoff, retry budget) that [`crate::Fabric`] uses to absorb
+//! the injected faults.
+//!
+//! Every chaos decision is derived *statelessly* from
+//! `(profile.seed, src, dst, class, link sequence number, attempt)` through
+//! [`parade_testkit::rng::TestRng`], so a given packet's fate never depends
+//! on thread scheduling: the same seed replays the same fault schedule for
+//! the same traffic, and two runs that exchange the same payloads compute
+//! bit-identical results regardless of host timing.
+//!
+//! Intra-node (`src == dst`) traffic is exempt — a shared-memory hand-off
+//! cannot lose messages — mirroring real cluster transports where only the
+//! wire is unreliable.
+
+use crate::packet::MsgClass;
+use crate::vtime::VTime;
+
+/// Fault probabilities and jitter for one link/class combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosKnobs {
+    /// Probability that one transmission (data *or* ack) is lost.
+    pub drop: f64,
+    /// Probability that a delivered message is duplicated in the network.
+    pub duplicate: f64,
+    /// Probability that a delivered message is reordered past later traffic
+    /// on the same link (exercises the receive-side resequencer).
+    pub reorder: f64,
+    /// Probability that a delivered message suffers extra delay jitter.
+    pub delay: f64,
+    /// Maximum extra delay charged when `delay` triggers (uniform in
+    /// `[0, delay_jitter]`), on top of the profile's transfer cost.
+    pub delay_jitter: VTime,
+}
+
+impl ChaosKnobs {
+    /// No faults at all.
+    pub const CALM: ChaosKnobs = ChaosKnobs {
+        drop: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+        delay: 0.0,
+        delay_jitter: VTime::ZERO,
+    };
+
+    /// Does this knob set inject any fault?
+    pub fn is_active(&self) -> bool {
+        self.drop > 0.0 || self.duplicate > 0.0 || self.reorder > 0.0 || self.delay > 0.0
+    }
+}
+
+/// Full fault-injection configuration for a fabric.
+///
+/// `base` applies to every inter-node message; `per_class` and `per_link`
+/// override it (a link override wins over a class override). The reliable
+/// channel is engaged whenever any knob set is active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosProfile {
+    /// Seed of the deterministic fault schedule.
+    pub seed: u64,
+    /// Default knobs for all inter-node traffic.
+    pub base: ChaosKnobs,
+    /// Per-[`MsgClass`] overrides (indexed by `MsgClass::index()`).
+    pub per_class: [Option<ChaosKnobs>; 4],
+    /// Per-link `(src, dst)` overrides; win over class overrides.
+    pub per_link: Vec<(usize, usize, ChaosKnobs)>,
+    /// Base retransmit timeout (virtual time) before the first resend.
+    pub rto: VTime,
+    /// Timeout multiplier per retry (exponential backoff).
+    pub backoff: u32,
+    /// Retransmissions allowed before the link is declared dead.
+    pub retry_budget: u32,
+}
+
+impl ChaosProfile {
+    /// No fault injection: the fabric behaves exactly as before.
+    pub fn off() -> ChaosProfile {
+        ChaosProfile {
+            seed: 0,
+            base: ChaosKnobs::CALM,
+            per_class: [None; 4],
+            per_link: Vec::new(),
+            rto: VTime::from_micros(200),
+            backoff: 2,
+            retry_budget: 10,
+        }
+    }
+
+    /// A moderately lossy wire: the pinned profile the soak tests use.
+    /// Drop 2%, duplicate 1%, reorder 5%, delay 10% with up to 20 µs of
+    /// jitter.
+    pub fn lossy(seed: u64) -> ChaosProfile {
+        ChaosProfile {
+            seed,
+            base: ChaosKnobs {
+                drop: 0.02,
+                duplicate: 0.01,
+                reorder: 0.05,
+                delay: 0.10,
+                delay_jitter: VTime::from_micros(20),
+            },
+            ..ChaosProfile::off()
+        }
+    }
+
+    /// Is any fault injection configured anywhere?
+    pub fn is_active(&self) -> bool {
+        self.base.is_active()
+            || self.per_class.iter().flatten().any(ChaosKnobs::is_active)
+            || self.per_link.iter().any(|(_, _, k)| k.is_active())
+    }
+
+    /// The knobs governing one message, resolving the override chain.
+    pub fn knobs(&self, src: usize, dst: usize, class: MsgClass) -> ChaosKnobs {
+        if let Some((_, _, k)) = self
+            .per_link
+            .iter()
+            .find(|(s, d, _)| *s == src && *d == dst)
+        {
+            return *k;
+        }
+        self.per_class[class.index()].unwrap_or(self.base)
+    }
+
+    /// Override the knobs for one message class.
+    pub fn with_class(mut self, class: MsgClass, k: ChaosKnobs) -> ChaosProfile {
+        self.per_class[class.index()] = Some(k);
+        self
+    }
+
+    /// Override the knobs for one directed link.
+    pub fn with_link(mut self, src: usize, dst: usize, k: ChaosKnobs) -> ChaosProfile {
+        self.per_link.retain(|(s, d, _)| !(*s == src && *d == dst));
+        self.per_link.push((src, dst, k));
+        self
+    }
+
+    /// Parse the `PARADE_CHAOS` mini-language:
+    ///
+    /// ```text
+    /// drop=0.01,dup=0.005,reorder=0.05,delay=0.1,jitter_us=20,
+    /// seed=0xC0FFEE,rto_us=200,backoff=2,budget=10
+    /// ```
+    ///
+    /// Unknown keys or unparsable values are errors; an empty string is
+    /// `ChaosProfile::off()`.
+    pub fn parse(spec: &str) -> Result<ChaosProfile, String> {
+        let mut p = ChaosProfile::off();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, val) = item
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec item {item:?} is not key=value"))?;
+            let fval = || -> Result<f64, String> {
+                let v: f64 = val
+                    .parse()
+                    .map_err(|_| format!("chaos spec: bad number {val:?} for {key}"))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("chaos spec: {key}={v} outside [0, 1]"));
+                }
+                Ok(v)
+            };
+            let uval = || -> Result<u64, String> {
+                let s = val.trim();
+                let r = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    s.parse()
+                };
+                r.map_err(|_| format!("chaos spec: bad integer {val:?} for {key}"))
+            };
+            match key.trim() {
+                "drop" => p.base.drop = fval()?,
+                "dup" | "duplicate" => p.base.duplicate = fval()?,
+                "reorder" => p.base.reorder = fval()?,
+                "delay" => p.base.delay = fval()?,
+                "jitter_us" => p.base.delay_jitter = VTime::from_micros(uval()?),
+                "seed" => p.seed = uval()?,
+                "rto_us" => p.rto = VTime::from_micros(uval()?.max(1)),
+                "backoff" => p.backoff = uval()?.clamp(1, 16) as u32,
+                "budget" => p.retry_budget = uval()?.clamp(1, 64) as u32,
+                other => return Err(format!("chaos spec: unknown key {other:?}")),
+            }
+        }
+        Ok(p)
+    }
+
+    /// Profile from the `PARADE_CHAOS` environment variable; `off()` when
+    /// unset, and a warning (not an abort) on a malformed spec.
+    pub fn from_env() -> ChaosProfile {
+        match std::env::var("PARADE_CHAOS") {
+            Ok(spec) => match ChaosProfile::parse(&spec) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("warning: ignoring PARADE_CHAOS: {e}");
+                    ChaosProfile::off()
+                }
+            },
+            Err(_) => ChaosProfile::off(),
+        }
+    }
+}
+
+impl Default for ChaosProfile {
+    fn default() -> Self {
+        ChaosProfile::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inactive_and_lossy_is_active() {
+        assert!(!ChaosProfile::off().is_active());
+        assert!(ChaosProfile::lossy(1).is_active());
+    }
+
+    #[test]
+    fn override_chain_link_beats_class_beats_base() {
+        let cls = ChaosKnobs {
+            drop: 0.5,
+            ..ChaosKnobs::CALM
+        };
+        let lnk = ChaosKnobs {
+            drop: 1.0,
+            ..ChaosKnobs::CALM
+        };
+        let p = ChaosProfile::lossy(7)
+            .with_class(MsgClass::Coll, cls)
+            .with_link(0, 2, lnk);
+        assert_eq!(p.knobs(0, 1, MsgClass::Dsm).drop, 0.02);
+        assert_eq!(p.knobs(0, 1, MsgClass::Coll).drop, 0.5);
+        // The link override wins for every class on that link.
+        assert_eq!(p.knobs(0, 2, MsgClass::Coll).drop, 1.0);
+        assert_eq!(p.knobs(2, 0, MsgClass::Coll).drop, 0.5);
+    }
+
+    #[test]
+    fn with_link_replaces_existing_override() {
+        let a = ChaosKnobs {
+            drop: 0.3,
+            ..ChaosKnobs::CALM
+        };
+        let b = ChaosKnobs {
+            drop: 0.7,
+            ..ChaosKnobs::CALM
+        };
+        let p = ChaosProfile::off().with_link(1, 2, a).with_link(1, 2, b);
+        assert_eq!(p.per_link.len(), 1);
+        assert_eq!(p.knobs(1, 2, MsgClass::P2p).drop, 0.7);
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let p = ChaosProfile::parse("drop=0.01,reorder=0.05,seed=0xBEEF").unwrap();
+        assert_eq!(p.base.drop, 0.01);
+        assert_eq!(p.base.reorder, 0.05);
+        assert_eq!(p.seed, 0xBEEF);
+        assert!(p.is_active());
+        assert_eq!(
+            ChaosProfile::parse("dup=0.5,jitter_us=20,rto_us=300,backoff=3,budget=5")
+                .unwrap()
+                .retry_budget,
+            5
+        );
+        assert_eq!(ChaosProfile::parse("").unwrap(), ChaosProfile::off());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ChaosProfile::parse("drop").is_err());
+        assert!(ChaosProfile::parse("drop=2.0").is_err());
+        assert!(ChaosProfile::parse("drop=abc").is_err());
+        assert!(ChaosProfile::parse("frobnicate=1").is_err());
+        assert!(ChaosProfile::parse("seed=0xZZ").is_err());
+    }
+}

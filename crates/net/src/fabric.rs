@@ -6,17 +6,34 @@
 //! queued and then advances the receiver's virtual clock to the arrival
 //! stamp. No real-time delays are ever injected — simulation speed is bound
 //! only by actual computation.
+//!
+//! With an active [`ChaosProfile`] the wire becomes faulty and every
+//! inter-node message instead crosses the reliable channel: the send path
+//! runs the seeded ARQ simulation from [`crate::reliable`] (retransmit
+//! timers, backoff, retry budget) and the destination mailbox resequences
+//! and deduplicates the surviving copies, so receivers still observe
+//! exactly-once, in-order delivery per `(src, dst, class)` link. A send
+//! whose retry budget is exhausted fail-stops the fabric with a
+//! [`FabricError`] instead of letting the run deadlock.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::buffer::Bytes;
+use crate::chaos::{ChaosKnobs, ChaosProfile};
 use crate::packet::{MsgClass, Packet};
 use crate::profile::NetProfile;
+use crate::reliable::{simulate_arq, FabricError, LinkRx, RxEffect};
 use crate::stats::{NetStats, NodeNetStats};
 use crate::sync::{Condvar, Mutex};
 use crate::vtime::{VClock, VTime};
+
+/// Observer invoked once per retransmission with
+/// `(src, dst, link seq, retransmit departure vtime)`. Used by the cluster
+/// layer to emit `net.retransmit` trace events without coupling this crate
+/// to the tracer.
+pub type RetransmitHook = Box<dyn Fn(usize, usize, u64, VTime) + Send + Sync>;
 
 /// Matching predicate for receives.
 #[derive(Debug, Clone, Copy, Default)]
@@ -58,15 +75,49 @@ impl Match {
     }
 }
 
+/// A mailbox's locked state: the visible queue plus, when the reliable
+/// channel is engaged, one resequencer per source link.
+struct MailboxQ {
+    queue: VecDeque<Packet>,
+    links: Vec<LinkRx>,
+}
+
+impl MailboxQ {
+    /// Run one delivered copy through its link's resequencer.
+    fn deliver(&mut self, pkt: Packet) -> RxEffect {
+        let MailboxQ { queue, links } = self;
+        links[pkt.src].accept(pkt, queue)
+    }
+
+    /// Present every reorder-parked copy (all links) to the resequencers.
+    fn flush_limbo(&mut self) -> RxEffect {
+        let MailboxQ { queue, links } = self;
+        let mut eff = RxEffect::default();
+        for rx in links.iter_mut() {
+            eff.merge(rx.flush_limbo(queue));
+        }
+        eff
+    }
+
+    fn ensure_links(&mut self, n: usize) {
+        if self.links.len() < n {
+            self.links.resize_with(n, LinkRx::default);
+        }
+    }
+}
+
 struct Mailbox {
-    queue: Mutex<VecDeque<Packet>>,
+    queue: Mutex<MailboxQ>,
     cv: Condvar,
 }
 
 impl Mailbox {
     fn new() -> Self {
         Mailbox {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(MailboxQ {
+                queue: VecDeque::new(),
+                links: Vec::new(),
+            }),
             cv: Condvar::new(),
         }
     }
@@ -80,13 +131,23 @@ struct NodePort {
 pub struct Fabric {
     ports: Vec<NodePort>,
     profile: NetProfile,
+    chaos: ChaosProfile,
+    /// Per-`(src, dst, class)` link sequence counters; empty when chaos is
+    /// off (the clean path never numbers packets).
+    tx_seqs: Vec<AtomicU64>,
     stats: NetStats,
+    retx_hook: OnceLock<RetransmitHook>,
     shutdown: AtomicBool,
 }
 
 impl Fabric {
-    /// Build a fabric connecting `n` nodes.
+    /// Build a fabric connecting `n` nodes with a clean (fault-free) wire.
     pub fn new(n: usize, profile: NetProfile) -> Arc<Fabric> {
+        Fabric::with_chaos(n, profile, ChaosProfile::off())
+    }
+
+    /// Build a fabric whose inter-node links inject the given faults.
+    pub fn with_chaos(n: usize, profile: NetProfile, chaos: ChaosProfile) -> Arc<Fabric> {
         assert!(n > 0, "fabric needs at least one node");
         let ports = (0..n)
             .map(|_| NodePort {
@@ -98,10 +159,18 @@ impl Fabric {
                 ],
             })
             .collect();
+        let tx_seqs = if chaos.is_active() {
+            (0..n * n * 4).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
         Arc::new(Fabric {
             ports,
             profile,
+            chaos,
+            tx_seqs,
             stats: NetStats::new(n),
+            retx_hook: OnceLock::new(),
             shutdown: AtomicBool::new(false),
         })
     }
@@ -114,8 +183,34 @@ impl Fabric {
         &self.profile
     }
 
+    pub fn chaos(&self) -> &ChaosProfile {
+        &self.chaos
+    }
+
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Install the retransmission observer (first caller wins; later calls
+    /// are ignored). The hook runs on the sending thread with no fabric
+    /// locks held.
+    pub fn set_retransmit_hook(&self, hook: RetransmitHook) {
+        let _ = self.retx_hook.set(hook);
+    }
+
+    /// The knobs for one directed link/class, or `None` when the message
+    /// takes the clean path (chaos off, calm override, or intra-node).
+    fn link_knobs(&self, src: usize, dst: usize, class: MsgClass) -> Option<ChaosKnobs> {
+        if src == dst || !self.chaos.is_active() {
+            return None;
+        }
+        let k = self.chaos.knobs(src, dst, class);
+        k.is_active().then_some(k)
+    }
+
+    fn next_seq(&self, src: usize, dst: usize, class: MsgClass) -> u64 {
+        let n = self.ports.len();
+        self.tx_seqs[(src * n + dst) * 4 + class.index()].fetch_add(1, Ordering::Relaxed)
     }
 
     /// Create the endpoint for node `id`. Endpoints are cheap handles and
@@ -189,31 +284,148 @@ impl Endpoint {
     /// overhead; the packet is stamped with its virtual arrival time at the
     /// destination. Sending is asynchronous (eager buffering), matching the
     /// paper's use of short eager MPI messages.
+    ///
+    /// Panics with the [`FabricError`] display if the reliable channel's
+    /// retry budget is exhausted (after recording the error and shutting
+    /// the fabric down); use [`Endpoint::send_checked`] to handle that
+    /// case programmatically.
     pub fn send(&self, dst: usize, class: MsgClass, tag: u64, payload: Bytes, clock: &mut VClock) {
+        if let Err(e) = self.send_checked(dst, class, tag, payload, clock) {
+            panic!("{e}");
+        }
+    }
+
+    /// Like [`Endpoint::send`], but surfaces retry-budget exhaustion as a
+    /// structured [`FabricError`] instead of panicking. The fabric is
+    /// already shut down (fail-stop) when `Err` is returned.
+    pub fn send_checked(
+        &self,
+        dst: usize,
+        class: MsgClass,
+        tag: u64,
+        payload: Bytes,
+        clock: &mut VClock,
+    ) -> Result<(), FabricError> {
         clock.sample_compute();
-        self.send_at(dst, class, tag, payload, clock.now());
+        let r = self.send_at_checked(dst, class, tag, payload, clock.now());
         clock.charge_comm(self.fabric.profile.per_msg_cpu);
+        r
     }
 
     /// Post a message with an explicit departure timestamp. Used by the
-    /// communication thread, which manages its own service clock.
+    /// communication thread, which manages its own service clock. Panics on
+    /// retry-budget exhaustion like [`Endpoint::send`].
     pub fn send_at(&self, dst: usize, class: MsgClass, tag: u64, payload: Bytes, now: VTime) {
+        if let Err(e) = self.send_at_checked(dst, class, tag, payload, now) {
+            panic!("{e}");
+        }
+    }
+
+    /// Checked variant of [`Endpoint::send_at`].
+    pub fn send_at_checked(
+        &self,
+        dst: usize,
+        class: MsgClass,
+        tag: u64,
+        payload: Bytes,
+        now: VTime,
+    ) -> Result<(), FabricError> {
         let fabric = &self.fabric;
         assert!(dst < fabric.ports.len(), "no such node: {dst}");
-        let arrive_at = now + fabric.profile.transfer(self.id, dst, payload.len());
-        fabric.stats.record_send(self.id, class, payload.len());
-        let pkt = Packet {
-            src: self.id,
+        let transfer = fabric.profile.transfer(self.id, dst, payload.len());
+        let Some(knobs) = fabric.link_knobs(self.id, dst, class) else {
+            // Clean path: exactly the pre-chaos fabric.
+            fabric.stats.record_send(self.id, class, payload.len());
+            let pkt = Packet {
+                src: self.id,
+                class,
+                tag,
+                payload,
+                sent_at: now,
+                arrive_at: now + transfer,
+                seq: 0,
+            };
+            let mb = &fabric.ports[dst].boxes[class.index()];
+            let mut q = mb.queue.lock();
+            q.queue.push_back(pkt);
+            mb.cv.notify_all();
+            return Ok(());
+        };
+
+        // Reliable channel: walk the ARQ schedule *before* taking any
+        // mailbox lock (the fail path calls begin_shutdown, which locks
+        // every mailbox).
+        let seq = fabric.next_seq(self.id, dst, class);
+        let out = match simulate_arq(
+            &fabric.chaos,
+            &knobs,
+            self.id,
+            dst,
             class,
             tag,
-            payload,
-            sent_at: now,
-            arrive_at,
+            seq,
+            now,
+            transfer,
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                fabric.stats.record_send_failure(&e);
+                fabric.begin_shutdown();
+                return Err(e);
+            }
         };
+        fabric.stats.record_arq_send(
+            self.id,
+            out.retx_times.len() as u64,
+            out.drops as u64,
+            out.drops as u64,
+        );
+        if let Some(hook) = fabric.retx_hook.get() {
+            for &t in &out.retx_times {
+                hook(self.id, dst, seq, t);
+            }
+        }
+        // One logical message regardless of retransmissions/duplicates, so
+        // send/receive totals still balance once the run drains.
+        fabric.stats.record_send(self.id, class, payload.len());
+
         let mb = &fabric.ports[dst].boxes[class.index()];
         let mut q = mb.queue.lock();
-        q.push_back(pkt);
+        q.ensure_links(fabric.ports.len());
+        let mut eff = RxEffect::default();
+        let mut delivered_any = false;
+        for d in &out.deliveries {
+            let pkt = Packet {
+                src: self.id,
+                class,
+                tag,
+                payload: payload.clone(),
+                sent_at: now,
+                arrive_at: d.arrive_at,
+                seq,
+            };
+            if d.reordered {
+                // Parked past later traffic on this link; receivers flush
+                // limbo before blocking, so this cannot deadlock them.
+                q.links[self.id].stash_limbo(pkt);
+            } else {
+                eff.merge(q.deliver(pkt));
+                delivered_any = true;
+            }
+        }
+        if delivered_any {
+            // This message counts as "later traffic": it frees any copies
+            // previously reordered past it on the same link.
+            let MailboxQ { queue, links } = &mut *q;
+            eff.merge(links[self.id].flush_limbo(queue));
+        }
+        if eff.dup_drops > 0 || eff.holds > 0 {
+            fabric
+                .stats
+                .record_rx_effect(dst, eff.dup_drops as u64, eff.holds as u64);
+        }
         mb.cv.notify_all();
+        Ok(())
     }
 
     /// Blocking receive of the first queued packet matching `m`.
@@ -241,10 +453,15 @@ impl Endpoint {
         let mb = &fabric.ports[self.id].boxes[class.index()];
         let mut q = mb.queue.lock();
         loop {
-            if let Some(pos) = q.iter().position(|p| m.matches(p)) {
-                let pkt = q.remove(pos).expect("position just found");
+            if let Some(pos) = q.queue.iter().position(|p| m.matches(p)) {
+                let pkt = q.queue.remove(pos).expect("position just found");
                 fabric.stats.record_recv(self.id, class, pkt.payload.len());
                 return Ok(pkt);
+            }
+            // Flush reorder-parked copies before blocking: a message this
+            // receiver is waiting for may be sitting in limbo.
+            if self.flush_limbo_record(&mut q) > 0 {
+                continue;
             }
             if fabric.is_shutdown() {
                 return Err(Disconnected);
@@ -257,7 +474,8 @@ impl Endpoint {
     pub fn try_recv(&self, class: MsgClass) -> Option<Packet> {
         let mb = &self.fabric.ports[self.id].boxes[class.index()];
         let mut q = mb.queue.lock();
-        let pkt = q.pop_front()?;
+        self.flush_limbo_record(&mut q);
+        let pkt = q.queue.pop_front()?;
         self.fabric
             .stats
             .record_recv(self.id, class, pkt.payload.len());
@@ -272,9 +490,12 @@ impl Endpoint {
         let mb = &fabric.ports[self.id].boxes[class.index()];
         let mut q = mb.queue.lock();
         loop {
-            if let Some(p) = q.pop_front() {
+            if let Some(p) = q.queue.pop_front() {
                 fabric.stats.record_recv(self.id, class, p.payload.len());
                 return Ok(p);
+            }
+            if self.flush_limbo_record(&mut q) > 0 {
+                continue;
             }
             if fabric.is_shutdown() {
                 return Err(Disconnected);
@@ -283,11 +504,23 @@ impl Endpoint {
         }
     }
 
+    fn flush_limbo_record(&self, q: &mut MailboxQ) -> u32 {
+        let eff = q.flush_limbo();
+        if eff.dup_drops > 0 || eff.holds > 0 {
+            self.fabric
+                .stats
+                .record_rx_effect(self.id, eff.dup_drops as u64, eff.holds as u64);
+        }
+        eff.released
+    }
+
     /// Number of packets currently queued in `class` (diagnostics/tests).
+    /// Does not count reorder-parked or resequencer-held copies.
     pub fn queued(&self, class: MsgClass) -> usize {
         self.fabric.ports[self.id].boxes[class.index()]
             .queue
             .lock()
+            .queue
             .len()
     }
 }
@@ -419,5 +652,132 @@ mod tests {
         let local = fabric.endpoint(0).try_recv(MsgClass::P2p).unwrap();
         let remote = fabric.endpoint(1).try_recv(MsgClass::P2p).unwrap();
         assert!(local.arrive_at - local.sent_at < remote.arrive_at - remote.sent_at);
+    }
+
+    #[test]
+    fn chaos_delivers_exactly_once_in_order() {
+        let chaos = ChaosProfile {
+            base: ChaosKnobs {
+                drop: 0.2,
+                duplicate: 0.1,
+                reorder: 0.2,
+                delay: 0.3,
+                delay_jitter: VTime::from_micros(50),
+            },
+            ..ChaosProfile::lossy(0xC0FFEE)
+        };
+        let fabric = Fabric::with_chaos(2, NetProfile::clan_via(), chaos);
+        let a = fabric.endpoint(0);
+        let b = fabric.endpoint(1);
+        let mut c = VClock::manual();
+        const N: u64 = 400;
+        for i in 0..N {
+            a.send(1, MsgClass::P2p, i, bts(&i.to_le_bytes()), &mut c);
+        }
+        let mut prev_arrive = VTime::ZERO;
+        for i in 0..N {
+            let p = b.recv_any_raw(MsgClass::P2p).unwrap();
+            assert_eq!(p.tag, i, "link order must be preserved");
+            assert_eq!(&p.payload[..], &i.to_le_bytes());
+            assert!(
+                p.arrive_at >= prev_arrive,
+                "arrival stamps must be monotone"
+            );
+            prev_arrive = p.arrive_at;
+        }
+        assert_eq!(b.queued(MsgClass::P2p), 0, "no duplicates may survive");
+        let h = fabric.stats().link_health_totals();
+        assert!(h.retransmits > 0, "20% loss must force retransmissions");
+        assert!(h.dup_drops > 0, "duplicates must be dropped: {h:?}");
+        assert!(h.reseq_holds + h.dup_drops > 0);
+        // Exactly one logical receive per logical send.
+        assert_eq!(
+            fabric.stats().totals().msgs,
+            fabric.stats().recv_totals().msgs
+        );
+    }
+
+    #[test]
+    fn chaos_spares_local_traffic() {
+        let fabric = Fabric::with_chaos(
+            2,
+            NetProfile::zero(),
+            ChaosProfile::off().with_link(
+                0,
+                0,
+                ChaosKnobs {
+                    drop: 1.0,
+                    ..ChaosKnobs::CALM
+                },
+            ),
+        );
+        let a = fabric.endpoint(0);
+        let mut c = VClock::manual();
+        // A 100%-drop override on the loopback link is ignored: intra-node
+        // hand-off cannot lose messages.
+        a.send(0, MsgClass::P2p, 1, bts(b"local"), &mut c);
+        assert!(fabric.endpoint(0).try_recv(MsgClass::P2p).is_some());
+        assert!(fabric.stats().link_health_totals().is_quiet());
+    }
+
+    #[test]
+    fn dead_link_fails_with_structured_error_and_shuts_down() {
+        let dead = ChaosKnobs {
+            drop: 1.0,
+            ..ChaosKnobs::CALM
+        };
+        let fabric = Fabric::with_chaos(
+            3,
+            NetProfile::zero(),
+            ChaosProfile::off().with_link(0, 2, dead),
+        );
+        let a = fabric.endpoint(0);
+        let mut c = VClock::manual();
+        // Unaffected link still works.
+        a.send(1, MsgClass::Dsm, 0, bts(b"ok"), &mut c);
+        let err = a
+            .send_checked(2, MsgClass::Dsm, 77, bts(b"doomed"), &mut c)
+            .unwrap_err();
+        assert_eq!((err.src, err.dst), (0, 2));
+        assert_eq!(err.tag, 77);
+        assert_eq!(err.attempts, fabric.chaos().retry_budget + 1);
+        // Fail-stop: error recorded, fabric down, receivers unblock.
+        assert_eq!(fabric.stats().fabric_error(), Some(err));
+        assert!(fabric.is_shutdown());
+        assert_eq!(fabric.stats().link_health_totals().send_failures, 1);
+        let b = fabric.endpoint(1);
+        let mut cb = VClock::manual();
+        assert!(b.recv(MsgClass::Dsm, Match::any(), &mut cb).is_ok());
+        assert!(matches!(
+            fabric.endpoint(2).recv_raw(MsgClass::Dsm, Match::any()),
+            Err(Disconnected)
+        ));
+    }
+
+    #[test]
+    fn retransmit_hook_sees_each_retransmission() {
+        use std::sync::atomic::AtomicUsize;
+        let chaos = ChaosProfile {
+            base: ChaosKnobs {
+                drop: 0.4,
+                ..ChaosKnobs::CALM
+            },
+            ..ChaosProfile::lossy(99)
+        };
+        let fabric = Fabric::with_chaos(2, NetProfile::zero(), chaos);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&seen);
+        fabric.set_retransmit_hook(Box::new(move |src, dst, _seq, _vt| {
+            assert_eq!((src, dst), (0, 1));
+            seen2.fetch_add(1, Ordering::Relaxed);
+        }));
+        let a = fabric.endpoint(0);
+        let mut c = VClock::manual();
+        for i in 0..200 {
+            a.send(1, MsgClass::Coll, i, bts(&[0u8; 8]), &mut c);
+        }
+        let h = fabric.stats().link_health_totals();
+        assert!(h.retransmits > 0);
+        assert_eq!(seen.load(Ordering::Relaxed) as u64, h.retransmits);
     }
 }

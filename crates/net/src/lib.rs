@@ -14,18 +14,28 @@
 //! * No real-time delay is ever injected; the fabric stamps each packet with
 //!   a virtual arrival time and receivers reconcile their [`VClock`]s, which
 //!   makes simulations both fast and accurate on an oversubscribed host.
+//! * Seeded fault injection ([`ChaosProfile`], `PARADE_CHAOS`) turns the
+//!   wire lossy; the fabric then runs a reliable channel (link sequence
+//!   numbers, virtual-time retransmit timers with exponential backoff,
+//!   receive-side dedup/resequencing) so every receiver still observes
+//!   exactly-once, in-order delivery — or a structured [`FabricError`]
+//!   naming the dead link when the retry budget runs out.
 
 mod buffer;
+mod chaos;
 mod fabric;
 mod packet;
 mod profile;
+pub mod reliable;
 mod stats;
 pub mod sync;
 mod vtime;
 
 pub use buffer::Bytes;
-pub use fabric::{Disconnected, Endpoint, Fabric, Match};
+pub use chaos::{ChaosKnobs, ChaosProfile};
+pub use fabric::{Disconnected, Endpoint, Fabric, Match, RetransmitHook};
 pub use packet::{MsgClass, Packet};
 pub use profile::{LinkCost, NetProfile};
-pub use stats::{NetStats, NodeNetStats, NodeTraffic, Traffic};
+pub use reliable::FabricError;
+pub use stats::{LinkHealth, NetStats, NodeNetStats, NodeTraffic, Traffic};
 pub use vtime::{thread_cpu_ns, TimeSource, VClock, VTime};

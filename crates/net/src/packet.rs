@@ -50,6 +50,10 @@ pub struct Packet {
     pub sent_at: VTime,
     /// Virtual time at which the message is available at the destination.
     pub arrive_at: VTime,
+    /// Link sequence number within the `(src, dst, class)` ordering domain.
+    /// Always `0` when the reliable channel is disengaged (no chaos, or
+    /// intra-node traffic).
+    pub seq: u64,
 }
 
 impl Packet {

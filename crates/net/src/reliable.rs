@@ -1,0 +1,502 @@
+//! Reliable delivery over a faulty link.
+//!
+//! The fabric is in-process, so the stop-and-wait ARQ a real transport runs
+//! (send, await ack, retransmit on a backoff timer) is *simulated* at send
+//! time in virtual time: [`simulate_arq`] walks the attempt schedule that a
+//! sender with the profile's retransmit timeout, exponential backoff, and
+//! retry budget would execute, and reports which copies of the message get
+//! through and when. Copies then pass through the receive-side
+//! [`LinkRx`] — per-(src, class) sequence tracking that drops duplicates and
+//! resequences out-of-order arrivals — so the mailbox only ever sees each
+//! message once, in link order: exactly-once, in-order delivery on top of a
+//! lossy wire.
+//!
+//! When every transmission within the retry budget is lost, the link is
+//! declared dead and the send fails with a structured [`FabricError`]
+//! naming the link and the pending operation — fail-stop, never a silent
+//! deadlock.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use parade_testkit::rng::TestRng;
+
+use crate::chaos::{ChaosKnobs, ChaosProfile};
+use crate::packet::{MsgClass, Packet};
+use crate::vtime::VTime;
+
+/// A send whose retry budget is exhausted: the link is considered dead.
+///
+/// Returned by [`crate::Endpoint::send_checked`]; the unchecked send path
+/// records it in [`crate::NetStats`], shuts the fabric down (fail-stop) and
+/// panics with this error's `Display` so the run names the failing link and
+/// operation instead of hanging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricError {
+    /// Sending node of the dead link.
+    pub src: usize,
+    /// Destination node of the dead link.
+    pub dst: usize,
+    /// Traffic class of the undeliverable message.
+    pub class: MsgClass,
+    /// Match tag of the undeliverable message.
+    pub tag: u64,
+    /// Link sequence number of the undeliverable message.
+    pub seq: u64,
+    /// Transmissions attempted (1 original + retries) before giving up.
+    pub attempts: u32,
+    /// Virtual time at which the sender's last retransmit timer expired.
+    pub gave_up_at: VTime,
+}
+
+impl FabricError {
+    /// Human name of the pending operation, derived from the class.
+    pub fn op(&self) -> &'static str {
+        match self.class {
+            MsgClass::Dsm => "DSM protocol request",
+            MsgClass::P2p => "MPI point-to-point message",
+            MsgClass::Coll => "MPI collective round",
+            MsgClass::Ctl => "control/reply message",
+        }
+    }
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fabric link {}->{} dead: {} (tag {}, link seq {}) undeliverable \
+             after {} transmissions; gave up at vt {}",
+            self.src,
+            self.dst,
+            self.op(),
+            self.tag,
+            self.seq,
+            self.attempts,
+            self.gave_up_at
+        )
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// One copy of the message that reaches the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Virtual arrival time at the destination.
+    pub arrive_at: VTime,
+    /// Reorder fault: the receiver parks this copy (limbo) until later
+    /// traffic on the link — or a blocked receiver — flushes it.
+    pub reordered: bool,
+}
+
+/// Outcome of the simulated ARQ exchange for one message.
+#[derive(Debug, Clone, Default)]
+pub struct ArqOutcome {
+    /// Copies reaching the receiver, sorted by arrival time.
+    pub deliveries: Vec<Delivery>,
+    /// Retransmissions the sender performed, with their departure times.
+    pub retx_times: Vec<VTime>,
+    /// Transmissions (data or ack) the chaos schedule destroyed.
+    pub drops: u32,
+}
+
+/// Derive the deterministic fault stream for one transmission attempt.
+///
+/// The stream depends only on `(seed, src, dst, class, seq, attempt)` — a
+/// packet's fate never depends on thread scheduling, so a pinned seed
+/// replays the identical fault schedule for the same traffic.
+fn attempt_rng(
+    profile: &ChaosProfile,
+    src: usize,
+    dst: usize,
+    class: MsgClass,
+    seq: u64,
+    attempt: u32,
+) -> TestRng {
+    let lid = ((src as u64) << 20) ^ ((dst as u64) << 8) ^ class.index() as u64;
+    TestRng::new(
+        profile
+            .seed
+            .wrapping_add(lid.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ seq.wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ (attempt as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93),
+    )
+}
+
+fn chance(rng: &mut TestRng, p: f64) -> bool {
+    p > 0.0 && rng.next_f64() < p
+}
+
+fn jitter(rng: &mut TestRng, max: VTime) -> VTime {
+    VTime::from_nanos(rng.below(max.as_nanos().max(1)))
+}
+
+fn scale_rto(rto: VTime, backoff: u32, retries: u32) -> VTime {
+    let mut t = rto;
+    for _ in 0..retries {
+        t = VTime::from_nanos(t.as_nanos().saturating_mul(backoff as u64));
+    }
+    t
+}
+
+/// Walk the ARQ attempt schedule for one message in virtual time.
+///
+/// `transfer_cost` is the profile's base wire cost for this payload; chaos
+/// delay jitter is charged on top of it. Returns the surviving deliveries
+/// or, when the retry budget runs dry without an acknowledged attempt, the
+/// structured [`FabricError`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_arq(
+    profile: &ChaosProfile,
+    knobs: &ChaosKnobs,
+    src: usize,
+    dst: usize,
+    class: MsgClass,
+    tag: u64,
+    seq: u64,
+    now: VTime,
+    transfer_cost: VTime,
+) -> Result<ArqOutcome, FabricError> {
+    let mut out = ArqOutcome::default();
+    let mut t_tx = now;
+    for attempt in 0..=profile.retry_budget {
+        let mut rng = attempt_rng(profile, src, dst, class, seq, attempt);
+        let data_lost = chance(&mut rng, knobs.drop);
+        let mut acked = false;
+        if !data_lost {
+            let mut cost = transfer_cost;
+            if chance(&mut rng, knobs.delay) {
+                cost += jitter(&mut rng, knobs.delay_jitter);
+            }
+            let arrive = t_tx + cost;
+            out.deliveries.push(Delivery {
+                arrive_at: arrive,
+                reordered: chance(&mut rng, knobs.reorder),
+            });
+            if chance(&mut rng, knobs.duplicate) {
+                // A network-level duplicate trails the original slightly.
+                out.deliveries.push(Delivery {
+                    arrive_at: arrive + jitter(&mut rng, knobs.delay_jitter.max(profile.rto)),
+                    reordered: chance(&mut rng, knobs.reorder),
+                });
+            }
+            // The (tiny) ack crosses the same lossy wire.
+            acked = !chance(&mut rng, knobs.drop);
+        }
+        if acked {
+            out.deliveries.sort_by_key(|d| d.arrive_at);
+            return Ok(out);
+        }
+        out.drops += 1;
+        let rto = scale_rto(profile.rto, profile.backoff, attempt);
+        t_tx = t_tx + rto;
+        if attempt < profile.retry_budget {
+            out.retx_times.push(t_tx);
+        }
+    }
+    Err(FabricError {
+        src,
+        dst,
+        class,
+        tag,
+        seq,
+        attempts: profile.retry_budget + 1,
+        gave_up_at: t_tx,
+    })
+}
+
+/// What one receive-side acceptance did (for the stats counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RxEffect {
+    /// Packets released into the mailbox queue (the packet itself plus any
+    /// in-sequence successors it unblocked).
+    pub released: u32,
+    /// Copies discarded as duplicates of already-delivered sequences.
+    pub dup_drops: u32,
+    /// Packets parked because a predecessor had not yet arrived.
+    pub holds: u32,
+}
+
+impl RxEffect {
+    /// Accumulate another effect into this one.
+    pub fn merge(&mut self, other: RxEffect) {
+        self.released += other.released;
+        self.dup_drops += other.dup_drops;
+        self.holds += other.holds;
+    }
+}
+
+/// Receive half of the reliable channel for one `(src, class)` link at one
+/// destination mailbox: sequence tracking, duplicate suppression, and
+/// resequencing of out-of-order arrivals.
+#[derive(Debug, Default)]
+pub struct LinkRx {
+    /// Next link sequence number to release into the mailbox.
+    next_seq: u64,
+    /// Monotone release clock: resequenced packets cannot arrive earlier
+    /// than the packets released before them.
+    last_release: VTime,
+    /// Out-of-order arrivals awaiting their predecessors.
+    held: BTreeMap<u64, Packet>,
+    /// Reorder-faulted copies not yet presented to the resequencer.
+    limbo: VecDeque<Packet>,
+}
+
+impl LinkRx {
+    /// Present one copy to the resequencer; released packets are pushed
+    /// onto `queue` in link order with monotone arrival stamps.
+    pub fn accept(&mut self, pkt: Packet, queue: &mut VecDeque<Packet>) -> RxEffect {
+        let mut eff = RxEffect::default();
+        if pkt.seq < self.next_seq || self.held.contains_key(&pkt.seq) {
+            eff.dup_drops += 1;
+            return eff;
+        }
+        if pkt.seq > self.next_seq {
+            self.held.insert(pkt.seq, pkt);
+            eff.holds += 1;
+            return eff;
+        }
+        self.release(pkt, queue, &mut eff);
+        while let Some(p) = self.held.remove(&self.next_seq) {
+            self.release(p, queue, &mut eff);
+        }
+        eff
+    }
+
+    /// Park a reorder-faulted copy; it stays invisible until
+    /// [`LinkRx::flush_limbo`].
+    pub fn stash_limbo(&mut self, pkt: Packet) {
+        self.limbo.push_back(pkt);
+    }
+
+    /// Present every parked copy to the resequencer. Called when later
+    /// traffic arrives on the link and before a receiver blocks, so a
+    /// parked message can never be lost or deadlock a receiver.
+    pub fn flush_limbo(&mut self, queue: &mut VecDeque<Packet>) -> RxEffect {
+        let mut eff = RxEffect::default();
+        while let Some(p) = self.limbo.pop_front() {
+            eff.merge(self.accept(p, queue));
+        }
+        eff
+    }
+
+    /// Copies currently parked by reorder faults (diagnostics).
+    pub fn limbo_len(&self) -> usize {
+        self.limbo.len()
+    }
+
+    fn release(&mut self, mut pkt: Packet, queue: &mut VecDeque<Packet>, eff: &mut RxEffect) {
+        debug_assert_eq!(pkt.seq, self.next_seq);
+        self.next_seq += 1;
+        self.last_release = self.last_release.max(pkt.arrive_at);
+        pkt.arrive_at = self.last_release;
+        queue.push_back(pkt);
+        eff.released += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Bytes;
+
+    fn pkt(seq: u64, arrive_us: u64) -> Packet {
+        Packet {
+            src: 0,
+            class: MsgClass::P2p,
+            tag: seq,
+            payload: Bytes::copy_from_slice(&seq.to_le_bytes()),
+            sent_at: VTime::ZERO,
+            arrive_at: VTime::from_micros(arrive_us),
+            seq,
+        }
+    }
+
+    #[test]
+    fn resequencer_reorders_and_dedups() {
+        let mut rx = LinkRx::default();
+        let mut q = VecDeque::new();
+        // seq 1 before seq 0: held.
+        let e = rx.accept(pkt(1, 10), &mut q);
+        assert_eq!(
+            e,
+            RxEffect {
+                released: 0,
+                dup_drops: 0,
+                holds: 1
+            }
+        );
+        // seq 0 releases both, with monotone arrival stamps.
+        let e = rx.accept(pkt(0, 30), &mut q);
+        assert_eq!(e.released, 2);
+        let a = q.pop_front().unwrap();
+        let b = q.pop_front().unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert!(b.arrive_at >= a.arrive_at, "release clock must be monotone");
+        // A late duplicate of seq 1 is dropped.
+        let e = rx.accept(pkt(1, 40), &mut q);
+        assert_eq!(e.dup_drops, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duplicate_of_held_packet_is_dropped() {
+        let mut rx = LinkRx::default();
+        let mut q = VecDeque::new();
+        assert_eq!(rx.accept(pkt(2, 5), &mut q).holds, 1);
+        assert_eq!(rx.accept(pkt(2, 6), &mut q).dup_drops, 1);
+    }
+
+    #[test]
+    fn limbo_flush_preserves_exactly_once() {
+        let mut rx = LinkRx::default();
+        let mut q = VecDeque::new();
+        rx.stash_limbo(pkt(0, 5));
+        assert_eq!(rx.limbo_len(), 1);
+        // Later traffic arrives first and is held behind the parked copy.
+        assert_eq!(rx.accept(pkt(1, 7), &mut q).holds, 1);
+        let e = rx.flush_limbo(&mut q);
+        assert_eq!(e.released, 2);
+        assert_eq!(rx.limbo_len(), 0);
+        let order: Vec<u64> = q.iter().map(|p| p.seq).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn arq_calm_link_is_single_clean_delivery() {
+        let p = ChaosProfile::off();
+        let out = simulate_arq(
+            &p,
+            &ChaosKnobs::CALM,
+            0,
+            1,
+            MsgClass::Dsm,
+            0,
+            0,
+            VTime::from_micros(3),
+            VTime::from_micros(7),
+        )
+        .unwrap();
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0].arrive_at, VTime::from_micros(10));
+        assert!(!out.deliveries[0].reordered);
+        assert!(out.retx_times.is_empty());
+        assert_eq!(out.drops, 0);
+    }
+
+    #[test]
+    fn arq_total_loss_fails_within_bounded_virtual_time() {
+        let mut p = ChaosProfile::off();
+        p.retry_budget = 4;
+        let knobs = ChaosKnobs {
+            drop: 1.0,
+            ..ChaosKnobs::CALM
+        };
+        let err = simulate_arq(
+            &p,
+            &knobs,
+            2,
+            3,
+            MsgClass::P2p,
+            99,
+            7,
+            VTime::ZERO,
+            VTime::from_micros(5),
+        )
+        .unwrap_err();
+        assert_eq!((err.src, err.dst), (2, 3));
+        assert_eq!(err.attempts, 5);
+        assert_eq!(err.tag, 99);
+        // Sum of the exponential backoff schedule: rto * (2^5 - 1).
+        let bound = VTime::from_nanos(p.rto.as_nanos() * 31);
+        assert_eq!(err.gave_up_at, bound);
+        let msg = err.to_string();
+        assert!(msg.contains("2->3"), "{msg}");
+        assert!(msg.contains("point-to-point"), "{msg}");
+    }
+
+    #[test]
+    fn arq_is_deterministic_per_seed_and_seq() {
+        let p = ChaosProfile::lossy(0xFEED);
+        let knobs = p.knobs(0, 1, MsgClass::Dsm);
+        let run = || {
+            (0..64u64)
+                .map(|seq| {
+                    simulate_arq(
+                        &p,
+                        &knobs,
+                        0,
+                        1,
+                        MsgClass::Dsm,
+                        0,
+                        seq,
+                        VTime::ZERO,
+                        VTime::from_micros(7),
+                    )
+                    .unwrap()
+                    .deliveries
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        // A different seed yields a different schedule somewhere.
+        let p2 = ChaosProfile::lossy(0xBEEF);
+        let k2 = p2.knobs(0, 1, MsgClass::Dsm);
+        let other: Vec<_> = (0..64u64)
+            .map(|seq| {
+                simulate_arq(
+                    &p2,
+                    &k2,
+                    0,
+                    1,
+                    MsgClass::Dsm,
+                    0,
+                    seq,
+                    VTime::ZERO,
+                    VTime::from_micros(7),
+                )
+                .unwrap()
+                .deliveries
+            })
+            .collect();
+        assert_ne!(run(), other);
+    }
+
+    #[test]
+    fn arq_lossy_link_eventually_retransmits_and_duplicates() {
+        let p = ChaosProfile::lossy(42);
+        let knobs = ChaosKnobs {
+            drop: 0.3,
+            duplicate: 0.2,
+            reorder: 0.2,
+            delay: 0.5,
+            delay_jitter: VTime::from_micros(10),
+        };
+        let mut retx = 0u32;
+        let mut dups = 0u32;
+        let mut reordered = 0u32;
+        for seq in 0..256u64 {
+            let out = simulate_arq(
+                &p,
+                &knobs,
+                0,
+                1,
+                MsgClass::Coll,
+                0,
+                seq,
+                VTime::ZERO,
+                VTime::from_micros(7),
+            )
+            .expect("budget 10 never exhausted at 30% loss");
+            retx += out.retx_times.len() as u32;
+            dups += (out.deliveries.len() as u32).saturating_sub(1);
+            reordered += out.deliveries.iter().filter(|d| d.reordered).count() as u32;
+            for w in out.deliveries.windows(2) {
+                assert!(w[0].arrive_at <= w[1].arrive_at, "deliveries sorted");
+            }
+        }
+        assert!(retx > 0, "30% loss must force retransmissions");
+        assert!(dups > 0, "duplicates must occur");
+        assert!(reordered > 0, "reorder faults must occur");
+    }
+}

@@ -8,6 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::packet::MsgClass;
+use crate::reliable::FabricError;
+use crate::sync::Mutex;
 
 /// A (messages, bytes) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,11 +59,83 @@ impl Counter {
     }
 }
 
+/// A point-in-time copy of one node's reliable-channel counters.
+///
+/// All zero on a chaos-free run: the reliable channel is pass-through and
+/// records nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkHealth {
+    /// Retransmissions performed by this node's sender side.
+    pub retransmits: u64,
+    /// Retransmit-timer expiries (every lost data *or* ack transmission).
+    pub timeouts: u64,
+    /// Transmissions destroyed by the chaos schedule on this node's links.
+    pub chaos_drops: u64,
+    /// Duplicate copies discarded by this node's receive side.
+    pub dup_drops: u64,
+    /// Out-of-order arrivals this node's resequencer had to park.
+    pub reseq_holds: u64,
+    /// Sends that exhausted their retry budget (fail-stop).
+    pub send_failures: u64,
+}
+
+impl LinkHealth {
+    pub fn add(&mut self, other: LinkHealth) {
+        self.retransmits += other.retransmits;
+        self.timeouts += other.timeouts;
+        self.chaos_drops += other.chaos_drops;
+        self.dup_drops += other.dup_drops;
+        self.reseq_holds += other.reseq_holds;
+        self.send_failures += other.send_failures;
+    }
+
+    /// True when the reliable channel never had to intervene.
+    pub fn is_quiet(&self) -> bool {
+        *self == LinkHealth::default()
+    }
+
+    /// `(name, value)` pairs for rendering/JSON, in a stable order.
+    pub fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("retransmits", self.retransmits),
+            ("timeouts", self.timeouts),
+            ("chaos_drops", self.chaos_drops),
+            ("dup_drops", self.dup_drops),
+            ("reseq_holds", self.reseq_holds),
+            ("send_failures", self.send_failures),
+        ]
+    }
+}
+
+#[derive(Default)]
+struct RelCounters {
+    retransmits: AtomicU64,
+    timeouts: AtomicU64,
+    chaos_drops: AtomicU64,
+    dup_drops: AtomicU64,
+    reseq_holds: AtomicU64,
+    send_failures: AtomicU64,
+}
+
+impl RelCounters {
+    fn load(&self) -> LinkHealth {
+        LinkHealth {
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            chaos_drops: self.chaos_drops.load(Ordering::Relaxed),
+            dup_drops: self.dup_drops.load(Ordering::Relaxed),
+            reseq_holds: self.reseq_holds.load(Ordering::Relaxed),
+            send_failures: self.send_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Send and receive counters for one node, broken down by class.
 #[derive(Default)]
 pub struct NodeNetStats {
     sent: [Counter; 4],
     received: [Counter; 4],
+    reliability: RelCounters,
 }
 
 impl NodeNetStats {
@@ -100,17 +174,25 @@ impl NodeNetStats {
             received: self.recv_totals(),
         }
     }
+
+    /// Reliable-channel counters for this node.
+    pub fn link_health(&self) -> LinkHealth {
+        self.reliability.load()
+    }
 }
 
 /// Fabric-wide statistics.
 pub struct NetStats {
     nodes: Vec<NodeNetStats>,
+    /// First retry-budget exhaustion observed, if any (fail-stop).
+    first_error: Mutex<Option<FabricError>>,
 }
 
 impl NetStats {
     pub fn new(n: usize) -> Self {
         NetStats {
             nodes: (0..n).map(|_| NodeNetStats::default()).collect(),
+            first_error: Mutex::new(None),
         }
     }
 
@@ -120,6 +202,52 @@ impl NetStats {
 
     pub fn record_recv(&self, dst: usize, class: MsgClass, bytes: usize) {
         self.nodes[dst].received[class.index()].record(bytes);
+    }
+
+    /// Charge one message's ARQ sender-side activity to `src`.
+    pub fn record_arq_send(&self, src: usize, retransmits: u64, timeouts: u64, chaos_drops: u64) {
+        let r = &self.nodes[src].reliability;
+        r.retransmits.fetch_add(retransmits, Ordering::Relaxed);
+        r.timeouts.fetch_add(timeouts, Ordering::Relaxed);
+        r.chaos_drops.fetch_add(chaos_drops, Ordering::Relaxed);
+    }
+
+    /// Charge receive-side resequencer activity to `dst`.
+    pub fn record_rx_effect(&self, dst: usize, dup_drops: u64, reseq_holds: u64) {
+        let r = &self.nodes[dst].reliability;
+        r.dup_drops.fetch_add(dup_drops, Ordering::Relaxed);
+        r.reseq_holds.fetch_add(reseq_holds, Ordering::Relaxed);
+    }
+
+    /// Record a retry-budget exhaustion; the first one sticks.
+    pub fn record_send_failure(&self, err: &FabricError) {
+        self.nodes[err.src]
+            .reliability
+            .send_failures
+            .fetch_add(1, Ordering::Relaxed);
+        let mut g = self.first_error.lock();
+        if g.is_none() {
+            *g = Some(err.clone());
+        }
+    }
+
+    /// The first fatal link error, if the run failed.
+    pub fn fabric_error(&self) -> Option<FabricError> {
+        self.first_error.lock().clone()
+    }
+
+    /// Per-node reliable-channel counters.
+    pub fn link_health(&self) -> Vec<LinkHealth> {
+        self.nodes.iter().map(|n| n.link_health()).collect()
+    }
+
+    /// Reliable-channel counters summed over nodes.
+    pub fn link_health_totals(&self) -> LinkHealth {
+        let mut t = LinkHealth::default();
+        for n in &self.nodes {
+            t.add(n.link_health());
+        }
+        t
     }
 
     pub fn node(&self, id: usize) -> &NodeNetStats {
@@ -205,5 +333,40 @@ mod tests {
             sum.add(n);
         }
         assert_eq!(sum.sent, sum.received);
+    }
+
+    #[test]
+    fn link_health_counters_and_first_error_sticks() {
+        use crate::vtime::VTime;
+        let s = NetStats::new(3);
+        assert!(s.link_health_totals().is_quiet());
+        s.record_arq_send(0, 2, 3, 3);
+        s.record_rx_effect(1, 1, 4);
+        let h = s.link_health_totals();
+        assert_eq!(h.retransmits, 2);
+        assert_eq!(h.timeouts, 3);
+        assert_eq!(h.chaos_drops, 3);
+        assert_eq!(h.dup_drops, 1);
+        assert_eq!(h.reseq_holds, 4);
+        assert_eq!(s.node(0).link_health().retransmits, 2);
+        assert_eq!(s.node(1).link_health().dup_drops, 1);
+        assert!(!h.is_quiet());
+        assert_eq!(h.fields()[0], ("retransmits", 2));
+
+        let err = |src: usize| FabricError {
+            src,
+            dst: 2,
+            class: MsgClass::Dsm,
+            tag: 1,
+            seq: 0,
+            attempts: 11,
+            gave_up_at: VTime::from_micros(100),
+        };
+        assert!(s.fabric_error().is_none());
+        s.record_send_failure(&err(0));
+        s.record_send_failure(&err(1));
+        // The first error sticks; both failures are counted.
+        assert_eq!(s.fabric_error().unwrap().src, 0);
+        assert_eq!(s.link_health_totals().send_failures, 2);
     }
 }

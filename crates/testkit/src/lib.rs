@@ -18,6 +18,9 @@
 //!   warmup, median-of-N) with optional `BENCH_<suite>.json` emission via
 //!   `PARADE_BENCH_JSON`.
 //!
+//! Plus [`watchdog::run_with_timeout`], a deadlock watchdog for tests that
+//! drive blocking runtimes (used by the chaos/fault-injection suite).
+//!
 //! ```ignore
 //! use parade_testkit::prelude::*;
 //!
@@ -30,6 +33,7 @@ pub mod bench;
 pub mod rng;
 pub mod runner;
 pub mod shrink;
+pub mod watchdog;
 
 /// The names property tests and benches actually use.
 pub mod prelude {
@@ -38,4 +42,5 @@ pub mod prelude {
     pub use crate::rng::TestRng;
     pub use crate::runner::Config;
     pub use crate::shrink::Shrink;
+    pub use crate::watchdog::run_with_timeout;
 }

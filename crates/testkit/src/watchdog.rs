@@ -1,0 +1,96 @@
+//! Deadlock watchdog for tests that drive blocking runtimes.
+//!
+//! The simulated fabric blocks receivers in *real* time while virtual time
+//! stands still, so a protocol bug (a lost wakeup, a reorder-parked message
+//! nobody flushes) shows up as a test that hangs forever rather than one
+//! that fails. [`run_with_timeout`] bounds that risk: the workload runs on
+//! its own named thread and the calling test panics with a diagnostic if
+//! the thread does not finish within the real-time budget — a stand-in for
+//! "virtual time stopped advancing", which a hung simulation always implies.
+
+use std::panic;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Run `f` on a watchdog-supervised thread, panicking if it does not
+/// complete within `timeout` (real time).
+///
+/// * Returns `f`'s value on normal completion.
+/// * Re-raises `f`'s panic payload on the caller if the workload panics,
+///   so assertion messages (e.g. a `PARADE_PROP_SEED` repro line) survive.
+/// * Panics with a "deadlock watchdog" message naming `name` on timeout.
+///   The stuck thread is left blocked (detached); the process is expected
+///   to exit with the test failure.
+pub fn run_with_timeout<R, F>(name: &str, timeout: Duration, f: F) -> R
+where
+    R: Send + 'static,
+    F: FnOnce() -> R + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::Builder::new()
+        .name(format!("watchdog-{name}"))
+        .spawn(move || {
+            // An explicit send (rather than relying on drop) keeps the
+            // "finished" signal ordered before the thread becomes joinable.
+            let result = panic::catch_unwind(panic::AssertUnwindSafe(f));
+            let _ = tx.send(());
+            result
+        })
+        .expect("spawn watchdog workload thread");
+    match rx.recv_timeout(timeout) {
+        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+            match handle.join().expect("watchdog thread vanished") {
+                Ok(v) => v,
+                Err(payload) => panic::resume_unwind(payload),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!(
+                "deadlock watchdog: workload '{name}' did not finish within \
+                 {timeout:?} — virtual time has most likely stopped advancing \
+                 (blocked receive with no matching send?)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_through_the_result() {
+        let v = run_with_timeout("quick", Duration::from_secs(5), || 6 * 7);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn reraises_workload_panics() {
+        let err = panic::catch_unwind(|| {
+            run_with_timeout("panicky", Duration::from_secs(5), || {
+                panic!("inner assertion text");
+            })
+        })
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("inner assertion text"), "{msg}");
+    }
+
+    #[test]
+    fn times_out_a_stuck_workload() {
+        let err = panic::catch_unwind(|| {
+            run_with_timeout("stuck", Duration::from_millis(50), || {
+                // A receive that can never complete, in miniature.
+                std::thread::sleep(Duration::from_secs(3600));
+            })
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock watchdog"), "{msg}");
+        assert!(msg.contains("'stuck'"), "{msg}");
+    }
+}

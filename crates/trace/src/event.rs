@@ -63,11 +63,14 @@ pub enum EventKind {
     // --- Cluster plumbing ---
     /// Comm thread servicing one request (span; arg = queueing delay ns).
     CommService,
+    // --- Fabric reliability (chaos fault injection) ---
+    /// One retransmission on the reliable channel (instant; arg = dst node).
+    NetRetransmit,
 }
 
 impl EventKind {
     /// All kinds, in declaration order (stable for reports).
-    pub const ALL: [EventKind; 24] = [
+    pub const ALL: [EventKind; 25] = [
         EventKind::DsmReadFault,
         EventKind::DsmWriteFault,
         EventKind::DsmTwin,
@@ -92,6 +95,7 @@ impl EventKind {
         EventKind::OmpSingle,
         EventKind::OmpForChunk,
         EventKind::CommService,
+        EventKind::NetRetransmit,
     ];
 
     /// Stable dotted name, used in Chrome traces and reports.
@@ -121,6 +125,7 @@ impl EventKind {
             EventKind::OmpSingle => "omp.single",
             EventKind::OmpForChunk => "omp.for_chunk",
             EventKind::CommService => "comm.service",
+            EventKind::NetRetransmit => "net.retransmit",
         }
     }
 
@@ -151,6 +156,7 @@ impl EventKind {
             | EventKind::OmpSingle
             | EventKind::OmpForChunk => "omp",
             EventKind::CommService => "comm",
+            EventKind::NetRetransmit => "net",
         }
     }
 
@@ -222,12 +228,12 @@ mod tests {
 
     #[test]
     fn taxonomy_is_consistent() {
-        assert_eq!(EventKind::ALL.len(), 24);
+        assert_eq!(EventKind::ALL.len(), 25);
         let mut names = std::collections::HashSet::new();
         for k in EventKind::ALL {
             assert!(names.insert(k.name()), "duplicate name {}", k.name());
             assert!(k.name().starts_with(k.category()));
-            assert!(["dsm", "mpi", "omp", "comm"].contains(&k.category()));
+            assert!(["dsm", "mpi", "omp", "comm", "net"].contains(&k.category()));
         }
     }
 
@@ -237,5 +243,6 @@ mod tests {
         assert_eq!(spans, 14);
         assert!(EventKind::OmpBarrier.is_span());
         assert!(!EventKind::DsmDiff.is_span());
+        assert!(!EventKind::NetRetransmit.is_span());
     }
 }

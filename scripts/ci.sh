@@ -40,6 +40,25 @@ test -s "$TRACE_TMP/smoke_trace.json"
 grep -q "omp.barrier" "$TRACE_TMP/breakdown.md"
 rm -rf "$TRACE_TMP"
 
+echo "== seeded chaos soak (figures -- chaos-smoke) =="
+# CG class S on 4 nodes over a lossy wire (PARADE_CHAOS or the pinned
+# schedule): the binary exits nonzero unless the result is bit-identical
+# to a chaos-free run AND at least one retransmission happened.
+SOAK_TMP="$(mktemp -d)"
+cargo run -q --offline -p parade-bench --bin figures -- chaos-smoke \
+  > "$SOAK_TMP/chaos.md"
+grep -q "Chaos smoke" "$SOAK_TMP/chaos.md"
+grep -q "retransmits" "$SOAK_TMP/chaos.md"
+rm -rf "$SOAK_TMP"
+
+echo "== primitives microbench (emits BENCH_primitives.json) =="
+BENCH_TMP="$(mktemp -d)"
+PARADE_BENCH_JSON="$BENCH_TMP" \
+  cargo bench -q --offline -p parade-bench --bench primitives \
+  > "$BENCH_TMP/primitives.md"
+test -s "$BENCH_TMP/BENCH_primitives.json"
+rm -rf "$BENCH_TMP"
+
 if cargo fmt --version >/dev/null 2>&1; then
   echo "== cargo fmt --check =="
   cargo fmt --check

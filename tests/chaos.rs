@@ -1,0 +1,412 @@
+//! Chaos soak suite: the fabric's fault injection + reliable channel,
+//! exercised end to end (tier-1).
+//!
+//! Every test here runs a deterministic fault schedule (pinned or
+//! property-derived seeds) and is bounded by the parade-testkit deadlock
+//! watchdog, so a protocol bug surfaces as a diagnostic failure rather
+//! than a hung CI job. The headline claims, per the reliable-channel
+//! design:
+//!
+//! * arbitrary drop/duplicate/reorder/delay schedules still deliver every
+//!   message exactly once, in per-link order;
+//! * MPI collectives and full DSM kernels (NPB CG, Helmholtz) compute
+//!   **bit-identical** results under chaos, because fault recovery only
+//!   reshuffles virtual time, never payloads;
+//! * a dead link (retry budget exhausted) fails fast with a structured
+//!   [`FabricError`] naming the link and the pending operation, within a
+//!   provable virtual-time bound, and the error reaches the run's
+//!   [`StatsReport`].
+
+use std::time::Duration;
+
+use parade::cluster::{launch, ClusterConfig, NodeEnv};
+use parade::core::{Cluster, StatsReport};
+use parade::kernels::cg::{cg_parade, CgClass};
+use parade::kernels::helmholtz::{helmholtz_parade, HelmholtzParams};
+use parade::mpi::{Communicator, ReduceOp};
+use parade::net::{
+    Bytes, ChaosKnobs, ChaosProfile, Fabric, Match, MsgClass, NetProfile, TimeSource, VClock, VTime,
+};
+use parade_testkit::prelude::*;
+
+/// Soak-wide watchdog budget. Generous in real time — these workloads
+/// finish in seconds; the bound only exists to convert a protocol hang
+/// (virtual time stuck) into a diagnosable failure.
+const SOAK: Duration = Duration::from_secs(300);
+
+fn payload_for(src: usize, class: MsgClass, tag: u64, len: usize) -> Bytes {
+    let stamp = (src as u8) ^ (class.index() as u8) << 4 ^ (tag as u8).wrapping_mul(31);
+    let data: Vec<u8> = (0..len.max(1))
+        .map(|i| stamp.wrapping_add(i as u8))
+        .collect();
+    Bytes::copy_from_slice(&data)
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: exactly-once, in-order delivery for arbitrary chaos profiles.
+// ---------------------------------------------------------------------------
+
+prop!(cases = 24, fn chaos_delivery_is_exactly_once_in_order(
+    (seed, (drop_m, dup_m, reorder_m), sizes) in |r: &mut TestRng| {
+        let seed = r.next_u64();
+        // Milli-probabilities. Drop is capped well below the point where a
+        // 24-retry budget could plausibly exhaust: the schedule stays
+        // adversarial but every message remains deliverable.
+        let knobs = (r.below(150), r.below(120), r.below(250));
+        let n = r.range_usize(8, 48);
+        let sizes: Vec<u64> = (0..n).map(|_| r.below(4096)).collect();
+        (seed, knobs, sizes)
+    }) {
+    let chaos = ChaosProfile {
+        seed,
+        base: ChaosKnobs {
+            drop: drop_m as f64 / 1000.0,
+            duplicate: dup_m as f64 / 1000.0,
+            reorder: reorder_m as f64 / 1000.0,
+            delay: 0.25,
+            delay_jitter: VTime::from_micros(40),
+        },
+        retry_budget: 24,
+        ..ChaosProfile::off()
+    };
+    run_with_timeout("exactly-once", SOAK, move || {
+        let fabric = Fabric::with_chaos(2, NetProfile::clan_via(), chaos);
+        let tx = fabric.endpoint(0);
+        let rx = fabric.endpoint(1);
+        let mut clk = VClock::manual();
+        for (i, len) in sizes.iter().enumerate() {
+            let body = payload_for(0, MsgClass::P2p, i as u64, *len as usize);
+            tx.send(1, MsgClass::P2p, i as u64, body, &mut clk);
+        }
+        let mut prev = VTime::ZERO;
+        for (i, len) in sizes.iter().enumerate() {
+            let p = rx.recv_any_raw(MsgClass::P2p).unwrap();
+            assert_eq!(p.tag, i as u64, "per-link order must survive chaos");
+            assert_eq!(
+                &p.payload[..],
+                &payload_for(0, MsgClass::P2p, i as u64, *len as usize)[..],
+                "payload must survive retransmission"
+            );
+            assert!(p.arrive_at >= prev, "arrival stamps must stay monotone");
+            prev = p.arrive_at;
+        }
+        assert_eq!(rx.queued(MsgClass::P2p), 0, "no duplicate may survive");
+        let stats = fabric.stats();
+        assert_eq!(
+            stats.totals().msgs,
+            stats.recv_totals().msgs,
+            "exactly one logical receive per logical send"
+        );
+    });
+});
+
+// ---------------------------------------------------------------------------
+// Satellite: collectives equal their chaos-free results for arbitrary P.
+// ---------------------------------------------------------------------------
+
+/// One deterministic collective workload: `rounds` iterations of
+/// barrier → allreduce(sum) → bcast on every rank. Returns each rank's
+/// observed values as raw f64 bit patterns, so equality means
+/// *bit-identical*, not merely approximately equal.
+fn run_collectives(p: usize, rounds: usize, chaos: ChaosProfile) -> Vec<Vec<u64>> {
+    let fabric = Fabric::with_chaos(p, NetProfile::clan_via(), chaos);
+    let handles: Vec<_> = (0..p)
+        .map(|rank| {
+            let ep = fabric.endpoint(rank);
+            std::thread::spawn(move || {
+                let comm = Communicator::new(ep);
+                let mut clk = VClock::manual();
+                let mut seen = Vec::with_capacity(rounds * (p + 1));
+                for round in 0..rounds {
+                    comm.barrier(&mut clk);
+                    let s = comm.allreduce_f64((rank + round) as f64, ReduceOp::Sum, &mut clk);
+                    seen.push(s.to_bits());
+                    let root = round % p;
+                    let mut xs: Vec<f64> = if rank == root {
+                        (0..p).map(|i| (round * 31 + i) as f64 * 0.5).collect()
+                    } else {
+                        vec![0.0; p]
+                    };
+                    comm.bcast_f64s(root, &mut xs, &mut clk);
+                    seen.extend(xs.iter().map(|x| x.to_bits()));
+                }
+                seen
+            })
+        })
+        .collect();
+    let out: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    fabric.begin_shutdown();
+    out
+}
+
+prop!(cases = 8, fn collectives_match_chaos_free_results(
+    (p, seed, rounds) in |r: &mut TestRng| {
+        (r.range_usize(2, 6), r.next_u64(), r.range_usize(3, 8))
+    }) {
+    run_with_timeout("collectives", SOAK, move || {
+        let hostile = ChaosProfile {
+            seed,
+            base: ChaosKnobs {
+                drop: 0.08,
+                duplicate: 0.04,
+                reorder: 0.10,
+                delay: 0.15,
+                delay_jitter: VTime::from_micros(25),
+            },
+            ..ChaosProfile::off()
+        };
+        let chaotic = run_collectives(p, rounds, hostile);
+        let clean = run_collectives(p, rounds, ChaosProfile::off());
+        assert_eq!(
+            chaotic, clean,
+            "collectives must be bit-identical under chaos (P={p}, seed={seed:#x})"
+        );
+        // Cross-check one closed form so both runs can't be wrong together:
+        // round 0's allreduce sums 0+1+…+(p-1) on every rank.
+        let expect = ((p * (p - 1)) / 2) as f64;
+        for rank_log in &clean {
+            assert_eq!(rank_log[0], expect.to_bits());
+        }
+    });
+});
+
+// ---------------------------------------------------------------------------
+// Satellite: systematic (class, src, tag) matching under permuted receives.
+// ---------------------------------------------------------------------------
+
+prop!(cases = 16, fn matching_survives_any_receive_permutation_under_chaos(
+    (seed, order_seed) in |r: &mut TestRng| (r.next_u64(), r.next_u64())) {
+    run_with_timeout("matching", SOAK, move || {
+        const NODES: usize = 4;
+        const TAGS: u64 = 3;
+        const CLASSES: [MsgClass; 4] =
+            [MsgClass::Dsm, MsgClass::P2p, MsgClass::Coll, MsgClass::Ctl];
+        let fabric = Fabric::with_chaos(
+            NODES,
+            NetProfile::clan_via(),
+            ChaosProfile::lossy(seed),
+        );
+        // Every (class, src, tag) combination sent concurrently to node 0.
+        let senders: Vec<_> = (1..NODES)
+            .map(|src| {
+                let ep = fabric.endpoint(src);
+                std::thread::spawn(move || {
+                    let mut clk = VClock::manual();
+                    for class in CLASSES {
+                        for tag in 0..TAGS {
+                            let body = payload_for(src, class, tag, 24 + src + tag as usize);
+                            ep.send(0, class, tag, body, &mut clk);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for s in senders {
+            s.join().unwrap();
+        }
+        // Receive in an arbitrary order: the mailbox must match on
+        // (class, src, tag) regardless of both the wire's reordering and
+        // the receiver's own draining order.
+        let mut order: Vec<(MsgClass, usize, u64)> = CLASSES
+            .iter()
+            .flat_map(|&c| (1..NODES).flat_map(move |s| (0..TAGS).map(move |t| (c, s, t))))
+            .collect();
+        let mut shuffle = TestRng::new(order_seed);
+        for i in (1..order.len()).rev() {
+            order.swap(i, shuffle.below(i as u64 + 1) as usize);
+        }
+        let rx = fabric.endpoint(0);
+        for (class, src, tag) in order {
+            let p = rx.recv_raw(class, Match::src_tag(src, tag)).unwrap();
+            assert_eq!((p.src, p.tag), (src, tag));
+            assert_eq!(
+                &p.payload[..],
+                &payload_for(src, class, tag, 24 + src + tag as usize)[..]
+            );
+        }
+        for class in CLASSES {
+            assert_eq!(rx.queued(class), 0, "{class:?} mailbox must drain");
+        }
+        let stats = fabric.stats();
+        assert_eq!(stats.totals().msgs, stats.recv_totals().msgs);
+    });
+});
+
+// ---------------------------------------------------------------------------
+// Satellite: full kernels are bit-identical under a pinned lossy schedule.
+// ---------------------------------------------------------------------------
+
+fn soak_cluster(chaos: ChaosProfile) -> Cluster {
+    Cluster::builder()
+        .nodes(4)
+        .threads_per_node(2)
+        .net(NetProfile::clan_via())
+        .time(TimeSource::Manual)
+        .chaos(chaos)
+        .build()
+        .expect("cluster")
+}
+
+#[test]
+fn cg_class_s_is_bit_identical_under_lossy_chaos() {
+    run_with_timeout("cg-chaos", SOAK, || {
+        let (clean, _) = cg_parade(&soak_cluster(ChaosProfile::off()), CgClass::S);
+        let (chaotic, report) =
+            cg_parade(&soak_cluster(ChaosProfile::lossy(0xC6_5EED)), CgClass::S);
+        // NPB verification value first, then the stronger claim: chaos
+        // recovery must not perturb a single bit of the arithmetic.
+        assert!(
+            (chaotic.zeta - 8.5971775078648).abs() <= 1e-10,
+            "zeta={}",
+            chaotic.zeta
+        );
+        assert_eq!(chaotic.zeta.to_bits(), clean.zeta.to_bits());
+        assert_eq!(chaotic.rnorm.to_bits(), clean.rnorm.to_bits());
+        assert!(report.cluster.fabric_error.is_none());
+        let h = report.cluster.link_health_totals();
+        assert!(
+            h.retransmits >= 1,
+            "a lossy soak must exercise the retransmit path: {h:?}"
+        );
+    });
+}
+
+#[test]
+fn helmholtz_is_bit_identical_under_lossy_chaos() {
+    run_with_timeout("helmholtz-chaos", SOAK, || {
+        let p = HelmholtzParams::sized(32, 32, 50);
+        let (clean, _) = helmholtz_parade(&soak_cluster(ChaosProfile::off()), p.clone());
+        let (chaotic, report) =
+            helmholtz_parade(&soak_cluster(ChaosProfile::lossy(0x4E1D_A7A5)), p);
+        assert_eq!(chaotic.iters, clean.iters);
+        assert_eq!(chaotic.error.to_bits(), clean.error.to_bits());
+        assert_eq!(
+            chaotic.solution_error.to_bits(),
+            clean.solution_error.to_bits()
+        );
+        assert!(report.cluster.fabric_error.is_none());
+        let h = report.cluster.link_health_totals();
+        assert!(h.retransmits >= 1, "{h:?}");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: negative path — a dead link fails fast, loudly, and visibly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dead_link_fails_with_structured_error_within_bounded_virtual_time() {
+    run_with_timeout("dead-link", SOAK, || {
+        let chaos = ChaosProfile::off().with_link(
+            0,
+            2,
+            ChaosKnobs {
+                drop: 1.0,
+                ..ChaosKnobs::CALM
+            },
+        );
+        let fabric = Fabric::with_chaos(3, NetProfile::clan_via(), chaos.clone());
+        // A receiver parked on an unrelated node: fail-stop shutdown must
+        // release it rather than leave it blocked forever.
+        let waiter = {
+            let ep = fabric.endpoint(1);
+            std::thread::spawn(move || ep.recv_any_raw(MsgClass::P2p))
+        };
+        let mut clk = VClock::manual();
+        let err = fabric
+            .endpoint(0)
+            .send_checked(
+                2,
+                MsgClass::Dsm,
+                9,
+                Bytes::copy_from_slice(b"doomed"),
+                &mut clk,
+            )
+            .unwrap_err();
+        assert_eq!((err.src, err.dst), (0, 2));
+        assert_eq!(err.attempts, chaos.retry_budget + 1);
+        // Exhaustion is bounded in *virtual* time: the ARQ gives up at
+        // Σ_{k=0}^{budget} rto·backoff^k, never later.
+        let bound_ns = chaos.rto.as_nanos()
+            * (0..=chaos.retry_budget)
+                .map(|k| u64::from(chaos.backoff).pow(k))
+                .sum::<u64>();
+        assert_eq!(err.gave_up_at, VTime::from_nanos(bound_ns));
+        let msg = err.to_string();
+        assert!(msg.contains("fabric link 0->2 dead"), "{msg}");
+        assert!(msg.contains("DSM protocol request"), "{msg}");
+        // Fail-stop: the error sticks in the stats and blocked peers wake.
+        assert_eq!(fabric.stats().fabric_error().map(|e| e.dst), Some(2));
+        assert!(fabric.stats().link_health_totals().send_failures >= 1);
+        assert!(waiter.join().unwrap().is_err(), "shutdown must unblock");
+    });
+}
+
+#[test]
+fn dead_link_error_reaches_the_stats_report() {
+    run_with_timeout("dead-link-report", SOAK, || {
+        // Kill only the P2p class so the DSM runtime underneath stays
+        // healthy; the node program then exercises the doomed class itself.
+        let chaos = ChaosProfile::off().with_class(
+            MsgClass::P2p,
+            ChaosKnobs {
+                drop: 1.0,
+                ..ChaosKnobs::CALM
+            },
+        );
+        let cfg = ClusterConfig {
+            nodes: 2,
+            net: NetProfile::clan_via(),
+            time: TimeSource::Manual,
+            chaos,
+            ..ClusterConfig::default()
+        };
+        let (results, report) = launch(cfg, |env: NodeEnv| {
+            let mut clk = env.new_clock();
+            // All nodes meet first so nobody is mid-protocol when the
+            // doomed send shuts the fabric down.
+            env.dsm.barrier(&mut clk);
+            if env.node == 0 {
+                let ep = env.fabric.endpoint(0);
+                ep.send_checked(
+                    1,
+                    MsgClass::P2p,
+                    77,
+                    Bytes::copy_from_slice(b"lost cause"),
+                    &mut clk,
+                )
+                .err()
+            } else {
+                None
+            }
+        });
+        let err = results[0].clone().expect("node 0 must observe the failure");
+        assert_eq!((err.src, err.dst, err.tag), (0, 1, 77));
+        let err2 = report
+            .fabric_error
+            .clone()
+            .expect("error must reach the report");
+        assert_eq!(err2.to_string(), err.to_string());
+        // And it must survive all the way into the rendered StatsReport
+        // (the same copying StatsReport::from_run performs on a RunReport).
+        let sr = StatsReport {
+            label: "dead-link".into(),
+            exec_time: VTime::ZERO,
+            node_times: vec![VTime::ZERO; 2],
+            node_compute: Vec::new(),
+            node_comm: Vec::new(),
+            dsm: report.dsm_totals(),
+            net: report.net.clone(),
+            link_health: report.link_health.clone(),
+            fabric_error: report.fabric_error.clone(),
+            trace: None,
+        };
+        let text = sr.render();
+        assert!(
+            text.contains("FABRIC ERROR: fabric link 0->1 dead"),
+            "{text}"
+        );
+        assert!(text.contains("MPI point-to-point message"), "{text}");
+        assert!(text.contains("net reliability:"), "{text}");
+    });
+}
