@@ -1,15 +1,21 @@
 //! `paradec` — the ParADE OpenMP translator CLI.
 //!
 //! ```text
-//! paradec translate <file.c> [--mode parade|sdsm] [--threshold N]
-//! paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm] [--trace FILE]
 //! paradec check <file.c>
+//! paradec translate <file.c> [--mode parade|sdsm] [--threshold N] [--no-check]
+//! paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm]
+//!                      [--trace FILE] [--oracle] [--no-check]
 //! ```
 //!
-//! `translate` prints the translated C source (Figures 2/3 style);
-//! `run` interprets the program on a simulated cluster and prints its
-//! output plus a runtime report; `check` parses and analyzes only.
+//! `check` runs the static analyzer and prints its diagnostics; any
+//! `error[PCnnn]` makes it exit non-zero. `translate` prints the translated
+//! C source (Figures 2/3 style) and `run` interprets the program on a
+//! simulated cluster — both run the analyzer first and refuse programs
+//! with errors unless `--no-check` is given. `run --oracle` additionally
+//! enables the happens-before race oracle inside the interpreter and
+//! reports any data races the execution actually exhibited.
 
+use parade_check::{check_program, has_errors, Severity};
 use parade_core::{Cluster, NetProfile, ProtocolMode, TimeSource};
 use parade_translator::emit::{translate, EmitMode};
 use parade_translator::interp::Interp;
@@ -17,11 +23,13 @@ use parade_translator::parser::parse;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  paradec translate <file.c> [--mode parade|sdsm] [--threshold N]\n  \
-         paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm] [--trace FILE]\n  \
-         paradec check <file.c>\n\
+        "usage:\n  paradec check <file.c>\n  \
+         paradec translate <file.c> [--mode parade|sdsm] [--threshold N] [--no-check]\n  \
+         paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm] [--trace FILE] [--oracle] [--no-check]\n\
   --trace FILE: record the run and write a Chrome trace_event file\n\
-                (open in chrome://tracing or Perfetto); same as PARADE_TRACE=FILE"
+                (open in chrome://tracing or Perfetto); same as PARADE_TRACE=FILE\n\
+  --oracle:     detect data races at runtime (vector-clock happens-before)\n\
+  --no-check:   skip the static analyzer gate before translate/run"
     );
     std::process::exit(2);
 }
@@ -38,6 +46,8 @@ fn main() {
     let mut threads = 2usize;
     let mut threshold = parade_translator::analysis::DEFAULT_SMALL_THRESHOLD;
     let mut trace_path: Option<String> = None;
+    let mut oracle = false;
+    let mut no_check = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,6 +83,8 @@ fn main() {
                     .parse()
                     .expect("bad --threshold");
             }
+            "--oracle" => oracle = true,
+            "--no-check" => no_check = true,
             _ => usage(),
         }
         i += 1;
@@ -90,14 +102,41 @@ fn main() {
         }
     };
 
-    match cmd {
-        "check" => {
-            println!(
-                "{file}: ok ({} top-level items, {} includes)",
-                prog.items.len(),
-                prog.includes.len()
-            );
+    // The analyzer gates everything; `--no-check` demotes a failing gate to
+    // a warning so known-racy programs can still be run (e.g. to watch the
+    // oracle catch them).
+    if cmd == "check" || !no_check {
+        let diags = check_program(&prog);
+        for d in &diags {
+            eprintln!("{}", d.render(file));
         }
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        if cmd == "check" {
+            if diags.is_empty() {
+                println!(
+                    "{file}: ok ({} top-level items, {} includes)",
+                    prog.items.len(),
+                    prog.includes.len()
+                );
+            } else {
+                eprintln!("{file}: {errors} error(s), {warnings} warning(s)");
+            }
+            std::process::exit(if has_errors(&diags) { 1 } else { 0 });
+        }
+        if has_errors(&diags) {
+            eprintln!(
+                "paradec: {file}: {errors} error(s) from `paradec check`; \
+                 pass --no-check to {cmd} anyway"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    match cmd {
         "translate" => {
             let emit_mode = match mode.as_str() {
                 "sdsm" => EmitMode::Sdsm,
@@ -128,14 +167,31 @@ fn main() {
                 .time(TimeSource::ThreadCpu { scale: 60.0 })
                 .build()
                 .expect("cluster config");
-            match Interp::new(prog).with_threshold(threshold).run(&cluster) {
+            let mut interp = Interp::new(prog).with_threshold(threshold);
+            if oracle {
+                interp = interp.with_oracle();
+            }
+            match interp.run(&cluster) {
                 Ok(out) => {
                     print!("{}", out.stdout);
                     if let Some(path) = &trace_path {
                         eprintln!("[paradec] trace written to {path}");
                     }
+                    for r in &out.races {
+                        eprintln!("[paradec] race: {r}");
+                    }
+                    if oracle && out.races.is_empty() {
+                        eprintln!("[paradec] oracle: no data races observed");
+                    }
                     eprintln!("[paradec] exit code {}", out.exit);
-                    std::process::exit(out.exit as i32);
+                    let code = if out.exit != 0 {
+                        out.exit as i32
+                    } else if out.races.is_empty() {
+                        0
+                    } else {
+                        1
+                    };
+                    std::process::exit(code);
                 }
                 Err(e) => {
                     eprintln!("paradec: {file}: {e}");

@@ -1,0 +1,177 @@
+//! Structured diagnostics: stable lint ids, severity, source spans.
+
+use std::fmt;
+
+use parade_translator::Span;
+
+/// Diagnostic severity. `Error` diagnostics make `paradec check` exit
+/// non-zero; `Warning`s are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable lint identifiers. Codes are append-only: new lints get new
+/// numbers, retired lints leave holes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LintId {
+    /// PC001 — write to a shared variable inside a parallel region with no
+    /// synchronization and no iteration-disjoint subscript.
+    SharedWriteRace,
+    /// PC002 — loop-carried dependence under a work-sharing directive
+    /// (`a[i±k]` read against an `a[i]` write).
+    LoopCarriedDependence,
+    /// PC003 — reduction variable read or written outside its combining
+    /// update, or updated with a mismatched operator.
+    ReductionMisuse,
+    /// PC004 — barrier placed where threads can diverge: inside
+    /// `single`/`master`/`critical`, or under a thread-dependent condition.
+    BarrierPlacement,
+    /// PC005 — `nowait` loop followed by an access to data it wrote,
+    /// before any joining barrier.
+    NowaitUnsyncRead,
+    /// PC006 — clause-private variable read before any write (likely
+    /// should be `firstprivate`).
+    PrivateUninitRead,
+    /// PC007 — directive structure: bad nesting, orphaned constructs,
+    /// non-canonical work-shared loops, malformed atomic bodies, unknown
+    /// clause variables.
+    DirectiveStructure,
+}
+
+impl LintId {
+    pub const ALL: [LintId; 7] = [
+        LintId::SharedWriteRace,
+        LintId::LoopCarriedDependence,
+        LintId::ReductionMisuse,
+        LintId::BarrierPlacement,
+        LintId::NowaitUnsyncRead,
+        LintId::PrivateUninitRead,
+        LintId::DirectiveStructure,
+    ];
+
+    /// The stable code, e.g. `PC001`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::SharedWriteRace => "PC001",
+            LintId::LoopCarriedDependence => "PC002",
+            LintId::ReductionMisuse => "PC003",
+            LintId::BarrierPlacement => "PC004",
+            LintId::NowaitUnsyncRead => "PC005",
+            LintId::PrivateUninitRead => "PC006",
+            LintId::DirectiveStructure => "PC007",
+        }
+    }
+
+    /// Human-readable lint name (kebab-case, for docs and `--explain`).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintId::SharedWriteRace => "shared-write-race",
+            LintId::LoopCarriedDependence => "loop-carried-dependence",
+            LintId::ReductionMisuse => "reduction-misuse",
+            LintId::BarrierPlacement => "barrier-placement",
+            LintId::NowaitUnsyncRead => "nowait-unsynchronized-access",
+            LintId::PrivateUninitRead => "private-read-before-write",
+            LintId::DirectiveStructure => "directive-structure",
+        }
+    }
+
+    /// Default severity of the lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintId::PrivateUninitRead => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for LintId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diag {
+    pub lint: LintId,
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diag {
+    pub fn new(lint: LintId, span: Span, message: impl Into<String>) -> Diag {
+        Diag {
+            lint,
+            severity: lint.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Render as `file:line:col: severity[PCnnn]: message`.
+    pub fn render(&self, file: &str) -> String {
+        format!(
+            "{file}:{}: {}[{}]: {}",
+            self.span,
+            self.severity,
+            self.lint.code(),
+            self.message
+        )
+    }
+}
+
+/// True if any diagnostic is `Error` severity (the check-gate predicate).
+pub fn has_errors(diags: &[Diag]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let codes: Vec<&str> = LintId::ALL.iter().map(|l| l.code()).collect();
+        assert_eq!(
+            codes,
+            vec!["PC001", "PC002", "PC003", "PC004", "PC005", "PC006", "PC007"]
+        );
+    }
+
+    #[test]
+    fn render_includes_span_and_code() {
+        let d = Diag::new(
+            LintId::SharedWriteRace,
+            Span::new(12, 5),
+            "write to shared `x`",
+        );
+        assert_eq!(
+            d.render("prog.c"),
+            "prog.c:12:5: error[PC001]: write to shared `x`"
+        );
+    }
+
+    #[test]
+    fn only_private_uninit_is_warning() {
+        for l in LintId::ALL {
+            let expect = if l == LintId::PrivateUninitRead {
+                Severity::Warning
+            } else {
+                Severity::Error
+            };
+            assert_eq!(l.severity(), expect, "{}", l.code());
+        }
+    }
+}

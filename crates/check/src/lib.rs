@@ -1,0 +1,498 @@
+//! # parade-check — static OpenMP race & conformance analyzer
+//!
+//! A lint pass over the translator AST that runs before the program ever
+//! touches the simulated cluster (`paradec check`, and automatically ahead
+//! of `paradec run`/`translate`). The ParADE paper's translator decides
+//! *how* to lower each directive (collective vs lock, §4.2/§5.2.1); this
+//! crate decides whether the program *means* anything under the OpenMP
+//! relaxed-consistency contract at all — unsynchronized shared writes,
+//! loop-carried dependences under `omp for`, misused reductions, divergent
+//! barriers, and structural misuse the runtime would reject.
+//!
+//! Every diagnostic carries a stable lint id (`PC001`–`PC007`), a severity,
+//! and the source span of the offending construct:
+//!
+//! ```text
+//! examples/racy.c:9:5: error[PC001]: unsynchronized write to shared variable `sum` …
+//! ```
+//!
+//! The static verdicts are cross-checked dynamically by the happens-before
+//! oracle in `parade_translator::oracle` (FastTrack-style vector-clock race
+//! detection inside the interpreter); `tests/check_corpus.rs` at the
+//! workspace root asserts the two agree on a corpus of small OpenMP
+//! programs.
+
+pub mod diag;
+mod region;
+
+pub use diag::{has_errors, Diag, LintId, Severity};
+
+use parade_translator::analysis::Symbols;
+use parade_translator::ast::*;
+use parade_translator::{parse, ParseError};
+
+/// Parse and check; parse errors are returned, not converted to lints.
+pub fn check_source(src: &str) -> Result<Vec<Diag>, ParseError> {
+    Ok(check_program(&parse(src)?))
+}
+
+/// Run every detector over a parsed program. Diagnostics come back sorted
+/// by source position, duplicates removed.
+pub fn check_program(prog: &Program) -> Vec<Diag> {
+    let mut diags = Vec::new();
+    for item in &prog.items {
+        if let Item::Func(f) = item {
+            let syms = Symbols::collect(prog, f);
+            walk_outer(&syms, &f.body, &mut diags);
+        }
+    }
+    diags.sort_by(|a, b| {
+        (a.span.line, a.span.col, a.lint, &a.message).cmp(&(
+            b.span.line,
+            b.span.col,
+            b.lint,
+            &b.message,
+        ))
+    });
+    diags.dedup();
+    diags
+}
+
+/// The walk outside any parallel region: dispatch regions to the detectors
+/// in [`region`], flag orphaned constructs (the interpreter rejects them at
+/// runtime — PC007 makes that a compile-time verdict).
+fn walk_outer(syms: &Symbols, s: &Stmt, diags: &mut Vec<Diag>) {
+    match s {
+        Stmt::Omp(d, body) => {
+            check_clause_vars(d, syms, diags);
+            match d.kind {
+                DirKind::Parallel | DirKind::ParallelFor => match body {
+                    Some(b) => region::check_parallel_region(d, b, syms, diags),
+                    None => diags.push(Diag::new(
+                        LintId::DirectiveStructure,
+                        d.span,
+                        format!(
+                            "`{}` directive has no statement to apply to",
+                            kind_name(&d.kind)
+                        ),
+                    )),
+                },
+                _ => {
+                    diags.push(Diag::new(
+                        LintId::DirectiveStructure,
+                        d.span,
+                        format!(
+                            "`{}` directive outside a parallel region; the runtime \
+                             rejects orphaned constructs",
+                            kind_name(&d.kind)
+                        ),
+                    ));
+                    if let Some(b) = body {
+                        walk_outer(syms, b, diags);
+                    }
+                }
+            }
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                walk_outer(syms, s, diags);
+            }
+        }
+        Stmt::If(_, a, b) => {
+            walk_outer(syms, a, diags);
+            if let Some(b) = b {
+                walk_outer(syms, b, diags);
+            }
+        }
+        Stmt::While(_, b) => walk_outer(syms, b, diags),
+        Stmt::For { body, .. } => walk_outer(syms, body, diags),
+        _ => {}
+    }
+}
+
+fn kind_name(k: &DirKind) -> &'static str {
+    match k {
+        DirKind::Parallel => "parallel",
+        DirKind::For => "for",
+        DirKind::ParallelFor => "parallel for",
+        DirKind::Critical(_) => "critical",
+        DirKind::Atomic => "atomic",
+        DirKind::Single => "single",
+        DirKind::Master => "master",
+        DirKind::Barrier => "barrier",
+    }
+}
+
+/// PC007: every variable named in a data-scoping clause must resolve to a
+/// declaration, and reduction variables must be scalars.
+pub(crate) fn check_clause_vars(dir: &Directive, syms: &Symbols, diags: &mut Vec<Diag>) {
+    let flag = |name: &str, clause: &str, diags: &mut Vec<Diag>| {
+        diags.push(Diag::new(
+            LintId::DirectiveStructure,
+            dir.span,
+            format!("unknown variable `{name}` in `{clause}` clause"),
+        ));
+    };
+    for c in &dir.clauses {
+        let (vars, clause): (&Vec<String>, &str) = match c {
+            Clause::Private(v) => (v, "private"),
+            Clause::Shared(v) => (v, "shared"),
+            Clause::FirstPrivate(v) => (v, "firstprivate"),
+            Clause::LastPrivate(v) => (v, "lastprivate"),
+            Clause::Reduction(_, v) => (v, "reduction"),
+            _ => continue,
+        };
+        for name in vars {
+            match syms.get(name) {
+                None => flag(name, clause, diags),
+                Some(d) if clause == "reduction" && d.is_array() => {
+                    diags.push(Diag::new(
+                        LintId::DirectiveStructure,
+                        dir.span,
+                        format!("reduction variable `{name}` must be a scalar"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        let mut c: Vec<&'static str> = check_source(src)
+            .expect("parse")
+            .iter()
+            .map(|d| d.lint.code())
+            .collect();
+        c.dedup();
+        c
+    }
+
+    #[test]
+    fn clean_reduction_loop_has_no_diags() {
+        let src = r#"
+int main() {
+    int i; double sum; double a[64];
+    sum = 0.0;
+    #pragma omp parallel for reduction(+ : sum)
+    for (i = 0; i < 64; i++) sum += a[i];
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", check_source(src).unwrap());
+    }
+
+    #[test]
+    fn pc001_shared_scalar_write() {
+        let src = r#"
+int main() {
+    int i; double t; double a[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) { t = a[i]; a[i] = t * 2.0; }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC001"]);
+    }
+
+    #[test]
+    fn pc001_array_write_without_disjoint_subscript() {
+        let src = r#"
+int main() {
+    double a[8];
+    #pragma omp parallel
+    { a[0] = 1.0; }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC001"]);
+    }
+
+    #[test]
+    fn pc001_thread_num_subscript_is_disjoint() {
+        let src = r#"
+int main() {
+    double a[8];
+    #pragma omp parallel
+    { a[omp_get_thread_num()] = 1.0; }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn pc002_loop_carried_read() {
+        let src = r#"
+int main() {
+    int i; double a[64];
+    #pragma omp parallel for
+    for (i = 1; i < 64; i++) a[i] = a[i - 1] + 1.0;
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC002"]);
+    }
+
+    #[test]
+    fn stencil_reading_only_same_index_is_clean() {
+        let src = r#"
+int main() {
+    int i; double a[64]; double b[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) b[i] = a[i] * 0.5;
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn jacobi_two_array_stencil_is_clean() {
+        // Reads neighbours of `a`, writes `b`: offsets differ but across
+        // different arrays — no dependence.
+        let src = r#"
+int main() {
+    int i; double a[64]; double b[64];
+    #pragma omp parallel for
+    for (i = 1; i < 63; i++) b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn pc003_wrong_operator() {
+        let src = r#"
+int main() {
+    int i; double p;
+    #pragma omp parallel for reduction(* : p)
+    for (i = 0; i < 8; i++) p += 1.0;
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC003"]);
+    }
+
+    #[test]
+    fn pc003_read_outside_update() {
+        let src = r#"
+int main() {
+    int i; double s; double a[8];
+    #pragma omp parallel for reduction(+ : s)
+    for (i = 0; i < 8; i++) { a[i] = s; s += 1.0; }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC003"]);
+    }
+
+    #[test]
+    fn pc003_minmax_update_is_sanctioned() {
+        let src = r#"
+int main() {
+    int i; double m; double a[8];
+    #pragma omp parallel for reduction(min : m)
+    for (i = 0; i < 8; i++) m = fmin(m, a[i]);
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn pc004_barrier_in_single() {
+        let src = r#"
+int main() {
+    double x;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            x = 1.0;
+            #pragma omp barrier
+        }
+    }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC004"]);
+    }
+
+    #[test]
+    fn pc004_barrier_under_thread_dependent_condition() {
+        let src = r#"
+int main() {
+    #pragma omp parallel
+    {
+        if (omp_get_thread_num() == 0) {
+            #pragma omp barrier
+        }
+    }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC004"]);
+    }
+
+    #[test]
+    fn pc005_read_after_nowait() {
+        let src = r#"
+int main() {
+    int i; int j; double a[64]; double b[64];
+    #pragma omp parallel
+    {
+        #pragma omp for nowait
+        for (i = 0; i < 64; i++) a[i] = 1.0;
+        #pragma omp for
+        for (j = 0; j < 64; j++) b[j] = a[63 - j];
+    }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC005"]);
+    }
+
+    #[test]
+    fn pc005_cleared_by_barrier() {
+        let src = r#"
+int main() {
+    int i; int j; double a[64]; double b[64];
+    #pragma omp parallel
+    {
+        #pragma omp for nowait
+        for (i = 0; i < 64; i++) a[i] = 1.0;
+        #pragma omp barrier
+        #pragma omp for
+        for (j = 0; j < 64; j++) b[j] = a[63 - j];
+    }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn pc006_private_read_before_write() {
+        let src = r#"
+int main() {
+    double t; double x;
+    #pragma omp parallel private(t)
+    {
+        #pragma omp critical
+        { x = x + t; }
+        t = 0.0;
+    }
+    return 0;
+}
+"#;
+        let ds = check_source(src).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].lint, LintId::PrivateUninitRead);
+        assert_eq!(ds[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn pc007_orphaned_for() {
+        let src = r#"
+int main() {
+    int i; double a[8];
+    #pragma omp for
+    for (i = 0; i < 8; i++) a[i] = 1.0;
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC007"]);
+    }
+
+    #[test]
+    fn pc007_nested_parallel_and_unknown_clause_var() {
+        let src = r#"
+int main() {
+    double x;
+    #pragma omp parallel private(nosuch)
+    {
+        #pragma omp parallel
+        { x = 1.0; }
+    }
+    return 0;
+}
+"#;
+        let ds = check_source(src).unwrap();
+        assert!(
+            ds.iter().all(|d| d.lint == LintId::DirectiveStructure),
+            "{ds:?}"
+        );
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn pc007_non_canonical_ws_loop() {
+        let src = r#"
+int main() {
+    int i; double a[8];
+    #pragma omp parallel for
+    for (i = 8; i > 0; i = i - 1) a[i - 1] = 1.0;
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC007"]);
+    }
+
+    #[test]
+    fn pc007_malformed_atomic() {
+        let src = r#"
+int main() {
+    double x; double y;
+    #pragma omp parallel
+    {
+        #pragma omp atomic
+        x = y;
+    }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC007"]);
+    }
+
+    #[test]
+    fn exit_gate_predicate() {
+        let ds = check_source(
+            r#"
+int main() {
+    double t;
+    #pragma omp parallel private(t)
+    { double u; u = t; }
+    return 0;
+}
+"#,
+        )
+        .unwrap();
+        // A lone warning must not trip the gate.
+        assert_eq!(ds.len(), 1);
+        assert!(!has_errors(&ds));
+    }
+
+    #[test]
+    fn diags_are_position_sorted() {
+        let src = r#"
+int main() {
+    int i; double a[8]; double s;
+    #pragma omp parallel
+    {
+        s = 1.0;
+        a[0] = 2.0;
+    }
+    return 0;
+}
+"#;
+        let ds = check_source(src).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(ds[0].span.line <= ds[1].span.line);
+    }
+}

@@ -1,0 +1,914 @@
+//! Per-region detectors: everything that needs a `RegionClassification`.
+//!
+//! The outer walk in `lib.rs` finds `parallel` / `parallel for` directives
+//! and hands each region here. One lexical pass over the region body drives
+//! all of:
+//!
+//! - **PC001** shared-write-race — writes to shared data with no enclosing
+//!   synchronization and no thread-disjoint subscript;
+//! - **PC002** loop-carried-dependence — cross-iteration conflicts under a
+//!   work-shared loop (`a[i]` written, `a[i-1]` read);
+//! - **PC003** reduction-misuse — reduction variables touched outside
+//!   their combining update, or combined with the wrong operator;
+//! - **PC004** barrier-placement — barriers where the team can diverge;
+//! - **PC005** nowait-unsynchronized-access — data written by a `nowait`
+//!   loop touched by a block sibling before any joining barrier;
+//! - **PC006** private-read-before-write — `private` variables read while
+//!   still uninitialized (should likely be `firstprivate`);
+//! - **PC007** directive-structure — bad nesting and malformed constructs
+//!   *inside* the region (orphans are the outer walk's job).
+
+use std::collections::{HashMap, HashSet};
+
+use parade_translator::analysis::{
+    as_scalar_update, classify_region, loop_of, RegionClassification, Symbols, VarScope,
+};
+use parade_translator::ast::*;
+
+use crate::diag::{Diag, LintId};
+
+/// Entry point: check one `parallel` / `parallel for` region.
+pub(crate) fn check_parallel_region(
+    dir: &Directive,
+    body: &Stmt,
+    syms: &Symbols,
+    diags: &mut Vec<Diag>,
+) {
+    let class = classify_region(dir, body, syms);
+    // Clause-private (and lastprivate) variables enter the region with
+    // indeterminate values — track first accesses for PC006.
+    let tracked: HashSet<String> = class
+        .scopes
+        .iter()
+        .filter(|(n, s)| {
+            matches!(s, VarScope::Private | VarScope::LastPrivate)
+                && !class.region_locals.contains(*n)
+        })
+        .map(|(n, _)| n.clone())
+        .collect();
+    let mut cx = RegionCx {
+        class,
+        syms,
+        diags,
+        cur_span: dir.span,
+        protect: Vec::new(),
+        divergent: 0,
+        ws: Vec::new(),
+        tracked,
+        written: HashSet::new(),
+        warned_uninit: HashSet::new(),
+    };
+    match dir.kind {
+        DirKind::ParallelFor => cx.enter_ws(dir, body),
+        _ => cx.walk(body),
+    }
+}
+
+/// Affine shape of one subscript expression relative to a loop variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Off {
+    /// `i + c` (c may be 0 or negative) — injective in the loop variable.
+    Affine(i64),
+    /// A compile-time constant.
+    Const(i64),
+    /// Anything else.
+    Unknown,
+}
+
+/// Classify `e` as an affine function of `v`, a constant, or unknown.
+fn offset_in(e: &Expr, v: &str) -> Off {
+    match e {
+        Expr::Int(c) => Off::Const(*c),
+        Expr::Ident(n) if n == v => Off::Affine(0),
+        Expr::Binary(op @ (BinOp::Add | BinOp::Sub), a, b) => {
+            let (a, b) = (offset_in(a, v), offset_in(b, v));
+            let neg = matches!(op, BinOp::Sub);
+            match (a, b) {
+                (Off::Affine(x), Off::Const(c)) => Off::Affine(if neg { x - c } else { x + c }),
+                (Off::Const(c), Off::Affine(x)) if !neg => Off::Affine(c + x),
+                (Off::Const(x), Off::Const(y)) => Off::Const(if neg { x - y } else { x + y }),
+                _ => Off::Unknown,
+            }
+        }
+        _ => Off::Unknown,
+    }
+}
+
+/// `i * c` / `c * i` with a nonzero constant: injective, though not an
+/// offset we can compare (stride changes the image set).
+fn is_scaled(e: &Expr, v: &str) -> bool {
+    if let Expr::Binary(BinOp::Mul, a, b) = e {
+        let m = |x: &Expr, y: &Expr| {
+            matches!(x, Expr::Ident(n) if n == v) && matches!(y, Expr::Int(c) if *c != 0)
+        };
+        return m(a, b) || m(b, a);
+    }
+    false
+}
+
+fn calls_thread_num(e: &Expr) -> bool {
+    let mut calls = Vec::new();
+    e.calls(&mut calls);
+    calls.iter().any(|c| c == "omp_get_thread_num")
+}
+
+/// `x = fmin(x, e)` / `x = fmax(x, e)` — the combining form of min/max
+/// reductions (the `as_scalar_update` analogue for `RedOp::Min`/`Max`).
+fn as_minmax_update(e: &Expr) -> Option<(String, RedOp, Expr)> {
+    let Expr::Assign(None, lhs, rhs) = e else {
+        return None;
+    };
+    let Expr::Ident(name) = lhs.as_ref() else {
+        return None;
+    };
+    let Expr::Call(f, args) = rhs.as_ref() else {
+        return None;
+    };
+    let op = match f.as_str() {
+        "fmin" => RedOp::Min,
+        "fmax" => RedOp::Max,
+        _ => return None,
+    };
+    if args.len() != 2 {
+        return None;
+    }
+    let is_self = |a: &Expr| matches!(a, Expr::Ident(n) if n == name);
+    let other = if is_self(&args[0]) {
+        &args[1]
+    } else if is_self(&args[1]) {
+        &args[0]
+    } else {
+        return None;
+    };
+    let mut vars = Vec::new();
+    other.vars(&mut vars);
+    if vars.iter().any(|v| v == name) {
+        return None;
+    }
+    Some((name.clone(), op, other.clone()))
+}
+
+/// One active work-shared loop: induction variable plus the access log the
+/// dependence test runs over at loop exit.
+struct WsFrame {
+    var: String,
+    dir_span: Span,
+    writes: HashMap<String, Vec<Vec<Off>>>,
+    reads: HashMap<String, Vec<Vec<Off>>>,
+}
+
+struct RegionCx<'a> {
+    class: RegionClassification,
+    syms: &'a Symbols,
+    diags: &'a mut Vec<Diag>,
+    cur_span: Span,
+    /// Enclosing one-thread constructs (`single`, `master`, `critical`,
+    /// `atomic`): writes under them are synchronized.
+    protect: Vec<&'static str>,
+    /// Depth of enclosing thread-dependent conditions (PC004).
+    divergent: usize,
+    ws: Vec<WsFrame>,
+    tracked: HashSet<String>,
+    written: HashSet<String>,
+    warned_uninit: HashSet<String>,
+}
+
+impl RegionCx<'_> {
+    fn diag(&mut self, lint: LintId, msg: String) {
+        self.diags.push(Diag::new(lint, self.cur_span, msg));
+    }
+
+    /// Region scope of `n`, treating active work-shared loop variables as
+    /// implicitly private (OpenMP 1.0 §2.4.1 — even when the `for` sits
+    /// inside a `parallel` and the region classification left them shared).
+    fn scope(&self, n: &str) -> VarScope {
+        if self.ws.iter().any(|f| f.var == n) {
+            return VarScope::Private;
+        }
+        self.class.scope_of(n)
+    }
+
+    fn protected(&self) -> bool {
+        !self.protect.is_empty()
+    }
+
+    // ---- variable events --------------------------------------------------
+
+    fn mark_written(&mut self, n: &str) {
+        self.written.insert(n.to_string());
+    }
+
+    fn priv_read(&mut self, n: &str) {
+        if self.tracked.contains(n)
+            && !self.written.contains(n)
+            && self.warned_uninit.insert(n.to_string())
+        {
+            self.diag(
+                LintId::PrivateUninitRead,
+                format!(
+                    "private variable `{n}` is read before any write in the region; \
+                     it enters the region uninitialized — did you mean `firstprivate({n})`?"
+                ),
+            );
+        }
+    }
+
+    fn read_var(&mut self, n: &str) {
+        if let VarScope::Reduction(op) = self.scope(n) {
+            self.diag(
+                LintId::ReductionMisuse,
+                format!(
+                    "reduction variable `{n}` (reduction({}: {n})) is read outside its \
+                     combining update; its value is unspecified until the region ends",
+                    op.c_token()
+                ),
+            );
+        }
+        self.priv_read(n);
+    }
+
+    fn read_indexed(&mut self, n: &str, idxs: &[Expr]) {
+        if let VarScope::Reduction(op) = self.scope(n) {
+            self.diag(
+                LintId::ReductionMisuse,
+                format!(
+                    "reduction variable `{n}` (reduction({}: {n})) is read outside its \
+                     combining update",
+                    op.c_token()
+                ),
+            );
+        }
+        if matches!(self.scope(n), VarScope::Shared) {
+            self.log_access(n, idxs, false);
+        }
+        self.priv_read(n);
+    }
+
+    fn write_var(&mut self, n: &str) {
+        match self.scope(n) {
+            VarScope::Reduction(op) => self.diag(
+                LintId::ReductionMisuse,
+                format!(
+                    "reduction variable `{n}` (reduction({}: {n})) is overwritten outside \
+                     its combining update",
+                    op.c_token()
+                ),
+            ),
+            VarScope::Shared if !self.protected() && self.syms.get(n).is_some() => {
+                self.diag(
+                    LintId::SharedWriteRace,
+                    format!(
+                        "unsynchronized write to shared variable `{n}` in a parallel region; \
+                         every thread writes it — guard with `critical`/`atomic` or privatize"
+                    ),
+                );
+            }
+            _ => {}
+        }
+        self.mark_written(n);
+    }
+
+    fn write_indexed(&mut self, n: &str, idxs: &[Expr]) {
+        match self.scope(n) {
+            VarScope::Reduction(op) => self.diag(
+                LintId::ReductionMisuse,
+                format!(
+                    "reduction variable `{n}` (reduction({}: {n})) is overwritten outside \
+                     its combining update",
+                    op.c_token()
+                ),
+            ),
+            VarScope::Shared if self.syms.get(n).is_some() => {
+                self.log_access(n, idxs, true);
+                if !self.protected() && !self.disjoint_subscript(idxs) {
+                    self.diag(
+                        LintId::SharedWriteRace,
+                        format!(
+                            "write to shared array `{n}` is not provably distinct across \
+                             threads: no subscript is injective in the work-shared loop \
+                             variable or derived from omp_get_thread_num()"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+        self.mark_written(n);
+    }
+
+    /// True if some subscript makes the element choice thread-disjoint.
+    fn disjoint_subscript(&self, idxs: &[Expr]) -> bool {
+        idxs.iter().any(|ix| {
+            if calls_thread_num(ix) {
+                return true;
+            }
+            match self.ws.last() {
+                Some(f) => matches!(offset_in(ix, &f.var), Off::Affine(_)) || is_scaled(ix, &f.var),
+                None => false,
+            }
+        })
+    }
+
+    /// Record an array access for the innermost work-shared loop's
+    /// dependence test.
+    fn log_access(&mut self, n: &str, idxs: &[Expr], is_write: bool) {
+        let Some(frame) = self.ws.last() else {
+            return;
+        };
+        let offs: Vec<Off> = idxs.iter().map(|ix| offset_in(ix, &frame.var)).collect();
+        let frame = self.ws.last_mut().unwrap();
+        let log = if is_write {
+            &mut frame.writes
+        } else {
+            &mut frame.reads
+        };
+        log.entry(n.to_string()).or_default().push(offs);
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    /// A statement-level expression: reduction-update recognition first,
+    /// generic access scan otherwise.
+    fn check_expr_stmt(&mut self, e: &Expr) {
+        let upd = as_scalar_update(e)
+            .map(|u| (u.target, u.op, u.operand))
+            .or_else(|| as_minmax_update(e));
+        if let Some((target, op, operand)) = upd {
+            if let VarScope::Reduction(declared) = self.scope(&target) {
+                if op == declared {
+                    // The sanctioned combining update: only the operand's
+                    // reads are visible to the other detectors.
+                    self.expr(&operand);
+                    self.mark_written(&target);
+                } else {
+                    self.diag(
+                        LintId::ReductionMisuse,
+                        format!(
+                            "reduction variable `{target}` is declared \
+                             `reduction({}: {target})` but combined with `{}`; the \
+                             partial results will be merged with the declared operator",
+                            declared.c_token(),
+                            op.c_token()
+                        ),
+                    );
+                }
+                return;
+            }
+        }
+        self.expr(e);
+    }
+
+    /// Generic expression scan: evaluation-ordered reads and writes.
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign(op, lhs, rhs) => {
+                self.expr(rhs);
+                match lhs.as_ref() {
+                    Expr::Ident(n) => {
+                        if op.is_some() {
+                            self.read_var(n);
+                        }
+                        self.write_var(n);
+                    }
+                    Expr::Index(n, idxs) => {
+                        for ix in idxs {
+                            self.expr(ix);
+                        }
+                        if op.is_some() && matches!(self.scope(n), VarScope::Shared) {
+                            self.log_access(n, idxs, false);
+                        }
+                        self.write_indexed(n, idxs);
+                    }
+                    other => self.expr(other),
+                }
+            }
+            Expr::Ident(n) => self.read_var(n),
+            Expr::Index(n, idxs) => {
+                for ix in idxs {
+                    self.expr(ix);
+                }
+                self.read_indexed(n, idxs);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary(_, a) => self.expr(a),
+            Expr::Binary(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Cond(c, a, b) => {
+                self.expr(c);
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Int(_) | Expr::Float(_) | Expr::Str(_) => {}
+        }
+    }
+
+    /// A condition is thread-dependent if it calls omp_get_thread_num()
+    /// or reads any non-shared (per-thread) variable.
+    fn cond_thread_dep(&self, e: &Expr) -> bool {
+        if calls_thread_num(e) {
+            return true;
+        }
+        let mut vars = Vec::new();
+        e.vars(&mut vars);
+        vars.iter()
+            .any(|v| !matches!(self.scope(v), VarScope::Shared))
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn walk(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(d) => {
+                self.cur_span = d.span;
+                if let Some(init) = &d.init {
+                    self.expr(init);
+                }
+                self.mark_written(&d.name);
+            }
+            Stmt::Expr(e, sp) => {
+                self.cur_span = *sp;
+                self.check_expr_stmt(e);
+            }
+            Stmt::If(c, a, b) => {
+                self.expr(c);
+                let div = self.cond_thread_dep(c);
+                self.divergent += div as usize;
+                self.walk(a);
+                if let Some(b) = b {
+                    self.walk(b);
+                }
+                self.divergent -= div as usize;
+            }
+            Stmt::While(c, b) => {
+                self.expr(c);
+                let div = self.cond_thread_dep(c);
+                self.divergent += div as usize;
+                self.walk(b);
+                self.divergent -= div as usize;
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // A sequential loop inside the region. Its trip count is
+                // uniform across threads only if it is canonical with
+                // thread-uniform bounds.
+                let uniform = loop_of(s).is_some_and(|l| {
+                    let mut vars = Vec::new();
+                    l.lo.vars(&mut vars);
+                    l.hi.vars(&mut vars);
+                    vars.iter()
+                        .all(|v| matches!(self.scope(v), VarScope::Shared))
+                });
+                for e in [init, cond, step].into_iter().flatten() {
+                    self.expr(e);
+                }
+                let div = !uniform;
+                self.divergent += div as usize;
+                self.walk(body);
+                self.divergent -= div as usize;
+            }
+            Stmt::Block(ss) => self.walk_block(ss),
+            Stmt::Return(Some(e)) => self.expr(e),
+            Stmt::Omp(d, b) => self.directive(d, b.as_deref()),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+        }
+    }
+
+    /// Statement lists carry the PC005 state: variables written by a
+    /// preceding `nowait` loop that no barrier has joined yet.
+    fn walk_block(&mut self, ss: &[Stmt]) {
+        let mut pending: HashMap<String, Span> = HashMap::new();
+        for s in ss {
+            if let Stmt::Omp(d, _) = s {
+                if matches!(d.kind, DirKind::Barrier) {
+                    pending.clear();
+                    self.walk(s);
+                    continue;
+                }
+            }
+            if !pending.is_empty() {
+                let mut used = Vec::new();
+                stmt_uses(s, &mut used);
+                let mut hit = Vec::new();
+                for v in used {
+                    if let Some(loop_span) = pending.remove(&v) {
+                        hit.push((v, loop_span));
+                    }
+                }
+                for (v, loop_span) in hit {
+                    let at = stmt_span(s).unwrap_or(self.cur_span);
+                    self.diags.push(Diag::new(
+                        LintId::NowaitUnsyncRead,
+                        at,
+                        format!(
+                            "`{v}` is written by the nowait loop at line {} and accessed \
+                             here with no intervening barrier; threads may still be in \
+                             that loop",
+                            loop_span.line
+                        ),
+                    ));
+                }
+            }
+            if let Stmt::Omp(d, Some(b)) = s {
+                if matches!(d.kind, DirKind::For | DirKind::Single) {
+                    if d.nowait() {
+                        let mut w = Vec::new();
+                        write_targets(b, &mut w);
+                        // The loop's own induction variable is implicitly
+                        // private — it never escapes the construct.
+                        let loop_var = loop_of(b).map(|l| l.var);
+                        for v in w {
+                            if Some(&v) != loop_var.as_ref()
+                                && matches!(self.scope(&v), VarScope::Shared)
+                            {
+                                pending.insert(v, d.span);
+                            }
+                        }
+                    } else {
+                        // The implicit barrier at construct exit joins the
+                        // whole team.
+                        pending.clear();
+                    }
+                }
+            }
+            self.walk(s);
+        }
+    }
+
+    fn directive(&mut self, d: &Directive, body: Option<&Stmt>) {
+        self.cur_span = d.span;
+        crate::check_clause_vars(d, self.syms, self.diags);
+        match &d.kind {
+            DirKind::Parallel | DirKind::ParallelFor => {
+                self.diag(
+                    LintId::DirectiveStructure,
+                    "nested parallel regions are not supported by the ParADE runtime".into(),
+                );
+            }
+            DirKind::For => {
+                if let Some(ctx) = self.bad_ws_nesting() {
+                    self.diag(
+                        LintId::DirectiveStructure,
+                        format!("work-sharing `for` may not be nested inside {ctx}"),
+                    );
+                    return;
+                }
+                if let Some(b) = body {
+                    self.enter_ws(d, b);
+                }
+            }
+            DirKind::Single => {
+                if let Some(ctx) = self.bad_ws_nesting() {
+                    self.diag(
+                        LintId::DirectiveStructure,
+                        format!("`single` may not be nested inside {ctx}"),
+                    );
+                    return;
+                }
+                self.protect.push("single");
+                if let Some(b) = body {
+                    self.walk(b);
+                }
+                self.protect.pop();
+            }
+            DirKind::Master => {
+                if !self.ws.is_empty() {
+                    self.diag(
+                        LintId::DirectiveStructure,
+                        "`master` may not be nested inside a work-sharing loop".into(),
+                    );
+                    return;
+                }
+                self.protect.push("master");
+                if let Some(b) = body {
+                    self.walk(b);
+                }
+                self.protect.pop();
+            }
+            DirKind::Critical(_) => {
+                self.protect.push("critical");
+                if let Some(b) = body {
+                    self.walk(b);
+                }
+                self.protect.pop();
+            }
+            DirKind::Atomic => {
+                let stmt = body.map(flatten_single);
+                let ok = matches!(
+                    stmt,
+                    Some(Stmt::Expr(e, _))
+                        if as_scalar_update(e).is_some() || as_minmax_update(e).is_some()
+                );
+                if !ok {
+                    self.diag(
+                        LintId::DirectiveStructure,
+                        "`atomic` must apply to a single scalar update statement \
+                         (`x += e`, `x = x + e`, `x = fmin(x, e)`, …)"
+                            .into(),
+                    );
+                }
+                self.protect.push("atomic");
+                if let Some(b) = body {
+                    self.walk(b);
+                }
+                self.protect.pop();
+            }
+            DirKind::Barrier => {
+                if let Some(ctx) = self.protect.last() {
+                    self.diag(
+                        LintId::BarrierPlacement,
+                        format!(
+                            "barrier inside `{ctx}` construct: threads that do not \
+                             execute the construct never reach it, deadlocking the team"
+                        ),
+                    );
+                } else if !self.ws.is_empty() {
+                    self.diag(
+                        LintId::BarrierPlacement,
+                        "barrier inside a work-sharing loop body: iterations are divided \
+                         among threads, so threads hit it a different number of times"
+                            .into(),
+                    );
+                } else if self.divergent > 0 {
+                    self.diag(
+                        LintId::BarrierPlacement,
+                        "barrier under a thread-dependent condition: threads may disagree \
+                         on whether it is reached"
+                            .into(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Context that makes a nested work-sharing construct illegal.
+    fn bad_ws_nesting(&self) -> Option<String> {
+        if !self.ws.is_empty() {
+            return Some("another work-sharing construct".into());
+        }
+        self.protect.last().map(|c| format!("`{c}`"))
+    }
+
+    /// Enter a work-shared loop (`for` / the loop of `parallel for`).
+    fn enter_ws(&mut self, dir: &Directive, body: &Stmt) {
+        let Some(l) = loop_of(body) else {
+            self.diag(
+                LintId::DirectiveStructure,
+                "work-shared loop is not in canonical form \
+                 (`for (i = lo; i < hi; i += c)` with a positive constant stride)"
+                    .into(),
+            );
+            return;
+        };
+        self.expr(&l.lo);
+        self.expr(&l.hi);
+        self.mark_written(&l.var);
+        self.ws.push(WsFrame {
+            var: l.var,
+            dir_span: dir.span,
+            writes: HashMap::new(),
+            reads: HashMap::new(),
+        });
+        self.walk(&l.body);
+        let frame = self.ws.pop().expect("ws frame");
+        self.report_dependences(frame);
+    }
+
+    /// PC002: cross-iteration conflicts recorded while walking a
+    /// work-shared loop body.
+    fn report_dependences(&mut self, f: WsFrame) {
+        let empty = Vec::new();
+        let mut names: Vec<&String> = f.writes.keys().collect();
+        names.sort();
+        for arr in names {
+            let writes = &f.writes[arr];
+            let reads = f.reads.get(arr).unwrap_or(&empty);
+            let mut conflict = None;
+            for w in writes {
+                for r in reads {
+                    if offsets_conflict(w, r) {
+                        conflict = Some((w.clone(), r.clone(), "reads"));
+                        break;
+                    }
+                }
+                if conflict.is_some() {
+                    break;
+                }
+            }
+            if conflict.is_none() {
+                'outer: for (i, w) in writes.iter().enumerate() {
+                    for w2 in &writes[i + 1..] {
+                        if offsets_conflict(w, w2) {
+                            conflict = Some((w.clone(), w2.clone(), "also writes"));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+            if let Some((a, b, verb)) = conflict {
+                self.diags.push(Diag::new(
+                    LintId::LoopCarriedDependence,
+                    f.dir_span,
+                    format!(
+                        "loop-carried dependence on `{arr}`: an iteration writes \
+                         {} while another iteration {verb} {}; iterations of a \
+                         work-shared loop run on different threads with no ordering",
+                        fmt_access(arr, &f.var, &a),
+                        fmt_access(arr, &f.var, &b),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Two access vectors of the same array conflict across iterations when no
+/// dimension keeps them always-apart (distinct constants) and some
+/// dimension moves between iterations (differing affine offsets, or an
+/// affine offset against a constant).
+fn offsets_conflict(a: &[Off], b: &[Off]) -> bool {
+    let disjoint = a
+        .iter()
+        .zip(b)
+        .any(|p| matches!(p, (Off::Const(x), Off::Const(y)) if x != y));
+    if disjoint {
+        return false;
+    }
+    a.iter().zip(b).any(|p| {
+        matches!(p, (Off::Affine(x), Off::Affine(y)) if x != y)
+            || matches!(
+                p,
+                (Off::Affine(_), Off::Const(_)) | (Off::Const(_), Off::Affine(_))
+            )
+    })
+}
+
+fn fmt_access(arr: &str, var: &str, offs: &[Off]) -> String {
+    let mut s = format!("`{arr}");
+    for o in offs {
+        match o {
+            Off::Affine(0) => s.push_str(&format!("[{var}]")),
+            Off::Affine(c) if *c > 0 => s.push_str(&format!("[{var}+{c}]")),
+            Off::Affine(c) => s.push_str(&format!("[{var}-{}]", -c)),
+            Off::Const(c) => s.push_str(&format!("[{c}]")),
+            Off::Unknown => s.push_str("[…]"),
+        }
+    }
+    s.push('`');
+    s
+}
+
+/// `atomic` bodies arrive as `{ x += e; }` or bare `x += e;`.
+fn flatten_single(s: &Stmt) -> &Stmt {
+    if let Stmt::Block(ss) = s {
+        let real: Vec<&Stmt> = ss.iter().filter(|s| !matches!(s, Stmt::Empty)).collect();
+        if real.len() == 1 {
+            return real[0];
+        }
+    }
+    s
+}
+
+/// Every variable mentioned by a statement (reads and writes), including
+/// nested directive bodies — the PC005 overlap test.
+fn stmt_uses(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Decl(d) => {
+            if let Some(e) = &d.init {
+                e.vars(out);
+            }
+        }
+        Stmt::Expr(e, _) => e.vars(out),
+        Stmt::If(c, a, b) => {
+            c.vars(out);
+            stmt_uses(a, out);
+            if let Some(b) = b {
+                stmt_uses(b, out);
+            }
+        }
+        Stmt::While(c, b) => {
+            c.vars(out);
+            stmt_uses(b, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                e.vars(out);
+            }
+            stmt_uses(body, out);
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                stmt_uses(s, out);
+            }
+        }
+        Stmt::Return(Some(e)) => e.vars(out),
+        Stmt::Omp(_, Some(b)) => stmt_uses(b, out),
+        _ => {}
+    }
+}
+
+/// Assignment targets (scalar and array names) anywhere in a statement.
+fn write_targets(s: &Stmt, out: &mut Vec<String>) {
+    fn expr_targets(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Assign(_, lhs, rhs) => {
+                match lhs.as_ref() {
+                    Expr::Ident(n) | Expr::Index(n, _) => out.push(n.clone()),
+                    other => expr_targets(other, out),
+                }
+                if let Expr::Index(_, idxs) = lhs.as_ref() {
+                    for ix in idxs {
+                        expr_targets(ix, out);
+                    }
+                }
+                expr_targets(rhs, out);
+            }
+            Expr::Unary(_, a) => expr_targets(a, out),
+            Expr::Binary(_, a, b) => {
+                expr_targets(a, out);
+                expr_targets(b, out);
+            }
+            Expr::Cond(c, a, b) => {
+                expr_targets(c, out);
+                expr_targets(a, out);
+                expr_targets(b, out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    expr_targets(a, out);
+                }
+            }
+            Expr::Index(_, idxs) => {
+                for ix in idxs {
+                    expr_targets(ix, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    match s {
+        Stmt::Decl(d) => {
+            if let Some(e) = &d.init {
+                expr_targets(e, out);
+            }
+        }
+        Stmt::Expr(e, _) => expr_targets(e, out),
+        Stmt::If(c, a, b) => {
+            expr_targets(c, out);
+            write_targets(a, out);
+            if let Some(b) = b {
+                write_targets(b, out);
+            }
+        }
+        Stmt::While(c, b) => {
+            expr_targets(c, out);
+            write_targets(b, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                expr_targets(e, out);
+            }
+            write_targets(body, out);
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                write_targets(s, out);
+            }
+        }
+        Stmt::Omp(_, Some(b)) => write_targets(b, out),
+        _ => {}
+    }
+}
+
+/// First source position inside a statement, for diagnostics on statements
+/// that carry no span of their own.
+fn stmt_span(s: &Stmt) -> Option<Span> {
+    match s {
+        Stmt::Decl(d) => Some(d.span),
+        Stmt::Expr(_, sp) => Some(*sp),
+        Stmt::Omp(d, _) => Some(d.span),
+        Stmt::If(_, a, b) => stmt_span(a).or_else(|| b.as_deref().and_then(stmt_span)),
+        Stmt::While(_, b) | Stmt::For { body: b, .. } => stmt_span(b),
+        Stmt::Block(ss) => ss.iter().find_map(stmt_span),
+        _ => None,
+    }
+}

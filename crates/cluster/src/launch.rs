@@ -169,8 +169,8 @@ mod tests {
             }
             env.dsm.barrier(&mut clk);
             let v = env.dsm.read::<i64>(r, 0, &mut clk);
-            let sum = env.comm.allreduce_i64(v, ReduceOp::Sum, &mut clk);
-            sum
+
+            env.comm.allreduce_i64(v, ReduceOp::Sum, &mut clk)
         });
         assert_eq!(out, vec![93, 93, 93]);
         assert!(report.dsm_totals().barriers >= 6);

@@ -156,10 +156,7 @@ impl ThreadCtx {
 
     /// Read a shared scalar (update-protocol local copy in Parade mode,
     /// DSM page in the baseline).
-    pub fn scalar_get<T: Pod>(&self, s: &SharedScalar<T>) -> T
-    where
-        T: ScalarPrim,
-    {
+    pub fn scalar_get<T: Pod + ScalarPrim>(&self, s: &SharedScalar<T>) -> T {
         match self.rt.mode {
             ProtocolMode::Parade => T::small_read(self.rt.small(), s),
             ProtocolMode::SdsmOnly => self.with_clock(|c| self.rt.dsm.read(s.region, 0, c)),
@@ -382,8 +379,8 @@ impl ThreadCtx {
 
     /// `reduction(op: var)` clause: every thread contributes `v`; all
     /// threads receive the combined value. Parade mode: node-local combine
-    /// + `MPI_Allreduce` (§4.2). Baseline: DSM lock + shared accumulator +
-    /// barrier.
+    /// then `MPI_Allreduce` (§4.2). Baseline: DSM lock + shared accumulator
+    /// then barrier.
     pub fn reduce_f64(&self, op: ReduceOp, v: f64) -> f64 {
         match self.rt.mode {
             ProtocolMode::Parade => self.hier_f64(op, v, |total| total),
@@ -552,8 +549,7 @@ impl ThreadCtx {
     }
 
     fn sdsm_reduce_i64(&self, op: ReduceOp, v: i64) -> i64 {
-        let r = self.sdsm_reduce_f64_bits(op, v);
-        r
+        self.sdsm_reduce_f64_bits(op, v)
     }
 
     fn sdsm_reduce_f64_bits(&self, op: ReduceOp, v: i64) -> i64 {

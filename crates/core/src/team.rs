@@ -700,14 +700,14 @@ mod tests {
                     }
                 });
             });
-            let sums = g.parallel(move |tc| {
+
+            g.parallel(move |tc| {
                 let mut s = 0;
                 for i in tc.for_static(0..200) {
                     s += tc.get(&hits, i);
                 }
                 tc.reduce_i64(parade_mpi::ReduceOp::Sum, s)
-            });
-            sums
+            })
         });
         assert_eq!(got, 200, "every iteration exactly once");
     }

@@ -257,7 +257,7 @@ impl Dsm {
         }
         let esz = std::mem::size_of::<T>();
         let start = h.offset + first * esz;
-        let len = out.len() * esz;
+        let len = std::mem::size_of_val(out);
         assert!(
             first * esz + len <= h.len,
             "shared slice read out of bounds"
@@ -284,7 +284,7 @@ impl Dsm {
         }
         let esz = std::mem::size_of::<T>();
         let start = h.offset + first * esz;
-        let len = src.len() * esz;
+        let len = std::mem::size_of_val(src);
         assert!(
             first * esz + len <= h.len,
             "shared slice write out of bounds"
@@ -359,6 +359,13 @@ impl Dsm {
                     drop(inner);
                     self.fetch_page(page, clock);
                     inner = meta.inner.lock();
+                    // Only the fetch holder may complete the update; other
+                    // threads can at most pile on (TRANSIENT -> BLOCKED).
+                    debug_assert!(
+                        matches!(inner.state, PageState::Transient | PageState::Blocked),
+                        "fetch holder lost page {page}: {:?}",
+                        inner.state
+                    );
                     let had_waiters = inner.state == PageState::Blocked;
                     meta.set_state(&mut inner, PageState::ReadOnly);
                     if had_waiters {
@@ -411,6 +418,11 @@ impl Dsm {
                     drop(inner);
                     self.fetch_page(page, clock);
                     inner = meta.inner.lock();
+                    debug_assert!(
+                        matches!(inner.state, PageState::Transient | PageState::Blocked),
+                        "fetch holder lost page {page}: {:?}",
+                        inner.state
+                    );
                     let had_waiters = inner.state == PageState::Blocked;
                     meta.set_state(&mut inner, PageState::ReadOnly);
                     if had_waiters {
@@ -427,6 +439,15 @@ impl Dsm {
     /// TRANSIENT state. Caller owns the TRANSIENT transition.
     fn fetch_page(&self, page: PageId, clock: &mut VClock) {
         trace::begin_arg(EventKind::DsmFetch, page as u64, clock.now());
+        // Caller holds the TRANSIENT transition; concurrent faulters may
+        // have piled on (BLOCKED) but cannot advance the page further.
+        debug_assert!(
+            matches!(
+                PageState::from_u8(self.pages[page].fast.load(Ordering::Acquire)),
+                PageState::Transient | PageState::Blocked
+            ),
+            "fetch without owning the update for page {page}"
+        );
         let home = self.home_of(page);
         assert_ne!(
             home, self.node,
@@ -459,7 +480,11 @@ impl Dsm {
         } else {
             // NaiveUnsafe: simulate a conventional single-threaded SDSM
             // that makes the page accessible *before* the copy finishes —
-            // other threads' fast paths will read a torn page.
+            // other threads' fast paths will read a torn page. The store
+            // deliberately bypasses `set_state` (and so the
+            // `can_transition` discipline): publishing READ_ONLY out of
+            // the fast flag while `inner.state` is still TRANSIENT *is*
+            // the modelled bug.
             self.pages[page]
                 .fast
                 .store(PageState::ReadOnly as u8, Ordering::Release);
@@ -592,6 +617,15 @@ impl Dsm {
                     let mut inner = meta.inner.lock();
                     if inner.pushed_seq != seq + 1 {
                         // Park until the old home pushes the merged content.
+                        // Application threads are held at the barrier, so
+                        // the page cannot be mid-update or carry unflushed
+                        // writes here.
+                        debug_assert!(
+                            matches!(inner.state, PageState::Invalid | PageState::ReadOnly),
+                            "migration target page {} busy at barrier: {:?}",
+                            e.page,
+                            inner.state
+                        );
                         inner.awaiting_push = true;
                         meta.set_state(&mut inner, PageState::Blocked);
                     }

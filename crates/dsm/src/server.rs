@@ -142,6 +142,13 @@ impl Dsm {
                 {
                     let meta = &self.pages[page];
                     let _inner = meta.inner.lock();
+                    // We are the page's home: its copy is never absent or
+                    // mid-fetch here (fetch_page targets remote homes only).
+                    debug_assert!(
+                        !matches!(_inner.state, PageState::Invalid | PageState::Transient),
+                        "diff shipped to a non-resident home copy of page {page}: {:?}",
+                        _inner.state
+                    );
                     let start = page * PAGE_SIZE;
                     for run in &diff.runs {
                         // SAFETY: we are home; run bounds are within the page.
@@ -168,6 +175,13 @@ impl Dsm {
                     unsafe { self.pool.copy_page_in(page, &data) };
                     inner.pushed_seq = barrier_seq + 1;
                     if inner.awaiting_push {
+                        // The departure parked the page for exactly this
+                        // push; BLOCKED -> READ_ONLY is the only legal exit.
+                        debug_assert_eq!(
+                            inner.state,
+                            PageState::Blocked,
+                            "push for page {page} found an unparked waiter"
+                        );
                         inner.awaiting_push = false;
                         meta.set_state(&mut inner, PageState::ReadOnly);
                         meta.cv.notify_all();
@@ -352,6 +366,12 @@ impl Dsm {
         let reply = DsmReply::BarrierDepart { seq, entries };
         let payload = reply.encode();
         srv.charge_copy(payload.len());
+        // Release the master's own caller last: every remote departure is
+        // queued before any local thread can resume past the barrier and
+        // (on a dead link) shut the fabric down, so a peer still parked in
+        // `Dsm::barrier` finds its departure rather than `Disconnected`.
+        let mut arrivals = arrivals;
+        arrivals.sort_unstable_by_key(|a| (a.node == self.node(), a.node));
         for a in &arrivals {
             self.ep.send_at(
                 a.node,

@@ -37,7 +37,7 @@ unsafe impl Send for RawPool {}
 
 impl RawPool {
     pub fn new(len: usize) -> Self {
-        assert!(len % PAGE_SIZE == 0, "pool must be page aligned");
+        assert!(len.is_multiple_of(PAGE_SIZE), "pool must be page aligned");
         // Allocate as zeroed `u8` (calloc path: the OS commits pages
         // lazily) and reinterpret as `UnsafeCell<u8>`, which is
         // `repr(transparent)` over `u8`.

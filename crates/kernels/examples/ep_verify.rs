@@ -4,7 +4,8 @@ use parade_kernels::cg::{cg_parade, CgClass};
 use parade_kernels::ep::{ep_sequential, EpClass};
 
 fn main() {
-    for class in [EpClass::S] {
+    {
+        let class = EpClass::S;
         let r = ep_sequential(class);
         let (rx, ry) = class.reference().unwrap();
         println!(

@@ -239,8 +239,8 @@ fn sparse(
     let mut a = vec![0f64; nnza + 1];
     let mut colidx = vec![0usize; nnza + 1];
 
-    for nza in 1..=nnza {
-        let j = (arow[nza] - firstrow + 1) + 1;
+    for &row in &arow[1..=nnza] {
+        let j = (row - firstrow + 1) + 1;
         rowstr[j] += 1;
     }
     rowstr[1] = 1;
@@ -279,8 +279,7 @@ fn sparse(
                 nzloc[nzrow] = i;
             }
         }
-        for kk in 1..=nzrow {
-            let i = nzloc[kk];
+        for &i in &nzloc[1..=nzrow] {
             mark[i] = false;
             let xi = x[i];
             x[i] = 0.0;

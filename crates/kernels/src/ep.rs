@@ -44,7 +44,7 @@ impl EpClass {
     /// NPB reference sums (sx, sy) for verification, where published.
     pub fn reference(self) -> Option<(f64, f64)> {
         match self {
-            EpClass::S => Some((-3.247_834_652_034_740e3, -6.958_407_078_382_297e3)),
+            EpClass::S => Some((-3.247_834_652_034_74e3, -6.958_407_078_382_297e3)),
             EpClass::W => Some((-2.863_319_731_645_753e3, -6.320_053_679_109_499e3)),
             EpClass::A => Some((-4.295_875_165_629_892e3, -1.580_732_573_678_431e4)),
             EpClass::Custom(_) => None,

@@ -268,9 +268,9 @@ impl Communicator {
         let out = if rank == root {
             let mut parts: Vec<Bytes> = vec![Bytes::new(); size];
             parts[root] = data;
-            for r in 0..size {
+            for (r, part) in parts.iter_mut().enumerate() {
                 if r != root {
-                    parts[r] = self.coll_recv(r, seq, PH_GATHER, clock);
+                    *part = self.coll_recv(r, seq, PH_GATHER, clock);
                 }
             }
             Some(parts)

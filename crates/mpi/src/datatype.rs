@@ -19,7 +19,10 @@ pub fn f64s_to_bytes(xs: &[f64]) -> Bytes {
 /// # Panics
 /// If the length is not a multiple of 8.
 pub fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
-    assert!(b.len() % 8 == 0, "payload is not a whole number of f64s");
+    assert!(
+        b.len().is_multiple_of(8),
+        "payload is not a whole number of f64s"
+    );
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect()
@@ -44,7 +47,10 @@ pub fn i64s_to_bytes(xs: &[i64]) -> Bytes {
 
 /// Decode a byte string into `i64` values.
 pub fn bytes_to_i64s(b: &[u8]) -> Vec<i64> {
-    assert!(b.len() % 8 == 0, "payload is not a whole number of i64s");
+    assert!(
+        b.len().is_multiple_of(8),
+        "payload is not a whole number of i64s"
+    );
     b.chunks_exact(8)
         .map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect()
@@ -61,7 +67,10 @@ pub fn u64s_to_bytes(xs: &[u64]) -> Bytes {
 
 /// Decode a byte string into `u64` values.
 pub fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
-    assert!(b.len() % 8 == 0, "payload is not a whole number of u64s");
+    assert!(
+        b.len().is_multiple_of(8),
+        "payload is not a whole number of u64s"
+    );
     b.chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
         .collect()

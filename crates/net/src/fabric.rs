@@ -71,7 +71,7 @@ impl Match {
     }
 
     fn matches(&self, p: &Packet) -> bool {
-        self.src.map_or(true, |s| s == p.src) && self.tag.map_or(true, |t| t == p.tag)
+        self.src.is_none_or(|s| s == p.src) && self.tag.is_none_or(|t| t == p.tag)
     }
 }
 

@@ -189,7 +189,7 @@ pub fn simulate_arq(
         }
         out.drops += 1;
         let rto = scale_rto(profile.rto, profile.backoff, attempt);
-        t_tx = t_tx + rto;
+        t_tx += rto;
         if attempt < profile.retry_budget {
             out.retx_times.push(t_tx);
         }

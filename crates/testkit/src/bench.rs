@@ -119,7 +119,7 @@ impl Bench {
     }
 
     fn selected(&self, name: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| name.contains(f))
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 
     /// Benchmark `f` called in a tight loop.

@@ -316,7 +316,7 @@ mod tests {
     }
 
     prop!(fn macro_declared_property_holds(v in |r: &mut TestRng| r.range_i64(-50, 50)) {
-        assert_eq!(v + 0, v);
+        assert_eq!(v, v);
     });
 
     prop!(cases = 7, fn macro_with_cases(x in |r: &mut TestRng| r.next_bool()) {

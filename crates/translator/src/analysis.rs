@@ -59,6 +59,7 @@ impl Symbols {
                     name: p.name.clone(),
                     dims: vec![],
                     init: None,
+                    span: Span::default(),
                 },
             );
         }
@@ -190,7 +191,7 @@ fn stmt_vars(s: &Stmt, out: &mut Vec<String>) {
                 e.vars(out);
             }
         }
-        Stmt::Expr(e) => e.vars(out),
+        Stmt::Expr(e, _) => e.vars(out),
         Stmt::If(c, a, b) => {
             c.vars(out);
             stmt_vars(a, out);
@@ -231,7 +232,7 @@ fn stmt_calls(s: &Stmt, out: &mut Vec<String>) {
                 e.calls(out);
             }
         }
-        Stmt::Expr(e) => e.calls(out),
+        Stmt::Expr(e, _) => e.calls(out),
         Stmt::If(c, a, b) => {
             c.calls(out);
             stmt_calls(a, out);
@@ -370,7 +371,7 @@ pub fn analyze_critical(
     for s in stmts {
         match s {
             Stmt::Empty => {}
-            Stmt::Expr(e) => match as_scalar_update(e) {
+            Stmt::Expr(e, _) => match as_scalar_update(e) {
                 Some(u) => {
                     if !matches!(class.scope_of(&u.target), VarScope::Shared) {
                         return CriticalLowering::Lock;
@@ -445,7 +446,7 @@ pub fn analyze_single(
 fn collect_scalar_writes(s: &Stmt, out: &mut Vec<String>) -> Result<(), ()> {
     match s {
         Stmt::Empty => Ok(()),
-        Stmt::Expr(e) => expr_writes(e, out),
+        Stmt::Expr(e, _) => expr_writes(e, out),
         Stmt::Block(ss) => {
             for s in ss {
                 collect_scalar_writes(s, out)?;
@@ -644,7 +645,7 @@ mod tests {
         let Stmt::Block(ss) = &f.body else { panic!() };
         ss.iter()
             .find_map(|st| match st {
-                Stmt::Expr(e) => Some(e.clone()),
+                Stmt::Expr(e, _) => Some(e.clone()),
                 _ => None,
             })
             .unwrap()

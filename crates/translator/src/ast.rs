@@ -1,5 +1,7 @@
 //! Abstract syntax of the mini-C + OpenMP 1.0 subset.
 
+pub use crate::token::Span;
+
 /// Scalar and array types.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Type {
@@ -33,6 +35,8 @@ pub struct Decl {
     /// expressions folded at parse time.
     pub dims: Vec<usize>,
     pub init: Option<Expr>,
+    /// Source position of the declarator.
+    pub span: Span,
 }
 
 impl Decl {
@@ -224,14 +228,22 @@ pub enum DirKind {
 pub struct Directive {
     pub kind: DirKind,
     pub clauses: Vec<Clause>,
-    pub line: usize,
+    pub span: Span,
+}
+
+impl Directive {
+    /// Source line of the `#pragma` (span shorthand kept for the emitter's
+    /// error messages).
+    pub fn line(&self) -> usize {
+        self.span.line
+    }
 }
 
 impl Directive {
     pub fn clause_vars(&self, pick: impl Fn(&Clause) -> Option<&Vec<String>>) -> Vec<String> {
         self.clauses
             .iter()
-            .filter_map(|c| pick(c))
+            .filter_map(pick)
             .flatten()
             .cloned()
             .collect()
@@ -287,7 +299,8 @@ impl Directive {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     Decl(Decl),
-    Expr(Expr),
+    /// An expression statement with the source position of its first token.
+    Expr(Expr, Span),
     If(Expr, Box<Stmt>, Option<Box<Stmt>>),
     While(Expr, Box<Stmt>),
     /// `for (init; cond; step) body` — init/step are expressions (or
@@ -370,6 +383,7 @@ mod tests {
             name: "a".into(),
             dims: vec![10, 4],
             init: None,
+            span: Span::default(),
         };
         assert_eq!(d.total_elems(), 40);
         assert_eq!(d.byte_size(), 320);
@@ -379,6 +393,7 @@ mod tests {
             name: "x".into(),
             dims: vec![],
             init: None,
+            span: Span::default(),
         };
         assert_eq!(s.byte_size(), 4);
     }
@@ -408,7 +423,7 @@ mod tests {
                 Clause::Schedule(Sched::Dynamic(8)),
                 Clause::NoWait,
             ],
-            line: 1,
+            span: Span::at_line(1),
         };
         assert_eq!(d.privates(), vec!["i".to_string(), "j".into()]);
         assert_eq!(d.reductions(), vec![(RedOp::Add, "err".to_string())]);

@@ -151,7 +151,7 @@ impl<'p> Emitter<'p> {
             Stmt::Decl(d) => {
                 self.line(&format!("{};", decl_text(d)));
             }
-            Stmt::Expr(e) => {
+            Stmt::Expr(e, _) => {
                 let text = self.expr(e, region);
                 self.line(&format!("{text};"));
             }
@@ -235,14 +235,14 @@ impl<'p> Emitter<'p> {
             }
             (DirKind::Atomic, Some(class)) => {
                 let class = class.clone();
-                self.atomic(body.expect("atomic body"), syms, &class, dir.line)
+                self.atomic(body.expect("atomic body"), syms, &class, dir.line())
             }
             (DirKind::Single, Some(class)) => {
                 let class = class.clone();
                 self.single(body.expect("single body"), syms, &class)
             }
             (kind, None) => Err(ParseError {
-                line: dir.line,
+                line: dir.line(),
                 message: format!("directive {kind:?} outside a parallel region"),
             }),
         }
@@ -408,7 +408,7 @@ impl<'p> Emitter<'p> {
     ) -> Result<(), ParseError> {
         let Some(cl) = loop_of(body) else {
             return Err(ParseError {
-                line: dir.line,
+                line: dir.line(),
                 message: "work-shared loop is not in canonical form".into(),
             });
         };
@@ -522,7 +522,7 @@ impl<'p> Emitter<'p> {
         class: &RegionClassification,
         line: usize,
     ) -> Result<(), ParseError> {
-        let Stmt::Expr(e) = body else {
+        let Stmt::Expr(e, _) = body else {
             return Err(ParseError {
                 line,
                 message: "atomic body must be an expression statement".into(),

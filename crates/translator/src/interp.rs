@@ -19,6 +19,8 @@ use parade_net::sync::Mutex;
 
 use parade_core::{Cluster, MasterCtx, ReduceOp, SharedScalar, SharedVec, ThreadCtx};
 
+use crate::oracle::{Oracle, RaceReport};
+
 use crate::analysis::{
     analyze_critical, analyze_single, classify_region, loop_of, CriticalLowering,
     RegionClassification, SingleLowering, Symbols, VarScope, DEFAULT_SMALL_THRESHOLD,
@@ -117,6 +119,9 @@ enum Flow {
 pub struct RunOutput {
     pub exit: i64,
     pub stdout: String,
+    /// Dynamic races found by the happens-before oracle (empty unless the
+    /// interpreter was built [`Interp::with_oracle`]).
+    pub races: Vec<RaceReport>,
 }
 
 /// Execution context: serial (master) or inside a parallel region.
@@ -187,6 +192,7 @@ impl<'a> Exec<'a> {
 pub struct Interp {
     prog: Arc<Program>,
     threshold: usize,
+    oracle: bool,
 }
 
 impl Interp {
@@ -194,6 +200,7 @@ impl Interp {
         Interp {
             prog: Arc::new(prog),
             threshold: DEFAULT_SMALL_THRESHOLD,
+            oracle: false,
         }
     }
 
@@ -202,12 +209,21 @@ impl Interp {
         self
     }
 
+    /// Enable the happens-before race oracle: every shared access inside a
+    /// parallel region is checked against FastTrack-style shadow state, and
+    /// detected races land in [`RunOutput::races`].
+    pub fn with_oracle(mut self) -> Self {
+        self.oracle = true;
+        self
+    }
+
     /// Run `main` on the given cluster; returns the exit code and captured
     /// `printf` output.
     pub fn run(&self, cluster: &Cluster) -> RtResult<RunOutput> {
         let prog = Arc::clone(&self.prog);
         let threshold = self.threshold;
-        let result: RtResult<(i64, String)> = cluster.run(move |g| {
+        let oracle_enabled = self.oracle;
+        let result: RtResult<(i64, String, Vec<RaceReport>)> = cluster.run(move |g| {
             let Some(main) = prog.func("main") else {
                 return rte("program has no main()");
             };
@@ -228,6 +244,11 @@ impl Interp {
                 single_dummy: None,
                 lp_scratch: None,
                 in_update_body: false,
+                cur_span: Span::default(),
+                oracle_enabled,
+                oracle: None,
+                oracle_tid: 0,
+                races: Arc::new(Mutex::new(Vec::new())),
             };
             // Initialize globals (into shared storage or master locals).
             let mut exec = Exec::Master(g);
@@ -242,10 +263,15 @@ impl Interp {
                 _ => 0,
             };
             let out = io.lock().clone();
-            Ok((exit, out))
+            let races = env.races.lock().clone();
+            Ok((exit, out, races))
         });
-        let (exit, stdout) = result?;
-        Ok(RunOutput { exit, stdout })
+        let (exit, stdout, races) = result?;
+        Ok(RunOutput {
+            exit,
+            stdout,
+            races,
+        })
     }
 }
 
@@ -346,7 +372,7 @@ fn forced_hlrc_writes(
     out: &mut Vec<String>,
 ) {
     match s {
-        Stmt::Expr(e) => expr_plain_writes(e, out),
+        Stmt::Expr(e, _) => expr_plain_writes(e, out),
         Stmt::Decl(d) => {
             if let Some(e) = &d.init {
                 expr_plain_writes(e, out);
@@ -433,7 +459,7 @@ fn expr_plain_writes(e: &Expr, out: &mut Vec<String>) {
 
 fn all_scalar_writes(s: &Stmt, out: &mut Vec<String>) {
     match s {
-        Stmt::Expr(e) => expr_plain_writes(e, out),
+        Stmt::Expr(e, _) => expr_plain_writes(e, out),
         Stmt::Block(ss) => {
             for s in ss {
                 all_scalar_writes(s, out);
@@ -499,11 +525,64 @@ struct Env {
     /// Inside the body of a `single`/analyzable construct: stores to
     /// update-protocol scalars are sanctioned and go to the local copy.
     in_update_body: bool,
+    /// Source position of the statement currently executing (for oracle
+    /// race reports).
+    cur_span: Span,
+    /// Whether `Interp::with_oracle` was requested for this run.
+    oracle_enabled: bool,
+    /// The per-region happens-before oracle (thread frames only).
+    oracle: Option<Arc<Oracle>>,
+    /// This frame's global thread number (thread frames only).
+    oracle_tid: usize,
+    /// Race reports accumulated across all regions of the run.
+    races: Arc<Mutex<Vec<RaceReport>>>,
 }
 
 impl Env {
     fn push_scope(&mut self) {
         self.scopes.push(HashMap::new());
+    }
+
+    /// Remember the source position of the statement about to execute.
+    fn at(&mut self, span: Span) {
+        self.cur_span = span;
+    }
+
+    fn oracle_read(&self, name: &str, idx: usize, scalar: bool) {
+        if let Some(o) = &self.oracle {
+            o.read(self.oracle_tid, name, idx, scalar, self.cur_span);
+        }
+    }
+
+    fn oracle_write(&self, name: &str, idx: usize, scalar: bool) {
+        if let Some(o) = &self.oracle {
+            o.write(self.oracle_tid, name, idx, scalar, self.cur_span);
+        }
+    }
+
+    /// Model an atomic read-modify-write of scalar `var`: both accesses
+    /// happen under a per-variable lock, mirroring the runtime's atomic
+    /// update protocol.
+    fn oracle_rmw(&self, var: &str) {
+        if let Some(o) = &self.oracle {
+            let key = format!("atomic:{var}");
+            o.lock_acquire(self.oracle_tid, &key);
+            o.read(self.oracle_tid, var, 0, true, self.cur_span);
+            o.write(self.oracle_tid, var, 0, true, self.cur_span);
+            o.lock_release(self.oracle_tid, &key);
+        }
+    }
+
+    /// Runtime barrier bracketed by the oracle's two-phase clock exchange.
+    fn sync_barrier(&self, tc: &ThreadCtx) {
+        match &self.oracle {
+            Some(o) => {
+                o.pre_barrier(self.oracle_tid);
+                tc.barrier();
+                o.post_barrier(self.oracle_tid);
+            }
+            None => tc.barrier(),
+        }
     }
 
     fn pop_scope(&mut self) {
@@ -580,10 +659,12 @@ impl Env {
         }
         match self.shared.get(name) {
             Some(Shared::ScalarUpd(s, ty)) => {
+                self.oracle_read(name, 0, true);
                 let v = exec.scalar_get(s);
                 Ok(Self::coerce(ty, Val::D(v)))
             }
             Some(Shared::ScalarHlrc(vec, ty)) => {
+                self.oracle_read(name, 0, true);
                 let v = exec.vec_get_f(vec, 0);
                 Ok(Self::coerce(ty, Val::D(v)))
             }
@@ -610,6 +691,7 @@ impl Env {
                 }
                 (Some(Shared::ScalarUpd(s, _)), Exec::Thread(tc)) => {
                     if self.in_update_body {
+                        self.oracle_write(name, 0, true);
                         tc.scalar_set_in_construct(&s, v.as_f64());
                         Ok(())
                     } else {
@@ -620,6 +702,7 @@ impl Env {
                     }
                 }
                 (Some(Shared::ScalarHlrc(vec, _)), exec) => {
+                    self.oracle_write(name, 0, true);
                     exec.vec_set_f(&vec, 0, v.as_f64());
                     Ok(())
                 }
@@ -665,10 +748,12 @@ impl Env {
         match self.shared.get(name).cloned() {
             Some(Shared::ArrF(v, dims)) => {
                 let i = Self::flat_index(&dims, idx)?;
+                self.oracle_read(name, i, false);
                 Ok(Val::D(exec.vec_get_f(&v, i)))
             }
             Some(Shared::ArrI(v, dims)) => {
                 let i = Self::flat_index(&dims, idx)?;
+                self.oracle_read(name, i, false);
                 Ok(Val::I(exec.vec_get_i(&v, i)))
             }
             Some(_) => rte(format!("scalar {name} indexed")),
@@ -696,11 +781,13 @@ impl Env {
         match self.shared.get(name).cloned() {
             Some(Shared::ArrF(vec, dims)) => {
                 let i = Self::flat_index(&dims, idx)?;
+                self.oracle_write(name, i, false);
                 exec.vec_set_f(&vec, i, v.as_f64());
                 Ok(())
             }
             Some(Shared::ArrI(vec, dims)) => {
                 let i = Self::flat_index(&dims, idx)?;
+                self.oracle_write(name, i, false);
                 exec.vec_set_i(&vec, i, v.as_i64());
                 Ok(())
             }
@@ -982,10 +1069,12 @@ impl Env {
         match s {
             Stmt::Empty => Ok(Flow::Normal),
             Stmt::Decl(d) => {
+                self.at(d.span);
                 self.declare(exec, d)?;
                 Ok(Flow::Normal)
             }
-            Stmt::Expr(e) => {
+            Stmt::Expr(e, span) => {
+                self.at(*span);
                 self.eval(exec, e)?;
                 Ok(Flow::Normal)
             }
@@ -1076,12 +1165,13 @@ impl Env {
             ));
         };
         let tc: &ThreadCtx = tc;
+        self.at(dir.span);
         match &dir.kind {
             DirKind::Parallel | DirKind::ParallelFor => {
                 rte("nested parallel regions are not supported")
             }
             DirKind::Barrier => {
-                tc.barrier();
+                self.sync_barrier(tc);
                 Ok(Flow::Normal)
             }
             DirKind::Master => {
@@ -1111,6 +1201,7 @@ impl Env {
                             let Some(Shared::ScalarUpd(s, _)) = self.shared.get(&u.target) else {
                                 unreachable!("checked above");
                             };
+                            self.oracle_rmw(&u.target);
                             tc.atomic_f64(s, red_to_mpi(u.op), operand);
                         }
                         Ok(Flow::Normal)
@@ -1118,15 +1209,23 @@ impl Env {
                     _ => {
                         // Lock fallback (hierarchical).
                         let id = critical_lock_id(cname.as_deref());
+                        let key = format!("critical:{}", cname.as_deref().unwrap_or("<anonymous>"));
                         tc.critical(id, |tc2| {
+                            if let Some(o) = &self.oracle {
+                                o.lock_acquire(self.oracle_tid, &key);
+                            }
                             let mut exec = Exec::Thread(tc2);
-                            self.exec_stmt(&mut exec, body)
+                            let r = self.exec_stmt(&mut exec, body);
+                            if let Some(o) = &self.oracle {
+                                o.lock_release(self.oracle_tid, &key);
+                            }
+                            r
                         })
                     }
                 }
             }
             DirKind::Atomic => {
-                let Some(Stmt::Expr(e)) = body else {
+                let Some(Stmt::Expr(e, _)) = body else {
                     return rte("atomic body must be an expression statement");
                 };
                 let Some(u) = crate::analysis::as_scalar_update(e) else {
@@ -1136,16 +1235,25 @@ impl Env {
                     Some(Shared::ScalarUpd(s, _)) => {
                         let mut exec = Exec::Thread(tc);
                         let operand = self.eval(&mut exec, &u.operand)?.as_f64();
+                        self.oracle_rmw(&u.target);
                         tc.atomic_f64(&s, red_to_mpi(u.op), operand);
                         Ok(Flow::Normal)
                     }
                     _ => {
                         // HLRC-stored target: lock path.
                         let id = critical_lock_id(Some(&u.target));
+                        let key = format!("atomic:{}", u.target);
                         let body = body.expect("atomic body");
                         tc.critical(id, |tc2| {
+                            if let Some(o) = &self.oracle {
+                                o.lock_acquire(self.oracle_tid, &key);
+                            }
                             let mut exec = Exec::Thread(tc2);
-                            self.exec_stmt(&mut exec, body)
+                            let r = self.exec_stmt(&mut exec, body);
+                            if let Some(o) = &self.oracle {
+                                o.lock_release(self.oracle_tid, &key);
+                            }
+                            r
                         })
                     }
                 }
@@ -1179,6 +1287,9 @@ impl Env {
                             self.in_update_body = true;
                             let r = self.exec_stmt(&mut exec, body);
                             self.in_update_body = false;
+                            if let Some(o) = &self.oracle {
+                                o.single_done(self.oracle_tid);
+                            }
                             if let Err(e) = r {
                                 err = Some(e);
                                 return vec![0.0; targets.len()];
@@ -1192,6 +1303,9 @@ impl Env {
                                 })
                                 .collect()
                         });
+                        if let Some(o) = &self.oracle {
+                            o.single_join(self.oracle_tid);
+                        }
                         if let Some(e) = err {
                             return Err(e);
                         }
@@ -1206,12 +1320,18 @@ impl Env {
                             self.in_update_body = true;
                             let r = self.exec_stmt(&mut exec, body);
                             self.in_update_body = false;
+                            if let Some(o) = &self.oracle {
+                                o.single_done(self.oracle_tid);
+                            }
                             if let Err(e) = r {
                                 err = Some(e);
                             }
                             0.0
                         });
-                        tc.barrier();
+                        if let Some(o) = &self.oracle {
+                            o.single_join(self.oracle_tid);
+                        }
+                        self.sync_barrier(tc);
                         if let Some(e) = err {
                             return Err(e);
                         }
@@ -1268,6 +1388,11 @@ impl Env {
         let fp = Arc::new(fp);
         let reductions_arc = Arc::new(reductions.clone());
         let lastprivates_arc = Arc::new(lastprivates.clone());
+        // A fresh oracle per region: the fork provides happens-before from
+        // all earlier serial code, so shadow state starts empty.
+        let oracle = self.oracle_enabled.then(|| Arc::new(Oracle::new()));
+        let oracle_tl = oracle.clone();
+        let races = Arc::clone(&self.races);
 
         let result: RtResult<Vec<f64>> = g.parallel(move |tc| {
             let mut env = Env {
@@ -1282,6 +1407,11 @@ impl Env {
                 single_dummy: Some(single_dummy),
                 lp_scratch,
                 in_update_body: false,
+                cur_span: Span::default(),
+                oracle_enabled: oracle_tl.is_some(),
+                oracle: oracle_tl.clone(),
+                oracle_tid: tc.thread_num(),
+                races: Arc::clone(&races),
             };
             // Private variables: loop vars and clause-private names get
             // fresh locals; firstprivate get snapshots; reduction vars get
@@ -1349,6 +1479,11 @@ impl Env {
         });
         let totals = result?;
 
+        // Region join: collect the oracle's findings for this region.
+        if let Some(o) = &oracle {
+            self.races.lock().extend(o.drain());
+        }
+
         // Fold reduction totals into the master's variables.
         for ((op, name), total) in reductions.iter().zip(totals) {
             let mut exec = Exec::Master(g);
@@ -1407,56 +1542,76 @@ impl Env {
             Ok(())
         };
 
-        match dir.schedule() {
-            Sched::Static => {
-                for k in tc.for_static(0..count) {
-                    run_iter(self, k)?;
-                }
-            }
-            Sched::StaticChunk(c) => {
-                for chunk in tc.for_static_chunks(0..count, c) {
-                    for k in chunk {
-                        run_iter(self, k)?;
+        // OpenMP 1.0 §2.4.1: the control variable of a work-shared loop is
+        // implicitly private to each thread, even when it is shared in the
+        // enclosing region. Shadow it with a thread-local for the loop.
+        self.push_scope();
+        self.insert_local(&cl.var, Local::Scalar(Type::Long, Val::I(lo)));
+        let schedule = |env: &mut Env| -> RtResult<bool> {
+            match dir.schedule() {
+                Sched::Static => {
+                    for k in tc.for_static(0..count) {
+                        run_iter(env, k)?;
                     }
                 }
-            }
-            Sched::Dynamic(c) => {
-                let mut err = None;
-                tc.for_dynamic_nowait(0..count, c, |r| {
-                    for k in r {
-                        if err.is_some() {
-                            return;
-                        }
-                        if let Err(e) = run_iter(self, k) {
-                            err = Some(e);
+                Sched::StaticChunk(c) => {
+                    for chunk in tc.for_static_chunks(0..count, c) {
+                        for k in chunk {
+                            run_iter(env, k)?;
                         }
                     }
-                });
-                if let Some(e) = err {
-                    return Err(e);
                 }
-            }
-            Sched::Guided(c) => {
-                let mut err = None;
-                // for_guided carries its own implicit barrier.
-                tc.for_guided(0..count, c, |r| {
-                    for k in r {
-                        if err.is_some() {
-                            return;
+                Sched::Dynamic(c) => {
+                    let mut err = None;
+                    tc.for_dynamic_nowait(0..count, c, |r| {
+                        for k in r {
+                            if err.is_some() {
+                                return;
+                            }
+                            if let Err(e) = run_iter(env, k) {
+                                err = Some(e);
+                            }
                         }
-                        if let Err(e) = run_iter(self, k) {
-                            err = Some(e);
-                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
                     }
-                });
-                if let Some(e) = err {
-                    return Err(e);
                 }
-                return Ok(());
+                Sched::Guided(c) => {
+                    let mut err = None;
+                    // for_guided carries its own implicit barrier.
+                    tc.for_guided(0..count, c, |r| {
+                        for k in r {
+                            if err.is_some() {
+                                return;
+                            }
+                            if let Err(e) = run_iter(env, k) {
+                                err = Some(e);
+                            }
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    return Ok(true);
+                }
             }
+            Ok(false)
+        };
+        let guided = schedule(self);
+        self.pop_scope();
+        if guided? {
+            // The guided scheduler carries its own runtime barrier that
+            // the oracle cannot bracket; add an oracle-visible barrier
+            // so the clock exchange matches the runtime join. Timing
+            // under the oracle differs by one barrier round-trip.
+            if self.oracle.is_some() {
+                self.sync_barrier(tc);
+            }
+            return Ok(());
         }
         if !dir.nowait() {
-            tc.barrier();
+            self.sync_barrier(tc);
         }
         Ok(())
     }

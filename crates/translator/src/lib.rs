@@ -32,14 +32,16 @@ pub mod analysis;
 pub mod ast;
 pub mod emit;
 pub mod interp;
+pub mod oracle;
 pub mod parser;
 pub mod token;
 
 pub use analysis::DEFAULT_SMALL_THRESHOLD;
 pub use emit::{translate, translate_default, EmitMode};
 pub use interp::{Interp, RunOutput, RuntimeError};
+pub use oracle::{RaceKind, RaceReport};
 pub use parser::parse;
-pub use token::ParseError;
+pub use token::{ParseError, Span};
 
 #[cfg(test)]
 mod interp_tests;

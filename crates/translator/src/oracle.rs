@@ -1,0 +1,423 @@
+//! Happens-before race oracle for the interpreter.
+//!
+//! A FastTrack-flavoured dynamic detector: every simulated thread carries a
+//! vector clock ([`VecTime`], a per-thread vector of [`VTime`] ticks layered
+//! over parade-net's scalar virtual clock), every shared location carries
+//! shadow state (the epoch of the last write plus the epochs of reads since
+//! that write), and every synchronization operation of the runtime —
+//! barriers, `critical`/`atomic` locks, `single` broadcasts — transfers
+//! clocks exactly where the runtime transfers control. Two accesses to the
+//! same location race iff neither happens-before the other and at least one
+//! is a write; the oracle reports each such pair once per (variable, kind).
+//!
+//! The oracle exists to keep `parade-check`'s static verdicts honest (see
+//! `crates/check`): the corpus in `tests/check_corpus.rs` asserts that every
+//! program the static pass calls racy is also flagged here, and every clean
+//! program is flagged by neither.
+//!
+//! Synchronization protocol notes:
+//!
+//! * **Barrier** — two-phase. Before entering the runtime barrier each
+//!   thread contributes its clock to a per-generation accumulator
+//!   ([`Oracle::pre_barrier`]); after the runtime barrier releases it joins
+//!   the accumulated clock ([`Oracle::post_barrier`]). The runtime barrier
+//!   guarantees all contributions land before any join reads them.
+//! * **Locks** (`critical`, lock-path `atomic`) — classic release/acquire:
+//!   the releaser snapshots its clock into the lock, the next acquirer
+//!   joins it.
+//! * **`single`** — the executing thread snapshots its clock at the end of
+//!   the body ([`Oracle::single_done`]); every thread joins that snapshot
+//!   after the runtime collective returns ([`Oracle::single_join`]). This
+//!   gives executor→everyone edges (the broadcast) without pretending the
+//!   non-executing threads synchronized with each other.
+//! * **Fork** — the oracle is created fresh per parallel region, so serial
+//!   code before the region can never race with region code (matching
+//!   OpenMP fork semantics). Join discards the oracle after draining
+//!   reports.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use parade_net::sync::Mutex;
+use parade_net::VTime;
+
+use crate::token::Span;
+
+/// A per-thread vector of virtual-time ticks. Grows on demand so callers
+/// need not know the team size up front.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VecTime(Vec<VTime>);
+
+impl VecTime {
+    pub fn new() -> VecTime {
+        VecTime(Vec::new())
+    }
+
+    pub fn get(&self, tid: usize) -> VTime {
+        self.0.get(tid).copied().unwrap_or(VTime::ZERO)
+    }
+
+    fn slot(&mut self, tid: usize) -> &mut VTime {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, VTime::ZERO);
+        }
+        &mut self.0[tid]
+    }
+
+    pub fn tick(&mut self, tid: usize) {
+        let s = self.slot(tid);
+        *s = VTime(s.0 + 1);
+    }
+
+    /// Pointwise max.
+    pub fn join(&mut self, other: &VecTime) {
+        for (tid, t) in other.0.iter().enumerate() {
+            let s = self.slot(tid);
+            *s = (*s).max(*t);
+        }
+    }
+
+    /// Does the epoch `(tid, t)` happen before (or equal) this clock?
+    pub fn covers(&self, tid: usize, t: VTime) -> bool {
+        t <= self.get(tid)
+    }
+}
+
+/// `(thread, tick)` — the FastTrack compressed timestamp of one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Epoch {
+    tid: usize,
+    t: VTime,
+}
+
+/// Which access pair conflicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RaceKind {
+    WriteWrite,
+    /// Earlier write, later unordered read.
+    WriteRead,
+    /// Earlier read, later unordered write.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::WriteRead => write!(f, "write-read"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// One dynamic race, reported once per `(variable, kind)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    pub var: String,
+    /// Flattened element index for arrays, `None` for scalars.
+    pub index: Option<usize>,
+    pub kind: RaceKind,
+    /// Source position of the earlier access.
+    pub first: Span,
+    /// Source position of the later access.
+    pub second: Span,
+    pub threads: (usize, usize),
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} race on `{}`", self.kind, self.var)?;
+        if let Some(i) = self.index {
+            write!(f, "[{i}]")?;
+        }
+        write!(
+            f,
+            ": thread {} at {} vs thread {} at {}",
+            self.threads.0, self.first, self.threads.1, self.second
+        )
+    }
+}
+
+/// Shadow state of one shared location.
+#[derive(Debug, Default)]
+struct Shadow {
+    write: Option<(Epoch, Span)>,
+    /// Reads since the last write, one entry per thread (full-VC
+    /// representation; we favour completeness over FastTrack's epoch
+    /// compression at corpus scale).
+    reads: HashMap<usize, (VTime, Span)>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Per-thread clocks.
+    clocks: HashMap<usize, VecTime>,
+    /// Release clocks, keyed by lock name (`critical:x`, `atomic:x`).
+    locks: HashMap<String, VecTime>,
+    /// Per-thread barrier generation counters.
+    barrier_gen: HashMap<usize, u64>,
+    /// Clock accumulator per barrier generation.
+    barrier_acc: HashMap<u64, VecTime>,
+    /// Per-thread `single` generation counters.
+    single_gen: HashMap<usize, u64>,
+    /// Executor clock snapshot per `single` generation.
+    single_snap: HashMap<u64, VecTime>,
+    shadow: HashMap<(String, usize), Shadow>,
+    races: Vec<RaceReport>,
+    seen: HashSet<(String, RaceKind)>,
+}
+
+impl State {
+    fn clock(&mut self, tid: usize) -> &mut VecTime {
+        self.clocks.entry(tid).or_insert_with(|| {
+            // A fresh thread starts at tick 1 of its own component so its
+            // epochs are never covered by the zero clock.
+            let mut c = VecTime::new();
+            c.tick(tid);
+            c
+        })
+    }
+
+    fn report(
+        &mut self,
+        var: &str,
+        idx: usize,
+        scalar: bool,
+        kind: RaceKind,
+        first: (usize, Span),
+        second: (usize, Span),
+    ) {
+        if first.0 == second.0 {
+            return; // same thread: program order, not a race
+        }
+        if !self.seen.insert((var.to_string(), kind)) {
+            return;
+        }
+        self.races.push(RaceReport {
+            var: var.to_string(),
+            index: if scalar { None } else { Some(idx) },
+            kind,
+            first: first.1,
+            second: second.1,
+            threads: (first.0, second.0),
+        });
+    }
+}
+
+/// The per-region oracle; shared by every thread of the team.
+pub struct Oracle {
+    inner: Mutex<State>,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Oracle {
+    pub fn new() -> Oracle {
+        Oracle {
+            inner: Mutex::new(State::default()),
+        }
+    }
+
+    /// Record a read of `var` (element `idx`; 0 with `scalar=true` for
+    /// scalars) by thread `tid`.
+    pub fn read(&self, tid: usize, var: &str, idx: usize, scalar: bool, span: Span) {
+        let mut st = self.inner.lock();
+        let clock = st.clock(tid).clone();
+        let key = (var.to_string(), idx);
+        let sh = st.shadow.entry(key).or_default();
+        let prior = match &sh.write {
+            Some((w, wspan)) if !clock.covers(w.tid, w.t) => Some((w.tid, *wspan)),
+            _ => None,
+        };
+        sh.reads.insert(tid, (clock.get(tid), span));
+        if let Some(first) = prior {
+            st.report(var, idx, scalar, RaceKind::WriteRead, first, (tid, span));
+        }
+    }
+
+    /// Record a write of `var` by thread `tid`.
+    pub fn write(&self, tid: usize, var: &str, idx: usize, scalar: bool, span: Span) {
+        let mut st = self.inner.lock();
+        let clock = st.clock(tid).clone();
+        let key = (var.to_string(), idx);
+        let sh = st.shadow.entry(key).or_default();
+        let mut conflicts: Vec<(RaceKind, (usize, Span))> = Vec::new();
+        if let Some((w, wspan)) = &sh.write {
+            if !clock.covers(w.tid, w.t) {
+                conflicts.push((RaceKind::WriteWrite, (w.tid, *wspan)));
+            }
+        }
+        for (rtid, (rt, rspan)) in &sh.reads {
+            if !clock.covers(*rtid, *rt) {
+                conflicts.push((RaceKind::ReadWrite, (*rtid, *rspan)));
+            }
+        }
+        sh.write = Some((
+            Epoch {
+                tid,
+                t: clock.get(tid),
+            },
+            span,
+        ));
+        sh.reads.clear();
+        for (kind, first) in conflicts {
+            st.report(var, idx, scalar, kind, first, (tid, span));
+        }
+    }
+
+    /// Release/acquire edge: join the lock's release clock into `tid`.
+    pub fn lock_acquire(&self, tid: usize, key: &str) {
+        let mut st = self.inner.lock();
+        if let Some(l) = st.locks.get(key).cloned() {
+            st.clock(tid).join(&l);
+        }
+    }
+
+    /// Snapshot `tid`'s clock into the lock and advance the thread.
+    pub fn lock_release(&self, tid: usize, key: &str) {
+        let mut st = self.inner.lock();
+        let snap = st.clock(tid).clone();
+        st.locks.insert(key.to_string(), snap);
+        st.clock(tid).tick(tid);
+    }
+
+    /// Contribute this thread's clock to the current barrier generation.
+    /// Call immediately **before** the runtime barrier.
+    pub fn pre_barrier(&self, tid: usize) {
+        let mut st = self.inner.lock();
+        let gen = *st.barrier_gen.entry(tid).or_insert(0);
+        let snap = st.clock(tid).clone();
+        st.barrier_acc.entry(gen).or_default().join(&snap);
+    }
+
+    /// Join the accumulated clocks of the generation and advance. Call
+    /// immediately **after** the runtime barrier.
+    pub fn post_barrier(&self, tid: usize) {
+        let mut st = self.inner.lock();
+        let gen = st.barrier_gen.entry(tid).or_insert(0);
+        let g = *gen;
+        *gen += 1;
+        if let Some(acc) = st.barrier_acc.get(&g).cloned() {
+            st.clock(tid).join(&acc);
+        }
+        st.clock(tid).tick(tid);
+    }
+
+    /// The `single` executor finished its body: snapshot its clock for the
+    /// construct instance and advance. Runs inside the runtime collective,
+    /// so the snapshot is complete before any [`Oracle::single_join`].
+    pub fn single_done(&self, tid: usize) {
+        let mut st = self.inner.lock();
+        let gen = *st.single_gen.entry(tid).or_insert(0);
+        let snap = st.clock(tid).clone();
+        st.single_snap.insert(gen, snap);
+        st.clock(tid).tick(tid);
+    }
+
+    /// Every thread joins the executor snapshot after the collective
+    /// returns, then advances its `single` generation.
+    pub fn single_join(&self, tid: usize) {
+        let mut st = self.inner.lock();
+        let gen = st.single_gen.entry(tid).or_insert(0);
+        let g = *gen;
+        *gen += 1;
+        if let Some(s) = st.single_snap.get(&g).cloned() {
+            st.clock(tid).join(&s);
+        }
+    }
+
+    /// Drain the reports collected so far (region join).
+    pub fn drain(&self) -> Vec<RaceReport> {
+        std::mem::take(&mut self.inner.lock().races)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(line: usize) -> Span {
+        Span::at_line(line)
+    }
+
+    #[test]
+    fn unordered_writes_race() {
+        let o = Oracle::new();
+        o.write(0, "x", 0, true, sp(1));
+        o.write(1, "x", 0, true, sp(2));
+        let races = o.drain();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::WriteWrite);
+        assert_eq!(races[0].var, "x");
+        assert_eq!(races[0].index, None);
+    }
+
+    #[test]
+    fn barrier_orders_accesses() {
+        let o = Oracle::new();
+        o.write(0, "x", 0, true, sp(1));
+        o.pre_barrier(0);
+        o.pre_barrier(1);
+        o.post_barrier(0);
+        o.post_barrier(1);
+        o.read(1, "x", 0, true, sp(2));
+        assert!(o.drain().is_empty());
+    }
+
+    #[test]
+    fn lock_orders_critical_sections() {
+        let o = Oracle::new();
+        o.lock_acquire(0, "critical:c");
+        o.write(0, "x", 0, true, sp(1));
+        o.lock_release(0, "critical:c");
+        o.lock_acquire(1, "critical:c");
+        o.write(1, "x", 0, true, sp(1));
+        o.lock_release(1, "critical:c");
+        assert!(o.drain().is_empty());
+    }
+
+    #[test]
+    fn read_then_unordered_write_races() {
+        let o = Oracle::new();
+        o.read(0, "a", 3, false, sp(4));
+        o.write(1, "a", 3, false, sp(5));
+        let races = o.drain();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, RaceKind::ReadWrite);
+        assert_eq!(races[0].index, Some(3));
+    }
+
+    #[test]
+    fn distinct_elements_do_not_race() {
+        let o = Oracle::new();
+        o.write(0, "a", 0, false, sp(1));
+        o.write(1, "a", 1, false, sp(1));
+        assert!(o.drain().is_empty());
+    }
+
+    #[test]
+    fn single_gives_executor_to_all_edge() {
+        let o = Oracle::new();
+        // Thread 0 executes the single body, writing x.
+        o.write(0, "x", 0, true, sp(2));
+        o.single_done(0);
+        o.single_join(0);
+        o.single_join(1);
+        // Thread 1 may now read x without racing.
+        o.read(1, "x", 0, true, sp(3));
+        assert!(o.drain().is_empty());
+    }
+
+    #[test]
+    fn race_reported_once_per_var_and_kind() {
+        let o = Oracle::new();
+        o.write(0, "x", 0, true, sp(1));
+        o.write(1, "x", 0, true, sp(1));
+        o.write(2, "x", 0, true, sp(1));
+        assert_eq!(o.drain().len(), 1);
+    }
+}

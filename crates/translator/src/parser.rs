@@ -23,6 +23,10 @@ impl Parser {
         self.toks[self.pos].line
     }
 
+    fn span(&self) -> Span {
+        self.toks[self.pos].span()
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.toks[self.pos].tok.clone();
         if self.pos < self.toks.len() - 1 {
@@ -79,15 +83,18 @@ impl Parser {
                     prog.includes.push(s);
                 }
                 _ => {
-                    let line = self.line();
+                    let span = self.span();
                     let Some(ty) = self.try_type() else {
-                        return err(line, format!("expected declaration, found {}", self.peek()));
+                        return err(
+                            span.line,
+                            format!("expected declaration, found {}", self.peek()),
+                        );
                     };
                     let name = self.eat_ident()?;
                     if *self.peek() == Tok::LParen {
                         prog.items.push(Item::Func(self.func_def(ty, name)?));
                     } else {
-                        for d in self.decl_rest(ty, name)? {
+                        for d in self.decl_rest(ty, name, span)? {
                             prog.items.push(Item::Global(d));
                         }
                     }
@@ -130,9 +137,10 @@ impl Parser {
 
     /// Continue a declaration after `type name` has been consumed; handles
     /// array dims, initializers, and comma-separated declarators.
-    fn decl_rest(&mut self, ty: Type, first: String) -> Result<Vec<Decl>, ParseError> {
+    fn decl_rest(&mut self, ty: Type, first: String, span: Span) -> Result<Vec<Decl>, ParseError> {
         let mut out = Vec::new();
         let mut name = first;
+        let mut dspan = span;
         loop {
             let mut dims = Vec::new();
             while *self.peek() == Tok::LBracket {
@@ -160,9 +168,11 @@ impl Parser {
                 name,
                 dims,
                 init,
+                span: dspan,
             });
             if *self.peek() == Tok::Comma {
                 self.bump();
+                dspan = self.span();
                 name = self.eat_ident()?;
             } else {
                 break;
@@ -187,9 +197,10 @@ impl Parser {
 
     /// Parse one statement; declarations may expand to several.
     fn stmt_into(&mut self, out: &mut Vec<Stmt>) -> Result<(), ParseError> {
+        let span = self.span();
         if let Some(ty) = self.try_type() {
             let name = self.eat_ident()?;
-            for d in self.decl_rest(ty, name)? {
+            for d in self.decl_rest(ty, name, span)? {
                 out.push(Stmt::Decl(d));
             }
             return Ok(());
@@ -276,9 +287,10 @@ impl Parser {
                 Ok(Stmt::Continue)
             }
             _ => {
+                let span = self.span();
                 let e = self.expr()?;
                 self.eat(&Tok::Semi)?;
-                Ok(Stmt::Expr(e))
+                Ok(Stmt::Expr(e, span))
             }
         }
     }
@@ -286,7 +298,8 @@ impl Parser {
     // ---- OpenMP pragmas ---------------------------------------------------
 
     fn omp(&mut self) -> Result<Stmt, ParseError> {
-        let line = self.line();
+        let span = self.span();
+        let line = span.line;
         self.eat(&Tok::PragmaOmp)?;
         let word = self.eat_ident()?;
         let kind = match word.as_str() {
@@ -324,7 +337,7 @@ impl Parser {
         let dir = Directive {
             kind: kind.clone(),
             clauses,
-            line,
+            span,
         };
         let body = match kind {
             DirKind::Barrier => None,
@@ -741,7 +754,7 @@ mod tests {
         let p = parse("int main() { int x; x = 1 + 2 * 3 < 7 && 1; return x; }").unwrap();
         let f = p.func("main").unwrap();
         let Stmt::Block(ss) = &f.body else { panic!() };
-        let Stmt::Expr(Expr::Assign(None, _, rhs)) = &ss[1] else {
+        let Stmt::Expr(Expr::Assign(None, _, rhs), _) = &ss[1] else {
             panic!("{ss:?}")
         };
         // ((1 + (2*3)) < 7) && 1
@@ -758,11 +771,11 @@ mod tests {
         let Stmt::Block(ss) = &f.body else { panic!() };
         assert!(matches!(
             &ss[1],
-            Stmt::Expr(Expr::Assign(Some(BinOp::Add), _, _))
+            Stmt::Expr(Expr::Assign(Some(BinOp::Add), _, _), _)
         ));
         assert!(matches!(
             &ss[2],
-            Stmt::Expr(Expr::Assign(Some(BinOp::Add), _, _))
+            Stmt::Expr(Expr::Assign(Some(BinOp::Add), _, _), _)
         ));
     }
 

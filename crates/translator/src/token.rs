@@ -84,11 +84,53 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its source line (for error messages).
+/// A half-open source location: 1-based line and column of the first
+/// character of a token/statement. Carried through the AST so the static
+/// analyzer (`parade-check`) and the interpreter's race oracle can anchor
+/// diagnostics at the offending source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl Span {
+    pub fn new(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// A span that only knows its line (pre-span AST nodes, synthesized
+    /// statements).
+    pub fn at_line(line: usize) -> Span {
+        Span { line, col: 0 }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.col == 0 {
+            write!(f, "{}", self.line)
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// A token with its source span (for error messages and AST spans).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     pub tok: Tok,
     pub line: usize,
+    pub col: usize,
+}
+
+impl Spanned {
+    pub fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
 }
 
 /// Lexing / parsing error.
@@ -117,6 +159,8 @@ struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
     line: usize,
+    /// Byte offset of the start of the current line (for column tracking).
+    line_start: usize,
     /// Inside a `#pragma` line: newline ends the pragma.
     in_pragma: bool,
     out: Vec<Spanned>,
@@ -128,6 +172,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
         src: src.as_bytes(),
         pos: 0,
         line: 1,
+        line_start: 0,
         in_pragma: false,
         out: Vec::new(),
     };
@@ -149,14 +194,25 @@ impl<'a> Lexer<'a> {
         self.pos += 1;
         if c == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         c
     }
 
+    /// 1-based column of the current position.
+    fn col(&self) -> usize {
+        self.pos - self.line_start + 1
+    }
+
     fn push(&mut self, tok: Tok) {
+        self.push_at(tok, self.col());
+    }
+
+    fn push_at(&mut self, tok: Tok, col: usize) {
         self.out.push(Spanned {
             tok,
             line: self.line,
+            col,
         });
     }
 
@@ -216,6 +272,7 @@ impl<'a> Lexer<'a> {
 
     fn directive(&mut self) -> Result<(), ParseError> {
         let start_line = self.line;
+        let start_col = self.col();
         let line_start = self.pos;
         // Read the directive word.
         self.bump(); // '#'
@@ -236,7 +293,7 @@ impl<'a> Lexer<'a> {
                     what.push(self.bump() as char);
                 }
                 if what == "omp" {
-                    self.push(Tok::PragmaOmp);
+                    self.push_at(Tok::PragmaOmp, start_col);
                     self.in_pragma = true;
                     Ok(())
                 } else {
@@ -252,7 +309,7 @@ impl<'a> Lexer<'a> {
                 while self.pos < self.src.len() && self.peek() != b'\n' {
                     text.push(self.bump() as char);
                 }
-                self.push(Tok::Include(text.trim().to_string()));
+                self.push_at(Tok::Include(text.trim().to_string()), start_col);
                 Ok(())
             }
             _ => {
@@ -267,6 +324,7 @@ impl<'a> Lexer<'a> {
 
     fn string(&mut self) -> Result<(), ParseError> {
         let line = self.line;
+        let col = self.col();
         self.bump(); // opening quote
         let mut s = String::new();
         loop {
@@ -287,12 +345,13 @@ impl<'a> Lexer<'a> {
                 c => s.push(c as char),
             }
         }
-        self.push(Tok::Str(s));
+        self.push_at(Tok::Str(s), col);
         Ok(())
     }
 
     fn number(&mut self) -> Result<(), ParseError> {
         let line = self.line;
+        let col = self.col();
         let start = self.pos;
         let mut is_float = false;
         while self.peek().is_ascii_digit() {
@@ -318,12 +377,12 @@ impl<'a> Lexer<'a> {
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
         if is_float {
             match text.parse::<f64>() {
-                Ok(v) => self.push(Tok::Float(v)),
+                Ok(v) => self.push_at(Tok::Float(v), col),
                 Err(_) => return err(line, format!("bad float literal {text}")),
             }
         } else {
             match text.parse::<i64>() {
-                Ok(v) => self.push(Tok::Int(v)),
+                Ok(v) => self.push_at(Tok::Int(v), col),
                 Err(_) => return err(line, format!("bad integer literal {text}")),
             }
         }
@@ -331,6 +390,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self) {
+        let col = self.col();
         let start = self.pos;
         while {
             let c = self.peek();
@@ -342,7 +402,7 @@ impl<'a> Lexer<'a> {
         if self.in_pragma {
             // Pragma words ("for", "if", …) are directive/clause names,
             // not C keywords.
-            self.push(Tok::Ident(text.to_string()));
+            self.push_at(Tok::Ident(text.to_string()), col);
             return;
         }
         let tok = match text {
@@ -364,11 +424,12 @@ impl<'a> Lexer<'a> {
             "struct" => Tok::KwStruct,
             _ => Tok::Ident(text.to_string()),
         };
-        self.push(tok);
+        self.push_at(tok, col);
     }
 
     fn operator(&mut self) -> Result<(), ParseError> {
         let line = self.line;
+        let col = self.col();
         let c = self.bump();
         let two = |lx: &mut Lexer, next: u8, a: Tok, b: Tok| {
             if lx.peek() == next {
@@ -430,7 +491,7 @@ impl<'a> Lexer<'a> {
             }
             other => return err(line, format!("unexpected character {:?}", other as char)),
         };
-        self.push(tok);
+        self.push_at(tok, col);
         Ok(())
     }
 }

@@ -1,0 +1,43 @@
+/* Dot product plus a max-norm pass. Exercises `+` and `max` reductions on
+ * `parallel for` (lowered to message-passing allreduces) and a
+ * critical-guarded update of a shared scalar. */
+#include <stdio.h>
+#include <math.h>
+
+int main() {
+    int i;
+    double a[1024];
+    double b[1024];
+    double dot;
+    double norm;
+    double checks;
+
+    #pragma omp parallel for
+    for (i = 0; i < 1024; i++) {
+        a[i] = 0.001 * i;
+        b[i] = 1.0 - 0.001 * i;
+    }
+
+    dot = 0.0;
+    #pragma omp parallel for reduction(+ : dot)
+    for (i = 0; i < 1024; i++) {
+        dot += a[i] * b[i];
+    }
+
+    norm = 0.0;
+    #pragma omp parallel for reduction(max : norm)
+    for (i = 0; i < 1024; i++) {
+        norm = fmax(norm, fabs(a[i]));
+    }
+
+    checks = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp critical
+        {
+            checks = checks + 1.0;
+        }
+    }
+    printf("dot = %.6f, max|a| = %.6f, threads = %.0f\n", dot, norm, checks);
+    return 0;
+}

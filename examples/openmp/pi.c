@@ -1,0 +1,24 @@
+/* Midpoint-rule estimate of pi. Exercises `parallel for` with a `+`
+ * reduction — the hybrid translator lowers the partial sums to a
+ * message-passing allreduce instead of SDSM traffic. */
+#include <stdio.h>
+
+int main() {
+    int i;
+    int n;
+    double h;
+    double x;
+    double pi;
+
+    n = 8192;
+    h = 1.0 / n;
+    pi = 0.0;
+    #pragma omp parallel for private(x) reduction(+ : pi)
+    for (i = 0; i < n; i++) {
+        x = h * (i + 0.5);
+        pi += 4.0 / (1.0 + x * x);
+    }
+    pi = pi * h;
+    printf("pi ~= %.8f\n", pi);
+    return 0;
+}

@@ -1,11 +1,16 @@
-//! The full ParADE pipeline on an OpenMP C program: translate it for both
-//! runtimes (paper Figures 2/3) and then *execute* it on the simulated
-//! cluster through the interpreter.
+//! The full ParADE pipeline on an OpenMP C program: statically check it
+//! (`paradec check`), translate it for both runtimes (paper Figures 2/3),
+//! and then *execute* it on the simulated cluster through the interpreter.
+//!
+//! The example also feeds the analyzer a deliberately racy variant of the
+//! program — the reduction clause dropped — to show what a diagnostic
+//! looks like and why checking runs *before* translation.
 //!
 //! ```text
 //! cargo run --release --example translate_openmp
 //! ```
 
+use parade::check::{check_program, has_errors};
 use parade::prelude::*;
 use parade::translator::{parse, translate_default, EmitMode, Interp};
 
@@ -42,8 +47,48 @@ int main() {
 }
 "#;
 
+/// The same relaxation loop with the `reduction(+: err)` clause dropped:
+/// every thread now races on the shared accumulator. The analyzer flags it
+/// (PC001) before the program ever reaches the runtime.
+const RACY_PROGRAM: &str = r#"
+#include <stdio.h>
+
+int main() {
+    int i;
+    double u[256];
+    double err = 0.0;
+
+    #pragma omp parallel for
+    for (i = 0; i < 256; i++) u[i] = 0.5;
+
+    #pragma omp parallel for private(i)
+    for (i = 1; i < 255; i++) {
+        err += u[i] * u[i];
+    }
+    printf("err = %f\n", err);
+    return 0;
+}
+"#;
+
 fn main() {
+    // ---- 1. a broken program never reaches the runtime -------------------
+    println!("==== paradec check: a racy variant (reduction clause dropped) ====\n");
+    let racy = parse(RACY_PROGRAM).expect("racy program still parses");
+    let diags = check_program(&racy);
+    for d in &diags {
+        println!("{}", d.render("racy.c"));
+    }
+    assert!(
+        has_errors(&diags),
+        "the dropped reduction must be caught statically"
+    );
+    println!("\n(refused: fix the program or re-run with --no-check)\n");
+
+    // ---- 2. the correct program checks clean, then translates ------------
     let prog = parse(PROGRAM).expect("program parses");
+    let diags = check_program(&prog);
+    assert!(diags.is_empty(), "clean program must stay clean: {diags:?}");
+    println!("==== paradec check: clean — proceeding to translation ====\n");
 
     println!("==== translated for the ParADE hybrid runtime ====\n");
     println!("{}", translate_default(&prog, EmitMode::Parade).unwrap());

@@ -29,6 +29,39 @@ cargo test -q --offline --workspace
 echo "== cargo build --offline --benches --bins (bench harness compiles) =="
 cargo build --offline --workspace --benches --bins
 
+echo "== cargo clippy --offline --workspace -- -D warnings =="
+if cargo clippy --version >/dev/null 2>&1; then
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+  echo "(skipped: clippy not installed)"
+fi
+
+echo "== paradec check over examples/openmp (analyzer smoke) =="
+for f in examples/openmp/*.c; do
+  cargo run -q --offline -p parade-check --bin paradec -- check "$f"
+done
+# The analyzer gate must also FAIL closed: a racy program exits non-zero.
+RACY_TMP="$(mktemp -d)"
+cat > "$RACY_TMP/racy.c" <<'EOF'
+int main() {
+    int i;
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        sum += 1.0;
+    }
+    return 0;
+}
+EOF
+if cargo run -q --offline -p parade-check --bin paradec -- check "$RACY_TMP/racy.c" \
+    2>"$RACY_TMP/err"; then
+  echo "paradec check accepted a racy program" >&2
+  exit 1
+fi
+grep -q "error\[PC001\]" "$RACY_TMP/err"
+rm -rf "$RACY_TMP"
+
 echo "== traced smoke run (figures -- trace) =="
 TRACE_TMP="$(mktemp -d)"
 PARADE_TRACE="$TRACE_TMP/smoke_trace.json" \

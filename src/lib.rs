@@ -29,6 +29,9 @@
 //!   `parallel`, work-sharing, `critical`/`atomic`/`single`/reductions.
 //! * [`translator`] — the OpenMP translator: mini-C + OpenMP 1.0 frontend,
 //!   directive lowering, translated-source emitter, interpreter.
+//! * [`check`] — static OpenMP race & conformance analyzer (`paradec
+//!   check`): lints PC001–PC007 with spans and stable ids, cross-checked
+//!   against the interpreter's happens-before race oracle.
 //! * [`kernels`] — NAS CG/EP, Helmholtz, MD, and syncbench workloads.
 //! * [`trace`] — virtual-time event tracing: per-thread rings, Chrome
 //!   `trace_event` export, per-construct overhead attribution
@@ -62,6 +65,7 @@
 //! assert_eq!(sum, (0..1024).sum::<i64>() as f64);
 //! ```
 
+pub use parade_check as check;
 pub use parade_cluster as cluster;
 pub use parade_core as core;
 pub use parade_dsm as dsm;

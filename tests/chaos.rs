@@ -275,7 +275,7 @@ fn cg_class_s_is_bit_identical_under_lossy_chaos() {
 fn helmholtz_is_bit_identical_under_lossy_chaos() {
     run_with_timeout("helmholtz-chaos", SOAK, || {
         let p = HelmholtzParams::sized(32, 32, 50);
-        let (clean, _) = helmholtz_parade(&soak_cluster(ChaosProfile::off()), p.clone());
+        let (clean, _) = helmholtz_parade(&soak_cluster(ChaosProfile::off()), p);
         let (chaotic, report) =
             helmholtz_parade(&soak_cluster(ChaosProfile::lossy(0x4E1D_A7A5)), p);
         assert_eq!(chaotic.iters, clean.iters);

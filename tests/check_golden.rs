@@ -1,0 +1,185 @@
+//! Golden tests for the analyzer's negative paths: the exact rendered
+//! diagnostic (`file:line:col: severity[PCnnn]: message` prefix) for every
+//! lint id, plus the parse errors that fire before the analyzer gets a
+//! look (unsupported directives and clauses are front-end rejections, not
+//! lints).
+
+use parade::check::{check_source, has_errors, Diag, LintId, Severity};
+
+/// Render like `paradec check` does and keep only `file:line:col:
+/// severity[code]` — messages may be tuned without re-blessing every test,
+/// while positions and codes are pinned exactly.
+fn rendered_heads(diags: &[Diag]) -> Vec<String> {
+    diags
+        .iter()
+        .map(|d| {
+            let full = d.render("prog.c");
+            let end = full.find("]: ").expect("renders a lint code") + 1;
+            full[..end].to_string()
+        })
+        .collect()
+}
+
+#[test]
+fn pc001_golden() {
+    let diags = check_source(
+        "int main() {\n    double sum;\n    #pragma omp parallel\n    {\n        sum = sum + 1.0;\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:5:9: error[PC001]"]);
+    assert!(diags[0].message.contains("`sum`"), "{}", diags[0].message);
+}
+
+#[test]
+fn pc002_golden() {
+    let diags = check_source(
+        "int main() {\n    int i;\n    double a[64];\n    #pragma omp parallel for\n    for (i = 1; i < 64; i++) {\n        a[i] = a[i - 1];\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    // Reported at the directive, not the statement: the dependence is a
+    // property of the distributed loop.
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:4:5: error[PC002]"]);
+    assert!(
+        diags[0].message.contains("`a[i]`") && diags[0].message.contains("`a[i-1]`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn pc003_golden() {
+    let diags = check_source(
+        "int main() {\n    int i;\n    double p;\n    #pragma omp parallel for reduction(* : p)\n    for (i = 0; i < 8; i++) {\n        p += 1.0;\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:6:9: error[PC003]"]);
+    assert!(
+        diags[0].message.contains('*') && diags[0].message.contains('+'),
+        "names both operators: {}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn pc004_golden() {
+    let diags = check_source(
+        "int main() {\n    double x;\n    #pragma omp parallel\n    {\n        #pragma omp single\n        {\n            x = 1.0;\n            #pragma omp barrier\n        }\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:8:13: error[PC004]"]);
+    assert!(diags[0].message.contains("single"), "{}", diags[0].message);
+}
+
+#[test]
+fn pc005_golden() {
+    let diags = check_source(
+        "int main() {\n    int i;\n    int j;\n    double a[64];\n    double b[64];\n    #pragma omp parallel\n    {\n        #pragma omp for nowait\n        for (i = 0; i < 64; i++) {\n            a[i] = 1.0;\n        }\n        #pragma omp for\n        for (j = 0; j < 64; j++) {\n            b[j] = a[63 - j];\n        }\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    // Anchored on the statement that touches the unjoined data.
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:12:9: error[PC005]"]);
+    assert!(
+        diags[0].message.contains("`a`") && diags[0].message.contains("line 8"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn pc006_golden() {
+    let diags = check_source(
+        "int main() {\n    double t;\n    double out[16];\n    #pragma omp parallel private(t)\n    {\n        out[omp_get_thread_num()] = t;\n        t = 0.0;\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:6:9: warning[PC006]"]);
+    assert!(
+        diags[0].message.contains("firstprivate(t)"),
+        "suggests the fix: {}",
+        diags[0].message
+    );
+    assert!(!has_errors(&diags), "PC006 alone must not gate");
+}
+
+#[test]
+fn pc007_orphan_golden() {
+    let diags = check_source(
+        "int main() {\n    int i;\n    double a[8];\n    #pragma omp for\n    for (i = 0; i < 8; i++) {\n        a[i] = 1.0;\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:4:5: error[PC007]"]);
+    assert!(
+        diags[0].message.contains("outside a parallel region"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn pc007_bad_nesting_golden() {
+    // A work-sharing loop inside a `single` — illegal nesting.
+    let diags = check_source(
+        "int main() {\n    int i;\n    double a[8];\n    #pragma omp parallel\n    {\n        #pragma omp single\n        {\n            #pragma omp for\n            for (i = 0; i < 8; i++) {\n                a[i] = 1.0;\n            }\n        }\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:8:13: error[PC007]"]);
+    assert!(
+        diags[0].message.contains("nested inside `single`"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn pc007_unknown_clause_var_golden() {
+    let diags = check_source(
+        "int main() {\n    double x;\n    #pragma omp parallel private(ghost)\n    {\n        #pragma omp atomic\n        x += 1.0;\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:3:5: error[PC007]"]);
+    assert!(
+        diags[0].message.contains("`ghost`") && diags[0].message.contains("private"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn every_lint_id_is_exercised_above() {
+    // Companion assertion: the suite covers the whole taxonomy.
+    assert_eq!(LintId::ALL.len(), 7);
+    for l in LintId::ALL {
+        let sev = l.severity();
+        match l {
+            LintId::PrivateUninitRead => assert_eq!(sev, Severity::Warning),
+            _ => assert_eq!(sev, Severity::Error),
+        }
+    }
+}
+
+// ---- front-end rejections (not lints) ------------------------------------
+
+#[test]
+fn unsupported_directive_is_a_parse_error() {
+    let err = check_source("int main() {\n#pragma omp sections\n{ }\nreturn 0; }").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("sections"), "{msg}");
+}
+
+#[test]
+fn unknown_clause_is_a_parse_error() {
+    let err = check_source(
+        "int main() { int i; double a[8];\n#pragma omp parallel for collapse(2)\nfor (i = 0; i < 8; i++) a[i] = 1.0;\nreturn 0; }",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("collapse"), "{msg}");
+}
+
+#[test]
+fn bad_reduction_operator_is_a_parse_error() {
+    let err = check_source(
+        "int main() { int i; double s;\n#pragma omp parallel for reduction(- : s)\nfor (i = 0; i < 8; i++) s = s - 1.0;\nreturn 0; }",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("reduction"), "{err}");
+}

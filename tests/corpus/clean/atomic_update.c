@@ -1,0 +1,12 @@
+/* Same accumulator, `atomic` flavour. Expected: clean. */
+int main() {
+    double x;
+    x = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp atomic
+        x += 2.0;
+    }
+    printf("%f\n", x);
+    return 0;
+}

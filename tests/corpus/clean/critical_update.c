@@ -1,0 +1,17 @@
+/* The shared accumulator is only ever touched under `critical`.
+ * Expected: clean. */
+int main() {
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel
+    {
+        double local;
+        local = 1.0;
+        #pragma omp critical
+        {
+            sum = sum + local;
+        }
+    }
+    printf("%f\n", sum);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* One Jacobi sweep: neighbour reads of `a`, writes only to `b` — the
+ * offsets differ but never on the same array. Expected: clean. */
+int main() {
+    int i;
+    double a[64];
+    double b[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        a[i] = 1.0 * i;
+    }
+    #pragma omp parallel for
+    for (i = 1; i < 63; i++) {
+        b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+    }
+    printf("%f\n", b[32]);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* Master initializes, an explicit barrier publishes, then everyone
+ * reads. Expected: clean. */
+int main() {
+    double n;
+    #pragma omp parallel
+    {
+        double mine;
+        #pragma omp master
+        {
+            n = 3.0;
+        }
+        #pragma omp barrier
+        mine = n + 1.0;
+    }
+    printf("%f\n", n);
+    return 0;
+}

@@ -1,0 +1,21 @@
+/* Back-to-back nowait-able loops touching different arrays — the nowait
+ * is safe here. Expected: clean. */
+int main() {
+    int i;
+    int j;
+    double a[64];
+    double b[64];
+    #pragma omp parallel
+    {
+        #pragma omp for nowait
+        for (i = 0; i < 64; i++) {
+            a[i] = 1.0;
+        }
+        #pragma omp for
+        for (j = 0; j < 64; j++) {
+            b[j] = 2.0;
+        }
+    }
+    printf("%f %f\n", a[0], b[0]);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* Min-reduction through the fmin combining form. Expected: clean. */
+int main() {
+    int i;
+    double m;
+    double a[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        a[i] = 100.0 - i;
+    }
+    m = 1e30;
+    #pragma omp parallel for reduction(min : m)
+    for (i = 0; i < 64; i++) {
+        m = fmin(m, a[i]);
+    }
+    printf("%f\n", m);
+    return 0;
+}

@@ -1,0 +1,17 @@
+/* The textbook reduction loop. Expected: clean both ways. */
+int main() {
+    int i;
+    double sum;
+    double a[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        a[i] = 1.0;
+    }
+    sum = 0.0;
+    #pragma omp parallel for reduction(+ : sum)
+    for (i = 0; i < 64; i++) {
+        sum += a[i];
+    }
+    printf("%f\n", sum);
+    return 0;
+}

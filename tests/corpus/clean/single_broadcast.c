@@ -1,0 +1,16 @@
+/* One thread sets the tolerance, the construct's synchronization
+ * publishes it to the team. Expected: clean. */
+int main() {
+    double tol;
+    #pragma omp parallel
+    {
+        double mine;
+        #pragma omp single
+        {
+            tol = 0.5;
+        }
+        mine = tol * 2.0;
+    }
+    printf("%f\n", tol);
+    return 0;
+}

@@ -1,0 +1,10 @@
+/* Per-thread slots indexed by omp_get_thread_num(). Expected: clean. */
+int main() {
+    double slot[16];
+    #pragma omp parallel
+    {
+        slot[omp_get_thread_num()] = 1.0;
+    }
+    printf("%f\n", slot[0]);
+    return 0;
+}

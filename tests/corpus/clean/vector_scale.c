@@ -1,0 +1,17 @@
+/* Embarrassingly parallel element-wise map: each iteration owns its
+ * element. Expected: no diagnostics, no races. */
+int main() {
+    int i;
+    double a[64];
+    double b[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        a[i] = 1.0 * i;
+    }
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        b[i] = a[i] * 0.5;
+    }
+    printf("%f\n", b[63]);
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* `atomic` over a plain copy, which is not an update statement.
+ * Expected: PC007. */
+int main() {
+    double x;
+    double y;
+    #pragma omp parallel
+    {
+        #pragma omp atomic
+        x = y;
+    }
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* Iterations are divided among threads, so threads hit the barrier a
+ * different number of times. Expected: PC004 (never run: deadlocks). */
+int main() {
+    int i;
+    double a[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        a[i] = 1.0;
+        #pragma omp barrier
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* Only the single's executor reaches the barrier: the rest of the team
+ * waits at the construct exit. Expected: PC004 (never run: deadlocks). */
+int main() {
+    double x;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        {
+            x = 1.0;
+            #pragma omp barrier
+        }
+    }
+    return 0;
+}

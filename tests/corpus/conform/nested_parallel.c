@@ -1,0 +1,12 @@
+/* Nested parallel regions. Expected: PC007 (unsupported by the runtime). */
+int main() {
+    double a[16];
+    #pragma omp parallel
+    {
+        #pragma omp parallel
+        {
+            a[omp_get_thread_num()] = 1.0;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* A downward-counting loop: not in OpenMP canonical form, so the
+ * work-sharing lowering cannot split it. Expected: PC007. */
+int main() {
+    int i;
+    double a[8];
+    #pragma omp parallel for
+    for (i = 8; i > 0; i = i - 1) {
+        a[i - 1] = 1.0;
+    }
+    return 0;
+}

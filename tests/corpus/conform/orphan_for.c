@@ -1,0 +1,11 @@
+/* A work-sharing directive with no enclosing parallel region.
+ * Expected: PC007 (the runtime rejects it). */
+int main() {
+    int i;
+    double a[8];
+    #pragma omp for
+    for (i = 0; i < 8; i++) {
+        a[i] = 1.0;
+    }
+    return 0;
+}

@@ -1,0 +1,13 @@
+/* `t` is private, so it enters the region holding garbage; the first
+ * access is a read. Expected: PC006 warning (firstprivate was meant). */
+int main() {
+    double t;
+    double out[16];
+    t = 42.0;
+    #pragma omp parallel private(t)
+    {
+        out[omp_get_thread_num()] = t;
+        t = 0.0;
+    }
+    return 0;
+}

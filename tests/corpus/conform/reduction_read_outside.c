@@ -1,0 +1,14 @@
+/* The reduction variable is read mid-loop, where it holds only this
+ * thread's partial — not the global sum. Expected: PC003. */
+int main() {
+    int i;
+    double s;
+    double a[64];
+    s = 0.0;
+    #pragma omp parallel for reduction(+ : s)
+    for (i = 0; i < 64; i++) {
+        a[i] = s;
+        s += 1.0;
+    }
+    return 0;
+}

@@ -1,0 +1,15 @@
+/* Declared as a product reduction but combined with +=: each thread's
+ * partial starts at the `*` identity and the merge multiplies.
+ * Expected: PC003. Runs without races (the variable is privatized), but
+ * computes nonsense. */
+int main() {
+    int i;
+    double p;
+    p = 1.0;
+    #pragma omp parallel for reduction(* : p)
+    for (i = 0; i < 8; i++) {
+        p += 1.0;
+    }
+    printf("%f\n", p);
+    return 0;
+}

@@ -1,0 +1,13 @@
+/* The private clause names a variable that does not exist.
+ * Expected: PC007. */
+int main() {
+    double x;
+    #pragma omp parallel private(nosuch)
+    {
+        #pragma omp critical
+        {
+            x = x + 1.0;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,10 @@
+/* All threads write the same array element.
+ * Expected: PC001 statically; write-write race on a[0] dynamically. */
+int main() {
+    double a[8];
+    #pragma omp parallel
+    {
+        a[0] = 1.0 * omp_get_thread_num();
+    }
+    return 0;
+}

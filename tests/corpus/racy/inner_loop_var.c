@@ -1,0 +1,16 @@
+/* The inner sequential loop variable `j` was never privatized, so every
+ * thread uses one shared counter as its loop control.
+ * Expected: PC001 statically; races on `j` dynamically. */
+int main() {
+    int i;
+    int j;
+    double b[32];
+    #pragma omp parallel for
+    for (i = 0; i < 32; i++) {
+        b[i] = 0.0;
+        for (j = 0; j < 4; j++) {
+            b[i] = b[i] + 1.0;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,13 @@
+/* Prefix recurrence split across threads: the first iteration of each
+ * chunk reads the element the previous chunk's owner writes.
+ * Expected: PC002 statically; read-write races at chunk borders. */
+int main() {
+    int i;
+    double a[64];
+    a[0] = 1.0;
+    #pragma omp parallel for
+    for (i = 1; i < 64; i++) {
+        a[i] = a[i - 1] + 1.0;
+    }
+    return 0;
+}

@@ -1,0 +1,15 @@
+/* Row recurrence under a row-parallel loop: row i needs row i-1, which a
+ * different thread writes.
+ * Expected: PC002 statically; races at row-block borders. */
+int main() {
+    int i;
+    int j;
+    double g[16][8];
+    #pragma omp parallel for private(j)
+    for (i = 1; i < 16; i++) {
+        for (j = 0; j < 8; j++) {
+            g[i][j] = g[i - 1][j] * 0.5;
+        }
+    }
+    return 0;
+}

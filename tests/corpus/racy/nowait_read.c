@@ -1,0 +1,21 @@
+/* The second loop reads `a` in reverse while stragglers may still be
+ * writing it — the nowait removed the only join.
+ * Expected: PC005 statically; read-write races on `a` dynamically. */
+int main() {
+    int i;
+    int j;
+    double a[64];
+    double b[64];
+    #pragma omp parallel
+    {
+        #pragma omp for nowait
+        for (i = 0; i < 64; i++) {
+            a[i] = 1.0 * i;
+        }
+        #pragma omp for
+        for (j = 0; j < 64; j++) {
+            b[j] = a[63 - j];
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* A sum loop with the reduction clause forgotten.
+ * Expected: PC001 statically; races on `sum` dynamically. */
+int main() {
+    int i;
+    double sum;
+    double a[64];
+    sum = 0.0;
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        sum += a[i];
+    }
+    printf("%f\n", sum);
+    return 0;
+}

@@ -1,0 +1,12 @@
+/* Every thread bumps the shared counter with a plain read-modify-write.
+ * Expected: PC001 statically; write-write / read-write races dynamically. */
+int main() {
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel
+    {
+        sum = sum + 1.0;
+    }
+    printf("%f\n", sum);
+    return 0;
+}

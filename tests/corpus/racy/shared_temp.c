@@ -1,0 +1,15 @@
+/* The scratch variable `t` defaults to shared, so every thread funnels its
+ * loop iterations through one location.
+ * Expected: PC001 statically; races on `t` dynamically. */
+int main() {
+    int i;
+    double t;
+    double a[64];
+    double b[64];
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        t = a[i] * 2.0;
+        b[i] = t;
+    }
+    return 0;
+}

@@ -105,7 +105,7 @@ fn ep_custom_parallel_smoke_matches_sequential() {
 #[test]
 fn helmholtz_tiny_parallel_smoke_matches_sequential() {
     let p = HelmholtzParams::sized(32, 32, 50);
-    let seq = helmholtz_sequential(p.clone());
+    let seq = helmholtz_sequential(p);
     let cluster = smoke_cluster();
     let (par, _) = helmholtz_parade(&cluster, p);
     assert_eq!(par.iters, seq.iters, "iteration counts diverged");
