@@ -1,0 +1,214 @@
+//! Release-path microbenchmarks: what a barrier/lock release actually costs
+//! once diffs are batched per home.
+//!
+//! Two kinds of results land in `BENCH_dsm.json`:
+//!
+//! * `release/...` and `barrier/...` — **deterministic simulated metrics**
+//!   (virtual time and fabric message counts), recorded via
+//!   `Bench::record`. Virtual time is machine-independent, so CI gates on
+//!   the `release/` family against a committed baseline
+//!   (`scripts/bench_baseline/BENCH_dsm.json`, enforced by the
+//!   `bench_gate` binary). Batched and unbatched variants are emitted side
+//!   by side so the win is visible in one file.
+//! * `wall/...` — host wall-clock latency of the same release path,
+//!   median-of-N. Informational only: wall time is not gated.
+//!
+//! `cargo bench -p parade-bench --bench dsm [filter]`; set
+//! `PARADE_BENCH_JSON=<dir>` to write the JSON.
+
+use std::sync::Arc;
+
+use parade_dsm::{spawn_comm_thread, Dsm, DsmConfig, HomePolicy, PAGE_SIZE};
+use parade_net::{Fabric, NetProfile, VClock};
+use parade_testkit::bench::{Bench, BenchOpts};
+
+/// Miniature cluster harness: one application thread plus one communication
+/// thread per node (the cluster_tests pattern, usable outside the crate).
+fn run_nodes<R: Send + 'static>(
+    n: usize,
+    cfg: DsmConfig,
+    profile: NetProfile,
+    f: impl Fn(Arc<Dsm>, &mut VClock) -> R + Send + Sync + 'static,
+) -> Vec<R> {
+    let fabric = Fabric::new(n, profile);
+    let dsms: Vec<Arc<Dsm>> = (0..n)
+        .map(|i| Arc::new(Dsm::new(fabric.endpoint(i), cfg)))
+        .collect();
+    let comm_handles: Vec<_> = dsms
+        .iter()
+        .map(|d| spawn_comm_thread(Arc::clone(d)))
+        .collect();
+    let f = Arc::new(f);
+    let app_handles: Vec<_> = dsms
+        .iter()
+        .map(|d| {
+            let d = Arc::clone(d);
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                let mut clock = VClock::manual();
+                f(d, &mut clock)
+            })
+        })
+        .collect();
+    let results = app_handles.into_iter().map(|h| h.join().unwrap()).collect();
+    fabric.begin_shutdown();
+    for h in comm_handles {
+        h.join().unwrap();
+    }
+    results
+}
+
+fn release_cfg(pages: usize, batched: bool) -> DsmConfig {
+    DsmConfig {
+        pool_bytes: (pages + 8) * PAGE_SIZE,
+        // Fixed homes keep every page on node 0, so node 1's release has a
+        // single destination — the pure batching scenario.
+        home_policy: HomePolicy::Fixed,
+        batch_diffs: batched,
+        ..DsmConfig::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ReleaseMetrics {
+    /// Virtual nanoseconds node 1 spends inside `flush`.
+    flush_vtime_ns: u64,
+    /// DSM messages node 1 sent during the flush.
+    flush_msgs: u64,
+    /// Replies node 1 waited on during the flush.
+    flush_acks: u64,
+    /// Wire bytes of the shipped diff messages.
+    diff_wire_bytes: u64,
+    /// Modified bytes carried inside those diffs.
+    diff_payload_bytes: u64,
+}
+
+/// One 2-node release with `pages` dirty pages homed on the peer; fully
+/// deterministic (single blocking request stream, virtual clocks).
+fn release_metrics(pages: usize, batched: bool) -> ReleaseMetrics {
+    let out = run_nodes(
+        2,
+        release_cfg(pages, batched),
+        NetProfile::clan_via(),
+        move |d, clk| {
+            let r = d.alloc_region(pages * PAGE_SIZE).unwrap();
+            d.barrier(clk);
+            let mut m = ReleaseMetrics::default();
+            if d.node() == 1 {
+                for p in 0..pages {
+                    // Touch two words per page (non-zero, so every page
+                    // yields a diff): a sparse, realistic release.
+                    d.write::<i64>(r, p * PAGE_SIZE, p as i64 + 1, clk);
+                    d.write::<i64>(r, p * PAGE_SIZE + 1024, p as i64 + 1, clk);
+                }
+                let net0 = d.endpoint().local_stats().snapshot();
+                let s0 = d.stats.snapshot();
+                let t0 = clk.now();
+                d.flush(clk);
+                let t1 = clk.now();
+                let net1 = d.endpoint().local_stats().snapshot();
+                let s1 = d.stats.snapshot();
+                m = ReleaseMetrics {
+                    flush_vtime_ns: t1.saturating_sub(t0).as_nanos(),
+                    flush_msgs: net1.sent.msgs - net0.sent.msgs,
+                    flush_acks: net1.received.msgs - net0.received.msgs,
+                    diff_wire_bytes: s1.diff_bytes - s0.diff_bytes,
+                    diff_payload_bytes: s1.diff_payload_bytes - s0.diff_payload_bytes,
+                };
+            }
+            d.barrier(clk);
+            m
+        },
+    );
+    out[1]
+}
+
+/// Virtual time of one all-writers barrier round at `nodes` nodes (each node
+/// dirties its own stripe of pages). Cross-node barriers carry a small
+/// arrival-ordering jitter in virtual time, so these are informational.
+fn barrier_vtime_ns(nodes: usize, pages_per_node: usize) -> u64 {
+    let total = nodes * pages_per_node;
+    let cfg = DsmConfig {
+        pool_bytes: (total + 8) * PAGE_SIZE,
+        home_policy: HomePolicy::Fixed,
+        ..DsmConfig::default()
+    };
+    let out = run_nodes(nodes, cfg, NetProfile::clan_via(), move |d, clk| {
+        let r = d.alloc_region(total * PAGE_SIZE).unwrap();
+        d.barrier(clk);
+        let node = d.node();
+        for p in 0..pages_per_node {
+            let page = node * pages_per_node + p;
+            d.write::<i64>(r, page * PAGE_SIZE, page as i64, clk);
+        }
+        let t0 = clk.now();
+        d.barrier(clk);
+        clk.now().saturating_sub(t0).as_nanos()
+    });
+    // The master's view: it waits for everyone, so it sees the full cost.
+    out[0]
+}
+
+fn record_release_family(b: &mut Bench) {
+    for &pages in &[1usize, 8, 32] {
+        for &batched in &[true, false] {
+            let tag = if batched { "batched" } else { "unbatched" };
+            let m = release_metrics(pages, batched);
+            b.record(
+                &format!("release/flush_vtime_ns_{pages}p_{tag}"),
+                m.flush_vtime_ns as f64,
+            );
+            b.record(
+                &format!("release/flush_vtime_ns_per_page_{pages}p_{tag}"),
+                m.flush_vtime_ns as f64 / pages as f64,
+            );
+            b.record(
+                &format!("release/flush_msgs_{pages}p_{tag}"),
+                m.flush_msgs as f64,
+            );
+            b.record(
+                &format!("release/flush_acks_{pages}p_{tag}"),
+                m.flush_acks as f64,
+            );
+            b.record(
+                &format!("release/diff_wire_bytes_{pages}p_{tag}"),
+                m.diff_wire_bytes as f64,
+            );
+            b.record(
+                &format!("release/diff_payload_bytes_{pages}p_{tag}"),
+                m.diff_payload_bytes as f64,
+            );
+        }
+    }
+}
+
+fn record_barrier_family(b: &mut Bench) {
+    for &nodes in &[2usize, 4, 8] {
+        b.record(
+            &format!("barrier/vtime_ns_{nodes}n_4p"),
+            barrier_vtime_ns(nodes, 4) as f64,
+        );
+    }
+}
+
+fn bench_wall_flush(b: &mut Bench) {
+    for &batched in &[true, false] {
+        let tag = if batched { "batched" } else { "unbatched" };
+        b.bench(&format!("wall/release_32p_{tag}"), move || {
+            std::hint::black_box(release_metrics(32, batched));
+        });
+    }
+}
+
+fn main() {
+    let mut b = Bench::from_args("dsm").with_opts(BenchOpts {
+        samples: 7,
+        warmup_batches: 1,
+        target_batch_ns: 50_000_000,
+        max_iters_per_batch: 16,
+    });
+    record_release_family(&mut b);
+    record_barrier_family(&mut b);
+    bench_wall_flush(&mut b);
+    b.finish();
+}

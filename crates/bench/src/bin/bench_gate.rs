@@ -1,0 +1,124 @@
+//! Perf-regression gate over `BENCH_*.json` files.
+//!
+//! Usage: `bench_gate <current.json> <baseline.json> [tolerance_pct]`
+//!
+//! Compares the **deterministic** metric families (names starting with
+//! `release/`) of a fresh benchmark run against a committed baseline. Those
+//! metrics are simulated virtual time and fabric message counts — identical
+//! on every machine — so a conservative tolerance band (default 20%)
+//! guards only against protocol regressions, not host noise. Wall-clock
+//! results (`wall/...`) and jittery families (`barrier/...`) are reported
+//! but never gated.
+//!
+//! Exit status: 0 when every gated metric is within tolerance of its
+//! baseline, 1 on any regression or when a baselined gated metric vanished
+//! from the current run (a disappearing metric usually means the bench
+//! silently stopped covering it).
+
+use std::process::ExitCode;
+
+/// Metric families the gate enforces.
+const GATED_PREFIXES: &[&str] = &["release/"];
+
+fn gated(name: &str) -> bool {
+    GATED_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Extract `(name, median)` pairs from a testkit bench JSON document.
+/// The format is fixed (emitted by `Bench::to_json`), so a line-oriented
+/// scan is exact — no general JSON parser needed.
+fn parse_results(doc: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(nend) = rest.find('"') else { continue };
+        let name = rest[..nend].to_string();
+        let Some(mpos) = line.find("\"median\": ") else {
+            continue;
+        };
+        let mrest = &line[mpos + 10..];
+        let mend = mrest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(mrest.len());
+        if let Ok(v) = mrest[..mend].parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_gate <current.json> <baseline.json> [tolerance_pct]");
+        return ExitCode::FAILURE;
+    }
+    let tolerance_pct: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("tolerance must be a number"))
+        .unwrap_or(20.0);
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let current = parse_results(&read(&args[0]));
+    let baseline = parse_results(&read(&args[1]));
+    if current.is_empty() || baseline.is_empty() {
+        eprintln!("bench_gate: no parsable results in input files");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0u32;
+    let mut checked = 0u32;
+    println!("bench_gate: tolerance {tolerance_pct}% on {GATED_PREFIXES:?}");
+    println!(
+        "{:<48} {:>14} {:>14} {:>9}  verdict",
+        "metric", "baseline", "current", "delta"
+    );
+    for (name, base) in &baseline {
+        if !gated(name) {
+            continue;
+        }
+        checked += 1;
+        let Some((_, cur)) = current.iter().find(|(n, _)| n == name) else {
+            println!("{name:<48} {base:>14.2} {:>14} {:>9}  MISSING", "-", "-");
+            failures += 1;
+            continue;
+        };
+        // Regression = current exceeds baseline by more than the band.
+        // An absolute floor keeps near-zero baselines (e.g. "1 message")
+        // from rejecting integer counts that legitimately stay put.
+        let limit = base * (1.0 + tolerance_pct / 100.0) + 1e-9;
+        let delta_pct = if *base > 0.0 {
+            (cur - base) / base * 100.0
+        } else {
+            0.0
+        };
+        let ok = *cur <= limit;
+        println!(
+            "{name:<48} {base:>14.2} {cur:>14.2} {delta_pct:>+8.1}%  {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+    // Improvements worth surfacing: current metrics the baseline lacks.
+    for (name, _) in &current {
+        if gated(name) && !baseline.iter().any(|(n, _)| n == name) {
+            println!("{name:<48} (new metric, not in baseline)");
+        }
+    }
+    if checked == 0 {
+        eprintln!("bench_gate: baseline contains no gated metrics");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} gated metric(s) regressed beyond {tolerance_pct}%");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: {checked} gated metrics within tolerance");
+    ExitCode::SUCCESS
+}

@@ -96,6 +96,12 @@ pub struct ClusterConfig {
     /// Home policy override; `None` derives it from `protocol`
     /// (Parade → Migratory, SdsmOnly → Fixed).
     pub home_policy: Option<HomePolicy>,
+    /// Ship one `DiffBatch` per destination home at each release instead of
+    /// one `Diff` message + ack per dirty page.
+    pub batch_diffs: bool,
+    /// Upper bound on contiguous pages coalesced into one fetch; `<= 1`
+    /// disables coalescing.
+    pub max_fetch_range: usize,
     /// Fault injection for the fabric. The default honours the
     /// `PARADE_CHAOS` environment variable (off when unset), so any run
     /// can be soaked under chaos without code changes.
@@ -116,6 +122,8 @@ impl Default for ClusterConfig {
             update_strategy: UpdateStrategy::MmapFile,
             lock_kind: LockKind::Queued,
             home_policy: None,
+            batch_diffs: true,
+            max_fetch_range: 16,
             chaos: ChaosProfile::from_env(),
         }
     }
@@ -147,6 +155,8 @@ impl ClusterConfig {
             update_strategy: self.update_strategy,
             comm: self.exec.comm_costs(),
             small_threshold: self.small_threshold,
+            batch_diffs: self.batch_diffs,
+            max_fetch_range: self.max_fetch_range,
         }
     }
 

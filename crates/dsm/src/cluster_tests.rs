@@ -479,6 +479,238 @@ fn interleaved_lock_and_barrier_phases() {
 }
 
 // ---------------------------------------------------------------------------
+// Release-path batching and range fetches
+// ---------------------------------------------------------------------------
+
+#[test]
+fn release_sends_one_batch_message_per_home() {
+    // N dirty pages all homed on the peer: the release must ship exactly
+    // one DSM message and wait on exactly one ack, regardless of N.
+    const N: usize = 8;
+    let cfg = DsmConfig {
+        home_policy: HomePolicy::Fixed,
+        ..small_cfg()
+    };
+    let out = run_nodes(2, cfg, NetProfile::zero(), |d, clk| {
+        let r = alloc_on(&d, N * PAGE_SIZE);
+        d.barrier(clk);
+        if d.node() == 1 {
+            for p in 0..N {
+                d.write::<i64>(r, p * PAGE_SIZE, p as i64 + 1, clk);
+            }
+            // Writes fetched pages; quiesce, then measure the flush alone.
+            let before = d.endpoint().local_stats().snapshot();
+            let flushed = d.flush(clk);
+            let after = d.endpoint().local_stats().snapshot();
+            assert_eq!(flushed.len(), N);
+            assert_eq!(
+                after.sent.msgs - before.sent.msgs,
+                1,
+                "one DiffBatch on the wire, not one Diff per page"
+            );
+            assert_eq!(
+                after.received.msgs - before.received.msgs,
+                1,
+                "one DiffBatchAck back, not one ack per page"
+            );
+        }
+        d.barrier(clk);
+        let sum: i64 = (0..N).map(|p| d.read::<i64>(r, p * PAGE_SIZE, clk)).sum();
+        (d.stats.snapshot(), sum)
+    });
+    let (s1, _) = &out[1];
+    assert_eq!(s1.diff_batches, 1, "single destination home, single batch");
+    assert_eq!(s1.batched_pages, N as u64);
+    assert_eq!(s1.diffs_sent, N as u64, "per-page diff count is preserved");
+    assert!(
+        s1.diff_bytes > s1.diff_payload_bytes,
+        "wire bytes include framing over the modified-run payload"
+    );
+    assert!(s1.diff_payload_bytes >= (N * 8) as u64);
+    let expect: i64 = (1..=N as i64).sum();
+    for (_, sum) in &out {
+        assert_eq!(*sum, expect, "home merged every page's diff");
+    }
+}
+
+#[test]
+fn unbatched_mode_sends_one_message_per_page() {
+    const N: usize = 6;
+    let cfg = DsmConfig {
+        home_policy: HomePolicy::Fixed,
+        batch_diffs: false,
+        ..small_cfg()
+    };
+    let out = run_nodes(2, cfg, NetProfile::zero(), |d, clk| {
+        let r = alloc_on(&d, N * PAGE_SIZE);
+        d.barrier(clk);
+        if d.node() == 1 {
+            for p in 0..N {
+                d.write::<i64>(r, p * PAGE_SIZE, 7, clk);
+            }
+            let before = d.endpoint().local_stats().snapshot();
+            d.flush(clk);
+            let after = d.endpoint().local_stats().snapshot();
+            assert_eq!(after.sent.msgs - before.sent.msgs, N as u64);
+            assert_eq!(after.received.msgs - before.received.msgs, N as u64);
+        }
+        d.barrier(clk);
+        d.stats.snapshot()
+    });
+    let s1 = &out[1];
+    assert_eq!(s1.diff_batches, 0, "legacy path must not batch");
+    assert_eq!(s1.batched_pages, 0);
+    assert_eq!(s1.diffs_sent, N as u64);
+}
+
+#[test]
+fn disjoint_writer_diffs_merge_at_home_through_batches() {
+    // Nodes 1 and 2 write disjoint halves of the same N pages homed at
+    // node 0. Each release is one batch; the home merges both batches run
+    // by run and everyone reads the union.
+    const N: usize = 4;
+    let cfg = DsmConfig {
+        home_policy: HomePolicy::Fixed,
+        ..small_cfg()
+    };
+    let out = run_nodes(3, cfg, NetProfile::zero(), |d, clk| {
+        let r = alloc_on(&d, N * PAGE_SIZE);
+        d.barrier(clk);
+        match d.node() {
+            1 => {
+                for p in 0..N {
+                    d.write::<i64>(r, p * PAGE_SIZE, 100 + p as i64, clk);
+                }
+            }
+            2 => {
+                for p in 0..N {
+                    d.write::<i64>(r, p * PAGE_SIZE + PAGE_SIZE / 2, 200 + p as i64, clk);
+                }
+            }
+            _ => {}
+        }
+        d.barrier(clk);
+        let mut vals = Vec::new();
+        for p in 0..N {
+            vals.push((
+                d.read::<i64>(r, p * PAGE_SIZE, clk),
+                d.read::<i64>(r, p * PAGE_SIZE + PAGE_SIZE / 2, clk),
+            ));
+        }
+        (d.stats.snapshot(), vals)
+    });
+    for (node, (snap, vals)) in out.iter().enumerate() {
+        for (p, &(a, b)) in vals.iter().enumerate() {
+            assert_eq!(
+                (a, b),
+                (100 + p as i64, 200 + p as i64),
+                "node {node} page {p} must see both writers' words"
+            );
+        }
+        if node == 1 || node == 2 {
+            assert_eq!(snap.diff_batches, 1, "writer {node} released one batch");
+            assert_eq!(snap.batched_pages, N as u64);
+        }
+    }
+}
+
+#[test]
+fn contiguous_fetches_coalesce_into_one_range_request() {
+    const N: usize = 8;
+    let cfg = DsmConfig {
+        home_policy: HomePolicy::Fixed,
+        ..small_cfg()
+    };
+    let out = run_nodes(2, cfg, NetProfile::zero(), |d, clk| {
+        let r = alloc_on(&d, N * PAGE_SIZE);
+        if d.node() == 0 {
+            let data: Vec<f64> = (0..N * PAGE_SIZE / 8).map(|i| i as f64).collect();
+            d.write_slice(r, 0, &data, clk);
+        }
+        d.barrier(clk);
+        if d.node() == 1 {
+            let mut buf = vec![0.0f64; N * PAGE_SIZE / 8];
+            d.read_slice(r, 0, &mut buf, clk);
+            let expect: f64 = (0..buf.len()).map(|i| i as f64).sum();
+            assert_eq!(buf.iter().sum::<f64>(), expect);
+        }
+        d.barrier(clk);
+        d.stats.snapshot()
+    });
+    let s1 = &out[1];
+    assert_eq!(s1.range_fetches, 1, "8 contiguous pages, one round trip");
+    assert_eq!(s1.range_fetch_pages, N as u64);
+    assert_eq!(s1.page_fetches, N as u64);
+    assert_eq!(s1.fetch_bytes, (N * PAGE_SIZE) as u64);
+}
+
+#[test]
+fn range_fetch_disabled_falls_back_to_per_page() {
+    const N: usize = 5;
+    let cfg = DsmConfig {
+        home_policy: HomePolicy::Fixed,
+        max_fetch_range: 1,
+        ..small_cfg()
+    };
+    let out = run_nodes(2, cfg, NetProfile::zero(), |d, clk| {
+        let r = alloc_on(&d, N * PAGE_SIZE);
+        if d.node() == 0 {
+            let data: Vec<f64> = (0..N * PAGE_SIZE / 8).map(|_| 1.0).collect();
+            d.write_slice(r, 0, &data, clk);
+        }
+        d.barrier(clk);
+        if d.node() == 1 {
+            let mut buf = vec![0.0f64; N * PAGE_SIZE / 8];
+            d.read_slice(r, 0, &mut buf, clk);
+            assert_eq!(buf.iter().sum::<f64>(), (N * PAGE_SIZE / 8) as f64);
+        }
+        d.barrier(clk);
+        d.stats.snapshot()
+    });
+    let s1 = &out[1];
+    assert_eq!(s1.range_fetches, 0);
+    assert_eq!(s1.page_fetches, N as u64);
+}
+
+#[test]
+fn range_fetch_splits_at_home_boundaries() {
+    // Pages 0..4 migrate to node 0, pages 4..8 to node 1; node 2's sweep
+    // over all eight pages must issue one range request per home.
+    const N: usize = 8;
+    let out = run_nodes(3, small_cfg(), NetProfile::zero(), |d, clk| {
+        let r = alloc_on(&d, N * PAGE_SIZE);
+        d.barrier(clk);
+        let words = PAGE_SIZE / 8;
+        match d.node() {
+            0 => {
+                let data: Vec<f64> = (0..4 * words).map(|i| i as f64).collect();
+                d.write_slice(r, 0, &data, clk);
+            }
+            1 => {
+                let data: Vec<f64> = (0..4 * words).map(|i| (4 * words + i) as f64).collect();
+                d.write_slice(r, 4 * words, &data, clk);
+            }
+            _ => {}
+        }
+        d.barrier(clk);
+        let homes: Vec<usize> = (0..N).map(|p| d.home_of(r.first_page() + p)).collect();
+        if d.node() == 2 {
+            let mut buf = vec![0.0f64; N * words];
+            d.read_slice(r, 0, &mut buf, clk);
+            let expect: f64 = (0..N * words).map(|i| i as f64).sum();
+            assert_eq!(buf.iter().sum::<f64>(), expect);
+        }
+        d.barrier(clk);
+        (d.stats.snapshot(), homes)
+    });
+    let (s2, homes) = &out[2];
+    assert_eq!(&homes[..4], &[0, 0, 0, 0], "first half migrated to node 0");
+    assert_eq!(&homes[4..], &[1, 1, 1, 1], "second half migrated to node 1");
+    assert_eq!(s2.range_fetches, 2, "one coalesced fetch per home");
+    assert_eq!(s2.range_fetch_pages, N as u64);
+}
+
+// ---------------------------------------------------------------------------
 // Randomized stress tests (deterministic: driven by the 46-bit NAS LCG via
 // parade-testkit, so every run replays the identical op sequence).
 // ---------------------------------------------------------------------------

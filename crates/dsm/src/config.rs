@@ -149,6 +149,16 @@ pub struct DsmConfig {
     /// update protocol instead of HLRC (§5.2.1; 256 bytes on the paper's
     /// cluster).
     pub small_threshold: usize,
+    /// Group the diffs of a release by home and ship one `DiffBatch` per
+    /// destination with a single ack (the HLRC few-messages argument,
+    /// §5.2). Off reverts to one `Diff` message + ack per dirty page —
+    /// kept as a measurable baseline for the release-path benchmarks.
+    pub batch_diffs: bool,
+    /// Upper bound on pages coalesced into one `ReqPageRange` fetch when a
+    /// bulk access faults a run of contiguous pages with a common home
+    /// (Helmholtz/CG fault storms). `<= 1` disables coalescing; range
+    /// fetches also require a safe [`UpdateStrategy`].
+    pub max_fetch_range: usize,
 }
 
 impl Default for DsmConfig {
@@ -160,6 +170,8 @@ impl Default for DsmConfig {
             update_strategy: UpdateStrategy::MmapFile,
             comm: CommCosts::dedicated_cpu(),
             small_threshold: 256,
+            batch_diffs: true,
+            max_fetch_range: 16,
         }
     }
 }

@@ -5,12 +5,79 @@
 //! and encodes the modified words as a *diff*, which is shipped to the
 //! page's home and merged there. Homes never need twins — all diffs merge
 //! into the home copy (one of the paper's arguments for home-based LRC).
+//!
+//! Decoding treats the wire as untrusted: a corrupted run table yields a
+//! structured [`DecodeError`], never an out-of-bounds panic at the home,
+//! and every run of a successfully decoded diff is guaranteed in-bounds
+//! and word-aligned, so [`Diff::apply`] cannot index outside the page.
 
 use parade_mpi::datatype::{Reader, Writer};
 
 use crate::page::PAGE_SIZE;
 
 const WORD: usize = 8;
+
+/// A malformed protocol payload (fail-stop instead of an indexing panic,
+/// in the style of `parade_net::FabricError`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the announced field.
+    Truncated {
+        what: &'static str,
+        need: usize,
+        have: usize,
+    },
+    /// The run count cannot fit in the remaining bytes (OOM guard: the
+    /// count sizes a `Vec` allocation and must be backed by real bytes).
+    RunCount { count: u32, have: usize },
+    /// A run lands outside the page.
+    RunOutOfBounds { offset: u32, len: u32 },
+    /// A run is not aligned to the diff word granularity.
+    Misaligned { offset: u32, len: u32 },
+    /// Unknown message kind byte.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { what, need, have } => {
+                write!(
+                    f,
+                    "truncated payload: {what} needs {need} bytes, {have} left"
+                )
+            }
+            DecodeError::RunCount { count, have } => {
+                write!(
+                    f,
+                    "diff run count {count} exceeds payload ({have} bytes left)"
+                )
+            }
+            DecodeError::RunOutOfBounds { offset, len } => write!(
+                f,
+                "diff run [{offset}, {offset}+{len}) outside page of {PAGE_SIZE} bytes"
+            ),
+            DecodeError::Misaligned { offset, len } => write!(
+                f,
+                "diff run offset {offset} len {len} not aligned to {WORD}-byte words"
+            ),
+            DecodeError::BadKind(k) => write!(f, "unknown message kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+pub(crate) fn need(r: &Reader<'_>, n: usize, what: &'static str) -> Result<(), DecodeError> {
+    if r.remaining() < n {
+        return Err(DecodeError::Truncated {
+            what,
+            need: n,
+            have: r.remaining(),
+        });
+    }
+    Ok(())
+}
 
 /// One run of modified bytes within a page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,20 +96,26 @@ pub struct Diff {
 
 impl Diff {
     /// Compare `current` against `twin` and collect modified word runs.
+    ///
+    /// The comparison walks both pages one 64-bit word at a time (the diff
+    /// granularity), not byte-by-byte slice compares — the release path
+    /// diffs every dirty page, so this is hot.
     pub fn create(twin: &[u8], current: &[u8]) -> Diff {
         assert_eq!(twin.len(), PAGE_SIZE);
         assert_eq!(current.len(), PAGE_SIZE);
+        #[inline(always)]
+        fn word(p: &[u8], w: usize) -> u64 {
+            // Equality is endianness-agnostic; `from_ne_bytes` compiles to
+            // a single unaligned load.
+            u64::from_ne_bytes(p[w * WORD..(w + 1) * WORD].try_into().expect("word"))
+        }
         let mut runs = Vec::new();
         let words = PAGE_SIZE / WORD;
         let mut w = 0;
         while w < words {
-            let a = &twin[w * WORD..(w + 1) * WORD];
-            let b = &current[w * WORD..(w + 1) * WORD];
-            if a != b {
+            if word(twin, w) != word(current, w) {
                 let start = w;
-                while w < words
-                    && twin[w * WORD..(w + 1) * WORD] != current[w * WORD..(w + 1) * WORD]
-                {
+                while w < words && word(twin, w) != word(current, w) {
                     w += 1;
                 }
                 runs.push(DiffRun {
@@ -57,6 +130,9 @@ impl Diff {
     }
 
     /// Apply this diff to `target` (the home's copy of the page).
+    ///
+    /// Runs of a decoded diff are validated in-bounds by [`Diff::decode`];
+    /// locally created diffs are in-bounds by construction.
     pub fn apply(&self, target: &mut [u8]) {
         assert_eq!(target.len(), PAGE_SIZE);
         for run in &self.runs {
@@ -87,15 +163,37 @@ impl Diff {
         }
     }
 
-    pub fn decode(r: &mut Reader<'_>) -> Diff {
-        let n = r.u32() as usize;
-        let mut runs = Vec::with_capacity(n);
+    /// Decode a diff, validating every run against the page bounds and the
+    /// word granularity. The run count is checked against the bytes
+    /// actually present before it sizes an allocation, so a corrupted
+    /// count can neither OOM nor panic.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Diff, DecodeError> {
+        need(r, 4, "diff run count")?;
+        let n = r.u32();
+        // Every run occupies at least 8 header bytes on the wire.
+        if (n as usize).saturating_mul(8) > r.remaining() {
+            return Err(DecodeError::RunCount {
+                count: n,
+                have: r.remaining(),
+            });
+        }
+        let mut runs = Vec::with_capacity(n as usize);
         for _ in 0..n {
+            need(r, 8, "diff run header")?;
             let offset = r.u32();
-            let data = r.lp_bytes().to_vec();
+            let len = r.u32();
+            need(r, len as usize, "diff run data")?;
+            let end = (offset as u64).saturating_add(len as u64);
+            if end > PAGE_SIZE as u64 {
+                return Err(DecodeError::RunOutOfBounds { offset, len });
+            }
+            if !(offset as usize).is_multiple_of(WORD) || !(len as usize).is_multiple_of(WORD) {
+                return Err(DecodeError::Misaligned { offset, len });
+            }
+            let data = r.bytes(len as usize).to_vec();
             runs.push(DiffRun { offset, data });
         }
-        Diff { runs }
+        Ok(Diff { runs })
     }
 }
 
@@ -109,6 +207,10 @@ mod tests {
             p[i] = v;
         }
         p
+    }
+
+    fn decode_bytes(b: &[u8]) -> Result<Diff, DecodeError> {
+        Diff::decode(&mut Reader::new(b))
     }
 
     #[test]
@@ -168,8 +270,75 @@ mod tests {
         d.encode(&mut w);
         let b = w.finish();
         assert_eq!(b.len(), d.encoded_len());
-        let d2 = Diff::decode(&mut Reader::new(&b));
+        let d2 = Diff::decode(&mut Reader::new(&b)).expect("valid wire diff");
         assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_bounds_run() {
+        // One run: offset 4088, len 16 — offset + len > PAGE_SIZE. The old
+        // decoder accepted this and `apply` panicked at the home.
+        let mut w = Writer::new();
+        w.u32(1).u32(4088).lp_bytes(&[0u8; 16]);
+        let b = w.finish();
+        assert_eq!(
+            decode_bytes(&b),
+            Err(DecodeError::RunOutOfBounds {
+                offset: 4088,
+                len: 16
+            })
+        );
+    }
+
+    #[test]
+    fn decode_rejects_offset_overflowing_u32() {
+        let mut w = Writer::new();
+        w.u32(1).u32(u32::MAX - 4).lp_bytes(&[0u8; 8]);
+        let b = w.finish();
+        assert!(matches!(
+            decode_bytes(&b),
+            Err(DecodeError::RunOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unbacked_run_count() {
+        // Count claims 2^28 runs in a 12-byte payload: must error before
+        // any allocation sized by the count.
+        let mut w = Writer::new();
+        w.u32(1 << 28).u32(0).u32(0);
+        let b = w.finish();
+        assert!(matches!(
+            decode_bytes(&b),
+            Err(DecodeError::RunCount { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let twin = page_with(&[]);
+        let cur = page_with(&[(0, 1), (64, 2), (4088, 9)]);
+        let d = Diff::create(&twin, &cur);
+        let mut w = Writer::new();
+        d.encode(&mut w);
+        let b = w.finish();
+        for cut in 0..b.len() {
+            // Either a shorter valid prefix decodes (possible when a whole
+            // run boundary is cut) or a structured error comes back; a
+            // panic is the only failure.
+            let _ = decode_bytes(&b[..cut]);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_misaligned_run() {
+        let mut w = Writer::new();
+        w.u32(1).u32(13).lp_bytes(&[0u8; 8]);
+        let b = w.finish();
+        assert_eq!(
+            decode_bytes(&b),
+            Err(DecodeError::Misaligned { offset: 13, len: 8 })
+        );
     }
 
     #[test]

@@ -4,14 +4,15 @@
 //! The communication-thread side (serving page requests, merging diffs,
 //! the barrier master, the lock manager) lives in [`crate::server`].
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 use parade_net::sync::{Condvar, Mutex};
 
-use parade_net::{Endpoint, Match, MsgClass, VClock};
+use parade_net::{Endpoint, Match, MsgClass, VClock, VTime};
 use parade_trace::{self as trace, EventKind};
 
+use crate::bufpool::PageBuf;
 use crate::config::{DsmConfig, LockKind};
 use crate::diff::Diff;
 use crate::msg::{DsmMsg, DsmReply, REPLY_TAG_BASE};
@@ -29,8 +30,9 @@ pub(crate) struct PageMeta {
 
 pub(crate) struct PageInner {
     pub(crate) state: PageState,
-    /// Pristine copy made at the first write of an interval (non-home only).
-    pub(crate) twin: Option<Box<[u8]>>,
+    /// Pristine copy made at the first write of an interval (non-home
+    /// only); pooled, so clearing it recycles the buffer.
+    pub(crate) twin: Option<PageBuf>,
     /// This node is the page's new home and waits for the old home to push
     /// the merged content (multi-writer migration).
     pub(crate) awaiting_push: bool,
@@ -315,11 +317,97 @@ impl Dsm {
     }
 
     /// Fault in every page covering `start .. start+len` for reading.
+    ///
+    /// With `max_fetch_range > 1` (and a safe update strategy), runs of
+    /// contiguous INVALID pages sharing a home are claimed together and
+    /// fetched in one `ReqPageRange` round trip instead of one per page —
+    /// the bulk-access fault storm a Helmholtz/CG sweep would otherwise
+    /// pay per page.
     pub fn ensure_readable(&self, start: usize, len: usize, clock: &mut VClock) {
-        for page in crate::page::pages_covering(start, len) {
-            if self.pages[page].fast.load(Ordering::Acquire) < PageState::ReadOnly as u8 {
-                self.read_fault(page, clock);
+        let max_range = self.cfg.max_fetch_range;
+        if max_range <= 1 || !self.cfg.update_strategy.is_safe() {
+            for page in crate::page::pages_covering(start, len) {
+                if self.pages[page].fast.load(Ordering::Acquire) < PageState::ReadOnly as u8 {
+                    self.read_fault(page, clock);
+                }
             }
+            return;
+        }
+        let pages: Vec<PageId> = crate::page::pages_covering(start, len).collect();
+        let mut i = 0;
+        while i < pages.len() {
+            let first = pages[i];
+            if self.pages[first].fast.load(Ordering::Acquire) >= PageState::ReadOnly as u8 {
+                i += 1;
+                continue;
+            }
+            let home = self.home_of(first);
+            if home == self.node {
+                // A home copy is never INVALID; the fast flag must have
+                // been racing with a migration. Take the ordinary path.
+                self.read_fault(first, clock);
+                i += 1;
+                continue;
+            }
+            // Claim a run of contiguous INVALID pages with the same home.
+            // Claiming marks each TRANSIENT (we own its update); a page
+            // that is not INVALID at lock time ends the run.
+            let mut claimed = 0usize;
+            while i < pages.len() && claimed < max_range {
+                let p = pages[i];
+                if p != first + claimed || self.home_of(p) != home {
+                    break;
+                }
+                let meta = &self.pages[p];
+                let mut inner = meta.inner.lock();
+                if inner.state != PageState::Invalid {
+                    break;
+                }
+                meta.set_state(&mut inner, PageState::Transient);
+                drop(inner);
+                claimed += 1;
+                i += 1;
+            }
+            match claimed {
+                0 => {
+                    // Readable already, or mid-update by a sibling thread:
+                    // read_fault waits it out.
+                    self.read_fault(first, clock);
+                    i += 1;
+                }
+                1 => {
+                    self.stats.read_faults.fetch_add(1, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmReadFault, first as u64, clock.now());
+                    self.fetch_page(first, clock);
+                    self.complete_update(first);
+                }
+                n => {
+                    self.stats
+                        .read_faults
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                    self.fetch_page_range(first, n, clock);
+                    for p in first..first + n {
+                        self.complete_update(p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Publish a fetched page: the caller owned the TRANSIENT transition;
+    /// waiters that piled on (BLOCKED) are woken.
+    fn complete_update(&self, page: PageId) {
+        let meta = &self.pages[page];
+        let mut inner = meta.inner.lock();
+        debug_assert!(
+            matches!(inner.state, PageState::Transient | PageState::Blocked),
+            "fetch holder lost page {page}: {:?}",
+            inner.state
+        );
+        let had_waiters = inner.state == PageState::Blocked;
+        meta.set_state(&mut inner, PageState::ReadOnly);
+        if had_waiters {
+            meta.cv.notify_all();
         }
     }
 
@@ -390,7 +478,7 @@ impl Dsm {
                 PageState::Dirty => return,
                 PageState::ReadOnly => {
                     if self.home_of(page) != self.node {
-                        let mut twin = vec![0u8; PAGE_SIZE].into_boxed_slice();
+                        let mut twin = PageBuf::take();
                         // SAFETY: page is valid (ReadOnly) and we hold the
                         // page lock; concurrent word writes by the
                         // application would be its own race either way.
@@ -498,18 +586,72 @@ impl Dsm {
         trace::end(EventKind::DsmFetch, clock.now());
     }
 
+    /// Fetch `count` contiguous pages homed on one node in a single round
+    /// trip. Caller owns the TRANSIENT transition of every page in the
+    /// range. Only used with safe update strategies (the torn-page model
+    /// of `NaiveUnsafe` stays a strictly per-page affair).
+    fn fetch_page_range(&self, first: PageId, count: usize, clock: &mut VClock) {
+        trace::begin_arg(EventKind::DsmFetch, first as u64, clock.now());
+        trace::instant(EventKind::DsmRangeFetch, count as u64, clock.now());
+        let home = self.home_of(first);
+        debug_assert_ne!(home, self.node);
+        let tag = self.next_reply_tag();
+        let req = DsmMsg::ReqPageRange {
+            first,
+            count: count as u32,
+            requester: self.node,
+            reply_tag: tag,
+        };
+        self.ep.send(home, MsgClass::Dsm, 0, req.encode(), clock);
+        let pkt = self
+            .ep
+            .recv(MsgClass::Ctl, Match::tagged(tag), clock)
+            .expect("range fetch reply after shutdown");
+        let DsmReply::PageRangeData { first: rf, data } = DsmReply::decode(&pkt.payload) else {
+            unreachable!("unexpected reply to page range request");
+        };
+        assert_eq!(rf, first);
+        assert_eq!(data.len(), count * PAGE_SIZE, "short page range reply");
+        self.stats
+            .page_fetches
+            .fetch_add(count as u64, Ordering::Relaxed);
+        self.stats.range_fetches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .range_fetch_pages
+            .fetch_add(count as u64, Ordering::Relaxed);
+        self.stats
+            .fetch_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        let per_page = self.cfg.update_strategy.per_update_overhead();
+        clock.charge_comm(VTime::from_nanos(per_page.as_nanos() * count as u64));
+        for k in 0..count {
+            // SAFETY: we hold the TRANSIENT transition for every page in
+            // the range; the strategy is safe, so the system path installs
+            // the copy before any reader gets through.
+            unsafe {
+                self.pool
+                    .copy_page_in(first + k, &data[k * PAGE_SIZE..(k + 1) * PAGE_SIZE])
+            };
+        }
+        trace::end(EventKind::DsmFetch, clock.now());
+    }
+
     // ---- release operations ----------------------------------------------
 
-    /// Flush all dirty pages: compute diffs against twins, ship them to the
-    /// pages' homes, wait for acknowledgements, downgrade to READ_ONLY.
-    /// Returns the list of flushed pages (the release's write notices).
+    /// Flush all dirty pages: compute diffs against twins, group them by
+    /// home, ship one `DiffBatch` per destination node, wait for one ack
+    /// per batch, downgrade to READ_ONLY. Returns the list of flushed
+    /// pages (the release's write notices).
     pub fn flush(&self, clock: &mut VClock) -> Vec<PageId> {
         trace::begin(EventKind::DsmFlush, clock.now());
-        let dirty: Vec<PageId> = {
+        let mut dirty: Vec<PageId> = {
             let mut d = self.dirty.lock();
             d.drain().collect()
         };
-        let mut pending_acks = Vec::new();
+        // The dirty set is unordered; fabric-level send order must not
+        // depend on hash iteration, so fix page (and thus home) order.
+        dirty.sort_unstable();
+        let mut by_home: BTreeMap<usize, (Vec<PageId>, Vec<Diff>)> = BTreeMap::new();
         for &page in &dirty {
             let meta = &self.pages[page];
             let mut inner = meta.inner.lock();
@@ -520,27 +662,16 @@ impl Dsm {
                     .twin
                     .take()
                     .expect("dirty non-home page must have a twin");
-                let mut cur = vec![0u8; PAGE_SIZE];
+                let mut cur = PageBuf::take();
                 // SAFETY: page is valid; we hold the page lock.
                 unsafe { self.pool.copy_page_out(page, &mut cur) };
                 let diff = Diff::create(&twin, &cur);
                 meta.set_state(&mut inner, PageState::ReadOnly);
                 drop(inner);
                 if !diff.is_empty() {
-                    let tag = self.next_reply_tag();
-                    self.stats.diffs_sent.fetch_add(1, Ordering::Relaxed);
-                    self.stats
-                        .diff_bytes
-                        .fetch_add(diff.payload_bytes() as u64, Ordering::Relaxed);
-                    trace::instant(EventKind::DsmDiff, diff.payload_bytes() as u64, clock.now());
-                    let msg = DsmMsg::Diff {
-                        page,
-                        requester: self.node,
-                        reply_tag: tag,
-                        diff,
-                    };
-                    self.ep.send(home, MsgClass::Dsm, 0, msg.encode(), clock);
-                    pending_acks.push(tag);
+                    let (pages, diffs) = by_home.entry(home).or_default();
+                    pages.push(page);
+                    diffs.push(diff);
                 }
             } else {
                 // Home copy already contains our writes.
@@ -549,14 +680,89 @@ impl Dsm {
         }
         // Wait for all diffs to be merged before the release completes
         // (ensures barrier arrival implies diff visibility at homes).
-        for tag in pending_acks {
+        let pending_acks = self.ship_diffs(by_home, clock);
+        self.await_diff_acks(&pending_acks, clock);
+        trace::end(EventKind::DsmFlush, clock.now());
+        dirty
+    }
+
+    /// Ship grouped diffs: one `DiffBatch` message (answered by one ack)
+    /// per destination home, or the per-page `Diff` protocol when batching
+    /// is disabled. Returns the reply tags to wait on.
+    ///
+    /// Counters are bumped only after the fabric accepts a message, so a
+    /// fail-stopped link cannot over-count `diffs_sent`.
+    fn ship_diffs(
+        &self,
+        by_home: BTreeMap<usize, (Vec<PageId>, Vec<Diff>)>,
+        clock: &mut VClock,
+    ) -> Vec<u64> {
+        let mut pending = Vec::new();
+        for (home, (pages, diffs)) in by_home {
+            let payload: u64 = diffs.iter().map(|d| d.payload_bytes() as u64).sum();
+            if self.cfg.batch_diffs {
+                let tag = self.next_reply_tag();
+                let npages = pages.len() as u64;
+                for d in &diffs {
+                    trace::instant(EventKind::DsmDiff, d.payload_bytes() as u64, clock.now());
+                }
+                let msg = DsmMsg::DiffBatch {
+                    requester: self.node,
+                    reply_tag: tag,
+                    pages,
+                    diffs,
+                };
+                let wire = msg.encode();
+                let wire_len = wire.len() as u64;
+                if let Err(e) = self.ep.send_checked(home, MsgClass::Dsm, 0, wire, clock) {
+                    panic!("{e}");
+                }
+                self.stats.diffs_sent.fetch_add(npages, Ordering::Relaxed);
+                self.stats.diff_batches.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .batched_pages
+                    .fetch_add(npages, Ordering::Relaxed);
+                self.stats.diff_bytes.fetch_add(wire_len, Ordering::Relaxed);
+                self.stats
+                    .diff_payload_bytes
+                    .fetch_add(payload, Ordering::Relaxed);
+                trace::instant(EventKind::DsmDiffBatch, npages, clock.now());
+                pending.push(tag);
+            } else {
+                for (page, diff) in pages.into_iter().zip(diffs) {
+                    let tag = self.next_reply_tag();
+                    let dp = diff.payload_bytes() as u64;
+                    let msg = DsmMsg::Diff {
+                        page,
+                        requester: self.node,
+                        reply_tag: tag,
+                        diff,
+                    };
+                    let wire = msg.encode();
+                    let wire_len = wire.len() as u64;
+                    if let Err(e) = self.ep.send_checked(home, MsgClass::Dsm, 0, wire, clock) {
+                        panic!("{e}");
+                    }
+                    self.stats.diffs_sent.fetch_add(1, Ordering::Relaxed);
+                    self.stats.diff_bytes.fetch_add(wire_len, Ordering::Relaxed);
+                    self.stats
+                        .diff_payload_bytes
+                        .fetch_add(dp, Ordering::Relaxed);
+                    trace::instant(EventKind::DsmDiff, dp, clock.now());
+                    pending.push(tag);
+                }
+            }
+        }
+        pending
+    }
+
+    fn await_diff_acks(&self, tags: &[u64], clock: &mut VClock) {
+        for &tag in tags {
             let _ = self
                 .ep
                 .recv(MsgClass::Ctl, Match::tagged(tag), clock)
                 .expect("diff ack after shutdown");
         }
-        trace::end(EventKind::DsmFlush, clock.now());
-        dirty
     }
 
     // ---- barrier (§5.2.2) --------------------------------------------------
@@ -740,7 +946,7 @@ impl Dsm {
 
     fn apply_lock_notices(&self, lock: u64, cur_seq: u64, notices: &[PageId], clock: &mut VClock) {
         self.lock_seen.lock().insert(lock, cur_seq);
-        let mut pending_acks = Vec::new();
+        let mut by_home: BTreeMap<usize, (Vec<PageId>, Vec<Diff>)> = BTreeMap::new();
         for &page in notices {
             if self.home_of(page) == self.node {
                 continue; // home copies have all diffs merged
@@ -764,7 +970,7 @@ impl Dsm {
                         .twin
                         .take()
                         .expect("dirty non-home page must have a twin");
-                    let mut cur = vec![0u8; PAGE_SIZE];
+                    let mut cur = PageBuf::take();
                     // SAFETY: page is valid; we hold the page lock.
                     unsafe { self.pool.copy_page_out(page, &mut cur) };
                     let diff = Diff::create(&twin, &cur);
@@ -774,25 +980,9 @@ impl Dsm {
                     trace::instant(EventKind::DsmInvalidate, page as u64, clock.now());
                     drop(inner);
                     if !diff.is_empty() {
-                        let home = self.home_of(page);
-                        let tag = self.next_reply_tag();
-                        self.stats.diffs_sent.fetch_add(1, Ordering::Relaxed);
-                        self.stats
-                            .diff_bytes
-                            .fetch_add(diff.payload_bytes() as u64, Ordering::Relaxed);
-                        trace::instant(
-                            EventKind::DsmDiff,
-                            diff.payload_bytes() as u64,
-                            clock.now(),
-                        );
-                        let msg = DsmMsg::Diff {
-                            page,
-                            requester: self.node,
-                            reply_tag: tag,
-                            diff,
-                        };
-                        self.ep.send(home, MsgClass::Dsm, 0, msg.encode(), clock);
-                        pending_acks.push(tag);
+                        let (pages, diffs) = by_home.entry(self.home_of(page)).or_default();
+                        pages.push(page);
+                        diffs.push(diff);
                     }
                 }
                 // A fetch in flight returns the home copy, which already
@@ -801,12 +991,8 @@ impl Dsm {
                 PageState::Transient | PageState::Blocked | PageState::Invalid => {}
             }
         }
-        for tag in pending_acks {
-            let _ = self
-                .ep
-                .recv(MsgClass::Ctl, Match::tagged(tag), clock)
-                .expect("diff ack after shutdown");
-        }
+        let pending_acks = self.ship_diffs(by_home, clock);
+        self.await_diff_acks(&pending_acks, clock);
     }
 }
 

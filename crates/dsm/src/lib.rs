@@ -20,6 +20,7 @@
 //! check on typed accesses: one atomic load on the hit path, the identical
 //! protocol on the miss path (see DESIGN.md for the substitution argument).
 
+mod bufpool;
 mod config;
 mod diff;
 mod engine;
@@ -30,8 +31,9 @@ mod smalldata;
 mod stats;
 mod store;
 
+pub use bufpool::PageBuf;
 pub use config::{CommCosts, DsmConfig, HomePolicy, LockKind, UpdateStrategy};
-pub use diff::{Diff, DiffRun};
+pub use diff::{DecodeError, Diff, DiffRun};
 pub use engine::Dsm;
 pub use msg::{DepartEntry, DsmMsg, DsmReply, REPLY_TAG_BASE};
 pub use page::{page_of, page_start, pages_covering, PageId, PageState, PAGE_SIZE};

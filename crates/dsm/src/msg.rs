@@ -4,13 +4,19 @@
 //! node's communication thread; replies travel on `MsgClass::Ctl` tagged
 //! with a requester-chosen reply tag (tags ≥ [`REPLY_TAG_BASE`] so they
 //! never collide with cluster control tags).
+//!
+//! Release-path traffic is batched: a flush groups the diffs of all dirty
+//! pages homed on one node into a single [`DsmMsg::DiffBatch`] answered by
+//! one [`DsmReply::DiffBatchAck`] — the HLRC amortization argument (§5.2)
+//! applied to the wire. [`DsmMsg::ReqPageRange`] likewise coalesces fetches
+//! of contiguous pages with a common home into one round trip.
 
 use parade_net::Bytes;
 
 use parade_mpi::datatype::{Reader, Writer};
 
-use crate::diff::Diff;
-use crate::page::PageId;
+use crate::diff::{need, DecodeError, Diff};
+use crate::page::{PageId, PAGE_SIZE};
 
 /// Reply tags live above this base; cluster control uses tags below it.
 pub const REPLY_TAG_BASE: u64 = 1 << 32;
@@ -22,6 +28,8 @@ const K_BARRIER_ARRIVE: u8 = 4;
 const K_LOCK_ACQ: u8 = 5;
 const K_LOCK_REL: u8 = 6;
 const K_NUDGE: u8 = 7;
+const K_DIFF_BATCH: u8 = 8;
+const K_REQ_PAGE_RANGE: u8 = 9;
 
 /// A request handled by a communication thread.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,12 +40,28 @@ pub enum DsmMsg {
         requester: usize,
         reply_tag: u64,
     },
+    /// Fetch `count` contiguous pages starting at `first`, all homed on the
+    /// destination (fault-storm coalescing; one round trip per run).
+    ReqPageRange {
+        first: PageId,
+        count: u32,
+        requester: usize,
+        reply_tag: u64,
+    },
     /// Merge a diff into the home copy of `page`.
     Diff {
         page: PageId,
         requester: usize,
         reply_tag: u64,
         diff: Diff,
+    },
+    /// Merge diffs for several pages homed here, acknowledged as one unit
+    /// (`pages[i]` pairs with `diffs[i]`; one ack per batch, not per page).
+    DiffBatch {
+        requester: usize,
+        reply_tag: u64,
+        pages: Vec<PageId>,
+        diffs: Vec<Diff>,
     },
     /// Full-page content pushed to a migrated home (multi-writer case).
     PagePush {
@@ -72,6 +96,18 @@ pub enum DsmMsg {
     Nudge,
 }
 
+fn decode_notices(r: &mut Reader<'_>) -> Result<Vec<PageId>, DecodeError> {
+    need(r, 4, "notice count")?;
+    let n = r.u32() as usize;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(DecodeError::RunCount {
+            count: n as u32,
+            have: r.remaining(),
+        });
+    }
+    Ok((0..n).map(|_| r.u64() as PageId).collect())
+}
+
 impl DsmMsg {
     pub fn encode(&self) -> Bytes {
         let mut w = Writer::new();
@@ -86,6 +122,18 @@ impl DsmMsg {
                     .u32(*requester as u32)
                     .u64(*reply_tag);
             }
+            DsmMsg::ReqPageRange {
+                first,
+                count,
+                requester,
+                reply_tag,
+            } => {
+                w.u8(K_REQ_PAGE_RANGE)
+                    .u64(*first as u64)
+                    .u32(*count)
+                    .u32(*requester as u32)
+                    .u64(*reply_tag);
+            }
             DsmMsg::Diff {
                 page,
                 requester,
@@ -97,6 +145,22 @@ impl DsmMsg {
                     .u32(*requester as u32)
                     .u64(*reply_tag);
                 diff.encode(&mut w);
+            }
+            DsmMsg::DiffBatch {
+                requester,
+                reply_tag,
+                pages,
+                diffs,
+            } => {
+                debug_assert_eq!(pages.len(), diffs.len());
+                w.u8(K_DIFF_BATCH)
+                    .u32(*requester as u32)
+                    .u64(*reply_tag)
+                    .u32(pages.len() as u32);
+                for (page, diff) in pages.iter().zip(diffs) {
+                    w.u64(*page as u64);
+                    diff.encode(&mut w);
+                }
             }
             DsmMsg::PagePush {
                 page,
@@ -155,58 +219,123 @@ impl DsmMsg {
         w.finish()
     }
 
+    /// Decode a trusted (in-process) payload; panics with the structured
+    /// error on corruption — the fabric delivers messages intact, so this
+    /// indicates a local protocol bug, not a remote peer's bytes.
     pub fn decode(b: &[u8]) -> DsmMsg {
+        match DsmMsg::try_decode(b) {
+            Ok(m) => m,
+            Err(e) => panic!("bad dsm message: {e}"),
+        }
+    }
+
+    /// Decode an untrusted payload. Every length, count, and run is
+    /// validated; malformed bytes yield a [`DecodeError`], never a panic
+    /// or an unbounded allocation.
+    pub fn try_decode(b: &[u8]) -> Result<DsmMsg, DecodeError> {
         let mut r = Reader::new(b);
+        need(&r, 1, "message kind")?;
         match r.u8() {
-            K_REQ_PAGE => DsmMsg::ReqPage {
-                page: r.u64() as PageId,
-                requester: r.u32() as usize,
-                reply_tag: r.u64(),
-            },
-            K_DIFF => DsmMsg::Diff {
-                page: r.u64() as PageId,
-                requester: r.u32() as usize,
-                reply_tag: r.u64(),
-                diff: Diff::decode(&mut r),
-            },
-            K_PAGE_PUSH => DsmMsg::PagePush {
-                page: r.u64() as PageId,
-                barrier_seq: r.u64(),
-                data: Bytes::copy_from_slice(r.lp_bytes()),
-            },
+            K_REQ_PAGE => {
+                need(&r, 20, "ReqPage body")?;
+                Ok(DsmMsg::ReqPage {
+                    page: r.u64() as PageId,
+                    requester: r.u32() as usize,
+                    reply_tag: r.u64(),
+                })
+            }
+            K_REQ_PAGE_RANGE => {
+                need(&r, 24, "ReqPageRange body")?;
+                Ok(DsmMsg::ReqPageRange {
+                    first: r.u64() as PageId,
+                    count: r.u32(),
+                    requester: r.u32() as usize,
+                    reply_tag: r.u64(),
+                })
+            }
+            K_DIFF => {
+                need(&r, 20, "Diff header")?;
+                Ok(DsmMsg::Diff {
+                    page: r.u64() as PageId,
+                    requester: r.u32() as usize,
+                    reply_tag: r.u64(),
+                    diff: Diff::decode(&mut r)?,
+                })
+            }
+            K_DIFF_BATCH => {
+                need(&r, 16, "DiffBatch header")?;
+                let requester = r.u32() as usize;
+                let reply_tag = r.u64();
+                let n = r.u32() as usize;
+                // Each entry is at least a page id plus an empty diff.
+                if n.saturating_mul(12) > r.remaining() {
+                    return Err(DecodeError::RunCount {
+                        count: n as u32,
+                        have: r.remaining(),
+                    });
+                }
+                let mut pages = Vec::with_capacity(n);
+                let mut diffs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    need(&r, 8, "DiffBatch page id")?;
+                    pages.push(r.u64() as PageId);
+                    diffs.push(Diff::decode(&mut r)?);
+                }
+                Ok(DsmMsg::DiffBatch {
+                    requester,
+                    reply_tag,
+                    pages,
+                    diffs,
+                })
+            }
+            K_PAGE_PUSH => {
+                need(&r, 20, "PagePush header")?;
+                let page = r.u64() as PageId;
+                let barrier_seq = r.u64();
+                let len = r.u32() as usize;
+                need(&r, len, "PagePush data")?;
+                Ok(DsmMsg::PagePush {
+                    page,
+                    barrier_seq,
+                    data: Bytes::copy_from_slice(r.bytes(len)),
+                })
+            }
             K_BARRIER_ARRIVE => {
+                need(&r, 20, "BarrierArrive header")?;
                 let seq = r.u64();
                 let node = r.u32() as usize;
                 let reply_tag = r.u64();
-                let n = r.u32() as usize;
-                let notices = (0..n).map(|_| r.u64() as PageId).collect();
-                DsmMsg::BarrierArrive {
+                let notices = decode_notices(&mut r)?;
+                Ok(DsmMsg::BarrierArrive {
                     seq,
                     node,
                     reply_tag,
                     notices,
-                }
+                })
             }
-            K_LOCK_ACQ => DsmMsg::LockAcq {
-                lock: r.u64(),
-                node: r.u32() as usize,
-                reply_tag: r.u64(),
-                last_seen: r.u64(),
-                polling: r.u8() != 0,
-            },
+            K_LOCK_ACQ => {
+                need(&r, 29, "LockAcq body")?;
+                Ok(DsmMsg::LockAcq {
+                    lock: r.u64(),
+                    node: r.u32() as usize,
+                    reply_tag: r.u64(),
+                    last_seen: r.u64(),
+                    polling: r.u8() != 0,
+                })
+            }
             K_LOCK_REL => {
+                need(&r, 12, "LockRel header")?;
                 let lock = r.u64();
                 let node = r.u32() as usize;
-                let n = r.u32() as usize;
-                let notices = (0..n).map(|_| r.u64() as PageId).collect();
-                DsmMsg::LockRel {
+                let notices = decode_notices(&mut r)?;
+                Ok(DsmMsg::LockRel {
                     lock,
                     node,
                     notices,
-                }
+                })
             }
-            K_NUDGE => DsmMsg::Nudge,
-            k => unreachable!("bad dsm message kind {k}"),
+            K_NUDGE => Ok(DsmMsg::Nudge),
+            k => Err(DecodeError::BadKind(k)),
         }
     }
 }
@@ -216,6 +345,8 @@ const R_DIFF_ACK: u8 = 2;
 const R_BARRIER_DEPART: u8 = 3;
 const R_LOCK_GRANT: u8 = 4;
 const R_LOCK_BUSY: u8 = 5;
+const R_DIFF_BATCH_ACK: u8 = 6;
+const R_PAGE_RANGE_DATA: u8 = 7;
 
 /// One per-page record in a barrier departure message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -234,8 +365,18 @@ pub enum DsmReply {
         page: PageId,
         data: Bytes,
     },
+    /// `count` contiguous pages starting at `first`, concatenated.
+    PageRangeData {
+        first: PageId,
+        data: Bytes,
+    },
     DiffAck {
         page: PageId,
+    },
+    /// Acknowledges a whole [`DsmMsg::DiffBatch`] — the one-ack-per-home
+    /// invariant of the batched release path.
+    DiffBatchAck {
+        pages: u32,
     },
     /// Global write-notice/migration summary; every node derives its own
     /// invalidations, home updates, and push duties from it (§5.2.2).
@@ -257,8 +398,15 @@ impl DsmReply {
             DsmReply::PageData { page, data } => {
                 w.u8(R_PAGE_DATA).u64(*page as u64).lp_bytes(data);
             }
+            DsmReply::PageRangeData { first, data } => {
+                debug_assert_eq!(data.len() % PAGE_SIZE, 0);
+                w.u8(R_PAGE_RANGE_DATA).u64(*first as u64).lp_bytes(data);
+            }
             DsmReply::DiffAck { page } => {
                 w.u8(R_DIFF_ACK).u64(*page as u64);
+            }
+            DsmReply::DiffBatchAck { pages } => {
+                w.u8(R_DIFF_BATCH_ACK).u32(*pages);
             }
             DsmReply::BarrierDepart { seq, entries } => {
                 w.u8(R_BARRIER_DEPART).u64(*seq).u32(entries.len() as u32);
@@ -289,9 +437,14 @@ impl DsmReply {
                 page: r.u64() as PageId,
                 data: Bytes::copy_from_slice(r.lp_bytes()),
             },
+            R_PAGE_RANGE_DATA => DsmReply::PageRangeData {
+                first: r.u64() as PageId,
+                data: Bytes::copy_from_slice(r.lp_bytes()),
+            },
             R_DIFF_ACK => DsmReply::DiffAck {
                 page: r.u64() as PageId,
             },
+            R_DIFF_BATCH_ACK => DsmReply::DiffBatchAck { pages: r.u32() },
             R_BARRIER_DEPART => {
                 let seq = r.u64();
                 let n = r.u32() as usize;
@@ -322,6 +475,15 @@ mod tests {
     use super::*;
     use crate::page::PAGE_SIZE;
 
+    fn page_diff(touch: &[usize]) -> Diff {
+        let twin = vec![0u8; PAGE_SIZE];
+        let mut cur = twin.clone();
+        for &i in touch {
+            cur[i] = 3;
+        }
+        Diff::create(&twin, &cur)
+    }
+
     #[test]
     fn msg_roundtrips() {
         let msgs = vec![
@@ -330,15 +492,23 @@ mod tests {
                 requester: 3,
                 reply_tag: REPLY_TAG_BASE + 7,
             },
+            DsmMsg::ReqPageRange {
+                first: 40,
+                count: 6,
+                requester: 2,
+                reply_tag: REPLY_TAG_BASE + 9,
+            },
             DsmMsg::Diff {
                 page: 9,
                 requester: 1,
                 reply_tag: REPLY_TAG_BASE,
-                diff: Diff::create(&vec![0u8; PAGE_SIZE], &{
-                    let mut v = vec![0u8; PAGE_SIZE];
-                    v[8] = 3;
-                    v
-                }),
+                diff: page_diff(&[8]),
+            },
+            DsmMsg::DiffBatch {
+                requester: 2,
+                reply_tag: REPLY_TAG_BASE + 3,
+                pages: vec![4, 9, 11],
+                diffs: vec![page_diff(&[8]), page_diff(&[0, 4088]), page_diff(&[16])],
             },
             DsmMsg::PagePush {
                 page: 5,
@@ -371,13 +541,50 @@ mod tests {
     }
 
     #[test]
+    fn try_decode_rejects_bad_kind_and_truncation() {
+        assert_eq!(DsmMsg::try_decode(&[0xEE]), Err(DecodeError::BadKind(0xEE)));
+        assert!(matches!(
+            DsmMsg::try_decode(&[]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        let full = DsmMsg::DiffBatch {
+            requester: 1,
+            reply_tag: REPLY_TAG_BASE,
+            pages: vec![3, 7],
+            diffs: vec![page_diff(&[8]), page_diff(&[24, 32])],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            // No prefix may panic; (decoding a shorter valid message is
+            // impossible here because the batch count is pinned early).
+            let _ = DsmMsg::try_decode(&full[..cut]);
+        }
+    }
+
+    #[test]
+    fn try_decode_rejects_unbacked_batch_count() {
+        let mut w = Writer::new();
+        w.u8(8).u32(0).u64(REPLY_TAG_BASE).u32(u32::MAX);
+        let b = w.finish();
+        assert!(matches!(
+            DsmMsg::try_decode(&b),
+            Err(DecodeError::RunCount { .. })
+        ));
+    }
+
+    #[test]
     fn reply_roundtrips() {
         let replies = vec![
             DsmReply::PageData {
                 page: 1,
                 data: Bytes::from(vec![1u8, 2, 3]),
             },
+            DsmReply::PageRangeData {
+                first: 12,
+                data: Bytes::from(vec![9u8; 2 * PAGE_SIZE]),
+            },
             DsmReply::DiffAck { page: 8 },
+            DsmReply::DiffBatchAck { pages: 17 },
             DsmReply::BarrierDepart {
                 seq: 3,
                 entries: vec![

@@ -78,11 +78,20 @@ struct Waiter {
     last_seen: u64,
 }
 
+/// A page request (single page or a contiguous range) waiting for this
+/// node to become home / the copy to become readable.
+struct DeferredFetch {
+    first: PageId,
+    count: u32,
+    requester: usize,
+    reply_tag: u64,
+}
+
 /// Mutable state owned by the communication thread (behind the `Dsm`'s
 /// server mutex so tests can drive handling manually).
 #[derive(Default)]
 pub struct ServerState {
-    deferred: Vec<(PageId, usize, u64)>,
+    deferred: Vec<DeferredFetch>,
     arrivals: HashMap<u64, Vec<Arrival>>,
     locks: HashMap<u64, LockState>,
 }
@@ -121,10 +130,27 @@ impl Dsm {
                 reply_tag,
             } => {
                 if !self.try_serve_page(page, requester, reply_tag, srv) {
-                    self.server
-                        .lock()
-                        .deferred
-                        .push((page, requester, reply_tag));
+                    self.server.lock().deferred.push(DeferredFetch {
+                        first: page,
+                        count: 1,
+                        requester,
+                        reply_tag,
+                    });
+                }
+            }
+            DsmMsg::ReqPageRange {
+                first,
+                count,
+                requester,
+                reply_tag,
+            } => {
+                if !self.try_serve_page_range(first, count, requester, reply_tag, srv) {
+                    self.server.lock().deferred.push(DeferredFetch {
+                        first,
+                        count,
+                        requester,
+                        reply_tag,
+                    });
                 }
             }
             DsmMsg::Diff {
@@ -133,32 +159,30 @@ impl Dsm {
                 reply_tag,
                 diff,
             } => {
-                debug_assert_eq!(
-                    self.home_of(page),
-                    self.node(),
-                    "diff for page {page} routed to non-home"
-                );
                 srv.charge_copy(diff.payload_bytes());
-                {
-                    let meta = &self.pages[page];
-                    let _inner = meta.inner.lock();
-                    // We are the page's home: its copy is never absent or
-                    // mid-fetch here (fetch_page targets remote homes only).
-                    debug_assert!(
-                        !matches!(_inner.state, PageState::Invalid | PageState::Transient),
-                        "diff shipped to a non-resident home copy of page {page}: {:?}",
-                        _inner.state
-                    );
-                    let start = page * PAGE_SIZE;
-                    for run in &diff.runs {
-                        // SAFETY: we are home; run bounds are within the page.
-                        unsafe {
-                            self.pool
-                                .write_bytes(start + run.offset as usize, &run.data)
-                        };
-                    }
-                }
+                self.merge_diff(page, &diff);
                 self.reply(requester, reply_tag, DsmReply::DiffAck { page }, srv);
+            }
+            DsmMsg::DiffBatch {
+                requester,
+                reply_tag,
+                pages,
+                diffs,
+            } => {
+                debug_assert_eq!(pages.len(), diffs.len(), "ragged diff batch");
+                let payload: usize = diffs.iter().map(|d| d.payload_bytes()).sum();
+                srv.charge_copy(payload);
+                for (&page, diff) in pages.iter().zip(&diffs) {
+                    self.merge_diff(page, diff);
+                }
+                self.reply(
+                    requester,
+                    reply_tag,
+                    DsmReply::DiffBatchAck {
+                        pages: pages.len() as u32,
+                    },
+                    srv,
+                );
             }
             DsmMsg::PagePush {
                 page,
@@ -275,6 +299,35 @@ impl Dsm {
             .send_at(node, MsgClass::Ctl, tag, reply.encode(), srv.clock.now());
     }
 
+    /// Merge one page's diff into the home copy (word runs under the page
+    /// lock). Disjoint writers' diffs for the same page merge run by run,
+    /// whether they arrive in one batch or across batches.
+    fn merge_diff(&self, page: PageId, diff: &crate::diff::Diff) {
+        debug_assert_eq!(
+            self.home_of(page),
+            self.node(),
+            "diff for page {page} routed to non-home"
+        );
+        let meta = &self.pages[page];
+        let _inner = meta.inner.lock();
+        // We are the page's home: its copy is never absent or
+        // mid-fetch here (fetch_page targets remote homes only).
+        debug_assert!(
+            !matches!(_inner.state, PageState::Invalid | PageState::Transient),
+            "diff shipped to a non-resident home copy of page {page}: {:?}",
+            _inner.state
+        );
+        let start = page * PAGE_SIZE;
+        for run in &diff.runs {
+            // SAFETY: we are home; run bounds are within the page (enforced
+            // by `Diff::decode` for wire-received diffs).
+            unsafe {
+                self.pool
+                    .write_bytes(start + run.offset as usize, &run.data)
+            };
+        }
+    }
+
     /// Serve a page request if we are its current home and the page is
     /// readable; returns false when the request must be deferred (we are
     /// not yet home, or the page awaits a migration push).
@@ -309,18 +362,58 @@ impl Dsm {
         true
     }
 
+    /// Serve a coalesced contiguous-page fetch if every page in the range
+    /// is homed here and readable; otherwise the whole range is deferred
+    /// (homes only move in lockstep at barriers, so a mixed range means a
+    /// migration push is still in flight).
+    fn try_serve_page_range(
+        &self,
+        first: PageId,
+        count: u32,
+        requester: usize,
+        reply_tag: u64,
+        srv: &mut CommServer,
+    ) -> bool {
+        let count = count as usize;
+        for page in first..first + count {
+            if self.home_of(page) != self.node() || !self.page_state(page).readable() {
+                return false;
+            }
+        }
+        let mut buf = vec![0u8; count * PAGE_SIZE];
+        for (k, chunk) in buf.chunks_exact_mut(PAGE_SIZE).enumerate() {
+            // SAFETY: home copy is valid; concurrent word-level writes by
+            // local application threads are application races, as on real
+            // SDSM.
+            unsafe { self.pool.copy_page_out(first + k, chunk) };
+        }
+        srv.charge_copy(count * PAGE_SIZE);
+        self.reply(
+            requester,
+            reply_tag,
+            DsmReply::PageRangeData {
+                first,
+                data: Bytes::from(buf),
+            },
+            srv,
+        );
+        true
+    }
+
     /// Re-examine deferred page requests (after home migrations or pushes).
     fn retry_deferred(&self, srv: &mut CommServer) {
-        let pending: Vec<(PageId, usize, u64)> = {
+        let pending: Vec<DeferredFetch> = {
             let mut st = self.server.lock();
             std::mem::take(&mut st.deferred)
         };
-        for (page, requester, reply_tag) in pending {
-            if !self.try_serve_page(page, requester, reply_tag, srv) {
-                self.server
-                    .lock()
-                    .deferred
-                    .push((page, requester, reply_tag));
+        for d in pending {
+            let served = if d.count == 1 {
+                self.try_serve_page(d.first, d.requester, d.reply_tag, srv)
+            } else {
+                self.try_serve_page_range(d.first, d.count, d.requester, d.reply_tag, srv)
+            };
+            if !served {
+                self.server.lock().deferred.push(d);
             }
         }
     }

@@ -50,10 +50,22 @@ counters! {
     fetch_bytes,
     /// Twins created on first write to a non-home page.
     twins_created,
-    /// Diffs shipped to homes.
+    /// Diffs shipped to homes (one per dirty page, batched or not).
     diffs_sent,
-    /// Bytes of diff payload shipped.
+    /// Wire bytes of diff messages shipped (encoded message payloads —
+    /// what the fabric actually carries, for overhead attribution).
     diff_bytes,
+    /// Modified bytes carried inside those diffs (run data only; the
+    /// wire-vs-payload gap is the protocol's framing overhead).
+    diff_payload_bytes,
+    /// DiffBatch messages sent (one per destination home per release).
+    diff_batches,
+    /// Pages whose diffs rode inside a DiffBatch.
+    batched_pages,
+    /// ReqPageRange round trips (coalesced contiguous-page fetches).
+    range_fetches,
+    /// Pages fetched via ReqPageRange (also counted in `page_fetches`).
+    range_fetch_pages,
     /// Pages invalidated by write notices.
     invalidations,
     /// Home migrations applied (counted at the node gaining home-ship).

@@ -195,6 +195,18 @@ impl Bench {
         self.push(BenchResult::from_samples(name, iters, per_iter));
     }
 
+    /// Record a deterministic metric (virtual time, message count, ...) as
+    /// a single-sample result. Unlike `bench`, the value is whatever the
+    /// caller measured — machine-independent metrics recorded this way are
+    /// what CI regression gates can compare without tolerance for host
+    /// noise.
+    pub fn record(&mut self, name: &str, value: f64) {
+        if !self.selected(name) {
+            return;
+        }
+        self.push(BenchResult::from_samples(name, 1, vec![value]));
+    }
+
     fn push(&mut self, r: BenchResult) {
         println!(
             "{:<44} median {:>12}/iter  (min {}, max {}, {} samples x {} iters)",
@@ -314,6 +326,16 @@ mod tests {
             },
         );
         assert_eq!(b.results().len(), 1);
+    }
+
+    #[test]
+    fn record_is_a_single_exact_sample() {
+        let mut b = Bench::from_args("suite").with_opts(quick_opts());
+        b.record("flush_msgs", 3.0);
+        let r = &b.results()[0];
+        assert_eq!(r.samples, vec![3.0]);
+        assert_eq!(r.median_ns, 3.0);
+        assert_eq!(r.iters_per_batch, 1);
     }
 
     #[test]

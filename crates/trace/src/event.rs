@@ -22,6 +22,10 @@ pub enum EventKind {
     DsmFetch,
     /// Diff shipped to a home (instant; arg = payload bytes).
     DsmDiff,
+    /// Per-home diff batch shipped at a release (instant; arg = pages).
+    DsmDiffBatch,
+    /// Coalesced contiguous-page fetch round-trip (instant; arg = pages).
+    DsmRangeFetch,
     /// Page invalidated by a write notice (instant; arg = page).
     DsmInvalidate,
     /// Home migration applied locally (instant; arg = page).
@@ -70,12 +74,14 @@ pub enum EventKind {
 
 impl EventKind {
     /// All kinds, in declaration order (stable for reports).
-    pub const ALL: [EventKind; 25] = [
+    pub const ALL: [EventKind; 27] = [
         EventKind::DsmReadFault,
         EventKind::DsmWriteFault,
         EventKind::DsmTwin,
         EventKind::DsmFetch,
         EventKind::DsmDiff,
+        EventKind::DsmDiffBatch,
+        EventKind::DsmRangeFetch,
         EventKind::DsmInvalidate,
         EventKind::DsmMigrate,
         EventKind::DsmPush,
@@ -106,6 +112,8 @@ impl EventKind {
             EventKind::DsmTwin => "dsm.twin",
             EventKind::DsmFetch => "dsm.fetch",
             EventKind::DsmDiff => "dsm.diff",
+            EventKind::DsmDiffBatch => "dsm.diff_batch",
+            EventKind::DsmRangeFetch => "dsm.range_fetch",
             EventKind::DsmInvalidate => "dsm.invalidate",
             EventKind::DsmMigrate => "dsm.migrate",
             EventKind::DsmPush => "dsm.push",
@@ -137,6 +145,8 @@ impl EventKind {
             | EventKind::DsmTwin
             | EventKind::DsmFetch
             | EventKind::DsmDiff
+            | EventKind::DsmDiffBatch
+            | EventKind::DsmRangeFetch
             | EventKind::DsmInvalidate
             | EventKind::DsmMigrate
             | EventKind::DsmPush
@@ -228,7 +238,7 @@ mod tests {
 
     #[test]
     fn taxonomy_is_consistent() {
-        assert_eq!(EventKind::ALL.len(), 25);
+        assert_eq!(EventKind::ALL.len(), 27);
         let mut names = std::collections::HashSet::new();
         for k in EventKind::ALL {
             assert!(names.insert(k.name()), "duplicate name {}", k.name());
@@ -243,6 +253,8 @@ mod tests {
         assert_eq!(spans, 14);
         assert!(EventKind::OmpBarrier.is_span());
         assert!(!EventKind::DsmDiff.is_span());
+        assert!(!EventKind::DsmDiffBatch.is_span());
+        assert!(!EventKind::DsmRangeFetch.is_span());
         assert!(!EventKind::NetRetransmit.is_span());
     }
 }

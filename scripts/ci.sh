@@ -92,6 +92,18 @@ PARADE_BENCH_JSON="$BENCH_TMP" \
 test -s "$BENCH_TMP/BENCH_primitives.json"
 rm -rf "$BENCH_TMP"
 
+echo "== dsm release-path bench + regression gate (emits BENCH_dsm.json) =="
+# The release/ metrics are simulated virtual time and message counts —
+# deterministic on any host — gated at 20% against the committed baseline.
+DSM_BENCH_TMP="$(mktemp -d)"
+PARADE_BENCH_JSON="$DSM_BENCH_TMP" \
+  cargo bench -q --offline -p parade-bench --bench dsm \
+  > "$DSM_BENCH_TMP/dsm.md"
+test -s "$DSM_BENCH_TMP/BENCH_dsm.json"
+cargo run -q --offline --release -p parade-bench --bin bench_gate -- \
+  "$DSM_BENCH_TMP/BENCH_dsm.json" scripts/bench_baseline/BENCH_dsm.json 20
+rm -rf "$DSM_BENCH_TMP"
+
 if cargo fmt --version >/dev/null 2>&1; then
   echo "== cargo fmt --check =="
   cargo fmt --check

@@ -61,8 +61,55 @@ prop!(fn diff_encode_decode_roundtrip((seed, writes) in page_spec) {
     d.encode(&mut w);
     let bytes = w.finish();
     assert_eq!(bytes.len(), d.encoded_len());
-    let d2 = Diff::decode(&mut Reader::new(&bytes));
+    let d2 = Diff::decode(&mut Reader::new(&bytes)).expect("own encoding must decode");
     assert_eq!(d, d2);
+});
+
+prop!(fn diff_decode_survives_mutation((seed, writes, flips) in |r: &mut TestRng| {
+    let (seed, writes) = page_spec(r);
+    let n = r.range_usize(1, 8);
+    let flips: Vec<(usize, u8)> = (0..n)
+        .map(|_| (r.range_usize(0, 1 << 16), r.next_byte()))
+        .collect();
+    (seed, writes, flips)
+}) {
+    // Corrupting arbitrary bytes of a valid encoding must yield either a
+    // structured error or a diff that is still in-bounds for `apply` —
+    // never a panic, never an out-of-page write.
+    let (twin, cur) = build_pages(&seed, &writes);
+    let d = Diff::create(&twin, &cur);
+    let mut w = Writer::new();
+    d.encode(&mut w);
+    let mut bytes = w.finish().to_vec();
+    if bytes.is_empty() {
+        return;
+    }
+    for &(pos, v) in &flips {
+        let p = pos % bytes.len();
+        bytes[p] ^= v;
+    }
+    if let Ok(d2) = Diff::decode(&mut Reader::new(&bytes)) {
+        let mut page = vec![0u8; PAGE_SIZE];
+        d2.apply(&mut page); // bounds guaranteed by decode validation
+    }
+});
+
+prop!(fn diff_decode_survives_truncation((seed, writes, cut) in |r: &mut TestRng| {
+    let (seed, writes) = page_spec(r);
+    (seed, writes, r.range_usize(0, 1 << 16))
+}) {
+    let (twin, cur) = build_pages(&seed, &writes);
+    let d = Diff::create(&twin, &cur);
+    let mut w = Writer::new();
+    d.encode(&mut w);
+    let bytes = w.finish();
+    let keep = cut % (bytes.len() + 1);
+    if keep == bytes.len() {
+        return; // not truncated
+    }
+    // Every strict prefix is missing data: decode must return Err (the
+    // run-count header no longer matches the bytes behind it).
+    assert!(Diff::decode(&mut Reader::new(&bytes[..keep])).is_err());
 });
 
 prop!(fn disjoint_diffs_commute((seed, writes) in page_spec) {
