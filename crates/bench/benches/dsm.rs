@@ -19,8 +19,19 @@
 use std::sync::Arc;
 
 use parade_dsm::{spawn_comm_thread, Dsm, DsmConfig, HomePolicy, PAGE_SIZE};
+use parade_mpi::{CollectiveTopology, Communicator, ReduceOp};
 use parade_net::{Fabric, NetProfile, VClock};
 use parade_testkit::bench::{Bench, BenchOpts};
+
+/// Node counts for the `coll/` scaling families. The 256-node rung spawns
+/// hundreds of OS threads, so it only runs in release-mode bench builds.
+fn coll_sizes() -> &'static [usize] {
+    if cfg!(debug_assertions) {
+        &[16, 32, 64, 128]
+    } else {
+        &[16, 32, 64, 128, 256]
+    }
+}
 
 /// Miniature cluster harness: one application thread plus one communication
 /// thread per node (the cluster_tests pattern, usable outside the crate).
@@ -191,6 +202,88 @@ fn record_barrier_family(b: &mut Bench) {
     }
 }
 
+/// Virtual time of one steady-state DSM barrier (no dirty pages, no
+/// protocol traffic in flight) at `nodes` nodes. Fully deterministic: tree
+/// contributions are charged in a sorted fold, so real-time service order
+/// cannot leak into the metric.
+fn dsm_barrier_steady_vtime_ns(nodes: usize, hierarchical: bool) -> u64 {
+    let cfg = DsmConfig {
+        pool_bytes: 16 * PAGE_SIZE,
+        hierarchical_barrier: hierarchical,
+        ..DsmConfig::default()
+    };
+    const ITERS: u64 = 4;
+    let out = run_nodes(nodes, cfg, NetProfile::clan_via(), move |d, clk| {
+        d.barrier(clk); // warm-up: align all clocks on the first departure
+        let t0 = clk.now();
+        for _ in 0..ITERS {
+            d.barrier(clk);
+        }
+        clk.now().saturating_sub(t0).as_nanos() / ITERS
+    });
+    out[0]
+}
+
+/// Virtual time per operation of the MPI two-level collectives, measured
+/// thread-per-rank over an SMP topology of 4-rank chassis. Deterministic:
+/// the intra-chassis combine reconciles clocks like a pthread barrier and
+/// the leader phases are tag-matched. Reported as the slowest rank's view.
+fn mpi_coll_vtime_ns(ranks: usize, op: &'static str) -> u64 {
+    let fabric = Fabric::new(ranks, NetProfile::clan_via());
+    let topo = Arc::new(CollectiveTopology::uniform(ranks, 4));
+    const ITERS: u64 = 4;
+    let handles: Vec<_> = (0..ranks)
+        .map(|r| {
+            let comm = Communicator::with_topology(fabric.endpoint(r), Arc::clone(&topo));
+            std::thread::spawn(move || {
+                let mut clk = VClock::manual();
+                let mut buf = vec![0.5f64; 256];
+                comm.barrier(&mut clk); // warm-up alignment
+                let t0 = clk.now();
+                for _ in 0..ITERS {
+                    match op {
+                        "barrier" => comm.barrier(&mut clk),
+                        "bcast" => comm.bcast_f64s(0, &mut buf, &mut clk),
+                        "allreduce" => {
+                            let _ = comm.allreduce_f64(r as f64, ReduceOp::Sum, &mut clk);
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                clk.now().saturating_sub(t0).as_nanos() / ITERS
+            })
+        })
+        .collect();
+    let worst = handles.into_iter().map(|h| h.join().unwrap()).max();
+    fabric.begin_shutdown();
+    worst.unwrap()
+}
+
+/// The `coll/` scaling families: gated by `bench_gate` against the
+/// committed baseline *and* against the ⌈log₂N⌉ shape rule (successive
+/// node-count doublings must cost < 1.7x). `flat/` twins are informational
+/// — they document what the hierarchy buys.
+fn record_coll_family(b: &mut Bench) {
+    for &n in coll_sizes() {
+        b.record(
+            &format!("coll/dsm_barrier_vtime_ns_{n}n"),
+            dsm_barrier_steady_vtime_ns(n, true) as f64,
+        );
+        for op in ["barrier", "bcast", "allreduce"] {
+            b.record(
+                &format!("coll/{op}_vtime_ns_{n}n"),
+                mpi_coll_vtime_ns(n, op) as f64,
+            );
+        }
+    }
+    for &n in &[16usize, 64] {
+        b.record(
+            &format!("flat/dsm_barrier_vtime_ns_{n}n"),
+            dsm_barrier_steady_vtime_ns(n, false) as f64,
+        );
+    }
+}
+
 fn bench_wall_flush(b: &mut Bench) {
     for &batched in &[true, false] {
         let tag = if batched { "batched" } else { "unbatched" };
@@ -209,6 +302,7 @@ fn main() {
     });
     record_release_family(&mut b);
     record_barrier_family(&mut b);
+    record_coll_family(&mut b);
     bench_wall_flush(&mut b);
     b.finish();
 }

@@ -10,6 +10,14 @@
 //! results (`wall/...`) and jittery families (`barrier/...`) are reported
 //! but never gated.
 //!
+//! Gated metrics whose names end in `_{N}n` form **scaling families**: the
+//! same measurement at growing node counts. Besides the per-metric
+//! tolerance band, the gate checks their *shape* — every doubling of the
+//! node count must cost less than [`SHAPE_RATIO`]x the previous rung in
+//! the current run. A hierarchical (⌈log₂N⌉-hop) collective passes easily;
+//! a silent fallback to a flat O(N) algorithm fails even if each
+//! individual point drifted less than the tolerance.
+//!
 //! Exit status: 0 when every gated metric is within tolerance of its
 //! baseline, 1 on any regression or when a baselined gated metric vanished
 //! from the current run (a disappearing metric usually means the bench
@@ -18,10 +26,72 @@
 use std::process::ExitCode;
 
 /// Metric families the gate enforces.
-const GATED_PREFIXES: &[&str] = &["release/"];
+const GATED_PREFIXES: &[&str] = &["release/", "coll/"];
+
+/// Max allowed cost ratio between successive node-count doublings of a
+/// gated `_{N}n` scaling family (log₂N scaling sits near 1.2; flat linear
+/// scaling sits near 2.0).
+const SHAPE_RATIO: f64 = 1.7;
 
 fn gated(name: &str) -> bool {
     GATED_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Split a scaling-family metric name `<family>_<N>n` into its family stem
+/// and node count; `None` for names not of that shape.
+fn split_scaled(name: &str) -> Option<(&str, u64)> {
+    let stem_digits = name.strip_suffix('n')?;
+    let digit_start = stem_digits
+        .rfind(|c: char| !c.is_ascii_digit())
+        .map(|i| i + 1)?;
+    let (stem, digits) = stem_digits.split_at(digit_start);
+    let stem = stem.strip_suffix('_')?;
+    if digits.is_empty() {
+        return None;
+    }
+    Some((stem, digits.parse().ok()?))
+}
+
+/// Check the log₂N scaling shape of every gated `_{N}n` family in the
+/// current run: each present (N, 2N) pair must satisfy
+/// `cur(2N) < cur(N) * SHAPE_RATIO`. Returns the number of violations.
+fn check_scaling_shape(current: &[(String, f64)]) -> u32 {
+    let mut failures = 0;
+    let mut families: Vec<&str> = Vec::new();
+    for (name, _) in current {
+        if let Some((stem, _)) = split_scaled(name) {
+            if gated(name) && !families.contains(&stem) {
+                families.push(stem);
+            }
+        }
+    }
+    for stem in families {
+        let mut points: Vec<(u64, f64)> = current
+            .iter()
+            .filter_map(|(name, v)| {
+                let (s, n) = split_scaled(name)?;
+                (s == stem).then_some((n, *v))
+            })
+            .collect();
+        points.sort_unstable_by_key(|&(n, _)| n);
+        for w in points.windows(2) {
+            let ((n_lo, lo), (n_hi, hi)) = (w[0], w[1]);
+            if n_hi != n_lo * 2 || lo <= 0.0 {
+                continue;
+            }
+            let ratio = hi / lo;
+            let ok = ratio < SHAPE_RATIO;
+            println!(
+                "{:<48} {n_lo:>5}n -> {n_hi}n ratio {ratio:>5.2}  {}",
+                format!("{stem} (shape)"),
+                if ok { "ok" } else { "NOT log2-SHAPED" }
+            );
+            if !ok {
+                failures += 1;
+            }
+        }
+    }
+    failures
 }
 
 /// Extract `(name, median)` pairs from a testkit bench JSON document.
@@ -111,14 +181,23 @@ fn main() -> ExitCode {
             println!("{name:<48} (new metric, not in baseline)");
         }
     }
+    let shape_failures = check_scaling_shape(&current);
     if checked == 0 {
         eprintln!("bench_gate: baseline contains no gated metrics");
         return ExitCode::FAILURE;
     }
-    if failures > 0 {
-        eprintln!("bench_gate: {failures} gated metric(s) regressed beyond {tolerance_pct}%");
+    if failures > 0 || shape_failures > 0 {
+        if failures > 0 {
+            eprintln!("bench_gate: {failures} gated metric(s) regressed beyond {tolerance_pct}%");
+        }
+        if shape_failures > 0 {
+            eprintln!(
+                "bench_gate: {shape_failures} scaling pair(s) exceed the {SHAPE_RATIO}x \
+                 doubling bound (flat-algorithm fallback?)"
+            );
+        }
         return ExitCode::FAILURE;
     }
-    println!("bench_gate: {checked} gated metrics within tolerance");
+    println!("bench_gate: {checked} gated metrics within tolerance, scaling shape ok");
     ExitCode::SUCCESS
 }

@@ -106,6 +106,19 @@ pub struct ClusterConfig {
     /// `PARADE_CHAOS` environment variable (off when unset), so any run
     /// can be soaked under chaos without code changes.
     pub chaos: ChaosProfile,
+    /// Two-level SMP-aware collectives (default on): the DSM barrier
+    /// aggregates arrivals up a binomial tree of communication threads
+    /// instead of all nodes messaging node 0, and MPI collectives combine
+    /// co-located ranks through shared memory with only per-chassis
+    /// leaders crossing the fabric. Off reverts both to the flat
+    /// algorithms (the measurable pre-hierarchy baseline).
+    pub hierarchical_collectives: bool,
+    /// Fabric nodes per physical SMP chassis, for collective-topology
+    /// purposes: consecutive runs of `smp_width` nodes are treated as
+    /// co-located. 1 (the default) makes every node its own chassis, so
+    /// MPI collectives stay flat even when `hierarchical_collectives` is
+    /// on (the DSM tree barrier is node-level and unaffected).
+    pub smp_width: usize,
 }
 
 impl Default for ClusterConfig {
@@ -125,6 +138,8 @@ impl Default for ClusterConfig {
             batch_diffs: true,
             max_fetch_range: 16,
             chaos: ChaosProfile::from_env(),
+            hierarchical_collectives: true,
+            smp_width: 1,
         }
     }
 }
@@ -157,7 +172,14 @@ impl ClusterConfig {
             small_threshold: self.small_threshold,
             batch_diffs: self.batch_diffs,
             max_fetch_range: self.max_fetch_range,
+            hierarchical_barrier: self.hierarchical_collectives,
         }
+    }
+
+    /// SMP placement of the cluster's MPI ranks: consecutive blocks of
+    /// `smp_width` fabric nodes per chassis.
+    pub fn collective_topology(&self) -> parade_mpi::CollectiveTopology {
+        parade_mpi::CollectiveTopology::uniform(self.nodes, self.smp_width.max(1))
     }
 
     /// Time source for an application thread on `node`.

@@ -93,6 +93,12 @@ where
     let dsms: Vec<Arc<Dsm>> = (0..cfg.nodes)
         .map(|i| Arc::new(Dsm::new(fabric.endpoint(i), cfg.dsm_config())))
         .collect();
+    // One topology instance for the whole world: it owns the per-chassis
+    // shared-memory combine state, so every rank's communicator must share
+    // it. An all-singleton topology keeps the flat algorithms.
+    let topo = cfg
+        .hierarchical_collectives
+        .then(|| Arc::new(cfg.collective_topology()));
     let comm_threads: Vec<_> = dsms
         .iter()
         .map(|d| spawn_comm_thread(Arc::clone(d)))
@@ -104,7 +110,10 @@ where
                 node: i,
                 nnodes: cfg.nodes,
                 dsm: Arc::clone(&dsms[i]),
-                comm: Arc::new(Communicator::new(fabric.endpoint(i))),
+                comm: Arc::new(match &topo {
+                    Some(t) => Communicator::with_topology(fabric.endpoint(i), Arc::clone(t)),
+                    None => Communicator::new(fabric.endpoint(i)),
+                }),
                 cfg: cfg.clone(),
                 fabric: Arc::clone(&fabric),
             };

@@ -37,13 +37,14 @@ mod report;
 mod runtime;
 mod shared;
 mod team;
-mod vbarrier;
 
 pub use ctx::{partition, BoundVec, ScalarPrim, StaticChunks, ThreadCtx};
 pub use report::StatsReport;
 pub use shared::{Pod, SharedScalar, SharedVec};
 pub use team::{Cluster, ClusterBuilder, MasterCtx, RunReport};
-pub use vbarrier::VBarrier;
+// Moved into parade-net (the MPI layer's shared-memory combine uses it
+// too); re-exported here so `parade_core::VBarrier` keeps working.
+pub use parade_net::VBarrier;
 
 // Re-exports so downstream code needs only this crate for common use.
 pub use parade_cluster::{ClusterConfig, ExecConfig, ProtocolMode};

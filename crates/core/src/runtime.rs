@@ -14,7 +14,7 @@ use parade_net::{TimeSource, VClock, VTime};
 use parade_trace as trace;
 
 use crate::ctx::ThreadCtx;
-use crate::vbarrier::VBarrier;
+use parade_net::VBarrier;
 
 /// Erased parallel-region body.
 pub(crate) type RegionFn = dyn Fn(&ThreadCtx) + Send + Sync;

@@ -294,6 +294,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Toggle the two-level SMP-aware collectives (tree barrier + leader
+    /// election); on by default, off reverts to the flat algorithms.
+    pub fn hierarchical_collectives(mut self, on: bool) -> Self {
+        self.cfg.hierarchical_collectives = on;
+        self
+    }
+
+    /// Fabric nodes per physical SMP chassis for the collective topology.
+    pub fn smp_width(mut self, w: usize) -> Self {
+        self.cfg.smp_width = w;
+        self
+    }
+
     pub fn config(mut self, cfg: ClusterConfig) -> Self {
         self.cfg = cfg;
         self

@@ -114,6 +114,89 @@ fn home_migrates_to_single_writer() {
     }
 }
 
+/// Exercise barriers with overlapping multi-writer pages under both barrier
+/// implementations; migration decisions and final contents must agree, and
+/// the hierarchical virtual time must be reproducible run to run.
+#[test]
+fn hierarchical_barrier_matches_flat_decisions() {
+    let run = |hier: bool| {
+        // 6 nodes: non-power-of-two, so the binomial tree is ragged.
+        run_nodes(
+            6,
+            DsmConfig {
+                hierarchical_barrier: hier,
+                ..small_cfg()
+            },
+            NetProfile::clan_via(),
+            |d, clk| {
+                let r = alloc_on(&d, 8 * PAGE_SIZE);
+                d.barrier(clk);
+                let node = d.node();
+                // Page 0: single writer. Page 1: all write (multi-writer,
+                // disjoint words). Page 2: writers {1, 4} (old home loses).
+                if node == 2 {
+                    d.write::<i64>(r, 0, 42, clk);
+                }
+                d.write::<i64>(r, PAGE_SIZE + node * 8, node as i64 + 1, clk);
+                if node == 1 || node == 4 {
+                    d.write::<i64>(r, 2 * PAGE_SIZE + node * 8, node as i64, clk);
+                }
+                d.barrier(clk);
+                let homes: Vec<usize> = (0..3).map(|p| d.home_of(r.first_page() + p)).collect();
+                let mut vals = vec![d.read::<i64>(r, 0, clk)];
+                for n in 0..6 {
+                    vals.push(d.read::<i64>(r, PAGE_SIZE + n * 8, clk));
+                }
+                vals.push(d.read::<i64>(r, 2 * PAGE_SIZE + 8, clk));
+                vals.push(d.read::<i64>(r, 2 * PAGE_SIZE + 32, clk));
+                d.barrier(clk);
+                (homes, vals)
+            },
+        )
+    };
+    let hier_a = run(true);
+    let hier_b = run(true);
+    let flat = run(false);
+    assert_eq!(hier_a, hier_b, "hierarchical barrier must be deterministic");
+    for (h, f) in hier_a.iter().zip(&flat) {
+        assert_eq!(h.0, f.0, "home decisions must match the flat master's");
+        assert_eq!(h.1, f.1, "contents must match the flat protocol's");
+    }
+}
+
+/// Steady-state hierarchical barriers must scale like the tree depth, not
+/// linearly in the node count: the critical path is ⌈log₂N⌉ hops.
+#[test]
+fn hierarchical_barrier_vtime_scales_sublinearly() {
+    let barrier_cost = |nodes: usize| {
+        let out = run_nodes(nodes, small_cfg(), NetProfile::clan_via(), |d, clk| {
+            d.barrier(clk); // warm-up: first barrier includes nothing extra here
+            let t0 = clk.now();
+            for _ in 0..4 {
+                d.barrier(clk);
+            }
+            (clk.now().saturating_sub(t0)).as_nanos() / 4
+        });
+        out[0]
+    };
+    let c4 = barrier_cost(4);
+    let c8 = barrier_cost(8);
+    let c16 = barrier_cost(16);
+    // Steady-state barriers (no protocol traffic in flight) are fully
+    // deterministic: the sorted service fold erases real-time racing.
+    assert_eq!(c8, barrier_cost(8), "steady barrier vtime must be exact");
+    // Successive doubling must cost well under 2x (the flat barrier's
+    // master services N arrivals serially, giving ratios near 2).
+    assert!(
+        (c8 as f64) < (c4 as f64) * 1.7,
+        "4->8 nodes ratio too steep: {c4} -> {c8}"
+    );
+    assert!(
+        (c16 as f64) < (c8 as f64) * 1.7,
+        "8->16 nodes ratio too steep: {c8} -> {c16}"
+    );
+}
+
 #[test]
 fn fixed_home_policy_never_migrates() {
     let cfg = DsmConfig {

@@ -159,6 +159,13 @@ pub struct DsmConfig {
     /// (Helmholtz/CG fault storms). `<= 1` disables coalescing; range
     /// fetches also require a safe [`UpdateStrategy`].
     pub max_fetch_range: usize,
+    /// Aggregate barrier arrivals up a binomial tree of communication
+    /// threads (root = node 0) instead of every node messaging the master
+    /// directly. The critical path shrinks from N serial services at node 0
+    /// to ⌈log₂N⌉ hops; departures still fan out from the root so the
+    /// master-last release ordering is preserved. Off reverts to the flat
+    /// all-to-master barrier (kept as a measurable baseline).
+    pub hierarchical_barrier: bool,
 }
 
 impl Default for DsmConfig {
@@ -172,6 +179,7 @@ impl Default for DsmConfig {
             small_threshold: 256,
             batch_diffs: true,
             max_fetch_range: 16,
+            hierarchical_barrier: true,
         }
     }
 }

@@ -788,7 +788,16 @@ impl Dsm {
             reply_tag: tag,
             notices,
         };
-        self.ep.send(0, MsgClass::Dsm, 0, arrive.encode(), clock);
+        // Hierarchical mode hands the arrival to our own communication
+        // thread, which aggregates its subtree and sends one `BarrierUp`
+        // toward the root; flat mode messages the master directly.
+        let master = if self.cfg.hierarchical_barrier {
+            self.node
+        } else {
+            0
+        };
+        self.ep
+            .send(master, MsgClass::Dsm, 0, arrive.encode(), clock);
         let pkt = self
             .ep
             .recv(MsgClass::Ctl, Match::tagged(tag), clock)

@@ -30,6 +30,7 @@ const K_LOCK_REL: u8 = 6;
 const K_NUDGE: u8 = 7;
 const K_DIFF_BATCH: u8 = 8;
 const K_REQ_PAGE_RANGE: u8 = 9;
+const K_BARRIER_UP: u8 = 10;
 
 /// A request handled by a communication thread.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +76,15 @@ pub enum DsmMsg {
         node: usize,
         reply_tag: u64,
         notices: Vec<PageId>,
+    },
+    /// Hierarchical barrier: a subtree's aggregated arrivals, sent by a
+    /// communication thread to its parent in the binomial tree. `members`
+    /// lists every (node, reply tag) in the subtree awaiting the departure;
+    /// `writers` carries the merged write notices as (page, writer nodes).
+    BarrierUp {
+        seq: u64,
+        members: Vec<(usize, u64)>,
+        writers: Vec<(PageId, Vec<usize>)>,
     },
     /// Acquire a distributed lock (baseline SDSM path). `polling` requests
     /// an immediate grant-or-busy answer instead of queueing.
@@ -185,6 +195,23 @@ impl DsmMsg {
                 w.u32(notices.len() as u32);
                 for p in notices {
                     w.u64(*p as u64);
+                }
+            }
+            DsmMsg::BarrierUp {
+                seq,
+                members,
+                writers,
+            } => {
+                w.u8(K_BARRIER_UP).u64(*seq).u32(members.len() as u32);
+                for (node, tag) in members {
+                    w.u32(*node as u32).u64(*tag);
+                }
+                w.u32(writers.len() as u32);
+                for (page, nodes) in writers {
+                    w.u64(*page as u64).u32(nodes.len() as u32);
+                    for n in nodes {
+                        w.u32(*n as u32);
+                    }
                 }
             }
             DsmMsg::LockAcq {
@@ -311,6 +338,46 @@ impl DsmMsg {
                     node,
                     reply_tag,
                     notices,
+                })
+            }
+            K_BARRIER_UP => {
+                need(&r, 12, "BarrierUp header")?;
+                let seq = r.u64();
+                let nm = r.u32() as usize;
+                if nm.saturating_mul(12) > r.remaining() {
+                    return Err(DecodeError::RunCount {
+                        count: nm as u32,
+                        have: r.remaining(),
+                    });
+                }
+                let members = (0..nm)
+                    .map(|_| need(&r, 12, "BarrierUp member").map(|_| (r.u32() as usize, r.u64())))
+                    .collect::<Result<Vec<_>, _>>()?;
+                need(&r, 4, "BarrierUp writer count")?;
+                let nw = r.u32() as usize;
+                if nw.saturating_mul(12) > r.remaining() {
+                    return Err(DecodeError::RunCount {
+                        count: nw as u32,
+                        have: r.remaining(),
+                    });
+                }
+                let mut writers = Vec::with_capacity(nw);
+                for _ in 0..nw {
+                    need(&r, 12, "BarrierUp writer entry")?;
+                    let page = r.u64() as PageId;
+                    let n = r.u32() as usize;
+                    if n.saturating_mul(4) > r.remaining() {
+                        return Err(DecodeError::RunCount {
+                            count: n as u32,
+                            have: r.remaining(),
+                        });
+                    }
+                    writers.push((page, (0..n).map(|_| r.u32() as usize).collect()));
+                }
+                Ok(DsmMsg::BarrierUp {
+                    seq,
+                    members,
+                    writers,
                 })
             }
             K_LOCK_ACQ => {
@@ -521,6 +588,16 @@ mod tests {
                 reply_tag: REPLY_TAG_BASE + 1,
                 notices: vec![1, 2, 30],
             },
+            DsmMsg::BarrierUp {
+                seq: 9,
+                members: vec![(2, REPLY_TAG_BASE + 4), (3, REPLY_TAG_BASE + 5)],
+                writers: vec![(7, vec![2]), (8, vec![2, 3])],
+            },
+            DsmMsg::BarrierUp {
+                seq: 10,
+                members: vec![(1, REPLY_TAG_BASE)],
+                writers: vec![],
+            },
             DsmMsg::LockAcq {
                 lock: 6,
                 node: 0,
@@ -557,6 +634,34 @@ mod tests {
         for cut in 0..full.len() {
             // No prefix may panic; (decoding a shorter valid message is
             // impossible here because the batch count is pinned early).
+            let _ = DsmMsg::try_decode(&full[..cut]);
+        }
+    }
+
+    #[test]
+    fn try_decode_rejects_oversized_barrier_up_counts() {
+        // Member count not backed by bytes.
+        let mut w = Writer::new();
+        w.u8(10).u64(3).u32(u32::MAX);
+        assert!(matches!(
+            DsmMsg::try_decode(&w.finish()),
+            Err(DecodeError::RunCount { .. })
+        ));
+        // Writer-node count not backed by bytes.
+        let mut w = Writer::new();
+        w.u8(10).u64(3).u32(0).u32(1).u64(5).u32(u32::MAX);
+        assert!(matches!(
+            DsmMsg::try_decode(&w.finish()),
+            Err(DecodeError::RunCount { .. })
+        ));
+        // No truncation of a valid message may panic.
+        let full = DsmMsg::BarrierUp {
+            seq: 2,
+            members: vec![(0, REPLY_TAG_BASE), (1, REPLY_TAG_BASE + 1)],
+            writers: vec![(4, vec![0, 1]), (6, vec![1])],
+        }
+        .encode();
+        for cut in 0..full.len() {
             let _ = DsmMsg::try_decode(&full[..cut]);
         }
     }

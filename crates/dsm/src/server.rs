@@ -63,6 +63,47 @@ struct Arrival {
     notices: Vec<PageId>,
 }
 
+/// Aggregation state of one hierarchical-barrier sequence at this node:
+/// everything collected from the local arrival and the subtrees rooted at
+/// this node's tree children, awaiting the last contribution.
+#[derive(Default)]
+struct TreeBarrier {
+    /// (node, reply tag) of every member in the subtree seen so far.
+    members: Vec<(usize, u64)>,
+    /// Merged write notices: page → writer nodes.
+    writers: HashMap<PageId, Vec<usize>>,
+    /// Virtual arrival time of each contribution. Service cost is charged
+    /// in one deterministic burst at completion (sorted fold), so the
+    /// barrier's virtual time is independent of the real-time order in
+    /// which the tree packets happened to be serviced.
+    arrivals_at: Vec<VTime>,
+}
+
+/// Parent of `node` in the binomial aggregation tree rooted at node 0
+/// (clearing the lowest set bit walks toward the root).
+fn tree_parent(node: usize) -> usize {
+    debug_assert!(node > 0, "the root has no parent");
+    node & (node - 1)
+}
+
+/// Number of direct children of `node` in an `nnodes`-node binomial tree:
+/// `node + 2^k` for every `2^k` below `node`'s lowest set bit (all powers
+/// of two for the root), clipped to the node count.
+fn tree_child_count(node: usize, nnodes: usize) -> usize {
+    let lsb = if node == 0 {
+        usize::MAX
+    } else {
+        node & node.wrapping_neg()
+    };
+    let mut count = 0;
+    let mut step = 1;
+    while step < lsb && node + step < nnodes {
+        count += 1;
+        step <<= 1;
+    }
+    count
+}
+
 #[derive(Default)]
 struct LockState {
     held_by: Option<usize>,
@@ -93,6 +134,7 @@ struct DeferredFetch {
 pub struct ServerState {
     deferred: Vec<DeferredFetch>,
     arrivals: HashMap<u64, Vec<Arrival>>,
+    tree: HashMap<u64, TreeBarrier>,
     locks: HashMap<u64, LockState>,
 }
 
@@ -110,6 +152,16 @@ impl Dsm {
         if matches!(msg, DsmMsg::Nudge) {
             // Local bookkeeping wake-up, not a serviced request.
             self.retry_deferred(srv);
+            return;
+        }
+        if self.config().hierarchical_barrier
+            && matches!(msg, DsmMsg::BarrierArrive { .. } | DsmMsg::BarrierUp { .. })
+        {
+            // Tree contributions are only *collected* here; their service
+            // cost is charged in one sorted burst when the subtree
+            // completes, so the barrier's virtual time does not depend on
+            // the racy real-time order the packets were pulled in.
+            self.tree_barrier_step(msg, pkt.arrive_at, srv);
             return;
         }
         // Queueing delay: how long the request sat behind earlier service
@@ -290,6 +342,9 @@ impl Dsm {
                 }
             }
             DsmMsg::Nudge => unreachable!("handled above"),
+            DsmMsg::BarrierUp { .. } => {
+                unreachable!("BarrierUp only exists in hierarchical mode, handled above")
+            }
         }
         trace::end(EventKind::CommService, srv.clock.now());
     }
@@ -418,6 +473,104 @@ impl Dsm {
         }
     }
 
+    /// One contribution to this node's subtree of the hierarchical barrier:
+    /// the local application thread's arrival, or a child communication
+    /// thread's aggregated `BarrierUp`. When the subtree completes, either
+    /// forward one `BarrierUp` to the tree parent or (at the root) decide
+    /// the departure and fan it out to every member.
+    fn tree_barrier_step(&self, msg: DsmMsg, arrive_at: VTime, srv: &mut CommServer) {
+        let (seq, members, writer_lists) = match msg {
+            DsmMsg::BarrierArrive {
+                seq,
+                node,
+                reply_tag,
+                notices,
+            } => {
+                debug_assert_eq!(
+                    node,
+                    self.node(),
+                    "hierarchical arrivals go to the arriving node's own comm thread"
+                );
+                let writers = notices.into_iter().map(|p| (p, vec![node])).collect();
+                (seq, vec![(node, reply_tag)], writers)
+            }
+            DsmMsg::BarrierUp {
+                seq,
+                members,
+                writers,
+            } => (seq, members, writers),
+            _ => unreachable!("not a tree barrier message"),
+        };
+        let expected = 1 + tree_child_count(self.node(), self.nnodes());
+        let complete = {
+            let mut st = self.server.lock();
+            let tb = st.tree.entry(seq).or_default();
+            tb.members.extend(members);
+            for (page, nodes) in writer_lists {
+                tb.writers.entry(page).or_default().extend(nodes);
+            }
+            tb.arrivals_at.push(arrive_at);
+            tb.arrivals_at.len() == expected
+        };
+        if !complete {
+            return;
+        }
+        let tb = self
+            .server
+            .lock()
+            .tree
+            .remove(&seq)
+            .expect("just completed");
+        // Deterministic service fold: charge the whole burst in arrival-time
+        // order, regardless of the order the packets were actually handled.
+        let mut arrivals_at = tb.arrivals_at;
+        arrivals_at.sort_unstable();
+        trace::begin_arg(
+            EventKind::CommService,
+            arrivals_at.len() as u64,
+            srv.clock.now(),
+        );
+        for &t in &arrivals_at {
+            srv.begin_service(t);
+        }
+        self.stats
+            .serviced_requests
+            .fetch_add(arrivals_at.len() as u64, Ordering::Relaxed);
+        if self.node() == 0 {
+            let entries = self.decide_entries(tb.writers);
+            self.send_depart(seq, entries, tb.members, srv);
+        } else {
+            // Sort the payload so the wire bytes (and their cost) are
+            // independent of contribution order.
+            let mut members = tb.members;
+            members.sort_unstable_by_key(|&(node, _)| node);
+            let mut writers: Vec<(PageId, Vec<usize>)> = tb
+                .writers
+                .into_iter()
+                .map(|(p, mut w)| {
+                    w.sort_unstable();
+                    (p, w)
+                })
+                .collect();
+            writers.sort_unstable_by_key(|&(p, _)| p);
+            let up = DsmMsg::BarrierUp {
+                seq,
+                members,
+                writers,
+            };
+            let wire = up.encode();
+            srv.charge_copy(wire.len());
+            self.ep.send_at(
+                tree_parent(self.node()),
+                MsgClass::Dsm,
+                0,
+                wire,
+                srv.clock.now(),
+            );
+        }
+        trace::end(EventKind::CommService, srv.clock.now());
+    }
+
     /// Barrier master: combine all nodes' write notices, decide home
     /// migrations (§5.2.2), and send the departure to every node.
     fn compute_depart(&self, seq: u64, arrivals: Vec<Arrival>, srv: &mut CommServer) {
@@ -427,6 +580,15 @@ impl Dsm {
                 writers.entry(p).or_default().push(a.node);
             }
         }
+        let members = arrivals.iter().map(|a| (a.node, a.reply_tag)).collect();
+        let entries = self.decide_entries(writers);
+        self.send_depart(seq, entries, members, srv);
+    }
+
+    /// Decide home migrations (§5.2.2) from the merged page → writers map.
+    /// Writer lists are sorted at decision time, so the entries are
+    /// identical whether the map was built flat or merged up a tree.
+    fn decide_entries(&self, writers: HashMap<PageId, Vec<usize>>) -> Vec<DepartEntry> {
         let mut entries: Vec<DepartEntry> = writers
             .into_iter()
             .map(|(page, mut w)| {
@@ -456,6 +618,17 @@ impl Dsm {
             })
             .collect();
         entries.sort_unstable_by_key(|e| e.page);
+        entries
+    }
+
+    /// Fan the departure out to every member waiting on this barrier.
+    fn send_depart(
+        &self,
+        seq: u64,
+        entries: Vec<DepartEntry>,
+        mut members: Vec<(usize, u64)>,
+        srv: &mut CommServer,
+    ) {
         let reply = DsmReply::BarrierDepart { seq, entries };
         let payload = reply.encode();
         srv.charge_copy(payload.len());
@@ -463,13 +636,12 @@ impl Dsm {
         // queued before any local thread can resume past the barrier and
         // (on a dead link) shut the fabric down, so a peer still parked in
         // `Dsm::barrier` finds its departure rather than `Disconnected`.
-        let mut arrivals = arrivals;
-        arrivals.sort_unstable_by_key(|a| (a.node == self.node(), a.node));
-        for a in &arrivals {
+        members.sort_unstable_by_key(|&(node, _)| (node == self.node(), node));
+        for &(node, reply_tag) in &members {
             self.ep.send_at(
-                a.node,
+                node,
                 MsgClass::Ctl,
-                a.reply_tag,
+                reply_tag,
                 payload.clone(),
                 srv.clock.now(),
             );
@@ -505,5 +677,57 @@ fn make_grant(ls: &LockState, last_seen: u64) -> DsmReply {
     DsmReply::LockGrant {
         cur_seq: ls.seq,
         notices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_tree_shape() {
+        assert_eq!(tree_parent(1), 0);
+        assert_eq!(tree_parent(2), 0);
+        assert_eq!(tree_parent(3), 2);
+        assert_eq!(tree_parent(5), 4);
+        assert_eq!(tree_parent(6), 4);
+        assert_eq!(tree_parent(7), 6);
+        assert_eq!(tree_parent(12), 8);
+        // Root adopts 1, 2, 4, 8, ... up to the node count.
+        assert_eq!(tree_child_count(0, 1), 0);
+        assert_eq!(tree_child_count(0, 2), 1);
+        assert_eq!(tree_child_count(0, 8), 3);
+        assert_eq!(tree_child_count(0, 9), 4);
+        assert_eq!(tree_child_count(0, 256), 8);
+        // Odd nodes are leaves; interior nodes stop at the clip.
+        assert_eq!(tree_child_count(1, 8), 0);
+        assert_eq!(tree_child_count(2, 8), 1);
+        assert_eq!(tree_child_count(4, 8), 2);
+        assert_eq!(tree_child_count(4, 6), 1);
+        assert_eq!(tree_child_count(6, 7), 0);
+    }
+
+    #[test]
+    fn every_node_reaches_the_root_and_counts_add_up() {
+        for nnodes in 1..=40usize {
+            let mut total_children = 0;
+            for node in 0..nnodes {
+                total_children += tree_child_count(node, nnodes);
+                if node > 0 {
+                    // Walk to the root; parents strictly decrease.
+                    let mut cur = node;
+                    let mut hops = 0;
+                    while cur != 0 {
+                        let p = tree_parent(cur);
+                        assert!(p < cur);
+                        cur = p;
+                        hops += 1;
+                        assert!(hops <= usize::BITS as usize);
+                    }
+                }
+            }
+            // Every non-root node is someone's child exactly once.
+            assert_eq!(total_children, nnodes - 1, "nnodes={nnodes}");
+        }
     }
 }

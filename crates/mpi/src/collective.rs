@@ -14,6 +14,7 @@ use parade_trace::{self as trace, EventKind};
 
 use crate::comm::Communicator;
 use crate::datatype;
+use crate::topology::CollectiveTopology;
 
 /// Reduction operators for typed allreduce/reduce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,8 +53,19 @@ const PH_ALLRED_BCAST: u8 = 2;
 const PH_GATHER: u8 = 3;
 
 impl Communicator {
-    /// Dissemination barrier: ⌈log₂ P⌉ rounds, every node sends and
-    /// receives one small message per round.
+    /// The topology to run two-level algorithms over, when one is attached
+    /// and actually groups ranks (an all-singleton topology degenerates to
+    /// the flat algorithms exactly, so it takes the flat path directly).
+    fn hier(&self) -> Option<&CollectiveTopology> {
+        self.topo.as_deref().filter(|t| !t.is_flat())
+    }
+
+    /// Barrier. Flat: dissemination over all ranks — ⌈log₂ P⌉ rounds,
+    /// every node sends and receives one small message per round. With an
+    /// SMP topology attached: ranks arrive through their group's
+    /// shared-memory barrier, the elected leaders run the dissemination
+    /// rounds among themselves (`O(L log L)` fabric messages for `L`
+    /// leaders), and the release fans back out through shared memory.
     pub fn barrier(&self, clock: &mut VClock) {
         let mut st = self.coll_guard.lock();
         let seq = st.seq;
@@ -64,6 +76,17 @@ impl Communicator {
         }
         let rank = self.rank();
         trace::begin(EventKind::MpiBarrier, clock.now());
+        if let Some(t) = self.hier() {
+            t.deposit_and_sync(rank, seq, None, clock);
+            if t.is_leader(rank) {
+                self.leaders_barrier(t, seq, clock);
+                t.publish(rank, seq, Bytes::new(), clock);
+            } else {
+                let _ = t.collect(rank, seq, clock);
+            }
+            trace::end(EventKind::MpiBarrier, clock.now());
+            return;
+        }
         let mut round: u8 = 0;
         let mut dist = 1usize;
         while dist < size {
@@ -78,15 +101,48 @@ impl Communicator {
         trace::end(EventKind::MpiBarrier, clock.now());
     }
 
-    /// Binomial-tree broadcast of raw bytes from `root`. Non-root callers'
-    /// `buf` is replaced with the received payload.
+    /// Broadcast of raw bytes from `root`: binomial tree over all ranks,
+    /// or — with an SMP topology — binomial tree over the group leaders
+    /// with shared-memory distribution inside each group. Non-root
+    /// callers' `buf` is replaced with the received payload.
     pub fn bcast_bytes(&self, root: usize, buf: &mut Bytes, clock: &mut VClock) {
         let mut st = self.coll_guard.lock();
         let seq = st.seq;
         st.seq += 1;
         trace::begin_arg(EventKind::MpiBcast, buf.len() as u64, clock.now());
-        self.bcast_inner(root, buf, seq, PH_BCAST, clock);
+        if let Some(t) = self.hier() {
+            self.hier_bcast(t, root, buf, seq, clock);
+        } else {
+            self.bcast_inner(root, buf, seq, PH_BCAST, clock);
+        }
         trace::end(EventKind::MpiBcast, clock.now());
+    }
+
+    fn hier_bcast(
+        &self,
+        t: &CollectiveTopology,
+        root: usize,
+        buf: &mut Bytes,
+        seq: u64,
+        clock: &mut VClock,
+    ) {
+        let rank = self.rank();
+        // Only the root deposits data; everyone joins the group barrier.
+        let contrib = (rank == root).then(|| buf.to_vec());
+        let folded = t.deposit_and_sync(rank, seq, contrib, clock);
+        if t.is_leader(rank) {
+            let mut folded = folded.expect("leader sees group contributions");
+            let mut b = if t.group_of(rank) == t.group_of(root) {
+                Bytes::from(folded[t.member_index(root)].take().expect("root deposited"))
+            } else {
+                Bytes::new()
+            };
+            let root_pos = t.leader_position(t.leader_of(root));
+            self.leaders_bcast(t, root_pos, &mut b, seq, PH_BCAST, clock);
+            *buf = t.publish(rank, seq, b, clock);
+        } else {
+            *buf = t.collect(rank, seq, clock);
+        }
     }
 
     fn bcast_inner(&self, root: usize, buf: &mut Bytes, seq: u64, phase: u8, clock: &mut VClock) {
@@ -201,12 +257,142 @@ impl Communicator {
             return;
         }
         trace::begin(EventKind::MpiAllreduce, clock.now());
+        if let Some(t) = self.hier() {
+            self.hier_allreduce(t, buf, combine, seq, clock);
+            trace::end(EventKind::MpiAllreduce, clock.now());
+            return;
+        }
         self.reduce_inner(0, buf, combine, seq, clock);
         let mut b = Bytes::copy_from_slice(buf);
         self.bcast_inner(0, &mut b, seq, PH_ALLRED_BCAST, clock);
         buf.clear();
         buf.extend_from_slice(&b);
         trace::end(EventKind::MpiAllreduce, clock.now());
+    }
+
+    fn hier_allreduce(
+        &self,
+        t: &CollectiveTopology,
+        buf: &mut Vec<u8>,
+        combine: &dyn Fn(&mut Vec<u8>, &[u8]),
+        seq: u64,
+        clock: &mut VClock,
+    ) {
+        let rank = self.rank();
+        let folded = t.deposit_and_sync(rank, seq, Some(std::mem::take(buf)), clock);
+        let result = if t.is_leader(rank) {
+            // Fold the group's contributions in member order (the leader is
+            // member 0), reduce across leaders to leader position 0, then
+            // broadcast the total back over the leader tree.
+            let mut contribs = folded.expect("leader sees group contributions").into_iter();
+            let mut acc = contribs
+                .next()
+                .expect("group is non-empty")
+                .expect("every member deposits");
+            for c in contribs {
+                combine(&mut acc, &c.expect("every member deposits"));
+            }
+            self.leaders_reduce(t, &mut acc, combine, seq, clock);
+            let mut b = Bytes::from(acc);
+            self.leaders_bcast(t, 0, &mut b, seq, PH_ALLRED_BCAST, clock);
+            t.publish(rank, seq, b, clock)
+        } else {
+            t.collect(rank, seq, clock)
+        };
+        buf.extend_from_slice(&result);
+    }
+
+    // ---- leader-phase algorithms ---------------------------------------
+    //
+    // The inter-node halves of the two-level collectives: the same
+    // dissemination/binomial schemes as the flat algorithms, but run over
+    // the topology's leader ranks, addressed by *position* in the sorted
+    // leader list. Only leaders ever call these.
+
+    /// Dissemination barrier among the group leaders.
+    fn leaders_barrier(&self, t: &CollectiveTopology, seq: u64, clock: &mut VClock) {
+        let leaders = t.leaders();
+        let l = leaders.len();
+        let pos = t.leader_position(self.rank());
+        let mut round: u8 = 0;
+        let mut dist = 1usize;
+        while dist < l {
+            let dst = leaders[(pos + dist) % l];
+            let src = leaders[(pos + l - dist) % l];
+            self.coll_send(dst, seq, PH_BARRIER_BASE + round, Bytes::new(), clock);
+            let _ = self.coll_recv(src, seq, PH_BARRIER_BASE + round, clock);
+            trace::instant(EventKind::CollRound, round as u64, clock.now());
+            dist <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast among the group leaders from leader
+    /// position `root_pos`.
+    fn leaders_bcast(
+        &self,
+        t: &CollectiveTopology,
+        root_pos: usize,
+        buf: &mut Bytes,
+        seq: u64,
+        phase: u8,
+        clock: &mut VClock,
+    ) {
+        let leaders = t.leaders();
+        let l = leaders.len();
+        let pos = t.leader_position(self.rank());
+        let rel = (pos + l - root_pos) % l;
+        let mut mask = 1usize;
+        while mask < l {
+            if rel & mask != 0 {
+                let src = leaders[(rel - mask + root_pos) % l];
+                *buf = self.coll_recv(src, seq, phase, clock);
+                trace::instant(EventKind::CollRound, mask as u64, clock.now());
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < l {
+                let dst = leaders[(rel + mask + root_pos) % l];
+                self.coll_send(dst, seq, phase, buf.clone(), clock);
+                trace::instant(EventKind::CollRound, mask as u64, clock.now());
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Binomial-tree reduction among the group leaders to leader
+    /// position 0.
+    fn leaders_reduce(
+        &self,
+        t: &CollectiveTopology,
+        buf: &mut Vec<u8>,
+        combine: &dyn Fn(&mut Vec<u8>, &[u8]),
+        seq: u64,
+        clock: &mut VClock,
+    ) {
+        let leaders = t.leaders();
+        let l = leaders.len();
+        let pos = t.leader_position(self.rank());
+        let mut mask = 1usize;
+        while mask < l {
+            if pos & mask == 0 {
+                let peer = pos | mask;
+                if peer < l {
+                    let contrib = self.coll_recv(leaders[peer], seq, PH_REDUCE, clock);
+                    combine(buf, &contrib);
+                    trace::instant(EventKind::CollRound, mask as u64, clock.now());
+                }
+            } else {
+                let dst = leaders[pos & !mask];
+                self.coll_send(dst, seq, PH_REDUCE, Bytes::copy_from_slice(buf), clock);
+                trace::instant(EventKind::CollRound, mask as u64, clock.now());
+                break;
+            }
+            mask <<= 1;
+        }
     }
 
     /// Elementwise allreduce on an `f64` slice.
@@ -308,18 +494,28 @@ impl Communicator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parade_net::{Fabric, NetProfile};
+    use parade_net::{Fabric, MsgClass, NetProfile};
     use std::sync::Arc;
 
     fn run_all<R: Send + 'static>(
         n: usize,
         f: impl Fn(Arc<Communicator>, &mut VClock) -> R + Send + Sync + 'static,
     ) -> Vec<R> {
-        let fabric = Fabric::new(n, NetProfile::clan_via());
+        run_on(Fabric::new(n, NetProfile::clan_via()), None, f)
+    }
+
+    fn run_on<R: Send + 'static>(
+        fabric: Arc<Fabric>,
+        topo: Option<Arc<CollectiveTopology>>,
+        f: impl Fn(Arc<Communicator>, &mut VClock) -> R + Send + Sync + 'static,
+    ) -> Vec<R> {
         let f = Arc::new(f);
-        let handles: Vec<_> = (0..n)
+        let handles: Vec<_> = (0..fabric.nodes())
             .map(|i| {
-                let comm = Arc::new(Communicator::new(fabric.endpoint(i)));
+                let comm = Arc::new(match &topo {
+                    Some(t) => Communicator::with_topology(fabric.endpoint(i), Arc::clone(t)),
+                    None => Communicator::new(fabric.endpoint(i)),
+                });
                 let f = Arc::clone(&f);
                 std::thread::spawn(move || {
                     let mut clk = VClock::manual();
@@ -482,6 +678,114 @@ mod tests {
         let m2 = t2.into_iter().max().unwrap();
         let m8 = t8.into_iter().max().unwrap();
         assert!(m8 > m2, "8-node barrier {m8} should exceed 2-node {m2}");
+    }
+
+    /// One deterministic workload of mixed collectives; values are exact in
+    /// f64 so any fold order yields bit-identical results.
+    fn mixed_workload(c: &Communicator, clk: &mut VClock) -> Vec<u64> {
+        let p = c.size();
+        let mut seen = Vec::new();
+        for round in 0..3 {
+            c.barrier(clk);
+            let s = c.allreduce_f64((c.rank() * 2 + round) as f64, ReduceOp::Sum, clk);
+            seen.push(s.to_bits());
+            let root = (round * 3) % p;
+            let mut xs: Vec<f64> = if c.rank() == root {
+                (0..p).map(|i| (round * 31 + i) as f64 * 0.5).collect()
+            } else {
+                vec![0.0; p]
+            };
+            c.bcast_f64s(root, &mut xs, clk);
+            seen.extend(xs.iter().map(|x| x.to_bits()));
+            let hi = c.allreduce_i64((c.rank() as i64) - round as i64, ReduceOp::Max, clk);
+            seen.push(hi as u64);
+        }
+        seen
+    }
+
+    #[test]
+    fn hierarchical_collectives_match_flat_results() {
+        for (n, groups) in [
+            (4, vec![vec![0, 1], vec![2, 3]]),
+            (5, vec![vec![0, 1, 2], vec![3, 4]]),
+            (6, vec![vec![0, 3], vec![1, 4, 5], vec![2]]),
+            (7, vec![vec![0, 1, 2, 3, 4, 5, 6]]),
+            (8, vec![vec![0, 1], vec![2], vec![3, 4, 5], vec![6, 7]]),
+        ] {
+            let flat = run_all(n, |c, clk| mixed_workload(&c, clk));
+            let topo = Arc::new(CollectiveTopology::from_groups(n, groups.clone()));
+            let fabric = Fabric::new(n, NetProfile::clan_via());
+            let hier = run_on(fabric, Some(topo), |c, clk| mixed_workload(&c, clk));
+            assert_eq!(hier, flat, "n={n} groups={groups:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_barrier_sends_only_leader_messages() {
+        // 8 ranks in two groups of 4: exactly L·⌈log₂L⌉ = 2 fabric
+        // messages per barrier, all from the leaders; a fallback to the
+        // flat path would send 8·3 = 24.
+        let topo = Arc::new(CollectiveTopology::uniform(8, 4));
+        let fabric = Fabric::new(8, NetProfile::clan_via());
+        let stats = Arc::clone(&fabric);
+        run_on(fabric, Some(topo), |c, clk| {
+            for _ in 0..5 {
+                c.barrier(clk);
+            }
+        });
+        let coll = |i: usize| stats.stats().node(i).class_totals(MsgClass::Coll).msgs;
+        assert_eq!(coll(0), 5, "leader 0 sends one message per barrier");
+        assert_eq!(coll(4), 5, "leader 4 sends one message per barrier");
+        for i in [1, 2, 3, 5, 6, 7] {
+            assert_eq!(coll(i), 0, "non-leader {i} must stay off the fabric");
+        }
+    }
+
+    #[test]
+    fn singleton_topology_degenerates_to_flat() {
+        // All-singleton groups: the communicator must take the flat path
+        // (same messages, no shared-memory combine overhead).
+        let topo = Arc::new(CollectiveTopology::flat(4));
+        let fabric = Fabric::new(4, NetProfile::clan_via());
+        let stats = Arc::clone(&fabric);
+        let out = run_on(fabric, Some(topo), |c, clk| {
+            c.barrier(clk);
+            c.allreduce_i64(c.rank() as i64, ReduceOp::Sum, clk)
+        });
+        assert!(out.iter().all(|&s| s == 6));
+        // Flat dissemination barrier: every rank sends ⌈log₂4⌉ = 2.
+        let total: u64 = (0..4)
+            .map(|i| stats.stats().node(i).class_totals(MsgClass::Coll).msgs)
+            .sum();
+        assert!(total >= 8, "flat barrier alone sends 8 messages: {total}");
+    }
+
+    #[test]
+    fn hierarchical_collectives_agree_on_closed_forms() {
+        // Non-power-of-two world, non-uniform groups; check against the
+        // sequential formulas rather than another run.
+        let topo = Arc::new(CollectiveTopology::from_groups(
+            6,
+            vec![vec![0, 1, 2, 3], vec![4, 5]],
+        ));
+        let fabric = Fabric::new(6, NetProfile::clan_via());
+        let out = run_on(fabric, Some(topo), |c, clk| {
+            let sum = c.allreduce_f64(c.rank() as f64, ReduceOp::Sum, clk);
+            let min = c.allreduce_i64(10 - c.rank() as i64, ReduceOp::Min, clk);
+            let mut xs = if c.rank() == 5 {
+                vec![2.5, -1.0]
+            } else {
+                vec![0.0; 2]
+            };
+            c.bcast_f64s(5, &mut xs, clk);
+            c.barrier(clk);
+            (sum, min, xs)
+        });
+        for (sum, min, xs) in out {
+            assert_eq!(sum, 15.0);
+            assert_eq!(min, 5);
+            assert_eq!(xs, vec![2.5, -1.0]);
+        }
     }
 
     #[test]

@@ -104,6 +104,21 @@ impl MailboxQ {
             self.links.resize_with(n, LinkRx::default);
         }
     }
+
+    /// Index of the queued packet matching `m` with the earliest virtual
+    /// arrival stamp (ties broken by queue position). Receivers dequeue in
+    /// arrival order rather than enqueue order: enqueue order of packets
+    /// from different sources depends on real-time thread scheduling, while
+    /// arrival stamps are pure virtual time, so arrival-ordered service
+    /// keeps a receiver's clock independent of the host's scheduling.
+    fn earliest_match(&self, m: Match) -> Option<usize> {
+        self.queue
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| m.matches(p))
+            .min_by_key(|&(i, p)| (p.arrive_at, i))
+            .map(|(i, _)| i)
+    }
 }
 
 struct Mailbox {
@@ -133,8 +148,11 @@ pub struct Fabric {
     profile: NetProfile,
     chaos: ChaosProfile,
     /// Per-`(src, dst, class)` link sequence counters; empty when chaos is
-    /// off (the clean path never numbers packets).
-    tx_seqs: Vec<AtomicU64>,
+    /// off (the clean path never numbers packets). One lazily-allocated row
+    /// per sending node, so building a large fabric stays O(nodes) even
+    /// though the link state is O(nodes²) in the worst case — only links a
+    /// node actually sends on pay for their counters.
+    tx_seqs: Vec<OnceLock<Vec<AtomicU64>>>,
     stats: NetStats,
     retx_hook: OnceLock<RetransmitHook>,
     shutdown: AtomicBool,
@@ -160,7 +178,7 @@ impl Fabric {
             })
             .collect();
         let tx_seqs = if chaos.is_active() {
-            (0..n * n * 4).map(|_| AtomicU64::new(0)).collect()
+            (0..n).map(|_| OnceLock::new()).collect()
         } else {
             Vec::new()
         };
@@ -210,7 +228,8 @@ impl Fabric {
 
     fn next_seq(&self, src: usize, dst: usize, class: MsgClass) -> u64 {
         let n = self.ports.len();
-        self.tx_seqs[(src * n + dst) * 4 + class.index()].fetch_add(1, Ordering::Relaxed)
+        let row = self.tx_seqs[src].get_or_init(|| (0..n * 4).map(|_| AtomicU64::new(0)).collect());
+        row[dst * 4 + class.index()].fetch_add(1, Ordering::Relaxed)
     }
 
     /// Create the endpoint for node `id`. Endpoints are cheap handles and
@@ -428,7 +447,8 @@ impl Endpoint {
         Ok(())
     }
 
-    /// Blocking receive of the first queued packet matching `m`.
+    /// Blocking receive of the earliest-arriving queued packet matching
+    /// `m`.
     ///
     /// On success the caller's clock advances to the packet's virtual
     /// arrival time plus the per-message matching overhead.
@@ -453,7 +473,7 @@ impl Endpoint {
         let mb = &fabric.ports[self.id].boxes[class.index()];
         let mut q = mb.queue.lock();
         loop {
-            if let Some(pos) = q.queue.iter().position(|p| m.matches(p)) {
+            if let Some(pos) = q.earliest_match(m) {
                 let pkt = q.queue.remove(pos).expect("position just found");
                 fabric.stats.record_recv(self.id, class, pkt.payload.len());
                 return Ok(pkt);
@@ -482,15 +502,16 @@ impl Endpoint {
         Some(pkt)
     }
 
-    /// Blocking receive of any packet in `class`, without clock handling.
-    /// Returns `Err(Disconnected)` once the fabric shuts down and the queue
-    /// is drained.
+    /// Blocking receive of the earliest-arriving packet in `class`, without
+    /// clock handling. Returns `Err(Disconnected)` once the fabric shuts
+    /// down and the queue is drained.
     pub fn recv_any_raw(&self, class: MsgClass) -> Result<Packet, Disconnected> {
         let fabric = &self.fabric;
         let mb = &fabric.ports[self.id].boxes[class.index()];
         let mut q = mb.queue.lock();
         loop {
-            if let Some(p) = q.queue.pop_front() {
+            if let Some(pos) = q.earliest_match(Match::any()) {
+                let p = q.queue.remove(pos).expect("position just found");
                 fabric.stats.record_recv(self.id, class, p.payload.len());
                 return Ok(p);
             }

@@ -29,6 +29,7 @@ mod profile;
 pub mod reliable;
 mod stats;
 pub mod sync;
+mod vbarrier;
 mod vtime;
 
 pub use buffer::Bytes;
@@ -38,4 +39,5 @@ pub use packet::{MsgClass, Packet};
 pub use profile::{LinkCost, NetProfile};
 pub use reliable::FabricError;
 pub use stats::{LinkHealth, NetStats, NodeNetStats, NodeTraffic, Traffic};
+pub use vbarrier::VBarrier;
 pub use vtime::{thread_cpu_ns, TimeSource, VClock, VTime};

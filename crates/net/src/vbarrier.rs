@@ -2,11 +2,12 @@
 //!
 //! All compute threads of a node synchronize here; the barrier releases
 //! everyone at `max(arrival clocks) + overhead`, which is how barrier wait
-//! time shows up in virtual time.
+//! time shows up in virtual time. Lives in the net crate because both the
+//! core runtime's thread teams and the MPI layer's shared-memory collective
+//! combine (ranks co-located on one SMP node) are built on it.
 
-use parade_net::sync::{Condvar, Mutex};
-
-use parade_net::{VClock, VTime};
+use crate::sync::{Condvar, Mutex};
+use crate::vtime::{VClock, VTime};
 
 /// Fixed CPU overhead of one node-local barrier crossing (a pthread
 /// condvar round on the paper's hardware).

@@ -93,8 +93,12 @@ test -s "$BENCH_TMP/BENCH_primitives.json"
 rm -rf "$BENCH_TMP"
 
 echo "== dsm release-path bench + regression gate (emits BENCH_dsm.json) =="
-# The release/ metrics are simulated virtual time and message counts —
-# deterministic on any host — gated at 20% against the committed baseline.
+# The release/ and coll/ metrics are simulated virtual time and message
+# counts — deterministic on any host — gated at 20% against the committed
+# baseline. The coll/ scaling families (…_{N}n) are additionally gated on
+# *shape*: each node-count doubling must cost < 1.7x the previous rung, so
+# a silent fallback from the hierarchical collectives to the flat O(N)
+# algorithms fails CI even if no single point drifts past the tolerance.
 DSM_BENCH_TMP="$(mktemp -d)"
 PARADE_BENCH_JSON="$DSM_BENCH_TMP" \
   cargo bench -q --offline -p parade-bench --bench dsm \

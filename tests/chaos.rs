@@ -109,12 +109,32 @@ prop!(cases = 24, fn chaos_delivery_is_exactly_once_in_order(
 /// observed values as raw f64 bit patterns, so equality means
 /// *bit-identical*, not merely approximately equal.
 fn run_collectives(p: usize, rounds: usize, chaos: ChaosProfile) -> Vec<Vec<u64>> {
+    run_collectives_placed(p, None, rounds, chaos).0
+}
+
+/// [`run_collectives`], optionally over an explicit SMP placement (the
+/// two-level leader/member algorithms), also reporting the fabric's
+/// (sent, received) logical message totals for exactly-once checks.
+fn run_collectives_placed(
+    p: usize,
+    groups: Option<Vec<Vec<usize>>>,
+    rounds: usize,
+    chaos: ChaosProfile,
+) -> (Vec<Vec<u64>>, u64, u64) {
+    use std::sync::Arc;
+
+    use parade::mpi::CollectiveTopology;
+
     let fabric = Fabric::with_chaos(p, NetProfile::clan_via(), chaos);
+    let topo = groups.map(|g| Arc::new(CollectiveTopology::from_groups(p, g)));
     let handles: Vec<_> = (0..p)
         .map(|rank| {
             let ep = fabric.endpoint(rank);
+            let comm = match &topo {
+                Some(t) => Communicator::with_topology(ep, Arc::clone(t)),
+                None => Communicator::new(ep),
+            };
             std::thread::spawn(move || {
-                let comm = Communicator::new(ep);
                 let mut clk = VClock::manual();
                 let mut seen = Vec::with_capacity(rounds * (p + 1));
                 for round in 0..rounds {
@@ -135,8 +155,10 @@ fn run_collectives(p: usize, rounds: usize, chaos: ChaosProfile) -> Vec<Vec<u64>
         })
         .collect();
     let out: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let stats = fabric.stats();
+    let (sent, recvd) = (stats.totals().msgs, stats.recv_totals().msgs);
     fabric.begin_shutdown();
-    out
+    (out, sent, recvd)
 }
 
 prop!(cases = 8, fn collectives_match_chaos_free_results(
@@ -167,6 +189,41 @@ prop!(cases = 8, fn collectives_match_chaos_free_results(
         for rank_log in &clean {
             assert_eq!(rank_log[0], expect.to_bits());
         }
+    });
+});
+
+// ---------------------------------------------------------------------------
+// Satellite: two-level collectives on a lossy 8-node fabric.
+// ---------------------------------------------------------------------------
+
+prop!(cases = 6, fn two_level_collectives_survive_lossy_fabric(
+    (seed, pick) in |r: &mut TestRng| (r.next_u64(), r.range_usize(0, 3))) {
+    run_with_timeout("two-level-chaos", SOAK, move || {
+        const P: usize = 8;
+        // Representative placements: uniform chassis, a ragged split, and
+        // a scattered one whose leaders are not consecutive ranks.
+        let placements: [&[&[usize]]; 3] = [
+            &[&[0, 1, 2, 3], &[4, 5, 6, 7]],
+            &[&[0, 1, 2], &[3, 4, 5], &[6, 7]],
+            &[&[0, 4], &[1, 5], &[2, 6], &[3, 7]],
+        ];
+        let groups: Vec<Vec<usize>> = placements[pick % placements.len()]
+            .iter()
+            .map(|g| g.to_vec())
+            .collect();
+        let rounds = 6;
+        let (chaotic, sent, recvd) =
+            run_collectives_placed(P, Some(groups.clone()), rounds, ChaosProfile::lossy(seed));
+        let (clean_flat, ..) = run_collectives_placed(P, None, rounds, ChaosProfile::off());
+        assert_eq!(
+            chaotic, clean_flat,
+            "two-level under chaos must be bit-identical to the clean flat \
+             baseline ({groups:?}, seed={seed:#x})"
+        );
+        // Leader election narrows the fabric traffic to the leader ranks,
+        // but must not break the reliable channel underneath: every
+        // logical send is received exactly once despite drops/dups.
+        assert_eq!(sent, recvd, "exactly-once among leaders ({groups:?})");
     });
 });
 
@@ -267,6 +324,47 @@ fn cg_class_s_is_bit_identical_under_lossy_chaos() {
         assert!(
             h.retransmits >= 1,
             "a lossy soak must exercise the retransmit path: {h:?}"
+        );
+    });
+}
+
+/// CG class S with the full two-level stack explicitly on (DSM tree
+/// barrier + MPI leader collectives over 2-node chassis), on a lossy
+/// fabric, against the flat chaos-free baseline. The strongest cross-mode
+/// claim: hierarchy and fault recovery together must not flip one bit.
+#[test]
+fn cg_class_s_bit_identical_with_two_level_collectives_under_chaos() {
+    run_with_timeout("cg-chaos-two-level", SOAK, || {
+        let flat_clean = Cluster::builder()
+            .nodes(4)
+            .threads_per_node(2)
+            .net(NetProfile::clan_via())
+            .time(TimeSource::Manual)
+            .hierarchical_collectives(false)
+            .build()
+            .expect("cluster");
+        let hier_lossy = Cluster::builder()
+            .nodes(4)
+            .threads_per_node(2)
+            .net(NetProfile::clan_via())
+            .time(TimeSource::Manual)
+            .chaos(ChaosProfile::lossy(0xC6_5EED))
+            .smp_width(2)
+            .build()
+            .expect("cluster");
+        let (flat, _) = cg_parade(&flat_clean, CgClass::S);
+        let (hier, report) = cg_parade(&hier_lossy, CgClass::S);
+        assert!(
+            (hier.zeta - 8.5971775078648).abs() <= 1e-10,
+            "zeta={}",
+            hier.zeta
+        );
+        assert_eq!(hier.zeta.to_bits(), flat.zeta.to_bits());
+        assert_eq!(hier.rnorm.to_bits(), flat.rnorm.to_bits());
+        assert!(report.cluster.fabric_error.is_none());
+        assert!(
+            report.cluster.link_health_totals().retransmits >= 1,
+            "the lossy schedule must exercise retransmission"
         );
     });
 }

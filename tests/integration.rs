@@ -263,3 +263,59 @@ fn heterogeneous_node_speeds_are_supported() {
     let sum = cluster.run(|g| g.parallel(|tc| tc.reduce_f64_sum(1.0)));
     assert_eq!(sum, cluster.config().total_threads() as f64);
 }
+
+// ---------------------------------------------------------------------------
+// Hierarchical collectives: pinned fabric message counts.
+// ---------------------------------------------------------------------------
+
+/// Total fabric messages for a fixed collective-only workload: 8 team
+/// barriers plus one reduction, no shared-page traffic.
+fn collective_message_count(nodes: usize, tpn: usize, hierarchical: bool) -> u64 {
+    let c = Cluster::builder()
+        .nodes(nodes)
+        .threads_per_node(tpn)
+        .net(NetProfile::zero())
+        .time(TimeSource::Manual)
+        .pool_bytes(4 << 20)
+        .hierarchical_collectives(hierarchical)
+        .build()
+        .unwrap();
+    let (_, report) = c.run_with_report(|g| {
+        g.parallel(|tc| {
+            for _ in 0..8 {
+                tc.barrier();
+            }
+            tc.reduce_f64_sum(1.0)
+        })
+    });
+    report.cluster.traffic.msgs
+}
+
+/// The exact wire cost of the two-level collectives is pinned: a silent
+/// fallback to the flat algorithms (or an extra per-arrival hop sneaking
+/// back in) changes these totals and must fail CI, not drift silently.
+#[test]
+fn hierarchical_collective_message_counts_are_pinned() {
+    // Per barrier round at N nodes the tree costs 3N-1 messages (N local
+    // arrivals handed to each node's own communication thread, N-1
+    // aggregated BarrierUps, N departures) vs the flat 2N; the workload
+    // executes 10 rounds in total (8 explicit barriers plus the team's
+    // entry/exit synchronization around the reduction).
+    let c44 = collective_message_count(4, 4, true);
+    assert_eq!(c44, 122, "4 nodes x 4 threads, hierarchical");
+    assert_eq!(
+        collective_message_count(8, 2, true),
+        258,
+        "8 nodes x 2 threads, hierarchical"
+    );
+    assert_eq!(
+        collective_message_count(4, 1, true),
+        c44,
+        "compute threads funnel through the node barrier: fabric traffic \
+         must not depend on threads-per-node"
+    );
+    // The flat baseline has a different (smaller) wire footprint; if the
+    // hierarchical path silently fell back to it, the pins above would
+    // still pass only by coincidence — rule that out explicitly.
+    assert_eq!(collective_message_count(4, 4, false), 92, "flat baseline");
+}

@@ -307,6 +307,166 @@ prop!(fn lexer_handles_arbitrary_pragmas(body in |r: &mut TestRng| {
     let _ = parade::translator::parse(&src);
 });
 
+// ---- hierarchical collectives vs flat vs sequential reference -----------------
+
+/// Run `rounds` of barrier → allreduce(Sum, i64+f64) → allreduce(Max) →
+/// bcast on `size` MPI ranks, either flat (`groups = None`) or over an
+/// explicit SMP placement. Every observed value is returned as raw bits,
+/// so equality below means *bit-identical*. All f64 operands are exact
+/// small integers: every fold order yields the same bits, which is what
+/// lets a two-level combine be compared against a flat one at all.
+fn run_mpi_collectives_shaped(
+    size: usize,
+    groups: Option<Vec<Vec<usize>>>,
+    rounds: usize,
+) -> Vec<Vec<u64>> {
+    use std::sync::Arc;
+
+    use parade::mpi::{CollectiveTopology, Communicator, ReduceOp};
+    use parade::net::{Fabric, VClock};
+
+    let fabric = Fabric::new(size, NetProfile::clan_via());
+    let topo = groups.map(|g| Arc::new(CollectiveTopology::from_groups(size, g)));
+    let handles: Vec<_> = (0..size)
+        .map(|rank| {
+            let comm = match &topo {
+                Some(t) => Communicator::with_topology(fabric.endpoint(rank), Arc::clone(t)),
+                None => Communicator::new(fabric.endpoint(rank)),
+            };
+            std::thread::spawn(move || {
+                let mut clk = VClock::manual();
+                let mut seen = Vec::new();
+                for round in 0..rounds {
+                    comm.barrier(&mut clk);
+                    let s = comm.allreduce_f64((rank * 3 + round) as f64, ReduceOp::Sum, &mut clk);
+                    seen.push(s.to_bits());
+                    let si =
+                        comm.allreduce_i64(rank as i64 - 2 * round as i64, ReduceOp::Sum, &mut clk);
+                    seen.push(si as u64);
+                    let m = comm.allreduce_f64(
+                        ((rank + 7) % (round + 3)) as f64,
+                        ReduceOp::Max,
+                        &mut clk,
+                    );
+                    seen.push(m.to_bits());
+                    let root = round % size;
+                    let mut xs: Vec<f64> = if rank == root {
+                        (0..size).map(|i| (round * 7 + i * 2) as f64).collect()
+                    } else {
+                        vec![0.0; size]
+                    };
+                    comm.bcast_f64s(root, &mut xs, &mut clk);
+                    seen.extend(xs.iter().map(|x| x.to_bits()));
+                }
+                seen
+            })
+        })
+        .collect();
+    let out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    fabric.begin_shutdown();
+    out
+}
+
+/// The sequential reference for [`run_mpi_collectives_shaped`]: what one
+/// rank's log must contain, computed with plain loops and no fabric.
+fn sequential_collectives_reference(size: usize, rounds: usize) -> Vec<u64> {
+    let mut seen = Vec::new();
+    for round in 0..rounds {
+        let sum: f64 = (0..size).map(|r| (r * 3 + round) as f64).sum();
+        seen.push(sum.to_bits());
+        let sum_i: i64 = (0..size).map(|r| r as i64 - 2 * round as i64).sum();
+        seen.push(sum_i as u64);
+        let max = (0..size)
+            .map(|r| ((r + 7) % (round + 3)) as f64)
+            .fold(f64::NEG_INFINITY, f64::max);
+        seen.push(max.to_bits());
+        seen.extend((0..size).map(|i| ((round * 7 + i * 2) as f64).to_bits()));
+    }
+    seen
+}
+
+/// A random partition of `0..size` into non-empty groups — deliberately
+/// *not* restricted to consecutive blocks, so leader election is exercised
+/// on arbitrary placements (leader = lowest rank of each group, which may
+/// sit anywhere in `0..size`).
+fn random_groups(r: &mut TestRng, size: usize) -> Vec<Vec<usize>> {
+    let mut ranks: Vec<usize> = (0..size).collect();
+    for i in (1..ranks.len()).rev() {
+        ranks.swap(i, r.below(i as u64 + 1) as usize);
+    }
+    let mut groups = Vec::new();
+    let mut rest = &ranks[..];
+    while !rest.is_empty() {
+        let take = r.range_usize(1, 4.min(rest.len() + 1)).max(1);
+        groups.push(rest[..take].to_vec());
+        rest = &rest[take..];
+    }
+    groups
+}
+
+prop!(cases = 10, fn hierarchical_collectives_match_flat_and_reference(
+    (size, groups, rounds) in |r: &mut TestRng| {
+        let size = r.range_usize(2, 10);
+        let groups = random_groups(r, size);
+        (size, groups, r.range_usize(2, 5).max(1))
+    }) {
+    if size < 2 || groups.iter().map(Vec::len).sum::<usize>() != size {
+        return; // shrunk out of the generator's precondition
+    }
+    let hier = run_mpi_collectives_shaped(size, Some(groups.clone()), rounds);
+    let flat = run_mpi_collectives_shaped(size, None, rounds);
+    let reference = sequential_collectives_reference(size, rounds);
+    for (rank, log) in hier.iter().enumerate() {
+        assert_eq!(
+            log, &reference,
+            "rank {rank} over groups {groups:?} diverged from the sequential reference"
+        );
+    }
+    assert_eq!(hier, flat, "two-level must be bit-identical to flat ({groups:?})");
+});
+
+prop!(cases = 6, fn cluster_collectives_match_with_hierarchy_on_and_off(
+    (nodes, tpn, width) in |r: &mut TestRng| {
+        (r.range_usize(2, 6), r.range_usize(1, 3), r.range_usize(1, 5))
+    }) {
+    if nodes < 2 || tpn == 0 || width == 0 {
+        return; // shrunk out of the generator's precondition
+    }
+    // The whole runtime stack — DSM tree barrier underneath, MPI two-level
+    // collectives above — must produce the same bits as the flat baseline
+    // on arbitrary (nodes, threads, smp_width) shapes.
+    let run = |hierarchical: bool| {
+        let cluster = parade::core::Cluster::builder()
+            .nodes(nodes)
+            .threads_per_node(tpn)
+            .net(NetProfile::zero())
+            .time(parade::net::TimeSource::Manual)
+            .pool_bytes(256 * PAGE_SIZE)
+            .hierarchical_collectives(hierarchical)
+            .smp_width(width)
+            .build()
+            .unwrap();
+        cluster.run(move |g| {
+            let v = g.alloc_f64(64);
+            g.parallel(move |tc| {
+                let mine = parade::core::partition(0..64, tc.num_threads(), tc.thread_num());
+                for i in mine {
+                    tc.set(&v, i, (i * 3 + 1) as f64);
+                }
+                tc.barrier();
+                let mut acc = 0.0;
+                for i in 0..64 {
+                    acc += tc.get(&v, i);
+                }
+                tc.reduce_f64_sum(acc)
+            })
+        })
+    };
+    let hier = run(true);
+    let flat = run(false);
+    assert_eq!(hier.to_bits(), flat.to_bits(), "shape ({nodes}x{tpn}, width {width})");
+});
+
 // ---- runtime reduction laws over cluster shapes -------------------------------
 
 prop!(cases = 12, fn hierarchical_reduce_equals_flat_fold((nodes, tpn, vals) in |r: &mut TestRng| {

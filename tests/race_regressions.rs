@@ -145,3 +145,104 @@ fn critical_counter_exact_under_false_sharing() {
         );
     }
 }
+
+/// Race 3: the hierarchical barrier's root aggregates one local arrival
+/// plus one `BarrierUp` per tree child, in whatever real-time order its
+/// communication thread happens to service them. Everything the departure
+/// decides — migration entries, the departure's virtual timestamp, and
+/// the master-last release order (PR 4's rule, preserved by the tree
+/// path) — must be independent of that order. An early version charged
+/// service time in handling order, which leaked host scheduling into
+/// virtual time.
+#[test]
+fn tree_barrier_departure_is_independent_of_aggregation_order() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use parade::dsm::{spawn_comm_thread, Dsm, DsmConfig, DsmMsg, PAGE_SIZE};
+    use parade::net::{Fabric, Match, MsgClass, VClock, VTime};
+
+    // In a 4-node binomial tree, root 0's children are nodes 1 (subtree
+    // {1}) and 2 (subtree {2, 3}). Page 5 is multi-written by {1, 3} with
+    // old home 0, so the migratory rule picks the smallest writer; page 9
+    // has the single writer 2.
+    let up_from_1 = DsmMsg::BarrierUp {
+        seq: 0,
+        members: vec![(1, 70)],
+        writers: vec![(5, vec![1])],
+    };
+    let up_from_2 = DsmMsg::BarrierUp {
+        seq: 0,
+        members: vec![(2, 71), (3, 72)],
+        writers: vec![(9, vec![2]), (5, vec![3])],
+    };
+
+    let run = |ups_before_arrive: bool| {
+        let fabric = Fabric::new(4, NetProfile::clan_via());
+        let cfg = DsmConfig {
+            pool_bytes: 64 * PAGE_SIZE,
+            ..DsmConfig::default()
+        };
+        assert!(cfg.hierarchical_barrier, "hierarchy must be the default");
+        let dsm = Arc::new(Dsm::new(fabric.endpoint(0), cfg));
+        let comm = spawn_comm_thread(Arc::clone(&dsm));
+        let up_at = VTime::from_micros(40);
+        let (e1, e2) = (fabric.endpoint(1), fabric.endpoint(2));
+        let (up_from_1, up_from_2) = (up_from_1.clone(), up_from_2.clone());
+        let send_ups = move || {
+            // The virtual send instants are pinned; only the *real-time*
+            // order in which the root services the burst varies.
+            e2.send_at(0, MsgClass::Dsm, 0, up_from_2.encode(), up_at);
+            std::thread::sleep(Duration::from_millis(15));
+            e1.send_at(0, MsgClass::Dsm, 0, up_from_1.encode(), up_at);
+        };
+        let feeder = if ups_before_arrive {
+            send_ups();
+            std::thread::sleep(Duration::from_millis(15));
+            None
+        } else {
+            Some(std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                send_ups();
+            }))
+        };
+        let mut clk = VClock::manual();
+        dsm.barrier(&mut clk);
+        if let Some(h) = feeder {
+            h.join().unwrap();
+        }
+        // Master-last: by the time the root's own caller is past the
+        // barrier, every remote member's departure must already be queued.
+        let remotes: Vec<_> = [(1usize, 70u64), (2, 71), (3, 72)]
+            .into_iter()
+            .map(|(node, tag)| {
+                let ep = fabric.endpoint(node);
+                assert_eq!(
+                    ep.queued(MsgClass::Ctl),
+                    1,
+                    "node {node}'s departure must be queued before the \
+                     master's caller resumes"
+                );
+                let pkt = ep.recv_raw(MsgClass::Ctl, Match::tagged(tag)).unwrap();
+                (pkt.arrive_at, pkt.payload.to_vec())
+            })
+            .collect();
+        let outcome = (clk.now(), remotes, dsm.home_of(5), dsm.home_of(9));
+        fabric.begin_shutdown();
+        comm.join().unwrap();
+        outcome
+    };
+
+    let (t_a, departs_a, h5, h9) = run(true);
+    assert_eq!(h5, 1, "multi-writer page migrates to the smallest writer");
+    assert_eq!(h9, 2, "single-writer page migrates to its writer");
+    let (t_b, departs_b, ..) = run(false);
+    assert_eq!(
+        t_a, t_b,
+        "the root's departure time must not depend on service order"
+    );
+    assert_eq!(
+        departs_a, departs_b,
+        "departure payloads and stamps must not depend on service order"
+    );
+}
