@@ -10,6 +10,11 @@
 //!   (`scripts/bench_baseline/BENCH_dsm.json`, enforced by the
 //!   `bench_gate` binary). Batched and unbatched variants are emitted side
 //!   by side so the win is visible in one file.
+//! * `tasks/...` — **deterministic simulated metrics** of the distributed
+//!   work-stealing task scheduler (spawn-sync latency, per-task steal and
+//!   n-body phase costs at 4–64 nodes), driven single-threaded round-robin
+//!   so virtual time replays identically everywhere. Gated like `coll/`,
+//!   including the doubling shape rule on the `_{N}n` families.
 //! * `wall/...` — host wall-clock latency of the same release path,
 //!   median-of-N. Informational only: wall time is not gated.
 //!
@@ -21,6 +26,7 @@ use std::sync::Arc;
 use parade_dsm::{spawn_comm_thread, Dsm, DsmConfig, HomePolicy, PAGE_SIZE};
 use parade_mpi::{CollectiveTopology, Communicator, ReduceOp};
 use parade_net::{Fabric, NetProfile, VClock};
+use parade_tasks::{NodeSched, SchedConfig, StealStrategy, Step, TaskCtx, TaskDesc};
 use parade_testkit::bench::{Bench, BenchOpts};
 
 /// Node counts for the `coll/` scaling families. The 256-node rung spawns
@@ -284,6 +290,111 @@ fn record_coll_family(b: &mut Bench) {
     }
 }
 
+/// Node counts for the `tasks/` scaling families. Single-threaded
+/// round-robin driving, so even 64 schedulers are cheap in debug builds.
+const TASK_SIZES: &[usize] = &[4, 8, 16, 32, 64];
+
+/// Drive `nnodes` task schedulers round-robin from this thread until every
+/// node holds the merged phase result. One deterministic schedule: message
+/// delivery order is fixed by the polling order and the seeded victim
+/// choice, so the virtual clocks replay identically on every host.
+/// Returns (slowest node's virtual time in ns, merged task count).
+fn task_phase_vtime_ns(
+    nnodes: usize,
+    cfg: SchedConfig,
+    spawn: impl Fn(&mut NodeSched, &mut VClock),
+) -> (u64, usize) {
+    let fabric = Fabric::new(nnodes, NetProfile::clan_via());
+    let mut scheds: Vec<NodeSched> = (0..nnodes)
+        .map(|n| NodeSched::new(Arc::new(Communicator::new(fabric.endpoint(n))), cfg))
+        .collect();
+    let mut clocks: Vec<VClock> = (0..nnodes).map(|_| VClock::manual()).collect();
+    // The task bodies carry no virtual cost: the families below measure
+    // pure scheduling overhead (ship/steal/complete/merge protocol).
+    let mut ex = |d: &TaskDesc, _t: &mut TaskCtx, _c: &mut VClock| vec![d.id as f64];
+    for n in 0..nnodes {
+        spawn(&mut scheds[n], &mut clocks[n]);
+        scheds[n].body_done();
+    }
+    type IdResults = Vec<(u64, Vec<f64>)>;
+    let mut merged: Vec<Option<IdResults>> = vec![None; nnodes];
+    while merged.iter().any(|m| m.is_none()) {
+        for n in 0..nnodes {
+            if merged[n].is_none() && scheds[n].step(&mut ex, &mut clocks[n]) == Step::Finished {
+                merged[n] = scheds[n].take_merged();
+            }
+        }
+    }
+    let ntasks = merged[0].as_ref().expect("merged").len();
+    let vtime = clocks.iter().map(|c| c.now().as_nanos()).max().unwrap_or(0);
+    fabric.begin_shutdown();
+    (vtime, ntasks)
+}
+
+fn flat_cfg() -> SchedConfig {
+    SchedConfig {
+        strategy: StealStrategy::Flat,
+        ..SchedConfig::default()
+    }
+}
+
+/// The `tasks/` families: deterministic virtual-time costs of the
+/// distributed work-stealing scheduler, gated like `coll/`.
+///
+/// * `spawn_sync` — fixed latency of a minimal phase (one task, two
+///   nodes): spawn, ship, execute, token termination, result merge.
+/// * `steal_vtime_ns_per_task_{N}n` — steal throughput: node 0 spawns
+///   8·N tasks and every other node acquires work exclusively by random
+///   stealing. Per-task cost must stay flat as the cluster doubles — the
+///   victim serves steals in batches, so a regression to one-task-per-
+///   round-trip shipping breaks the 1.7x shape bound.
+/// * `nbody_vtime_ns_per_task_{N}n` — the n-body kernel's phase shape:
+///   2·N force blocks spawned round-robin by their owner nodes under flat
+///   placement, merged once per step. Per-task cost must stay flat as
+///   nodes and blocks double together.
+fn record_tasks_family(b: &mut Bench) {
+    let (vt, nt) = task_phase_vtime_ns(2, flat_cfg(), |s, c| {
+        if s.node() == 0 {
+            s.spawn(0, vec![1], c);
+        }
+    });
+    assert_eq!(nt, 1);
+    b.record("tasks/spawn_sync_vtime_ns_2n", vt as f64);
+
+    for &n in TASK_SIZES {
+        let total = 8 * n;
+        let (vt, nt) = task_phase_vtime_ns(n, SchedConfig::default(), move |s, c| {
+            if s.node() == 0 {
+                for i in 0..total as u64 {
+                    s.spawn(0, vec![i], c);
+                }
+            }
+        });
+        assert_eq!(nt, total);
+        b.record(
+            &format!("tasks/steal_vtime_ns_per_task_{n}n"),
+            vt as f64 / total as f64,
+        );
+    }
+
+    for &n in TASK_SIZES {
+        let blocks = 2 * n;
+        let (vt, nt) = task_phase_vtime_ns(n, flat_cfg(), move |s, c| {
+            let nn = s.node();
+            for blk in 0..blocks as u64 {
+                if blk as usize % n == nn {
+                    s.spawn(0, vec![blk, blocks as u64], c);
+                }
+            }
+        });
+        assert_eq!(nt, blocks);
+        b.record(
+            &format!("tasks/nbody_vtime_ns_per_task_{n}n"),
+            vt as f64 / blocks as f64,
+        );
+    }
+}
+
 fn bench_wall_flush(b: &mut Bench) {
     for &batched in &[true, false] {
         let tag = if batched { "batched" } else { "unbatched" };
@@ -303,6 +414,7 @@ fn main() {
     record_release_family(&mut b);
     record_barrier_family(&mut b);
     record_coll_family(&mut b);
+    record_tasks_family(&mut b);
     bench_wall_flush(&mut b);
     b.finish();
 }

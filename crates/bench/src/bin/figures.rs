@@ -11,18 +11,24 @@
 
 use parade_bench::{
     ablation_fabric, ablation_home, ablation_schedules, all_figures, chaos_smoke, fig10, fig11,
-    fig6, fig7, fig8, fig9, trace_breakdown, update_methods, write_tables_json, FigureOpts, Table,
+    fig6, fig7, fig8, fig9, steal_soak, task_smoke, trace_breakdown, update_methods,
+    write_tables_json, FigureOpts, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|chaos-smoke|all> \
+        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|chaos-smoke|task-smoke|steal-soak|all> \
          [--class s|w|a] [--nodes 1,2,4,8] [--scale F] [--with-mpi] [--quick] [--csv DIR]\n\
          trace: traced smoke run — writes a Chrome trace (PARADE_TRACE, default \
          parade_trace.json), validates it, prints the breakdown\n\
          chaos-smoke: seeded fault-injection soak — CG class S under a lossy \
          wire (PARADE_CHAOS or the pinned lossy schedule) must stay \
-         bit-identical to a clean run with >=1 retransmission"
+         bit-identical to a clean run with >=1 retransmission\n\
+         task-smoke: task-based n-body on 4 nodes — flat placement and two \
+         steal seeds must merge bit-identically to the sequential reference\n\
+         steal-soak: the same task phase under stealing on a lossy wire \
+         (PARADE_CHAOS or the pinned schedule) — exactly-once, bit-identical, \
+         >=1 retransmission"
     );
     std::process::exit(2);
 }
@@ -108,6 +114,20 @@ fn main() {
             Ok(ts) => ts,
             Err(e) => {
                 eprintln!("figures chaos-smoke: {e}");
+                std::process::exit(1);
+            }
+        },
+        "task-smoke" | "task_smoke" => match task_smoke(&opts) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("figures task-smoke: {e}");
+                std::process::exit(1);
+            }
+        },
+        "steal-soak" | "steal_soak" => match steal_soak(&opts) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("figures steal-soak: {e}");
                 std::process::exit(1);
             }
         },

@@ -12,7 +12,7 @@ use parade_dsm::UpdateStrategy;
 use parade_kernels::cg::{cg_mpi, cg_parade, CgClass};
 use parade_kernels::ep::{ep_parade, EpClass};
 use parade_kernels::helmholtz::{helmholtz_parade, HelmholtzParams};
-use parade_kernels::md::{md_parade, MdParams};
+use parade_kernels::md::{md_parade, MdParams, MdResult};
 use parade_kernels::syncbench::{measure, Directive};
 
 /// A printable result table.
@@ -694,6 +694,174 @@ pub fn chaos_smoke(opts: &FigureOpts) -> Result<Vec<Table>, String> {
     Ok(vec![t])
 }
 
+fn energy_bits(r: &MdResult) -> [u64; 4] {
+    [
+        r.first.potential.to_bits(),
+        r.first.kinetic.to_bits(),
+        r.last.potential.to_bits(),
+        r.last.kinetic.to_bits(),
+    ]
+}
+
+/// Task-kernel smoke (`figures -- task-smoke`): the task-based n-body
+/// kernel must produce bit-identical energies under flat task placement,
+/// randomized work stealing (two different seeds), and the blockwise
+/// sequential reference — the determinism contract of the distributed
+/// task scheduler (results are merged in task-id order, and ids depend
+/// only on the spawn structure, never on who stole what).
+pub fn task_smoke(opts: &FigureOpts) -> Result<Vec<Table>, String> {
+    use parade_kernels::nbody_task::{nbody_task_parade, nbody_task_sequential};
+    use parade_tasks::{SchedConfig, StealStrategy};
+
+    let nodes = opts.nodes.iter().copied().find(|&n| n >= 4).unwrap_or(4);
+    let p = MdParams::sized(48, 3);
+    let blocks = 2 * nodes;
+    let cfg = |sched: SchedConfig| ClusterConfig {
+        nodes,
+        exec: ExecConfig::TwoThreadTwoCpu,
+        net: NetProfile::zero(),
+        time: TimeSource::Manual,
+        pool_bytes: 4 << 20,
+        task_scheduler: sched,
+        ..ClusterConfig::default()
+    };
+    let mut runs: Vec<(&str, MdResult)> =
+        vec![("sequential reference", nbody_task_sequential(p, blocks))];
+    let schedules = [
+        (
+            "flat placement",
+            SchedConfig {
+                strategy: StealStrategy::Flat,
+                ..SchedConfig::default()
+            },
+        ),
+        (
+            "stealing, seed 0x5EED",
+            SchedConfig {
+                seed: 0x5EED,
+                ..SchedConfig::default()
+            },
+        ),
+        (
+            "stealing, seed 0xA11CE",
+            SchedConfig {
+                seed: 0xA11CE,
+                ..SchedConfig::default()
+            },
+        ),
+    ];
+    for (label, sched) in schedules {
+        let (res, report) = nbody_task_parade(&Cluster::from_config(cfg(sched)), p, blocks);
+        if let Some(err) = &report.cluster.fabric_error {
+            return Err(format!("task-smoke: link died under {label}: {err}"));
+        }
+        runs.push((label, res));
+    }
+    let reference = energy_bits(&runs[0].1);
+    let mut t = Table::new(
+        format!(
+            "Task smoke — n-body {} particles, {blocks} blocks, {} steps on {nodes} nodes",
+            p.np, p.steps
+        ),
+        &[
+            "schedule",
+            "final potential",
+            "final kinetic",
+            "bit-identical",
+        ],
+    );
+    for (label, r) in &runs {
+        let same = energy_bits(r) == reference;
+        t.row(vec![
+            (*label).into(),
+            format!("{}", r.last.potential),
+            format!("{}", r.last.kinetic),
+            same.to_string(),
+        ]);
+        if !same {
+            return Err(format!(
+                "task-smoke: {label} diverged from the sequential reference"
+            ));
+        }
+    }
+    Ok(vec![t])
+}
+
+/// Chaos steal-soak (`figures -- steal-soak`): the n-body task phase under
+/// randomized work stealing on a lossy wire (`PARADE_CHAOS` or the pinned
+/// schedule). The reliable channel must make task scheduling exactly-once
+/// under drop/dup/reorder: the energies stay bit-identical to the
+/// sequential reference, at least one retransmission fired, and no link
+/// died. (The scheduler's merge additionally audits that every spawned
+/// task executed exactly once and fails the run otherwise.)
+pub fn steal_soak(opts: &FigureOpts) -> Result<Vec<Table>, String> {
+    use parade_kernels::nbody_task::{nbody_task_parade, nbody_task_sequential};
+    use parade_net::ChaosProfile;
+
+    let chaos = {
+        let env = ChaosProfile::from_env();
+        if env.is_active() {
+            env
+        } else {
+            ChaosProfile::lossy(0x7A5C_5EED)
+        }
+    };
+    let nodes = opts.nodes.iter().copied().find(|&n| n >= 4).unwrap_or(4);
+    let p = MdParams::sized(48, 2);
+    let blocks = 2 * nodes;
+    let cfg = ClusterConfig {
+        nodes,
+        exec: ExecConfig::TwoThreadTwoCpu,
+        net: NetProfile::clan_via(),
+        time: TimeSource::Manual,
+        pool_bytes: 4 << 20,
+        chaos: chaos.clone(),
+        ..ClusterConfig::default()
+    };
+    let seq = nbody_task_sequential(p, blocks);
+    let (res, report) = nbody_task_parade(&Cluster::from_config(cfg), p, blocks);
+    if let Some(err) = &report.cluster.fabric_error {
+        return Err(format!("steal-soak: link died during soak: {err}"));
+    }
+    if energy_bits(&res) != energy_bits(&seq) {
+        return Err(format!(
+            "steal-soak: chaos perturbed the task schedule's arithmetic: \
+             potential {} vs {}, kinetic {} vs {}",
+            res.last.potential, seq.last.potential, res.last.kinetic, seq.last.kinetic
+        ));
+    }
+    let h = report.cluster.link_health_totals();
+    if h.retransmits == 0 {
+        return Err(format!(
+            "steal-soak: fault schedule injected no retransmission — soak proves nothing: {h:?}"
+        ));
+    }
+    let mut t = Table::new(
+        format!(
+            "Steal soak — n-body tasks under stealing on {nodes} nodes, seed {:#x} \
+             (drop {:.1}%, dup {:.1}%, reorder {:.1}%, delay {:.1}%)",
+            chaos.seed,
+            chaos.base.drop * 100.0,
+            chaos.base.duplicate * 100.0,
+            chaos.base.reorder * 100.0,
+            chaos.base.delay * 100.0,
+        ),
+        &["check", "value"],
+    );
+    t.row(vec![
+        "final potential (bit-identical to sequential)".into(),
+        format!("{}", res.last.potential),
+    ]);
+    t.row(vec![
+        "tasks per step (merged exactly once)".into(),
+        blocks.to_string(),
+    ]);
+    for (k, v) in h.fields() {
+        t.row(vec![k.into(), v.to_string()]);
+    }
+    Ok(vec![t])
+}
+
 /// All figures, in paper order.
 pub fn all_figures(opts: &FigureOpts) -> Vec<Table> {
     vec![
@@ -730,6 +898,29 @@ mod tests {
         assert_eq!(tables.len(), 1);
         let t = &tables[0];
         assert!(t.title.contains("Chaos smoke"));
+        let retx = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "retransmits")
+            .expect("retransmit row");
+        assert!(retx[1].parse::<u64>().unwrap() >= 1);
+    }
+
+    #[test]
+    fn task_smoke_is_bit_identical_across_schedules() {
+        let tables = task_smoke(&FigureOpts::quick()).expect("task smoke must pass");
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.title.contains("Task smoke"));
+        assert_eq!(t.rows.len(), 4); // sequential + flat + 2 steal seeds
+        assert!(t.rows.iter().all(|r| r[3] == "true"), "{:?}", t.rows);
+    }
+
+    #[test]
+    fn steal_soak_survives_chaos_with_retransmissions() {
+        let tables = steal_soak(&FigureOpts::quick()).expect("steal soak must pass");
+        let t = &tables[0];
+        assert!(t.title.contains("Steal soak"));
         let retx = t
             .rows
             .iter()

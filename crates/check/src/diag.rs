@@ -47,10 +47,15 @@ pub enum LintId {
     /// non-canonical work-shared loops, malformed atomic bodies, unknown
     /// clause variables.
     DirectiveStructure,
+    /// PC008 — shared write inside a `task` body with no `depend` edge on
+    /// the written variable and no enclosing synchronization: tasks run
+    /// concurrently under the work-stealing scheduler, so unordered writes
+    /// race.
+    TaskSharedWrite,
 }
 
 impl LintId {
-    pub const ALL: [LintId; 7] = [
+    pub const ALL: [LintId; 8] = [
         LintId::SharedWriteRace,
         LintId::LoopCarriedDependence,
         LintId::ReductionMisuse,
@@ -58,6 +63,7 @@ impl LintId {
         LintId::NowaitUnsyncRead,
         LintId::PrivateUninitRead,
         LintId::DirectiveStructure,
+        LintId::TaskSharedWrite,
     ];
 
     /// The stable code, e.g. `PC001`.
@@ -70,6 +76,7 @@ impl LintId {
             LintId::NowaitUnsyncRead => "PC005",
             LintId::PrivateUninitRead => "PC006",
             LintId::DirectiveStructure => "PC007",
+            LintId::TaskSharedWrite => "PC008",
         }
     }
 
@@ -83,6 +90,7 @@ impl LintId {
             LintId::NowaitUnsyncRead => "nowait-unsynchronized-access",
             LintId::PrivateUninitRead => "private-read-before-write",
             LintId::DirectiveStructure => "directive-structure",
+            LintId::TaskSharedWrite => "task-unordered-shared-write",
         }
     }
 
@@ -146,7 +154,7 @@ mod tests {
         let codes: Vec<&str> = LintId::ALL.iter().map(|l| l.code()).collect();
         assert_eq!(
             codes,
-            vec!["PC001", "PC002", "PC003", "PC004", "PC005", "PC006", "PC007"]
+            vec!["PC001", "PC002", "PC003", "PC004", "PC005", "PC006", "PC007", "PC008"]
         );
     }
 

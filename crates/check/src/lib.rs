@@ -9,7 +9,7 @@
 //! loop-carried dependences under `omp for`, misused reductions, divergent
 //! barriers, and structural misuse the runtime would reject.
 //!
-//! Every diagnostic carries a stable lint id (`PC001`–`PC007`), a severity,
+//! Every diagnostic carries a stable lint id (`PC001`–`PC008`), a severity,
 //! and the source span of the offending construct:
 //!
 //! ```text
@@ -77,6 +77,14 @@ fn walk_outer(syms: &Symbols, s: &Stmt, diags: &mut Vec<Diag>) {
                         ),
                     )),
                 },
+                // Tasking constructs are legal at serial scope: a team of
+                // one executes them undeferred, so there is no concurrency
+                // to misuse (mirrors the interpreter).
+                DirKind::Task | DirKind::Target | DirKind::Taskwait => {
+                    if let Some(b) = body {
+                        walk_outer(syms, b, diags);
+                    }
+                }
                 _ => {
                     diags.push(Diag::new(
                         LintId::DirectiveStructure,
@@ -110,7 +118,7 @@ fn walk_outer(syms: &Symbols, s: &Stmt, diags: &mut Vec<Diag>) {
     }
 }
 
-fn kind_name(k: &DirKind) -> &'static str {
+pub(crate) fn kind_name(k: &DirKind) -> &'static str {
     match k {
         DirKind::Parallel => "parallel",
         DirKind::For => "for",
@@ -120,6 +128,9 @@ fn kind_name(k: &DirKind) -> &'static str {
         DirKind::Single => "single",
         DirKind::Master => "master",
         DirKind::Barrier => "barrier",
+        DirKind::Task => "task",
+        DirKind::Taskwait => "taskwait",
+        DirKind::Target => "target",
     }
 }
 
@@ -134,12 +145,24 @@ pub(crate) fn check_clause_vars(dir: &Directive, syms: &Symbols, diags: &mut Vec
         ));
     };
     for c in &dir.clauses {
+        if let Clause::Device(e) = c {
+            let mut vars = Vec::new();
+            e.vars(&mut vars);
+            for name in &vars {
+                if syms.get(name).is_none() {
+                    flag(name, "device", diags);
+                }
+            }
+            continue;
+        }
         let (vars, clause): (&Vec<String>, &str) = match c {
             Clause::Private(v) => (v, "private"),
             Clause::Shared(v) => (v, "shared"),
             Clause::FirstPrivate(v) => (v, "firstprivate"),
             Clause::LastPrivate(v) => (v, "lastprivate"),
             Clause::Reduction(_, v) => (v, "reduction"),
+            Clause::Depend(_, v) => (v, "depend"),
+            Clause::Map(_, v) => (v, "map"),
             _ => continue,
         };
         for name in vars {
@@ -458,6 +481,142 @@ int main() {
 }
 "#;
         assert_eq!(codes(src), vec!["PC007"]);
+    }
+
+    #[test]
+    fn pc008_task_unordered_shared_write() {
+        let src = r#"
+int main() {
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task
+        { sum = sum + 1.0; }
+        #pragma omp taskwait
+    }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC008"]);
+    }
+
+    #[test]
+    fn pc008_cleared_by_depend_edge() {
+        let src = r#"
+int main() {
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(inout: sum)
+        { sum = sum + 1.0; }
+        #pragma omp taskwait
+    }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", check_source(src).unwrap());
+    }
+
+    #[test]
+    fn pc008_cleared_by_critical_inside_task() {
+        let src = r#"
+int main() {
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task
+        {
+            #pragma omp critical
+            { sum = sum + 1.0; }
+        }
+        #pragma omp taskwait
+    }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", check_source(src).unwrap());
+    }
+
+    #[test]
+    fn pc008_target_map_write_without_depend() {
+        let src = r#"
+int main() {
+    double x;
+    x = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp target map(tofrom: x)
+        { x = x + 1.0; }
+    }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC008"]);
+    }
+
+    #[test]
+    fn tasking_constructs_are_legal_at_serial_scope() {
+        let src = r#"
+int main() {
+    double x;
+    x = 0.0;
+    #pragma omp task depend(out: x)
+    { x = 1.0; }
+    #pragma omp taskwait
+    #pragma omp target map(tofrom: x) device(0)
+    { x = x * 2.0; }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", check_source(src).unwrap());
+    }
+
+    #[test]
+    fn pc007_barrier_inside_task_body() {
+        let src = r#"
+int main() {
+    #pragma omp parallel
+    {
+        #pragma omp task
+        {
+            #pragma omp barrier
+        }
+        #pragma omp taskwait
+    }
+    return 0;
+}
+"#;
+        let ds = check_source(src).unwrap();
+        assert!(
+            ds.iter().any(|d| d.lint == LintId::DirectiveStructure
+                && d.message.contains("closely nested inside a `task` region")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn pc007_unknown_depend_and_map_vars() {
+        let src = r#"
+int main() {
+    double x;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(out: nosuch)
+        { x = 1.0; }
+        #pragma omp taskwait
+    }
+    return 0;
+}
+"#;
+        let ds = check_source(src).unwrap();
+        assert!(
+            ds.iter().any(|d| d.lint == LintId::DirectiveStructure
+                && d.message.contains("`nosuch` in `depend`")),
+            "{ds:?}"
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! - **PC006** private-read-before-write — `private` variables read while
 //!   still uninitialized (should likely be `firstprivate`);
 //! - **PC007** directive-structure — bad nesting and malformed constructs
-//!   *inside* the region (orphans are the outer walk's job).
+//!   *inside* the region (orphans are the outer walk's job);
+//! - **PC008** task-unordered-shared-write — shared data written inside a
+//!   `task`/`target` body with no `depend` edge on the variable and no
+//!   enclosing synchronization: the whole team reaches the spawn point, so
+//!   the task instances run concurrently under the work-stealing scheduler.
 
 use std::collections::{HashMap, HashSet};
 
@@ -53,6 +57,7 @@ pub(crate) fn check_parallel_region(
         cur_span: dir.span,
         protect: Vec::new(),
         divergent: 0,
+        task: Vec::new(),
         ws: Vec::new(),
         tracked,
         written: HashSet::new(),
@@ -167,6 +172,10 @@ struct RegionCx<'a> {
     protect: Vec<&'static str>,
     /// Depth of enclosing thread-dependent conditions (PC004).
     divergent: usize,
+    /// Enclosing `task`/`target` bodies: the set of variables each frame
+    /// names in a `depend` clause. Writes to dep-edged variables are
+    /// ordered by the scheduler's dependency graph; others race (PC008).
+    task: Vec<HashSet<String>>,
     ws: Vec<WsFrame>,
     tracked: HashSet<String>,
     written: HashSet<String>,
@@ -190,6 +199,12 @@ impl RegionCx<'_> {
 
     fn protected(&self) -> bool {
         !self.protect.is_empty()
+    }
+
+    /// Inside a `task`/`target` body, is a write to `n` ordered by a
+    /// `depend` edge on some enclosing task frame?
+    fn task_dep_ordered(&self, n: &str) -> bool {
+        self.task.iter().any(|deps| deps.contains(n))
     }
 
     // ---- variable events --------------------------------------------------
@@ -255,13 +270,25 @@ impl RegionCx<'_> {
                 ),
             ),
             VarScope::Shared if !self.protected() && self.syms.get(n).is_some() => {
-                self.diag(
-                    LintId::SharedWriteRace,
-                    format!(
-                        "unsynchronized write to shared variable `{n}` in a parallel region; \
-                         every thread writes it — guard with `critical`/`atomic` or privatize"
-                    ),
-                );
+                if self.task.is_empty() {
+                    self.diag(
+                        LintId::SharedWriteRace,
+                        format!(
+                            "unsynchronized write to shared variable `{n}` in a parallel region; \
+                             every thread writes it — guard with `critical`/`atomic` or privatize"
+                        ),
+                    );
+                } else if !self.task_dep_ordered(n) {
+                    self.diag(
+                        LintId::TaskSharedWrite,
+                        format!(
+                            "write to shared variable `{n}` inside a task body with no \
+                             `depend` edge on it; task instances run concurrently under the \
+                             work-stealing scheduler — add `depend(out: {n})` or guard with \
+                             `critical`/`atomic`"
+                        ),
+                    );
+                }
             }
             _ => {}
         }
@@ -281,14 +308,25 @@ impl RegionCx<'_> {
             VarScope::Shared if self.syms.get(n).is_some() => {
                 self.log_access(n, idxs, true);
                 if !self.protected() && !self.disjoint_subscript(idxs) {
-                    self.diag(
-                        LintId::SharedWriteRace,
-                        format!(
-                            "write to shared array `{n}` is not provably distinct across \
-                             threads: no subscript is injective in the work-shared loop \
-                             variable or derived from omp_get_thread_num()"
-                        ),
-                    );
+                    if self.task.is_empty() {
+                        self.diag(
+                            LintId::SharedWriteRace,
+                            format!(
+                                "write to shared array `{n}` is not provably distinct across \
+                                 threads: no subscript is injective in the work-shared loop \
+                                 variable or derived from omp_get_thread_num()"
+                            ),
+                        );
+                    } else if !self.task_dep_ordered(n) {
+                        self.diag(
+                            LintId::TaskSharedWrite,
+                            format!(
+                                "write to shared array `{n}` inside a task body with no \
+                                 `depend` edge and no disjoint subscript; task instances run \
+                                 concurrently under the work-stealing scheduler"
+                            ),
+                        );
+                    }
                 }
             }
             _ => {}
@@ -547,6 +585,24 @@ impl RegionCx<'_> {
     fn directive(&mut self, d: &Directive, body: Option<&Stmt>) {
         self.cur_span = d.span;
         crate::check_clause_vars(d, self.syms, self.diags);
+        // Mirror the interpreter's closely-nested conformance rule: team
+        // constructs make no sense inside a task body, whose executor may
+        // be any single thread on any node.
+        if !self.task.is_empty()
+            && matches!(
+                d.kind,
+                DirKind::Barrier | DirKind::For | DirKind::Single | DirKind::Master
+            )
+        {
+            self.diag(
+                LintId::DirectiveStructure,
+                format!(
+                    "`{}` may not be closely nested inside a `task` region",
+                    crate::kind_name(&d.kind)
+                ),
+            );
+            return;
+        }
         match &d.kind {
             DirKind::Parallel | DirKind::ParallelFor => {
                 self.diag(
@@ -646,6 +702,18 @@ impl RegionCx<'_> {
                             .into(),
                     );
                 }
+            }
+            DirKind::Task | DirKind::Target => {
+                let deps: HashSet<String> = d.depends().into_iter().map(|(_, v)| v).collect();
+                self.task.push(deps);
+                if let Some(b) = body {
+                    self.walk(b);
+                }
+                self.task.pop();
+            }
+            DirKind::Taskwait => {
+                // Joins the current task's children — creates no ordering
+                // the lexical detectors track, and carries no body.
             }
         }
     }

@@ -3,6 +3,7 @@
 
 use parade_dsm::{CommCosts, DsmConfig, HomePolicy, LockKind, UpdateStrategy};
 use parade_net::{ChaosProfile, NetProfile, TimeSource};
+use parade_tasks::SchedConfig;
 
 /// The three measurement configurations of the paper's §6.2.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -119,6 +120,9 @@ pub struct ClusterConfig {
     /// MPI collectives stay flat even when `hierarchical_collectives` is
     /// on (the DSM tree barrier is node-level and unaffected).
     pub smp_width: usize,
+    /// Task scheduler knobs (steal strategy, victim fanout, batch grain,
+    /// victim-selection seed) for `parade-tasks` phases.
+    pub task_scheduler: SchedConfig,
 }
 
 impl Default for ClusterConfig {
@@ -140,6 +144,7 @@ impl Default for ClusterConfig {
             chaos: ChaosProfile::from_env(),
             hierarchical_collectives: true,
             smp_width: 1,
+            task_scheduler: SchedConfig::default(),
         }
     }
 }

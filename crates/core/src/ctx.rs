@@ -118,6 +118,22 @@ impl ThreadCtx {
         f(&mut self.clock.borrow_mut())
     }
 
+    pub(crate) fn rt(&self) -> &Arc<NodeRt> {
+        &self.rt
+    }
+
+    /// Move the clock out of the thread context (leaving a dummy). The task
+    /// scheduler drives the phase with an exclusive `&mut VClock`; while it
+    /// does, ThreadCtx methods must not be called — `put_clock` (or the
+    /// executor's swap around a task body) restores access.
+    pub(crate) fn take_clock(&self) -> VClock {
+        std::mem::replace(&mut self.clock.borrow_mut(), VClock::manual())
+    }
+
+    pub(crate) fn put_clock(&self, c: VClock) {
+        *self.clock.borrow_mut() = c;
+    }
+
     // ---- shared data ------------------------------------------------------
 
     /// Bind a shared vector for repeated access.

@@ -36,11 +36,13 @@ mod ctx;
 mod report;
 mod runtime;
 mod shared;
+mod tasking;
 mod team;
 
 pub use ctx::{partition, BoundVec, ScalarPrim, StaticChunks, ThreadCtx};
 pub use report::StatsReport;
 pub use shared::{Pod, SharedScalar, SharedVec};
+pub use tasking::{TaskFn, TaskScope};
 pub use team::{Cluster, ClusterBuilder, MasterCtx, RunReport};
 // Moved into parade-net (the MPI layer's shared-memory combine uses it
 // too); re-exported here so `parade_core::VBarrier` keeps working.
@@ -50,4 +52,5 @@ pub use parade_net::VBarrier;
 pub use parade_cluster::{ClusterConfig, ExecConfig, ProtocolMode};
 pub use parade_mpi::ReduceOp;
 pub use parade_net::{NetProfile, NodeTraffic, TimeSource, VTime};
+pub use parade_tasks::{SchedConfig, StealStrategy, TaskCtx, TaskDesc};
 pub use parade_trace::TraceReport;

@@ -11,6 +11,7 @@ use parade_cluster::ProtocolMode;
 use parade_dsm::{Dsm, RegionHandle};
 use parade_mpi::Communicator;
 use parade_net::{TimeSource, VClock, VTime};
+use parade_tasks::SchedConfig;
 use parade_trace as trace;
 
 use crate::ctx::ThreadCtx;
@@ -79,6 +80,7 @@ pub(crate) struct NodeRt {
     pub tpn: usize,
     pub mode: ProtocolMode,
     pub time: TimeSource,
+    pub task_cfg: SchedConfig,
     pub barrier: VBarrier,
     pub singles: Vec<Mutex<SingleSlot>>,
     pub reduce: Mutex<ReduceState>,
@@ -94,6 +96,7 @@ pub(crate) struct NodeRt {
 }
 
 impl NodeRt {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         dsm: Arc<Dsm>,
         comm: Arc<Communicator>,
@@ -102,6 +105,7 @@ impl NodeRt {
         tpn: usize,
         mode: ProtocolMode,
         time: TimeSource,
+        task_cfg: SchedConfig,
     ) -> Arc<NodeRt> {
         // Reserved allocations, identical on every node (performed before
         // any user allocation, so ids/offsets line up cluster-wide).
@@ -119,6 +123,7 @@ impl NodeRt {
             tpn,
             mode,
             time,
+            task_cfg,
             barrier: VBarrier::new(tpn),
             singles: (0..SLOTS)
                 .map(|_| Mutex::new(SingleSlot::default()))

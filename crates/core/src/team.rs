@@ -181,6 +181,7 @@ impl Cluster {
                 env.cfg.threads_per_node(),
                 env.cfg.protocol,
                 env.cfg.time_source(env.node),
+                env.cfg.task_scheduler,
             );
             let pool_handles = spawn_pool(&rt);
             let mut clock = env.new_clock();
@@ -304,6 +305,12 @@ impl ClusterBuilder {
     /// Fabric nodes per physical SMP chassis for the collective topology.
     pub fn smp_width(mut self, w: usize) -> Self {
         self.cfg.smp_width = w;
+        self
+    }
+
+    /// Task-scheduler knobs (steal strategy, victim fanout, grain, seed).
+    pub fn task_scheduler(mut self, s: parade_tasks::SchedConfig) -> Self {
+        self.cfg.task_scheduler = s;
         self
     }
 

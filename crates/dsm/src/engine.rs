@@ -955,8 +955,17 @@ impl Dsm {
 
     fn apply_lock_notices(&self, lock: u64, cur_seq: u64, notices: &[PageId], clock: &mut VClock) {
         self.lock_seen.lock().insert(lock, cur_seq);
+        self.invalidate_pages(notices, clock);
+    }
+
+    /// Apply write notices outside the lock protocol: invalidate cached
+    /// copies of `pages` so the next access refetches from the home. This
+    /// is the acquire half of any happens-before edge carried by a channel
+    /// other than a lock — the task scheduler routes dependency and
+    /// `target` completion notices through here.
+    pub fn invalidate_pages(&self, pages: &[PageId], clock: &mut VClock) {
         let mut by_home: BTreeMap<usize, (Vec<PageId>, Vec<Diff>)> = BTreeMap::new();
-        for &page in notices {
+        for &page in pages {
             if self.home_of(page) == self.node {
                 continue; // home copies have all diffs merged
             }

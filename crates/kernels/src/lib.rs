@@ -12,10 +12,19 @@
 //! * [`syncbench`] — EPCC-style directive overhead measurements
 //!   (Figures 6 and 7);
 //! * [`nasrng`] — the NPB 46-bit LCG with O(log n) jump-ahead.
+//!
+//! Two irregular workloads exercise the task scheduler (`parade-tasks`):
+//!
+//! * [`nbody_task`] — the MD force computation as a stolen task graph,
+//!   bit-identical across steal schedules;
+//! * [`pipeline`] — `items × stages` dependency chains with result
+//!   injection, a software pipeline across the cluster.
 
 pub mod cg;
 pub mod ep;
 pub mod helmholtz;
 pub mod md;
 pub mod nasrng;
+pub mod nbody_task;
+pub mod pipeline;
 pub mod syncbench;

@@ -103,7 +103,8 @@ fn v_pair(d: f64) -> (f64, f64) {
 }
 
 /// Compute forces + energies for particles `range`, reading all positions.
-fn compute_range(
+/// Shared with the task-based n-body kernel ([`crate::nbody_task`]).
+pub(crate) fn compute_range(
     p: &MdParams,
     pos: &[f64],
     vel: &[f64],
@@ -146,7 +147,7 @@ fn compute_range(
 }
 
 /// Velocity-Verlet update for particles `range` (local arrays).
-fn update_range(
+pub(crate) fn update_range(
     p: &MdParams,
     range: std::ops::Range<usize>,
     pos: &mut [f64],

@@ -97,6 +97,25 @@ impl Communicator {
         pkt.payload
     }
 
+    /// Blocking receive of a message with `tag` from *any* source; returns
+    /// the sender's rank alongside the payload.
+    pub fn recv_bytes_any(&self, tag: u32, clock: &mut VClock) -> (usize, Bytes) {
+        let pkt = self
+            .ep
+            .recv(MsgClass::P2p, Match::tagged(tag as u64), clock)
+            .expect("communicator used after shutdown");
+        (pkt.src, pkt.payload)
+    }
+
+    /// Non-blocking receive of a message with `tag` from any source.
+    /// Dequeues by earliest virtual arrival so polling loops see messages
+    /// in the same order a blocking receiver would.
+    pub fn try_recv_bytes(&self, tag: u32, clock: &mut VClock) -> Option<(usize, Bytes)> {
+        self.ep
+            .try_recv_match(MsgClass::P2p, Match::tagged(tag as u64), clock)
+            .map(|pkt| (pkt.src, pkt.payload))
+    }
+
     /// Send a slice of `f64`s.
     pub fn send_f64s(&self, dst: usize, tag: u32, xs: &[f64], clock: &mut VClock) {
         self.send_bytes(dst, tag, datatype::f64s_to_bytes(xs), clock);

@@ -490,6 +490,26 @@ impl Endpoint {
         }
     }
 
+    /// Non-blocking receive of the earliest-arriving queued packet matching
+    /// `m`, with the same clock accounting as [`Endpoint::recv`]. Returns
+    /// `None` (charging nothing) when no matching packet is queued — the
+    /// polling primitive for schedulers that interleave message handling
+    /// with local work.
+    pub fn try_recv_match(&self, class: MsgClass, m: Match, clock: &mut VClock) -> Option<Packet> {
+        let fabric = &self.fabric;
+        let mb = &fabric.ports[self.id].boxes[class.index()];
+        let mut q = mb.queue.lock();
+        self.flush_limbo_record(&mut q);
+        let pos = q.earliest_match(m)?;
+        let pkt = q.queue.remove(pos).expect("position just found");
+        fabric.stats.record_recv(self.id, class, pkt.payload.len());
+        drop(q);
+        clock.sample_compute();
+        clock.sync_to(pkt.arrive_at);
+        clock.charge_comm(fabric.profile.per_msg_cpu);
+        Some(pkt)
+    }
+
     /// Non-blocking receive of any packet in `class`.
     pub fn try_recv(&self, class: MsgClass) -> Option<Packet> {
         let mb = &self.fabric.ports[self.id].boxes[class.index()];

@@ -1,0 +1,366 @@
+//! Wire format of the scheduler protocol.
+//!
+//! All scheduler traffic shares one reserved point-to-point tag
+//! ([`TAG_SCHED`]) with a message-kind byte in the payload; collectives are
+//! never concurrent with task-phase pumping, so the scheduler can share the
+//! node's communicator. The codec is the same hand-rolled little-endian
+//! style as the DSM message layer — no external serialization.
+
+use parade_net::Bytes;
+
+/// Reserved point-to-point tag for all scheduler messages.
+pub const TAG_SCHED: u32 = 0x0054_534B; // "TSK"
+
+/// One task: everything needed to execute it on any node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskDesc {
+    /// Schedule-independent id (see `NodeSched::spawn` / `TaskCtx::spawn`).
+    pub id: u64,
+    /// Id of the spawning task context (root contexts use a per-node
+    /// sentinel); completion decrements this parent's outstanding count.
+    pub parent: u64,
+    /// Node holding this task's dependency/outstanding bookkeeping — the
+    /// node it was spawned on. Completions are routed here.
+    pub home: u32,
+    /// Kernel- or translator-defined function index.
+    pub func: u32,
+    /// Device node for `target` offload: the task is shipped there and is
+    /// never stolen.
+    pub pinned: Option<u32>,
+    /// Append each dependency's result (as f64 bit patterns, in `deps`
+    /// order) to `args` when the task is released — dataflow pipelines.
+    pub inject: bool,
+    /// Opaque argument words (captured scalars, map ranges, ...).
+    pub args: Vec<u64>,
+    /// Sibling task ids this task waits on (`depend` clauses, resolved to
+    /// ids by the spawner).
+    pub deps: Vec<u64>,
+    /// DSM release notices (page ids) accumulated from completed
+    /// dependencies; the executor applies them before the body runs.
+    pub notices: Vec<u64>,
+}
+
+/// Scheduler protocol messages.
+///
+/// `Task`, `StealReq`, `StealReply` and `Complete` are *counted* by the
+/// termination detector (they can create or signal work); `Token`, `Done`,
+/// `Result` and `Merged` form the termination/merge protocol itself and are
+/// not counted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedMsg {
+    /// Ship a ready task to another node's deque.
+    Task(TaskDesc),
+    /// An idle node asks a victim for work.
+    StealReq,
+    /// The victim's answer: half its stealable deque, up to the grain
+    /// (possibly empty).
+    StealReply(Vec<TaskDesc>),
+    /// A task finished executing; routed to its home.
+    Complete {
+        id: u64,
+        parent: u64,
+        result: Vec<f64>,
+        notices: Vec<u64>,
+    },
+    /// Safra's termination token.
+    Token { count: i64, black: bool },
+    /// Root → all: the phase terminated; send your results.
+    Done,
+    /// Node → root: locally-homed results plus spawn/execute counters for
+    /// the exactly-once audit.
+    Result {
+        results: Vec<(u64, Vec<f64>)>,
+        spawned: u64,
+        executed: u64,
+    },
+    /// Root → all: the id-sorted merge of every task's result.
+    Merged(Vec<(u64, Vec<f64>)>),
+}
+
+const K_TASK: u8 = 1;
+const K_STEAL_REQ: u8 = 2;
+const K_STEAL_REPLY: u8 = 3;
+const K_COMPLETE: u8 = 4;
+const K_TOKEN: u8 = 5;
+const K_DONE: u8 = 6;
+const K_RESULT: u8 = 7;
+const K_MERGED: u8 = 8;
+
+struct Wr(Vec<u8>);
+
+impl Wr {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64s(&mut self, vs: &[u64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+    fn f64s(&mut self, vs: &[f64]) {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.u64(v.to_bits());
+        }
+    }
+    fn desc(&mut self, d: &TaskDesc) {
+        self.u64(d.id);
+        self.u64(d.parent);
+        self.u32(d.home);
+        self.u32(d.func);
+        match d.pinned {
+            Some(p) => {
+                self.u8(1);
+                self.u32(p);
+            }
+            None => self.u8(0),
+        }
+        self.u8(d.inject as u8);
+        self.u64s(&d.args);
+        self.u64s(&d.deps);
+        self.u64s(&d.notices);
+    }
+    fn results(&mut self, rs: &[(u64, Vec<f64>)]) {
+        self.u32(rs.len() as u32);
+        for (id, vals) in rs {
+            self.u64(*id);
+            self.f64s(vals);
+        }
+    }
+}
+
+struct Rd<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn u8(&mut self) -> u8 {
+        let v = self.b[self.p];
+        self.p += 1;
+        v
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.b[self.p..self.p + 4].try_into().unwrap());
+        self.p += 4;
+        v
+    }
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.b[self.p..self.p + 8].try_into().unwrap());
+        self.p += 8;
+        v
+    }
+    fn u64s(&mut self) -> Vec<u64> {
+        let n = self.u32() as usize;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn f64s(&mut self) -> Vec<f64> {
+        let n = self.u32() as usize;
+        (0..n).map(|_| f64::from_bits(self.u64())).collect()
+    }
+    fn desc(&mut self) -> TaskDesc {
+        let id = self.u64();
+        let parent = self.u64();
+        let home = self.u32();
+        let func = self.u32();
+        let pinned = if self.u8() == 1 {
+            Some(self.u32())
+        } else {
+            None
+        };
+        let inject = self.u8() == 1;
+        TaskDesc {
+            id,
+            parent,
+            home,
+            func,
+            pinned,
+            inject,
+            args: self.u64s(),
+            deps: self.u64s(),
+            notices: self.u64s(),
+        }
+    }
+    fn results(&mut self) -> Vec<(u64, Vec<f64>)> {
+        let n = self.u32() as usize;
+        (0..n).map(|_| (self.u64(), self.f64s())).collect()
+    }
+}
+
+impl SchedMsg {
+    /// True for messages the termination detector must count.
+    pub fn counted(&self) -> bool {
+        matches!(
+            self,
+            SchedMsg::Task(_)
+                | SchedMsg::StealReq
+                | SchedMsg::StealReply(_)
+                | SchedMsg::Complete { .. }
+        )
+    }
+
+    pub fn encode(&self) -> Bytes {
+        let mut w = Wr(Vec::with_capacity(32));
+        match self {
+            SchedMsg::Task(d) => {
+                w.u8(K_TASK);
+                w.desc(d);
+            }
+            SchedMsg::StealReq => w.u8(K_STEAL_REQ),
+            SchedMsg::StealReply(ds) => {
+                w.u8(K_STEAL_REPLY);
+                w.u32(ds.len() as u32);
+                for d in ds {
+                    w.desc(d);
+                }
+            }
+            SchedMsg::Complete {
+                id,
+                parent,
+                result,
+                notices,
+            } => {
+                w.u8(K_COMPLETE);
+                w.u64(*id);
+                w.u64(*parent);
+                w.f64s(result);
+                w.u64s(notices);
+            }
+            SchedMsg::Token { count, black } => {
+                w.u8(K_TOKEN);
+                w.u64(*count as u64);
+                w.u8(*black as u8);
+            }
+            SchedMsg::Done => w.u8(K_DONE),
+            SchedMsg::Result {
+                results,
+                spawned,
+                executed,
+            } => {
+                w.u8(K_RESULT);
+                w.results(results);
+                w.u64(*spawned);
+                w.u64(*executed);
+            }
+            SchedMsg::Merged(rs) => {
+                w.u8(K_MERGED);
+                w.results(rs);
+            }
+        }
+        Bytes::from(w.0)
+    }
+
+    /// Decode a scheduler message. Panics on malformed input: scheduler
+    /// traffic only crosses the in-process fabric, whose reliable channel
+    /// already guarantees integrity — a short payload here is a bug, not a
+    /// wire fault.
+    pub fn decode(b: &[u8]) -> SchedMsg {
+        let mut r = Rd { b, p: 0 };
+        let msg = match r.u8() {
+            K_TASK => SchedMsg::Task(r.desc()),
+            K_STEAL_REQ => SchedMsg::StealReq,
+            K_STEAL_REPLY => {
+                let n = r.u32() as usize;
+                SchedMsg::StealReply((0..n).map(|_| r.desc()).collect())
+            }
+            K_COMPLETE => SchedMsg::Complete {
+                id: r.u64(),
+                parent: r.u64(),
+                result: r.f64s(),
+                notices: r.u64s(),
+            },
+            K_TOKEN => SchedMsg::Token {
+                count: r.u64() as i64,
+                black: r.u8() == 1,
+            },
+            K_DONE => SchedMsg::Done,
+            K_RESULT => SchedMsg::Result {
+                results: r.results(),
+                spawned: r.u64(),
+                executed: r.u64(),
+            },
+            K_MERGED => SchedMsg::Merged(r.results()),
+            k => panic!("unknown scheduler message kind {k}"),
+        };
+        assert_eq!(r.p, b.len(), "trailing bytes in scheduler message");
+        msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> TaskDesc {
+        TaskDesc {
+            id: 0x0102_0304_0506_0708,
+            parent: 7,
+            home: 3,
+            func: 2,
+            pinned: Some(5),
+            inject: true,
+            args: vec![1, u64::MAX, 0],
+            deps: vec![9, 11],
+            notices: vec![42],
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let msgs = vec![
+            SchedMsg::Task(desc()),
+            SchedMsg::StealReq,
+            SchedMsg::StealReply(vec![desc(), desc()]),
+            SchedMsg::StealReply(vec![]),
+            SchedMsg::Complete {
+                id: 3,
+                parent: 1,
+                result: vec![1.5, -0.0, f64::MAX],
+                notices: vec![8, 9],
+            },
+            SchedMsg::Token {
+                count: -3,
+                black: true,
+            },
+            SchedMsg::Done,
+            SchedMsg::Result {
+                results: vec![(1, vec![2.0]), (5, vec![])],
+                spawned: 2,
+                executed: 2,
+            },
+            SchedMsg::Merged(vec![(1, vec![0.25])]),
+        ];
+        for m in msgs {
+            let b = m.encode();
+            assert_eq!(SchedMsg::decode(&b), m);
+        }
+    }
+
+    #[test]
+    fn counted_split_matches_termination_protocol() {
+        assert!(SchedMsg::Task(desc()).counted());
+        assert!(SchedMsg::StealReq.counted());
+        assert!(SchedMsg::StealReply(vec![]).counted());
+        assert!(SchedMsg::Complete {
+            id: 0,
+            parent: 0,
+            result: vec![],
+            notices: vec![]
+        }
+        .counted());
+        assert!(!SchedMsg::Token {
+            count: 0,
+            black: false
+        }
+        .counted());
+        assert!(!SchedMsg::Done.counted());
+        assert!(!SchedMsg::Merged(vec![]).counted());
+    }
+}

@@ -70,11 +70,18 @@ pub enum EventKind {
     // --- Fabric reliability (chaos fault injection) ---
     /// One retransmission on the reliable channel (instant; arg = dst node).
     NetRetransmit,
+    // --- Task scheduler (parade-tasks) ---
+    /// Task created and enqueued or shipped (instant; arg = task id).
+    TaskSpawn,
+    /// Tasks obtained from a steal reply (instant; arg = tasks stolen).
+    TaskSteal,
+    /// One task body executing, release included (span; arg = task id).
+    TaskExec,
 }
 
 impl EventKind {
     /// All kinds, in declaration order (stable for reports).
-    pub const ALL: [EventKind; 27] = [
+    pub const ALL: [EventKind; 30] = [
         EventKind::DsmReadFault,
         EventKind::DsmWriteFault,
         EventKind::DsmTwin,
@@ -102,6 +109,9 @@ impl EventKind {
         EventKind::OmpForChunk,
         EventKind::CommService,
         EventKind::NetRetransmit,
+        EventKind::TaskSpawn,
+        EventKind::TaskSteal,
+        EventKind::TaskExec,
     ];
 
     /// Stable dotted name, used in Chrome traces and reports.
@@ -134,6 +144,9 @@ impl EventKind {
             EventKind::OmpForChunk => "omp.for_chunk",
             EventKind::CommService => "comm.service",
             EventKind::NetRetransmit => "net.retransmit",
+            EventKind::TaskSpawn => "task.spawn",
+            EventKind::TaskSteal => "task.steal",
+            EventKind::TaskExec => "task.exec",
         }
     }
 
@@ -167,6 +180,7 @@ impl EventKind {
             | EventKind::OmpForChunk => "omp",
             EventKind::CommService => "comm",
             EventKind::NetRetransmit => "net",
+            EventKind::TaskSpawn | EventKind::TaskSteal | EventKind::TaskExec => "task",
         }
     }
 
@@ -188,6 +202,7 @@ impl EventKind {
                 | EventKind::OmpReduction
                 | EventKind::OmpSingle
                 | EventKind::CommService
+                | EventKind::TaskExec
         )
     }
 }
@@ -238,19 +253,21 @@ mod tests {
 
     #[test]
     fn taxonomy_is_consistent() {
-        assert_eq!(EventKind::ALL.len(), 27);
+        assert_eq!(EventKind::ALL.len(), 30);
         let mut names = std::collections::HashSet::new();
         for k in EventKind::ALL {
             assert!(names.insert(k.name()), "duplicate name {}", k.name());
             assert!(k.name().starts_with(k.category()));
-            assert!(["dsm", "mpi", "omp", "comm", "net"].contains(&k.category()));
+            assert!(["dsm", "mpi", "omp", "comm", "net", "task"].contains(&k.category()));
         }
     }
 
     #[test]
     fn span_vs_instant_split() {
         let spans = EventKind::ALL.iter().filter(|k| k.is_span()).count();
-        assert_eq!(spans, 14);
+        assert_eq!(spans, 15);
+        assert!(EventKind::TaskExec.is_span());
+        assert!(!EventKind::TaskSpawn.is_span());
         assert!(EventKind::OmpBarrier.is_span());
         assert!(!EventKind::DsmDiff.is_span());
         assert!(!EventKind::DsmDiffBatch.is_span());

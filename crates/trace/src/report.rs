@@ -178,12 +178,29 @@ pub fn aggregate(threads: &[ThreadTrace]) -> TraceReport {
     let mut dropped = 0u64;
     let mut unbalanced = 0u64;
 
+    // One open span on the per-thread stack. Exclusive time is computed by
+    // *segment ownership*: at any instant the innermost open span owns the
+    // clock, so each entry accumulates only the segments during which it
+    // was on top. This stays correct when spans close out of order (task
+    // spans interleaved with runtime spans): a close that crosses open
+    // spans ends only its own ownership — every instant is still owned by
+    // exactly one span, so per-thread exclusive sums never exceed the
+    // thread's final virtual clock.
+    struct Open {
+        kind: EventKind,
+        /// When the span began (inclusive totals measure begin..end).
+        begin: VTime,
+        /// Start of the segment this span currently owns (top of stack).
+        seg_begin: VTime,
+        /// Exclusive time accumulated over finished ownership segments.
+        own_acc: u64,
+    }
+
     for t in threads {
         events += t.events.len() as u64;
         dropped += t.dropped;
         let node = t.identity.node;
-        // Open-span stack: (kind, begin vtime, accumulated child time).
-        let mut stack: Vec<(EventKind, VTime, u64)> = Vec::new();
+        let mut stack: Vec<Open> = Vec::new();
         let mut thread_excl = 0u64;
         for ev in &t.events {
             match ev.phase {
@@ -199,32 +216,49 @@ pub fn aggregate(threads: &[ThreadTrace]) -> TraceReport {
                     row.count += 1;
                     row.arg_sum += ev.arg;
                 }
-                Phase::Begin => stack.push((ev.kind, ev.vtime, 0)),
+                Phase::Begin => {
+                    if let Some(top) = stack.last_mut() {
+                        top.own_acc += ev.vtime.saturating_sub(top.seg_begin).as_nanos();
+                    }
+                    stack.push(Open {
+                        kind: ev.kind,
+                        begin: ev.vtime,
+                        seg_begin: ev.vtime,
+                        own_acc: 0,
+                    });
+                }
                 Phase::End => {
-                    // Ends must match the innermost open span of the same
-                    // kind; a mismatched end (truncated begin lost to ring
-                    // wrap, or crossed spans) is dropped and counted.
-                    match stack.last() {
-                        Some((k, _, _)) if *k == ev.kind => {
-                            let (kind, begin, child) = stack.pop().unwrap();
-                            let dur = ev.vtime.saturating_sub(begin).as_nanos();
-                            let own = dur.saturating_sub(child);
-                            let row = spans.entry((node, kind_order(kind))).or_insert(SpanRow {
-                                node,
-                                kind,
-                                count: 0,
-                                self_ns: 0,
-                                total_ns: 0,
-                            });
+                    // Match the innermost open span of the same kind; an
+                    // end with no open begin (truncated by ring wrap) is
+                    // dropped and counted.
+                    match stack.iter().rposition(|o| o.kind == ev.kind) {
+                        Some(pos) => {
+                            // The current top owned the segment up to now.
+                            let top = stack.last_mut().expect("pos implies non-empty");
+                            top.own_acc += ev.vtime.saturating_sub(top.seg_begin).as_nanos();
+                            let closed = stack.remove(pos);
+                            let dur = ev.vtime.saturating_sub(closed.begin).as_nanos();
+                            let own = closed.own_acc;
+                            let row =
+                                spans
+                                    .entry((node, kind_order(closed.kind)))
+                                    .or_insert(SpanRow {
+                                        node,
+                                        kind: closed.kind,
+                                        count: 0,
+                                        self_ns: 0,
+                                        total_ns: 0,
+                                    });
                             row.count += 1;
                             row.self_ns += own;
                             row.total_ns += dur;
                             thread_excl += own;
-                            if let Some(parent) = stack.last_mut() {
-                                parent.2 += dur;
+                            // The new innermost span resumes ownership.
+                            if let Some(top) = stack.last_mut() {
+                                top.seg_begin = ev.vtime;
                             }
                         }
-                        _ => unbalanced += 1,
+                        None => unbalanced += 1,
                     }
                 }
             }
@@ -330,6 +364,33 @@ mod tests {
         let r = aggregate(&[tr]);
         assert_eq!(r.unbalanced, 2);
         assert!(r.spans.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_closes_keep_exclusive_time_bounded() {
+        // task.exec begins at 0; an omp.critical opens at 50 but the task
+        // span ends first (100) and the critical closes later (150) —
+        // crossed, not nested. Every instant must still be owned by
+        // exactly one span: task.exec owns [0,50], omp.critical owns
+        // [50,150], and the per-thread exclusive sum equals the final
+        // clock instead of double-counting the overlap.
+        let tr = t(
+            0,
+            vec![
+                b(EventKind::TaskExec, 0),
+                b(EventKind::OmpCritical, 50),
+                e(EventKind::TaskExec, 100),
+                e(EventKind::OmpCritical, 150),
+            ],
+        );
+        let r = aggregate(&[tr]);
+        assert_eq!(r.unbalanced, 0, "crossed spans must not be dropped");
+        let by_kind = |k: EventKind| r.spans.iter().find(|s| s.kind == k).unwrap();
+        assert_eq!(by_kind(EventKind::TaskExec).self_ns, 50);
+        assert_eq!(by_kind(EventKind::TaskExec).total_ns, 100);
+        assert_eq!(by_kind(EventKind::OmpCritical).self_ns, 100);
+        assert_eq!(by_kind(EventKind::OmpCritical).total_ns, 100);
+        assert_eq!(r.attributed_ns(0), 150); // == final vclock, no overlap
     }
 
     #[test]

@@ -241,6 +241,54 @@ impl<'p> Emitter<'p> {
                 let class = class.clone();
                 self.single(body.expect("single body"), syms, &class)
             }
+            // Tasking constructs are emitted with serial elision: an
+            // undeferred task executed inline is a legal task schedule, and
+            // program order subsumes every `depend` edge. The distributed
+            // work-stealing schedule lives in the runtime (parade-tasks),
+            // not in the generated C.
+            (DirKind::Task, _) => {
+                let deps = dir.depends();
+                if deps.is_empty() {
+                    self.line("/* task: serial elision (undeferred execution) */");
+                } else {
+                    let list = deps
+                        .iter()
+                        .map(|(k, v)| format!("{}:{v}", k.c_token()))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    self.line(&format!(
+                        "/* task depend({list}): program order subsumes the edges */"
+                    ));
+                }
+                self.stmt(body.expect("task body"), syms, region)
+            }
+            (DirKind::Taskwait, _) => {
+                self.line("/* taskwait: no-op under serial elision */");
+                Ok(())
+            }
+            (DirKind::Target, _) => {
+                let dev = dir
+                    .device()
+                    .map(|e| format!(" device({})", self.expr(e, region)))
+                    .unwrap_or_default();
+                let maps = dir.maps();
+                let map_text = if maps.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " map({})",
+                        maps.iter()
+                            .map(|(k, v)| format!("{}:{v}", k.c_token()))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                self.line(&format!(
+                    "/* target{dev}{map_text}: host fallback (the runtime \
+                     offloads via pinned tasks + DSM notices) */"
+                ));
+                self.stmt(body.expect("target body"), syms, region)
+            }
             (kind, None) => Err(ParseError {
                 line: dir.line(),
                 message: format!("directive {kind:?} outside a parallel region"),
@@ -920,6 +968,33 @@ int main() {
             out.contains("while (parade_loop_next(&__lo, &__hi))"),
             "{out}"
         );
+    }
+
+    #[test]
+    fn tasking_constructs_elide_serially() {
+        let src = r#"
+int main() {
+    double x = 0.0;
+    double buf[8];
+    #pragma omp parallel
+    {
+        #pragma omp task depend(out: x)
+        x = 1.0;
+        #pragma omp taskwait
+    }
+    #pragma omp target device(1) map(tofrom: buf)
+    { buf[0] = 2.0; }
+    return 0;
+}
+"#;
+        let prog = parse(src).unwrap();
+        let out = translate_default(&prog, EmitMode::Parade).unwrap();
+        assert!(out.contains("task depend(out:x)"), "{out}");
+        assert!(
+            out.contains("taskwait: no-op under serial elision"),
+            "{out}"
+        );
+        assert!(out.contains("target device(1) map(tofrom:buf)"), "{out}");
     }
 
     #[test]

@@ -244,6 +244,7 @@ impl Interp {
                 single_dummy: None,
                 lp_scratch: None,
                 in_update_body: false,
+                in_task_body: false,
                 cur_span: Span::default(),
                 oracle_enabled,
                 oracle: None,
@@ -525,6 +526,9 @@ struct Env {
     /// Inside the body of a `single`/analyzable construct: stores to
     /// update-protocol scalars are sanctioned and go to the local copy.
     in_update_body: bool,
+    /// Inside the body of an explicit `task`/`target` region: barriers and
+    /// worksharing may not be closely nested there (conformance).
+    in_task_body: bool,
     /// Source position of the statement currently executing (for oracle
     /// race reports).
     cur_span: Span,
@@ -1158,6 +1162,20 @@ impl Env {
         dir: &Directive,
         body: Option<&Stmt>,
     ) -> RtResult<Flow> {
+        self.at(dir.span);
+        // Tasking constructs are legal both at serial scope (a team of one)
+        // and inside regions; handle them before requiring a thread frame.
+        match &dir.kind {
+            DirKind::Task | DirKind::Target => {
+                return self.exec_task(exec, dir, body.expect("task body"));
+            }
+            DirKind::Taskwait => {
+                // The interpreter executes tasks undeferred (a legal task
+                // schedule), so all children are already complete here.
+                return Ok(Flow::Normal);
+            }
+            _ => {}
+        }
         let Exec::Thread(tc) = exec else {
             return rte(format!(
                 "directive {:?} outside a parallel region",
@@ -1165,10 +1183,23 @@ impl Env {
             ));
         };
         let tc: &ThreadCtx = tc;
-        self.at(dir.span);
+        if self.in_task_body
+            && matches!(
+                dir.kind,
+                DirKind::Barrier | DirKind::For | DirKind::Single | DirKind::Master
+            )
+        {
+            return rte(format!(
+                "{:?} may not be closely nested inside a task region",
+                dir.kind
+            ));
+        }
         match &dir.kind {
             DirKind::Parallel | DirKind::ParallelFor => {
                 rte("nested parallel regions are not supported")
+            }
+            DirKind::Task | DirKind::Taskwait | DirKind::Target => {
+                unreachable!("handled above")
             }
             DirKind::Barrier => {
                 self.sync_barrier(tc);
@@ -1342,6 +1373,101 @@ impl Env {
         }
     }
 
+    /// Execute a `task` or `target` body.
+    ///
+    /// The interpreter runs tasks **undeferred** — a legal task schedule —
+    /// at their generating thread; the distributed work-stealing schedule
+    /// is exercised by the runtime-API kernels instead. `depend` edges are
+    /// modelled for the happens-before oracle as synthetic per-variable
+    /// locks, which is exactly the ordering the scheduler's dependency
+    /// graph guarantees: two tasks naming a common depend variable are
+    /// ordered, everything else runs concurrently. `map` clauses only
+    /// validate that the named variables exist (data movement is the DSM's
+    /// job); `device(n)` evaluates its expression and checks the range.
+    fn exec_task(&mut self, exec: &mut Exec<'_>, dir: &Directive, body: &Stmt) -> RtResult<Flow> {
+        for (_, var) in dir.maps() {
+            if !self.has_local(&var)
+                && !self.shared.contains_key(&var)
+                && self.syms.get(&var).is_none()
+            {
+                return rte(format!("map clause names undefined variable {var}"));
+            }
+        }
+        if dir.kind == DirKind::Target {
+            if let Some(e) = dir.device() {
+                let dev = self.eval(exec, e)?.as_i64();
+                let nn = match exec {
+                    Exec::Master(g) => g.nodes(),
+                    Exec::Thread(tc) => tc.num_nodes(),
+                };
+                if dev < 0 || dev as usize >= nn {
+                    return rte(format!("device({dev}) out of range for {nn} nodes"));
+                }
+            }
+        }
+        let mut deps = dir.depends();
+        // Canonical (sorted, deduped) acquisition order: nested per-variable
+        // locks can never deadlock between tasks naming overlapping sets.
+        deps.sort_by(|a, b| a.1.cmp(&b.1));
+        deps.dedup_by(|a, b| a.1 == b.1);
+        let vars: Vec<String> = deps.into_iter().map(|(_, v)| v).collect();
+        self.task_body_locked(exec, &vars, body)
+    }
+
+    /// Execute a task body holding one *real* interpreter lock per `depend`
+    /// variable. The distributed scheduler orders dep-related tasks through
+    /// its dependency graph; the undeferred interpreter gets the equivalent
+    /// mutual exclusion from cluster locks (tasks naming a common variable
+    /// serialize, everything else overlaps), and the oracle sees the
+    /// matching acquire/release happens-before edges. Annotations alone are
+    /// not enough: without the lock, two bodies can physically overlap and
+    /// the oracle would (correctly) report the overlap as a race.
+    fn task_body_locked(
+        &mut self,
+        exec: &mut Exec<'_>,
+        vars: &[String],
+        body: &Stmt,
+    ) -> RtResult<Flow> {
+        let Some((var, rest)) = vars.split_first() else {
+            let was = self.in_task_body;
+            self.in_task_body = true;
+            self.push_scope();
+            let r = self.exec_stmt(exec, body);
+            self.pop_scope();
+            self.in_task_body = was;
+            r?;
+            return Ok(Flow::Normal);
+        };
+        let key = format!("dep:{var}");
+        match exec {
+            Exec::Thread(tc) => {
+                let tc: &ThreadCtx = tc;
+                tc.critical(critical_lock_id(Some(&key)), |tc2| {
+                    if let Some(o) = &self.oracle {
+                        o.lock_acquire(self.oracle_tid, &key);
+                    }
+                    let mut exec2 = Exec::Thread(tc2);
+                    let r = self.task_body_locked(&mut exec2, rest, body);
+                    if let Some(o) = &self.oracle {
+                        o.lock_release(self.oracle_tid, &key);
+                    }
+                    r
+                })
+            }
+            // Serial scope: a team of one, so the annotation alone is exact.
+            Exec::Master(_) => {
+                if let Some(o) = &self.oracle {
+                    o.lock_acquire(self.oracle_tid, &key);
+                }
+                let r = self.task_body_locked(exec, rest, body);
+                if let Some(o) = &self.oracle {
+                    o.lock_release(self.oracle_tid, &key);
+                }
+                r
+            }
+        }
+    }
+
     fn current_class(&self) -> RtResult<RegionClassification> {
         match &self.region_class {
             Some(c) => Ok(c.clone()),
@@ -1407,6 +1533,7 @@ impl Env {
                 single_dummy: Some(single_dummy),
                 lp_scratch,
                 in_update_body: false,
+                in_task_body: false,
                 cur_span: Span::default(),
                 oracle_enabled: oracle_tl.is_some(),
                 oracle: oracle_tl.clone(),

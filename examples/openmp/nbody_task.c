@@ -1,0 +1,50 @@
+/* Task-based n-body energy update. Each phase — force accumulation,
+ * potential energy, kinetic energy — is a task; `depend` edges order the
+ * writers against the readers, so the runtime's distributed work-stealing
+ * scheduler may place each task on any node while the dependence graph
+ * keeps the dataflow race-free (PC008 checks exactly this). */
+#include <stdio.h>
+
+int main() {
+    int i;
+    double pos[64];
+    double acc[64];
+    double pot;
+    double kin;
+
+    #pragma omp parallel for
+    for (i = 0; i < 64; i++) {
+        pos[i] = 0.01 * i;
+        acc[i] = 0.0;
+    }
+
+    pot = 0.0;
+    kin = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(out: acc)
+        {
+            int j;
+            for (j = 0; j < 64; j++) {
+                acc[j] = acc[j] + 0.5 * pos[j];
+            }
+        }
+        #pragma omp task depend(in: acc) depend(out: pot)
+        {
+            int j;
+            for (j = 0; j < 64; j++) {
+                pot = pot + acc[j] * pos[j];
+            }
+        }
+        #pragma omp task depend(in: acc) depend(out: kin)
+        {
+            int j;
+            for (j = 0; j < 64; j++) {
+                kin = kin + 0.5 * acc[j] * acc[j];
+            }
+        }
+        #pragma omp taskwait
+    }
+    printf("pot = %.6f, kin = %.6f\n", pot, kin);
+    return 0;
+}

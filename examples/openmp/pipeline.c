@@ -1,0 +1,49 @@
+/* Task pipeline with a device offload. Two dependent tasks transform the
+ * vector stage by stage, then a `target` region reduces it on device 0 —
+ * under ParADE a "device" is a remote SMP node, and the `map` clauses
+ * become DSM page fetches (to) and diff-batch write-backs (from). */
+#include <stdio.h>
+
+int main() {
+    int i;
+    double raw[256];
+    double scaled[256];
+    double smoothed[256];
+    double total;
+
+    #pragma omp parallel for
+    for (i = 0; i < 256; i++) {
+        raw[i] = 0.5 + 0.001 * i;
+        scaled[i] = 0.0;
+        smoothed[i] = 0.0;
+    }
+
+    #pragma omp parallel
+    {
+        #pragma omp task depend(in: raw) depend(out: scaled)
+        {
+            int j;
+            for (j = 0; j < 256; j++) {
+                scaled[j] = 2.0 * raw[j];
+            }
+        }
+        #pragma omp task depend(in: scaled) depend(out: smoothed)
+        {
+            int j;
+            for (j = 1; j < 255; j++) {
+                smoothed[j] = 0.25 * scaled[j - 1] + 0.5 * scaled[j] + 0.25 * scaled[j + 1];
+            }
+        }
+        #pragma omp taskwait
+    }
+
+    total = 0.0;
+    #pragma omp target device(0) map(to: smoothed) map(tofrom: total)
+    {
+        for (i = 0; i < 256; i++) {
+            total = total + smoothed[i];
+        }
+    }
+    printf("total = %.6f\n", total);
+    return 0;
+}

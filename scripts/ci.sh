@@ -84,6 +84,32 @@ grep -q "Chaos smoke" "$SOAK_TMP/chaos.md"
 grep -q "retransmits" "$SOAK_TMP/chaos.md"
 rm -rf "$SOAK_TMP"
 
+echo "== task scheduler smoke (figures -- task-smoke) =="
+# Task-based n-body on 4 nodes: flat placement and two steal seeds must
+# merge bit-identically to the blockwise sequential reference — the
+# binary exits nonzero on any divergence.
+TASK_TMP="$(mktemp -d)"
+cargo run -q --offline -p parade-bench --bin figures -- task-smoke \
+  > "$TASK_TMP/task.md"
+grep -q "Task smoke" "$TASK_TMP/task.md"
+grep -q "flat placement" "$TASK_TMP/task.md"
+if grep -q "false" "$TASK_TMP/task.md"; then
+  echo "task-smoke reported a non-bit-identical schedule" >&2
+  exit 1
+fi
+rm -rf "$TASK_TMP"
+
+echo "== chaos steal-soak (figures -- steal-soak) =="
+# The same task phase under randomized stealing over a lossy wire
+# (PARADE_CHAOS or the pinned schedule): exactly-once scheduling,
+# bit-identical energies, and at least one retransmission.
+STEAL_TMP="$(mktemp -d)"
+cargo run -q --offline -p parade-bench --bin figures -- steal-soak \
+  > "$STEAL_TMP/steal.md"
+grep -q "Steal soak" "$STEAL_TMP/steal.md"
+grep -q "retransmits" "$STEAL_TMP/steal.md"
+rm -rf "$STEAL_TMP"
+
 echo "== primitives microbench (emits BENCH_primitives.json) =="
 BENCH_TMP="$(mktemp -d)"
 PARADE_BENCH_JSON="$BENCH_TMP" \
@@ -93,9 +119,10 @@ test -s "$BENCH_TMP/BENCH_primitives.json"
 rm -rf "$BENCH_TMP"
 
 echo "== dsm release-path bench + regression gate (emits BENCH_dsm.json) =="
-# The release/ and coll/ metrics are simulated virtual time and message
-# counts — deterministic on any host — gated at 20% against the committed
-# baseline. The coll/ scaling families (…_{N}n) are additionally gated on
+# The release/, coll/, and tasks/ metrics are simulated virtual time and
+# message counts — deterministic on any host — gated at 20% against the
+# committed baseline. The coll/ and tasks/ scaling families (…_{N}n) are
+# additionally gated on
 # *shape*: each node-count doubling must cost < 1.7x the previous rung, so
 # a silent fallback from the hierarchical collectives to the flat O(N)
 # algorithms fails CI even if no single point drifts past the tolerance.

@@ -124,6 +124,7 @@ fn conform_programs_flagged_statically() {
         ("non_canonical.c", LintId::DirectiveStructure),
         ("bad_atomic.c", LintId::DirectiveStructure),
         ("unknown_clause_var.c", LintId::DirectiveStructure),
+        ("barrier_in_task.c", LintId::DirectiveStructure),
     ];
     let files = corpus_files("conform");
     assert_eq!(

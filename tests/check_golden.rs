@@ -144,9 +144,23 @@ fn pc007_unknown_clause_var_golden() {
 }
 
 #[test]
+fn pc008_golden() {
+    let diags = check_source(
+        "int main() {\n    double sum;\n    #pragma omp parallel\n    {\n        #pragma omp task\n        {\n            sum = sum + 1.0;\n        }\n        #pragma omp taskwait\n    }\n    return 0;\n}\n",
+    )
+    .unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:7:13: error[PC008]"]);
+    assert!(
+        diags[0].message.contains("depend(out: sum)"),
+        "suggests the fix: {}",
+        diags[0].message
+    );
+}
+
+#[test]
 fn every_lint_id_is_exercised_above() {
     // Companion assertion: the suite covers the whole taxonomy.
-    assert_eq!(LintId::ALL.len(), 7);
+    assert_eq!(LintId::ALL.len(), 8);
     for l in LintId::ALL {
         let sev = l.severity();
         match l {

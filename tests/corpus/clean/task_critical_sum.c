@@ -1,0 +1,20 @@
+/* Tasks combine into the shared accumulator, but only ever under
+ * `critical` — the lock orders the read-modify-writes.
+ * Expected: clean. */
+int main() {
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task
+        {
+            #pragma omp critical
+            {
+                sum = sum + 1.0;
+            }
+        }
+        #pragma omp taskwait
+    }
+    printf("%f\n", sum);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/* A two-stage task pipeline: the producer writes `a` under depend(out)
+ * and the consumer reads it under depend(in), writing `b` under its own
+ * out-edge. The dependence edges order every access.
+ * Expected: clean. */
+int main() {
+    double a;
+    double b;
+    a = 0.0;
+    b = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(out: a)
+        {
+            a = a + 1.0;
+        }
+        #pragma omp task depend(in: a) depend(out: b)
+        {
+            b = b + a;
+        }
+        #pragma omp taskwait
+    }
+    printf("%f %f\n", a, b);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/* A barrier inside a task body: the task's executor may be any single
+ * thread on any node, so there is no team to join — the runtime rejects
+ * the nesting outright.
+ * Expected: PC007 statically (not oracle-checkable: the interpreter
+ * errors before any access happens). */
+int main() {
+    double x;
+    x = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(out: x)
+        {
+            x = 1.0;
+            #pragma omp barrier
+        }
+        #pragma omp taskwait
+    }
+    return 0;
+}

@@ -1,0 +1,16 @@
+/* Every thread offloads a `target` region that read-modify-writes the
+ * same mapped scalar; nothing orders the offloads against each other.
+ * Expected: PC008 statically; write-write races dynamically. */
+int main() {
+    double x;
+    x = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp target map(tofrom: x)
+        {
+            x = x + 1.0;
+        }
+    }
+    printf("%f\n", x);
+    return 0;
+}

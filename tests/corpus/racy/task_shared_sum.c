@@ -1,0 +1,18 @@
+/* Every thread spawns a task that bumps the shared accumulator with no
+ * `depend` edge and no synchronization: the task instances run
+ * concurrently under the work-stealing scheduler.
+ * Expected: PC008 statically; write-write races dynamically. */
+int main() {
+    double sum;
+    sum = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task
+        {
+            sum = sum + 1.0;
+        }
+        #pragma omp taskwait
+    }
+    printf("%f\n", sum);
+    return 0;
+}
