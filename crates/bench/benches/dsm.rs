@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use parade_dsm::{spawn_comm_thread, Dsm, DsmConfig, HomePolicy, PAGE_SIZE};
+use parade_dsm::{spawn_comm_thread, Dsm, DsmConfig, HomePolicy, ProtoSelect, PAGE_SIZE};
 use parade_mpi::{CollectiveTopology, Communicator, ReduceOp};
 use parade_net::{Fabric, NetProfile, VClock};
 use parade_tasks::{NodeSched, SchedConfig, StealStrategy, Step, TaskCtx, TaskDesc};
@@ -47,6 +47,19 @@ fn run_nodes<R: Send + 'static>(
     profile: NetProfile,
     f: impl Fn(Arc<Dsm>, &mut VClock) -> R + Send + Sync + 'static,
 ) -> Vec<R> {
+    run_nodes_counted(n, cfg, profile, f).0
+}
+
+/// Like [`run_nodes`], but also return the total messages all nodes sent —
+/// summed *after* the communication threads joined, so in-flight replies
+/// and barrier-departure fan-outs are all accounted for and the count is a
+/// pure function of the protocol (no snapshot race).
+fn run_nodes_counted<R: Send + 'static>(
+    n: usize,
+    cfg: DsmConfig,
+    profile: NetProfile,
+    f: impl Fn(Arc<Dsm>, &mut VClock) -> R + Send + Sync + 'static,
+) -> (Vec<R>, u64) {
     let fabric = Fabric::new(n, profile);
     let dsms: Vec<Arc<Dsm>> = (0..n)
         .map(|i| Arc::new(Dsm::new(fabric.endpoint(i), cfg)))
@@ -72,7 +85,11 @@ fn run_nodes<R: Send + 'static>(
     for h in comm_handles {
         h.join().unwrap();
     }
-    results
+    let total_msgs = dsms
+        .iter()
+        .map(|d| d.endpoint().local_stats().snapshot().sent.msgs)
+        .sum();
+    (results, total_msgs)
 }
 
 fn release_cfg(pages: usize, batched: bool) -> DsmConfig {
@@ -395,6 +412,209 @@ fn record_tasks_family(b: &mut Bench) {
     }
 }
 
+/// Per-page-at-a-time read sweep over `pages` remote pages (all homed on
+/// node 0 under `Fixed`): the fault storm a naive stencil sweep pays. With
+/// stride prefetch the predictor confirms the unit stride after a few
+/// demand misses and turns the remaining faults into ranged speculative
+/// fetches plus local hits. Single requester + hierarchical barrier keep
+/// the virtual times and message counts deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+struct SweepMetrics {
+    sweep_vtime_ns: u64,
+    /// DSM/Ctl messages node 1 sent during the sweep (fetch round trips).
+    sweep_msgs: u64,
+    range_fetches: u64,
+    prefetch_hits: u64,
+}
+
+fn sweep_metrics(pages: usize, prefetch: bool) -> SweepMetrics {
+    let cfg = DsmConfig {
+        pool_bytes: (pages + 8) * PAGE_SIZE,
+        home_policy: HomePolicy::Fixed,
+        hierarchical_barrier: true,
+        stride_prefetch: prefetch,
+        ..DsmConfig::default()
+    };
+    let out = run_nodes(2, cfg, NetProfile::clan_via(), move |d, clk| {
+        let r = d.alloc_region(pages * PAGE_SIZE).unwrap();
+        d.barrier(clk);
+        let mut m = SweepMetrics::default();
+        if d.node() == 1 {
+            let mut buf = vec![0i64; PAGE_SIZE / 8];
+            let net0 = d.endpoint().local_stats().snapshot();
+            let s0 = d.stats.snapshot();
+            let t0 = clk.now();
+            for p in 0..pages {
+                // One call per page: the access stream the predictor sees.
+                d.read_slice::<i64>(r, p * (PAGE_SIZE / 8), &mut buf, clk);
+            }
+            let t1 = clk.now();
+            let net1 = d.endpoint().local_stats().snapshot();
+            let s1 = d.stats.snapshot();
+            m = SweepMetrics {
+                sweep_vtime_ns: t1.saturating_sub(t0).as_nanos(),
+                sweep_msgs: net1.sent.msgs - net0.sent.msgs,
+                range_fetches: s1.range_fetches - s0.range_fetches,
+                prefetch_hits: s1.prefetch_hits - s0.prefetch_hits,
+            };
+        }
+        d.barrier(clk);
+        m
+    });
+    out[1]
+}
+
+fn record_fault_storm_family(b: &mut Bench) {
+    const PAGES: usize = 64;
+    let demand = sweep_metrics(PAGES, false);
+    let pf = sweep_metrics(PAGES, true);
+    b.record(
+        "fault_storm/sweep_vtime_ns_64p_demand",
+        demand.sweep_vtime_ns as f64,
+    );
+    b.record(
+        "fault_storm/sweep_vtime_ns_64p_prefetch",
+        pf.sweep_vtime_ns as f64,
+    );
+    b.record(
+        "fault_storm/sweep_msgs_64p_demand",
+        demand.sweep_msgs as f64,
+    );
+    b.record("fault_storm/sweep_msgs_64p_prefetch", pf.sweep_msgs as f64);
+    b.record("fault_storm/range_fetch_trips_64p", pf.range_fetches as f64);
+    b.record("fault_storm/prefetch_hits_64p", pf.prefetch_hits as f64);
+    assert!(
+        pf.prefetch_hits > 0,
+        "unit-stride sweep must produce prefetch hits"
+    );
+    // The gated margin: prefetch must beat the demand-paged sweep. Lower is
+    // better, so a lost win raises the ratio past the baseline band.
+    let ratio = pf.sweep_vtime_ns as f64 / demand.sweep_vtime_ns as f64 * 100.0;
+    assert!(ratio < 100.0, "prefetch sweep slower than demand paging");
+    b.record("fault_storm/vtime_ratio_pct", ratio);
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AdaptMetrics {
+    /// Slowest node's virtual time over the measured intervals.
+    vtime_ns: u64,
+    /// Messages all nodes sent over the measured intervals.
+    msgs: u64,
+}
+
+/// Drive `intervals` write/read rounds under one [`ProtoSelect`] mode and
+/// return the steady-state cost. Reader turns are staggered by barriers so
+/// every request stream has a single concurrent client — virtual times and
+/// message counts replay exactly.
+///
+/// * `migratory: false` — write-broadcast: node 0 (the fixed home) writes
+///   every page, nodes 1 and 2 re-read them each interval. Update pushes
+///   replace both readers' refetch round trips.
+/// * `migratory: true` — producer/consumer pair: after one all-nodes read
+///   interval poisons the sharer history, only nodes 1 and 2 touch the
+///   pages (alternating writer/reader). `AllUpdate` keeps pushing to the
+///   stale sharers 3..6 forever (its sharer set never clears); adaptive
+///   re-measures readership at probation and pushes to the live pair only.
+fn adapt_run(select: ProtoSelect, migratory: bool, intervals: usize) -> (u64, u64) {
+    let nodes = if migratory { 6 } else { 4 };
+    const PAGES: usize = 4;
+    let cfg = DsmConfig {
+        pool_bytes: (PAGES + 8) * PAGE_SIZE,
+        home_policy: HomePolicy::Fixed,
+        hierarchical_barrier: true,
+        stride_prefetch: false,
+        proto_select: select,
+        ..DsmConfig::default()
+    };
+    let (out, total_msgs) = run_nodes_counted(nodes, cfg, NetProfile::clan_via(), move |d, clk| {
+        let r = d.alloc_region(PAGES * PAGE_SIZE).unwrap();
+        d.barrier(clk);
+        let node = d.node();
+        let mut buf = vec![0i64; PAGE_SIZE / 8];
+        for i in 0..intervals {
+            let (writer, readers): (usize, &[usize]) = if migratory {
+                if i == 0 {
+                    // Poison interval: everyone reads once.
+                    (0, &[1, 2, 3, 4, 5])
+                } else if i % 2 == 1 {
+                    (1, &[2])
+                } else {
+                    (2, &[1])
+                }
+            } else {
+                (0, &[1, 2])
+            };
+            if node == writer {
+                for p in 0..PAGES {
+                    d.write::<i64>(r, p * PAGE_SIZE, (i * PAGES + p) as i64 + 1, clk);
+                }
+            }
+            d.barrier(clk); // the write notices drive this barrier's decision
+            for &rd in readers {
+                if node == rd {
+                    for p in 0..PAGES {
+                        d.read_slice::<i64>(r, p * (PAGE_SIZE / 8), &mut buf, clk);
+                    }
+                }
+                d.barrier(clk);
+            }
+        }
+        clk.now().as_nanos()
+    });
+    (out.into_iter().max().unwrap_or(0), total_msgs)
+}
+
+fn adapt_metrics(select: ProtoSelect, migratory: bool) -> AdaptMetrics {
+    const WARM: usize = 2;
+    const MEASURED: usize = 8;
+    // Message counts are summed after full quiesce, so the measured-phase
+    // cost is the difference of two complete runs — no mid-run snapshot
+    // can race the root's departure fan-out.
+    let (vt_full, msgs_full) = adapt_run(select, migratory, WARM + MEASURED);
+    let (vt_warm, msgs_warm) = adapt_run(select, migratory, WARM);
+    AdaptMetrics {
+        vtime_ns: vt_full.saturating_sub(vt_warm),
+        msgs: msgs_full - msgs_warm,
+    }
+}
+
+fn record_adapt_family(b: &mut Bench) {
+    // Write-broadcast: adaptive must beat all-invalidate.
+    let ad = adapt_metrics(ProtoSelect::Adaptive, false);
+    let inv = adapt_metrics(ProtoSelect::AllInvalidate, false);
+    b.record("adapt/bcast_msgs_adaptive", ad.msgs as f64);
+    b.record("adapt/bcast_msgs_invalidate", inv.msgs as f64);
+    // Virtual times of concurrent push/fetch traffic carry sub-percent
+    // service-order jitter, so they live in the ungated `adapt_info/`
+    // family; the gated margins are the exact message counts and ratios.
+    b.record("adapt_info/bcast_vtime_ns_adaptive", ad.vtime_ns as f64);
+    b.record("adapt_info/bcast_vtime_ns_invalidate", inv.vtime_ns as f64);
+    let ratio = ad.msgs as f64 / inv.msgs as f64 * 100.0;
+    assert!(
+        ratio < 100.0,
+        "adaptive sent {} msgs vs all-invalidate {} on the broadcast workload",
+        ad.msgs,
+        inv.msgs
+    );
+    b.record("adapt/bcast_msg_ratio_pct", ratio);
+
+    // Producer/consumer with stale sharers: adaptive must beat all-update.
+    let ad = adapt_metrics(ProtoSelect::Adaptive, true);
+    let upd = adapt_metrics(ProtoSelect::AllUpdate, true);
+    b.record("adapt/migratory_msgs_adaptive", ad.msgs as f64);
+    b.record("adapt/migratory_msgs_update", upd.msgs as f64);
+    b.record("adapt_info/migratory_vtime_ns_adaptive", ad.vtime_ns as f64);
+    b.record("adapt_info/migratory_vtime_ns_update", upd.vtime_ns as f64);
+    let ratio = ad.msgs as f64 / upd.msgs as f64 * 100.0;
+    assert!(
+        ratio < 100.0,
+        "adaptive sent {} msgs vs all-update {} on the migratory workload",
+        ad.msgs,
+        upd.msgs
+    );
+    b.record("adapt/migratory_msg_ratio_pct", ratio);
+}
+
 fn bench_wall_flush(b: &mut Bench) {
     for &batched in &[true, false] {
         let tag = if batched { "batched" } else { "unbatched" };
@@ -415,6 +635,8 @@ fn main() {
     record_barrier_family(&mut b);
     record_coll_family(&mut b);
     record_tasks_family(&mut b);
+    record_fault_storm_family(&mut b);
+    record_adapt_family(&mut b);
     bench_wall_flush(&mut b);
     b.finish();
 }

@@ -3,8 +3,8 @@
 //! Usage: `bench_gate <current.json> <baseline.json> [tolerance_pct]`
 //!
 //! Compares the **deterministic** metric families (names starting with
-//! `release/`, `coll/`, or `tasks/`) of a fresh benchmark run against a
-//! committed baseline. Those
+//! `release/`, `coll/`, `tasks/`, `fault_storm/`, or `adapt/`) of a fresh
+//! benchmark run against a committed baseline. Those
 //! metrics are simulated virtual time and fabric message counts — identical
 //! on every machine — so a conservative tolerance band (default 20%)
 //! guards only against protocol regressions, not host noise. Wall-clock
@@ -27,7 +27,7 @@
 use std::process::ExitCode;
 
 /// Metric families the gate enforces.
-const GATED_PREFIXES: &[&str] = &["release/", "coll/", "tasks/"];
+const GATED_PREFIXES: &[&str] = &["release/", "coll/", "tasks/", "fault_storm/", "adapt/"];
 
 /// Max allowed cost ratio between successive node-count doublings of a
 /// gated `_{N}n` scaling family (log₂N scaling sits near 1.2; flat linear

@@ -10,14 +10,14 @@
 //! paper's plots; `--csv DIR` additionally writes CSV files.
 
 use parade_bench::{
-    ablation_fabric, ablation_home, ablation_schedules, all_figures, chaos_smoke, fig10, fig11,
-    fig6, fig7, fig8, fig9, steal_soak, task_smoke, trace_breakdown, update_methods,
+    ablation_fabric, ablation_home, ablation_schedules, adapt_smoke, all_figures, chaos_smoke,
+    fig10, fig11, fig6, fig7, fig8, fig9, steal_soak, task_smoke, trace_breakdown, update_methods,
     write_tables_json, FigureOpts, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|chaos-smoke|task-smoke|steal-soak|all> \
+        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|chaos-smoke|task-smoke|steal-soak|adapt-smoke|all> \
          [--class s|w|a] [--nodes 1,2,4,8] [--scale F] [--with-mpi] [--quick] [--csv DIR]\n\
          trace: traced smoke run — writes a Chrome trace (PARADE_TRACE, default \
          parade_trace.json), validates it, prints the breakdown\n\
@@ -28,7 +28,10 @@ fn usage() -> ! {
          steal seeds must merge bit-identically to the sequential reference\n\
          steal-soak: the same task phase under stealing on a lossy wire \
          (PARADE_CHAOS or the pinned schedule) — exactly-once, bit-identical, \
-         >=1 retransmission"
+         >=1 retransmission\n\
+         adapt-smoke: CG class S under all-invalidate / all-update / adaptive \
+         protocol selection and stride prefetch — every mode must stay \
+         bit-identical and bulk reads must coalesce into range fetches"
     );
     std::process::exit(2);
 }
@@ -128,6 +131,13 @@ fn main() {
             Ok(ts) => ts,
             Err(e) => {
                 eprintln!("figures steal-soak: {e}");
+                std::process::exit(1);
+            }
+        },
+        "adapt-smoke" | "adapt_smoke" => match adapt_smoke(&opts) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("figures adapt-smoke: {e}");
                 std::process::exit(1);
             }
         },

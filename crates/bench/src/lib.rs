@@ -694,6 +694,119 @@ pub fn chaos_smoke(opts: &FigureOpts) -> Result<Vec<Table>, String> {
     Ok(vec![t])
 }
 
+/// Adaptive-DSM smoke (`figures -- adapt-smoke`): NPB CG class S under the
+/// three per-page protocol-selection modes, plus adaptive with stride
+/// prefetch enabled. Fails unless every mode is NPB-verified and
+/// bit-identical to the all-invalidate reference — the protocol-equivalence
+/// contract: invalidate + refetch and a home push install the same merged
+/// bytes, and prefetch only moves fetches earlier — and the bulk fetch
+/// path stayed live (CG's whole-vector reads must coalesce into
+/// `ReqPageRange` trips). CG reads each vector in one bulk call per
+/// iteration, so the *stride* predictor has no inter-fault stride to
+/// learn — its non-triviality is pinned by the `fault_storm/` bench
+/// family and the predictor unit corpus instead.
+pub fn adapt_smoke(opts: &FigureOpts) -> Result<Vec<Table>, String> {
+    use parade_dsm::ProtoSelect;
+    let nodes = opts
+        .nodes
+        .iter()
+        .copied()
+        .filter(|&n| n >= 4)
+        .max()
+        .unwrap_or(8);
+    let cfg = |select: ProtoSelect, prefetch: bool| ClusterConfig {
+        nodes,
+        net: NetProfile::clan_via(),
+        time: TimeSource::Manual,
+        proto_select: select,
+        stride_prefetch: prefetch,
+        ..ClusterConfig::default()
+    };
+    let runs = [
+        ("all-invalidate", ProtoSelect::AllInvalidate, false),
+        ("all-update", ProtoSelect::AllUpdate, false),
+        ("adaptive", ProtoSelect::Adaptive, false),
+        ("adaptive + prefetch", ProtoSelect::Adaptive, true),
+    ];
+    let mut t = Table::new(
+        format!("Adaptive-DSM smoke — CG class S on {nodes} nodes, all modes bit-identical"),
+        &[
+            "mode",
+            "zeta",
+            "fetches",
+            "range fetches",
+            "prefetch hits",
+            "update pushes",
+            "invalidations",
+        ],
+    );
+    let mut reference: Option<(u64, u64)> = None;
+    // Page-protocol messages (demand fetches + update pushes) per mode,
+    // to prove the adaptive policy never costs more than either static
+    // extreme on this workload.
+    let mut proto_msgs: Vec<(&str, u64)> = Vec::new();
+    for (label, select, prefetch) in runs {
+        let (res, report) = cg_parade(&Cluster::from_config(cfg(select, prefetch)), CgClass::S);
+        if let Some(err) = &report.cluster.fabric_error {
+            return Err(format!("adapt-smoke: link died under {label}: {err}"));
+        }
+        if !res.verify(CgClass::S) {
+            return Err(format!(
+                "adapt-smoke: CG failed NPB verification under {label}: zeta={}",
+                res.zeta
+            ));
+        }
+        let bits = (res.zeta.to_bits(), res.rnorm.to_bits());
+        match reference {
+            None => reference = Some(bits),
+            Some(r) if r != bits => {
+                return Err(format!(
+                    "adapt-smoke: {label} diverged from all-invalidate: zeta={}",
+                    res.zeta
+                ));
+            }
+            Some(_) => {}
+        }
+        let d = report.cluster.dsm_totals();
+        if prefetch && d.range_fetches == 0 {
+            return Err(format!(
+                "adapt-smoke: {label} never coalesced a bulk read into a \
+                 range fetch — bulk fetch path dead"
+            ));
+        }
+        proto_msgs.push((label, d.page_fetches + d.update_pushes));
+        t.row(vec![
+            label.into(),
+            format!("{}", res.zeta),
+            d.page_fetches.to_string(),
+            d.range_fetches.to_string(),
+            d.prefetch_hits.to_string(),
+            d.update_pushes.to_string(),
+            d.invalidations.to_string(),
+        ]);
+    }
+    // CG-S is multi-writer on the shared vectors, so the adaptive policy
+    // should settle on invalidate (matching all-invalidate's cost) while
+    // all-update pays pushes on top of the fetches it does save — a
+    // silent fallback to always-update shows up as adaptive >= update.
+    let msgs = |want: &str| {
+        proto_msgs
+            .iter()
+            .find(|(l, _)| *l == want)
+            .map(|&(_, m)| m)
+            .expect("all runs recorded")
+    };
+    let (adapt, inval, update) = (msgs("adaptive"), msgs("all-invalidate"), msgs("all-update"));
+    if adapt > inval || adapt >= update {
+        return Err(format!(
+            "adapt-smoke: adaptive spent {adapt} page-protocol messages vs \
+             all-invalidate {inval} / all-update {update} — the adaptive \
+             policy must never cost more than either static extreme"
+        ));
+    }
+    Ok(vec![t])
+}
+
 fn energy_bits(r: &MdResult) -> [u64; 4] {
     [
         r.first.potential.to_bits(),
@@ -904,6 +1017,17 @@ mod tests {
             .find(|r| r[0] == "retransmits")
             .expect("retransmit row");
         assert!(retx[1].parse::<u64>().unwrap() >= 1);
+    }
+
+    #[test]
+    fn adapt_smoke_is_bit_identical_across_protocol_modes() {
+        let tables = adapt_smoke(&FigureOpts::quick()).expect("adapt smoke must pass");
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.title.contains("Adaptive-DSM smoke"));
+        assert_eq!(t.rows.len(), 4);
+        let zeta = &t.rows[0][1];
+        assert!(t.rows.iter().all(|r| &r[1] == zeta), "{:?}", t.rows);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Cluster configuration: the paper's execution configurations (§6.2) and
 //! all protocol knobs in one place.
 
-use parade_dsm::{CommCosts, DsmConfig, HomePolicy, LockKind, UpdateStrategy};
+use parade_dsm::{CommCosts, DsmConfig, HomePolicy, LockKind, ProtoSelect, UpdateStrategy};
 use parade_net::{ChaosProfile, NetProfile, TimeSource};
 use parade_tasks::SchedConfig;
 
@@ -123,6 +123,23 @@ pub struct ClusterConfig {
     /// Task scheduler knobs (steal strategy, victim fanout, batch grain,
     /// victim-selection seed) for `parade-tasks` phases.
     pub task_scheduler: SchedConfig,
+    /// Lock shards for per-node page bookkeeping and home-side page state
+    /// (rounded up to a power of two; `<= 1` restores one global lock).
+    pub page_shards: usize,
+    /// Per-thread stride prefetcher: predict the next pages of a strided
+    /// access pattern and fetch them ahead of the demand miss.
+    pub stride_prefetch: bool,
+    /// Pages fetched ahead per confirmed stride (clamped to
+    /// `max_fetch_range`).
+    pub prefetch_depth: usize,
+    /// Consecutive stride breaks tolerated before a thread's predictor is
+    /// permanently disabled for the run.
+    pub prefetch_mispredict_budget: u32,
+    /// Per-page invalidate-vs-update protocol selection (see
+    /// `ProtoSelect`). `Adaptive` picks per page from barrier-time
+    /// sharer/writer history; the static modes force one protocol
+    /// everywhere.
+    pub proto_select: ProtoSelect,
 }
 
 impl Default for ClusterConfig {
@@ -145,6 +162,11 @@ impl Default for ClusterConfig {
             hierarchical_collectives: true,
             smp_width: 1,
             task_scheduler: SchedConfig::default(),
+            page_shards: 16,
+            stride_prefetch: true,
+            prefetch_depth: 4,
+            prefetch_mispredict_budget: 4,
+            proto_select: ProtoSelect::Adaptive,
         }
     }
 }
@@ -178,6 +200,11 @@ impl ClusterConfig {
             batch_diffs: self.batch_diffs,
             max_fetch_range: self.max_fetch_range,
             hierarchical_barrier: self.hierarchical_collectives,
+            page_shards: self.page_shards,
+            stride_prefetch: self.stride_prefetch,
+            prefetch_depth: self.prefetch_depth,
+            prefetch_mispredict_budget: self.prefetch_mispredict_budget,
+            proto_select: self.proto_select,
         }
     }
 

@@ -50,6 +50,7 @@ pub use parade_net::VBarrier;
 
 // Re-exports so downstream code needs only this crate for common use.
 pub use parade_cluster::{ClusterConfig, ExecConfig, ProtocolMode};
+pub use parade_dsm::ProtoSelect;
 pub use parade_mpi::ReduceOp;
 pub use parade_net::{NetProfile, NodeTraffic, TimeSource, VTime};
 pub use parade_tasks::{SchedConfig, StealStrategy, TaskCtx, TaskDesc};

@@ -314,6 +314,30 @@ impl ClusterBuilder {
         self
     }
 
+    /// Lock shards for page bookkeeping (`<= 1` restores one global lock).
+    pub fn page_shards(mut self, n: usize) -> Self {
+        self.cfg.page_shards = n;
+        self
+    }
+
+    /// Toggle the per-thread stride prefetcher (on by default).
+    pub fn stride_prefetch(mut self, on: bool) -> Self {
+        self.cfg.stride_prefetch = on;
+        self
+    }
+
+    /// Pages fetched ahead per confirmed stride.
+    pub fn prefetch_depth(mut self, d: usize) -> Self {
+        self.cfg.prefetch_depth = d;
+        self
+    }
+
+    /// Invalidate-vs-update protocol selection (adaptive or forced).
+    pub fn proto_select(mut self, p: parade_dsm::ProtoSelect) -> Self {
+        self.cfg.proto_select = p;
+        self
+    }
+
     pub fn config(mut self, cfg: ClusterConfig) -> Self {
         self.cfg = cfg;
         self

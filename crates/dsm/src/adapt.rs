@@ -1,0 +1,377 @@
+//! Barrier-time per-page protocol selection (invalidate vs. update) and
+//! dominant-writer home placement.
+//!
+//! The paper fixes the update/invalidate split at a static 256 B size
+//! threshold. This module makes the split dynamic *per page*: the barrier
+//! root keeps a [`ProtocolTable`] of every page's writer and sharer
+//! history, and each departure decides — page by page — whether cached
+//! copies should be invalidated (classic HLRC write notice) or receive a
+//! push of the merged page from its home (update protocol). A page whose
+//! sharer set keeps re-faulting the same data after every barrier is
+//! cheaper to update in place; a migratory page bouncing between writers
+//! is cheaper to invalidate.
+//!
+//! Everything is decided from the aggregated, *sorted* arrival data the
+//! root already holds, so the decision stream is a pure function of the
+//! program's barrier history: runs replay bit-identically regardless of
+//! real-time message schedules, and the equivalence suite can assert
+//! adaptive ≡ all-invalidate ≡ all-update on results.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::ProtoSelect;
+use crate::page::PageId;
+
+/// Update decisions between probation rounds: every `PROBATION`-th update
+/// decision for a page is demoted to an invalidate that clears the sharer
+/// set, forcing still-interested readers to re-fault (and thereby
+/// re-measure real readership) before the page can flip back.
+pub const PROBATION: u32 = 4;
+
+/// Minimum observed sharers (excluding the home) for an update flip.
+pub const MIN_SHARERS: usize = 2;
+
+/// Per-page history at the barrier root.
+#[derive(Debug, Default, Clone)]
+struct PageHist {
+    /// Cumulative barrier intervals in which each node wrote the page.
+    writes: BTreeMap<usize, u64>,
+    /// Nodes observed reading the page since the last invalidate decision.
+    sharers: BTreeSet<usize>,
+    /// Update decisions since the last probation invalidate.
+    update_streak: u32,
+    /// Previous decision for this page (for flip counting).
+    last_update: bool,
+}
+
+/// What the departure should prescribe for one written page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoDecision {
+    /// `true` → the home pushes the merged page to `sharers`; everyone
+    /// else invalidates. `false` → classic invalidate write notice.
+    pub update: bool,
+    /// Sorted push set (empty unless `update`). Never contains the home.
+    pub sharers: Vec<usize>,
+    /// Did the page change protocol relative to its previous decision?
+    pub flipped: bool,
+}
+
+impl ProtoDecision {
+    fn invalidate(flipped: bool) -> ProtoDecision {
+        ProtoDecision {
+            update: false,
+            sharers: Vec::new(),
+            flipped,
+        }
+    }
+}
+
+/// Root-side history table driving [`ProtoSelect`] (see module docs).
+#[derive(Debug, Default)]
+pub struct ProtocolTable {
+    pages: BTreeMap<PageId, PageHist>,
+}
+
+impl ProtocolTable {
+    pub fn new() -> ProtocolTable {
+        ProtocolTable::default()
+    }
+
+    /// Fold one interval's readers of `page` into its sharer history.
+    /// Called for *every* page with readers, written or not — a page read
+    /// in this interval and written in the next must already know its
+    /// audience when the write decision is made.
+    pub fn note_readers(&mut self, page: PageId, readers: &[usize]) {
+        if readers.is_empty() {
+            return;
+        }
+        let hist = self.pages.entry(page).or_default();
+        hist.sharers.extend(readers.iter().copied());
+    }
+
+    /// Migratory home placement for a written page. `writers` must be the
+    /// root's sorted interval writer list. The legacy §5.2.2 rule (single
+    /// writer takes the page; multi-writer keeps a writing home, else the
+    /// smallest writer) is the tie-breaker; on top of it, a writer whose
+    /// cumulative write count *strictly* dominates every other interval
+    /// writer takes the page even if the legacy rule preferred another —
+    /// that is what re-homes a page to its dominant writer once history
+    /// accumulates. Fresh pages have all-equal counts, so every existing
+    /// migration pin decides exactly as before.
+    pub fn pick_home(&mut self, page: PageId, writers: &[usize], old_home: usize) -> usize {
+        debug_assert!(writers.windows(2).all(|w| w[0] < w[1]));
+        let hist = self.pages.entry(page).or_default();
+        for &w in writers {
+            *hist.writes.entry(w).or_insert(0) += 1;
+        }
+        let legacy = if writers.len() == 1 {
+            writers[0]
+        } else if writers.contains(&old_home) {
+            old_home
+        } else {
+            writers[0]
+        };
+        if writers.len() <= 1 {
+            return legacy;
+        }
+        let mut best = writers[0];
+        let mut best_count = hist.writes[&writers[0]];
+        let mut strict = true;
+        for &w in &writers[1..] {
+            let c = hist.writes[&w];
+            match c.cmp(&best_count) {
+                std::cmp::Ordering::Greater => {
+                    best = w;
+                    best_count = c;
+                    strict = true;
+                }
+                std::cmp::Ordering::Equal => strict = false,
+                std::cmp::Ordering::Less => {}
+            }
+        }
+        if strict {
+            best
+        } else {
+            legacy
+        }
+    }
+
+    /// Record interval write counts for a written page under the `Fixed`
+    /// home policy (where [`Self::pick_home`] never runs) so protocol
+    /// decisions still see writer history.
+    pub fn note_writes(&mut self, page: PageId, writers: &[usize]) {
+        let hist = self.pages.entry(page).or_default();
+        for &w in writers {
+            *hist.writes.entry(w).or_insert(0) += 1;
+        }
+    }
+
+    /// Decide the coherence action for one written page. `readers` is the
+    /// interval's sorted reader list for the page (often empty); `writers`
+    /// the sorted interval writer list; `new_home` the home the departure
+    /// will install (possibly unchanged).
+    pub fn decide(
+        &mut self,
+        mode: ProtoSelect,
+        page: PageId,
+        writers: &[usize],
+        readers: &[usize],
+        old_home: usize,
+        new_home: usize,
+    ) -> ProtoDecision {
+        let hist = self.pages.entry(page).or_default();
+        hist.sharers.extend(readers.iter().copied());
+        let migrated = new_home != old_home;
+        let want_update = match mode {
+            ProtoSelect::AllInvalidate => false,
+            // A migrated page's merged bytes land at the *new* home via the
+            // existing migration push; sharer pushes would race it, so a
+            // migration interval always invalidates.
+            _ if migrated => false,
+            ProtoSelect::AllUpdate => true,
+            ProtoSelect::Adaptive => {
+                writers.len() == 1
+                    && hist.sharers.iter().filter(|&&n| n != new_home).count() >= MIN_SHARERS
+            }
+        };
+        let probation =
+            mode == ProtoSelect::Adaptive && want_update && hist.update_streak + 1 >= PROBATION;
+        let decision = if want_update && !probation {
+            hist.update_streak += 1;
+            let flipped = !hist.last_update;
+            hist.last_update = true;
+            ProtoDecision {
+                update: true,
+                sharers: hist
+                    .sharers
+                    .iter()
+                    .copied()
+                    .filter(|&n| n != new_home)
+                    .collect(),
+                flipped,
+            }
+        } else {
+            // Invalidate: cached copies are dropped, so the sharer history
+            // restarts from the refaults that follow. `AllUpdate` keeps its
+            // ever-growing set (its defining pathology); probation and
+            // plain adaptive/legacy invalidates clear it.
+            hist.update_streak = 0;
+            if mode != ProtoSelect::AllUpdate {
+                hist.sharers.clear();
+            }
+            let flipped = hist.last_update;
+            hist.last_update = false;
+            ProtoDecision::invalidate(flipped)
+        };
+        if let Entry::Occupied(e) = self.pages.entry(page) {
+            if e.get().writes.is_empty() && e.get().sharers.is_empty() {
+                e.remove();
+            }
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ProtoSelect = ProtoSelect::Adaptive;
+
+    #[test]
+    fn fresh_multi_writer_tie_keeps_legacy_home_rule() {
+        let mut t = ProtocolTable::new();
+        // Multi-writer {1, 3}, old home 5 (not a writer): smallest writer.
+        assert_eq!(t.pick_home(5, &[1, 3], 5), 1);
+        // Multi-writer containing the old home: home keeps the page.
+        assert_eq!(t.pick_home(6, &[0, 2], 2), 2);
+        // Single writer takes the page.
+        assert_eq!(t.pick_home(7, &[2], 0), 2);
+    }
+
+    #[test]
+    fn dominant_writer_eventually_takes_the_page() {
+        let mut t = ProtocolTable::new();
+        // Node 2 writes page 9 alone for three intervals (home follows it
+        // immediately under the single-writer rule).
+        for _ in 0..3 {
+            assert_eq!(t.pick_home(9, &[2], 2), 2);
+        }
+        // Interval where 0 and 2 both write, old home 0 — legacy would
+        // keep home 0 (a writer), but 2's history (4 vs 1) dominates.
+        assert_eq!(t.pick_home(9, &[0, 2], 0), 2);
+        // Once counts even out (0 writes alone three times → 4 vs 4), a
+        // contested interval falls back to legacy again.
+        for _ in 0..3 {
+            t.pick_home(9, &[0], 0);
+        }
+        assert_eq!(t.pick_home(9, &[0, 2], 0), 0, "5 vs 5 tie → legacy");
+    }
+
+    #[test]
+    fn single_writer_with_sharers_flips_to_update() {
+        let mut t = ProtocolTable::new();
+        // Interval 1: nodes 1, 2, 3 read page 4 (home 0, no writer yet).
+        t.note_readers(4, &[1, 2, 3]);
+        // Interval 2: node 0 writes; three sharers ≥ MIN_SHARERS → update.
+        let d = t.decide(A, 4, &[0], &[], 0, 0);
+        assert!(d.update);
+        assert_eq!(d.sharers, vec![1, 2, 3]);
+        assert!(d.flipped, "first update decision is a flip");
+        // Steady state: same decision, no new flip.
+        let d2 = t.decide(A, 4, &[0], &[2], 0, 0);
+        assert!(d2.update && !d2.flipped);
+    }
+
+    #[test]
+    fn too_few_sharers_or_multi_writer_stays_invalidate() {
+        let mut t = ProtocolTable::new();
+        t.note_readers(4, &[1]);
+        let d = t.decide(A, 4, &[0], &[], 0, 0);
+        assert!(!d.update, "one sharer is below MIN_SHARERS");
+        assert!(!d.flipped);
+        t.note_readers(5, &[1, 2, 3]);
+        let d = t.decide(A, 5, &[0, 1], &[], 0, 0);
+        assert!(!d.update, "multi-writer page never updates");
+    }
+
+    #[test]
+    fn home_is_never_in_the_push_set() {
+        let mut t = ProtocolTable::new();
+        t.note_readers(4, &[0, 1, 2]);
+        let d = t.decide(A, 4, &[1], &[], 1, 1);
+        assert!(d.update);
+        assert_eq!(d.sharers, vec![0, 2], "home 1 excluded");
+    }
+
+    #[test]
+    fn probation_invalidates_every_fourth_update_decision() {
+        let mut t = ProtocolTable::new();
+        t.note_readers(4, &[1, 2]);
+        let mut updates = 0;
+        let mut invals = 0;
+        for i in 0..PROBATION {
+            // Readers keep re-reading each interval, so after each
+            // probation clear the set re-fills.
+            let d = t.decide(A, 4, &[0], &[1, 2], 0, 0);
+            if d.update {
+                updates += 1;
+            } else {
+                invals += 1;
+                assert_eq!(i, PROBATION - 1, "only the 4th decision demotes");
+                assert!(d.flipped);
+            }
+        }
+        assert_eq!((updates, invals), (PROBATION - 1, 1));
+        // The probation interval's readers refill the set → flips back.
+        let d = t.decide(A, 4, &[0], &[1, 2], 0, 0);
+        assert!(d.update && d.flipped);
+    }
+
+    #[test]
+    fn probation_without_refault_falls_back_for_good() {
+        let mut t = ProtocolTable::new();
+        t.note_readers(4, &[1, 2]);
+        for _ in 0..PROBATION - 1 {
+            assert!(t.decide(A, 4, &[0], &[], 0, 0).update);
+        }
+        // Probation clears sharers; nobody re-reads → invalidate forever.
+        assert!(!t.decide(A, 4, &[0], &[], 0, 0).update);
+        for _ in 0..3 {
+            let d = t.decide(A, 4, &[0], &[], 0, 0);
+            assert!(!d.update && !d.flipped);
+        }
+    }
+
+    #[test]
+    fn migration_interval_always_invalidates() {
+        let mut t = ProtocolTable::new();
+        t.note_readers(4, &[1, 2, 3]);
+        let d = t.decide(A, 4, &[2], &[], 0, 2);
+        assert!(!d.update, "home moved 0 → 2: must invalidate");
+        assert!(d.sharers.is_empty());
+    }
+
+    #[test]
+    fn static_modes_ignore_history() {
+        let mut t = ProtocolTable::new();
+        t.note_readers(4, &[1, 2, 3]);
+        let d = t.decide(ProtoSelect::AllInvalidate, 4, &[0], &[], 0, 0);
+        assert!(!d.update && d.sharers.is_empty());
+        // AllUpdate pushes even to a single sharer, and its sharer set
+        // only ever grows (no probation).
+        let mut u = ProtocolTable::new();
+        u.note_readers(4, &[1]);
+        for _ in 0..2 * PROBATION {
+            let d = u.decide(ProtoSelect::AllUpdate, 4, &[0], &[], 0, 0);
+            assert!(d.update);
+            assert_eq!(d.sharers, vec![1]);
+        }
+        u.note_readers(4, &[2]);
+        let d = u.decide(ProtoSelect::AllUpdate, 4, &[0], &[], 0, 0);
+        assert_eq!(d.sharers, vec![1, 2], "AllUpdate accumulates forever");
+    }
+
+    #[test]
+    fn decide_stream_is_deterministic() {
+        // Same sorted inputs → same decision stream, independent of call
+        // interleaving with other pages.
+        let run = |other_first: bool| {
+            let mut t = ProtocolTable::new();
+            let mut log = Vec::new();
+            for i in 0..6usize {
+                if other_first {
+                    t.note_readers(100 + i, &[3]);
+                }
+                t.note_readers(4, &[1, 2]);
+                log.push(t.decide(A, 4, &[0], &[1, 2], 0, 0));
+                if !other_first {
+                    t.note_readers(100 + i, &[3]);
+                }
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
+    }
+}

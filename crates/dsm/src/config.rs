@@ -82,6 +82,34 @@ impl UpdateStrategy {
     ];
 }
 
+/// Per-page protocol selection policy: which coherence action a barrier
+/// departure prescribes for a written page's cached copies.
+///
+/// The paper fixes the update/invalidate split at a 256 B size threshold
+/// (`small_threshold`). `Adaptive` makes that split dynamic per page: the
+/// barrier root tracks each page's writer/reader history in virtual time
+/// and flips pages between the invalidate protocol (HLRC write notices)
+/// and an update protocol (the home broadcasts the merged page to its
+/// sharer set, which parks on `BLOCKED` instead of refaulting). Decisions
+/// depend only on that history, never on real-time schedules, so results
+/// stay bit-identical across modes — the update push and the invalidate
+/// refetch install the same merged bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoSelect {
+    /// History-driven per-page flipping (the hot-path default): a page
+    /// with a single writer and ≥ 2 observed sharers goes update; every
+    /// 4th update decision is a probation invalidate that re-measures the
+    /// sharer set, so pages whose readership evaporates fall back.
+    Adaptive,
+    /// Every written page invalidates its cached copies (classic HLRC —
+    /// the exact pre-adaptive behaviour, kept as a measurable baseline).
+    AllInvalidate,
+    /// Every written page is pushed to its ever-growing sharer set (pure
+    /// update protocol — degrades on migratory workloads, kept as the
+    /// other measurable baseline).
+    AllUpdate,
+}
+
 /// Cost model of the per-node communication thread.
 ///
 /// `service_penalty` is the scheduling delay before the communication
@@ -166,6 +194,23 @@ pub struct DsmConfig {
     /// master-last release ordering is preserved. Off reverts to the flat
     /// all-to-master barrier (kept as a measurable baseline).
     pub hierarchical_barrier: bool,
+    /// Number of lock shards the per-node page bookkeeping (dirty set,
+    /// interval write/read notices) is split into, keyed by page id.
+    /// Rounded up to a power of two; `1` reverts to the single-lock path.
+    pub page_shards: usize,
+    /// Feed read-fault addresses to a per-thread stride predictor and
+    /// speculatively fetch ahead of the fault stream (bounded by
+    /// `max_fetch_range` and `prefetch_mispredict_budget`). Requires a
+    /// safe [`UpdateStrategy`], like range coalescing.
+    pub stride_prefetch: bool,
+    /// Pages fetched ahead per confirmed prediction (further capped by
+    /// `max_fetch_range`).
+    pub prefetch_depth: usize,
+    /// Consecutive-fault mispredictions tolerated before a thread's
+    /// predictor is disabled for the rest of its life (accuracy guard).
+    pub prefetch_mispredict_budget: u32,
+    /// Per-page invalidate/update protocol selection (see [`ProtoSelect`]).
+    pub proto_select: ProtoSelect,
 }
 
 impl Default for DsmConfig {
@@ -180,6 +225,11 @@ impl Default for DsmConfig {
             batch_diffs: true,
             max_fetch_range: 16,
             hierarchical_barrier: true,
+            page_shards: 16,
+            stride_prefetch: true,
+            prefetch_depth: 4,
+            prefetch_mispredict_budget: 4,
+            proto_select: ProtoSelect::Adaptive,
         }
     }
 }

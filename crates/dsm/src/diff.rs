@@ -99,10 +99,13 @@ impl Diff {
     ///
     /// The comparison walks both pages one 64-bit word at a time (the diff
     /// granularity), not byte-by-byte slice compares — the release path
-    /// diffs every dirty page, so this is hot.
+    /// diffs every dirty page, so this is hot. A trailing partial word
+    /// (page sizes that are not a multiple of 8) is compared byte-wise:
+    /// the word loop must never read past `len`, and the tail bytes still
+    /// have to make it into the diff.
     pub fn create(twin: &[u8], current: &[u8]) -> Diff {
-        assert_eq!(twin.len(), PAGE_SIZE);
-        assert_eq!(current.len(), PAGE_SIZE);
+        assert_eq!(twin.len(), current.len());
+        let len = twin.len();
         #[inline(always)]
         fn word(p: &[u8], w: usize) -> u64 {
             // Equality is endianness-agnostic; `from_ne_bytes` compiles to
@@ -110,7 +113,7 @@ impl Diff {
             u64::from_ne_bytes(p[w * WORD..(w + 1) * WORD].try_into().expect("word"))
         }
         let mut runs = Vec::new();
-        let words = PAGE_SIZE / WORD;
+        let words = len / WORD;
         let mut w = 0;
         while w < words {
             if word(twin, w) != word(current, w) {
@@ -126,15 +129,29 @@ impl Diff {
                 w += 1;
             }
         }
+        let tail = words * WORD;
+        if tail < len && twin[tail..] != current[tail..] {
+            // Ship the whole partial word as one run; merge with a run
+            // that already ends at the tail boundary.
+            match runs.last_mut() {
+                Some(last) if last.offset as usize + last.data.len() == tail => {
+                    last.data.extend_from_slice(&current[tail..]);
+                }
+                _ => runs.push(DiffRun {
+                    offset: tail as u32,
+                    data: current[tail..].to_vec(),
+                }),
+            }
+        }
         Diff { runs }
     }
 
     /// Apply this diff to `target` (the home's copy of the page).
     ///
     /// Runs of a decoded diff are validated in-bounds by [`Diff::decode`];
-    /// locally created diffs are in-bounds by construction.
+    /// locally created diffs are in-bounds for the page they were created
+    /// from by construction.
     pub fn apply(&self, target: &mut [u8]) {
-        assert_eq!(target.len(), PAGE_SIZE);
         for run in &self.runs {
             let off = run.offset as usize;
             target[off..off + run.data.len()].copy_from_slice(&run.data);
@@ -339,6 +356,41 @@ mod tests {
             decode_bytes(&b),
             Err(DecodeError::Misaligned { offset: 13, len: 8 })
         );
+    }
+
+    #[test]
+    fn odd_page_size_tail_is_diffed_not_read_past() {
+        // 4097 bytes: 512 whole words plus one tail byte. The word loop
+        // must stop at byte 4096 and the tail byte still diff.
+        let mut twin = vec![0u8; PAGE_SIZE + 1];
+        twin[100] = 7;
+        let mut cur = twin.clone();
+        cur[PAGE_SIZE] = 0xEE; // only the partial word changed
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset as usize, PAGE_SIZE);
+        assert_eq!(d.runs[0].data, vec![0xEE]);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn odd_page_size_tail_merges_with_adjacent_run() {
+        // Last whole word and the tail both change: one contiguous run.
+        let len = 19; // 2 words + 3 tail bytes
+        let twin = vec![0u8; len];
+        let mut cur = twin.clone();
+        for b in &mut cur[8..] {
+            *b = 5;
+        }
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].offset, 8);
+        assert_eq!(d.runs[0].data.len(), 11);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! The communication-thread side (serving page requests, merging diffs,
 //! the barrier master, the lock manager) lives in [`crate::server`].
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
@@ -17,9 +18,26 @@ use crate::config::{DsmConfig, LockKind};
 use crate::diff::Diff;
 use crate::msg::{DsmMsg, DsmReply, REPLY_TAG_BASE};
 use crate::page::{PageId, PageState, PAGE_SIZE};
+use crate::prefetch::{Prediction, StridePredictor};
 use crate::smalldata::SmallRegistry;
 use crate::stats::DsmStats;
-use crate::store::{AllocError, RawPool, RegionAllocator, RegionHandle};
+use crate::store::{AllocError, PageShards, RawPool, RegionAllocator, RegionHandle};
+
+/// Distinguishes `Dsm` instances so a thread's cached predictor never
+/// carries over between clusters sharing an OS thread (tests spawn many).
+static NEXT_DSM_INSTANCE: AtomicU64 = AtomicU64::new(1);
+
+/// Per-thread stride-prefetch state: the predictor plus the set of pages
+/// this thread fetched speculatively and has not consumed yet.
+struct ThreadPrefetch {
+    dsm: u64,
+    pred: StridePredictor,
+    outstanding: HashSet<PageId>,
+}
+
+thread_local! {
+    static PREFETCH: RefCell<Option<ThreadPrefetch>> = const { RefCell::new(None) };
+}
 
 pub(crate) struct PageMeta {
     pub(crate) inner: Mutex<PageInner>,
@@ -36,6 +54,12 @@ pub(crate) struct PageInner {
     /// This node is the page's new home and waits for the old home to push
     /// the merged content (multi-writer migration).
     pub(crate) awaiting_push: bool,
+    /// Barrier sequence whose push the park waits for. A page can be
+    /// re-parked at interval N+1 while the push for interval N is still in
+    /// flight (nothing on this node touched the page in between, so no
+    /// thread blocked and the barrier completed); the stale push must
+    /// refresh the bytes without unparking the newer wait.
+    pub(crate) awaiting_seq: u64,
     /// `barrier_seq + 1` of the last applied push (0 = never) — resolves
     /// the race between a push arriving and the departure being applied.
     pub(crate) pushed_seq: u64,
@@ -48,6 +72,7 @@ impl PageMeta {
                 state,
                 twin: None,
                 awaiting_push: false,
+                awaiting_seq: 0,
                 pushed_seq: 0,
             }),
             cv: Condvar::new(),
@@ -84,12 +109,17 @@ pub struct Dsm {
     pub(crate) ep: Endpoint,
     pub stats: DsmStats,
     reply_tag: AtomicU64,
-    /// Pages currently DIRTY (pending diffs at the next release).
-    dirty: Mutex<HashSet<PageId>>,
-    /// Pages written since the last *barrier* (superset of `dirty`; also
-    /// contains pages already flushed at lock releases). These become the
-    /// barrier write notices.
-    interval_notices: Mutex<HashSet<PageId>>,
+    /// Sharded interval bookkeeping, keyed by page id: the DIRTY set
+    /// (pending diffs at the next release), the barrier write notices
+    /// (superset of dirty — also pages already flushed at lock releases),
+    /// and the interval's read observations (pages fetched from remote
+    /// homes — the sharer evidence shipped with barrier arrivals). Split
+    /// into lock shards so concurrent faulting threads stop serializing
+    /// on one mutex; also carries the per-shard merge counters the home
+    /// side bumps.
+    pub(crate) shards: PageShards,
+    /// Monotonic instance id (thread-local predictor cache key).
+    instance: u64,
     /// Per-lock: last notice sequence this node has seen.
     lock_seen: Mutex<HashMap<u64, u64>>,
     barrier_seq: AtomicU64,
@@ -123,8 +153,8 @@ impl Dsm {
             ep,
             stats: DsmStats::default(),
             reply_tag: AtomicU64::new(REPLY_TAG_BASE),
-            dirty: Mutex::new(HashSet::new()),
-            interval_notices: Mutex::new(HashSet::new()),
+            shards: PageShards::new(cfg.page_shards),
+            instance: NEXT_DSM_INSTANCE.fetch_add(1, Ordering::Relaxed),
             lock_seen: Mutex::new(HashMap::new()),
             barrier_seq: AtomicU64::new(0),
             server: Mutex::new(crate::server::ServerState::default()),
@@ -334,6 +364,9 @@ impl Dsm {
             return;
         }
         let pages: Vec<PageId> = crate::page::pages_covering(start, len).collect();
+        if self.cfg.stride_prefetch && !pages.is_empty() {
+            self.note_access(&pages, clock);
+        }
         let mut i = 0;
         while i < pages.len() {
             let first = pages[i];
@@ -392,6 +425,123 @@ impl Dsm {
                 }
             }
         }
+    }
+
+    /// Feed one bulk access into this thread's stride predictor: credit
+    /// prefetch hits, record the leading page, and on a confirmed stride
+    /// speculatively fetch the next predicted pages. Issued only on a
+    /// *miss* (the leading page was not itself prefetched), so a confirmed
+    /// unit-stride stream settles into one demand trip plus one range trip
+    /// per window instead of one round trip per page.
+    fn note_access(&self, pages: &[PageId], clock: &mut VClock) {
+        PREFETCH.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let st = match slot.as_mut() {
+                Some(st) if st.dsm == self.instance => st,
+                _ => {
+                    *slot = Some(ThreadPrefetch {
+                        dsm: self.instance,
+                        pred: StridePredictor::new(
+                            self.cfg.prefetch_depth,
+                            self.cfg.prefetch_mispredict_budget,
+                        ),
+                        outstanding: HashSet::new(),
+                    });
+                    slot.as_mut().expect("just installed")
+                }
+            };
+            let mut leading_hit = false;
+            for p in pages {
+                if st.outstanding.remove(p) {
+                    self.stats.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+                    leading_hit |= *p == pages[0];
+                }
+            }
+            if st.pred.is_disabled() {
+                return;
+            }
+            let before = st.pred.mispredicts();
+            let decision = st.pred.record_fault(pages[0]);
+            let broke = st.pred.mispredicts() - before;
+            if broke > 0 {
+                self.stats
+                    .prefetch_mispredicts
+                    .fetch_add(broke as u64, Ordering::Relaxed);
+                st.outstanding.clear();
+            }
+            if let Prediction::Prefetch { stride, count } = decision {
+                if !leading_hit {
+                    let issued = self.issue_prefetch(pages[0], stride, count, clock);
+                    st.outstanding.extend(issued);
+                }
+            }
+        });
+    }
+
+    /// Speculatively fetch up to `count` pages at `access + k·stride`.
+    /// Pages that are out of pool, locally homed, or not INVALID are
+    /// skipped; the rest are claimed TRANSIENT and fetched in maximal
+    /// contiguous same-home runs. Returns the pages actually fetched.
+    fn issue_prefetch(
+        &self,
+        access: PageId,
+        stride: isize,
+        count: usize,
+        clock: &mut VClock,
+    ) -> Vec<PageId> {
+        let npages = self.pages.len();
+        let mut claimed: Vec<PageId> = Vec::new();
+        for k in 1..=count.min(self.cfg.max_fetch_range) as isize {
+            let p = access as isize + stride * k;
+            if p < 0 || p as usize >= npages {
+                break;
+            }
+            let p = p as usize;
+            if self.home_of(p) == self.node
+                || self.pages[p].fast.load(Ordering::Acquire) != PageState::Invalid as u8
+            {
+                continue;
+            }
+            let meta = &self.pages[p];
+            let mut inner = meta.inner.lock();
+            if inner.state != PageState::Invalid {
+                continue;
+            }
+            meta.set_state(&mut inner, PageState::Transient);
+            drop(inner);
+            claimed.push(p);
+        }
+        if claimed.is_empty() {
+            return claimed;
+        }
+        self.stats
+            .prefetch_pages
+            .fetch_add(claimed.len() as u64, Ordering::Relaxed);
+        claimed.sort_unstable();
+        let mut i = 0;
+        while i < claimed.len() {
+            let first = claimed[i];
+            let home = self.home_of(first);
+            let mut n = 1;
+            while i + n < claimed.len()
+                && claimed[i + n] == first + n
+                && self.home_of(claimed[i + n]) == home
+            {
+                n += 1;
+            }
+            self.stats.prefetch_issued.fetch_add(1, Ordering::Relaxed);
+            if n == 1 {
+                self.fetch_page(first, clock);
+                self.complete_update(first);
+            } else {
+                self.fetch_page_range(first, n, clock);
+                for p in first..first + n {
+                    self.complete_update(p);
+                }
+            }
+            i += n;
+        }
+        claimed
     }
 
     /// Publish a fetched page: the caller owned the TRANSIENT transition;
@@ -488,8 +638,7 @@ impl Dsm {
                         trace::instant(EventKind::DsmTwin, page as u64, clock.now());
                     }
                     meta.set_state(&mut inner, PageState::Dirty);
-                    self.dirty.lock().insert(page);
-                    self.interval_notices.lock().insert(page);
+                    self.shards.mark_written(page);
                     return;
                 }
                 PageState::Transient => {
@@ -561,6 +710,9 @@ impl Dsm {
         self.stats
             .fetch_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        // A fetched copy makes this node a sharer of the page; the read
+        // set rides the next barrier arrival into the protocol table.
+        self.shards.mark_read(page);
         clock.charge_comm(self.cfg.update_strategy.per_update_overhead());
         if self.cfg.update_strategy.is_safe() {
             // SAFETY: we hold the TRANSIENT transition for this page.
@@ -622,6 +774,9 @@ impl Dsm {
         self.stats
             .fetch_bytes
             .fetch_add(data.len() as u64, Ordering::Relaxed);
+        for p in first..first + count {
+            self.shards.mark_read(p);
+        }
         let per_page = self.cfg.update_strategy.per_update_overhead();
         clock.charge_comm(VTime::from_nanos(per_page.as_nanos() * count as u64));
         for k in 0..count {
@@ -644,13 +799,9 @@ impl Dsm {
     /// pages (the release's write notices).
     pub fn flush(&self, clock: &mut VClock) -> Vec<PageId> {
         trace::begin(EventKind::DsmFlush, clock.now());
-        let mut dirty: Vec<PageId> = {
-            let mut d = self.dirty.lock();
-            d.drain().collect()
-        };
-        // The dirty set is unordered; fabric-level send order must not
-        // depend on hash iteration, so fix page (and thus home) order.
-        dirty.sort_unstable();
+        // The sharded drain returns pages sorted, so fabric-level send
+        // order is independent of shard layout and hash iteration.
+        let dirty: Vec<PageId> = self.shards.drain_dirty();
         let mut by_home: BTreeMap<usize, (Vec<PageId>, Vec<Diff>)> = BTreeMap::new();
         for &page in &dirty {
             let meta = &self.pages[page];
@@ -777,16 +928,15 @@ impl Dsm {
         trace::begin(EventKind::DsmBarrier, clock.now());
         let seq = self.barrier_seq.fetch_add(1, Ordering::SeqCst);
         self.flush(clock);
-        let notices: Vec<PageId> = {
-            let mut n = self.interval_notices.lock();
-            n.drain().collect()
-        };
+        let notices = self.shards.drain_notices();
+        let reads = self.shards.drain_reads();
         let tag = self.next_reply_tag();
         let arrive = DsmMsg::BarrierArrive {
             seq,
             node: self.node,
             reply_tag: tag,
             notices,
+            reads,
         };
         // Hierarchical mode hands the arrival to our own communication
         // thread, which aggregates its subtree and sends one `BarrierUp`
@@ -826,11 +976,78 @@ impl Dsm {
                 }
             }
             let meta = &self.pages[e.page];
-            if self.node == e.new_home {
-                let needs_push = e.multi_writer && e.new_home != e.old_home;
-                if needs_push {
+            if e.update {
+                // Update protocol: the home (never migrated on an update
+                // entry) pushes its merged copy to every sharer; sharers
+                // park on BLOCKED for the push; any other cached copy is
+                // stale and invalidates as usual. A push and an invalidate
+                // + refetch install the same merged bytes, so results are
+                // independent of how accurate the sharer set was.
+                debug_assert_eq!(e.new_home, e.old_home, "update entry migrated");
+                if self.node == e.new_home {
+                    let mut buf = vec![0u8; PAGE_SIZE];
+                    let _inner = meta.inner.lock();
+                    // SAFETY: we are home; the page is valid here.
+                    unsafe { self.pool.copy_page_out(e.page, &mut buf) };
+                    drop(_inner);
+                    let data = parade_net::Bytes::from(buf);
+                    for &s in &e.sharers {
+                        debug_assert_ne!(s, self.node, "home listed as its own sharer");
+                        let msg = DsmMsg::PagePush {
+                            page: e.page,
+                            barrier_seq: seq,
+                            data: data.clone(),
+                        };
+                        self.ep.send(s, MsgClass::Dsm, 0, msg.encode(), clock);
+                        self.stats.pushes_sent.fetch_add(1, Ordering::Relaxed);
+                        self.stats.update_pushes.fetch_add(1, Ordering::Relaxed);
+                        trace::instant(EventKind::DsmPush, e.page as u64, clock.now());
+                    }
+                } else if e.sharers.contains(&self.node) {
                     let mut inner = meta.inner.lock();
                     if inner.pushed_seq != seq + 1 {
+                        // Park until the home's push lands. Application
+                        // threads are held at the barrier, so the page
+                        // cannot be mid-update here; a historical sharer
+                        // whose copy was since invalidated simply regains
+                        // a valid copy from the push. BLOCKED is legal too:
+                        // the previous interval's park whose push has not
+                        // landed yet (no local thread touched the page, so
+                        // nobody blocked and the barrier completed) — the
+                        // park simply rolls forward to this interval's push.
+                        debug_assert!(
+                            matches!(
+                                inner.state,
+                                PageState::Invalid | PageState::ReadOnly | PageState::Blocked
+                            ),
+                            "update-push target page {} busy at barrier: {:?}",
+                            e.page,
+                            inner.state
+                        );
+                        inner.awaiting_push = true;
+                        inner.awaiting_seq = seq;
+                        meta.set_state(&mut inner, PageState::Blocked);
+                    }
+                } else if meta.fast.load(Ordering::Acquire) != PageState::Invalid as u8 {
+                    let mut inner = meta.inner.lock();
+                    if inner.state.readable() {
+                        inner.twin = None;
+                        meta.set_state(&mut inner, PageState::Invalid);
+                        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                        trace::instant(EventKind::DsmInvalidate, e.page as u64, clock.now());
+                    }
+                }
+                continue;
+            }
+            if self.node == e.new_home {
+                if e.new_home != e.old_home {
+                    let mut inner = meta.inner.lock();
+                    // Single-writer migration: we wrote every diff, so a
+                    // readable copy is the merged copy. Multi-writer: even a
+                    // readable copy misses the other writers' words and must
+                    // wait for the old home's merged push.
+                    let complete = !e.multi_writer && inner.state.readable();
+                    if inner.pushed_seq != seq + 1 && !complete {
                         // Park until the old home pushes the merged content.
                         // Application threads are held at the barrier, so
                         // the page cannot be mid-update or carry unflushed
@@ -842,11 +1059,30 @@ impl Dsm {
                             inner.state
                         );
                         inner.awaiting_push = true;
+                        inner.awaiting_seq = seq;
                         meta.set_state(&mut inner, PageState::Blocked);
+                        if !e.multi_writer {
+                            // We were the interval's only writer yet our
+                            // copy is invalid: a lock-grant write notice
+                            // named a page we ourselves dirtied (false
+                            // sharing), shipping the diff and invalidating
+                            // our copy mid-interval. The old home still
+                            // holds the merged bytes — ask it to push them;
+                            // it has no way to know we need them.
+                            drop(inner);
+                            let msg = DsmMsg::PushReq {
+                                page: e.page,
+                                barrier_seq: seq,
+                                requester: self.node,
+                            };
+                            self.ep
+                                .send(e.old_home, MsgClass::Dsm, 0, msg.encode(), clock);
+                        }
                     }
                 }
-                // Otherwise our copy is complete (single writer, or the
-                // push already arrived) — nothing to do.
+                // Otherwise our copy is complete (single writer with a
+                // readable copy, or the push already arrived) — nothing
+                // to do.
             } else if self.node == e.old_home {
                 // The old home holds the fully merged copy — still valid.
                 if e.multi_writer && e.new_home != e.old_home {
@@ -992,7 +1228,7 @@ impl Dsm {
                     // SAFETY: page is valid; we hold the page lock.
                     unsafe { self.pool.copy_page_out(page, &mut cur) };
                     let diff = Diff::create(&twin, &cur);
-                    self.dirty.lock().remove(&page);
+                    self.shards.unmark_dirty(page);
                     meta.set_state(&mut inner, PageState::Invalid);
                     self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
                     trace::instant(EventKind::DsmInvalidate, page as u64, clock.now());

@@ -20,27 +20,31 @@
 //! check on typed accesses: one atomic load on the hit path, the identical
 //! protocol on the miss path (see DESIGN.md for the substitution argument).
 
+mod adapt;
 mod bufpool;
 mod config;
 mod diff;
 mod engine;
 mod msg;
 mod page;
+mod prefetch;
 mod server;
 mod smalldata;
 mod stats;
 mod store;
 
+pub use adapt::{ProtoDecision, ProtocolTable, MIN_SHARERS, PROBATION};
 pub use bufpool::PageBuf;
-pub use config::{CommCosts, DsmConfig, HomePolicy, LockKind, UpdateStrategy};
+pub use config::{CommCosts, DsmConfig, HomePolicy, LockKind, ProtoSelect, UpdateStrategy};
 pub use diff::{DecodeError, Diff, DiffRun};
 pub use engine::Dsm;
 pub use msg::{DepartEntry, DsmMsg, DsmReply, REPLY_TAG_BASE};
 pub use page::{page_of, page_start, pages_covering, PageId, PageState, PAGE_SIZE};
+pub use prefetch::{Prediction, StridePredictor};
 pub use server::{spawn_comm_thread, CommServer, ServerState};
 pub use smalldata::{SmallHandle, SmallRegistry};
-pub use stats::{DsmStats, DsmStatsSnapshot};
-pub use store::{AllocError, RawPool, RegionAllocator, RegionHandle};
+pub use stats::{DsmStats, DsmStatsSnapshot, ShardStats};
+pub use store::{AllocError, PageShards, RawPool, RegionAllocator, RegionHandle};
 
 #[cfg(test)]
 mod cluster_tests;

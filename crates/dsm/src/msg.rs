@@ -31,6 +31,7 @@ const K_NUDGE: u8 = 7;
 const K_DIFF_BATCH: u8 = 8;
 const K_REQ_PAGE_RANGE: u8 = 9;
 const K_BARRIER_UP: u8 = 10;
+const K_PUSH_REQ: u8 = 11;
 
 /// A request handled by a communication thread.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,21 +71,36 @@ pub enum DsmMsg {
         barrier_seq: u64,
         data: Bytes,
     },
+    /// A migrated-to home discovered its own copy was invalid at the
+    /// departure (a lock-grant write notice can invalidate even the single
+    /// writer's copy under false sharing) and asks the old home — which
+    /// still holds the merged bytes — to [`DsmMsg::PagePush`] them over.
+    PushReq {
+        page: PageId,
+        barrier_seq: u64,
+        requester: usize,
+    },
     /// Barrier arrival at the master, write notices piggybacked (§5.2.2).
+    /// `reads` carries the pages this node fetched since its previous
+    /// arrival — the sharer observations feeding the root's per-page
+    /// protocol table (adaptive update/invalidate selection).
     BarrierArrive {
         seq: u64,
         node: usize,
         reply_tag: u64,
         notices: Vec<PageId>,
+        reads: Vec<PageId>,
     },
     /// Hierarchical barrier: a subtree's aggregated arrivals, sent by a
     /// communication thread to its parent in the binomial tree. `members`
     /// lists every (node, reply tag) in the subtree awaiting the departure;
-    /// `writers` carries the merged write notices as (page, writer nodes).
+    /// `writers` carries the merged write notices as (page, writer nodes)
+    /// and `readers` the merged read observations in the same shape.
     BarrierUp {
         seq: u64,
         members: Vec<(usize, u64)>,
         writers: Vec<(PageId, Vec<usize>)>,
+        readers: Vec<(PageId, Vec<usize>)>,
     },
     /// Acquire a distributed lock (baseline SDSM path). `polling` requests
     /// an immediate grant-or-busy answer instead of queueing.
@@ -116,6 +132,43 @@ fn decode_notices(r: &mut Reader<'_>) -> Result<Vec<PageId>, DecodeError> {
         });
     }
     Ok((0..n).map(|_| r.u64() as PageId).collect())
+}
+
+/// Encode a `(page, nodes)` list — the shared shape of `BarrierUp`
+/// writers and readers.
+fn encode_page_nodes(w: &mut Writer, list: &[(PageId, Vec<usize>)]) {
+    w.u32(list.len() as u32);
+    for (page, nodes) in list {
+        w.u64(*page as u64).u32(nodes.len() as u32);
+        for n in nodes {
+            w.u32(*n as u32);
+        }
+    }
+}
+
+fn decode_page_nodes(r: &mut Reader<'_>) -> Result<Vec<(PageId, Vec<usize>)>, DecodeError> {
+    need(r, 4, "page-nodes count")?;
+    let n = r.u32() as usize;
+    if n.saturating_mul(12) > r.remaining() {
+        return Err(DecodeError::RunCount {
+            count: n as u32,
+            have: r.remaining(),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(r, 12, "page-nodes entry")?;
+        let page = r.u64() as PageId;
+        let count = r.u32() as usize;
+        if count.saturating_mul(4) > r.remaining() {
+            return Err(DecodeError::RunCount {
+                count: count as u32,
+                have: r.remaining(),
+            });
+        }
+        out.push((page, (0..count).map(|_| r.u32() as usize).collect()));
+    }
+    Ok(out)
 }
 
 impl DsmMsg {
@@ -182,11 +235,22 @@ impl DsmMsg {
                     .u64(*barrier_seq)
                     .lp_bytes(data);
             }
+            DsmMsg::PushReq {
+                page,
+                barrier_seq,
+                requester,
+            } => {
+                w.u8(K_PUSH_REQ)
+                    .u64(*page as u64)
+                    .u64(*barrier_seq)
+                    .u32(*requester as u32);
+            }
             DsmMsg::BarrierArrive {
                 seq,
                 node,
                 reply_tag,
                 notices,
+                reads,
             } => {
                 w.u8(K_BARRIER_ARRIVE)
                     .u64(*seq)
@@ -196,23 +260,23 @@ impl DsmMsg {
                 for p in notices {
                     w.u64(*p as u64);
                 }
+                w.u32(reads.len() as u32);
+                for p in reads {
+                    w.u64(*p as u64);
+                }
             }
             DsmMsg::BarrierUp {
                 seq,
                 members,
                 writers,
+                readers,
             } => {
                 w.u8(K_BARRIER_UP).u64(*seq).u32(members.len() as u32);
                 for (node, tag) in members {
                     w.u32(*node as u32).u64(*tag);
                 }
-                w.u32(writers.len() as u32);
-                for (page, nodes) in writers {
-                    w.u64(*page as u64).u32(nodes.len() as u32);
-                    for n in nodes {
-                        w.u32(*n as u32);
-                    }
-                }
+                encode_page_nodes(&mut w, writers);
+                encode_page_nodes(&mut w, readers);
             }
             DsmMsg::LockAcq {
                 lock,
@@ -333,11 +397,13 @@ impl DsmMsg {
                 let node = r.u32() as usize;
                 let reply_tag = r.u64();
                 let notices = decode_notices(&mut r)?;
+                let reads = decode_notices(&mut r)?;
                 Ok(DsmMsg::BarrierArrive {
                     seq,
                     node,
                     reply_tag,
                     notices,
+                    reads,
                 })
             }
             K_BARRIER_UP => {
@@ -353,31 +419,13 @@ impl DsmMsg {
                 let members = (0..nm)
                     .map(|_| need(&r, 12, "BarrierUp member").map(|_| (r.u32() as usize, r.u64())))
                     .collect::<Result<Vec<_>, _>>()?;
-                need(&r, 4, "BarrierUp writer count")?;
-                let nw = r.u32() as usize;
-                if nw.saturating_mul(12) > r.remaining() {
-                    return Err(DecodeError::RunCount {
-                        count: nw as u32,
-                        have: r.remaining(),
-                    });
-                }
-                let mut writers = Vec::with_capacity(nw);
-                for _ in 0..nw {
-                    need(&r, 12, "BarrierUp writer entry")?;
-                    let page = r.u64() as PageId;
-                    let n = r.u32() as usize;
-                    if n.saturating_mul(4) > r.remaining() {
-                        return Err(DecodeError::RunCount {
-                            count: n as u32,
-                            have: r.remaining(),
-                        });
-                    }
-                    writers.push((page, (0..n).map(|_| r.u32() as usize).collect()));
-                }
+                let writers = decode_page_nodes(&mut r)?;
+                let readers = decode_page_nodes(&mut r)?;
                 Ok(DsmMsg::BarrierUp {
                     seq,
                     members,
                     writers,
+                    readers,
                 })
             }
             K_LOCK_ACQ => {
@@ -401,6 +449,14 @@ impl DsmMsg {
                     notices,
                 })
             }
+            K_PUSH_REQ => {
+                need(&r, 20, "PushReq body")?;
+                Ok(DsmMsg::PushReq {
+                    page: r.u64() as PageId,
+                    barrier_seq: r.u64(),
+                    requester: r.u32() as usize,
+                })
+            }
             K_NUDGE => Ok(DsmMsg::Nudge),
             k => Err(DecodeError::BadKind(k)),
         }
@@ -416,13 +472,38 @@ const R_DIFF_BATCH_ACK: u8 = 6;
 const R_PAGE_RANGE_DATA: u8 = 7;
 
 /// One per-page record in a barrier departure message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DepartEntry {
     pub page: PageId,
     pub old_home: usize,
     pub new_home: usize,
     /// More than one node wrote the page this interval.
     pub multi_writer: bool,
+    /// Update protocol: the home pushes the merged page to `sharers`
+    /// (which park on `BLOCKED` awaiting it); every other cached copy
+    /// invalidates as usual. `false` → classic invalidate write notice.
+    pub update: bool,
+    /// Sorted push set for `update` entries (never contains the home).
+    pub sharers: Vec<usize>,
+}
+
+impl DepartEntry {
+    /// An invalidate-protocol entry (the pre-adaptive shape).
+    pub fn invalidate(
+        page: PageId,
+        old_home: usize,
+        new_home: usize,
+        multi_writer: bool,
+    ) -> DepartEntry {
+        DepartEntry {
+            page,
+            old_home,
+            new_home,
+            multi_writer,
+            update: false,
+            sharers: Vec::new(),
+        }
+    }
 }
 
 /// A reply sent back to a waiting application thread.
@@ -478,10 +559,15 @@ impl DsmReply {
             DsmReply::BarrierDepart { seq, entries } => {
                 w.u8(R_BARRIER_DEPART).u64(*seq).u32(entries.len() as u32);
                 for e in entries {
+                    let flags = e.multi_writer as u8 | (e.update as u8) << 1;
                     w.u64(e.page as u64)
                         .u32(e.old_home as u32)
                         .u32(e.new_home as u32)
-                        .u8(e.multi_writer as u8);
+                        .u8(flags)
+                        .u32(e.sharers.len() as u32);
+                    for s in &e.sharers {
+                        w.u32(*s as u32);
+                    }
                 }
             }
             DsmReply::LockGrant { cur_seq, notices } => {
@@ -516,11 +602,20 @@ impl DsmReply {
                 let seq = r.u64();
                 let n = r.u32() as usize;
                 let entries = (0..n)
-                    .map(|_| DepartEntry {
-                        page: r.u64() as PageId,
-                        old_home: r.u32() as usize,
-                        new_home: r.u32() as usize,
-                        multi_writer: r.u8() != 0,
+                    .map(|_| {
+                        let page = r.u64() as PageId;
+                        let old_home = r.u32() as usize;
+                        let new_home = r.u32() as usize;
+                        let flags = r.u8();
+                        let ns = r.u32() as usize;
+                        DepartEntry {
+                            page,
+                            old_home,
+                            new_home,
+                            multi_writer: flags & 1 != 0,
+                            update: flags & 2 != 0,
+                            sharers: (0..ns).map(|_| r.u32() as usize).collect(),
+                        }
                     })
                     .collect();
                 DsmReply::BarrierDepart { seq, entries }
@@ -587,16 +682,19 @@ mod tests {
                 node: 2,
                 reply_tag: REPLY_TAG_BASE + 1,
                 notices: vec![1, 2, 30],
+                reads: vec![5, 6],
             },
             DsmMsg::BarrierUp {
                 seq: 9,
                 members: vec![(2, REPLY_TAG_BASE + 4), (3, REPLY_TAG_BASE + 5)],
                 writers: vec![(7, vec![2]), (8, vec![2, 3])],
+                readers: vec![(7, vec![3])],
             },
             DsmMsg::BarrierUp {
                 seq: 10,
                 members: vec![(1, REPLY_TAG_BASE)],
                 writers: vec![],
+                readers: vec![],
             },
             DsmMsg::LockAcq {
                 lock: 6,
@@ -654,11 +752,20 @@ mod tests {
             DsmMsg::try_decode(&w.finish()),
             Err(DecodeError::RunCount { .. })
         ));
+        // Reader-list count not backed by bytes (after an empty writer
+        // list).
+        let mut w = Writer::new();
+        w.u8(10).u64(3).u32(0).u32(0).u32(u32::MAX);
+        assert!(matches!(
+            DsmMsg::try_decode(&w.finish()),
+            Err(DecodeError::RunCount { .. })
+        ));
         // No truncation of a valid message may panic.
         let full = DsmMsg::BarrierUp {
             seq: 2,
             members: vec![(0, REPLY_TAG_BASE), (1, REPLY_TAG_BASE + 1)],
             writers: vec![(4, vec![0, 1]), (6, vec![1])],
+            readers: vec![(5, vec![0])],
         }
         .encode();
         for cut in 0..full.len() {
@@ -693,17 +800,15 @@ mod tests {
             DsmReply::BarrierDepart {
                 seq: 3,
                 entries: vec![
+                    DepartEntry::invalidate(10, 0, 2, false),
+                    DepartEntry::invalidate(11, 1, 1, true),
                     DepartEntry {
-                        page: 10,
-                        old_home: 0,
+                        page: 12,
+                        old_home: 2,
                         new_home: 2,
                         multi_writer: false,
-                    },
-                    DepartEntry {
-                        page: 11,
-                        old_home: 1,
-                        new_home: 1,
-                        multi_writer: true,
+                        update: true,
+                        sharers: vec![0, 1, 3],
                     },
                 ],
             },

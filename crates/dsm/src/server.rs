@@ -17,6 +17,7 @@ use parade_net::Bytes;
 use parade_net::{MsgClass, Packet, VClock, VTime};
 use parade_trace::{self as trace, EventKind};
 
+use crate::adapt::ProtocolTable;
 use crate::config::{CommCosts, HomePolicy};
 use crate::engine::Dsm;
 use crate::msg::{DepartEntry, DsmMsg, DsmReply};
@@ -61,6 +62,7 @@ struct Arrival {
     node: usize,
     reply_tag: u64,
     notices: Vec<PageId>,
+    reads: Vec<PageId>,
 }
 
 /// Aggregation state of one hierarchical-barrier sequence at this node:
@@ -72,6 +74,9 @@ struct TreeBarrier {
     members: Vec<(usize, u64)>,
     /// Merged write notices: page → writer nodes.
     writers: HashMap<PageId, Vec<usize>>,
+    /// Merged read observations: page → reader nodes (sharer evidence for
+    /// the root's protocol table).
+    readers: HashMap<PageId, Vec<usize>>,
     /// Virtual arrival time of each contribution. Service cost is charged
     /// in one deterministic burst at completion (sorted fold), so the
     /// barrier's virtual time is independent of the real-time order in
@@ -136,6 +141,9 @@ pub struct ServerState {
     arrivals: HashMap<u64, Vec<Arrival>>,
     tree: HashMap<u64, TreeBarrier>,
     locks: HashMap<u64, LockState>,
+    /// Per-page protocol-selection history (only consulted at the barrier
+    /// root, node 0).
+    proto: ProtocolTable,
 }
 
 impl Dsm {
@@ -212,7 +220,7 @@ impl Dsm {
                 diff,
             } => {
                 srv.charge_copy(diff.payload_bytes());
-                self.merge_diff(page, &diff);
+                self.merge_diff(page, &diff, srv);
                 self.reply(requester, reply_tag, DsmReply::DiffAck { page }, srv);
             }
             DsmMsg::DiffBatch {
@@ -225,7 +233,7 @@ impl Dsm {
                 let payload: usize = diffs.iter().map(|d| d.payload_bytes()).sum();
                 srv.charge_copy(payload);
                 for (&page, diff) in pages.iter().zip(&diffs) {
-                    self.merge_diff(page, diff);
+                    self.merge_diff(page, diff, srv);
                 }
                 self.reply(
                     requester,
@@ -250,9 +258,11 @@ impl Dsm {
                     // barrier; see §5.2.2 ordering argument in DESIGN.md.
                     unsafe { self.pool.copy_page_in(page, &data) };
                     inner.pushed_seq = barrier_seq + 1;
-                    if inner.awaiting_push {
-                        // The departure parked the page for exactly this
-                        // push; BLOCKED -> READ_ONLY is the only legal exit.
+                    if inner.awaiting_push && barrier_seq >= inner.awaiting_seq {
+                        // The departure parked the page for this push (or an
+                        // older one this push supersedes — same home, FIFO
+                        // link, so a newer push carries a newer merge);
+                        // BLOCKED -> READ_ONLY is the only legal exit.
                         debug_assert_eq!(
                             inner.state,
                             PageState::Blocked,
@@ -261,15 +271,65 @@ impl Dsm {
                         inner.awaiting_push = false;
                         meta.set_state(&mut inner, PageState::ReadOnly);
                         meta.cv.notify_all();
+                    } else if inner.awaiting_push {
+                        // A stale push: the page was re-parked for a later
+                        // interval before this interval's push landed. The
+                        // bytes are already copied in (an older merge never
+                        // hurts — the awaited push overwrites them, FIFO on
+                        // the same home link); stay parked for the newer one.
+                    } else if inner.state == PageState::Invalid {
+                        // The push beat our departure application (it can
+                        // only land while our threads are held at the
+                        // barrier, so no later invalidation raced it): the
+                        // merged bytes are now resident — mark them usable
+                        // so the departure does not park and a later fault
+                        // does not try to fetch a page we now home. The
+                        // push is an update that began and completed in one
+                        // step, so walk the legal INVALID→TRANSIENT→
+                        // READ_ONLY path under the one lock hold.
+                        meta.set_state(&mut inner, PageState::Transient);
+                        meta.set_state(&mut inner, PageState::ReadOnly);
                     }
                 }
                 self.retry_deferred(srv);
+            }
+            DsmMsg::PushReq {
+                page,
+                barrier_seq,
+                requester,
+            } => {
+                // `requester` just became the page's home at `barrier_seq`
+                // but found its own copy invalid (a lock-grant write notice
+                // can invalidate even the single writer's copy under false
+                // sharing). We are the old home and still hold the merged
+                // interval bytes — no node can write the page until this
+                // push lands, because the new home defers all fetches while
+                // parked. Note `try_serve_page` would refuse: we are no
+                // longer `home_of(page)`.
+                let mut buf = vec![0u8; PAGE_SIZE];
+                {
+                    let _inner = self.pages[page].inner.lock();
+                    // SAFETY: we were the page's home through `barrier_seq`;
+                    // old homes never drop their merged bytes.
+                    unsafe { self.pool.copy_page_out(page, &mut buf) };
+                }
+                srv.charge_copy(PAGE_SIZE);
+                let push = DsmMsg::PagePush {
+                    page,
+                    barrier_seq,
+                    data: Bytes::from(buf),
+                };
+                self.ep
+                    .send_at(requester, MsgClass::Dsm, 0, push.encode(), srv.clock.now());
+                self.stats.pushes_sent.fetch_add(1, Ordering::Relaxed);
+                trace::instant(EventKind::DsmPush, page as u64, srv.clock.now());
             }
             DsmMsg::BarrierArrive {
                 seq,
                 node,
                 reply_tag,
                 notices,
+                reads,
             } => {
                 assert_eq!(self.node(), 0, "barrier master must be node 0");
                 let complete = {
@@ -279,6 +339,7 @@ impl Dsm {
                         node,
                         reply_tag,
                         notices,
+                        reads,
                     });
                     arr.len() == self.nnodes()
                 };
@@ -357,12 +418,15 @@ impl Dsm {
     /// Merge one page's diff into the home copy (word runs under the page
     /// lock). Disjoint writers' diffs for the same page merge run by run,
     /// whether they arrive in one batch or across batches.
-    fn merge_diff(&self, page: PageId, diff: &crate::diff::Diff) {
+    fn merge_diff(&self, page: PageId, diff: &crate::diff::Diff, srv: &CommServer) {
         debug_assert_eq!(
             self.home_of(page),
             self.node(),
             "diff for page {page} routed to non-home"
         );
+        let shard = self.shards.record_merge(page);
+        self.stats.shard_merges.fetch_add(1, Ordering::Relaxed);
+        trace::instant(EventKind::DsmShard, shard as u64, srv.clock.now());
         let meta = &self.pages[page];
         let _inner = meta.inner.lock();
         // We are the page's home: its copy is never absent or
@@ -479,12 +543,13 @@ impl Dsm {
     /// forward one `BarrierUp` to the tree parent or (at the root) decide
     /// the departure and fan it out to every member.
     fn tree_barrier_step(&self, msg: DsmMsg, arrive_at: VTime, srv: &mut CommServer) {
-        let (seq, members, writer_lists) = match msg {
+        let (seq, members, writer_lists, reader_lists) = match msg {
             DsmMsg::BarrierArrive {
                 seq,
                 node,
                 reply_tag,
                 notices,
+                reads,
             } => {
                 debug_assert_eq!(
                     node,
@@ -492,13 +557,15 @@ impl Dsm {
                     "hierarchical arrivals go to the arriving node's own comm thread"
                 );
                 let writers = notices.into_iter().map(|p| (p, vec![node])).collect();
-                (seq, vec![(node, reply_tag)], writers)
+                let readers = reads.into_iter().map(|p| (p, vec![node])).collect();
+                (seq, vec![(node, reply_tag)], writers, readers)
             }
             DsmMsg::BarrierUp {
                 seq,
                 members,
                 writers,
-            } => (seq, members, writers),
+                readers,
+            } => (seq, members, writers, readers),
             _ => unreachable!("not a tree barrier message"),
         };
         let expected = 1 + tree_child_count(self.node(), self.nnodes());
@@ -508,6 +575,9 @@ impl Dsm {
             tb.members.extend(members);
             for (page, nodes) in writer_lists {
                 tb.writers.entry(page).or_default().extend(nodes);
+            }
+            for (page, nodes) in reader_lists {
+                tb.readers.entry(page).or_default().extend(nodes);
             }
             tb.arrivals_at.push(arrive_at);
             tb.arrivals_at.len() == expected
@@ -537,26 +607,29 @@ impl Dsm {
             .serviced_requests
             .fetch_add(arrivals_at.len() as u64, Ordering::Relaxed);
         if self.node() == 0 {
-            let entries = self.decide_entries(tb.writers);
+            let entries = self.decide_entries(tb.writers, tb.readers);
             self.send_depart(seq, entries, tb.members, srv);
         } else {
             // Sort the payload so the wire bytes (and their cost) are
             // independent of contribution order.
             let mut members = tb.members;
             members.sort_unstable_by_key(|&(node, _)| node);
-            let mut writers: Vec<(PageId, Vec<usize>)> = tb
-                .writers
-                .into_iter()
-                .map(|(p, mut w)| {
-                    w.sort_unstable();
-                    (p, w)
-                })
-                .collect();
-            writers.sort_unstable_by_key(|&(p, _)| p);
+            let sort_lists = |map: HashMap<PageId, Vec<usize>>| {
+                let mut lists: Vec<(PageId, Vec<usize>)> = map
+                    .into_iter()
+                    .map(|(p, mut w)| {
+                        w.sort_unstable();
+                        (p, w)
+                    })
+                    .collect();
+                lists.sort_unstable_by_key(|&(p, _)| p);
+                lists
+            };
             let up = DsmMsg::BarrierUp {
                 seq,
                 members,
-                writers,
+                writers: sort_lists(tb.writers),
+                readers: sort_lists(tb.readers),
             };
             let wire = up.encode();
             srv.charge_copy(wire.len());
@@ -575,49 +648,88 @@ impl Dsm {
     /// migrations (§5.2.2), and send the departure to every node.
     fn compute_depart(&self, seq: u64, arrivals: Vec<Arrival>, srv: &mut CommServer) {
         let mut writers: HashMap<PageId, Vec<usize>> = HashMap::new();
+        let mut readers: HashMap<PageId, Vec<usize>> = HashMap::new();
         for a in &arrivals {
             for &p in &a.notices {
                 writers.entry(p).or_default().push(a.node);
             }
+            for &p in &a.reads {
+                readers.entry(p).or_default().push(a.node);
+            }
         }
         let members = arrivals.iter().map(|a| (a.node, a.reply_tag)).collect();
-        let entries = self.decide_entries(writers);
+        let entries = self.decide_entries(writers, readers);
         self.send_depart(seq, entries, members, srv);
     }
 
-    /// Decide home migrations (§5.2.2) from the merged page → writers map.
-    /// Writer lists are sorted at decision time, so the entries are
-    /// identical whether the map was built flat or merged up a tree.
-    fn decide_entries(&self, writers: HashMap<PageId, Vec<usize>>) -> Vec<DepartEntry> {
-        let mut entries: Vec<DepartEntry> = writers
+    /// Decide home migrations (§5.2.2) and per-page protocols from the
+    /// merged page → writers / page → readers maps. Lists are sorted and
+    /// pages visited in id order at decision time, so the entries (and the
+    /// protocol table they evolve) are identical whether the maps were
+    /// built flat or merged up a tree.
+    fn decide_entries(
+        &self,
+        writers: HashMap<PageId, Vec<usize>>,
+        readers: HashMap<PageId, Vec<usize>>,
+    ) -> Vec<DepartEntry> {
+        let mode = self.config().proto_select;
+        let fixed_homes = self.config().home_policy == HomePolicy::Fixed;
+        let mut written: Vec<(PageId, Vec<usize>)> = writers
             .into_iter()
-            .map(|(page, mut w)| {
+            .map(|(p, mut w)| {
                 w.sort_unstable();
+                (p, w)
+            })
+            .collect();
+        written.sort_unstable_by_key(|&(p, _)| p);
+        let mut readers = readers;
+        let mut st = self.server.lock();
+        // Sharer evidence for pages *not* written this interval still
+        // accumulates: a read-mostly interval followed by a write interval
+        // must already know the page's audience.
+        let mut unwritten: Vec<PageId> = readers
+            .keys()
+            .copied()
+            .filter(|p| written.binary_search_by_key(p, |&(q, _)| q).is_err())
+            .collect();
+        unwritten.sort_unstable();
+        for page in unwritten {
+            st.proto.note_readers(page, &readers[&page]);
+        }
+        let mut flips = 0u64;
+        let entries: Vec<DepartEntry> = written
+            .into_iter()
+            .map(|(page, w)| {
                 let old_home = self.home_of(page);
                 let multi_writer = w.len() > 1;
-                let new_home = match self.config().home_policy {
-                    HomePolicy::Fixed => old_home,
-                    HomePolicy::Migratory => {
-                        if w.len() == 1 {
-                            w[0]
-                        } else if w.contains(&old_home) {
-                            // The current home has the highest priority.
-                            old_home
-                        } else {
-                            // Then the writer with the smallest node id.
-                            w[0]
-                        }
-                    }
+                let new_home = if fixed_homes {
+                    st.proto.note_writes(page, &w);
+                    old_home
+                } else {
+                    // §5.2.2 priorities, plus dominant-writer re-homing
+                    // once one writer's history strictly outweighs the
+                    // rest (see `ProtocolTable::pick_home`).
+                    st.proto.pick_home(page, &w, old_home)
                 };
+                let rd = readers.remove(&page).unwrap_or_default();
+                let d = st.proto.decide(mode, page, &w, &rd, old_home, new_home);
+                if d.flipped {
+                    flips += 1;
+                }
                 DepartEntry {
                     page,
                     old_home,
                     new_home,
                     multi_writer,
+                    update: d.update,
+                    sharers: d.sharers,
                 }
             })
             .collect();
-        entries.sort_unstable_by_key(|e| e.page);
+        drop(st);
+        if flips > 0 {
+            self.stats.proto_flips.fetch_add(flips, Ordering::Relaxed);
+        }
         entries
     }
 

@@ -83,11 +83,71 @@ counters! {
     /// Threads that blocked on an in-flight page update
     /// (TRANSIENT/BLOCKED waits — the §5.1 machinery at work).
     update_waits,
+    /// Speculative stride-prefetch requests issued (each covers one or
+    /// more predicted pages).
+    prefetch_issued,
+    /// Pages fetched speculatively by the stride predictor (also counted
+    /// in `page_fetches`).
+    prefetch_pages,
+    /// Prefetched pages later consumed by the predicted access stream
+    /// without faulting.
+    prefetch_hits,
+    /// Confirmed-stride predictions broken by the next fault; reaching
+    /// `prefetch_mispredict_budget` disables that thread's predictor.
+    prefetch_mispredicts,
+    /// Merged pages pushed to sharers under the update protocol (also
+    /// counted in `pushes_sent`).
+    update_pushes,
+    /// Barrier-time protocol flips decided for pages (invalidate↔update;
+    /// counted at the root making the decision).
+    proto_flips,
+    /// Diff merges applied by this node's home shards (sum over shards;
+    /// the per-shard split lives in [`ShardStats`]).
+    shard_merges,
 }
 
 impl DsmStats {
     pub fn bump(&self, c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-shard event counters (one slot per lock shard of the page store).
+///
+/// Kept separate from the flat [`DsmStats`] counters because the shard
+/// count is a runtime knob (`DsmConfig::page_shards`), not a compile-time
+/// field list. The sum over slots equals the matching flat counter
+/// (`shard_merges`).
+#[derive(Debug)]
+pub struct ShardStats {
+    counts: Box<[AtomicU64]>,
+}
+
+impl ShardStats {
+    pub fn new(shards: usize) -> ShardStats {
+        ShardStats {
+            counts: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    pub fn bump(&self, shard: usize) {
+        self.counts[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Point-in-time copy, one count per shard.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

@@ -202,6 +202,122 @@ impl RegionAllocator {
     }
 }
 
+/// Sharded per-page protocol bookkeeping: the node's dirty set and the
+/// current interval's write/read notice sets, split into power-of-two lock
+/// shards keyed by page id.
+///
+/// Before sharding these were two node-global `Mutex<HashSet<PageId>>`s —
+/// every write fault on every application thread, and every diff-batch
+/// merge bookkeeping step, serialized on the same two locks. A page maps
+/// to shard `page & (shards - 1)`, so concurrent faults on different pages
+/// almost always hit different shards. Draining (release/barrier time) is
+/// done shard by shard and then sorted, so drain order — and therefore
+/// everything downstream: diff batch layout, write notices, departure
+/// entries — is byte-identical to the single-lock path.
+pub struct PageShards {
+    shards: Box<[parade_net::sync::Mutex<ShardSets>]>,
+    mask: usize,
+    /// Per-shard diff-merge counts (home side), for the `dsm.shard` trace
+    /// event and shard-balance assertions in tests.
+    pub merges: crate::stats::ShardStats,
+}
+
+#[derive(Debug, Default)]
+struct ShardSets {
+    /// Pages this node holds dirty (twin taken, diff owed at release).
+    dirty: std::collections::HashSet<PageId>,
+    /// Pages written during the current interval (barrier write notices).
+    notices: std::collections::HashSet<PageId>,
+    /// Pages fetched during the current interval (barrier read notices —
+    /// the sharer evidence behind adaptive protocol selection).
+    reads: std::collections::HashSet<PageId>,
+}
+
+impl PageShards {
+    /// `shards` is rounded up to a power of two (min 1).
+    pub fn new(shards: usize) -> PageShards {
+        let n = shards.max(1).next_power_of_two();
+        PageShards {
+            shards: (0..n)
+                .map(|_| parade_net::sync::Mutex::new(ShardSets::default()))
+                .collect(),
+            mask: n - 1,
+            merges: crate::stats::ShardStats::new(n),
+        }
+    }
+
+    #[inline]
+    pub fn shard_of(&self, page: PageId) -> usize {
+        page & self.mask
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    #[inline]
+    fn with<R>(&self, page: PageId, f: impl FnOnce(&mut ShardSets) -> R) -> R {
+        f(&mut self.shards[self.shard_of(page)].lock())
+    }
+
+    /// Mark a page dirty and note the write for the current interval.
+    pub fn mark_written(&self, page: PageId) {
+        self.with(page, |s| {
+            s.dirty.insert(page);
+            s.notices.insert(page);
+        });
+    }
+
+    /// Drop a page from the dirty set (it is being flushed out of band);
+    /// returns whether it was dirty.
+    pub fn unmark_dirty(&self, page: PageId) -> bool {
+        self.with(page, |s| s.dirty.remove(&page))
+    }
+
+    /// Note a page fetch for the current interval's read notices.
+    pub fn mark_read(&self, page: PageId) {
+        self.with(page, |s| {
+            s.reads.insert(page);
+        });
+    }
+
+    fn drain_sorted(&self, pick: impl Fn(&mut ShardSets) -> Vec<PageId>) -> Vec<PageId> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(pick(&mut shard.lock()));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Take the dirty set (sorted — deterministic release order).
+    pub fn drain_dirty(&self) -> Vec<PageId> {
+        self.drain_sorted(|s| s.dirty.drain().collect())
+    }
+
+    /// Take the interval's write notices (sorted).
+    pub fn drain_notices(&self) -> Vec<PageId> {
+        self.drain_sorted(|s| s.notices.drain().collect())
+    }
+
+    /// Take the interval's read notices (sorted).
+    pub fn drain_reads(&self) -> Vec<PageId> {
+        self.drain_sorted(|s| s.reads.drain().collect())
+    }
+
+    /// Record a home-side diff merge into `page`'s shard; returns the
+    /// shard index (for tracing).
+    pub fn record_merge(&self, page: PageId) -> usize {
+        let shard = self.shard_of(page);
+        self.merges.bump(shard);
+        shard
+    }
+}
+
 /// Shared pool exhausted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AllocError {
@@ -277,6 +393,50 @@ mod tests {
         let err = a.alloc(3 * PAGE_SIZE, 2 * PAGE_SIZE).unwrap_err();
         assert_eq!(err.available, 2 * PAGE_SIZE);
         assert!(a.alloc(2 * PAGE_SIZE, 2 * PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn page_shards_round_up_and_distribute() {
+        let s = PageShards::new(6);
+        assert_eq!(s.len(), 8, "shard count rounds up to a power of two");
+        for p in 0..32 {
+            assert_eq!(s.shard_of(p), p % 8);
+        }
+        let single = PageShards::new(1);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single.shard_of(12345), 0);
+    }
+
+    #[test]
+    fn page_shards_drain_sorted_regardless_of_insertion_order() {
+        for nshards in [1usize, 4, 16] {
+            let s = PageShards::new(nshards);
+            for &p in &[31usize, 2, 17, 4, 9, 0, 25] {
+                s.mark_written(p);
+                s.mark_read(p + 1);
+            }
+            assert_eq!(s.drain_dirty(), vec![0, 2, 4, 9, 17, 25, 31]);
+            assert_eq!(s.drain_notices(), vec![0, 2, 4, 9, 17, 25, 31]);
+            assert_eq!(s.drain_reads(), vec![1, 3, 5, 10, 18, 26, 32]);
+            // Drains empty the sets.
+            assert!(s.drain_dirty().is_empty());
+            assert!(s.drain_notices().is_empty());
+            assert!(s.drain_reads().is_empty());
+        }
+    }
+
+    #[test]
+    fn page_shards_unmark_and_merge_counters() {
+        let s = PageShards::new(4);
+        s.mark_written(5);
+        assert!(s.unmark_dirty(5));
+        assert!(!s.unmark_dirty(5));
+        // The write notice survives an out-of-band flush.
+        assert_eq!(s.drain_notices(), vec![5]);
+        assert_eq!(s.record_merge(6), 2);
+        assert_eq!(s.record_merge(10), 2);
+        assert_eq!(s.record_merge(3), 3);
+        assert_eq!(s.merges.snapshot(), vec![0, 0, 2, 1]);
     }
 
     #[test]

@@ -110,6 +110,18 @@ grep -q "Steal soak" "$STEAL_TMP/steal.md"
 grep -q "retransmits" "$STEAL_TMP/steal.md"
 rm -rf "$STEAL_TMP"
 
+echo "== adaptive-DSM smoke (figures -- adapt-smoke) =="
+# CG class S on 4 nodes under all-invalidate / all-update / adaptive
+# per-page protocol selection, plus adaptive with stride prefetch: the
+# binary exits nonzero unless every mode is NPB-verified, bit-identical
+# to the all-invalidate reference, and the bulk range-fetch path fired.
+ADAPT_TMP="$(mktemp -d)"
+cargo run -q --offline -p parade-bench --bin figures -- adapt-smoke \
+  > "$ADAPT_TMP/adapt.md"
+grep -q "Adaptive-DSM smoke" "$ADAPT_TMP/adapt.md"
+grep -q "all-update" "$ADAPT_TMP/adapt.md"
+rm -rf "$ADAPT_TMP"
+
 echo "== primitives microbench (emits BENCH_primitives.json) =="
 BENCH_TMP="$(mktemp -d)"
 PARADE_BENCH_JSON="$BENCH_TMP" \
@@ -119,8 +131,9 @@ test -s "$BENCH_TMP/BENCH_primitives.json"
 rm -rf "$BENCH_TMP"
 
 echo "== dsm release-path bench + regression gate (emits BENCH_dsm.json) =="
-# The release/, coll/, and tasks/ metrics are simulated virtual time and
-# message counts — deterministic on any host — gated at 20% against the
+# The release/, coll/, tasks/, fault_storm/, and adapt/ metrics are
+# simulated virtual time and quiesced message counts — deterministic on
+# any host — gated at 20% against the
 # committed baseline. The coll/ and tasks/ scaling families (…_{N}n) are
 # additionally gated on
 # *shape*: each node-count doubling must cost < 1.7x the previous rung, so

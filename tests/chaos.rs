@@ -369,6 +369,49 @@ fn cg_class_s_bit_identical_with_two_level_collectives_under_chaos() {
     });
 }
 
+/// The adaptive protocol layer on a lossy fabric: whatever mix of
+/// invalidations, update pushes, and retransmissions each mode ends up
+/// with, CG class S must land on the bits of the clean static-invalidate
+/// baseline. Chaos reorders the sharer history's *timing* but never its
+/// barrier-interval content, so even the per-page decisions stay aligned.
+#[test]
+fn protocol_modes_are_bit_identical_under_lossy_chaos() {
+    use parade::dsm::ProtoSelect;
+
+    run_with_timeout("proto-chaos", SOAK, || {
+        let mk = |proto: ProtoSelect, chaos: ChaosProfile| {
+            Cluster::builder()
+                .nodes(4)
+                .threads_per_node(2)
+                .net(NetProfile::clan_via())
+                .time(TimeSource::Manual)
+                .chaos(chaos)
+                .proto_select(proto)
+                .build()
+                .expect("cluster")
+        };
+        let (clean, _) = cg_parade(
+            &mk(ProtoSelect::AllInvalidate, ChaosProfile::off()),
+            CgClass::S,
+        );
+        for proto in [ProtoSelect::Adaptive, ProtoSelect::AllUpdate] {
+            let (chaotic, report) =
+                cg_parade(&mk(proto, ChaosProfile::lossy(0x000A_DA97)), CgClass::S);
+            assert_eq!(
+                chaotic.zeta.to_bits(),
+                clean.zeta.to_bits(),
+                "{proto:?} under chaos diverged from the clean invalidate baseline"
+            );
+            assert_eq!(chaotic.rnorm.to_bits(), clean.rnorm.to_bits(), "{proto:?}");
+            assert!(report.cluster.fabric_error.is_none());
+            assert!(
+                report.cluster.link_health_totals().retransmits >= 1,
+                "{proto:?}: the lossy schedule must exercise retransmission"
+            );
+        }
+    });
+}
+
 #[test]
 fn helmholtz_is_bit_identical_under_lossy_chaos() {
     run_with_timeout("helmholtz-chaos", SOAK, || {

@@ -87,6 +87,31 @@ fn cg_migratory_home_reduces_traffic() {
     );
 }
 
+/// The bulk-fetch shape of a CG class-S sweep is pinned: whole-vector
+/// reads must coalesce their cold misses into `ReqPageRange` trips, and
+/// CG's one-bulk-call-per-vector pattern gives the stride predictor no
+/// inter-fault stride to learn, so speculative prefetch stays silent.
+/// A drift in either counter means the adaptive hot path changed shape —
+/// rerun `figures -- adapt-smoke` and re-pin deliberately.
+#[test]
+fn cg_bulk_fetch_counters_are_pinned() {
+    let cfg = ClusterConfig {
+        nodes: 4,
+        exec: ExecConfig::OneThreadTwoCpu,
+        net: NetProfile::clan_via(),
+        time: TimeSource::Manual,
+        ..ClusterConfig::default()
+    };
+    let (r, report) = cg_parade(&Cluster::from_config(cfg), CgClass::S);
+    assert!(r.verify(CgClass::S), "zeta {}", r.zeta);
+    let d = report.cluster.dsm_totals();
+    assert_eq!(
+        (d.range_fetches, d.range_fetch_pages, d.prefetch_hits),
+        (17, 181, 0),
+        "bulk-fetch shape drifted (range trips, pages, speculative hits)",
+    );
+}
+
 #[test]
 fn ep_parallel_matches_sequential_and_scales_traffic_free() {
     let class = EpClass::Custom(19);

@@ -131,6 +131,30 @@ prop!(fn disjoint_diffs_commute((seed, writes) in page_spec) {
     assert_eq!(one, two);
 });
 
+prop!(fn odd_page_size_diffs_roundtrip((len, writes) in |r: &mut TestRng| {
+    // Deliberately not a multiple of 8: the trailing partial word used to
+    // be read past the slice end by the word-at-a-time comparison.
+    let len = r.range_usize(1, 600);
+    let n = r.range_usize(0, 40);
+    let writes: Vec<(usize, u8)> = (0..n)
+        .map(|_| (r.range_usize(0, len), r.next_byte()))
+        .collect();
+    (len, writes)
+}) {
+    if len == 0 {
+        return; // shrunk out of the generator's 1.. precondition
+    }
+    let base: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+    let mut cur = base.clone();
+    for &(pos, v) in &writes {
+        cur[pos % len] = v;
+    }
+    let d = Diff::create(&base, &cur);
+    let mut rebuilt = base.clone();
+    d.apply(&mut rebuilt);
+    assert_eq!(rebuilt, cur, "len {len} (len % 8 == {})", len % 8);
+});
+
 // ---- loop partitioning -------------------------------------------------------
 
 prop!(fn partition_is_exact_and_disjoint((start, len, n) in |r: &mut TestRng| {
@@ -466,6 +490,189 @@ prop!(cases = 6, fn cluster_collectives_match_with_hierarchy_on_and_off(
     let flat = run(false);
     assert_eq!(hier.to_bits(), flat.to_bits(), "shape ({nodes}x{tpn}, width {width})");
 });
+
+// ---- adaptive protocol equivalence --------------------------------------------
+//
+// The per-page invalidate-vs-update selection (and the stride prefetcher
+// riding below it) may only change *when* bytes move, never *which* bytes:
+// a push installs the same merged page an invalidate+refetch would. These
+// properties pin that claim over random page traces and the real kernels.
+
+use parade::dsm::ProtoSelect;
+
+/// splitmix64: the trace's only source of randomness, so every protocol
+/// mode replays the identical write/read schedule.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn proto_cluster(
+    nodes: usize,
+    tpn: usize,
+    proto: ProtoSelect,
+    prefetch: bool,
+) -> parade::core::Cluster {
+    parade::core::Cluster::builder()
+        .nodes(nodes)
+        .threads_per_node(tpn)
+        .net(NetProfile::zero())
+        .time(parade::net::TimeSource::Manual)
+        .pool_bytes(256 * PAGE_SIZE)
+        .proto_select(proto)
+        .stride_prefetch(prefetch)
+        .build()
+        .unwrap()
+}
+
+/// A random page trace: each interval picks, per page, either one writer
+/// node (sometimes broadcast-read afterwards — the update protocol's
+/// favourite shape) or false-sharing writers on disjoint words, then
+/// barriers. Returns the final vector as raw bits read on the master.
+fn run_page_trace(
+    nodes: usize,
+    tpn: usize,
+    pages: usize,
+    intervals: usize,
+    seed: u64,
+    proto: ProtoSelect,
+    prefetch: bool,
+) -> Vec<u64> {
+    const SLOTS_PER_PAGE: usize = PAGE_SIZE / 8;
+    let c = proto_cluster(nodes, tpn, proto, prefetch);
+    let slots = pages * SLOTS_PER_PAGE;
+    c.run(move |g| {
+        let v = g.alloc_f64(slots);
+        g.parallel(move |tc| {
+            for interval in 0..intervals {
+                for p in 0..pages {
+                    let h = mix(seed ^ ((p as u64) << 17) ^ ((interval as u64) << 33));
+                    let w = (h % (nodes as u64 + 2)) as usize;
+                    if w < nodes {
+                        // Single writer: node w dirties a few words.
+                        if tc.node() == w && tc.local_thread() == 0 {
+                            for k in 0..4 {
+                                let s =
+                                    p * SLOTS_PER_PAGE + ((h >> (8 * k)) as usize % SLOTS_PER_PAGE);
+                                tc.set(&v, s, (h ^ s as u64) as f64);
+                            }
+                        }
+                    } else if tc.local_thread() == 0 {
+                        // Page-granularity false sharing: every node writes
+                        // its own words of the same page.
+                        for k in 0..4 {
+                            let s = p * SLOTS_PER_PAGE + tc.node() + k * nodes;
+                            tc.set(&v, s, (h ^ s as u64 ^ tc.node() as u64) as f64);
+                        }
+                    }
+                }
+                tc.barrier();
+                // Broadcast-read on even-hash intervals (every node becomes
+                // a sharer, steering Adaptive toward update pushes); a
+                // rotating half of the nodes otherwise.
+                let hr = mix(seed ^ 0x5eed ^ ((interval as u64) << 7));
+                if hr.is_multiple_of(2) || tc.node() % 2 == interval % 2 {
+                    let mut acc = 0.0;
+                    for i in 0..slots {
+                        acc += tc.get(&v, i);
+                    }
+                    std::hint::black_box(acc);
+                }
+                tc.barrier();
+            }
+            let mut bits = Vec::with_capacity(slots);
+            for i in 0..slots {
+                bits.push(tc.get(&v, i).to_bits());
+            }
+            bits
+        })
+    })
+}
+
+prop!(cases = 6, fn protocol_modes_are_bit_identical_on_random_page_traces(
+    ((nodes, tpn), pages, intervals, seed) in |r: &mut TestRng| {
+        ((r.range_usize(2, 5), r.range_usize(1, 3)), r.range_usize(2, 6),
+         r.range_usize(3, 7), r.next_u64())
+    }) {
+    if nodes < 2 || tpn == 0 || pages == 0 || intervals == 0 {
+        return; // shrunk out of the generator's precondition
+    }
+    let run = |proto, prefetch| run_page_trace(nodes, tpn, pages, intervals, seed, proto, prefetch);
+    let adaptive = run(ProtoSelect::Adaptive, true);
+    let shape = format!("({nodes}x{tpn}, {pages}p, {intervals}iv, seed {seed:#x})");
+    assert_eq!(
+        adaptive, run(ProtoSelect::Adaptive, false),
+        "prefetch must not change one bit {shape}"
+    );
+    assert_eq!(
+        adaptive, run(ProtoSelect::AllInvalidate, false),
+        "adaptive must equal all-invalidate {shape}"
+    );
+    assert_eq!(
+        adaptive, run(ProtoSelect::AllUpdate, true),
+        "adaptive must equal all-update {shape}"
+    );
+});
+
+/// The real kernels across all three protocol modes: CG's migratory
+/// reductions, Helmholtz's halo exchange, and the task-based n-body all
+/// have to land on identical bits whichever protocol moves their pages.
+#[test]
+fn kernels_are_bit_identical_across_protocol_modes() {
+    use parade::kernels::cg::{cg_parade, CgClass};
+    use parade::kernels::helmholtz::{helmholtz_parade, HelmholtzParams};
+    use parade::kernels::md::MdParams;
+    use parade::kernels::nbody_task::nbody_task_parade;
+
+    const MODES: [ProtoSelect; 3] = [
+        ProtoSelect::Adaptive,
+        ProtoSelect::AllInvalidate,
+        ProtoSelect::AllUpdate,
+    ];
+    let fingerprints: Vec<Vec<u64>> = MODES
+        .iter()
+        .map(|&m| {
+            // A fresh cluster per kernel: regions are never freed, so one
+            // shared pool would just measure allocator pressure.
+            let mk = || {
+                parade::core::Cluster::builder()
+                    .nodes(4)
+                    .threads_per_node(2)
+                    .net(NetProfile::zero())
+                    .time(parade::net::TimeSource::Manual)
+                    .proto_select(m)
+                    .build()
+                    .unwrap()
+            };
+            let (cg, _) = cg_parade(&mk(), CgClass::S);
+            assert!(
+                (cg.zeta - 8.5971775078648).abs() <= 1e-10,
+                "zeta={}",
+                cg.zeta
+            );
+            let (hh, _) = helmholtz_parade(&mk(), HelmholtzParams::sized(32, 32, 30));
+            let (nb, _) = nbody_task_parade(&mk(), MdParams::sized(48, 3), 8);
+            vec![
+                cg.zeta.to_bits(),
+                cg.rnorm.to_bits(),
+                hh.iters as u64,
+                hh.error.to_bits(),
+                hh.solution_error.to_bits(),
+                nb.first.potential.to_bits(),
+                nb.first.kinetic.to_bits(),
+                nb.last.potential.to_bits(),
+                nb.last.kinetic.to_bits(),
+            ]
+        })
+        .collect();
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "adaptive vs all-invalidate"
+    );
+    assert_eq!(fingerprints[0], fingerprints[2], "adaptive vs all-update");
+}
 
 // ---- runtime reduction laws over cluster shapes -------------------------------
 

@@ -146,6 +146,139 @@ fn critical_counter_exact_under_false_sharing() {
     }
 }
 
+/// Race 4 (sharded page store): splitting the per-node bookkeeping and
+/// home-side page state across lock shards must be invisible — the same
+/// workload over 16 shards and over the single-lock configuration has to
+/// produce identical final bytes *and* identical protocol counters, even
+/// with sibling threads hammering distinct shards concurrently.
+#[test]
+fn sharded_page_store_matches_single_lock() {
+    const PAGES: usize = 16;
+    const SLOTS: usize = PAGES * 512;
+    let run = |shards: usize| {
+        let c = Cluster::builder()
+            .nodes(3)
+            .threads_per_node(2)
+            .net(NetProfile::zero())
+            .time(TimeSource::Manual)
+            .pool_bytes(8 << 20)
+            .page_shards(shards)
+            .build()
+            .unwrap();
+        c.run_with_report(move |g| {
+            let v = g.alloc_f64(SLOTS);
+            g.parallel(move |tc| {
+                let (t, nt) = (tc.thread_num(), tc.num_threads());
+                let mut sums = Vec::new();
+                for round in 0..6 {
+                    // Every thread writes its own words of every page, so
+                    // each release merges batches into many shards at once.
+                    for p in 0..PAGES {
+                        for k in 0..4 {
+                            let s = p * 512 + t + k * nt;
+                            tc.set(&v, s, (round * 10_000 + s) as f64);
+                        }
+                    }
+                    tc.barrier();
+                    let mut acc = 0.0;
+                    for i in 0..SLOTS {
+                        acc += tc.get(&v, i);
+                    }
+                    sums.push(tc.reduce_f64_sum(acc).to_bits());
+                }
+                let mut bits: Vec<u64> = (0..SLOTS).map(|i| tc.get(&v, i).to_bits()).collect();
+                bits.extend(sums);
+                bits
+            })
+        })
+    };
+    let (bits_sharded, rep_sharded) = run(16);
+    let (bits_single, rep_single) = run(1);
+    assert_eq!(bits_sharded, bits_single, "final bytes diverged");
+    let (a, b) = (
+        rep_sharded.cluster.dsm_totals(),
+        rep_single.cluster.dsm_totals(),
+    );
+    assert_eq!(
+        (
+            a.diffs_sent,
+            a.batched_pages,
+            a.shard_merges,
+            a.invalidations
+        ),
+        (
+            b.diffs_sent,
+            b.batched_pages,
+            b.shard_merges,
+            b.invalidations
+        ),
+        "merge bookkeeping must not depend on the shard count"
+    );
+    assert!(a.shard_merges > 0, "the workload must actually merge diffs");
+}
+
+/// Race 5 (sharded store, cont.): a demand fetch racing a `DiffBatch`
+/// merge of the very same page. Node 1 ships batches to home 0 at every
+/// lock release while node 0's threads read the words being merged and
+/// node 2 refetches the page after each lock-grant invalidation. Whatever
+/// interleaving the host schedules, whole words and the final merged
+/// state must survive — under both shard configurations.
+#[test]
+fn fault_racing_same_page_batch_merge_keeps_words_whole() {
+    let rounds = 25usize;
+    for trial in 0..3 {
+        for shards in [1usize, 16] {
+            let c = Cluster::builder()
+                .nodes(3)
+                .threads_per_node(2)
+                .net(NetProfile::zero())
+                .time(TimeSource::Manual)
+                .pool_bytes(8 << 20)
+                .page_shards(shards)
+                .build()
+                .unwrap();
+            let bad = c.run(move |g| {
+                let v = g.alloc_f64(1024); // two pages, homed on node 0
+                g.parallel(move |tc| {
+                    if tc.node() == 1 && tc.local_thread() == 0 {
+                        // Writer: dirty both pages, then release (shipping
+                        // one batch to home 0) — over and over.
+                        for round in 0..rounds {
+                            for i in 0..64 {
+                                tc.set(&v, i * 16 + 1, (round * 64 + i) as f64);
+                            }
+                            tc.critical(3, |_| {});
+                        }
+                    } else {
+                        // Home threads read the words mid-merge; node 2
+                        // refaults after each lock-grant invalidation.
+                        for _ in 0..rounds {
+                            let mut acc = 0.0;
+                            for i in 0..64 {
+                                acc += tc.get(&v, i * 16 + 1);
+                            }
+                            std::hint::black_box(acc);
+                            tc.critical(3, |_| {});
+                        }
+                    }
+                    tc.barrier();
+                    let mut bad = 0usize;
+                    for i in 0..64 {
+                        if tc.get(&v, i * 16 + 1) != ((rounds - 1) * 64 + i) as f64 {
+                            bad += 1;
+                        }
+                    }
+                    tc.reduce_f64_sum(bad as f64)
+                })
+            });
+            assert_eq!(
+                bad, 0.0,
+                "trial {trial}, {shards} shard(s): torn or lost merge"
+            );
+        }
+    }
+}
+
 /// Race 3: the hierarchical barrier's root aggregates one local arrival
 /// plus one `BarrierUp` per tree child, in whatever real-time order its
 /// communication thread happens to service them. Everything the departure
@@ -170,11 +303,13 @@ fn tree_barrier_departure_is_independent_of_aggregation_order() {
         seq: 0,
         members: vec![(1, 70)],
         writers: vec![(5, vec![1])],
+        readers: vec![],
     };
     let up_from_2 = DsmMsg::BarrierUp {
         seq: 0,
         members: vec![(2, 71), (3, 72)],
         writers: vec![(9, vec![2]), (5, vec![3])],
+        readers: vec![],
     };
 
     let run = |ups_before_arrive: bool| {
