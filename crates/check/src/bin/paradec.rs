@@ -1,21 +1,26 @@
 //! `paradec` — the ParADE OpenMP translator CLI.
 //!
 //! ```text
-//! paradec check <file.c>
+//! paradec check <file.c> [--json] [--ast-check] [--trace FILE]
 //! paradec translate <file.c> [--mode parade|sdsm] [--threshold N] [--no-check]
 //! paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm]
 //!                      [--trace FILE] [--oracle] [--no-check]
 //! ```
 //!
 //! `check` runs the static analyzer and prints its diagnostics; any
-//! `error[PCnnn]` makes it exit non-zero. `translate` prints the translated
-//! C source (Figures 2/3 style) and `run` interprets the program on a
-//! simulated cluster — both run the analyzer first and refuse programs
-//! with errors unless `--no-check` is given. `run --oracle` additionally
-//! enables the happens-before race oracle inside the interpreter and
-//! reports any data races the execution actually exhibited.
+//! `error[PCnnn]` makes it exit non-zero. The default analyzer lowers to
+//! MIR and runs the dataflow-based lints (PC001–PC010); `--ast-check`
+//! selects the lexical AST analyzer (PC001–PC008) instead, and `--json`
+//! prints one JSON object per diagnostic on stdout — the JSON carries no
+//! backend-identifying field, so the two analyzers' outputs are directly
+//! diffable. `translate` prints the translated C source (Figures 2/3
+//! style) and `run` interprets the program on a simulated cluster — both
+//! run the analyzer first and refuse programs with errors unless
+//! `--no-check` is given. `run --oracle` additionally enables the
+//! happens-before race oracle inside the interpreter and reports any data
+//! races the execution actually exhibited.
 
-use parade_check::{check_program, has_errors, Severity};
+use parade_check::{check_program, check_program_ast, has_errors, Severity};
 use parade_core::{Cluster, NetProfile, ProtocolMode, TimeSource};
 use parade_translator::emit::{translate, EmitMode};
 use parade_translator::interp::Interp;
@@ -23,11 +28,15 @@ use parade_translator::parser::parse;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  paradec check <file.c>\n  \
+        "usage:\n  paradec check <file.c> [--json] [--ast-check] [--trace FILE]\n  \
          paradec translate <file.c> [--mode parade|sdsm] [--threshold N] [--no-check]\n  \
          paradec run <file.c> [--nodes N] [--threads T] [--mode parade|sdsm] [--trace FILE] [--oracle] [--no-check]\n\
-  --trace FILE: record the run and write a Chrome trace_event file\n\
-                (open in chrome://tracing or Perfetto); same as PARADE_TRACE=FILE\n\
+  --json:       print one JSON object per diagnostic on stdout\n\
+  --ast-check:  use the lexical AST analyzer (PC001-PC008) instead of the\n\
+                MIR dataflow analyzer (PC001-PC010)\n\
+  --trace FILE: record the run (or `check` analysis) and write a Chrome\n\
+                trace_event file (open in chrome://tracing or Perfetto);\n\
+                for `run`, same as PARADE_TRACE=FILE\n\
   --oracle:     detect data races at runtime (vector-clock happens-before)\n\
   --no-check:   skip the static analyzer gate before translate/run"
     );
@@ -48,6 +57,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut oracle = false;
     let mut no_check = false;
+    let mut json = false;
+    let mut ast_check = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -85,6 +96,8 @@ fn main() {
             }
             "--oracle" => oracle = true,
             "--no-check" => no_check = true,
+            "--json" => json = true,
+            "--ast-check" => ast_check = true,
             _ => usage(),
         }
         i += 1;
@@ -106,9 +119,36 @@ fn main() {
     // a warning so known-racy programs can still be run (e.g. to watch the
     // oracle catch them).
     if cmd == "check" || !no_check {
-        let diags = check_program(&prog);
-        for d in &diags {
-            eprintln!("{}", d.render(file));
+        // `check --trace` records the analyzer's own `check.analyze` spans
+        // (MIR lowering plus each dataflow pass) in its own session; `run`
+        // instead hands the path to the runtime via PARADE_TRACE above.
+        let session = if cmd == "check" && trace_path.is_some() {
+            parade_trace::start(parade_trace::TraceConfig::from_env())
+        } else {
+            None
+        };
+        let diags = if ast_check {
+            check_program_ast(&prog)
+        } else {
+            check_program(&prog)
+        };
+        if let Some(session) = session {
+            let path = trace_path.as_ref().expect("trace path");
+            let data = session.finish();
+            if let Err(e) = std::fs::write(path, data.chrome_json()) {
+                eprintln!("paradec: cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[paradec] trace written to {path}");
+        }
+        if json {
+            for d in &diags {
+                println!("{}", d.render_json(file));
+            }
+        } else {
+            for d in &diags {
+                eprintln!("{}", d.render(file));
+            }
         }
         let errors = diags
             .iter()
@@ -117,11 +157,13 @@ fn main() {
         let warnings = diags.len() - errors;
         if cmd == "check" {
             if diags.is_empty() {
-                println!(
-                    "{file}: ok ({} top-level items, {} includes)",
-                    prog.items.len(),
-                    prog.includes.len()
-                );
+                if !json {
+                    println!(
+                        "{file}: ok ({} top-level items, {} includes)",
+                        prog.items.len(),
+                        prog.includes.len()
+                    );
+                }
             } else {
                 eprintln!("{file}: {errors} error(s), {warnings} warning(s)");
             }

@@ -52,10 +52,20 @@ pub enum LintId {
     /// concurrently under the work-stealing scheduler, so unordered writes
     /// race.
     TaskSharedWrite,
+    /// PC009 — barrier (or implicitly-joining work-sharing construct)
+    /// placed in a CFG-divergent block: the dataflow divergence analysis
+    /// proves threads of the team can disagree on reaching it, even where
+    /// the lexical PC004 rules stay silent (e.g. after a thread-dependent
+    /// `break`). Flow-sensitive; only the MIR analyzer emits it.
+    BarrierDivergence,
+    /// PC010 — `depend` clauses of the tasks in a region form a cycle: the
+    /// scheduler can never release any task on it, deadlocking the
+    /// taskwait. Flow-sensitive; only the MIR analyzer emits it.
+    TaskDependCycle,
 }
 
 impl LintId {
-    pub const ALL: [LintId; 8] = [
+    pub const ALL: [LintId; 10] = [
         LintId::SharedWriteRace,
         LintId::LoopCarriedDependence,
         LintId::ReductionMisuse,
@@ -64,6 +74,8 @@ impl LintId {
         LintId::PrivateUninitRead,
         LintId::DirectiveStructure,
         LintId::TaskSharedWrite,
+        LintId::BarrierDivergence,
+        LintId::TaskDependCycle,
     ];
 
     /// The stable code, e.g. `PC001`.
@@ -77,6 +89,8 @@ impl LintId {
             LintId::PrivateUninitRead => "PC006",
             LintId::DirectiveStructure => "PC007",
             LintId::TaskSharedWrite => "PC008",
+            LintId::BarrierDivergence => "PC009",
+            LintId::TaskDependCycle => "PC010",
         }
     }
 
@@ -91,6 +105,8 @@ impl LintId {
             LintId::PrivateUninitRead => "private-read-before-write",
             LintId::DirectiveStructure => "directive-structure",
             LintId::TaskSharedWrite => "task-unordered-shared-write",
+            LintId::BarrierDivergence => "barrier-divergence-deadlock",
+            LintId::TaskDependCycle => "task-dependency-cycle",
         }
     }
 
@@ -138,6 +154,55 @@ impl Diag {
             self.message
         )
     }
+
+    /// Render as one JSON object (machine-readable `paradec check --json`).
+    pub fn render_json(&self, file: &str) -> String {
+        format!(
+            r#"{{"file":{},"lint":"{}","name":"{}","severity":"{}","line":{},"col":{},"message":{}}}"#,
+            json_str(file),
+            self.lint.code(),
+            self.lint.name(),
+            self.severity,
+            self.span.line,
+            self.span.col,
+            json_str(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the diagnostics only ever carry source
+/// identifiers and fixed text, but stay correct on anything).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Canonical diagnostic order: (line, col, lint id, message), then dedup.
+/// Both analyzer backends sort with this so their outputs are comparable
+/// byte-for-byte.
+pub fn sort_diags(diags: &mut Vec<Diag>) {
+    diags.sort_by(|a, b| {
+        (a.span.line, a.span.col, a.lint, &a.message).cmp(&(
+            b.span.line,
+            b.span.col,
+            b.lint,
+            &b.message,
+        ))
+    });
+    diags.dedup();
 }
 
 /// True if any diagnostic is `Error` severity (the check-gate predicate).
@@ -154,7 +219,23 @@ mod tests {
         let codes: Vec<&str> = LintId::ALL.iter().map(|l| l.code()).collect();
         assert_eq!(
             codes,
-            vec!["PC001", "PC002", "PC003", "PC004", "PC005", "PC006", "PC007", "PC008"]
+            vec![
+                "PC001", "PC002", "PC003", "PC004", "PC005", "PC006", "PC007", "PC008", "PC009",
+                "PC010"
+            ]
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_is_stable() {
+        let d = Diag::new(
+            LintId::BarrierDivergence,
+            Span::new(7, 13),
+            "threads \"may\" diverge",
+        );
+        assert_eq!(
+            d.render_json("dir/prog.c"),
+            r#"{"file":"dir/prog.c","lint":"PC009","name":"barrier-divergence-deadlock","severity":"error","line":7,"col":13,"message":"threads \"may\" diverge"}"#
         );
     }
 

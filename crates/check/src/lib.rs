@@ -23,22 +23,48 @@
 //! programs.
 
 pub mod diag;
+mod mir_lints;
 mod region;
 
-pub use diag::{has_errors, Diag, LintId, Severity};
+pub use diag::{has_errors, sort_diags, Diag, LintId, Severity};
 
+use parade_mir::{lower_program, span_arg, vt_now};
+use parade_trace::EventKind;
 use parade_translator::analysis::Symbols;
 use parade_translator::ast::*;
 use parade_translator::{parse, ParseError};
 
-/// Parse and check; parse errors are returned, not converted to lints.
+/// Parse and check with the MIR analyzer; parse errors are returned, not
+/// converted to lints.
 pub fn check_source(src: &str) -> Result<Vec<Diag>, ParseError> {
     Ok(check_program(&parse(src)?))
 }
 
-/// Run every detector over a parsed program. Diagnostics come back sorted
-/// by source position, duplicates removed.
+/// Parse and check with the lexical AST analyzer (`--ast-check`).
+pub fn check_source_ast(src: &str) -> Result<Vec<Diag>, ParseError> {
+    Ok(check_program_ast(&parse(src)?))
+}
+
+/// The default analyzer: lower to MIR and replay the detectors from the
+/// marker stream, plus the flow-sensitive PC009/PC010. Diagnostics come
+/// back sorted by source position, duplicates removed.
 pub fn check_program(prog: &Program) -> Vec<Diag> {
+    parade_trace::begin_arg(EventKind::CheckAnalyze, span_arg::LOWER, vt_now());
+    let funcs = lower_program(prog);
+    parade_trace::end(EventKind::CheckAnalyze, vt_now());
+    let mut diags = Vec::new();
+    for f in &funcs {
+        mir_lints::check_func(f, &mut diags);
+    }
+    sort_diags(&mut diags);
+    diags
+}
+
+/// The lexical AST analyzer (PC001–PC008 only). Kept as the parity oracle
+/// for the MIR path: on any program, its diagnostics must equal the MIR
+/// analyzer's minus PC009/PC010 (asserted by the corpus parity test and
+/// the CI parity gate).
+pub fn check_program_ast(prog: &Program) -> Vec<Diag> {
     let mut diags = Vec::new();
     for item in &prog.items {
         if let Item::Func(f) = item {
@@ -46,15 +72,7 @@ pub fn check_program(prog: &Program) -> Vec<Diag> {
             walk_outer(&syms, &f.body, &mut diags);
         }
     }
-    diags.sort_by(|a, b| {
-        (a.span.line, a.span.col, a.lint, &a.message).cmp(&(
-            b.span.line,
-            b.span.col,
-            b.lint,
-            &b.message,
-        ))
-    });
-    diags.dedup();
+    sort_diags(&mut diags);
     diags
 }
 
@@ -635,6 +653,167 @@ int main() {
         // A lone warning must not trip the gate.
         assert_eq!(ds.len(), 1);
         assert!(!has_errors(&ds));
+    }
+
+    #[test]
+    fn pc009_barrier_after_divergent_break() {
+        // Lexically the barrier is under no thread-dependent condition
+        // (the divergent `if` closed at the `break`), so the AST analyzer
+        // stays silent — only the CFG divergence analysis sees that
+        // threads disagree on how many iterations reach the barrier.
+        let src = r#"
+int main() {
+    int i; int s;
+    #pragma omp parallel private(i, s)
+    {
+        s = 0;
+        for (i = 0; i < 8; i = i + 1) {
+            if (omp_get_thread_num() > 0) { break; }
+            #pragma omp barrier
+            s = s + 1;
+        }
+    }
+    return 0;
+}
+"#;
+        assert_eq!(codes(src), vec!["PC009"]);
+        assert!(check_source_ast(src).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pc009_silent_on_uniform_break() {
+        let src = r#"
+int main() {
+    int i; int s; int n;
+    n = 64;
+    #pragma omp parallel private(i, s)
+    {
+        s = 0;
+        for (i = 0; i < 8; i = i + 1) {
+            if (n > 32) { break; }
+            #pragma omp barrier
+            s = s + 1;
+        }
+    }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", check_source(src).unwrap());
+    }
+
+    #[test]
+    fn pc009_firstprivate_entry_is_uniform() {
+        // `firstprivate` copies start with the same value on every
+        // thread, so a branch on one does not diverge.
+        let src = r#"
+int main() {
+    int i; int k;
+    k = 1;
+    #pragma omp parallel firstprivate(k) private(i)
+    {
+        for (i = 0; i < 8; i = i + 1) {
+            if (k > 0) { break; }
+            #pragma omp barrier
+        }
+    }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", check_source(src).unwrap());
+    }
+
+    #[test]
+    fn pc010_crossed_depends_cycle() {
+        let src = r#"
+int main() {
+    double x; double y;
+    x = 0.0;
+    y = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(in: y) depend(out: x)
+        { x = y + 1.0; }
+        #pragma omp task depend(in: x) depend(out: y)
+        { y = x + 1.0; }
+        #pragma omp taskwait
+    }
+    return 0;
+}
+"#;
+        let ds = check_source(src).unwrap();
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].lint, LintId::TaskDependCycle);
+        // Anchored at the lexically-first task on the cycle.
+        assert_eq!((ds[0].span.line, ds[0].span.col), (8, 9));
+        assert!(check_source_ast(src).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pc010_silent_on_chain_and_inout() {
+        // Forward chain plus an inout self-chain: backward resolution
+        // only, no cycle.
+        let src = r#"
+int main() {
+    double x; double y;
+    x = 0.0;
+    y = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(out: x)
+        { x = 1.0; }
+        #pragma omp task depend(inout: x)
+        { x = x + 1.0; }
+        #pragma omp task depend(in: x) depend(out: y)
+        { y = x; }
+        #pragma omp taskwait
+    }
+    return 0;
+}
+"#;
+        assert!(codes(src).is_empty(), "{:?}", check_source(src).unwrap());
+    }
+
+    #[test]
+    fn mir_and_ast_verdicts_agree() {
+        // The MIR analyzer minus its flow-sensitive lints must equal the
+        // AST analyzer exactly — spans, messages, order.
+        let srcs = [
+            r#"
+int main() {
+    int i; double t; double s; double a[64];
+    #pragma omp parallel for reduction(* : s)
+    for (i = 0; i < 64; i++) { t = a[i]; s += t; a[i] = a[i - 1]; }
+    return 0;
+}
+"#,
+            r#"
+int main() {
+    int i; double x; double a[8];
+    #pragma omp parallel private(x)
+    {
+        #pragma omp single
+        {
+            #pragma omp for
+            for (i = 0; i < 8; i++) a[i] = x;
+        }
+        #pragma omp atomic
+        x = a[0];
+        #pragma omp task
+        { a[1] = 1.0; }
+    }
+    return 0;
+}
+"#,
+        ];
+        for src in srcs {
+            let mir: Vec<Diag> = check_source(src)
+                .unwrap()
+                .into_iter()
+                .filter(|d| !matches!(d.lint, LintId::BarrierDivergence | LintId::TaskDependCycle))
+                .collect();
+            let ast = check_source_ast(src).unwrap();
+            assert_eq!(mir, ast, "backend drift on:\n{src}");
+        }
     }
 
     #[test]

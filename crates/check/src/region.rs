@@ -1,8 +1,20 @@
 //! Per-region detectors: everything that needs a `RegionClassification`.
 //!
-//! The outer walk in `lib.rs` finds `parallel` / `parallel for` directives
-//! and hands each region here. One lexical pass over the region body drives
-//! all of:
+//! [`RegionCx`] is the shared semantic core — the access-event state
+//! machine (scopes, protection stack, divergence depth, task frames,
+//! work-shared loop frames) plus every diagnostic the detectors emit.
+//! Two drivers feed it:
+//!
+//! - the lexical AST walk in this module ([`check_parallel_region`]),
+//! - the marker-driven MIR walk in [`crate::mir_lints`], which replays
+//!   the same events from `parade_mir`'s lowered form (and adds the
+//!   flow-sensitive PC009/PC010 on top).
+//!
+//! Keeping the event methods and message strings here is what makes the
+//! two analyzers' PC001–PC008 verdicts byte-identical (asserted by the
+//! corpus parity test and the CI parity gate).
+//!
+//! The detectors:
 //!
 //! - **PC001** shared-write-race — writes to shared data with no enclosing
 //!   synchronization and no thread-disjoint subscript;
@@ -25,13 +37,14 @@
 use std::collections::{HashMap, HashSet};
 
 use parade_translator::analysis::{
-    as_scalar_update, classify_region, loop_of, RegionClassification, Symbols, VarScope,
+    as_minmax_update, as_scalar_update, classify_region, flatten_single, loop_of,
+    RegionClassification, Symbols, VarScope,
 };
 use parade_translator::ast::*;
 
 use crate::diag::{Diag, LintId};
 
-/// Entry point: check one `parallel` / `parallel for` region.
+/// Entry point: check one `parallel` / `parallel for` region (AST walk).
 pub(crate) fn check_parallel_region(
     dir: &Directive,
     body: &Stmt,
@@ -39,30 +52,7 @@ pub(crate) fn check_parallel_region(
     diags: &mut Vec<Diag>,
 ) {
     let class = classify_region(dir, body, syms);
-    // Clause-private (and lastprivate) variables enter the region with
-    // indeterminate values — track first accesses for PC006.
-    let tracked: HashSet<String> = class
-        .scopes
-        .iter()
-        .filter(|(n, s)| {
-            matches!(s, VarScope::Private | VarScope::LastPrivate)
-                && !class.region_locals.contains(*n)
-        })
-        .map(|(n, _)| n.clone())
-        .collect();
-    let mut cx = RegionCx {
-        class,
-        syms,
-        diags,
-        cur_span: dir.span,
-        protect: Vec::new(),
-        divergent: 0,
-        task: Vec::new(),
-        ws: Vec::new(),
-        tracked,
-        written: HashSet::new(),
-        warned_uninit: HashSet::new(),
-    };
+    let mut cx = RegionCx::new(class, syms, diags, dir.span);
     match dir.kind {
         DirKind::ParallelFor => cx.enter_ws(dir, body),
         _ => cx.walk(body),
@@ -117,42 +107,6 @@ fn calls_thread_num(e: &Expr) -> bool {
     calls.iter().any(|c| c == "omp_get_thread_num")
 }
 
-/// `x = fmin(x, e)` / `x = fmax(x, e)` — the combining form of min/max
-/// reductions (the `as_scalar_update` analogue for `RedOp::Min`/`Max`).
-fn as_minmax_update(e: &Expr) -> Option<(String, RedOp, Expr)> {
-    let Expr::Assign(None, lhs, rhs) = e else {
-        return None;
-    };
-    let Expr::Ident(name) = lhs.as_ref() else {
-        return None;
-    };
-    let Expr::Call(f, args) = rhs.as_ref() else {
-        return None;
-    };
-    let op = match f.as_str() {
-        "fmin" => RedOp::Min,
-        "fmax" => RedOp::Max,
-        _ => return None,
-    };
-    if args.len() != 2 {
-        return None;
-    }
-    let is_self = |a: &Expr| matches!(a, Expr::Ident(n) if n == name);
-    let other = if is_self(&args[0]) {
-        &args[1]
-    } else if is_self(&args[1]) {
-        &args[0]
-    } else {
-        return None;
-    };
-    let mut vars = Vec::new();
-    other.vars(&mut vars);
-    if vars.iter().any(|v| v == name) {
-        return None;
-    }
-    Some((name.clone(), op, other.clone()))
-}
-
 /// One active work-shared loop: induction variable plus the access log the
 /// dependence test runs over at loop exit.
 struct WsFrame {
@@ -162,42 +116,95 @@ struct WsFrame {
     reads: HashMap<String, Vec<Vec<Off>>>,
 }
 
-struct RegionCx<'a> {
-    class: RegionClassification,
-    syms: &'a Symbols,
+/// What a statement-level combining update (`x ⊕= e`, `x = fmin(x, e)`)
+/// means for its target under the region's scoping.
+pub(crate) enum UpdateVerdict {
+    /// Target is not reduction-scoped: scan the whole expression normally.
+    NotReduction,
+    /// The sanctioned combining update: only the operand's reads are
+    /// visible to the other detectors, and the target counts as written.
+    Sanctioned,
+    /// Mismatched operator — diagnosed; nothing further to scan.
+    WrongOp,
+}
+
+pub(crate) struct RegionCx<'a> {
+    pub(crate) class: RegionClassification,
+    pub(crate) syms: &'a Symbols,
     diags: &'a mut Vec<Diag>,
-    cur_span: Span,
+    pub(crate) cur_span: Span,
     /// Enclosing one-thread constructs (`single`, `master`, `critical`,
     /// `atomic`): writes under them are synchronized.
-    protect: Vec<&'static str>,
+    pub(crate) protect: Vec<&'static str>,
     /// Depth of enclosing thread-dependent conditions (PC004).
-    divergent: usize,
+    pub(crate) divergent: usize,
     /// Enclosing `task`/`target` bodies: the set of variables each frame
     /// names in a `depend` clause. Writes to dep-edged variables are
     /// ordered by the scheduler's dependency graph; others race (PC008).
-    task: Vec<HashSet<String>>,
+    pub(crate) task: Vec<HashSet<String>>,
     ws: Vec<WsFrame>,
     tracked: HashSet<String>,
     written: HashSet<String>,
     warned_uninit: HashSet<String>,
 }
 
-impl RegionCx<'_> {
-    fn diag(&mut self, lint: LintId, msg: String) {
+impl<'a> RegionCx<'a> {
+    pub(crate) fn new(
+        class: RegionClassification,
+        syms: &'a Symbols,
+        diags: &'a mut Vec<Diag>,
+        span: Span,
+    ) -> RegionCx<'a> {
+        // Clause-private (and lastprivate) variables enter the region with
+        // indeterminate values — track first accesses for PC006.
+        let tracked: HashSet<String> = class
+            .scopes
+            .iter()
+            .filter(|(n, s)| {
+                matches!(s, VarScope::Private | VarScope::LastPrivate)
+                    && !class.region_locals.contains(*n)
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        RegionCx {
+            class,
+            syms,
+            diags,
+            cur_span: span,
+            protect: Vec::new(),
+            divergent: 0,
+            task: Vec::new(),
+            ws: Vec::new(),
+            tracked,
+            written: HashSet::new(),
+            warned_uninit: HashSet::new(),
+        }
+    }
+
+    pub(crate) fn diag(&mut self, lint: LintId, msg: String) {
         self.diags.push(Diag::new(lint, self.cur_span, msg));
+    }
+
+    /// PC007 clause-variable validation against the function's symbols.
+    pub(crate) fn clause_vars(&mut self, d: &Directive) {
+        crate::check_clause_vars(d, self.syms, self.diags);
+    }
+
+    pub(crate) fn diag_at(&mut self, lint: LintId, span: Span, msg: String) {
+        self.diags.push(Diag::new(lint, span, msg));
     }
 
     /// Region scope of `n`, treating active work-shared loop variables as
     /// implicitly private (OpenMP 1.0 §2.4.1 — even when the `for` sits
     /// inside a `parallel` and the region classification left them shared).
-    fn scope(&self, n: &str) -> VarScope {
+    pub(crate) fn scope(&self, n: &str) -> VarScope {
         if self.ws.iter().any(|f| f.var == n) {
             return VarScope::Private;
         }
         self.class.scope_of(n)
     }
 
-    fn protected(&self) -> bool {
+    pub(crate) fn protected(&self) -> bool {
         !self.protect.is_empty()
     }
 
@@ -209,7 +216,7 @@ impl RegionCx<'_> {
 
     // ---- variable events --------------------------------------------------
 
-    fn mark_written(&mut self, n: &str) {
+    pub(crate) fn mark_written(&mut self, n: &str) {
         self.written.insert(n.to_string());
     }
 
@@ -228,7 +235,7 @@ impl RegionCx<'_> {
         }
     }
 
-    fn read_var(&mut self, n: &str) {
+    pub(crate) fn read_var(&mut self, n: &str) {
         if let VarScope::Reduction(op) = self.scope(n) {
             self.diag(
                 LintId::ReductionMisuse,
@@ -242,7 +249,7 @@ impl RegionCx<'_> {
         self.priv_read(n);
     }
 
-    fn read_indexed(&mut self, n: &str, idxs: &[Expr]) {
+    pub(crate) fn read_indexed(&mut self, n: &str, idxs: &[Expr]) {
         if let VarScope::Reduction(op) = self.scope(n) {
             self.diag(
                 LintId::ReductionMisuse,
@@ -259,7 +266,7 @@ impl RegionCx<'_> {
         self.priv_read(n);
     }
 
-    fn write_var(&mut self, n: &str) {
+    pub(crate) fn write_var(&mut self, n: &str) {
         match self.scope(n) {
             VarScope::Reduction(op) => self.diag(
                 LintId::ReductionMisuse,
@@ -295,7 +302,7 @@ impl RegionCx<'_> {
         self.mark_written(n);
     }
 
-    fn write_indexed(&mut self, n: &str, idxs: &[Expr]) {
+    pub(crate) fn write_indexed(&mut self, n: &str, idxs: &[Expr]) {
         match self.scope(n) {
             VarScope::Reduction(op) => self.diag(
                 LintId::ReductionMisuse,
@@ -349,7 +356,7 @@ impl RegionCx<'_> {
 
     /// Record an array access for the innermost work-shared loop's
     /// dependence test.
-    fn log_access(&mut self, n: &str, idxs: &[Expr], is_write: bool) {
+    pub(crate) fn log_access(&mut self, n: &str, idxs: &[Expr], is_write: bool) {
         let Some(frame) = self.ws.last() else {
             return;
         };
@@ -363,34 +370,211 @@ impl RegionCx<'_> {
         log.entry(n.to_string()).or_default().push(offs);
     }
 
-    // ---- expressions ------------------------------------------------------
+    // ---- shared diagnostics (single-sourced for both analyzers) -----------
+
+    /// What a combining update to `target` with operator `op` means here;
+    /// emits the wrong-operator PC003 itself.
+    pub(crate) fn update_verdict(&mut self, target: &str, op: RedOp) -> UpdateVerdict {
+        let VarScope::Reduction(declared) = self.scope(target) else {
+            return UpdateVerdict::NotReduction;
+        };
+        if op == declared {
+            UpdateVerdict::Sanctioned
+        } else {
+            self.diag(
+                LintId::ReductionMisuse,
+                format!(
+                    "reduction variable `{target}` is declared \
+                     `reduction({}: {target})` but combined with `{}`; the \
+                     partial results will be merged with the declared operator",
+                    declared.c_token(),
+                    op.c_token()
+                ),
+            );
+            UpdateVerdict::WrongOp
+        }
+    }
+
+    /// PC005: `v` (written by the nowait loop at `loop_span`) touched at
+    /// `at` with no intervening barrier.
+    pub(crate) fn diag_nowait(&mut self, v: &str, loop_span: Span, at: Span) {
+        self.diag_at(
+            LintId::NowaitUnsyncRead,
+            at,
+            format!(
+                "`{v}` is written by the nowait loop at line {} and accessed \
+                 here with no intervening barrier; threads may still be in \
+                 that loop",
+                loop_span.line
+            ),
+        );
+    }
+
+    /// PC007 gate: team constructs (`barrier`/`for`/`single`/`master`) are
+    /// illegal inside a task body. True if diagnosed (caller must skip the
+    /// construct).
+    pub(crate) fn team_in_task(&mut self, kind: &DirKind) -> bool {
+        if !self.task.is_empty()
+            && matches!(
+                kind,
+                DirKind::Barrier | DirKind::For | DirKind::Single | DirKind::Master
+            )
+        {
+            self.diag(
+                LintId::DirectiveStructure,
+                format!(
+                    "`{}` may not be closely nested inside a `task` region",
+                    crate::kind_name(kind)
+                ),
+            );
+            return true;
+        }
+        false
+    }
+
+    pub(crate) fn diag_nested_parallel(&mut self) {
+        self.diag(
+            LintId::DirectiveStructure,
+            "nested parallel regions are not supported by the ParADE runtime".into(),
+        );
+    }
+
+    /// PC007 gate for `for`/`single` nesting. `label` is the construct as
+    /// it should read in the message. True if diagnosed.
+    pub(crate) fn check_ws_nesting(&mut self, label: &str) -> bool {
+        if let Some(ctx) = self.bad_ws_nesting() {
+            self.diag(
+                LintId::DirectiveStructure,
+                format!("{label} may not be nested inside {ctx}"),
+            );
+            return true;
+        }
+        false
+    }
+
+    /// PC007 gate for `master` (legal under `protect`, not under `ws`).
+    pub(crate) fn check_master_nesting(&mut self) -> bool {
+        if !self.ws.is_empty() {
+            self.diag(
+                LintId::DirectiveStructure,
+                "`master` may not be nested inside a work-sharing loop".into(),
+            );
+            return true;
+        }
+        false
+    }
+
+    pub(crate) fn diag_non_canonical_ws(&mut self) {
+        self.diag(
+            LintId::DirectiveStructure,
+            "work-shared loop is not in canonical form \
+             (`for (i = lo; i < hi; i += c)` with a positive constant stride)"
+                .into(),
+        );
+    }
+
+    pub(crate) fn diag_malformed_atomic(&mut self) {
+        self.diag(
+            LintId::DirectiveStructure,
+            "`atomic` must apply to a single scalar update statement \
+             (`x += e`, `x = x + e`, `x = fmin(x, e)`, …)"
+                .into(),
+        );
+    }
+
+    /// The lexical PC004 cascade for an explicit barrier. True if any rule
+    /// fired (the MIR walker uses this to gate PC009).
+    pub(crate) fn barrier_checks(&mut self) -> bool {
+        if let Some(ctx) = self.protect.last().copied() {
+            self.diag(
+                LintId::BarrierPlacement,
+                format!(
+                    "barrier inside `{ctx}` construct: threads that do not \
+                     execute the construct never reach it, deadlocking the team"
+                ),
+            );
+            true
+        } else if !self.ws.is_empty() {
+            self.diag(
+                LintId::BarrierPlacement,
+                "barrier inside a work-sharing loop body: iterations are divided \
+                 among threads, so threads hit it a different number of times"
+                    .into(),
+            );
+            true
+        } else if self.divergent > 0 {
+            self.diag(
+                LintId::BarrierPlacement,
+                "barrier under a thread-dependent condition: threads may disagree \
+                 on whether it is reached"
+                    .into(),
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    /// PC009 (MIR-only): `what` sits in a block the divergence analysis
+    /// proved thread-divergent.
+    pub(crate) fn diag_barrier_divergence(&mut self, what: &str) {
+        self.diag(
+            LintId::BarrierDivergence,
+            format!(
+                "{what} in thread-divergent control flow: the divergence analysis \
+                 proves threads of the team can disagree on reaching it; threads \
+                 that arrive wait forever"
+            ),
+        );
+    }
+
+    /// PC010 (MIR-only): the region's task `depend` clauses form a cycle.
+    pub(crate) fn diag_task_cycle(&mut self, span: Span, vars: &str, lines: &str) {
+        self.diag_at(
+            LintId::TaskDependCycle,
+            span,
+            format!(
+                "task `depend` clauses form a cycle through {vars} (tasks at \
+                 lines {lines}); the scheduler can never release them, \
+                 deadlocking the region at the next `taskwait`"
+            ),
+        );
+    }
+
+    // ---- work-shared loop frames ------------------------------------------
+
+    pub(crate) fn ws_push(&mut self, var: String, dir_span: Span) {
+        self.ws.push(WsFrame {
+            var,
+            dir_span,
+            writes: HashMap::new(),
+            reads: HashMap::new(),
+        });
+    }
+
+    /// Pop the innermost work-shared loop frame and run its PC002
+    /// dependence test.
+    pub(crate) fn ws_pop_report(&mut self) {
+        let frame = self.ws.pop().expect("ws frame");
+        self.report_dependences(frame);
+    }
+
+    // ---- expressions (AST driver) -----------------------------------------
 
     /// A statement-level expression: reduction-update recognition first,
     /// generic access scan otherwise.
     fn check_expr_stmt(&mut self, e: &Expr) {
-        let upd = as_scalar_update(e)
-            .map(|u| (u.target, u.op, u.operand))
-            .or_else(|| as_minmax_update(e));
-        if let Some((target, op, operand)) = upd {
-            if let VarScope::Reduction(declared) = self.scope(&target) {
-                if op == declared {
+        if let Some(u) = as_scalar_update(e).or_else(|| as_minmax_update(e)) {
+            match self.update_verdict(&u.target, u.op) {
+                UpdateVerdict::Sanctioned => {
                     // The sanctioned combining update: only the operand's
                     // reads are visible to the other detectors.
-                    self.expr(&operand);
-                    self.mark_written(&target);
-                } else {
-                    self.diag(
-                        LintId::ReductionMisuse,
-                        format!(
-                            "reduction variable `{target}` is declared \
-                             `reduction({}: {target})` but combined with `{}`; the \
-                             partial results will be merged with the declared operator",
-                            declared.c_token(),
-                            op.c_token()
-                        ),
-                    );
+                    self.expr(&u.operand);
+                    self.mark_written(&u.target);
+                    return;
                 }
-                return;
+                UpdateVerdict::WrongOp => return,
+                UpdateVerdict::NotReduction => {}
             }
         }
         self.expr(e);
@@ -458,7 +642,7 @@ impl RegionCx<'_> {
             .any(|v| !matches!(self.scope(v), VarScope::Shared))
     }
 
-    // ---- statements -------------------------------------------------------
+    // ---- statements (AST driver) ------------------------------------------
 
     fn walk(&mut self, s: &Stmt) {
         match s {
@@ -544,23 +728,14 @@ impl RegionCx<'_> {
                 }
                 for (v, loop_span) in hit {
                     let at = stmt_span(s).unwrap_or(self.cur_span);
-                    self.diags.push(Diag::new(
-                        LintId::NowaitUnsyncRead,
-                        at,
-                        format!(
-                            "`{v}` is written by the nowait loop at line {} and accessed \
-                             here with no intervening barrier; threads may still be in \
-                             that loop",
-                            loop_span.line
-                        ),
-                    ));
+                    self.diag_nowait(&v, loop_span, at);
                 }
             }
             if let Stmt::Omp(d, Some(b)) = s {
                 if matches!(d.kind, DirKind::For | DirKind::Single) {
                     if d.nowait() {
                         let mut w = Vec::new();
-                        write_targets(b, &mut w);
+                        stmt_write_targets(b, &mut w);
                         // The loop's own induction variable is implicitly
                         // private — it never escapes the construct.
                         let loop_var = loop_of(b).map(|l| l.var);
@@ -588,34 +763,15 @@ impl RegionCx<'_> {
         // Mirror the interpreter's closely-nested conformance rule: team
         // constructs make no sense inside a task body, whose executor may
         // be any single thread on any node.
-        if !self.task.is_empty()
-            && matches!(
-                d.kind,
-                DirKind::Barrier | DirKind::For | DirKind::Single | DirKind::Master
-            )
-        {
-            self.diag(
-                LintId::DirectiveStructure,
-                format!(
-                    "`{}` may not be closely nested inside a `task` region",
-                    crate::kind_name(&d.kind)
-                ),
-            );
+        if self.team_in_task(&d.kind) {
             return;
         }
         match &d.kind {
             DirKind::Parallel | DirKind::ParallelFor => {
-                self.diag(
-                    LintId::DirectiveStructure,
-                    "nested parallel regions are not supported by the ParADE runtime".into(),
-                );
+                self.diag_nested_parallel();
             }
             DirKind::For => {
-                if let Some(ctx) = self.bad_ws_nesting() {
-                    self.diag(
-                        LintId::DirectiveStructure,
-                        format!("work-sharing `for` may not be nested inside {ctx}"),
-                    );
+                if self.check_ws_nesting("work-sharing `for`") {
                     return;
                 }
                 if let Some(b) = body {
@@ -623,11 +779,7 @@ impl RegionCx<'_> {
                 }
             }
             DirKind::Single => {
-                if let Some(ctx) = self.bad_ws_nesting() {
-                    self.diag(
-                        LintId::DirectiveStructure,
-                        format!("`single` may not be nested inside {ctx}"),
-                    );
+                if self.check_ws_nesting("`single`") {
                     return;
                 }
                 self.protect.push("single");
@@ -637,11 +789,7 @@ impl RegionCx<'_> {
                 self.protect.pop();
             }
             DirKind::Master => {
-                if !self.ws.is_empty() {
-                    self.diag(
-                        LintId::DirectiveStructure,
-                        "`master` may not be nested inside a work-sharing loop".into(),
-                    );
+                if self.check_master_nesting() {
                     return;
                 }
                 self.protect.push("master");
@@ -665,12 +813,7 @@ impl RegionCx<'_> {
                         if as_scalar_update(e).is_some() || as_minmax_update(e).is_some()
                 );
                 if !ok {
-                    self.diag(
-                        LintId::DirectiveStructure,
-                        "`atomic` must apply to a single scalar update statement \
-                         (`x += e`, `x = x + e`, `x = fmin(x, e)`, …)"
-                            .into(),
-                    );
+                    self.diag_malformed_atomic();
                 }
                 self.protect.push("atomic");
                 if let Some(b) = body {
@@ -679,29 +822,7 @@ impl RegionCx<'_> {
                 self.protect.pop();
             }
             DirKind::Barrier => {
-                if let Some(ctx) = self.protect.last() {
-                    self.diag(
-                        LintId::BarrierPlacement,
-                        format!(
-                            "barrier inside `{ctx}` construct: threads that do not \
-                             execute the construct never reach it, deadlocking the team"
-                        ),
-                    );
-                } else if !self.ws.is_empty() {
-                    self.diag(
-                        LintId::BarrierPlacement,
-                        "barrier inside a work-sharing loop body: iterations are divided \
-                         among threads, so threads hit it a different number of times"
-                            .into(),
-                    );
-                } else if self.divergent > 0 {
-                    self.diag(
-                        LintId::BarrierPlacement,
-                        "barrier under a thread-dependent condition: threads may disagree \
-                         on whether it is reached"
-                            .into(),
-                    );
-                }
+                self.barrier_checks();
             }
             DirKind::Task | DirKind::Target => {
                 let deps: HashSet<String> = d.depends().into_iter().map(|(_, v)| v).collect();
@@ -729,26 +850,15 @@ impl RegionCx<'_> {
     /// Enter a work-shared loop (`for` / the loop of `parallel for`).
     fn enter_ws(&mut self, dir: &Directive, body: &Stmt) {
         let Some(l) = loop_of(body) else {
-            self.diag(
-                LintId::DirectiveStructure,
-                "work-shared loop is not in canonical form \
-                 (`for (i = lo; i < hi; i += c)` with a positive constant stride)"
-                    .into(),
-            );
+            self.diag_non_canonical_ws();
             return;
         };
         self.expr(&l.lo);
         self.expr(&l.hi);
         self.mark_written(&l.var);
-        self.ws.push(WsFrame {
-            var: l.var,
-            dir_span: dir.span,
-            writes: HashMap::new(),
-            reads: HashMap::new(),
-        });
+        self.ws_push(l.var, dir.span);
         self.walk(&l.body);
-        let frame = self.ws.pop().expect("ws frame");
-        self.report_dependences(frame);
+        self.ws_pop_report();
     }
 
     /// PC002: cross-iteration conflicts recorded while walking a
@@ -833,150 +943,4 @@ fn fmt_access(arr: &str, var: &str, offs: &[Off]) -> String {
     }
     s.push('`');
     s
-}
-
-/// `atomic` bodies arrive as `{ x += e; }` or bare `x += e;`.
-fn flatten_single(s: &Stmt) -> &Stmt {
-    if let Stmt::Block(ss) = s {
-        let real: Vec<&Stmt> = ss.iter().filter(|s| !matches!(s, Stmt::Empty)).collect();
-        if real.len() == 1 {
-            return real[0];
-        }
-    }
-    s
-}
-
-/// Every variable mentioned by a statement (reads and writes), including
-/// nested directive bodies — the PC005 overlap test.
-fn stmt_uses(s: &Stmt, out: &mut Vec<String>) {
-    match s {
-        Stmt::Decl(d) => {
-            if let Some(e) = &d.init {
-                e.vars(out);
-            }
-        }
-        Stmt::Expr(e, _) => e.vars(out),
-        Stmt::If(c, a, b) => {
-            c.vars(out);
-            stmt_uses(a, out);
-            if let Some(b) = b {
-                stmt_uses(b, out);
-            }
-        }
-        Stmt::While(c, b) => {
-            c.vars(out);
-            stmt_uses(b, out);
-        }
-        Stmt::For {
-            init,
-            cond,
-            step,
-            body,
-        } => {
-            for e in [init, cond, step].into_iter().flatten() {
-                e.vars(out);
-            }
-            stmt_uses(body, out);
-        }
-        Stmt::Block(ss) => {
-            for s in ss {
-                stmt_uses(s, out);
-            }
-        }
-        Stmt::Return(Some(e)) => e.vars(out),
-        Stmt::Omp(_, Some(b)) => stmt_uses(b, out),
-        _ => {}
-    }
-}
-
-/// Assignment targets (scalar and array names) anywhere in a statement.
-fn write_targets(s: &Stmt, out: &mut Vec<String>) {
-    fn expr_targets(e: &Expr, out: &mut Vec<String>) {
-        match e {
-            Expr::Assign(_, lhs, rhs) => {
-                match lhs.as_ref() {
-                    Expr::Ident(n) | Expr::Index(n, _) => out.push(n.clone()),
-                    other => expr_targets(other, out),
-                }
-                if let Expr::Index(_, idxs) = lhs.as_ref() {
-                    for ix in idxs {
-                        expr_targets(ix, out);
-                    }
-                }
-                expr_targets(rhs, out);
-            }
-            Expr::Unary(_, a) => expr_targets(a, out),
-            Expr::Binary(_, a, b) => {
-                expr_targets(a, out);
-                expr_targets(b, out);
-            }
-            Expr::Cond(c, a, b) => {
-                expr_targets(c, out);
-                expr_targets(a, out);
-                expr_targets(b, out);
-            }
-            Expr::Call(_, args) => {
-                for a in args {
-                    expr_targets(a, out);
-                }
-            }
-            Expr::Index(_, idxs) => {
-                for ix in idxs {
-                    expr_targets(ix, out);
-                }
-            }
-            _ => {}
-        }
-    }
-    match s {
-        Stmt::Decl(d) => {
-            if let Some(e) = &d.init {
-                expr_targets(e, out);
-            }
-        }
-        Stmt::Expr(e, _) => expr_targets(e, out),
-        Stmt::If(c, a, b) => {
-            expr_targets(c, out);
-            write_targets(a, out);
-            if let Some(b) = b {
-                write_targets(b, out);
-            }
-        }
-        Stmt::While(c, b) => {
-            expr_targets(c, out);
-            write_targets(b, out);
-        }
-        Stmt::For {
-            init,
-            cond,
-            step,
-            body,
-        } => {
-            for e in [init, cond, step].into_iter().flatten() {
-                expr_targets(e, out);
-            }
-            write_targets(body, out);
-        }
-        Stmt::Block(ss) => {
-            for s in ss {
-                write_targets(s, out);
-            }
-        }
-        Stmt::Omp(_, Some(b)) => write_targets(b, out),
-        _ => {}
-    }
-}
-
-/// First source position inside a statement, for diagnostics on statements
-/// that carry no span of their own.
-fn stmt_span(s: &Stmt) -> Option<Span> {
-    match s {
-        Stmt::Decl(d) => Some(d.span),
-        Stmt::Expr(_, sp) => Some(*sp),
-        Stmt::Omp(d, _) => Some(d.span),
-        Stmt::If(_, a, b) => stmt_span(a).or_else(|| b.as_deref().and_then(stmt_span)),
-        Stmt::While(_, b) | Stmt::For { body: b, .. } => stmt_span(b),
-        Stmt::Block(ss) => ss.iter().find_map(stmt_span),
-        _ => None,
-    }
 }

@@ -1,0 +1,213 @@
+//! Generic worklist-fixpoint dataflow framework.
+//!
+//! An [`Analysis`] supplies the lattice (bottom/boundary facts, a `join`
+//! that reports change, and a per-block transfer); [`fixpoint`] runs the
+//! worklist to convergence over a *scope* — any subset of a function's
+//! blocks (a parallel region, or the whole function). Edges leaving the
+//! scope are ignored.
+//!
+//! Orientation of the result:
+//!
+//! - forward: `input[b]` = fact at block entry, `output[b]` = at exit;
+//! - backward: `input[b]` = fact at block *exit* (join over successors),
+//!   `output[b]` = at block *entry* (after the transfer).
+
+use std::collections::VecDeque;
+
+use crate::body::{BlockId, MirFunc};
+
+/// Dense bit set over a fixed universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    pub fn full(len: usize) -> BitSet {
+        let mut s = BitSet::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Returns true if the bit was newly set.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        let newly = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        newly
+    }
+
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// `self ∩= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a &= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(|&i| self.contains(i))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    Forward,
+    Backward,
+}
+
+/// One dataflow problem over the MIR.
+pub trait Analysis {
+    type Fact: Clone + PartialEq;
+
+    fn direction(&self) -> Direction;
+
+    /// Fact flowing in at the scope boundary (the entry block for a
+    /// forward analysis; exit blocks for a backward one).
+    fn boundary(&self, func: &MirFunc) -> Self::Fact;
+
+    /// Initial fact for every block — the lattice seed (`⊥` for a may
+    /// analysis, `⊤` for a must analysis).
+    fn init(&self, func: &MirFunc) -> Self::Fact;
+
+    /// Merge `from` into `into`; returns true if `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Apply block `b`'s transfer function to `fact` in place.
+    fn transfer(&self, func: &MirFunc, b: BlockId, fact: &mut Self::Fact);
+}
+
+/// Per-block facts after convergence; indexed by block id over the whole
+/// function (out-of-scope blocks keep their `init` fact).
+pub struct FixpointResult<F> {
+    pub input: Vec<F>,
+    pub output: Vec<F>,
+}
+
+/// Run `a` to fixpoint over `scope` (block ids, ascending).
+pub fn fixpoint<A: Analysis>(func: &MirFunc, scope: &[BlockId], a: &A) -> FixpointResult<A::Fact> {
+    let n = func.blocks.len();
+    let mut in_scope = vec![false; n];
+    for b in scope {
+        in_scope[b.index()] = true;
+    }
+    let succs: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            if !in_scope[i] {
+                return Vec::new();
+            }
+            func.successors(BlockId(i as u32))
+                .into_iter()
+                .map(|b| b.index())
+                .filter(|j| in_scope[*j])
+                .collect()
+        })
+        .collect();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, ss) in succs.iter().enumerate() {
+        for &j in ss {
+            preds[j].push(i);
+        }
+    }
+    let backward = a.direction() == Direction::Backward;
+    let (inputs_of, outputs_to) = if backward {
+        (&succs, &preds)
+    } else {
+        (&preds, &succs)
+    };
+    let mut is_boundary = vec![false; n];
+    if backward {
+        for b in scope {
+            if succs[b.index()].is_empty() {
+                is_boundary[b.index()] = true;
+            }
+        }
+    } else if let Some(b) = scope.first() {
+        is_boundary[b.index()] = true;
+    }
+
+    let mut input: Vec<A::Fact> = (0..n).map(|_| a.init(func)).collect();
+    let mut output: Vec<A::Fact> = (0..n).map(|_| a.init(func)).collect();
+    let bfact = a.boundary(func);
+
+    let mut work: VecDeque<usize> = if backward {
+        scope.iter().rev().map(|b| b.index()).collect()
+    } else {
+        scope.iter().map(|b| b.index()).collect()
+    };
+    let mut queued = vec![false; n];
+    for &i in &work {
+        queued[i] = true;
+    }
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        let mut fact = a.init(func);
+        if is_boundary[i] {
+            a.join(&mut fact, &bfact);
+        }
+        for &p in &inputs_of[i] {
+            a.join(&mut fact, &output[p]);
+        }
+        input[i] = fact.clone();
+        a.transfer(func, BlockId(i as u32), &mut fact);
+        if fact != output[i] {
+            output[i] = fact;
+            for &s in &outputs_to[i] {
+                if !queued[s] {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    FixpointResult { input, output }
+}

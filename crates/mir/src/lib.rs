@@ -1,0 +1,325 @@
+//! `parade-mir`: a basic-block mid-level IR for the mini-C translator
+//! AST, plus the dataflow machinery the flow-sensitive lints build on.
+//!
+//! The pipeline:
+//!
+//! 1. [`lower::lower_program`] turns each function into a [`body::MirFunc`]
+//!    — basic blocks in lexical creation order, explicit branch/loop
+//!    edges, linearized access events, and structural markers
+//!    (`ParallelEnter`, `WsEnter`, `Sibling`, …) so the lexical lint walk
+//!    can replay the AST analyzer exactly.
+//! 2. [`dataflow`] is the generic worklist-fixpoint framework
+//!    (forward/backward, scope-restricted).
+//! 3. [`analyses`] instantiates it: reaching definitions, live variables,
+//!    postdominators, and the divergence analysis behind the PC009
+//!    barrier-divergence lint.
+//!
+//! Each pipeline stage emits a `check.analyze` trace span tagged with a
+//! [`span_arg`] stage id, so analyzer cost is visible in trace reports
+//! alongside the runtime's own spans.
+
+pub mod analyses;
+pub mod body;
+pub mod dataflow;
+pub mod lower;
+
+pub use analyses::{divergent_blocks, postdominators, DefSite, LiveVars, ReachingDefs};
+pub use body::{
+    AccessEvent, Block, BlockId, CondInfo, Eval, Marker, MirFunc, MirStmt, SiblingInfo,
+    SiblingKind, Terminator, UpdateInfo, WsInfo,
+};
+pub use dataflow::{fixpoint, Analysis, BitSet, Direction, FixpointResult};
+pub use lower::{lower_func, lower_program};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parade_net::VTime;
+
+/// `check.analyze` span arg values, one per pipeline stage.
+pub mod span_arg {
+    /// AST → MIR lowering (emitted by the check driver around
+    /// `lower_program`).
+    pub const LOWER: u64 = 0;
+    pub const REACHING_DEFS: u64 = 1;
+    pub const LIVE_VARS: u64 = 2;
+    pub const POSTDOMINATORS: u64 = 3;
+    pub const DIVERGENCE: u64 = 4;
+}
+
+/// Wall-clock virtual time for analyzer trace spans. The analyzer runs on
+/// the host (no simulated `VClock`), so spans are stamped with elapsed
+/// nanoseconds since the first call.
+pub fn vt_now() -> VTime {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = EPOCH.get_or_init(Instant::now);
+    VTime::from_nanos(epoch.elapsed().as_nanos() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parade_translator::parser::parse;
+
+    fn lower_main(src: &str) -> MirFunc {
+        let prog = parse(src).expect("test program parses");
+        let funcs = lower_program(&prog);
+        funcs
+            .into_iter()
+            .find(|f| f.name == "main")
+            .expect("main lowered")
+    }
+
+    /// All blocks between the `ParallelEnter` and its `ParallelExit`,
+    /// inclusive (block creation order is lexical, so the range is
+    /// contiguous).
+    fn parallel_scope(func: &MirFunc) -> Vec<BlockId> {
+        let mut enter = None;
+        let mut exit = None;
+        for (i, blk) in func.blocks.iter().enumerate() {
+            for s in &blk.stmts {
+                match s {
+                    MirStmt::Marker(Marker::ParallelEnter { .. }) if enter.is_none() => {
+                        enter = Some(i);
+                    }
+                    MirStmt::Marker(Marker::ParallelExit { .. }) => exit = Some(i),
+                    _ => {}
+                }
+            }
+        }
+        let (lo, hi) = (enter.expect("enter"), exit.expect("exit"));
+        (lo..=hi).map(|i| BlockId(i as u32)).collect()
+    }
+
+    fn whole(func: &MirFunc) -> Vec<BlockId> {
+        (0..func.blocks.len()).map(|i| BlockId(i as u32)).collect()
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut a = BitSet::new(130);
+        assert!(a.insert(0));
+        assert!(a.insert(129));
+        assert!(!a.insert(129));
+        assert!(a.contains(129) && !a.contains(64));
+        let mut b = BitSet::new(130);
+        b.insert(64);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.count(), 3);
+        assert!(a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![64]);
+        assert!(BitSet::full(3).contains(2));
+        assert!(BitSet::new(3).is_empty());
+    }
+
+    #[test]
+    fn if_else_lowers_to_diamond() {
+        let func = lower_main(
+            "int main() { int x; x = 0; if (x > 0) { x = 1; } else { x = 2; } return x; }",
+        );
+        let entry = func.entry();
+        let succs = func.successors(entry);
+        assert_eq!(succs.len(), 2, "entry branches:\n{}", func.dump());
+        let join: Vec<BlockId> = func.successors(succs[0]);
+        assert_eq!(join, func.successors(succs[1]), "arms rejoin");
+        assert!(matches!(
+            func.blocks[entry.index()].term,
+            Terminator::Branch { .. }
+        ));
+        // The join block carries the CondExit marker.
+        assert!(func.blocks[join[0].index()]
+            .stmts
+            .iter()
+            .any(|s| matches!(s, MirStmt::Marker(Marker::CondExit))));
+    }
+
+    #[test]
+    fn for_loop_has_backedge() {
+        let func = lower_main(
+            "int main() { int i; int s; for (i = 0; i < 8; i = i + 1) { s = s + i; } return s; }",
+        );
+        // Find the header: the block with a Branch terminator.
+        let header = (0..func.blocks.len())
+            .map(|i| BlockId(i as u32))
+            .find(|b| matches!(func.blocks[b.index()].term, Terminator::Branch { .. }))
+            .expect("loop header");
+        let preds = func.predecessors();
+        assert!(
+            preds[header.index()].len() >= 2,
+            "header has entry edge and backedge:\n{}",
+            func.dump()
+        );
+    }
+
+    #[test]
+    fn ws_loop_is_straight_line() {
+        let func = lower_main(
+            "int main() { int i; int a[64];\n#pragma omp parallel for\nfor (i = 0; i < 64; i = i + 1) { a[i] = i; } return 0; }",
+        );
+        for b in parallel_scope(&func) {
+            assert!(
+                !matches!(func.blocks[b.index()].term, Terminator::Branch { .. }),
+                "work-shared loop must not branch:\n{}",
+                func.dump()
+            );
+        }
+    }
+
+    #[test]
+    fn reaching_defs_kill_earlier_defs() {
+        let func = lower_main("int main() { int x; x = 1; x = 2; return x; }");
+        let scope = whole(&func);
+        let rd = ReachingDefs::compute(&func, &scope);
+        let x = rd.var_index("x").expect("x tracked");
+        // At function exit (end of bb0) only the last def of x reaches.
+        let out = &rd.result.output[0];
+        let live_sites: Vec<usize> = rd
+            .sites_of(x)
+            .iter()
+            .copied()
+            .filter(|&s| out.contains(s))
+            .collect();
+        assert_eq!(live_sites.len(), 1);
+        let site = rd.sites[live_sites[0]];
+        assert_eq!(site.block, 0);
+        // before_stmt at the site's own statement excludes it.
+        let before = rd.before_stmt(&func, 0, site.stmt);
+        assert!(!before.contains(live_sites[0]));
+    }
+
+    #[test]
+    fn live_vars_backward() {
+        let func = lower_main("int main() { int x; int y; x = 1; y = x; return y; }");
+        let scope = whole(&func);
+        let lv = LiveVars::compute(&func, &scope);
+        let y = lv.var_index("y").expect("y tracked");
+        // y is live out of bb0 only if the return lands in a later block;
+        // in-block, live-in of the entry must not include y (defined
+        // before use).
+        assert!(!lv.live_in(BlockId(0)).contains(y));
+    }
+
+    #[test]
+    fn postdominators_of_diamond() {
+        let func = lower_main(
+            "int main() { int x; x = 0; if (x > 0) { x = 1; } else { x = 2; } return x; }",
+        );
+        let scope = whole(&func);
+        let pdom = postdominators(&func, &scope);
+        let entry = func.entry();
+        let arms = func.successors(entry);
+        let join = func.successors(arms[0])[0];
+        // The join postdominates the entry and both arms; the arms do not
+        // postdominate the entry.
+        assert!(pdom[entry.index()].contains(join.index()));
+        for a in &arms {
+            assert!(pdom[a.index()].contains(join.index()));
+            assert!(!pdom[entry.index()].contains(a.index()));
+        }
+    }
+
+    #[test]
+    fn thread_branch_makes_arm_divergent_but_not_join() {
+        let func = lower_main(
+            "int main() { int x;\n#pragma omp parallel\n{ if (omp_get_thread_num() > 0) { x = 1; } x = 2; }\nreturn 0; }",
+        );
+        let scope = parallel_scope(&func);
+        let div = divergent_blocks(&func, &scope, &|_| false);
+        let branch = scope
+            .iter()
+            .copied()
+            .find(|b| {
+                matches!(
+                    func.blocks[b.index()].term,
+                    Terminator::Branch {
+                        thread_num: true,
+                        ..
+                    }
+                )
+            })
+            .expect("thread-dependent branch");
+        let succs = func.successors(branch);
+        let (then_bb, join) = (succs[0], succs[1]);
+        assert!(div[then_bb.index()], "then-arm diverges:\n{}", func.dump());
+        assert!(!div[join.index()], "join reconverges");
+        assert!(!div[branch.index()], "the branch block itself is uniform");
+    }
+
+    #[test]
+    fn shared_branch_is_uniform() {
+        let func = lower_main(
+            "int main() { int n; int x; n = 4;\n#pragma omp parallel\n{ if (n > 0) { x = 1; } }\nreturn 0; }",
+        );
+        let scope = parallel_scope(&func);
+        let div = divergent_blocks(&func, &scope, &|_| false);
+        assert!(div.iter().all(|d| !d), "no thread-dependent input");
+    }
+
+    #[test]
+    fn private_entry_taint_spreads_through_copies() {
+        // `p` enters the region with a per-thread value; a branch on a
+        // copy of it diverges.
+        let func = lower_main(
+            "int main() { int p; int x;\n#pragma omp parallel\n{ int q; q = p; if (q > 0) { x = 1; } }\nreturn 0; }",
+        );
+        let scope = parallel_scope(&func);
+        let div = divergent_blocks(&func, &scope, &|name| name == "p");
+        assert!(div.iter().any(|d| *d), "copy of tainted entry diverges");
+        let uniform = divergent_blocks(&func, &scope, &|_| false);
+        assert!(uniform.iter().all(|d| !d), "untainted entry stays uniform");
+    }
+
+    #[test]
+    fn divergent_break_taints_loop_join() {
+        // A break under a thread-dependent condition makes the loop's
+        // continuation divergent (threads disagree on iteration count),
+        // but the loop exit reconverges.
+        let func = lower_main(
+            "int main() { int i; int s;\n#pragma omp parallel\n{ for (i = 0; i < 8; i = i + 1) { if (omp_get_thread_num() > 0) { break; } s = s + 1; } }\nreturn 0; }",
+        );
+        let scope = parallel_scope(&func);
+        let div = divergent_blocks(&func, &scope, &|_| false);
+        // The block after the divergent if (the `s = s + 1` join inside
+        // the loop body) must be divergent.
+        let join = scope
+            .iter()
+            .copied()
+            .find(|b| {
+                func.blocks[b.index()].stmts.iter().any(|s| {
+                    matches!(s, MirStmt::Eval(e) if e.defs.contains(&"s".to_string())
+                        && e.uses.contains(&"s".to_string()))
+                })
+            })
+            .expect("loop-body join block");
+        assert!(
+            div[join.index()],
+            "post-break join diverges:\n{}",
+            func.dump()
+        );
+        // The loop exit (the block holding the ParallelExit marker, after
+        // CondExit) reconverges: every thread eventually leaves the loop.
+        let exit = scope
+            .iter()
+            .copied()
+            .find(|b| {
+                func.blocks[b.index()]
+                    .stmts
+                    .iter()
+                    .any(|s| matches!(s, MirStmt::Marker(Marker::ParallelExit { .. })))
+            })
+            .expect("region exit block");
+        assert!(
+            !div[exit.index()],
+            "loop exit reconverges:\n{}",
+            func.dump()
+        );
+    }
+
+    #[test]
+    fn vt_now_is_monotonic() {
+        let a = vt_now();
+        let b = vt_now();
+        assert!(b.0 >= a.0);
+    }
+}

@@ -79,11 +79,15 @@ pub enum EventKind {
     TaskSteal,
     /// One task body executing, release included (span; arg = task id).
     TaskExec,
+    // --- Static analyzer (paradec check) ---
+    /// One MIR pipeline stage: lowering or a dataflow pass (span; arg =
+    /// stage id, see `parade-mir`'s `span_arg`).
+    CheckAnalyze,
 }
 
 impl EventKind {
     /// All kinds, in declaration order (stable for reports).
-    pub const ALL: [EventKind; 31] = [
+    pub const ALL: [EventKind; 32] = [
         EventKind::DsmReadFault,
         EventKind::DsmWriteFault,
         EventKind::DsmTwin,
@@ -115,6 +119,7 @@ impl EventKind {
         EventKind::TaskSpawn,
         EventKind::TaskSteal,
         EventKind::TaskExec,
+        EventKind::CheckAnalyze,
     ];
 
     /// Stable dotted name, used in Chrome traces and reports.
@@ -151,6 +156,7 @@ impl EventKind {
             EventKind::TaskSpawn => "task.spawn",
             EventKind::TaskSteal => "task.steal",
             EventKind::TaskExec => "task.exec",
+            EventKind::CheckAnalyze => "check.analyze",
         }
     }
 
@@ -186,6 +192,7 @@ impl EventKind {
             EventKind::CommService => "comm",
             EventKind::NetRetransmit => "net",
             EventKind::TaskSpawn | EventKind::TaskSteal | EventKind::TaskExec => "task",
+            EventKind::CheckAnalyze => "check",
         }
     }
 
@@ -208,6 +215,7 @@ impl EventKind {
                 | EventKind::OmpSingle
                 | EventKind::CommService
                 | EventKind::TaskExec
+                | EventKind::CheckAnalyze
         )
     }
 }
@@ -258,19 +266,19 @@ mod tests {
 
     #[test]
     fn taxonomy_is_consistent() {
-        assert_eq!(EventKind::ALL.len(), 31);
+        assert_eq!(EventKind::ALL.len(), 32);
         let mut names = std::collections::HashSet::new();
         for k in EventKind::ALL {
             assert!(names.insert(k.name()), "duplicate name {}", k.name());
             assert!(k.name().starts_with(k.category()));
-            assert!(["dsm", "mpi", "omp", "comm", "net", "task"].contains(&k.category()));
+            assert!(["dsm", "mpi", "omp", "comm", "net", "task", "check"].contains(&k.category()));
         }
     }
 
     #[test]
     fn span_vs_instant_split() {
         let spans = EventKind::ALL.iter().filter(|k| k.is_span()).count();
-        assert_eq!(spans, 15);
+        assert_eq!(spans, 16);
         assert!(EventKind::TaskExec.is_span());
         assert!(!EventKind::TaskSpawn.is_span());
         assert!(EventKind::OmpBarrier.is_span());

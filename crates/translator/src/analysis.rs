@@ -100,7 +100,7 @@ fn collect_stmt(s: &Stmt, out: &mut Symbols) {
 }
 
 /// Variable classification for one parallel region.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegionClassification {
     pub scopes: HashMap<String, VarScope>,
     /// Variables declared inside the region body (always private).
@@ -324,6 +324,54 @@ pub fn as_scalar_update(e: &Expr) -> Option<ScalarUpdate> {
         }
         _ => None,
     }
+}
+
+/// `x = fmin(x, e)` / `x = fmax(x, e)` — the combining form of min/max
+/// reductions (the [`as_scalar_update`] analogue for `RedOp::Min`/`Max`).
+pub fn as_minmax_update(e: &Expr) -> Option<ScalarUpdate> {
+    let Expr::Assign(None, lhs, rhs) = e else {
+        return None;
+    };
+    let Expr::Ident(name) = lhs.as_ref() else {
+        return None;
+    };
+    let Expr::Call(f, args) = rhs.as_ref() else {
+        return None;
+    };
+    let op = match f.as_str() {
+        "fmin" => RedOp::Min,
+        "fmax" => RedOp::Max,
+        _ => return None,
+    };
+    if args.len() != 2 {
+        return None;
+    }
+    let is_self = |a: &Expr| matches!(a, Expr::Ident(n) if n == name);
+    let other = if is_self(&args[0]) {
+        &args[1]
+    } else if is_self(&args[1]) {
+        &args[0]
+    } else {
+        return None;
+    };
+    operand_independent(name, other)?;
+    Some(ScalarUpdate {
+        target: name.clone(),
+        op,
+        operand: other.clone(),
+    })
+}
+
+/// `atomic` bodies arrive as `{ x += e; }` or bare `x += e;` — strip a
+/// single-statement block down to the statement.
+pub fn flatten_single(s: &Stmt) -> &Stmt {
+    if let Stmt::Block(ss) = s {
+        let real: Vec<&Stmt> = ss.iter().filter(|s| !matches!(s, Stmt::Empty)).collect();
+        if real.len() == 1 {
+            return real[0];
+        }
+    }
+    s
 }
 
 /// The operand of an update must not itself mention the target (otherwise

@@ -443,6 +443,143 @@ impl Program {
     }
 }
 
+/// Every variable mentioned by a statement (reads and writes), including
+/// nested directive bodies. Shared by the analyzers' overlap tests and the
+/// MIR lowering's per-sibling use summaries.
+pub fn stmt_uses(s: &Stmt, out: &mut Vec<String>) {
+    match s {
+        Stmt::Decl(d) => {
+            if let Some(e) = &d.init {
+                e.vars(out);
+            }
+        }
+        Stmt::Expr(e, _) => e.vars(out),
+        Stmt::If(c, a, b) => {
+            c.vars(out);
+            stmt_uses(a, out);
+            if let Some(b) = b {
+                stmt_uses(b, out);
+            }
+        }
+        Stmt::While(c, b) => {
+            c.vars(out);
+            stmt_uses(b, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                e.vars(out);
+            }
+            stmt_uses(body, out);
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                stmt_uses(s, out);
+            }
+        }
+        Stmt::Return(Some(e)) => e.vars(out),
+        Stmt::Omp(_, Some(b)) => stmt_uses(b, out),
+        _ => {}
+    }
+}
+
+/// Assignment targets (scalar and array names) anywhere in a statement,
+/// including nested directive bodies.
+pub fn stmt_write_targets(s: &Stmt, out: &mut Vec<String>) {
+    fn expr_targets(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Assign(_, lhs, rhs) => {
+                match lhs.as_ref() {
+                    Expr::Ident(n) | Expr::Index(n, _) => out.push(n.clone()),
+                    other => expr_targets(other, out),
+                }
+                if let Expr::Index(_, idxs) = lhs.as_ref() {
+                    for ix in idxs {
+                        expr_targets(ix, out);
+                    }
+                }
+                expr_targets(rhs, out);
+            }
+            Expr::Unary(_, a) => expr_targets(a, out),
+            Expr::Binary(_, a, b) => {
+                expr_targets(a, out);
+                expr_targets(b, out);
+            }
+            Expr::Cond(c, a, b) => {
+                expr_targets(c, out);
+                expr_targets(a, out);
+                expr_targets(b, out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    expr_targets(a, out);
+                }
+            }
+            Expr::Index(_, idxs) => {
+                for ix in idxs {
+                    expr_targets(ix, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    match s {
+        Stmt::Decl(d) => {
+            if let Some(e) = &d.init {
+                expr_targets(e, out);
+            }
+        }
+        Stmt::Expr(e, _) => expr_targets(e, out),
+        Stmt::If(c, a, b) => {
+            expr_targets(c, out);
+            stmt_write_targets(a, out);
+            if let Some(b) = b {
+                stmt_write_targets(b, out);
+            }
+        }
+        Stmt::While(c, b) => {
+            expr_targets(c, out);
+            stmt_write_targets(b, out);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                expr_targets(e, out);
+            }
+            stmt_write_targets(body, out);
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                stmt_write_targets(s, out);
+            }
+        }
+        Stmt::Omp(_, Some(b)) => stmt_write_targets(b, out),
+        _ => {}
+    }
+}
+
+/// First source position inside a statement, for diagnostics on statements
+/// that carry no span of their own.
+pub fn stmt_span(s: &Stmt) -> Option<Span> {
+    match s {
+        Stmt::Decl(d) => Some(d.span),
+        Stmt::Expr(_, sp) => Some(*sp),
+        Stmt::Omp(d, _) => Some(d.span),
+        Stmt::If(_, a, b) => stmt_span(a).or_else(|| b.as_deref().and_then(stmt_span)),
+        Stmt::While(_, b) | Stmt::For { body: b, .. } => stmt_span(b),
+        Stmt::Block(ss) => ss.iter().find_map(stmt_span),
+        _ => None,
+    }
+}
+
 /// Builtin functions the translator treats as side-effect-free math (they
 /// do not break lexical analyzability, §4.2) plus the OpenMP query API and
 /// `printf`.
@@ -517,6 +654,33 @@ mod tests {
         assert_eq!(d.reductions(), vec![(RedOp::Add, "err".to_string())]);
         assert_eq!(d.schedule(), Sched::Dynamic(8));
         assert!(d.nowait());
+    }
+
+    #[test]
+    fn stmt_helpers_cover_nested_directives() {
+        let body = Stmt::Omp(
+            Directive {
+                kind: DirKind::Critical(None),
+                clauses: vec![],
+                span: Span::new(4, 9),
+            },
+            Some(Box::new(Stmt::Expr(
+                Expr::Assign(
+                    Some(BinOp::Add),
+                    Box::new(Expr::Ident("sum".into())),
+                    Box::new(Expr::Index("a".into(), vec![Expr::Ident("i".into())])),
+                ),
+                Span::new(5, 13),
+            ))),
+        );
+        let s = Stmt::Block(vec![Stmt::Empty, body]);
+        let mut uses = Vec::new();
+        stmt_uses(&s, &mut uses);
+        assert_eq!(uses, vec!["sum".to_string(), "a".into(), "i".into()]);
+        let mut writes = Vec::new();
+        stmt_write_targets(&s, &mut writes);
+        assert_eq!(writes, vec!["sum".to_string()]);
+        assert_eq!(stmt_span(&s), Some(Span::new(4, 9)));
     }
 
     #[test]

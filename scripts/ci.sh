@@ -62,6 +62,47 @@ fi
 grep -q "error\[PC001\]" "$RACY_TMP/err"
 rm -rf "$RACY_TMP"
 
+echo "== analyzer parity gate (AST vs MIR over tests/corpus) =="
+# The MIR analyzer must reproduce the AST analyzer's PC001-PC008 verdicts
+# byte-for-byte on every corpus program; only the flow-sensitive PC009 and
+# PC010 lines may be MIR-exclusive. `--json` carries no backend field, so
+# the two outputs diff directly once those lines are filtered out.
+PARITY_TMP="$(mktemp -d)"
+for f in tests/corpus/*/*.c; do
+  cargo run -q --offline -p parade-check --bin paradec -- check "$f" --json \
+    > "$PARITY_TMP/mir.json" || true
+  cargo run -q --offline -p parade-check --bin paradec -- check "$f" --json --ast-check \
+    > "$PARITY_TMP/ast.json" || true
+  grep -v '"lint":"PC009"\|"lint":"PC010"' "$PARITY_TMP/mir.json" \
+    > "$PARITY_TMP/mir_filtered.json" || true
+  if ! diff -u "$PARITY_TMP/ast.json" "$PARITY_TMP/mir_filtered.json"; then
+    echo "analyzer parity drift on $f" >&2
+    exit 1
+  fi
+done
+rm -rf "$PARITY_TMP"
+
+# The flow-sensitive lints must also FAIL closed: the deadlocking corpus
+# programs exit non-zero with the expected code, and their clean twins pass.
+DEADLOCK_TMP="$(mktemp -d)"
+if cargo run -q --offline -p parade-check --bin paradec -- \
+    check tests/corpus/conform/barrier_divergent_break.c 2>"$DEADLOCK_TMP/err"; then
+  echo "paradec check accepted a divergent-barrier deadlock" >&2
+  exit 1
+fi
+grep -q "error\[PC009\]" "$DEADLOCK_TMP/err"
+if cargo run -q --offline -p parade-check --bin paradec -- \
+    check tests/corpus/conform/task_depend_cycle.c 2>"$DEADLOCK_TMP/err"; then
+  echo "paradec check accepted a task depend cycle" >&2
+  exit 1
+fi
+grep -q "error\[PC010\]" "$DEADLOCK_TMP/err"
+cargo run -q --offline -p parade-check --bin paradec -- \
+  check tests/corpus/clean/barrier_uniform_break.c >/dev/null
+cargo run -q --offline -p parade-check --bin paradec -- \
+  check tests/corpus/clean/task_depend_diamond.c >/dev/null
+rm -rf "$DEADLOCK_TMP"
+
 echo "== traced smoke run (figures -- trace) =="
 TRACE_TMP="$(mktemp -d)"
 PARADE_TRACE="$TRACE_TMP/smoke_trace.json" \

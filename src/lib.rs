@@ -29,9 +29,14 @@
 //!   `parallel`, work-sharing, `critical`/`atomic`/`single`/reductions.
 //! * [`translator`] — the OpenMP translator: mini-C + OpenMP 1.0 frontend,
 //!   directive lowering, translated-source emitter, interpreter.
+//! * [`mir`] — basic-block MIR for the mini-C frontend: CFG lowering,
+//!   worklist-fixpoint dataflow (reaching definitions, liveness,
+//!   postdominators), and thread-divergence analysis.
 //! * [`check`] — static OpenMP race & conformance analyzer (`paradec
-//!   check`): lints PC001–PC007 with spans and stable ids, cross-checked
-//!   against the interpreter's happens-before race oracle.
+//!   check`): lints PC001–PC010 with spans and stable ids; the default
+//!   backend runs flow-sensitively over [`mir`], with the lexical AST walk
+//!   kept as a parity oracle, both cross-checked against the interpreter's
+//!   happens-before race oracle.
 //! * [`kernels`] — NAS CG/EP, Helmholtz, MD, and syncbench workloads.
 //! * [`trace`] — virtual-time event tracing: per-thread rings, Chrome
 //!   `trace_event` export, per-construct overhead attribution
@@ -70,6 +75,7 @@ pub use parade_cluster as cluster;
 pub use parade_core as core;
 pub use parade_dsm as dsm;
 pub use parade_kernels as kernels;
+pub use parade_mir as mir;
 pub use parade_mpi as mpi;
 pub use parade_net as net;
 pub use parade_trace as trace;

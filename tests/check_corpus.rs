@@ -23,7 +23,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use parade::check::{check_source, has_errors, LintId};
+use parade::check::{check_source, check_source_ast, has_errors, LintId};
 use parade::core::Cluster;
 use parade::net::TimeSource;
 use parade::prelude::*;
@@ -125,6 +125,8 @@ fn conform_programs_flagged_statically() {
         ("bad_atomic.c", LintId::DirectiveStructure),
         ("unknown_clause_var.c", LintId::DirectiveStructure),
         ("barrier_in_task.c", LintId::DirectiveStructure),
+        ("barrier_divergent_break.c", LintId::BarrierDivergence),
+        ("task_depend_cycle.c", LintId::TaskDependCycle),
     ];
     let files = corpus_files("conform");
     assert_eq!(
@@ -146,6 +148,29 @@ fn conform_programs_flagged_statically() {
             "{name}: expected {} among {diags:?}",
             want.code()
         );
+    }
+}
+
+#[test]
+fn ast_and_mir_analyzers_agree_on_whole_corpus() {
+    // The MIR analyzer replays the same region state machine the AST walk
+    // drives, so for PC001-PC008 the two must produce byte-identical
+    // diagnostics — spans, messages, and order — on every corpus program.
+    // Only the flow-sensitive lints (PC009/PC010) are MIR-exclusive.
+    for bucket in ["racy", "clean", "conform"] {
+        for f in corpus_files(bucket) {
+            let name = f.file_name().unwrap().to_string_lossy().to_string();
+            let src = std::fs::read_to_string(&f).expect("read corpus file");
+            let mir: Vec<_> = check_source(&src)
+                .unwrap_or_else(|e| panic!("{name}: parse error: {e}"))
+                .into_iter()
+                .filter(|d| {
+                    d.lint != LintId::BarrierDivergence && d.lint != LintId::TaskDependCycle
+                })
+                .collect();
+            let ast = check_source_ast(&src).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+            assert_eq!(mir, ast, "{bucket}/{name}: analyzer parity drift");
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! look (unsupported directives and clauses are front-end rejections, not
 //! lints).
 
-use parade::check::{check_source, has_errors, Diag, LintId, Severity};
+use parade::check::{check_source, check_source_ast, has_errors, Diag, LintId, Severity};
 
 /// Render like `paradec check` does and keep only `file:line:col:
 /// severity[code]` — messages may be tuned without re-blessing every test,
@@ -157,10 +157,75 @@ fn pc008_golden() {
     );
 }
 
+/// A barrier inside a loop a thread-dependent `break` can leave early:
+/// lexically legal (PC004 is silent), but the MIR divergence analysis
+/// proves threads can disagree on reaching it.
+const PC009_SRC: &str = "int main() {\n    int i;\n    int s;\n    #pragma omp parallel private(i, s)\n    {\n        s = 0;\n        for (i = 0; i < 8; i = i + 1) {\n            if (omp_get_thread_num() > 0) {\n                break;\n            }\n            #pragma omp barrier\n            s = s + 1;\n        }\n    }\n    return 0;\n}\n";
+
+#[test]
+fn pc009_golden() {
+    let diags = check_source(PC009_SRC).unwrap();
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:11:13: error[PC009]"]);
+    assert!(
+        diags[0].message.contains("thread-divergent"),
+        "{}",
+        diags[0].message
+    );
+    // Flow-sensitive only: the lexical analyzer cannot see it.
+    assert!(check_source_ast(PC009_SRC).unwrap().is_empty());
+}
+
+#[test]
+fn pc010_golden() {
+    let src = "int main() {\n    double x;\n    double y;\n    #pragma omp parallel\n    {\n        #pragma omp task depend(in: y) depend(out: x)\n        {\n            x = y + 1.0;\n        }\n        #pragma omp task depend(in: x) depend(out: y)\n        {\n            y = x + 1.0;\n        }\n        #pragma omp taskwait\n    }\n    return 0;\n}\n";
+    let diags = check_source(src).unwrap();
+    // One diagnostic per cycle, anchored at the lexically-first task.
+    assert_eq!(rendered_heads(&diags), vec!["prog.c:6:9: error[PC010]"]);
+    assert!(
+        diags[0].message.contains("`x`, `y`") && diags[0].message.contains("lines 6, 10"),
+        "{}",
+        diags[0].message
+    );
+    assert!(check_source_ast(src).unwrap().is_empty());
+}
+
+#[test]
+fn json_output_golden() {
+    // `--json` shape is machine-consumed: pin every field byte-for-byte.
+    let diags = check_source(PC009_SRC).unwrap();
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].render_json("prog.c"),
+        r#"{"file":"prog.c","lint":"PC009","name":"barrier-divergence-deadlock","severity":"error","line":11,"col":13,"message":"barrier in thread-divergent control flow: the divergence analysis proves threads of the team can disagree on reaching it; threads that arrive wait forever"}"#
+    );
+}
+
+#[test]
+fn multi_error_ordering_golden() {
+    // Three diagnostics at three positions: both backends must emit the
+    // same sequence, sorted by (line, col, lint id).
+    let src = "int main() {\n    double s;\n    double t;\n    #pragma omp parallel private(t)\n    {\n        t = t + 1.0;\n        s = s + 1.0;\n        #pragma omp single\n        {\n            s = 2.0;\n            #pragma omp barrier\n        }\n    }\n    return 0;\n}\n";
+    let mir = check_source(src).unwrap();
+    let ast = check_source_ast(src).unwrap();
+    assert_eq!(mir, ast, "backends disagree on a PC001-PC008 program");
+    assert_eq!(
+        rendered_heads(&mir),
+        vec![
+            "prog.c:6:9: warning[PC006]",
+            "prog.c:7:9: error[PC001]",
+            "prog.c:11:13: error[PC004]",
+        ]
+    );
+    let pos: Vec<_> = mir.iter().map(|d| (d.span.line, d.span.col)).collect();
+    let mut sorted = pos.clone();
+    sorted.sort();
+    assert_eq!(pos, sorted, "diagnostics not in ascending source order");
+}
+
 #[test]
 fn every_lint_id_is_exercised_above() {
     // Companion assertion: the suite covers the whole taxonomy.
-    assert_eq!(LintId::ALL.len(), 8);
+    assert_eq!(LintId::ALL.len(), 10);
     for l in LintId::ALL {
         let sev = l.severity();
         match l {

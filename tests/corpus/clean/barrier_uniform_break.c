@@ -1,0 +1,24 @@
+/* Near-miss twin of conform/barrier_divergent_break.c: the break
+ * condition reads only the shared `n`, so every thread takes it on the
+ * same iteration and the barrier is reached (or skipped) by the whole
+ * team together.
+ * Expected: clean. */
+int main() {
+    int i;
+    int s;
+    int n;
+    n = 64;
+    #pragma omp parallel private(i, s)
+    {
+        s = 0;
+        for (i = 0; i < 8; i = i + 1) {
+            if (n > 32) {
+                break;
+            }
+            #pragma omp barrier
+            s = s + 1;
+        }
+    }
+    printf("%d\n", n);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/* Near-miss twin of racy/nowait_cond_read.c: an explicit barrier joins
+ * the nowait loop before the guarded read, so every write to `a`
+ * happens-before the read of `a[0]`.
+ * Expected: clean. */
+int main() {
+    int i;
+    int n;
+    double first;
+    double a[64];
+    n = 64;
+    #pragma omp parallel private(first)
+    {
+        #pragma omp for nowait
+        for (i = 0; i < 64; i++) {
+            a[i] = 1.0 * i;
+        }
+        #pragma omp barrier
+        if (n > 32) {
+            first = a[0];
+        }
+    }
+    return 0;
+}

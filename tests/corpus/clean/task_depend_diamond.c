@@ -1,0 +1,30 @@
+/* Near-miss twin of conform/task_depend_cycle.c: the depend edges chain
+ * forward (x -> y -> z), so the scheduler releases the tasks in spawn
+ * order and every access is ordered.
+ * Expected: clean. */
+int main() {
+    double x;
+    double y;
+    double z;
+    x = 1.0;
+    y = 0.0;
+    z = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(out: x)
+        {
+            x = 2.0;
+        }
+        #pragma omp task depend(in: x) depend(out: y)
+        {
+            y = x + 1.0;
+        }
+        #pragma omp task depend(in: y) depend(out: z)
+        {
+            z = y + 1.0;
+        }
+        #pragma omp taskwait
+    }
+    printf("%f\n", z);
+    return 0;
+}

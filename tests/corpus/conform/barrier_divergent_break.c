@@ -1,0 +1,22 @@
+/* Threads other than 0 break out of the loop before ever reaching the
+ * barrier, so thread 0 waits at it alone forever. Lexically the barrier
+ * sits under no thread-dependent condition (the divergent `if` closed at
+ * the `break`), so PC004 stays silent — only the CFG divergence analysis
+ * sees that the break makes the rest of the loop body thread-divergent.
+ * Expected: PC009 statically; a real run deadlocks, so no oracle run. */
+int main() {
+    int i;
+    int s;
+    #pragma omp parallel private(i, s)
+    {
+        s = 0;
+        for (i = 0; i < 8; i = i + 1) {
+            if (omp_get_thread_num() > 0) {
+                break;
+            }
+            #pragma omp barrier
+            s = s + 1;
+        }
+    }
+    return 0;
+}

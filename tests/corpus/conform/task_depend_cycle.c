@@ -1,0 +1,23 @@
+/* Crossed depend edges: each task consumes what the other produces, so
+ * the scheduler's dependency graph has a cycle and neither task is ever
+ * released — the taskwait blocks forever.
+ * Expected: PC010 statically; a real run deadlocks, so no oracle run. */
+int main() {
+    double x;
+    double y;
+    x = 0.0;
+    y = 0.0;
+    #pragma omp parallel
+    {
+        #pragma omp task depend(in: y) depend(out: x)
+        {
+            x = y + 1.0;
+        }
+        #pragma omp task depend(in: x) depend(out: y)
+        {
+            y = x + 1.0;
+        }
+        #pragma omp taskwait
+    }
+    return 0;
+}

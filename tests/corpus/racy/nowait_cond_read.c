@@ -1,0 +1,22 @@
+/* The guarded read of `a[0]` races with stragglers still writing `a` in
+ * the nowait loop: the condition on shared `n` is always true, and no
+ * barrier separates the loop from the read.
+ * Expected: PC005 statically; write-read races on `a` dynamically. */
+int main() {
+    int i;
+    int n;
+    double first;
+    double a[64];
+    n = 64;
+    #pragma omp parallel private(first)
+    {
+        #pragma omp for nowait
+        for (i = 0; i < 64; i++) {
+            a[i] = 1.0 * i;
+        }
+        if (n > 32) {
+            first = a[0];
+        }
+    }
+    return 0;
+}
