@@ -1,0 +1,125 @@
+//! Serving-layer benchmarks: what gang scheduling, backfill, and
+//! checkpoint/re-home failure survival cost at batch scale.
+//!
+//! Three kinds of results land in `BENCH_serving.json`:
+//!
+//! * `serve/...` — **simulated metrics** of the canonical 100-job soak
+//!   (virtual makespan, mean latency/wait, completion count). Jobs run
+//!   on virtual clocks over the simulated fabric, so completions are
+//!   exact and the virtual times are machine-independent up to the
+//!   sub-percent arrival-ordering jitter cross-node barriers carry — far
+//!   inside the gate's tolerance band. Gated by `bench_gate` against
+//!   `scripts/bench_baseline/BENCH_serving.json`.
+//! * `serve_info/...` — re-home and power-cycle counts. A scheduled
+//!   death fires only if its link carries `after_seq` messages before
+//!   the job finishes, and per-link message counts vary with OS thread
+//!   interleaving inside the DSM protocol, so these drift by a job or
+//!   two run-to-run (~±15% of a ~13-event schedule) — real information,
+//!   too noisy for a 20% gate. Recorded, not gated.
+//! * `serve/lossy_...` — the same soak under the pinned lossy chaos
+//!   schedule: the ARQ's seeded retransmissions stretch virtual time
+//!   deterministically, so the chaos premium is itself a gated metric.
+//! * `wall/...` — host wall-clock of one full soak, median-of-N.
+//!   Informational only.
+//!
+//! Metric names deliberately avoid the `_{N}n` suffix: the soak is one
+//! fixed-size batch, not a node-count scaling family, so the log₂N shape
+//! rule must not apply to it.
+//!
+//! `cargo bench -p parade-bench --bench serving`; set
+//! `PARADE_BENCH_JSON=<dir>` to write the JSON.
+
+use parade_net::ChaosProfile;
+use parade_serve::{soak, SoakConfig, SoakSummary};
+use parade_testkit::bench::{Bench, BenchOpts};
+
+/// The canonical soak the gate pins: 100 jobs, 12 machine nodes, one in
+/// seven jobs scheduled to lose a node. Kept identical to
+/// `SoakConfig::default()` on purpose — tests, the CI smoke, and this
+/// bench all exercise one schedule.
+fn canonical(chaos: ChaosProfile) -> SoakConfig {
+    SoakConfig {
+        chaos,
+        ..SoakConfig::default()
+    }
+}
+
+fn check(s: &SoakSummary, label: &str) {
+    assert!(
+        s.ok(),
+        "{label}: soak must stay exactly-once and bit-identical: {s:?}"
+    );
+    assert!(
+        s.rehomed_jobs > 0,
+        "{label}: the death schedule never fired — nothing was survived: {s:?}"
+    );
+}
+
+fn record_soak(b: &mut Bench, prefix: &str, s: &SoakSummary) {
+    b.record(
+        &format!("serve/{prefix}makespan_vtime_ns"),
+        s.makespan.as_nanos() as f64,
+    );
+    b.record(
+        &format!("serve/{prefix}mean_latency_vtime_ns"),
+        s.mean_latency_ns as f64,
+    );
+    b.record(
+        &format!("serve/{prefix}mean_wait_vtime_ns"),
+        s.mean_wait_ns as f64,
+    );
+    // Schedule-dependent counts (see module docs): recorded, not gated.
+    b.record(
+        &format!("serve_info/{prefix}rehome_events"),
+        s.rehomes as f64,
+    );
+    b.record(
+        &format!("serve_info/{prefix}rehomed_jobs"),
+        s.rehomed_jobs as f64,
+    );
+    b.record(
+        &format!("serve_info/{prefix}dead_nodes_power_cycled"),
+        s.dead_nodes as f64,
+    );
+    b.record(
+        &format!("serve/{prefix}completed_once"),
+        s.completed_once as f64,
+    );
+}
+
+fn main() {
+    let mut b = Bench::from_args("serving").with_opts(BenchOpts {
+        samples: 5,
+        warmup_batches: 0,
+        target_batch_ns: 50_000_000,
+        max_iters_per_batch: 4,
+    });
+
+    // Clean wire: the scheduling + survival cost in isolation.
+    let clean = soak(&canonical(ChaosProfile::off()));
+    check(&clean, "clean");
+    record_soak(&mut b, "", &clean);
+
+    // Pinned lossy wire: same job mix, same deaths, plus seeded ARQ
+    // retransmissions on every sub-fabric. Virtual time stretches
+    // deterministically; results stay bit-identical (checked).
+    let lossy = soak(&canonical(ChaosProfile::lossy(0x5E17_E5EED)));
+    check(&lossy, "lossy");
+    record_soak(&mut b, "lossy_", &lossy);
+
+    // The chaos premium as a gated ratio: a silent loss of the ARQ's
+    // batching (or a retry-storm regression) shows up here even when each
+    // absolute metric drifts within its own band.
+    b.record(
+        "serve/lossy_makespan_premium_pct",
+        lossy.makespan.as_nanos() as f64 / clean.makespan.as_nanos().max(1) as f64 * 100.0,
+    );
+
+    // Wall clock of one full clean soak (informational).
+    b.bench("wall/soak_100j", || {
+        let s = soak(&canonical(ChaosProfile::off()));
+        std::hint::black_box(s.completed_once);
+    });
+
+    b.finish();
+}

@@ -27,7 +27,14 @@
 use std::process::ExitCode;
 
 /// Metric families the gate enforces.
-const GATED_PREFIXES: &[&str] = &["release/", "coll/", "tasks/", "fault_storm/", "adapt/"];
+const GATED_PREFIXES: &[&str] = &[
+    "release/",
+    "coll/",
+    "tasks/",
+    "fault_storm/",
+    "adapt/",
+    "serve/",
+];
 
 /// Max allowed cost ratio between successive node-count doublings of a
 /// gated `_{N}n` scaling family (log₂N scaling sits near 1.2; flat linear
@@ -36,6 +43,50 @@ const SHAPE_RATIO: f64 = 1.7;
 
 fn gated(name: &str) -> bool {
     GATED_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// A baseline the gate cannot compare against. A 0-valued gated baseline
+/// used to slip through as `limit = 1e-9` — every healthy current value
+/// "regressed" by +0.0%, an unreadable verdict pointing at the wrong
+/// culprit. The real problem is always the baseline file itself (a bench
+/// that crashed mid-emit, or a placeholder committed by hand), so fail
+/// closed *before* any comparison and name the family that needs a
+/// regenerated baseline.
+#[derive(Debug, Clone, PartialEq)]
+struct BadBaseline {
+    /// Gated metric family whose baseline value is unusable.
+    name: String,
+    /// The offending value as parsed.
+    value: f64,
+}
+
+impl std::fmt::Display for BadBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gated baseline metric '{}' has non-positive value {} — a ratio gate cannot \
+             compare against it; re-generate the baseline file",
+            self.name, self.value
+        )
+    }
+}
+
+/// Validate that every gated baseline metric is positive. Returns every
+/// offender so one bad file is diagnosed in a single run.
+fn validate_baseline(baseline: &[(String, f64)]) -> Result<(), Vec<BadBaseline>> {
+    let bad: Vec<BadBaseline> = baseline
+        .iter()
+        .filter(|(name, v)| gated(name) && *v <= 0.0)
+        .map(|(name, v)| BadBaseline {
+            name: name.clone(),
+            value: *v,
+        })
+        .collect();
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(bad)
+    }
 }
 
 /// Split a scaling-family metric name `<family>_<N>n` into its family stem
@@ -140,6 +191,12 @@ fn main() -> ExitCode {
         eprintln!("bench_gate: no parsable results in input files");
         return ExitCode::FAILURE;
     }
+    if let Err(bad) = validate_baseline(&baseline) {
+        for b in &bad {
+            eprintln!("bench_gate: {b}");
+        }
+        return ExitCode::FAILURE;
+    }
 
     let mut failures = 0u32;
     let mut checked = 0u32;
@@ -201,4 +258,74 @@ fn main() -> ExitCode {
     }
     println!("bench_gate: {checked} gated metrics within tolerance, scaling shape ok");
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str, v: f64) -> (String, f64) {
+        (name.to_string(), v)
+    }
+
+    #[test]
+    fn zero_valued_gated_baseline_is_a_structured_error_naming_the_family() {
+        let baseline = vec![
+            m("release/cg_total_vtime", 120.0),
+            m("serve/soak_makespan_vtime", 0.0),
+            m("wall/anything", 0.0), // ungated: zero is fine
+        ];
+        let err = validate_baseline(&baseline).expect_err("zero gated baseline must fail");
+        assert_eq!(err.len(), 1);
+        assert_eq!(err[0].name, "serve/soak_makespan_vtime");
+        assert_eq!(err[0].value, 0.0);
+        let msg = err[0].to_string();
+        assert!(
+            msg.contains("serve/soak_makespan_vtime"),
+            "error must name the family: {msg}"
+        );
+        assert!(msg.contains("re-generate"), "error must say the fix: {msg}");
+    }
+
+    #[test]
+    fn negative_gated_baseline_is_also_rejected() {
+        let baseline = vec![m("tasks/steal_count", -3.0)];
+        let err = validate_baseline(&baseline).expect_err("negative baseline must fail");
+        assert_eq!(err[0].value, -3.0);
+    }
+
+    #[test]
+    fn positive_gated_baselines_validate() {
+        let baseline = vec![m("coll/bcast_vtime", 1.0), m("serve/soak_jobs", 1000.0)];
+        assert!(validate_baseline(&baseline).is_ok());
+    }
+
+    #[test]
+    fn serve_family_is_gated() {
+        assert!(gated("serve/soak_makespan_vtime"));
+        assert!(gated("release/x"));
+        assert!(!gated("wall/soak_secs"));
+        assert!(!gated("barrier/jitter"));
+    }
+
+    #[test]
+    fn split_scaled_parses_node_suffixes_only() {
+        assert_eq!(split_scaled("coll/bcast_8n"), Some(("coll/bcast", 8)));
+        assert_eq!(split_scaled("coll/bcast_16n"), Some(("coll/bcast", 16)));
+        assert_eq!(split_scaled("serve/soak_makespan_vtime"), None);
+        assert_eq!(split_scaled("coll/bcastn"), None);
+    }
+
+    #[test]
+    fn parse_results_reads_bench_json_lines() {
+        let doc = r#"{
+  "results": [
+    { "name": "serve/soak_makespan_vtime", "median": 123.5, "iters": 3 },
+    { "name": "wall/soak_secs", "median": 0.7, "iters": 3 }
+  ]
+}"#;
+        let got = parse_results(doc);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], m("serve/soak_makespan_vtime", 123.5));
+    }
 }

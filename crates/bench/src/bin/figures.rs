@@ -11,13 +11,13 @@
 
 use parade_bench::{
     ablation_fabric, ablation_home, ablation_schedules, adapt_smoke, all_figures, chaos_smoke,
-    fig10, fig11, fig6, fig7, fig8, fig9, steal_soak, task_smoke, trace_breakdown, update_methods,
-    write_tables_json, FigureOpts, Table,
+    fig10, fig11, fig6, fig7, fig8, fig9, serve_soak, steal_soak, task_smoke, trace_breakdown,
+    update_methods, write_tables_json, FigureOpts, Table,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|chaos-smoke|task-smoke|steal-soak|adapt-smoke|all> \
+        "usage: figures <fig6|fig7|fig8|fig9|fig10|fig11|update_methods|home|fabric|schedules|trace|chaos-smoke|task-smoke|steal-soak|adapt-smoke|serve-soak|all> \
          [--class s|w|a] [--nodes 1,2,4,8] [--scale F] [--with-mpi] [--quick] [--csv DIR]\n\
          trace: traced smoke run — writes a Chrome trace (PARADE_TRACE, default \
          parade_trace.json), validates it, prints the breakdown\n\
@@ -31,7 +31,11 @@ fn usage() -> ! {
          >=1 retransmission\n\
          adapt-smoke: CG class S under all-invalidate / all-update / adaptive \
          protocol selection and stride prefetch — every mode must stay \
-         bit-identical and bulk reads must coalesce into range fetches"
+         bit-identical and bulk reads must coalesce into range fetches\n\
+         serve-soak: the multi-job serving layer under scheduled node deaths \
+         and a lossy wire (PARADE_CHAOS or the pinned schedule) — 1000 jobs \
+         (120 with --quick) must complete exactly once, bit-identical to their \
+         sequential references, with at least one checkpoint re-home"
     );
     std::process::exit(2);
 }
@@ -131,6 +135,13 @@ fn main() {
             Ok(ts) => ts,
             Err(e) => {
                 eprintln!("figures steal-soak: {e}");
+                std::process::exit(1);
+            }
+        },
+        "serve-soak" | "serve_soak" => match serve_soak(&opts) {
+            Ok(ts) => ts,
+            Err(e) => {
+                eprintln!("figures serve-soak: {e}");
                 std::process::exit(1);
             }
         },

@@ -975,6 +975,99 @@ pub fn steal_soak(opts: &FigureOpts) -> Result<Vec<Table>, String> {
     Ok(vec![t])
 }
 
+/// Serving soak (`figures -- serve-soak`): a large deterministic stream of
+/// small jobs through the multi-job serving layer, one in seven scheduled
+/// to lose a node mid-run. Honors `PARADE_CHAOS` as residual wire chaos on
+/// every job's sub-fabric (falls back to the pinned lossy schedule, so CI
+/// always soaks a hostile wire). Fails closed unless:
+///
+/// * every job completed **exactly once** and **bit-identical** to its
+///   sequential reference (node death and chaos reshuffle virtual time,
+///   never payloads), and
+/// * at least one job actually lost a node and was re-homed from its
+///   barrier-time checkpoint (a death schedule that never fires proves
+///   nothing).
+///
+/// `--quick` serves 120 jobs; the full run serves 1000 (the CI soak).
+pub fn serve_soak(opts: &FigureOpts) -> Result<Vec<Table>, String> {
+    use parade_net::ChaosProfile;
+    use parade_serve::{soak, SoakConfig};
+    let chaos = {
+        let env = ChaosProfile::from_env();
+        if env.is_active() {
+            env
+        } else {
+            ChaosProfile::lossy(0x5E17_E5EED)
+        }
+    };
+    let cfg = SoakConfig {
+        jobs: if opts.quick { 120 } else { 1000 },
+        machine_nodes: 12,
+        death_every: 7,
+        chaos: chaos.clone(),
+        ..SoakConfig::default()
+    };
+    let s = soak(&cfg);
+    if !s.ok() {
+        return Err(format!(
+            "serve-soak: {} of {} jobs completed exactly once, {} digest mismatches — \
+             the serving layer lost or corrupted work",
+            s.completed_once, s.jobs, s.digest_mismatches
+        ));
+    }
+    if s.rehomed_jobs == 0 {
+        return Err(
+            "serve-soak: no job was ever re-homed — the death schedule never fired, \
+             the soak proves nothing about failure survival"
+                .to_string(),
+        );
+    }
+    let mut t = Table::new(
+        format!(
+            "Serve soak — {} jobs on {} nodes, 1-in-{} scheduled node deaths, \
+             chaos seed {:#x} (drop {:.1}%, dup {:.1}%, reorder {:.1}%)",
+            cfg.jobs,
+            cfg.machine_nodes,
+            cfg.death_every,
+            chaos.seed,
+            chaos.base.drop * 100.0,
+            chaos.base.duplicate * 100.0,
+            chaos.base.reorder * 100.0,
+        ),
+        &["check", "value"],
+    );
+    t.row(vec![
+        "jobs completed exactly once".into(),
+        format!("{}/{}", s.completed_once, s.jobs),
+    ]);
+    t.row(vec![
+        "digest mismatches vs sequential reference".into(),
+        s.digest_mismatches.to_string(),
+    ]);
+    t.row(vec![
+        "jobs that survived a node death".into(),
+        s.rehomed_jobs.to_string(),
+    ]);
+    t.row(vec!["re-home events".into(), s.rehomes.to_string()]);
+    t.row(vec![
+        "machine nodes power-cycled".into(),
+        s.dead_nodes.to_string(),
+    ]);
+    t.row(vec![
+        "batch makespan (virtual)".into(),
+        parade_core::VTime::from_nanos(s.makespan.as_nanos()).to_string(),
+    ]);
+    t.row(vec![
+        "mean job latency (virtual ns)".into(),
+        s.mean_latency_ns.to_string(),
+    ]);
+    t.row(vec![
+        "mean queue wait (virtual ns)".into(),
+        s.mean_wait_ns.to_string(),
+    ]);
+    Ok(vec![t])
+}
+
 /// All figures, in paper order.
 pub fn all_figures(opts: &FigureOpts) -> Vec<Table> {
     vec![
@@ -1051,6 +1144,29 @@ mod tests {
             .find(|r| r[0] == "retransmits")
             .expect("retransmit row");
         assert!(retx[1].parse::<u64>().unwrap() >= 1);
+    }
+
+    #[test]
+    fn serve_soak_survives_scheduled_deaths_exactly_once() {
+        let tables = serve_soak(&FigureOpts::quick()).expect("serve soak must pass");
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert!(t.title.contains("Serve soak"));
+        let row = |k: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0].starts_with(k))
+                .unwrap_or_else(|| panic!("missing row {k}"))[1]
+                .clone()
+        };
+        assert_eq!(row("jobs completed exactly once"), "120/120");
+        assert_eq!(row("digest mismatches"), "0");
+        assert!(
+            row("jobs that survived a node death")
+                .parse::<u64>()
+                .unwrap()
+                >= 1
+        );
     }
 
     #[test]

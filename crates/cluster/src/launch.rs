@@ -45,6 +45,9 @@ pub struct ClusterReport {
     pub link_health: Vec<LinkHealth>,
     /// First retry-budget exhaustion, if any link died during the run.
     pub fabric_error: Option<FabricError>,
+    /// Every retry-budget exhaustion in recording order: when several
+    /// links die in the same interval, each dead link is named here.
+    pub fabric_errors: Vec<FabricError>,
 }
 
 impl ClusterReport {
@@ -67,12 +70,76 @@ impl ClusterReport {
     }
 }
 
+/// One node program's panic, carried out of [`launch_result`].
+#[derive(Debug, Clone)]
+pub struct NodePanic {
+    pub node: usize,
+    pub message: String,
+}
+
+/// A failed launch: which node programs panicked, plus the full report
+/// (whose `fabric_errors` names every dead link when the failure was a
+/// fabric fail-stop).
+#[derive(Debug)]
+pub struct LaunchFailure {
+    pub panics: Vec<NodePanic>,
+    pub report: ClusterReport,
+}
+
+impl std::fmt::Display for LaunchFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} node(s) panicked", self.panics.len())?;
+        if let Some(p) = self.panics.first() {
+            write!(f, " (node {}: {})", p.node, p.message)?;
+        }
+        if let Some(e) = self.report.fabric_errors.first() {
+            write!(f, "; {e}")?;
+        }
+        Ok(())
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Launch `cfg.nodes` node programs and run them to completion.
 ///
 /// Returns each node's result plus the protocol/traffic report. All
 /// communication threads are joined and the fabric shut down before
-/// returning.
+/// returning. Panics if any node program panics; callers that must
+/// survive node failure (the serving layer) use [`launch_result`].
 pub fn launch<R, F>(cfg: ClusterConfig, program: F) -> (Vec<R>, ClusterReport)
+where
+    R: Send + 'static,
+    F: Fn(NodeEnv) -> R + Send + Sync + 'static,
+{
+    match launch_result(cfg, program) {
+        Ok(out) => out,
+        Err(f) => panic!("node panicked: {f}"),
+    }
+}
+
+/// Failure-tolerant launch: node-program panics are collected instead of
+/// propagated, and teardown is unconditional.
+///
+/// The shutdown order is load-bearing. The fabric is shut down *before*
+/// the communication threads are joined, in every path — including the
+/// failure path, where the old panicking join ran first and never reached
+/// `begin_shutdown`, leaving comm threads parked on their `MailboxQ`
+/// condvars forever (the PR 4 dead-link shutdown race). A serving layer
+/// tearing down a failed job would hang on exactly that join.
+#[allow(clippy::type_complexity)]
+pub fn launch_result<R, F>(
+    cfg: ClusterConfig,
+    program: F,
+) -> Result<(Vec<R>, ClusterReport), Box<LaunchFailure>>
 where
     R: Send + 'static,
     F: Fn(NodeEnv) -> R + Send + Sync + 'static,
@@ -118,31 +185,59 @@ where
                 fabric: Arc::clone(&fabric),
             };
             let program = Arc::clone(&program);
+            let fabric2 = Arc::clone(&fabric);
             std::thread::Builder::new()
                 .name(format!("parade-node-{i}"))
                 .spawn(move || {
                     trace::set_identity(i, "main");
-                    program(env)
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| program(env)));
+                    if r.is_err() {
+                        // Shut the fabric down *at panic time*, not at join
+                        // time: peers blocked in fabric receives waiting on
+                        // this node must unblock or the ordered join below
+                        // would deadlock on them. A fabric fail-stop has
+                        // already done this; a non-fabric panic has not.
+                        fabric2.begin_shutdown();
+                    }
+                    r
                 })
                 .expect("spawn node main thread")
         })
         .collect();
-    let results: Vec<R> = handles
-        .into_iter()
-        .map(|h| h.join().expect("node panicked"))
-        .collect();
+    let mut results: Vec<R> = Vec::with_capacity(cfg.nodes);
+    let mut panics: Vec<NodePanic> = Vec::new();
+    for (i, h) in handles.into_iter().enumerate() {
+        match h.join().expect("node thread itself cannot panic") {
+            Ok(r) => results.push(r),
+            Err(payload) => panics.push(NodePanic {
+                node: i,
+                message: panic_message(payload),
+            }),
+        }
+    }
     let report = ClusterReport {
         dsm: dsms.iter().map(|d| d.stats.snapshot()).collect(),
         traffic: fabric.stats().totals(),
         net: fabric.stats().snapshot(),
         link_health: fabric.stats().link_health(),
         fabric_error: fabric.stats().fabric_error(),
+        fabric_errors: fabric.stats().fabric_errors(),
     };
+    // Wake comm threads parked on their mailboxes *before* joining them —
+    // in every path, not just the clean one.
     fabric.begin_shutdown();
     for h in comm_threads {
-        h.join().expect("communication thread panicked");
+        // A comm thread that hit the dead link itself panicked trying to
+        // reply; that panic is part of the same failure, not a new one.
+        let _ = h.join();
     }
-    (results, report)
+    if panics.is_empty() {
+        Ok((results, report))
+    } else {
+        // Boxed: the report inside makes the Err variant heavyweight, and
+        // the Ok path must not pay for it.
+        Err(Box::new(LaunchFailure { panics, report }))
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +310,67 @@ mod tests {
         assert!(report.fabric_error.is_none());
         let h = report.link_health_totals();
         assert!(h.retransmits + h.dup_drops + h.reseq_holds > 0, "{h:?}");
+    }
+
+    #[test]
+    fn launch_result_collects_node_panics_and_still_tears_down() {
+        // Node 1 panics mid-program while node 0 blocks on a receive that
+        // will never be satisfied; the panic-time shutdown must unblock
+        // node 0 and the comm threads so this returns instead of hanging.
+        let out = launch_result(tiny(2), |env| {
+            let mut clk = env.new_clock();
+            if env.node == 1 {
+                panic!("injected node failure");
+            }
+            let r = env.dsm.alloc_region(64).unwrap();
+            env.dsm.barrier(&mut clk);
+            env.dsm.read::<i64>(r, 0, &mut clk)
+        });
+        let failure = out.expect_err("a panicked node must surface as Err");
+        assert_eq!(failure.panics.len(), 2, "node 0 dies of the shutdown");
+        assert!(failure
+            .panics
+            .iter()
+            .any(|p| p.message.contains("injected node failure")));
+    }
+
+    #[test]
+    fn launch_result_surfaces_every_dead_link() {
+        use parade_net::ChaosProfile;
+        // Two links scheduled dead: both node 1 and node 2 eventually hit
+        // their own dead link to node 0, so the report must name both —
+        // not just whichever error was recorded first.
+        let cfg = ClusterConfig {
+            chaos: ChaosProfile::off()
+                .with_link_death(1, 0, 2)
+                .with_link_death(2, 0, 2),
+            ..tiny(3)
+        };
+        let out = launch_result(cfg, |env| {
+            let mut clk = env.new_clock();
+            if env.node != 0 {
+                let ep = env.fabric.endpoint(env.node);
+                let mut sent = 0u64;
+                loop {
+                    let payload = parade_net::Bytes::copy_from_slice(&[0u8; 8]);
+                    if ep
+                        .send_checked(0, parade_net::MsgClass::P2p, sent, payload, &mut clk)
+                        .is_err()
+                    {
+                        break;
+                    }
+                    sent += 1;
+                    clk.charge(VTime::from_micros(1));
+                }
+            }
+            env.node
+        });
+        let (_, report) = out.expect("send_checked panics nowhere");
+        assert!(report.fabric_error.is_some());
+        assert_eq!(report.fabric_errors.len(), 2, "{:?}", report.fabric_errors);
+        let mut srcs: Vec<usize> = report.fabric_errors.iter().map(|e| e.src).collect();
+        srcs.sort_unstable();
+        assert_eq!(srcs, vec![1, 2], "both dead links named");
     }
 
     #[test]

@@ -11,4 +11,4 @@ mod config;
 mod launch;
 
 pub use config::{ClusterConfig, ExecConfig, ProtocolMode};
-pub use launch::{launch, ClusterReport, NodeEnv};
+pub use launch::{launch, launch_result, ClusterReport, LaunchFailure, NodeEnv, NodePanic};

@@ -43,15 +43,15 @@ pub use ctx::{partition, BoundVec, ScalarPrim, StaticChunks, ThreadCtx};
 pub use report::StatsReport;
 pub use shared::{Pod, SharedScalar, SharedVec};
 pub use tasking::{TaskFn, TaskScope};
-pub use team::{Cluster, ClusterBuilder, MasterCtx, RunReport};
+pub use team::{Cluster, ClusterBuilder, FailedRun, MasterCtx, RunReport};
 // Moved into parade-net (the MPI layer's shared-memory combine uses it
 // too); re-exported here so `parade_core::VBarrier` keeps working.
 pub use parade_net::VBarrier;
 
 // Re-exports so downstream code needs only this crate for common use.
-pub use parade_cluster::{ClusterConfig, ExecConfig, ProtocolMode};
+pub use parade_cluster::{ClusterConfig, ExecConfig, NodePanic, ProtocolMode};
 pub use parade_dsm::ProtoSelect;
 pub use parade_mpi::ReduceOp;
-pub use parade_net::{NetProfile, NodeTraffic, TimeSource, VTime};
+pub use parade_net::{FabricError, NetProfile, NodeTraffic, TimeSource, VTime};
 pub use parade_tasks::{SchedConfig, StealStrategy, TaskCtx, TaskDesc};
 pub use parade_trace::TraceReport;

@@ -39,6 +39,9 @@ pub struct StatsReport {
     pub link_health: Vec<LinkHealth>,
     /// First fatal link error, when a retry budget was exhausted.
     pub fabric_error: Option<FabricError>,
+    /// Every fatal link error in recording order: when several links die
+    /// in the same interval, each dead link is named here.
+    pub fabric_errors: Vec<FabricError>,
     /// Per-construct virtual-time breakdown, when the run was traced.
     pub trace: Option<TraceReport>,
 }
@@ -55,6 +58,7 @@ impl StatsReport {
             net: report.cluster.net.clone(),
             link_health: report.cluster.link_health.clone(),
             fabric_error: report.cluster.fabric_error.clone(),
+            fabric_errors: report.cluster.fabric_errors.clone(),
             trace: report.trace.clone(),
         }
     }
@@ -131,7 +135,14 @@ impl StatsReport {
                 .collect();
             let _ = writeln!(s, "net reliability: {}", fields.join(" "));
         }
-        if let Some(err) = &self.fabric_error {
+        // Name every dead link; hand-built reports may fill only the
+        // legacy single-error field.
+        if self.fabric_errors.is_empty() {
+            if let Some(err) = &self.fabric_error {
+                let _ = writeln!(s, "FABRIC ERROR: {err}");
+            }
+        }
+        for err in &self.fabric_errors {
             let _ = writeln!(s, "FABRIC ERROR: {err}");
         }
         match &self.trace {
@@ -205,6 +216,12 @@ impl StatsReport {
                 let _ = writeln!(s, "  \"fabric_error\": null,");
             }
         }
+        let errs: Vec<String> = self
+            .fabric_errors
+            .iter()
+            .map(|e| jstr(&e.to_string()))
+            .collect();
+        let _ = writeln!(s, "  \"fabric_errors\": [{}],", errs.join(", "));
         match &self.trace {
             Some(tr) => {
                 let _ = writeln!(s, "  \"trace\": {}", tr.json());
@@ -313,6 +330,7 @@ mod tests {
         assert!(js.contains("\"recv_bytes\""));
         assert!(js.contains("\"link_health\""));
         assert!(js.contains("\"fabric_error\": null"));
+        assert!(js.contains("\"fabric_errors\": []"));
         assert!(js.contains("\"trace\": null"));
         // A clean run has a quiet reliable channel and no error block in
         // the text rendering.
@@ -336,19 +354,26 @@ mod tests {
             },
             LinkHealth::default(),
         ];
-        sr.fabric_error = Some(FabricError {
+        let dead = |dst: usize| FabricError {
             src: 0,
-            dst: 1,
+            dst,
             class: MsgClass::Dsm,
             tag: 42,
             seq: 7,
             attempts: 11,
             gave_up_at: VTime::from_micros(500),
-        });
+        };
+        sr.fabric_error = Some(dead(1));
+        // Two links died in the same interval: both must be named.
+        sr.fabric_errors = vec![dead(1), FabricError { dst: 2, ..dead(1) }];
         let text = sr.render();
         assert!(text.contains("net reliability: retransmits=3"), "{text}");
         assert!(
             text.contains("FABRIC ERROR: fabric link 0->1 dead"),
+            "{text}"
+        );
+        assert!(
+            text.contains("FABRIC ERROR: fabric link 0->2 dead"),
             "{text}"
         );
         assert!(text.contains("DSM protocol request"), "{text}");
@@ -356,6 +381,7 @@ mod tests {
         parade_trace::validate_json(&js).expect("stats JSON well-formed");
         assert!(js.contains("\"retransmits\": 3"));
         assert!(js.contains("\"fabric_error\": \"fabric link 0->1 dead"));
+        assert!(js.contains("fabric link 0->2 dead"));
     }
 
     #[test]

@@ -13,7 +13,9 @@ use std::sync::Arc;
 use parade_net::sync::Mutex;
 use parade_net::Bytes;
 
-use parade_cluster::{launch, ClusterConfig, ClusterReport, ExecConfig, NodeEnv, ProtocolMode};
+use parade_cluster::{
+    launch_result, ClusterConfig, ClusterReport, ExecConfig, NodeEnv, NodePanic, ProtocolMode,
+};
 use parade_mpi::datatype::{Reader, Writer};
 use parade_net::{NetProfile, TimeSource, VClock, VTime};
 use parade_trace::{self as trace, TraceReport};
@@ -122,6 +124,47 @@ impl RunReport {
     }
 }
 
+/// A run that did not complete. A fabric fail-stop (retry-budget
+/// exhaustion on a dead link) surfaces here as the panics of every node
+/// caught blocked on that link; `cluster.fabric_errors` names each dead
+/// link. Produced by [`Cluster::try_run_with_report`].
+#[derive(Debug)]
+pub struct FailedRun {
+    /// Which node programs panicked, with their messages.
+    pub panics: Vec<NodePanic>,
+    /// Counters salvaged from the dead run.
+    pub cluster: ClusterReport,
+}
+
+impl FailedRun {
+    /// Every retry-budget exhaustion recorded before the fail-stop.
+    pub fn fabric_errors(&self) -> &[parade_net::FabricError] {
+        &self.cluster.fabric_errors
+    }
+
+    /// Was this a fabric fail-stop (as opposed to a plain program bug)?
+    pub fn is_fabric_death(&self) -> bool {
+        !self.cluster.fabric_errors.is_empty()
+    }
+}
+
+impl std::fmt::Display for FailedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cluster run failed: {} node(s) panicked",
+            self.panics.len()
+        )?;
+        if let Some(p) = self.panics.first() {
+            write!(f, " (node {}: {})", p.node, p.message)?;
+        }
+        if let Some(e) = self.cluster.fabric_errors.first() {
+            write!(f, "; {e}")?;
+        }
+        Ok(())
+    }
+}
+
 /// A simulated SMP cluster ready to run ParADE programs.
 ///
 /// Each [`Cluster::run`] call performs a full launch: fabric, DSM
@@ -161,6 +204,27 @@ impl Cluster {
         R: Send + 'static,
         F: FnOnce(&mut MasterCtx) -> R + Send + 'static,
     {
+        match self.try_run_with_report(master) {
+            Ok(out) => out,
+            Err(f) => panic!("{f}"),
+        }
+    }
+
+    /// Failure-tolerant run: node-program panics — including the panics a
+    /// fabric fail-stop induces in blocked receives — are collected into a
+    /// [`FailedRun`] instead of propagated, and the fabric and
+    /// communication threads are torn down in every path. This is how the
+    /// serving layer survives a job's node death and re-homes it.
+    ///
+    /// Intended for single-thread-per-node jobs; with `threads_per_node >
+    /// 1` a failed run's surviving pool threads are detached rather than
+    /// joined (the unwind skips the pool join), so they linger until
+    /// process exit.
+    pub fn try_run_with_report<R, F>(&self, master: F) -> Result<(R, RunReport), Box<FailedRun>>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut MasterCtx) -> R + Send + 'static,
+    {
         // `PARADE_TRACE=<path>` records the run and writes a Chrome
         // trace_event file there. `start` returns None when another session
         // is already active (e.g. a test harness tracing us from outside);
@@ -172,7 +236,7 @@ impl Cluster {
         let registry = Arc::new(Registry::default());
         let master_cell = Arc::new(Mutex::new(Some(master)));
         let reg2 = Arc::clone(&registry);
-        let (results, cluster_report) = launch(self.cfg.clone(), move |env: NodeEnv| {
+        let launched = launch_result(self.cfg.clone(), move |env: NodeEnv| {
             let rt = NodeRt::new(
                 Arc::clone(&env.dsm),
                 Arc::clone(&env.comm),
@@ -209,6 +273,28 @@ impl Cluster {
             }
             (result, clock.now(), clock.compute_time(), clock.comm_time())
         });
+        // Finish the trace session in every path; a failed run's events
+        // are still worth the file.
+        let trace_report = session.map(|s| {
+            let data = s.finish();
+            if let Some(path) = &trace_path {
+                if let Err(e) = std::fs::write(path, data.chrome_json()) {
+                    eprintln!("parade: cannot write trace to {path}: {e}");
+                }
+            }
+            data.report()
+        });
+        let (results, cluster_report) = match launched {
+            Ok(out) => out,
+            Err(f) => {
+                // Boxed for the same reason `launch_result` boxes its
+                // error: the salvaged report dominates the variant size.
+                return Err(Box::new(FailedRun {
+                    panics: f.panics,
+                    cluster: f.report,
+                }));
+            }
+        };
         let mut r = None;
         let mut node_times = Vec::new();
         let mut node_compute = Vec::new();
@@ -222,16 +308,7 @@ impl Cluster {
             node_comm.push(cm);
         }
         let exec_time = node_times[0];
-        let trace_report = session.map(|s| {
-            let data = s.finish();
-            if let Some(path) = &trace_path {
-                if let Err(e) = std::fs::write(path, data.chrome_json()) {
-                    eprintln!("parade: cannot write trace to {path}: {e}");
-                }
-            }
-            data.report()
-        });
-        (
+        Ok((
             r.expect("master result"),
             RunReport {
                 exec_time,
@@ -241,7 +318,7 @@ impl Cluster {
                 cluster: cluster_report,
                 trace: trace_report,
             },
-        )
+        ))
     }
 }
 
@@ -484,6 +561,18 @@ impl MasterCtx {
         self.rt
             .dsm
             .write_slice(v.region, first, src, &mut self.clock)
+    }
+
+    /// Barrier-time checkpoint: snapshot a shared vector's bytes through
+    /// the coherent read path. Taken between parallel regions, the
+    /// snapshot is a consistent cut a re-homed job can be restored from.
+    pub fn checkpoint<T: Pod>(&mut self, v: &SharedVec<T>) -> Vec<u8> {
+        self.rt.dsm.checkpoint_region(v.region, &mut self.clock)
+    }
+
+    /// Restore a shared vector from a [`MasterCtx::checkpoint`] snapshot.
+    pub fn restore<T: Pod>(&mut self, v: &SharedVec<T>, snap: &[u8]) {
+        self.rt.dsm.restore_region(v.region, snap, &mut self.clock)
     }
 
     /// Serial scalar write. In Parade mode this is an eager update-protocol

@@ -82,6 +82,51 @@ fn master_writes_propagate_after_barrier() {
 }
 
 #[test]
+fn checkpoint_round_trips_across_nodes() {
+    // Node 1 writes an interval's worth of state; node 0 checkpoints at the
+    // barrier, node 1 then scribbles over the region, and node 0's restore
+    // brings every node back to the checkpointed cut.
+    let out = run_nodes(3, small_cfg(), NetProfile::zero(), |d, clk| {
+        let r = alloc_on(&d, 3 * PAGE_SIZE);
+        d.barrier(clk);
+        if d.node() == 1 {
+            for i in 0..64 {
+                d.write::<f64>(r, i * 8, i as f64 + 0.25, clk);
+            }
+        }
+        d.barrier(clk);
+        let snap = (d.node() == 0).then(|| d.checkpoint_region(r, clk));
+        d.barrier(clk);
+        if d.node() == 1 {
+            for i in 0..64 {
+                d.write::<f64>(r, i * 8, -1.0, clk);
+            }
+        }
+        d.barrier(clk);
+        if let Some(snap) = &snap {
+            d.restore_region(r, snap, clk);
+        }
+        d.barrier(clk);
+        let mut sum = 0.0;
+        for i in 0..64 {
+            sum += d.read::<f64>(r, i * 8, clk);
+        }
+        if d.node() == 0 {
+            let s = d.stats.snapshot();
+            assert_eq!(s.checkpoints, 1);
+            assert_eq!(s.checkpoint_bytes, 3 * PAGE_SIZE as u64);
+            assert_eq!(s.restores, 1);
+            assert_eq!(s.restore_bytes, 3 * PAGE_SIZE as u64);
+        }
+        sum
+    });
+    let expect: f64 = (0..64).map(|i| i as f64 + 0.25).sum();
+    for s in out {
+        assert_eq!(s, expect);
+    }
+}
+
+#[test]
 fn non_master_writes_visible_everywhere() {
     let out = run_nodes(4, small_cfg(), NetProfile::zero(), |d, clk| {
         let r = alloc_on(&d, 1024);

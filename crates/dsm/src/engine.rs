@@ -346,6 +346,37 @@ impl Dsm {
         }
     }
 
+    /// Snapshot an entire region's bytes (a barrier-time page checkpoint).
+    ///
+    /// Goes through the normal coherent read path, so the checkpoint
+    /// observes exactly what a serial reader at this point would — call it
+    /// at an interval boundary (after [`Dsm::barrier`]) and the snapshot is
+    /// a consistent cut the serving layer can re-home a failed job from.
+    pub fn checkpoint_region(&self, h: RegionHandle, clock: &mut VClock) -> Vec<u8> {
+        let mut out = vec![0u8; h.len];
+        self.read_slice::<u8>(h, 0, &mut out, clock);
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .checkpoint_bytes
+            .fetch_add(h.len as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Write a checkpoint taken by [`Dsm::checkpoint_region`] back into the
+    /// region (after a re-home, on the replacement cluster).
+    pub fn restore_region(&self, h: RegionHandle, data: &[u8], clock: &mut VClock) {
+        assert_eq!(
+            data.len(),
+            h.len,
+            "checkpoint length does not match region length"
+        );
+        self.write_slice::<u8>(h, 0, data, clock);
+        self.stats.restores.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .restore_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+    }
+
     /// Fault in every page covering `start .. start+len` for reading.
     ///
     /// With `max_fetch_range > 1` (and a safe update strategy), runs of
@@ -546,6 +577,26 @@ impl Dsm {
 
     /// Publish a fetched page: the caller owned the TRANSIENT transition;
     /// waiters that piled on (BLOCKED) are woken.
+    /// Wake every thread parked on a page condvar. Called by the
+    /// communication thread as it exits on fabric shutdown: a parked
+    /// compute thread is waiting for a protocol step (atomic page update,
+    /// re-home push) that can no longer arrive, and must be released to
+    /// observe the shutdown via [`Dsm::check_live`].
+    pub fn wake_page_waiters(&self) {
+        for meta in self.pages.iter() {
+            let _g = meta.inner.lock();
+            meta.cv.notify_all();
+        }
+    }
+
+    /// Fail fast when the fabric has already shut down (fail-stop): any
+    /// page wait entered now can never be satisfied.
+    fn check_live(&self) {
+        if self.ep.fabric().is_shutdown() {
+            panic!("dsm page wait after shutdown");
+        }
+    }
+
     fn complete_update(&self, page: PageId) {
         let meta = &self.pages[page];
         let mut inner = meta.inner.lock();
@@ -584,11 +635,13 @@ impl Dsm {
                 PageState::Transient => {
                     // Another thread is updating: mark that it has waiters
                     // and sleep — the §5.1 atomic-page-update machinery.
+                    self.check_live();
                     meta.set_state(&mut inner, PageState::Blocked);
                     self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
                     meta.cv.wait(&mut inner);
                 }
                 PageState::Blocked => {
+                    self.check_live();
                     self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
                     meta.cv.wait(&mut inner);
                 }
@@ -642,11 +695,13 @@ impl Dsm {
                     return;
                 }
                 PageState::Transient => {
+                    self.check_live();
                     meta.set_state(&mut inner, PageState::Blocked);
                     self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
                     meta.cv.wait(&mut inner);
                 }
                 PageState::Blocked => {
+                    self.check_live();
                     self.stats.update_waits.fetch_add(1, Ordering::Relaxed);
                     meta.cv.wait(&mut inner);
                 }

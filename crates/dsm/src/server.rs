@@ -152,6 +152,12 @@ impl Dsm {
         while let Ok(pkt) = self.ep.recv_any_raw(MsgClass::Dsm) {
             self.handle_packet(pkt, srv);
         }
+        // Fail-stop teardown: compute threads parked on page condvars
+        // (TRANSIENT/BLOCKED waits, re-home push parks) are waiting for
+        // *this* thread to complete a protocol step that will now never
+        // happen. Wake them so they observe the shutdown and unwind
+        // instead of deadlocking the node join.
+        self.wake_page_waiters();
     }
 
     /// Handle one protocol request (exposed for deterministic tests).

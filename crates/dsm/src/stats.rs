@@ -104,6 +104,14 @@ counters! {
     /// Diff merges applied by this node's home shards (sum over shards;
     /// the per-shard split lives in [`ShardStats`]).
     shard_merges,
+    /// Region checkpoints taken (barrier-time snapshots for re-homing).
+    checkpoints,
+    /// Bytes captured into checkpoints.
+    checkpoint_bytes,
+    /// Region restores applied from a checkpoint after a re-home.
+    restores,
+    /// Bytes written back by restores.
+    restore_bytes,
 }
 
 impl DsmStats {

@@ -68,6 +68,14 @@ pub struct ChaosProfile {
     pub per_class: [Option<ChaosKnobs>; 4],
     /// Per-link `(src, dst)` overrides; win over class overrides.
     pub per_link: Vec<(usize, usize, ChaosKnobs)>,
+    /// Scheduled link deaths `(src, dst, after_seq)`: the directed link
+    /// dies permanently once its per-link sequence counter (summed over
+    /// classes) reaches `after_seq` — every later send on it exhausts its
+    /// retry budget immediately. This is the serving layer's node-failure
+    /// injector: unlike a `drop=1.0` override it lets an arbitrary amount
+    /// of traffic through first, so a job dies mid-run at a seeded,
+    /// reproducible point instead of at its first message.
+    pub link_death: Vec<(usize, usize, u64)>,
     /// Base retransmit timeout (virtual time) before the first resend.
     pub rto: VTime,
     /// Timeout multiplier per retry (exponential backoff).
@@ -84,6 +92,7 @@ impl ChaosProfile {
             base: ChaosKnobs::CALM,
             per_class: [None; 4],
             per_link: Vec::new(),
+            link_death: Vec::new(),
             rto: VTime::from_micros(200),
             backoff: 2,
             retry_budget: 10,
@@ -112,6 +121,7 @@ impl ChaosProfile {
         self.base.is_active()
             || self.per_class.iter().flatten().any(ChaosKnobs::is_active)
             || self.per_link.iter().any(|(_, _, k)| k.is_active())
+            || !self.link_death.is_empty()
     }
 
     /// The knobs governing one message, resolving the override chain.
@@ -137,6 +147,24 @@ impl ChaosProfile {
         self.per_link.retain(|(s, d, _)| !(*s == src && *d == dst));
         self.per_link.push((src, dst, k));
         self
+    }
+
+    /// Schedule the directed link `src -> dst` to die once it has carried
+    /// `after_seq` messages (all classes combined). Intra-node links
+    /// (`src == dst`) never die; such a schedule is ignored by the fabric.
+    pub fn with_link_death(mut self, src: usize, dst: usize, after_seq: u64) -> ChaosProfile {
+        self.link_death
+            .retain(|(s, d, _)| !(*s == src && *d == dst));
+        self.link_death.push((src, dst, after_seq));
+        self
+    }
+
+    /// The scheduled death point of a directed link, if any.
+    pub fn death_seq(&self, src: usize, dst: usize) -> Option<u64> {
+        self.link_death
+            .iter()
+            .find(|(s, d, _)| *s == src && *d == dst)
+            .map(|(_, _, n)| *n)
     }
 
     /// Parse the `PARADE_CHAOS` mini-language:

@@ -218,18 +218,38 @@ impl Fabric {
 
     /// The knobs for one directed link/class, or `None` when the message
     /// takes the clean path (chaos off, calm override, or intra-node).
+    /// A link with a scheduled death always takes the reliable path, even
+    /// with calm knobs — the death trigger lives on that path.
     fn link_knobs(&self, src: usize, dst: usize, class: MsgClass) -> Option<ChaosKnobs> {
         if src == dst || !self.chaos.is_active() {
             return None;
         }
         let k = self.chaos.knobs(src, dst, class);
-        k.is_active().then_some(k)
+        if k.is_active() || self.chaos.death_seq(src, dst).is_some() {
+            Some(k)
+        } else {
+            None
+        }
+    }
+
+    /// Per-link sequence rows: 4 per-class ARQ counters plus one link-total
+    /// counter driving scheduled link death.
+    fn seq_row(&self, src: usize) -> &Vec<AtomicU64> {
+        let n = self.ports.len();
+        self.tx_seqs[src].get_or_init(|| (0..n * 5).map(|_| AtomicU64::new(0)).collect())
     }
 
     fn next_seq(&self, src: usize, dst: usize, class: MsgClass) -> u64 {
-        let n = self.ports.len();
-        let row = self.tx_seqs[src].get_or_init(|| (0..n * 4).map(|_| AtomicU64::new(0)).collect());
-        row[dst * 4 + class.index()].fetch_add(1, Ordering::Relaxed)
+        self.seq_row(src)[dst * 5 + class.index()].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Count one logical message against the link's death schedule; true
+    /// once the link has reached its scheduled death point.
+    fn link_death_triggered(&self, src: usize, dst: usize) -> bool {
+        let Some(after) = self.chaos.death_seq(src, dst) else {
+            return false;
+        };
+        self.seq_row(src)[dst * 5 + 4].fetch_add(1, Ordering::Relaxed) >= after
     }
 
     /// Create the endpoint for node `id`. Endpoints are cheap handles and
@@ -375,6 +395,14 @@ impl Endpoint {
         // mailbox lock (the fail path calls begin_shutdown, which locks
         // every mailbox).
         let seq = fabric.next_seq(self.id, dst, class);
+        let knobs = if fabric.link_death_triggered(self.id, dst) {
+            // The link is scheduled dead: every transmission is lost, so
+            // the ARQ walk below deterministically exhausts its budget and
+            // produces the canonical FabricError for this link.
+            ChaosKnobs { drop: 1.0, ..knobs }
+        } else {
+            knobs
+        };
         let out = match simulate_arq(
             &fabric.chaos,
             &knobs,
@@ -793,6 +821,56 @@ mod tests {
             fabric.endpoint(2).recv_raw(MsgClass::Dsm, Match::any()),
             Err(Disconnected)
         ));
+    }
+
+    #[test]
+    fn scheduled_link_death_kills_after_n_messages() {
+        let fabric = Fabric::with_chaos(
+            2,
+            NetProfile::zero(),
+            ChaosProfile::off().with_link_death(0, 1, 5),
+        );
+        let a = fabric.endpoint(0);
+        let mut c = VClock::manual();
+        // The first five messages cross cleanly (calm knobs, reliable path).
+        for i in 0..5u64 {
+            a.send_checked(1, MsgClass::P2p, i, bts(&[1]), &mut c)
+                .expect("link alive before its death point");
+        }
+        let err = a
+            .send_checked(1, MsgClass::P2p, 5, bts(&[1]), &mut c)
+            .unwrap_err();
+        assert_eq!((err.src, err.dst), (0, 1));
+        assert_eq!(err.seq, 5);
+        assert!(fabric.is_shutdown());
+        assert_eq!(fabric.stats().fabric_errors().len(), 1);
+        // The five pre-death messages were all delivered.
+        let b = fabric.endpoint(1);
+        for i in 0..5u64 {
+            assert_eq!(b.recv_any_raw(MsgClass::P2p).unwrap().tag, i);
+        }
+    }
+
+    #[test]
+    fn link_death_composes_with_lossy_chaos() {
+        let chaos = ChaosProfile::lossy(0xFEED).with_link_death(0, 1, 30);
+        let fabric = Fabric::with_chaos(2, NetProfile::zero(), chaos);
+        let a = fabric.endpoint(0);
+        let mut c = VClock::manual();
+        let mut sent = 0u64;
+        let err = loop {
+            match a.send_checked(1, MsgClass::Dsm, sent, bts(&[0u8; 16]), &mut c) {
+                Ok(()) => sent += 1,
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(sent, 30, "death strikes exactly at the scheduled message");
+        assert_eq!((err.src, err.dst), (0, 1));
+        // Pre-death lossy traffic still delivered exactly once, in order.
+        let b = fabric.endpoint(1);
+        for i in 0..sent {
+            assert_eq!(b.recv_any_raw(MsgClass::Dsm).unwrap().tag, i);
+        }
     }
 
     #[test]

@@ -184,15 +184,20 @@ impl NodeNetStats {
 /// Fabric-wide statistics.
 pub struct NetStats {
     nodes: Vec<NodeNetStats>,
-    /// First retry-budget exhaustion observed, if any (fail-stop).
-    first_error: Mutex<Option<FabricError>>,
+    /// Every retry-budget exhaustion, in recording order. The first entry
+    /// is the error that fail-stopped the fabric; later entries are other
+    /// links dying in the same interval (senders racing the shutdown), and
+    /// a failure report must name all of them — a job whose link died
+    /// second would otherwise see `fabric_error: None` next to a garbage
+    /// result.
+    errors: Mutex<Vec<FabricError>>,
 }
 
 impl NetStats {
     pub fn new(n: usize) -> Self {
         NetStats {
             nodes: (0..n).map(|_| NodeNetStats::default()).collect(),
-            first_error: Mutex::new(None),
+            errors: Mutex::new(Vec::new()),
         }
     }
 
@@ -219,21 +224,26 @@ impl NetStats {
         r.reseq_holds.fetch_add(reseq_holds, Ordering::Relaxed);
     }
 
-    /// Record a retry-budget exhaustion; the first one sticks.
+    /// Record a retry-budget exhaustion. Every distinct failure is kept
+    /// (per-link attribution); [`NetStats::fabric_error`] still reports
+    /// the first.
     pub fn record_send_failure(&self, err: &FabricError) {
         self.nodes[err.src]
             .reliability
             .send_failures
             .fetch_add(1, Ordering::Relaxed);
-        let mut g = self.first_error.lock();
-        if g.is_none() {
-            *g = Some(err.clone());
-        }
+        self.errors.lock().push(err.clone());
     }
 
     /// The first fatal link error, if the run failed.
     pub fn fabric_error(&self) -> Option<FabricError> {
-        self.first_error.lock().clone()
+        self.errors.lock().first().cloned()
+    }
+
+    /// Every fatal link error, in recording order: when several links die
+    /// in the same interval each one is named here, not just the first.
+    pub fn fabric_errors(&self) -> Vec<FabricError> {
+        self.errors.lock().clone()
     }
 
     /// Per-node reliable-channel counters.
@@ -365,8 +375,13 @@ mod tests {
         assert!(s.fabric_error().is_none());
         s.record_send_failure(&err(0));
         s.record_send_failure(&err(1));
-        // The first error sticks; both failures are counted.
+        // The first error sticks; both failures are counted and both
+        // links are named in the full error list.
         assert_eq!(s.fabric_error().unwrap().src, 0);
         assert_eq!(s.link_health_totals().send_failures, 2);
+        let all = s.fabric_errors();
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[0].src, all[0].dst), (0, 2));
+        assert_eq!((all[1].src, all[1].dst), (1, 2));
     }
 }

@@ -1,0 +1,87 @@
+//! Suppress the panic chatter of *expected* fail-stops.
+//!
+//! When a job's fabric dies, every node blocked in a receive panics with a
+//! known message family ("fabric link …", "… after shutdown") — that is
+//! the fail-stop mechanism working, not a bug, and a 1000-job soak with
+//! injected deaths would otherwise print thousands of backtrace headers.
+//! [`Quiet`] is a scoped guard: while at least one guard is live, panics
+//! whose message matches the fail-stop families are swallowed by a global
+//! hook; everything else still reaches the previous hook untouched.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static SUPPRESSING: AtomicUsize = AtomicUsize::new(0);
+static HOOK_INSTALLED: OnceLock<()> = OnceLock::new();
+
+/// Message fragments produced by the fail-stop machinery.
+const EXPECTED: &[&str] = &[
+    "fabric link",
+    "after shutdown",
+    "fabric is shut down",
+    "node panicked",
+];
+
+fn is_expected(msg: &str) -> bool {
+    EXPECTED.iter().any(|pat| msg.contains(pat))
+}
+
+fn install() {
+    HOOK_INSTALLED.get_or_init(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if SUPPRESSING.load(Ordering::SeqCst) > 0 {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .copied()
+                    .map(str::to_string)
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if is_expected(&msg) {
+                    return;
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Scoped suppression of expected fail-stop panic messages.
+pub struct Quiet(());
+
+impl Quiet {
+    pub fn engage() -> Quiet {
+        install();
+        SUPPRESSING.fetch_add(1, Ordering::SeqCst);
+        Quiet(())
+    }
+}
+
+impl Drop for Quiet {
+    fn drop(&mut self) {
+        SUPPRESSING.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_nests_and_releases() {
+        let a = Quiet::engage();
+        let b = Quiet::engage();
+        assert_eq!(SUPPRESSING.load(Ordering::SeqCst), 2);
+        drop(b);
+        drop(a);
+        assert_eq!(SUPPRESSING.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn expected_patterns_match_the_failstop_family() {
+        assert!(is_expected("fabric link 0->2 dead after 11 attempts"));
+        assert!(is_expected("barrier depart after shutdown"));
+        assert!(!is_expected("index out of bounds"));
+    }
+}

@@ -1,0 +1,416 @@
+//! The gang scheduler: FIFO + backfill admission over one machine's node
+//! pool, elastic gang widths, and checkpoint/re-home survival of injected
+//! node death.
+//!
+//! The machine is a set of node ids. A job is admitted onto the
+//! lowest-numbered free nodes at a width clamped to `[min_width,
+//! max_width]` by availability (elastic shrink/grow at admission time).
+//! Admission is FIFO with backfill: the oldest waiting job goes first
+//! whenever it fits; when it does not, any younger job that *does* fit may
+//! jump the queue (no reservations — simple EASY-style backfill).
+//!
+//! Failure survival: when an attempt dies of a dead link, the scheduler
+//! maps the dead job-local rank back to a machine node, power-cycles it,
+//! borrows a free node as its replacement when one exists (re-homing the
+//! checkpointed pages there), charges the job the virtual time the fabric
+//! spent discovering the death plus a re-home penalty, and re-runs the
+//! job's current interval from the checkpoint. The power-cycled node
+//! rejoins the free pool when its incident job finishes.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+use parade_core::StatsReport;
+use parade_net::{ChaosProfile, VTime};
+
+use crate::job::JobSpec;
+use crate::quiet::Quiet;
+use crate::run::{fresh_cell, run_attempt};
+
+/// A scheduled link death inside one job's sub-fabric: the link
+/// `src -> dst` (job-local ranks) dies after `after_seq` messages, and
+/// rank `dst` is declared dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDeath {
+    pub src: usize,
+    pub dst: usize,
+    pub after_seq: u64,
+}
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Machine size (node pool the gangs are placed on).
+    pub machine_nodes: usize,
+    /// Residual chaos applied to every attempt of every job (the
+    /// `PARADE_CHAOS` profile; never changes results, only timings).
+    pub base_chaos: ChaosProfile,
+    /// Injected node deaths, by job id. Applied to the job's first
+    /// attempt only: the replacement node is healthy.
+    pub deaths: BTreeMap<u64, LinkDeath>,
+    /// Attempts allowed per job before the scheduler gives up (fail
+    /// closed — giving up is a panic, not a silent drop).
+    pub max_attempts: u32,
+    /// Virtual-time charge for re-homing a dead node's pages.
+    pub rehome_penalty: VTime,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            machine_nodes: 8,
+            base_chaos: ChaosProfile::off(),
+            deaths: BTreeMap::new(),
+            max_attempts: 3,
+            rehome_penalty: VTime::from_micros(500),
+        }
+    }
+}
+
+/// Final record of one served job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    pub id: u64,
+    /// Gang width the job actually ran at.
+    pub width: usize,
+    /// Machine nodes holding the gang at completion (after re-homes).
+    pub nodes: Vec<usize>,
+    pub submit_at: VTime,
+    pub start_at: VTime,
+    pub finish_at: VTime,
+    /// Attempts run (1 = no failure).
+    pub attempts: u32,
+    /// Re-home events: `(dead machine node, replacement)`; equal entries
+    /// mean the node was power-cycled and the job restarted in place.
+    pub rehomed: Vec<(usize, usize)>,
+    /// FNV digest of the final state — compared bit-for-bit against the
+    /// sequential reference by the soak.
+    pub digest: u64,
+    /// Successful completions (exactly-once: always 1 for a job that
+    /// appears here, asserted at execution time).
+    pub completions: u32,
+    /// Per-job statistics from the completing attempt.
+    pub stats: StatsReport,
+}
+
+impl JobOutcome {
+    pub fn waited(&self) -> VTime {
+        VTime::from_nanos(self.start_at.as_nanos() - self.submit_at.as_nanos())
+    }
+}
+
+/// Everything the serving layer did with one batch of jobs.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// One outcome per admitted job, in completion-schedule order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Virtual time at which the last job finished.
+    pub makespan: VTime,
+    /// Machine nodes that were power-cycled at least once.
+    pub dead_nodes: Vec<usize>,
+}
+
+impl ServeReport {
+    pub fn outcome(&self, id: u64) -> Option<&JobOutcome> {
+        self.outcomes.iter().find(|o| o.id == id)
+    }
+
+    /// Total re-home events across all jobs.
+    pub fn rehomes(&self) -> usize {
+        self.outcomes.iter().map(|o| o.rehomed.len()).sum()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Finish(usize),
+    Arrive(usize),
+}
+
+/// Serve a batch of jobs to completion. Deterministic: the event loop
+/// runs in virtual time with explicit tie-breaks, placement is
+/// lowest-node-first, and every job's arithmetic is width-independent.
+///
+/// Panics (fail closed) if a job exhausts `max_attempts` or the machine
+/// can never fit it.
+pub fn serve(cfg: &ServeConfig, mut jobs: Vec<JobSpec>) -> ServeReport {
+    for j in &jobs {
+        assert!(
+            j.min_width >= 1 && j.min_width <= j.max_width,
+            "job {} has bad width bounds",
+            j.id
+        );
+        assert!(
+            j.min_width <= cfg.machine_nodes,
+            "job {} can never fit the machine",
+            j.id
+        );
+    }
+    jobs.sort_by_key(|j| (j.submit_at, j.id));
+    let mut free: BTreeSet<usize> = (0..cfg.machine_nodes).collect();
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut events: BinaryHeap<Reverse<(VTime, u64, Ev)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, j) in jobs.iter().enumerate() {
+        events.push(Reverse((j.submit_at, seq, Ev::Arrive(i))));
+        seq += 1;
+    }
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut dead_nodes: BTreeSet<usize> = BTreeSet::new();
+    let mut makespan = VTime::ZERO;
+    while let Some(Reverse((now, _, ev))) = events.pop() {
+        match ev {
+            Ev::Arrive(i) => waiting.push_back(i),
+            Ev::Finish(slot) => {
+                let done = &outcomes[slot];
+                free.extend(done.nodes.iter().copied());
+                // Power-cycled nodes come back once their incident job is
+                // gone (the reboot finished long before).
+                free.extend(done.rehomed.iter().map(|&(dead, _)| dead));
+            }
+        }
+        // Admission: scan the wait queue in FIFO order; the first fitting
+        // job wins, so the head has priority and backfill only happens
+        // past a stuck head.
+        while let Some(pos) = waiting
+            .iter()
+            .position(|&i| jobs[i].min_width <= free.len())
+        {
+            let i = waiting.remove(pos).expect("position just found");
+            let spec = jobs[i].clone();
+            let width = spec.max_width.min(free.len());
+            let nodes: Vec<usize> = free.iter().take(width).copied().collect();
+            for nd in &nodes {
+                free.remove(nd);
+            }
+            let out = execute(cfg, &spec, width, nodes, now, &mut free, &mut dead_nodes);
+            makespan = makespan.max(out.finish_at);
+            events.push(Reverse((out.finish_at, seq, Ev::Finish(outcomes.len()))));
+            seq += 1;
+            outcomes.push(out);
+        }
+    }
+    assert!(
+        waiting.is_empty(),
+        "scheduler drained with {} job(s) still waiting",
+        waiting.len()
+    );
+    ServeReport {
+        outcomes,
+        makespan,
+        dead_nodes: dead_nodes.into_iter().collect(),
+    }
+}
+
+/// Run one job to completion (retrying across node deaths), eagerly at
+/// admission time. Virtual time does the rest: the finish event carries
+/// `start + duration`, so overlapping jobs interleave correctly in the
+/// simulated timeline regardless of host execution order.
+fn execute(
+    cfg: &ServeConfig,
+    spec: &JobSpec,
+    width: usize,
+    mut nodes: Vec<usize>,
+    start_at: VTime,
+    free: &mut BTreeSet<usize>,
+    dead_nodes: &mut BTreeSet<usize>,
+) -> JobOutcome {
+    let cell = fresh_cell();
+    let mut chaos = cfg.base_chaos.clone();
+    if let Some(d) = cfg.deaths.get(&spec.id) {
+        // A 1-wide gang has no inter-node links to kill; ranks outside
+        // the elastic width cannot die either.
+        if width >= 2 && d.src < width && d.dst < width && d.src != d.dst {
+            chaos = chaos.with_link_death(d.src, d.dst, d.after_seq);
+        }
+    }
+    let mut attempts = 0u32;
+    let mut completions = 0u32;
+    let mut rehomed: Vec<(usize, usize)> = Vec::new();
+    let mut vtime = VTime::ZERO;
+    loop {
+        attempts += 1;
+        assert!(
+            attempts <= cfg.max_attempts,
+            "job {} exceeded {} attempts",
+            spec.id,
+            cfg.max_attempts
+        );
+        // Expected fail-stop panics (dead link, post-shutdown receives)
+        // are noise while this guard lives; real bugs still print.
+        let quiet = Quiet::engage();
+        match run_attempt(spec, width, chaos.clone(), &cell) {
+            Ok(out) => {
+                drop(quiet);
+                completions += 1;
+                assert_eq!(completions, 1, "job {} completed twice", spec.id);
+                vtime += out.report.exec_time;
+                return JobOutcome {
+                    id: spec.id,
+                    width,
+                    nodes,
+                    submit_at: spec.submit_at,
+                    start_at,
+                    finish_at: start_at + vtime,
+                    attempts,
+                    rehomed,
+                    digest: out.digest,
+                    completions,
+                    stats: StatsReport::from_run(format!("job-{}", spec.id), &out.report),
+                };
+            }
+            Err(failed) => {
+                drop(quiet);
+                // The report names the dead link; the victim is the rank
+                // the rest of the gang could not reach.
+                let dead_rank = failed
+                    .fabric_errors()
+                    .first()
+                    .map(|e| e.dst)
+                    .unwrap_or_else(|| {
+                        panic!("job {} died without a fabric error: {}", spec.id, failed)
+                    });
+                let gave_up = failed
+                    .fabric_errors()
+                    .iter()
+                    .map(|e| e.gave_up_at)
+                    .max()
+                    .unwrap_or(VTime::ZERO);
+                vtime += gave_up + cfg.rehome_penalty;
+                let rank = dead_rank.min(width - 1);
+                let dead_machine = nodes[rank];
+                dead_nodes.insert(dead_machine);
+                if let Some(&repl) = free.iter().next() {
+                    // Re-home onto a spare: the checkpointed pages land on
+                    // the replacement when the next attempt restores them.
+                    free.remove(&repl);
+                    nodes[rank] = repl;
+                    rehomed.push((dead_machine, repl));
+                } else {
+                    // No spare: the victim power-cycles and the job
+                    // restarts its interval in place.
+                    rehomed.push((dead_machine, dead_machine));
+                }
+                // The replacement hardware is healthy: drop the death
+                // schedule, keep the residual chaos.
+                chaos = cfg.base_chaos.clone();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn spec(id: u64, min_w: usize, max_w: usize, at_us: u64) -> JobSpec {
+        JobSpec {
+            id,
+            kind: JobKind::CgLite {
+                n: 20,
+                intervals: 3,
+                seed: 100 + id,
+            },
+            min_width: min_w,
+            max_width: max_w,
+            submit_at: VTime::from_micros(at_us),
+        }
+    }
+
+    #[test]
+    fn batch_completes_exactly_once_each() {
+        let cfg = ServeConfig {
+            machine_nodes: 4,
+            ..ServeConfig::default()
+        };
+        let jobs: Vec<JobSpec> = (0..6).map(|i| spec(i, 1, 2, i * 50)).collect();
+        let report = serve(&cfg, jobs.clone());
+        assert_eq!(report.outcomes.len(), 6);
+        for j in &jobs {
+            let out = report.outcome(j.id).expect("every job served");
+            assert_eq!(out.completions, 1);
+            assert_eq!(out.digest, j.kind.reference_digest(), "job {}", j.id);
+            assert!(out.start_at >= j.submit_at);
+            assert!(out.finish_at > out.start_at);
+        }
+        assert!(report.makespan > VTime::ZERO);
+    }
+
+    #[test]
+    fn killed_job_rehomes_and_stays_bit_identical() {
+        let mut deaths = BTreeMap::new();
+        deaths.insert(
+            0,
+            LinkDeath {
+                src: 0,
+                dst: 1,
+                after_seq: 12,
+            },
+        );
+        let cfg = ServeConfig {
+            machine_nodes: 4,
+            deaths,
+            ..ServeConfig::default()
+        };
+        let job = spec(0, 2, 2, 0);
+        let report = serve(&cfg, vec![job.clone()]);
+        let out = report.outcome(0).expect("served");
+        assert!(out.attempts >= 2, "the death must actually fire");
+        assert_eq!(out.rehomed.len(), out.attempts as usize - 1);
+        assert_eq!(out.completions, 1, "exactly once despite re-execution");
+        assert_eq!(
+            out.digest,
+            job.kind.reference_digest(),
+            "survival must not change a single bit"
+        );
+        // The dead node was swapped for a spare and is named in the report.
+        assert_eq!(report.dead_nodes.len(), 1);
+        assert_ne!(out.rehomed[0].0, out.rehomed[0].1, "spare was available");
+        // The per-job stats name the dead link era: the completing attempt
+        // itself is clean, but the outcome records the re-home.
+        assert!(report.rehomes() >= 1);
+    }
+
+    #[test]
+    fn elastic_width_shrinks_to_fit_and_grows_when_free() {
+        let cfg = ServeConfig {
+            machine_nodes: 3,
+            ..ServeConfig::default()
+        };
+        // Job 0 wants 4 nodes but the machine has 3: elastic shrink.
+        let report = serve(&cfg, vec![spec(0, 1, 4, 0)]);
+        assert_eq!(report.outcome(0).unwrap().width, 3);
+        assert_eq!(
+            report.outcome(0).unwrap().digest,
+            spec(0, 1, 4, 0).kind.reference_digest()
+        );
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_pass_a_stuck_wide_one() {
+        // Job 0 holds the whole machine; job 1 (wide) must wait for it,
+        // but job 2 (narrow) arrives later and still cannot fit while 0
+        // runs... with a 2-node machine, 0 takes both, 1 needs 2, 2 needs
+        // 1 — nothing fits until 0 finishes, then FIFO admits 1, then 2.
+        // With a 3-node machine, 0 takes all three at admission; after it
+        // finishes 1 takes two and 2 backfills alongside on the third.
+        let cfg = ServeConfig {
+            machine_nodes: 3,
+            ..ServeConfig::default()
+        };
+        let jobs = vec![spec(0, 1, 3, 0), spec(1, 2, 2, 10), spec(2, 1, 1, 20)];
+        let report = serve(&cfg, jobs);
+        let (o0, o1, o2) = (
+            report.outcome(0).unwrap().clone(),
+            report.outcome(1).unwrap().clone(),
+            report.outcome(2).unwrap().clone(),
+        );
+        assert_eq!(o0.width, 3);
+        // 1 and 2 start together once 0 frees the machine: 2 backfilled
+        // onto the node 1 left over.
+        assert!(o1.start_at >= o0.finish_at);
+        assert_eq!(o2.start_at, o1.start_at);
+        assert_eq!(o2.nodes.len(), 1);
+    }
+}

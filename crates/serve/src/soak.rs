@@ -1,0 +1,223 @@
+//! The serving soak: a deterministic stream of many small jobs, a
+//! fraction of them scheduled to lose a node mid-run, verified
+//! exactly-once and bit-identical against sequential references.
+
+use std::collections::BTreeMap;
+
+use parade_net::{ChaosProfile, VTime};
+use parade_testkit::rng::TestRng;
+
+use crate::job::{JobKind, JobSpec};
+use crate::sched::{serve, LinkDeath, ServeConfig, ServeReport};
+
+/// Soak knobs.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Number of jobs to serve.
+    pub jobs: usize,
+    /// Machine size.
+    pub machine_nodes: usize,
+    /// Master seed for the job mix and the death schedule.
+    pub seed: u64,
+    /// One in `death_every` jobs is scheduled to lose a node (0 = none).
+    pub death_every: usize,
+    /// Residual chaos for every attempt (`PARADE_CHAOS`).
+    pub chaos: ChaosProfile,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            jobs: 100,
+            machine_nodes: 12,
+            seed: 0xC0FFEE,
+            death_every: 7,
+            chaos: ChaosProfile::off(),
+        }
+    }
+}
+
+/// What the soak observed. `ok()` is the overall gate.
+#[derive(Debug, Clone)]
+pub struct SoakSummary {
+    pub jobs: usize,
+    /// Jobs that completed exactly once.
+    pub completed_once: usize,
+    /// Jobs whose digest differed from the sequential reference.
+    pub digest_mismatches: usize,
+    /// Jobs that survived at least one node death.
+    pub rehomed_jobs: usize,
+    /// Total re-home events.
+    pub rehomes: usize,
+    /// Machine nodes power-cycled at least once.
+    pub dead_nodes: usize,
+    /// Virtual completion time of the whole batch.
+    pub makespan: VTime,
+    /// Mean job latency (finish − submit) in virtual nanoseconds.
+    pub mean_latency_ns: u64,
+    /// Mean queue wait (start − submit) in virtual nanoseconds.
+    pub mean_wait_ns: u64,
+}
+
+impl SoakSummary {
+    /// Exactly-once, bit-identical, and nothing lost.
+    pub fn ok(&self) -> bool {
+        self.completed_once == self.jobs && self.digest_mismatches == 0
+    }
+}
+
+/// Generate the deterministic job mix for `cfg`.
+pub fn job_mix(cfg: &SoakConfig) -> (Vec<JobSpec>, BTreeMap<u64, LinkDeath>) {
+    let mut rng = TestRng::new(cfg.seed);
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    let mut deaths = BTreeMap::new();
+    let mut submit = VTime::ZERO;
+    for id in 0..cfg.jobs as u64 {
+        let kind = match rng.next_u64() % 3 {
+            0 => JobKind::CgLite {
+                n: 16 + (rng.next_u64() % 33) as usize,
+                intervals: 2 + (rng.next_u64() % 3) as usize,
+                seed: rng.next_u64() >> 18,
+            },
+            1 => JobKind::EpBlocks {
+                batches: 2 + (rng.next_u64() % 3) as usize,
+                pairs_per_batch: 64 + (rng.next_u64() % 65) as usize,
+                seed: rng.next_u64() >> 18,
+            },
+            _ => JobKind::Nbody {
+                np: 8 + (rng.next_u64() % 9) as usize,
+                steps: 2 + (rng.next_u64() % 3) as usize,
+                seed: rng.next_u64() >> 18,
+            },
+        };
+        let max_w = 4.min(cfg.machine_nodes);
+        // Candidate deaths need a ≥2-wide gang so there is a link to kill.
+        let victim = cfg.death_every > 0 && (id as usize) % cfg.death_every == cfg.death_every - 1;
+        let min_w = if victim {
+            2 + (rng.next_u64() % (max_w as u64 - 1)) as usize
+        } else {
+            1 + (rng.next_u64() % max_w as u64) as usize
+        };
+        if victim {
+            // Kill a link between two ranks that exist at min_width, a
+            // little way into the run so checkpoints exist.
+            let dst = 1 + (rng.next_u64() % (min_w as u64 - 1)) as usize;
+            deaths.insert(
+                id,
+                LinkDeath {
+                    src: 0,
+                    dst,
+                    // Low enough that even the smallest jobs send this many
+                    // messages on the link before finishing — the death
+                    // should actually fire, not expire with the job.
+                    after_seq: 4 + rng.next_u64() % 16,
+                },
+            );
+        }
+        jobs.push(JobSpec {
+            id,
+            kind,
+            min_width: min_w,
+            max_width: max_w.max(min_w),
+            submit_at: submit,
+        });
+        // Poisson-ish staggered arrivals.
+        submit += VTime::from_micros(rng.next_u64() % 200);
+    }
+    (jobs, deaths)
+}
+
+/// Run the soak and verify every job, fail closed.
+pub fn soak(cfg: &SoakConfig) -> SoakSummary {
+    let (jobs, deaths) = job_mix(cfg);
+    let specs = jobs.clone();
+    let serve_cfg = ServeConfig {
+        machine_nodes: cfg.machine_nodes,
+        base_chaos: cfg.chaos.clone(),
+        deaths,
+        ..ServeConfig::default()
+    };
+    let report = serve(&serve_cfg, jobs);
+    summarize(cfg, &specs, &report)
+}
+
+fn summarize(cfg: &SoakConfig, specs: &[JobSpec], report: &ServeReport) -> SoakSummary {
+    // Memoized sequential references: equal kinds share one oracle run.
+    let mut refs: BTreeMap<JobKind, u64> = BTreeMap::new();
+    let mut completed_once = 0usize;
+    let mut digest_mismatches = 0usize;
+    let mut rehomed_jobs = 0usize;
+    let mut lat_sum = 0u64;
+    let mut wait_sum = 0u64;
+    for spec in specs {
+        let Some(out) = report.outcome(spec.id) else {
+            continue;
+        };
+        if out.completions == 1 {
+            completed_once += 1;
+        }
+        let expect = *refs
+            .entry(spec.kind)
+            .or_insert_with(|| spec.kind.reference_digest());
+        if out.digest != expect {
+            digest_mismatches += 1;
+        }
+        if !out.rehomed.is_empty() {
+            rehomed_jobs += 1;
+        }
+        lat_sum += out.finish_at.as_nanos() - out.submit_at.as_nanos();
+        wait_sum += out.waited().as_nanos();
+    }
+    let n = report.outcomes.len().max(1) as u64;
+    SoakSummary {
+        jobs: cfg.jobs,
+        completed_once,
+        digest_mismatches,
+        rehomed_jobs,
+        rehomes: report.rehomes(),
+        dead_nodes: report.dead_nodes.len(),
+        makespan: report.makespan,
+        mean_latency_ns: lat_sum / n,
+        mean_wait_ns: wait_sum / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soak_survives_deaths_exactly_once() {
+        let cfg = SoakConfig {
+            jobs: 24,
+            machine_nodes: 8,
+            death_every: 4,
+            ..SoakConfig::default()
+        };
+        let summary = soak(&cfg);
+        assert!(summary.ok(), "soak must be exactly-once: {summary:?}");
+        assert!(
+            summary.rehomed_jobs >= 3,
+            "deaths were scheduled for 6 jobs, most must actually fire: {summary:?}"
+        );
+        assert!(summary.dead_nodes >= 1);
+        assert!(summary.mean_latency_ns >= summary.mean_wait_ns);
+    }
+
+    #[test]
+    fn job_mix_is_deterministic() {
+        let cfg = SoakConfig {
+            jobs: 10,
+            ..SoakConfig::default()
+        };
+        let (a, da) = job_mix(&cfg);
+        let (b, db) = job_mix(&cfg);
+        assert_eq!(da, db);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.min_width, y.min_width);
+            assert_eq!(x.submit_at, y.submit_at);
+        }
+    }
+}

@@ -27,9 +27,12 @@
 //! Safra's algorithm over the node ring: every *counted* message
 //! ([`SchedMsg::counted`]) bumps the sender's message balance and blackens
 //! the receiver; a node is passive when its root body is done, its deque
-//! is empty, and nothing is executing (tasks held on unmet dependencies
-//! do not block passivity — their release arrives via a counted
-//! `Complete`). The root launches a white token when passive; each node
+//! is empty, nothing is executing, and its stealing is exhausted — no
+//! request outstanding and no victims left to try. The last clause is
+//! load-bearing: Safra's proof assumes passive processes never *initiate*
+//! messages, so a node that still steals is active and holds the token
+//! (tasks held on unmet dependencies do not block passivity — their
+//! release arrives via a counted `Complete`). The root launches a white token when passive; each node
 //! forwards it only while passive, adding its balance and its color, and
 //! whitens after forwarding. A white token returning to a white root with
 //! a zero global balance proves quiescence: the root then broadcasts
@@ -599,8 +602,31 @@ impl NodeSched {
 
     // ---- termination (Safra's token) ------------------------------------
 
+    /// Safra-passive: may this node forward (or launch) the token?
+    ///
+    /// The algorithm's soundness rests on passive processes never
+    /// *initiating* messages. A node that is still stealing — a request
+    /// outstanding, or victims left to try — initiates counted messages,
+    /// so it must count as ACTIVE and hold the token until stealing is
+    /// exhausted. Treating a stealing node as passive once let a probe
+    /// complete with a `StealReq` still in flight: termination was
+    /// declared, the straggler (or its reply) outlived the phase in the
+    /// receiver's mailbox, and the *next* phase's fresh scheduler
+    /// consumed it — a permanent −1 in its message balance that no probe
+    /// could ever zero. The ring then circulated tokens forever (live
+    /// lock, all nodes spinning, no progress).
     fn passive(&self) -> bool {
-        self.body_done && self.deque.is_empty()
+        self.body_done && self.deque.is_empty() && !self.steal_outstanding && !self.can_steal()
+    }
+
+    /// Stealing still available: Random strategy, victims exist, and the
+    /// miss budget is not exhausted. (Arriving work resets the misses, so
+    /// a node can become active again — which is fine: the message that
+    /// reactivated it blackened it.)
+    fn can_steal(&self) -> bool {
+        self.cfg.strategy == StealStrategy::Random
+            && self.nnodes > 1
+            && self.steal_misses < self.cfg.victim_fanout
     }
 
     fn on_token(&mut self, count: i64, black: bool, _clock: &mut VClock) {
@@ -624,8 +650,17 @@ impl NodeSched {
 
     /// Idle-time protocol actions; returns true if anything was done.
     fn idle_actions(&mut self, clock: &mut VClock) -> bool {
-        if !matches!(self.phase, Phase::Working) {
+        if !matches!(self.phase, Phase::Working) || !self.body_done || !self.deque.is_empty() {
             return false;
+        }
+        // Stealing is an ACTIVE action (see `passive`): it comes first,
+        // and while a request is outstanding the node holds any token it
+        // received rather than forwarding it.
+        if !self.steal_outstanding && self.can_steal() {
+            let victim = self.pick_victim();
+            self.steal_outstanding = true;
+            self.send_counted(victim, &SchedMsg::StealReq, clock);
+            return true;
         }
         if !self.passive() {
             return false;
@@ -665,17 +700,6 @@ impl NodeSched {
                 clock,
             );
             self.black = false;
-            return true;
-        }
-        // Random strategy: try to steal while passive but not exhausted.
-        if self.cfg.strategy == StealStrategy::Random
-            && self.nnodes > 1
-            && !self.steal_outstanding
-            && self.steal_misses < self.cfg.victim_fanout
-        {
-            let victim = self.pick_victim();
-            self.steal_outstanding = true;
-            self.send_counted(victim, &SchedMsg::StealReq, clock);
             return true;
         }
         false
@@ -1034,6 +1058,44 @@ mod tests {
         );
         assert_eq!(out[0].len(), 1);
         assert_eq!(out[0][0].1, vec![42.0]);
+    }
+
+    #[test]
+    fn a_stealing_node_is_active_and_holds_the_token() {
+        // Regression for a termination livelock: a node that still steals
+        // must NOT be Safra-passive. When it was, a probe could complete
+        // with a StealReq in flight; the straggler (or its reply) outlived
+        // the phase in the receiver's mailbox and permanently skewed the
+        // next phase's message balance, so no probe ever succeeded again.
+        let fabric = Fabric::new(3, NetProfile::zero());
+        let comms: Vec<Arc<Communicator>> = (0..3)
+            .map(|n| Arc::new(Communicator::new(fabric.endpoint(n))))
+            .collect();
+        let mut clock = VClock::manual();
+        let mut s = NodeSched::new(Arc::clone(&comms[1]), SchedConfig::default());
+        s.body_done();
+        // Empty deque, body done — but victims untried: ACTIVE, not passive.
+        assert!(!s.passive(), "a node with steals left must be active");
+        // Hand it a token mid-steal: it must hold it, not forward it.
+        let fanout = s.cfg.victim_fanout;
+        for round in 0..fanout {
+            assert!(s.idle_actions(&mut clock), "must send a steal request");
+            assert!(s.steal_outstanding);
+            s.token = Some((0, false));
+            assert!(
+                !s.idle_actions(&mut clock),
+                "token must be held while a steal request is outstanding"
+            );
+            assert!(s.token.is_some(), "token forwarded mid-steal");
+            // The victim's empty reply makes it a miss.
+            s.steal_outstanding = false;
+            s.steal_misses = round + 1;
+        }
+        // Miss budget exhausted: now passive, and the token flows.
+        assert!(s.passive(), "exhausted thief must become passive");
+        assert!(s.idle_actions(&mut clock), "held token must be forwarded");
+        assert!(s.token.is_none());
+        fabric.begin_shutdown();
     }
 
     #[test]

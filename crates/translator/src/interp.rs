@@ -567,13 +567,14 @@ impl Env {
     /// Model an atomic read-modify-write of scalar `var`: both accesses
     /// happen under a per-variable lock, mirroring the runtime's atomic
     /// update protocol.
+    /// Oracle bookkeeping for an `atomic` update. Must stay indivisible:
+    /// the runtime atomic that follows serializes the data, not this
+    /// bookkeeping, so issuing acquire/read/write/release as separate calls
+    /// lets two threads interleave and yields false races (see
+    /// [`Oracle::atomic_rmw`]).
     fn oracle_rmw(&self, var: &str) {
         if let Some(o) = &self.oracle {
-            let key = format!("atomic:{var}");
-            o.lock_acquire(self.oracle_tid, &key);
-            o.read(self.oracle_tid, var, 0, true, self.cur_span);
-            o.write(self.oracle_tid, var, 0, true, self.cur_span);
-            o.lock_release(self.oracle_tid, &key);
+            o.atomic_rmw(self.oracle_tid, var, self.cur_span);
         }
     }
 

@@ -178,6 +178,60 @@ impl State {
         })
     }
 
+    fn on_read(&mut self, tid: usize, var: &str, idx: usize, scalar: bool, span: Span) {
+        let clock = self.clock(tid).clone();
+        let key = (var.to_string(), idx);
+        let sh = self.shadow.entry(key).or_default();
+        let prior = match &sh.write {
+            Some((w, wspan)) if !clock.covers(w.tid, w.t) => Some((w.tid, *wspan)),
+            _ => None,
+        };
+        sh.reads.insert(tid, (clock.get(tid), span));
+        if let Some(first) = prior {
+            self.report(var, idx, scalar, RaceKind::WriteRead, first, (tid, span));
+        }
+    }
+
+    fn on_write(&mut self, tid: usize, var: &str, idx: usize, scalar: bool, span: Span) {
+        let clock = self.clock(tid).clone();
+        let key = (var.to_string(), idx);
+        let sh = self.shadow.entry(key).or_default();
+        let mut conflicts: Vec<(RaceKind, (usize, Span))> = Vec::new();
+        if let Some((w, wspan)) = &sh.write {
+            if !clock.covers(w.tid, w.t) {
+                conflicts.push((RaceKind::WriteWrite, (w.tid, *wspan)));
+            }
+        }
+        for (rtid, (rt, rspan)) in &sh.reads {
+            if !clock.covers(*rtid, *rt) {
+                conflicts.push((RaceKind::ReadWrite, (*rtid, *rspan)));
+            }
+        }
+        sh.write = Some((
+            Epoch {
+                tid,
+                t: clock.get(tid),
+            },
+            span,
+        ));
+        sh.reads.clear();
+        for (kind, first) in conflicts {
+            self.report(var, idx, scalar, kind, first, (tid, span));
+        }
+    }
+
+    fn on_lock_acquire(&mut self, tid: usize, key: &str) {
+        if let Some(l) = self.locks.get(key).cloned() {
+            self.clock(tid).join(&l);
+        }
+    }
+
+    fn on_lock_release(&mut self, tid: usize, key: &str) {
+        let snap = self.clock(tid).clone();
+        self.locks.insert(key.to_string(), snap);
+        self.clock(tid).tick(tid);
+    }
+
     fn report(
         &mut self,
         var: &str,
@@ -225,64 +279,44 @@ impl Oracle {
     /// Record a read of `var` (element `idx`; 0 with `scalar=true` for
     /// scalars) by thread `tid`.
     pub fn read(&self, tid: usize, var: &str, idx: usize, scalar: bool, span: Span) {
-        let mut st = self.inner.lock();
-        let clock = st.clock(tid).clone();
-        let key = (var.to_string(), idx);
-        let sh = st.shadow.entry(key).or_default();
-        let prior = match &sh.write {
-            Some((w, wspan)) if !clock.covers(w.tid, w.t) => Some((w.tid, *wspan)),
-            _ => None,
-        };
-        sh.reads.insert(tid, (clock.get(tid), span));
-        if let Some(first) = prior {
-            st.report(var, idx, scalar, RaceKind::WriteRead, first, (tid, span));
-        }
+        self.inner.lock().on_read(tid, var, idx, scalar, span);
     }
 
     /// Record a write of `var` by thread `tid`.
     pub fn write(&self, tid: usize, var: &str, idx: usize, scalar: bool, span: Span) {
-        let mut st = self.inner.lock();
-        let clock = st.clock(tid).clone();
-        let key = (var.to_string(), idx);
-        let sh = st.shadow.entry(key).or_default();
-        let mut conflicts: Vec<(RaceKind, (usize, Span))> = Vec::new();
-        if let Some((w, wspan)) = &sh.write {
-            if !clock.covers(w.tid, w.t) {
-                conflicts.push((RaceKind::WriteWrite, (w.tid, *wspan)));
-            }
-        }
-        for (rtid, (rt, rspan)) in &sh.reads {
-            if !clock.covers(*rtid, *rt) {
-                conflicts.push((RaceKind::ReadWrite, (*rtid, *rspan)));
-            }
-        }
-        sh.write = Some((
-            Epoch {
-                tid,
-                t: clock.get(tid),
-            },
-            span,
-        ));
-        sh.reads.clear();
-        for (kind, first) in conflicts {
-            st.report(var, idx, scalar, kind, first, (tid, span));
-        }
+        self.inner.lock().on_write(tid, var, idx, scalar, span);
     }
 
     /// Release/acquire edge: join the lock's release clock into `tid`.
     pub fn lock_acquire(&self, tid: usize, key: &str) {
-        let mut st = self.inner.lock();
-        if let Some(l) = st.locks.get(key).cloned() {
-            st.clock(tid).join(&l);
-        }
+        self.inner.lock().on_lock_acquire(tid, key);
     }
 
     /// Snapshot `tid`'s clock into the lock and advance the thread.
     pub fn lock_release(&self, tid: usize, key: &str) {
+        self.inner.lock().on_lock_release(tid, key);
+    }
+
+    /// Model one `#pragma omp atomic` read-modify-write of scalar `var` as a
+    /// single indivisible acquire/read/write/release, all under one hold of
+    /// the oracle's state lock.
+    ///
+    /// The runtime serializes the *data* update (e.g. `atomic_f64`), but the
+    /// interpreter's oracle bookkeeping runs outside that mutual exclusion.
+    /// Issued as four separate calls, two threads could interleave
+    /// `acquire/acquire/read/write/...`: the second acquirer would join the
+    /// lock clock *before* the first released into it, miss the
+    /// happens-before edge, and report a false write-write/write-read race
+    /// on a perfectly clean `atomic`. Doing the whole sequence atomically
+    /// here pins a valid linearization — whichever thread's RMW lands first
+    /// releases its clock before the next one acquires.
+    pub fn atomic_rmw(&self, tid: usize, var: &str, span: Span) {
         let mut st = self.inner.lock();
-        let snap = st.clock(tid).clone();
-        st.locks.insert(key.to_string(), snap);
-        st.clock(tid).tick(tid);
+        let key = format!("atomic:{var}");
+        st.on_lock_acquire(tid, &key);
+        st.on_read(tid, var, 0, true, span);
+        st.on_write(tid, var, 0, true, span);
+        st.on_lock_release(tid, &key);
     }
 
     /// Contribute this thread's clock to the current barrier generation.
@@ -410,6 +444,38 @@ mod tests {
         // Thread 1 may now read x without racing.
         o.read(1, "x", 0, true, sp(3));
         assert!(o.drain().is_empty());
+    }
+
+    #[test]
+    fn atomic_rmws_never_race_with_each_other() {
+        let o = Oracle::new();
+        o.atomic_rmw(0, "x", sp(7));
+        o.atomic_rmw(1, "x", sp(7));
+        o.atomic_rmw(0, "x", sp(7));
+        assert!(o.drain().is_empty());
+    }
+
+    #[test]
+    fn split_rmw_bookkeeping_interleaves_into_false_races() {
+        // Documents why `atomic_rmw` exists: the same operations issued as
+        // four separate calls can interleave across threads (the runtime's
+        // atomic serializes the data update, not this bookkeeping). The
+        // second acquirer joins the lock clock before the first release
+        // lands, so the happens-before edge is missed.
+        let o = Oracle::new();
+        o.lock_acquire(0, "atomic:x");
+        o.lock_acquire(1, "atomic:x"); // joins an empty lock clock
+        o.read(0, "x", 0, true, sp(7));
+        o.write(0, "x", 0, true, sp(7));
+        o.lock_release(0, "atomic:x");
+        o.read(1, "x", 0, true, sp(7));
+        o.write(1, "x", 0, true, sp(7));
+        o.lock_release(1, "atomic:x");
+        let races = o.drain();
+        assert!(
+            races.iter().any(|r| r.kind == RaceKind::WriteWrite),
+            "interleaved split bookkeeping must look racy: {races:?}"
+        );
     }
 
     #[test]

@@ -163,6 +163,33 @@ grep -q "Adaptive-DSM smoke" "$ADAPT_TMP/adapt.md"
 grep -q "all-update" "$ADAPT_TMP/adapt.md"
 rm -rf "$ADAPT_TMP"
 
+echo "== serving soak (figures -- serve-soak) =="
+# 1000 small jobs (CG-S/EP/n-body mix) gang-scheduled onto one 12-node
+# machine under a lossy wire (PARADE_CHAOS or the pinned schedule), one in
+# seven scheduled to lose a node mid-run. The binary exits nonzero unless
+# every job completes exactly once, bit-identical to its sequential
+# reference, and at least one job survived a death via checkpoint re-home.
+SERVE_TMP="$(mktemp -d)"
+cargo run -q --offline --release -p parade-bench --bin figures -- serve-soak \
+  > "$SERVE_TMP/serve.md"
+grep -q "Serve soak" "$SERVE_TMP/serve.md"
+grep -q "1000/1000" "$SERVE_TMP/serve.md"
+rm -rf "$SERVE_TMP"
+
+echo "== serving bench + regression gate (emits BENCH_serving.json) =="
+# serve/ metrics (virtual makespan, latency, completions) are gated at 20%
+# against the committed baseline; serve_info/ re-home counts are recorded
+# but not gated (whether a scheduled death fires races job completion and
+# is schedule-dependent).
+SERVE_BENCH_TMP="$(mktemp -d)"
+PARADE_BENCH_JSON="$SERVE_BENCH_TMP" \
+  cargo bench -q --offline -p parade-bench --bench serving \
+  > "$SERVE_BENCH_TMP/serving.md"
+test -s "$SERVE_BENCH_TMP/BENCH_serving.json"
+cargo run -q --offline --release -p parade-bench --bin bench_gate -- \
+  "$SERVE_BENCH_TMP/BENCH_serving.json" scripts/bench_baseline/BENCH_serving.json 20
+rm -rf "$SERVE_BENCH_TMP"
+
 echo "== primitives microbench (emits BENCH_primitives.json) =="
 BENCH_TMP="$(mktemp -d)"
 PARADE_BENCH_JSON="$BENCH_TMP" \

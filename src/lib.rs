@@ -38,6 +38,9 @@
 //!   kept as a parity oracle, both cross-checked against the interpreter's
 //!   happens-before race oracle.
 //! * [`kernels`] — NAS CG/EP, Helmholtz, MD, and syncbench workloads.
+//! * [`serve`] — multi-job serving layer: gang scheduling with FIFO +
+//!   backfill admission and elastic widths, per-job sub-fabric isolation,
+//!   and checkpoint/re-home survival of injected node death.
 //! * [`trace`] — virtual-time event tracing: per-thread rings, Chrome
 //!   `trace_event` export, per-construct overhead attribution
 //!   (`PARADE_TRACE=<path>`).
@@ -78,6 +81,7 @@ pub use parade_kernels as kernels;
 pub use parade_mir as mir;
 pub use parade_mpi as mpi;
 pub use parade_net as net;
+pub use parade_serve as serve;
 pub use parade_trace as trace;
 pub use parade_translator as translator;
 

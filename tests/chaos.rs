@@ -540,6 +540,7 @@ fn dead_link_error_reaches_the_stats_report() {
             net: report.net.clone(),
             link_health: report.link_health.clone(),
             fabric_error: report.fabric_error.clone(),
+            fabric_errors: report.fabric_errors.clone(),
             trace: None,
         };
         let text = sr.render();
@@ -549,5 +550,77 @@ fn dead_link_error_reaches_the_stats_report() {
         );
         assert!(text.contains("MPI point-to-point message"), "{text}");
         assert!(text.contains("net reliability:"), "{text}");
+    });
+}
+
+#[test]
+fn two_links_dying_in_the_same_interval_are_both_named_in_the_report() {
+    run_with_timeout("two-dead-links", SOAK, || {
+        // Both node 1 and node 2 lose their link to node 0 in the same
+        // interval. Fail-stop shutdown races the two ARQ exhaustions, but
+        // the per-link error ledger must keep both — a report naming only
+        // whichever error landed first sends the operator to replace the
+        // wrong cable.
+        let chaos = ChaosProfile::off()
+            .with_link_death(1, 0, 2)
+            .with_link_death(2, 0, 2);
+        let cfg = ClusterConfig {
+            nodes: 3,
+            net: NetProfile::clan_via(),
+            time: TimeSource::Manual,
+            chaos,
+            ..ClusterConfig::default()
+        };
+        let (results, report) = launch(cfg, |env: NodeEnv| {
+            let mut clk = env.new_clock();
+            if env.node == 0 {
+                return None;
+            }
+            let ep = env.fabric.endpoint(env.node);
+            let mut seq = 0u64;
+            loop {
+                let payload = Bytes::copy_from_slice(&[0u8; 8]);
+                match ep.send_checked(0, MsgClass::P2p, seq, payload, &mut clk) {
+                    Ok(()) => {
+                        seq += 1;
+                        clk.charge(VTime::from_micros(1));
+                    }
+                    Err(e) => return Some(e),
+                }
+            }
+        });
+        // Each doomed sender observed its *own* link die, not a shared
+        // first-wins error.
+        for node in [1usize, 2] {
+            let e = results[node].clone().expect("doomed sender must fail");
+            assert_eq!((e.src, e.dst), (node, 0), "{e}");
+        }
+        assert_eq!(report.fabric_errors.len(), 2, "{:?}", report.fabric_errors);
+        let mut srcs: Vec<usize> = report.fabric_errors.iter().map(|e| e.src).collect();
+        srcs.sort_unstable();
+        assert_eq!(srcs, vec![1, 2], "both dead links recorded");
+        // And the rendered StatsReport names both links.
+        let sr = StatsReport {
+            label: "two-dead-links".into(),
+            exec_time: VTime::ZERO,
+            node_times: vec![VTime::ZERO; 3],
+            node_compute: Vec::new(),
+            node_comm: Vec::new(),
+            dsm: report.dsm_totals(),
+            net: report.net.clone(),
+            link_health: report.link_health.clone(),
+            fabric_error: report.fabric_error.clone(),
+            fabric_errors: report.fabric_errors.clone(),
+            trace: None,
+        };
+        let text = sr.render();
+        assert!(
+            text.contains("FABRIC ERROR: fabric link 1->0 dead"),
+            "{text}"
+        );
+        assert!(
+            text.contains("FABRIC ERROR: fabric link 2->0 dead"),
+            "{text}"
+        );
     });
 }
